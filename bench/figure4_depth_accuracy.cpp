@@ -1,0 +1,56 @@
+//===- bench/figure4_depth_accuracy.cpp - Reproduce Figure 4 ---------------===//
+//
+// Figure 4: top-1/top-5 exact-match accuracy of the L_SW model bucketed by
+// the nesting depth of the ground-truth type, separately for parameter and
+// return prediction. Shape to reproduce: accuracy decreases as types nest
+// more deeply, and return types are shallower than parameter types.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include <cstdio>
+
+using namespace snowwhite;
+using namespace snowwhite::model;
+
+static void runSide(const dataset::Dataset &Data, TaskKind Kind) {
+  TaskOptions Options;
+  Options.Kind = Kind;
+  Options.MaxTrainSamples = static_cast<size_t>(6000 * bench::benchScale());
+  Task T(Data, Options);
+  TrainOptions Train = bench::benchTrainOptions();
+  std::fprintf(stderr, "[figure4] training %s model ...\n",
+               Kind == TaskKind::TK_Parameter ? "parameter" : "return");
+  TrainResult Trained = trainModel(T, Train);
+  eval::AccuracyReport Report = bench::modelAccuracy(T, *Trained.Model);
+
+  std::printf("\nFigure 4%s: %s types — accuracy by type nesting depth\n",
+              Kind == TaskKind::TK_Parameter ? "a" : "b",
+              Kind == TaskKind::TK_Parameter ? "Parameter" : "Return");
+  bench::printRule();
+  std::printf("%-7s %10s %10s %10s   %s\n", "Depth", "Samples", "Top-1",
+              "Top-5", "bar(top-5)");
+  bench::printRule();
+  for (const auto &[Depth, Bucket] : Report.ByDepth) {
+    std::string Bar(static_cast<size_t>(Bucket.topK() * 40), '#');
+    std::printf("%-7u %10llu %10s %10s   %s\n", Depth,
+                static_cast<unsigned long long>(Bucket.Count),
+                formatPercent(Bucket.top1(), 1).c_str(),
+                formatPercent(Bucket.topK(), 1).c_str(), Bar.c_str());
+  }
+  std::printf("overall: top-1 %s, top-5 %s over %llu samples\n",
+              formatPercent(Report.top1(), 1).c_str(),
+              formatPercent(Report.topK(), 1).c_str(),
+              static_cast<unsigned long long>(Report.NumSamples));
+}
+
+int main() {
+  dataset::Dataset Data = bench::benchDataset();
+  runSide(Data, TaskKind::TK_Parameter);
+  runSide(Data, TaskKind::TK_Return);
+  std::printf("\n(paper: accuracy decreases with nesting depth; parameters "
+              "at depth 3 (4) still reach 65%% (43%%) top-5; return types "
+              "are less deeply nested.)\n");
+  return 0;
+}

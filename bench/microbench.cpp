@@ -1,0 +1,206 @@
+//===- bench/microbench.cpp - Component micro-benchmarks (§6.1) ------------===//
+//
+// google-benchmark measurements for the pipeline stages, including the
+// paper's §6.1 claim that prediction takes 3–40 ms per input sample
+// (including beam search) — near-instantaneous compared with constraint
+// solving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "dataset/bpe.h"
+#include "dataset/extract.h"
+#include "frontend/typegen.h"
+#include "dwarf/io.h"
+#include "typelang/from_dwarf.h"
+#include "wasm/reader.h"
+#include "wasm/validate.h"
+#include "wasm/writer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace snowwhite;
+
+namespace {
+
+/// One fixed mid-sized compiled object shared by the wasm-level benchmarks.
+const frontend::CompiledObject &sampleObject() {
+  static frontend::CompiledObject Object = [] {
+    Rng R(99);
+    std::vector<frontend::WellKnownType> Pool = frontend::makeWellKnownPool();
+    frontend::TypeEnvironment Env(R, true, "bench", Pool);
+    std::vector<frontend::SrcFunction> Functions;
+    for (int I = 0; I < 16; ++I)
+      Functions.push_back(frontend::generateSignature(R, Env, "bench", I));
+    return frontend::compileObject(Functions, "bench.o", R, {});
+  }();
+  return Object;
+}
+
+struct TrainedSetup {
+  dataset::Dataset Data;
+  std::unique_ptr<model::Task> TaskPtr;
+  std::unique_ptr<nn::Seq2SeqModel> Model;
+};
+
+/// A small trained model for the prediction-latency benchmarks.
+TrainedSetup &trainedSetup() {
+  static TrainedSetup Setup = [] {
+    TrainedSetup Out;
+    frontend::CorpusSpec Spec;
+    Spec.NumPackages = 30;
+    Spec.Seed = 5150;
+    frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+    Out.Data = dataset::buildDataset(Corpus);
+    model::TaskOptions Options;
+    Options.MaxTrainSamples = 600;
+    Out.TaskPtr = std::make_unique<model::Task>(Out.Data, Options);
+    model::TrainOptions Train = bench::benchTrainOptions();
+    Train.MaxEpochs = 2;
+    model::TrainResult Result = model::trainModel(*Out.TaskPtr, Train);
+    Out.Model = std::move(Result.Model);
+    return Out;
+  }();
+  return Setup;
+}
+
+void BM_WasmWrite(benchmark::State &State) {
+  wasm::Module Mod = sampleObject().Mod;
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::vector<uint8_t> Out = wasm::writeModule(Mod);
+    Bytes = Out.size();
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+BENCHMARK(BM_WasmWrite);
+
+void BM_WasmRead(benchmark::State &State) {
+  const std::vector<uint8_t> &Bytes = sampleObject().Bytes;
+  for (auto _ : State) {
+    Result<wasm::Module> Mod = wasm::readModule(Bytes);
+    benchmark::DoNotOptimize(Mod);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(Bytes.size()));
+}
+BENCHMARK(BM_WasmRead);
+
+void BM_WasmValidate(benchmark::State &State) {
+  const wasm::Module &Mod = sampleObject().Mod;
+  for (auto _ : State) {
+    Result<void> Status = wasm::validateModule(Mod);
+    benchmark::DoNotOptimize(Status);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Mod.Functions.size()));
+}
+BENCHMARK(BM_WasmValidate);
+
+void BM_DwarfExtract(benchmark::State &State) {
+  const wasm::Module &Mod = sampleObject().Mod;
+  for (auto _ : State) {
+    Result<dwarf::DebugInfo> Info = dwarf::extractDebugInfo(Mod);
+    benchmark::DoNotOptimize(Info);
+  }
+}
+BENCHMARK(BM_DwarfExtract);
+
+void BM_TypeFromDwarf(benchmark::State &State) {
+  const frontend::CompiledObject &Object = sampleObject();
+  std::vector<dwarf::DieRef> TypeDies;
+  for (dwarf::DieRef Sub : Object.Debug.subprograms())
+    for (dwarf::DieRef Param : Object.Debug.formalParameters(Sub))
+      TypeDies.push_back(Object.Debug.typeOf(Param));
+  for (auto _ : State) {
+    for (dwarf::DieRef Die : TypeDies) {
+      typelang::Type T = typelang::typeFromDwarf(Object.Debug, Die);
+      benchmark::DoNotOptimize(T);
+    }
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(TypeDies.size()));
+}
+BENCHMARK(BM_TypeFromDwarf);
+
+void BM_ExtractParamInput(benchmark::State &State) {
+  const wasm::Module &Mod = sampleObject().Mod;
+  for (auto _ : State) {
+    for (uint32_t Func = 0; Func < Mod.Functions.size(); ++Func) {
+      const wasm::FuncType &Type = Mod.functionType(Func);
+      for (uint32_t Param = 0; Param < Type.Params.size(); ++Param) {
+        std::vector<std::string> Tokens =
+            dataset::extractParamInput(Mod, Func, Param);
+        benchmark::DoNotOptimize(Tokens);
+      }
+    }
+  }
+}
+BENCHMARK(BM_ExtractParamInput);
+
+void BM_BpeEncode(benchmark::State &State) {
+  TrainedSetup &Setup = trainedSetup();
+  const model::Task &Task = *Setup.TaskPtr;
+  const dataset::TypeSample &Sample = Setup.Data.Samples.front();
+  for (auto _ : State) {
+    std::vector<uint32_t> Ids = Task.encodeSource(Sample.Input);
+    benchmark::DoNotOptimize(Ids);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Sample.Input.size()));
+}
+BENCHMARK(BM_BpeEncode);
+
+void BM_PredictionLatency(benchmark::State &State) {
+  TrainedSetup &Setup = trainedSetup();
+  unsigned BeamWidth = static_cast<unsigned>(State.range(0));
+  const std::vector<model::EncodedSample> &Test = Setup.TaskPtr->test();
+  if (Test.empty()) {
+    State.SkipWithError("no test samples");
+    return;
+  }
+  size_t Index = 0;
+  for (auto _ : State) {
+    const model::EncodedSample &Sample = Test[Index % Test.size()];
+    std::vector<nn::Hypothesis> Top =
+        Setup.Model->predictTopK(Sample.Source, BeamWidth);
+    benchmark::DoNotOptimize(Top);
+    ++Index;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PredictionLatency)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_TrainBatch(benchmark::State &State) {
+  TrainedSetup &Setup = trainedSetup();
+  const std::vector<model::EncodedSample> &Train = Setup.TaskPtr->train();
+  size_t BatchSize = std::min<size_t>(24, Train.size());
+  std::vector<std::vector<uint32_t>> Sources, Targets;
+  for (size_t I = 0; I < BatchSize; ++I) {
+    Sources.push_back(Train[I].Source);
+    Targets.push_back(Train[I].Target);
+  }
+  nn::AdamOptimizer Optimizer(Setup.Model->parameters());
+  for (auto _ : State) {
+    float Loss = Setup.Model->trainBatch(Sources, Targets, Optimizer);
+    benchmark::DoNotOptimize(Loss);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(BatchSize));
+}
+BENCHMARK(BM_TrainBatch)->Unit(benchmark::kMillisecond);
+
+void BM_StatisticalBaseline(benchmark::State &State) {
+  TrainedSetup &Setup = trainedSetup();
+  model::StatisticalBaseline Baseline(*Setup.TaskPtr);
+  for (auto _ : State) {
+    std::vector<model::TypePrediction> Top =
+        Baseline.predict(wasm::ValType::I32, 5);
+    benchmark::DoNotOptimize(Top);
+  }
+}
+BENCHMARK(BM_StatisticalBaseline);
+
+} // namespace
+
+BENCHMARK_MAIN();

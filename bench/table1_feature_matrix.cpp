@@ -1,0 +1,48 @@
+//===- bench/table1_feature_matrix.cpp - Reproduce Table 1 -----------------===//
+//
+// Table 1: comparison of the type languages used by learning-based binary
+// type prediction systems. The SNOWWHITE and Full-DWARF rows reflect this
+// implementation; prior-work rows restate the respective papers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "typelang/variants.h"
+
+#include <cstdio>
+
+using namespace snowwhite;
+using namespace snowwhite::typelang;
+
+static const char *check(bool Value) { return Value ? "yes" : "no"; }
+
+int main() {
+  std::printf("Table 1: Comparing type languages of learning-based binary "
+              "type prediction.\n");
+  bench::printRule('=');
+  std::printf("%-11s %-7s %-10s %-8s %-5s %-5s %-9s %-5s %-6s %-6s %-6s "
+              "%-5s %-6s %-16s %-6s\n",
+              "System", "|L|", "Structure", "int/chr", "bool", "sign",
+              "primsize", "enum", "array", "struct", "union", "fptr",
+              "const", "pointer-pointee", "k-best");
+  bench::printRule();
+  for (const LanguageFeatureRow &Row : languageFeatureMatrix()) {
+    const char *PrimSize = Row.PrimSize == 0   ? "no"
+                           : Row.PrimSize == 1 ? "exact"
+                                               : "(names)";
+    std::printf("%-11s %-7s %-10s %-8s %-5s %-5s %-9s %-5s %-6s %-6s %-6s "
+                "%-5s %-6s %-16s %-6s\n",
+                Row.Name, Row.NumTypes, Row.Structure,
+                check(Row.IntCharDistinct), check(Row.Bool),
+                check(Row.IntSign), PrimSize, check(Row.Enum),
+                check(Row.Array), check(Row.Struct), check(Row.Union),
+                check(Row.FuncPtr), check(Row.Const), Row.PointerPointee,
+                Row.PredictionOutput);
+  }
+  bench::printRule();
+  std::printf("Language-specific constructs: SNOWWHITE recovers the C++ "
+              "class/struct distinction;\nfull DWARF additionally carries "
+              "field types and optimization hints (volatile/restrict),\n"
+              "which SNOWWHITE deliberately omits (paper §3.4).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/table2_common_types.cpp - Reproduce Table 2 -------------------===//
+//
+// Table 2: the most common types in L_SNOWWHITE over the dataset, with
+// sample counts and shares. The paper's headline observations to reproduce:
+// 7 of the top 10 are pointers; class vs struct, const-ness, and pointee
+// types split otherwise-merged heads; size_t appears as a named integer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "eval/distribution.h"
+#include "typelang/variants.h"
+
+#include <cstdio>
+
+using namespace snowwhite;
+
+int main() {
+  dataset::Dataset Data = bench::benchDataset();
+
+  eval::TypeDistribution Dist;
+  for (const dataset::TypeSample &Sample : Data.Samples)
+    Dist.add(typelang::lowerTypeToLanguage(
+        Sample.RichType, typelang::TypeLanguageKind::TL_Sw, &Data.Names));
+
+  std::printf("Table 2: Most common types in L_SNOWWHITE in our dataset.\n");
+  bench::printRule('=');
+  std::printf("%-4s %-52s %12s %8s\n", "Rank", "Type", "Samples", "%Total");
+  bench::printRule();
+  int Rank = 1;
+  int PointerHeads = 0;
+  for (const auto &[Type, Count] : Dist.mostCommon(10)) {
+    double Share = static_cast<double>(Count) /
+                   static_cast<double>(Dist.totalSamples());
+    std::printf("%-4d %-52s %12s %8s\n", Rank, Type.c_str(),
+                formatWithCommas(Count).c_str(),
+                formatPercent(Share, 1).c_str());
+    if (Type.rfind("pointer", 0) == 0)
+      ++PointerHeads;
+    ++Rank;
+  }
+  bench::printRule();
+  std::printf("Total samples in dataset: %s across %zu unique types\n",
+              formatWithCommas(Dist.totalSamples()).c_str(),
+              Dist.uniqueTypes());
+  std::printf("Pointers among the top 10: %d (paper: 7 of 10)\n",
+              PointerHeads);
+
+  // The merge experiment the paper discusses: without the class/struct
+  // distinction, the two largest types would collapse into one.
+  eval::TypeDistribution Merged;
+  for (const dataset::TypeSample &Sample : Data.Samples)
+    Merged.add(typelang::simplifyType(typelang::filterTypeNames(
+                                          Sample.RichType, &Data.Names))
+                   .tokens());
+  auto [TopMerged, MergedShare] = Merged.mostFrequent();
+  std::printf("Without class/const/name distinctions, the largest head "
+              "'%s' covers %s of all data\n(paper: 'pointer struct' grows "
+              "to 57%% for the simplified language).\n",
+              TopMerged.c_str(), formatPercent(MergedShare, 1).c_str());
+  return 0;
+}

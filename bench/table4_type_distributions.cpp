@@ -1,0 +1,83 @@
+//===- bench/table4_type_distributions.cpp - Reproduce Table 4 -------------===//
+//
+// Table 4: for each type language, the number of unique realized types |L|,
+// the normalized entropy H/H_max of the type distribution, and the most
+// frequent parameter/return type with its share. Shape to reproduce:
+//
+//   |L|:  L_Eklavya < L_SW-Simplified < L_SW << L_SW-AllNames
+//   H/H_max increases with expressiveness.
+//   The most frequent parameter type's share shrinks as the language grows
+//   (Eklavya: 'pointer' ~78%; L_SW: 'pointer class' ~22%).
+//   Return distributions are dominated by a primitive integer regardless.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "eval/distribution.h"
+#include "typelang/variants.h"
+
+#include <cstdio>
+
+using namespace snowwhite;
+using typelang::TypeLanguageKind;
+
+int main() {
+  dataset::Dataset Data = bench::benchDataset();
+
+  std::printf("Table 4: Different type distributions compared.\n");
+  bench::printRule('=');
+  std::printf("%-18s %8s %8s  %-34s %-34s\n", "Type Language", "|L|",
+              "H/Hmax", "Most Frequent Parameter", "Most Frequent Return");
+  bench::printRule();
+
+  const TypeLanguageKind Languages[] = {
+      TypeLanguageKind::TL_SwAllNames, TypeLanguageKind::TL_Sw,
+      TypeLanguageKind::TL_SwSimplified, TypeLanguageKind::TL_Eklavya};
+  for (TypeLanguageKind Language : Languages) {
+    eval::TypeDistribution All, Params, Returns;
+    for (const dataset::TypeSample &Sample : Data.Samples) {
+      std::vector<std::string> Tokens = typelang::lowerTypeToLanguage(
+          Sample.RichType, Language, &Data.Names);
+      All.add(Tokens);
+      (Sample.IsReturn ? Returns : Params).add(Tokens);
+    }
+    auto [TopParam, ParamShare] = Params.mostFrequent();
+    auto [TopReturn, ReturnShare] = Returns.mostFrequent();
+    std::string ParamCell =
+        TopParam + " (" + formatPercent(ParamShare, 0) + ")";
+    std::string ReturnCell =
+        TopReturn + " (" + formatPercent(ReturnShare, 0) + ")";
+    std::printf("%-18s %8zu %8s  %-34s %-34s\n",
+                typelang::typeLanguageName(Language), All.uniqueTypes(),
+                formatDouble(All.normalizedEntropy(), 2).c_str(),
+                ParamCell.c_str(), ReturnCell.c_str());
+  }
+  bench::printRule();
+
+  // Recursion usage (paper §6.2): share of samples at each nesting depth in
+  // L_SW — 20.7% depth 0, 48.3% depth 1, 31% deeper in the paper.
+  std::map<unsigned, uint64_t> DepthCounts;
+  uint64_t Total = 0;
+  unsigned MaxDepth = 0;
+  for (const dataset::TypeSample &Sample : Data.Samples) {
+    unsigned Depth =
+        typelang::filterTypeNames(Sample.RichType, &Data.Names).nestingDepth();
+    ++DepthCounts[Depth];
+    ++Total;
+    MaxDepth = std::max(MaxDepth, Depth);
+  }
+  std::printf("Recursion use in L_SW: ");
+  uint64_t DeepCount = 0;
+  for (const auto &[Depth, Count] : DepthCounts) {
+    if (Depth <= 1)
+      std::printf("depth %u: %s  ", Depth,
+                  formatPercent(double(Count) / Total, 1).c_str());
+    else
+      DeepCount += Count;
+  }
+  std::printf("depth >=2: %s (max %u)\n",
+              formatPercent(double(DeepCount) / Total, 1).c_str(), MaxDepth);
+  std::printf("(paper: 20.7%% / 48.3%% / 31.0%%, up to six nested "
+              "constructors)\n");
+  return 0;
+}

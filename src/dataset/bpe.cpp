@@ -1,0 +1,170 @@
+#include "dataset/bpe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace snowwhite {
+namespace dataset {
+
+namespace {
+
+std::string mergeKey(const std::string &Left, const std::string &Right) {
+  return Left + '\x1f' + Right;
+}
+
+} // namespace
+
+std::vector<std::string>
+BpeModel::splitToSymbols(const std::string &Word) const {
+  std::vector<std::string> Symbols;
+  for (size_t I = 0; I < Word.size(); ++I)
+    Symbols.emplace_back(1, Word[I]);
+  if (Symbols.empty())
+    Symbols.emplace_back("");
+  Symbols.back() += EndOfWord;
+  return Symbols;
+}
+
+void BpeModel::train(const std::map<std::string, uint64_t> &WordFrequencies,
+                     size_t TargetVocabSize,
+                     const std::vector<std::string> &Protected) {
+  assert(!Trained && "train called twice");
+  ProtectedTokens = Protected;
+  std::set<std::string> ProtectedSet(Protected.begin(), Protected.end());
+
+  // Working copy: each word as its current symbol sequence, with frequency.
+  struct WorkWord {
+    std::vector<std::string> Symbols;
+    uint64_t Frequency;
+  };
+  std::vector<WorkWord> Words;
+  std::set<std::string> SymbolSet;
+  for (const auto &[Word, Frequency] : WordFrequencies) {
+    if (ProtectedSet.count(Word))
+      continue;
+    WorkWord Work{splitToSymbols(Word), Frequency};
+    for (const std::string &Symbol : Work.Symbols)
+      SymbolSet.insert(Symbol);
+    Words.push_back(std::move(Work));
+  }
+  BaseSymbols.assign(SymbolSet.begin(), SymbolSet.end());
+
+  size_t VocabSize = SymbolSet.size() + ProtectedTokens.size();
+  while (VocabSize < TargetVocabSize) {
+    // Count all adjacent pairs.
+    std::map<std::pair<std::string, std::string>, uint64_t> PairCounts;
+    for (const WorkWord &Work : Words)
+      for (size_t I = 0; I + 1 < Work.Symbols.size(); ++I)
+        PairCounts[{Work.Symbols[I], Work.Symbols[I + 1]}] += Work.Frequency;
+    if (PairCounts.empty())
+      break;
+    auto Best = std::max_element(
+        PairCounts.begin(), PairCounts.end(),
+        [](const auto &A, const auto &B) { return A.second < B.second; });
+    if (Best->second < 2)
+      break;
+    const auto &[Left, Right] = Best->first;
+    std::string MergedSymbol = Left + Right;
+    MergeRank.emplace(mergeKey(Left, Right), Merges.size());
+    Merges.emplace_back(Left, Right);
+    ++VocabSize;
+
+    // Apply the merge to every word.
+    for (WorkWord &Work : Words) {
+      std::vector<std::string> NewSymbols;
+      NewSymbols.reserve(Work.Symbols.size());
+      for (size_t I = 0; I < Work.Symbols.size(); ++I) {
+        if (I + 1 < Work.Symbols.size() && Work.Symbols[I] == Left &&
+            Work.Symbols[I + 1] == Right) {
+          NewSymbols.push_back(MergedSymbol);
+          ++I;
+        } else {
+          NewSymbols.push_back(Work.Symbols[I]);
+        }
+      }
+      Work.Symbols = std::move(NewSymbols);
+    }
+  }
+  Trained = true;
+}
+
+std::vector<std::string> BpeModel::encodeWord(const std::string &Word) const {
+  assert(Trained && "encode before train");
+  for (const std::string &ProtectedToken : ProtectedTokens)
+    if (Word == ProtectedToken)
+      return {Word};
+
+  std::vector<std::string> Symbols = splitToSymbols(Word);
+  // Greedy lowest-rank-first merging (standard BPE application).
+  while (Symbols.size() > 1) {
+    size_t BestRank = SIZE_MAX;
+    size_t BestIndex = SIZE_MAX;
+    for (size_t I = 0; I + 1 < Symbols.size(); ++I) {
+      auto It = MergeRank.find(mergeKey(Symbols[I], Symbols[I + 1]));
+      if (It != MergeRank.end() && It->second < BestRank) {
+        BestRank = It->second;
+        BestIndex = I;
+      }
+    }
+    if (BestIndex == SIZE_MAX)
+      break;
+    Symbols[BestIndex] += Symbols[BestIndex + 1];
+    Symbols.erase(Symbols.begin() + BestIndex + 1);
+  }
+  return Symbols;
+}
+
+std::vector<std::string>
+BpeModel::encodeSequence(const std::vector<std::string> &Words) const {
+  std::vector<std::string> Out;
+  for (const std::string &Word : Words) {
+    std::vector<std::string> Symbols = encodeWord(Word);
+    Out.insert(Out.end(), Symbols.begin(), Symbols.end());
+  }
+  return Out;
+}
+
+std::vector<std::string>
+BpeModel::decodeSequence(const std::vector<std::string> &Symbols) const {
+  std::vector<std::string> Words;
+  std::string Current;
+  const std::string Marker = EndOfWord;
+  std::set<std::string> ProtectedSet(ProtectedTokens.begin(),
+                                     ProtectedTokens.end());
+  for (const std::string &Symbol : Symbols) {
+    if (ProtectedSet.count(Symbol)) {
+      if (!Current.empty()) {
+        Words.push_back(Current);
+        Current.clear();
+      }
+      Words.push_back(Symbol);
+      continue;
+    }
+    if (Symbol.size() >= Marker.size() &&
+        Symbol.compare(Symbol.size() - Marker.size(), Marker.size(), Marker) ==
+            0) {
+      Current += Symbol.substr(0, Symbol.size() - Marker.size());
+      Words.push_back(Current);
+      Current.clear();
+    } else {
+      Current += Symbol;
+    }
+  }
+  if (!Current.empty())
+    Words.push_back(Current);
+  return Words;
+}
+
+std::vector<std::string> BpeModel::symbolVocabulary() const {
+  assert(Trained && "vocabulary before train");
+  std::set<std::string> Symbols(BaseSymbols.begin(), BaseSymbols.end());
+  for (const auto &[Left, Right] : Merges)
+    Symbols.insert(Left + Right);
+  for (const std::string &ProtectedToken : ProtectedTokens)
+    Symbols.insert(ProtectedToken);
+  return std::vector<std::string>(Symbols.begin(), Symbols.end());
+}
+
+} // namespace dataset
+} // namespace snowwhite

@@ -1,0 +1,72 @@
+#include "dataset/export.h"
+
+#include "support/str.h"
+
+#include <cstdio>
+
+namespace snowwhite {
+namespace dataset {
+
+namespace {
+
+/// Writes one (source, target) line pair set; returns lines written or -1.
+int64_t writeSplit(const Dataset &Data, const std::vector<uint32_t> &Split,
+                   bool Returns, const std::string &SourcePath,
+                   const std::string &TargetPath,
+                   const ExportOptions &Options) {
+  FILE *SourceFile = std::fopen(SourcePath.c_str(), "w");
+  if (!SourceFile)
+    return -1;
+  FILE *TargetFile = std::fopen(TargetPath.c_str(), "w");
+  if (!TargetFile) {
+    std::fclose(SourceFile);
+    return -1;
+  }
+  int64_t Lines = 0;
+  for (uint32_t Index : Split) {
+    const TypeSample &Sample = Data.Samples[Index];
+    if (Sample.IsReturn != Returns)
+      continue;
+    std::fputs(joinStrings(Sample.Input, " ").c_str(), SourceFile);
+    std::fputc('\n', SourceFile);
+    std::vector<std::string> Target = typelang::lowerTypeToLanguage(
+        Sample.RichType, Options.Language, &Data.Names);
+    std::fputs(joinStrings(Target, " ").c_str(), TargetFile);
+    std::fputc('\n', TargetFile);
+    ++Lines;
+  }
+  std::fclose(SourceFile);
+  std::fclose(TargetFile);
+  return Lines;
+}
+
+} // namespace
+
+Result<std::vector<uint64_t>>
+exportPlaintext(const Dataset &Data, const std::string &Directory,
+                const ExportOptions &Options) {
+  struct Job {
+    const std::vector<uint32_t> *Split;
+    const char *SplitName;
+    bool Returns;
+  };
+  const Job Jobs[] = {
+      {&Data.Train, "train", false}, {&Data.Train, "train", true},
+      {&Data.Valid, "valid", false}, {&Data.Valid, "valid", true},
+      {&Data.Test, "test", false},   {&Data.Test, "test", true},
+  };
+  std::vector<uint64_t> Lines;
+  for (const Job &J : Jobs) {
+    std::string Stem = Directory + "/" + J.SplitName + "." +
+                       (J.Returns ? "return" : "param");
+    int64_t Written = writeSplit(Data, *J.Split, J.Returns, Stem + ".wasm",
+                                 Stem + ".type", Options);
+    if (Written < 0)
+      return Error("cannot write " + Stem + ".{wasm,type}");
+    Lines.push_back(static_cast<uint64_t>(Written));
+  }
+  return Lines;
+}
+
+} // namespace dataset
+} // namespace snowwhite

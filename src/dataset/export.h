@@ -1,0 +1,41 @@
+//===- dataset/export.h - Plaintext dataset export --------------------------===//
+//
+// The original pipeline materializes the dataset as parallel text files that
+// OpenNMT consumes: one line per sample, source tokens in one file and
+// target tokens in the other. This module reproduces that interchange
+// format so the dataset can be inspected with standard tools or fed to an
+// external NMT stack:
+//
+//   <dir>/{train,valid,test}.{param,return}.{wasm,type}
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_DATASET_EXPORT_H
+#define SNOWWHITE_DATASET_EXPORT_H
+
+#include "dataset/pipeline.h"
+#include "support/result.h"
+#include "typelang/variants.h"
+
+#include <string>
+
+namespace snowwhite {
+namespace dataset {
+
+/// Export configuration.
+struct ExportOptions {
+  typelang::TypeLanguageKind Language = typelang::TypeLanguageKind::TL_Sw;
+};
+
+/// Writes the six split/element file pairs under Directory (which must
+/// exist). Returns the number of lines written per file pair in order
+/// train.param, train.return, valid.param, valid.return, test.param,
+/// test.return.
+Result<std::vector<uint64_t>> exportPlaintext(const Dataset &Data,
+                                              const std::string &Directory,
+                                              const ExportOptions &Options = {});
+
+} // namespace dataset
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DATASET_EXPORT_H

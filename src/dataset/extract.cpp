@@ -1,0 +1,138 @@
+#include "dataset/extract.h"
+
+#include "wasm/text.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snowwhite {
+namespace dataset {
+
+using wasm::Function;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Opcode;
+
+namespace {
+
+/// An inclusive instruction-index range.
+struct Window {
+  size_t Begin;
+  size_t End;
+};
+
+/// Merges overlapping/adjacent windows (input must be sorted by Begin).
+std::vector<Window> mergeWindows(std::vector<Window> Windows) {
+  std::vector<Window> Merged;
+  for (const Window &W : Windows) {
+    if (!Merged.empty() && W.Begin <= Merged.back().End + 1)
+      Merged.back().End = std::max(Merged.back().End, W.End);
+    else
+      Merged.push_back(W);
+  }
+  return Merged;
+}
+
+/// Appends the token rendering of instruction I, substituting '<param>' for
+/// the local index when I uses local ParamIndex (negative = no
+/// substitution).
+void appendInstrTokens(const Instr &I, int64_t ParamIndex,
+                       std::vector<std::string> &Out) {
+  std::vector<std::string> Tokens = wasm::instrTokens(I);
+  if (ParamIndex >= 0 && I.isLocalOp() &&
+      I.Imm0 == static_cast<uint64_t>(ParamIndex)) {
+    assert(Tokens.size() == 2 && "local op should have an index token");
+    Tokens[1] = ParamToken;
+  }
+  Out.insert(Out.end(), Tokens.begin(), Tokens.end());
+}
+
+/// Renders windows over Body into the final token sequence.
+std::vector<std::string> renderWindows(const Function &Func,
+                                       const std::vector<Window> &Windows,
+                                       int64_t ParamIndex,
+                                       const char *LowLevelName,
+                                       const ExtractOptions &Options) {
+  std::vector<std::string> Out;
+  if (Options.IncludeLowLevelType)
+    Out.emplace_back(LowLevelName);
+  Out.emplace_back(BeginToken);
+  for (size_t WindowIndex = 0; WindowIndex < Windows.size(); ++WindowIndex) {
+    if (WindowIndex != 0)
+      Out.emplace_back(WindowToken);
+    const Window &W = Windows[WindowIndex];
+    for (size_t InstrIndex = W.Begin; InstrIndex <= W.End; ++InstrIndex) {
+      if (InstrIndex != W.Begin)
+        Out.emplace_back(InstrSeparator);
+      appendInstrTokens(Func.Body[InstrIndex], ParamIndex, Out);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<std::string> extractParamInput(const Module &M,
+                                           uint32_t DefinedIndex,
+                                           uint32_t ParamIndex,
+                                           const ExtractOptions &Options) {
+  assert(DefinedIndex < M.Functions.size() && "function index out of range");
+  const Function &Func = M.Functions[DefinedIndex];
+  const wasm::FuncType &Type = M.functionType(DefinedIndex);
+  assert(ParamIndex < Type.Params.size() && "parameter index out of range");
+  const char *LowLevelName = wasm::valTypeName(Type.Params[ParamIndex]);
+
+  std::vector<Window> Windows;
+  if (Options.UseWindows && !Func.Body.empty()) {
+    unsigned Radius = Options.ParamWindow / 2;
+    for (size_t InstrIndex = 0; InstrIndex < Func.Body.size(); ++InstrIndex) {
+      const Instr &I = Func.Body[InstrIndex];
+      if (I.isLocalOp() && I.Imm0 == ParamIndex) {
+        size_t Begin = InstrIndex >= Radius ? InstrIndex - Radius : 0;
+        size_t End = std::min(InstrIndex + Radius, Func.Body.size() - 1);
+        Windows.push_back({Begin, End});
+      }
+    }
+    Windows = mergeWindows(std::move(Windows));
+  }
+  if (Windows.empty()) {
+    // Unused parameter (or windowing disabled): fall back to the whole body.
+    Windows.push_back({0, Func.Body.empty() ? 0 : Func.Body.size() - 1});
+    if (Func.Body.empty())
+      Windows.clear();
+  }
+  return renderWindows(Func, Windows, static_cast<int64_t>(ParamIndex),
+                       LowLevelName, Options);
+}
+
+std::vector<std::string> extractReturnInput(const Module &M,
+                                            uint32_t DefinedIndex,
+                                            const ExtractOptions &Options) {
+  assert(DefinedIndex < M.Functions.size() && "function index out of range");
+  const Function &Func = M.Functions[DefinedIndex];
+  const wasm::FuncType &Type = M.functionType(DefinedIndex);
+  assert(!Type.Results.empty() && "return extraction on void function");
+  const char *LowLevelName = wasm::valTypeName(Type.Results[0]);
+
+  std::vector<Window> Windows;
+  if (Options.UseWindows && !Func.Body.empty()) {
+    unsigned Span = Options.ReturnWindow;
+    auto WindowEndingAt = [&](size_t InstrIndex) {
+      size_t Begin = InstrIndex + 1 >= Span ? InstrIndex + 1 - Span : 0;
+      return Window{Begin, InstrIndex};
+    };
+    for (size_t InstrIndex = 0; InstrIndex < Func.Body.size(); ++InstrIndex)
+      if (Func.Body[InstrIndex].Op == Opcode::Return)
+        Windows.push_back(WindowEndingAt(InstrIndex));
+    // The implicit fall-through return at the end of the body.
+    Windows.push_back(WindowEndingAt(Func.Body.size() - 1));
+    Windows = mergeWindows(std::move(Windows));
+  }
+  if (Windows.empty() && !Func.Body.empty())
+    Windows.push_back({0, Func.Body.size() - 1});
+  return renderWindows(Func, Windows, /*ParamIndex=*/-1, LowLevelName,
+                       Options);
+}
+
+} // namespace dataset
+} // namespace snowwhite

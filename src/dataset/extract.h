@@ -1,0 +1,60 @@
+//===- dataset/extract.h - WebAssembly input token extraction (§4.1) -------===//
+//
+// Builds the instruction-token input sequence for one type-prediction query:
+//
+//   ( t_low, '<begin>', tok, tok, ';', tok, ';', ..., '<window>', ... )
+//
+// For parameters, fixed-size windows are extracted around every instruction
+// that uses the parameter (local.get/set/tee), the parameter's local index is
+// replaced by '<param>', and windows are joined with a '<window>' delimiter.
+// For returns, windows end at each return instruction (and the implicit
+// fall-through at the function end). Alignment hints and call indices are
+// omitted from the tokens.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_DATASET_EXTRACT_H
+#define SNOWWHITE_DATASET_EXTRACT_H
+
+#include "wasm/module.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace dataset {
+
+/// Special tokens of the input representation.
+inline constexpr const char *BeginToken = "<begin>";
+inline constexpr const char *ParamToken = "<param>";
+inline constexpr const char *WindowToken = "<window>";
+inline constexpr const char *InstrSeparator = ";";
+
+/// Extraction tuning (paper defaults: w=21 instructions around parameter
+/// uses, 20 before returns).
+struct ExtractOptions {
+  unsigned ParamWindow = 21;  ///< Total window size around a parameter use.
+  unsigned ReturnWindow = 20; ///< Instructions before a return.
+  bool UseWindows = true;     ///< false = whole body (ablation; relies on
+                              ///< later truncation).
+  bool IncludeLowLevelType = true; ///< Prefix t_low before <begin>
+                                   ///< (ablation: Table 5 rightmost column).
+};
+
+/// Input sequence for predicting the type of parameter ParamIndex of defined
+/// function DefinedIndex.
+std::vector<std::string> extractParamInput(const wasm::Module &M,
+                                           uint32_t DefinedIndex,
+                                           uint32_t ParamIndex,
+                                           const ExtractOptions &Options = {});
+
+/// Input sequence for predicting the return type of DefinedIndex. The
+/// function must have a result.
+std::vector<std::string>
+extractReturnInput(const wasm::Module &M, uint32_t DefinedIndex,
+                   const ExtractOptions &Options = {});
+
+} // namespace dataset
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DATASET_EXTRACT_H

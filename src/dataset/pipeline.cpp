@@ -1,0 +1,242 @@
+#include "dataset/pipeline.h"
+
+#include "dwarf/io.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "typelang/fields.h"
+#include "typelang/from_dwarf.h"
+#include "wasm/abstract.h"
+#include "wasm/reader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace snowwhite {
+namespace dataset {
+
+using frontend::CompiledObject;
+using frontend::Corpus;
+
+uint64_t Dataset::countParams(const std::vector<uint32_t> &Split) const {
+  uint64_t Count = 0;
+  for (uint32_t Index : Split)
+    if (!Samples[Index].IsReturn)
+      ++Count;
+  return Count;
+}
+
+uint64_t Dataset::countReturns(const std::vector<uint32_t> &Split) const {
+  uint64_t Count = 0;
+  for (uint32_t Index : Split)
+    if (Samples[Index].IsReturn)
+      ++Count;
+  return Count;
+}
+
+namespace {
+
+/// A kept binary after dedup: parsed module + debug info + owning package.
+struct KeptBinary {
+  wasm::Module Mod;
+  dwarf::DebugInfo Debug;
+  uint32_t PackageId;
+};
+
+} // namespace
+
+Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
+  Dataset Out;
+  Out.NumPackages = static_cast<uint32_t>(Corpus.Packages.size());
+
+  // --- Stage 1: deduplication over serialized binaries -------------------
+  std::unordered_set<uint64_t> SeenExact;
+  std::unordered_set<uint64_t> SeenApprox;
+  std::vector<KeptBinary> Kept;
+  for (const frontend::Package &Pkg : Corpus.Packages) {
+    for (const CompiledObject &Object : Pkg.Objects) {
+      ++Out.Dedup.ObjectsBefore;
+      Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
+      Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
+      Out.Dedup.BytesBefore += Object.Bytes.size();
+
+      // The pipeline consumes serialized bytes, as it would real binaries.
+      Result<wasm::Module> Parsed = wasm::readModule(Object.Bytes);
+      assert(Parsed.isOk() && "corpus produced unreadable binary");
+      if (Parsed.isErr())
+        continue;
+      wasm::Module Mod = Parsed.take();
+
+      if (Options.Deduplicate) {
+        uint64_t ExactHash = hashVector(Object.Bytes);
+        if (!SeenExact.insert(ExactHash).second) {
+          ++Out.Dedup.ExactDuplicates;
+          continue;
+        }
+        uint64_t Approx = wasm::approximateModuleSignature(Mod);
+        if (!SeenApprox.insert(Approx).second) {
+          ++Out.Dedup.NearDuplicates;
+          continue;
+        }
+      }
+
+      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(Mod);
+      assert(Debug.isOk() && "corpus binary without debug info");
+      if (Debug.isErr())
+        continue;
+
+      ++Out.Dedup.ObjectsAfter;
+      Out.Dedup.FunctionsAfter += Mod.Functions.size();
+      Out.Dedup.InstructionsAfter += Mod.countInstructions();
+      Out.Dedup.BytesAfter += Object.Bytes.size();
+      Kept.push_back(KeptBinary{std::move(Mod), Debug.take(), Pkg.Id});
+    }
+  }
+
+  // --- Stage 2+3: match functions to subprograms and collect raw samples -
+  struct RawRef {
+    size_t BinaryIndex;
+    dwarf::DieRef TypeDie;
+    uint32_t FuncIndex;
+    int32_t ParamIndex; ///< -1 = return sample.
+  };
+  std::vector<RawRef> Raw;
+  for (size_t BinaryIndex = 0; BinaryIndex < Kept.size(); ++BinaryIndex) {
+    const KeptBinary &Binary = Kept[BinaryIndex];
+    for (uint32_t FuncIndex = 0; FuncIndex < Binary.Mod.Functions.size();
+         ++FuncIndex) {
+      const wasm::Function &Func = Binary.Mod.Functions[FuncIndex];
+      dwarf::DieRef Subprogram =
+          Binary.Debug.findSubprogramByLowPc(Func.CodeOffset);
+      if (Subprogram == dwarf::InvalidDieRef) {
+        ++Out.FunctionsSkippedMismatch;
+        continue;
+      }
+      const wasm::FuncType &Type = Binary.Mod.functionType(FuncIndex);
+      std::vector<dwarf::DieRef> Params =
+          Binary.Debug.formalParameters(Subprogram);
+      if (Params.size() != Type.Params.size()) {
+        // Parameter counts differ between source and binary (e.g. due to
+        // optimizations): skip the whole function (§5).
+        ++Out.FunctionsSkippedMismatch;
+        continue;
+      }
+      for (uint32_t ParamIndex = 0; ParamIndex < Params.size(); ++ParamIndex)
+        Raw.push_back({BinaryIndex,
+                       Binary.Debug.typeOf(Params[ParamIndex]), FuncIndex,
+                       static_cast<int32_t>(ParamIndex)});
+      bool DwarfReturns =
+          Binary.Debug.typeOf(Subprogram) != dwarf::InvalidDieRef;
+      bool WasmReturns = !Type.Results.empty();
+      if (DwarfReturns && WasmReturns)
+        Raw.push_back(
+            {BinaryIndex, Binary.Debug.typeOf(Subprogram), FuncIndex, -1});
+    }
+  }
+
+  // --- Stage 4: common-name vocabulary ------------------------------------
+  for (const RawRef &Ref : Raw)
+    typelang::collectTypeNames(Kept[Ref.BinaryIndex].Debug, Ref.TypeDie,
+                               Kept[Ref.BinaryIndex].PackageId, Out.Names);
+  Out.Names.finalize(Out.NumPackages, Options.NameVocabThreshold);
+
+  // --- Materialize samples -------------------------------------------------
+  typelang::ConvertOptions Convert;
+  Convert.KeepNestedNames = true;
+  for (const RawRef &Ref : Raw) {
+    const KeptBinary &Binary = Kept[Ref.BinaryIndex];
+    TypeSample Sample;
+    Sample.PackageId = Binary.PackageId;
+    Sample.RichType =
+        typelang::typeFromDwarf(Binary.Debug, Ref.TypeDie, Convert);
+    Sample.FieldTokens =
+        typelang::fieldShapeTokens(Binary.Debug, Ref.TypeDie);
+    const wasm::FuncType &Type = Binary.Mod.functionType(Ref.FuncIndex);
+    if (Ref.ParamIndex < 0) {
+      Sample.IsReturn = true;
+      Sample.LowLevel = Type.Results[0];
+      Sample.Input =
+          extractReturnInput(Binary.Mod, Ref.FuncIndex, Options.Extract);
+    } else {
+      Sample.IsReturn = false;
+      Sample.LowLevel = Type.Params[static_cast<size_t>(Ref.ParamIndex)];
+      Sample.Input = extractParamInput(Binary.Mod, Ref.FuncIndex,
+                                       static_cast<uint32_t>(Ref.ParamIndex),
+                                       Options.Extract);
+    }
+    Out.Samples.push_back(std::move(Sample));
+  }
+
+  // --- Stage 5: per-package sample cap ------------------------------------
+  if (Options.CapPerPackage) {
+    std::map<uint32_t, uint64_t> PerPackage;
+    for (const TypeSample &Sample : Out.Samples)
+      ++PerPackage[Sample.PackageId];
+    if (PerPackage.size() >= 2) {
+      std::vector<uint64_t> Counts;
+      for (const auto &[PackageId, Count] : PerPackage)
+        Counts.push_back(Count);
+      std::sort(Counts.rbegin(), Counts.rend());
+      uint64_t Cap = Counts[1]; // Second most frequent package's count.
+      std::map<uint32_t, uint64_t> Taken;
+      std::vector<TypeSample> Capped;
+      Capped.reserve(Out.Samples.size());
+      for (TypeSample &Sample : Out.Samples) {
+        if (Taken[Sample.PackageId] >= Cap) {
+          ++Out.SamplesDroppedByCap;
+          continue;
+        }
+        ++Taken[Sample.PackageId];
+        Capped.push_back(std::move(Sample));
+      }
+      Out.Samples = std::move(Capped);
+    }
+  }
+
+  // --- Stage 6: split by package -------------------------------------------
+  // Only packages that actually contributed samples matter for the split;
+  // fully-deduplicated packages would otherwise eat a validation/test slot.
+  std::set<uint32_t> Contributing;
+  for (const TypeSample &Sample : Out.Samples)
+    Contributing.insert(Sample.PackageId);
+  std::vector<uint32_t> PackageIds(Contributing.begin(), Contributing.end());
+  Rng SplitRng(Options.SplitSeed);
+  SplitRng.shuffle(PackageIds);
+  size_t NumTrain = static_cast<size_t>(Options.TrainFraction *
+                                        static_cast<double>(PackageIds.size()));
+  size_t NumValid = static_cast<size_t>(Options.ValidFraction *
+                                        static_cast<double>(PackageIds.size()));
+  if (PackageIds.size() >= 3) {
+    // Guarantee non-empty validation and test portions.
+    NumValid = std::max<size_t>(NumValid, 1);
+    if (NumTrain + NumValid >= PackageIds.size())
+      NumTrain = PackageIds.size() - NumValid - 1;
+  }
+  enum class SplitKind : uint8_t { Train, Valid, Test };
+  std::map<uint32_t, SplitKind> SplitOf;
+  for (size_t I = 0; I < PackageIds.size(); ++I) {
+    SplitKind Kind = I < NumTrain ? SplitKind::Train
+                     : I < NumTrain + NumValid ? SplitKind::Valid
+                                               : SplitKind::Test;
+    SplitOf[PackageIds[I]] = Kind;
+  }
+  for (uint32_t Index = 0; Index < Out.Samples.size(); ++Index) {
+    switch (SplitOf[Out.Samples[Index].PackageId]) {
+    case SplitKind::Train:
+      Out.Train.push_back(Index);
+      break;
+    case SplitKind::Valid:
+      Out.Valid.push_back(Index);
+      break;
+    case SplitKind::Test:
+      Out.Test.push_back(Index);
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace dataset
+} // namespace snowwhite

@@ -1,0 +1,93 @@
+//===- dataset/pipeline.h - Corpus -> labeled dataset (paper §5) -----------===//
+//
+// Runs the full dataset construction over a corpus of compiled object files:
+//
+//  1. Deduplicate binaries: exact (whole-file hash) and near (approximate
+//     signature over abstracted instructions, order-sensitive).
+//  2. Parse each kept binary and its DWARF sections; match every wasm
+//     function to its subprogram DIE via the code offset.
+//  3. Filter: skip functions whose wasm/DWARF parameter counts disagree
+//     (optimizations); extract a return sample only when DWARF has a
+//     non-void return type and the wasm function returns a value.
+//  4. Build the common-name vocabulary (names in >= 1% of packages).
+//  5. Cap samples per package at the second most frequent package's count.
+//  6. Split train/validation/test by package (96/2/2), never by sample.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_DATASET_PIPELINE_H
+#define SNOWWHITE_DATASET_PIPELINE_H
+
+#include "dataset/extract.h"
+#include "frontend/corpus.h"
+#include "typelang/type.h"
+#include "typelang/vocab.h"
+#include "wasm/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace snowwhite {
+namespace dataset {
+
+/// Pipeline tuning.
+struct DatasetOptions {
+  ExtractOptions Extract;
+  double TrainFraction = 0.96;
+  double ValidFraction = 0.02; ///< Remainder after train+valid is test.
+  bool Deduplicate = true;
+  bool CapPerPackage = true;
+  double NameVocabThreshold = 0.01; ///< Fraction of packages for a "common"
+                                    ///< name.
+  uint64_t SplitSeed = 7;
+};
+
+/// One labeled sample: the wasm input tokens and the "rich" converted type
+/// (nested names kept), from which every language variant's target sequence
+/// can be derived via typelang::lowerTypeToLanguage.
+struct TypeSample {
+  std::vector<std::string> Input;
+  typelang::Type RichType;
+  wasm::ValType LowLevel = wasm::ValType::I32;
+  bool IsReturn = false;
+  uint32_t PackageId = 0;
+  /// EXTENSION (paper future work): when the sample's type is a pointer to
+  /// a defined aggregate, the shape tokens of that aggregate's fields
+  /// (typelang/fields.h); empty otherwise.
+  std::vector<std::string> FieldTokens;
+};
+
+/// Size reduction achieved by deduplication (§5).
+struct DedupStats {
+  uint64_t ObjectsBefore = 0, ObjectsAfter = 0;
+  uint64_t FunctionsBefore = 0, FunctionsAfter = 0;
+  uint64_t InstructionsBefore = 0, InstructionsAfter = 0;
+  uint64_t BytesBefore = 0, BytesAfter = 0;
+  uint64_t ExactDuplicates = 0, NearDuplicates = 0;
+};
+
+/// The assembled dataset.
+struct Dataset {
+  std::vector<TypeSample> Samples;
+  std::vector<uint32_t> Train, Valid, Test; ///< Indices into Samples.
+  typelang::NameVocabulary Names;
+  DedupStats Dedup;
+  uint64_t FunctionsSkippedMismatch = 0;
+  uint64_t SamplesDroppedByCap = 0;
+  uint32_t NumPackages = 0;
+
+  /// Counts parameter (IsReturn == false) samples among the given split.
+  uint64_t countParams(const std::vector<uint32_t> &Split) const;
+  uint64_t countReturns(const std::vector<uint32_t> &Split) const;
+};
+
+/// Runs the pipeline. Binaries are re-parsed from their serialized bytes, so
+/// the wasm and DWARF readers are on the hot path exactly as they would be
+/// on real binaries.
+Dataset buildDataset(const frontend::Corpus &Corpus,
+                     const DatasetOptions &Options = {});
+
+} // namespace dataset
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DATASET_PIPELINE_H

@@ -1,0 +1,78 @@
+//===- dataset/token_vocab.h - Token <-> id mapping for the model ----------===//
+
+#ifndef SNOWWHITE_DATASET_TOKEN_VOCAB_H
+#define SNOWWHITE_DATASET_TOKEN_VOCAB_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace snowwhite {
+namespace dataset {
+
+/// A fixed token vocabulary with the usual special ids. Unknown tokens map
+/// to Unk on encode.
+class TokenVocab {
+public:
+  static constexpr uint32_t Pad = 0; ///< Batch padding.
+  static constexpr uint32_t Unk = 1; ///< Out-of-vocabulary token.
+  static constexpr uint32_t Bos = 2; ///< Decoder start-of-sequence.
+  static constexpr uint32_t Eos = 3; ///< End-of-sequence.
+
+  TokenVocab() {
+    addToken("<pad>");
+    addToken("<unk>");
+    addToken("<s>");
+    addToken("</s>");
+  }
+
+  /// Adds a token if not present; returns its id.
+  uint32_t addToken(const std::string &Token) {
+    auto [It, Inserted] = Ids.emplace(Token, Tokens.size());
+    if (Inserted)
+      Tokens.push_back(Token);
+    return It->second;
+  }
+
+  /// Id of Token, or Unk.
+  uint32_t idOf(const std::string &Token) const {
+    auto It = Ids.find(Token);
+    return It == Ids.end() ? Unk : It->second;
+  }
+
+  bool contains(const std::string &Token) const { return Ids.count(Token); }
+
+  const std::string &tokenOf(uint32_t Id) const {
+    assert(Id < Tokens.size() && "token id out of range");
+    return Tokens[Id];
+  }
+
+  size_t size() const { return Tokens.size(); }
+
+  std::vector<uint32_t> encode(const std::vector<std::string> &Sequence) const {
+    std::vector<uint32_t> Out;
+    Out.reserve(Sequence.size());
+    for (const std::string &Token : Sequence)
+      Out.push_back(idOf(Token));
+    return Out;
+  }
+
+  std::vector<std::string> decode(const std::vector<uint32_t> &Ids2) const {
+    std::vector<std::string> Out;
+    Out.reserve(Ids2.size());
+    for (uint32_t Id : Ids2)
+      Out.push_back(tokenOf(Id));
+    return Out;
+  }
+
+private:
+  std::vector<std::string> Tokens;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+} // namespace dataset
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DATASET_TOKEN_VOCAB_H

@@ -1,0 +1,262 @@
+#include "dwarf/die.h"
+
+#include <sstream>
+
+namespace snowwhite {
+namespace dwarf {
+
+const char *tagName(Tag T) {
+  switch (T) {
+  case Tag::ArrayType:
+    return "DW_TAG_array_type";
+  case Tag::ClassType:
+    return "DW_TAG_class_type";
+  case Tag::EnumerationType:
+    return "DW_TAG_enumeration_type";
+  case Tag::FormalParameter:
+    return "DW_TAG_formal_parameter";
+  case Tag::Member:
+    return "DW_TAG_member";
+  case Tag::PointerType:
+    return "DW_TAG_pointer_type";
+  case Tag::ReferenceType:
+    return "DW_TAG_reference_type";
+  case Tag::CompileUnit:
+    return "DW_TAG_compile_unit";
+  case Tag::StructureType:
+    return "DW_TAG_structure_type";
+  case Tag::SubroutineType:
+    return "DW_TAG_subroutine_type";
+  case Tag::Typedef:
+    return "DW_TAG_typedef";
+  case Tag::UnionType:
+    return "DW_TAG_union_type";
+  case Tag::SubrangeType:
+    return "DW_TAG_subrange_type";
+  case Tag::BaseType:
+    return "DW_TAG_base_type";
+  case Tag::ConstType:
+    return "DW_TAG_const_type";
+  case Tag::Enumerator:
+    return "DW_TAG_enumerator";
+  case Tag::Subprogram:
+    return "DW_TAG_subprogram";
+  case Tag::Variable:
+    return "DW_TAG_variable";
+  case Tag::VolatileType:
+    return "DW_TAG_volatile_type";
+  case Tag::RestrictType:
+    return "DW_TAG_restrict_type";
+  case Tag::UnspecifiedType:
+    return "DW_TAG_unspecified_type";
+  }
+  return "DW_TAG_unknown";
+}
+
+const char *attrName(Attr A) {
+  switch (A) {
+  case Attr::Name:
+    return "DW_AT_name";
+  case Attr::ByteSize:
+    return "DW_AT_byte_size";
+  case Attr::LowPc:
+    return "DW_AT_low_pc";
+  case Attr::Language:
+    return "DW_AT_language";
+  case Attr::Producer:
+    return "DW_AT_producer";
+  case Attr::UpperBound:
+    return "DW_AT_upper_bound";
+  case Attr::Count:
+    return "DW_AT_count";
+  case Attr::Declaration:
+    return "DW_AT_declaration";
+  case Attr::Encoding:
+    return "DW_AT_encoding";
+  case Attr::External:
+    return "DW_AT_external";
+  case Attr::Type:
+    return "DW_AT_type";
+  case Attr::ConstValue:
+    return "DW_AT_const_value";
+  case Attr::DataMemberLocation:
+    return "DW_AT_data_member_location";
+  }
+  return "DW_AT_unknown";
+}
+
+DebugInfo::DebugInfo() {
+  // Ref 0 is always the compile-unit root.
+  Dies.emplace_back();
+  Dies[0].DieTag = Tag::CompileUnit;
+}
+
+DieRef DebugInfo::createDie(Tag T) {
+  Dies.emplace_back();
+  Dies.back().DieTag = T;
+  return static_cast<DieRef>(Dies.size() - 1);
+}
+
+void DebugInfo::addChild(DieRef Parent, DieRef Child) {
+  assert(Parent < Dies.size() && Child < Dies.size() && "bad DieRef");
+  assert(Parent != Child && "DIE cannot be its own child");
+  Dies[Parent].Children.push_back(Child);
+}
+
+/// Finds an attribute slot, or nullptr.
+static const AttrValue *findAttr(const Die &D, Attr A) {
+  for (const AttrValue &Value : D.Attributes)
+    if (Value.Attribute == A)
+      return &Value;
+  return nullptr;
+}
+
+static AttrValue &upsertAttr(Die &D, Attr A) {
+  for (AttrValue &Value : D.Attributes)
+    if (Value.Attribute == A)
+      return Value;
+  D.Attributes.push_back(AttrValue{A, AttrValueKind::AVK_Uint, 0, {}});
+  return D.Attributes.back();
+}
+
+void DebugInfo::setUint(DieRef D, Attr A, uint64_t Value) {
+  AttrValue &Slot = upsertAttr(die(D), A);
+  Slot.Kind = AttrValueKind::AVK_Uint;
+  Slot.Uint = Value;
+}
+
+void DebugInfo::setString(DieRef D, Attr A, std::string Value) {
+  AttrValue &Slot = upsertAttr(die(D), A);
+  Slot.Kind = AttrValueKind::AVK_String;
+  Slot.String = std::move(Value);
+}
+
+void DebugInfo::setRef(DieRef D, Attr A, DieRef Target) {
+  assert(Target < Dies.size() && "dangling DieRef");
+  AttrValue &Slot = upsertAttr(die(D), A);
+  Slot.Kind = AttrValueKind::AVK_Ref;
+  Slot.Uint = Target;
+}
+
+void DebugInfo::setFlag(DieRef D, Attr A, bool Value) {
+  AttrValue &Slot = upsertAttr(die(D), A);
+  Slot.Kind = AttrValueKind::AVK_Flag;
+  Slot.Uint = Value ? 1 : 0;
+}
+
+std::optional<uint64_t> DebugInfo::getUint(DieRef D, Attr A) const {
+  const AttrValue *Value = findAttr(die(D), A);
+  if (!Value || Value->Kind != AttrValueKind::AVK_Uint)
+    return std::nullopt;
+  return Value->Uint;
+}
+
+std::optional<std::string> DebugInfo::getString(DieRef D, Attr A) const {
+  const AttrValue *Value = findAttr(die(D), A);
+  if (!Value || Value->Kind != AttrValueKind::AVK_String)
+    return std::nullopt;
+  return Value->String;
+}
+
+std::optional<DieRef> DebugInfo::getRef(DieRef D, Attr A) const {
+  const AttrValue *Value = findAttr(die(D), A);
+  if (!Value || Value->Kind != AttrValueKind::AVK_Ref)
+    return std::nullopt;
+  return static_cast<DieRef>(Value->Uint);
+}
+
+bool DebugInfo::getFlag(DieRef D, Attr A) const {
+  const AttrValue *Value = findAttr(die(D), A);
+  return Value && Value->Kind == AttrValueKind::AVK_Flag && Value->Uint != 0;
+}
+
+std::vector<DieRef> DebugInfo::subprograms() const {
+  std::vector<DieRef> Result;
+  // DFS over the child tree from the root.
+  std::vector<DieRef> Stack = {root()};
+  while (!Stack.empty()) {
+    DieRef Current = Stack.back();
+    Stack.pop_back();
+    if (tag(Current) == Tag::Subprogram)
+      Result.push_back(Current);
+    const std::vector<DieRef> &Kids = children(Current);
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.push_back(*It);
+  }
+  return Result;
+}
+
+DieRef DebugInfo::findSubprogramByLowPc(uint64_t LowPc) const {
+  for (DieRef Sub : subprograms()) {
+    std::optional<uint64_t> Pc = getUint(Sub, Attr::LowPc);
+    if (Pc && *Pc == LowPc)
+      return Sub;
+  }
+  return InvalidDieRef;
+}
+
+std::vector<DieRef> DebugInfo::formalParameters(DieRef Subprogram) const {
+  assert(tag(Subprogram) == Tag::Subprogram && "not a subprogram DIE");
+  std::vector<DieRef> Params;
+  for (DieRef Child : children(Subprogram))
+    if (tag(Child) == Tag::FormalParameter)
+      Params.push_back(Child);
+  return Params;
+}
+
+DieRef DebugInfo::typeOf(DieRef D) const {
+  std::optional<DieRef> Ref = getRef(D, Attr::Type);
+  return Ref ? *Ref : InvalidDieRef;
+}
+
+void DebugInfo::dumpImpl(DieRef D, int Depth, int MaxDepth, std::string &Out,
+                         std::vector<bool> &Visited) const {
+  std::string Indent(static_cast<size_t>(Depth) * 2, ' ');
+  Out += Indent;
+  Out += tagName(tag(D));
+  Out += " @";
+  Out += std::to_string(D);
+  Out += "\n";
+  if (Visited[D]) {
+    Out += Indent + "  (cycle)\n";
+    return;
+  }
+  Visited[D] = true;
+  for (const AttrValue &Value : die(D).Attributes) {
+    Out += Indent + "  " + attrName(Value.Attribute) + ": ";
+    switch (Value.Kind) {
+    case AttrValueKind::AVK_Uint:
+      Out += std::to_string(Value.Uint);
+      break;
+    case AttrValueKind::AVK_String:
+      Out += "\"" + Value.String + "\"";
+      break;
+    case AttrValueKind::AVK_Ref:
+      Out += "@" + std::to_string(Value.Uint);
+      break;
+    case AttrValueKind::AVK_Flag:
+      Out += Value.Uint ? "true" : "false";
+      break;
+    }
+    Out += "\n";
+  }
+  if (Depth >= MaxDepth)
+    return;
+  // Recurse into the type reference (the interesting edge for Fig. 1c) and
+  // into children.
+  std::optional<DieRef> TypeRef = getRef(D, Attr::Type);
+  if (TypeRef)
+    dumpImpl(*TypeRef, Depth + 1, MaxDepth, Out, Visited);
+  for (DieRef Child : children(D))
+    dumpImpl(Child, Depth + 1, MaxDepth, Out, Visited);
+}
+
+std::string DebugInfo::dump(DieRef D, int MaxDepth) const {
+  std::string Out;
+  std::vector<bool> Visited(Dies.size(), false);
+  dumpImpl(D, 0, MaxDepth, Out, Visited);
+  return Out;
+}
+
+} // namespace dwarf
+} // namespace snowwhite

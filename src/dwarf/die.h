@@ -1,0 +1,186 @@
+//===- dwarf/die.h - DWARF debugging-information entries -------------------===//
+//
+// A faithful subset of the DWARF debugging format (DWARF Committee, v5):
+// debugging information entries (DIEs) with a tag, attributes, and children.
+// Attributes can reference other DIEs, so the information forms a directed,
+// possibly cyclic graph (paper Fig. 1c) — e.g. a struct whose member points
+// back at the struct. Children form a strict tree (as in .debug_info).
+//
+// Numeric tag/attribute/encoding values match the DWARF standard so that the
+// serialized .debug_info section is recognizable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_DWARF_DIE_H
+#define SNOWWHITE_DWARF_DIE_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace dwarf {
+
+/// DWARF tags (DW_TAG_*), numeric values per the DWARF v5 standard.
+enum class Tag : uint16_t {
+  ArrayType = 0x01,
+  ClassType = 0x02,
+  EnumerationType = 0x04,
+  FormalParameter = 0x05,
+  Member = 0x0d,
+  PointerType = 0x0f,
+  ReferenceType = 0x10,
+  CompileUnit = 0x11,
+  StructureType = 0x13,
+  SubroutineType = 0x15,
+  Typedef = 0x16,
+  UnionType = 0x17,
+  SubrangeType = 0x21,
+  BaseType = 0x24,
+  ConstType = 0x26,
+  Enumerator = 0x28,
+  Subprogram = 0x2e,
+  Variable = 0x34,
+  VolatileType = 0x35,
+  RestrictType = 0x37,
+  UnspecifiedType = 0x3b,
+};
+
+/// Returns "DW_TAG_pointer_type" style names for diagnostics.
+const char *tagName(Tag T);
+
+/// DWARF attributes (DW_AT_*), numeric values per the standard.
+enum class Attr : uint16_t {
+  Name = 0x03,
+  ByteSize = 0x0b,
+  LowPc = 0x11,
+  Language = 0x13,
+  Producer = 0x25,
+  UpperBound = 0x2f,
+  Count = 0x37,
+  Declaration = 0x3c,
+  Encoding = 0x3e,
+  External = 0x3f,
+  Type = 0x49,
+  ConstValue = 0x1c,
+  DataMemberLocation = 0x38,
+};
+
+/// Returns "DW_AT_name" style names for diagnostics.
+const char *attrName(Attr A);
+
+/// DWARF base-type encodings (DW_ATE_*).
+enum class Encoding : uint8_t {
+  Address = 0x01,
+  Boolean = 0x02,
+  ComplexFloat = 0x03,
+  Float = 0x04,
+  Signed = 0x05,
+  SignedChar = 0x06,
+  Unsigned = 0x07,
+  UnsignedChar = 0x08,
+  Utf = 0x10,
+};
+
+/// Index of a DIE inside a DebugInfo. Index 0 is the compile-unit root.
+using DieRef = uint32_t;
+
+/// Sentinel for "no DIE".
+constexpr DieRef InvalidDieRef = ~DieRef(0);
+
+/// Discriminates AttrValue's payload.
+enum class AttrValueKind : uint8_t {
+  AVK_Uint,
+  AVK_String,
+  AVK_Ref,
+  AVK_Flag,
+};
+
+/// One attribute value: an unsigned constant, a string, a reference to
+/// another DIE, or a presence flag.
+struct AttrValue {
+  Attr Attribute;
+  AttrValueKind Kind;
+  uint64_t Uint = 0;   ///< AVK_Uint / AVK_Flag (0 or 1) / AVK_Ref (DieRef).
+  std::string String; ///< AVK_String.
+};
+
+/// One debugging information entry.
+struct Die {
+  Tag DieTag = Tag::CompileUnit;
+  std::vector<AttrValue> Attributes;
+  std::vector<DieRef> Children;
+};
+
+/// An in-memory .debug_info equivalent: a pool of DIEs with a compile-unit
+/// root, plus convenience constructors and typed accessors.
+class DebugInfo {
+public:
+  DebugInfo();
+
+  /// The compile-unit root DIE (always ref 0).
+  DieRef root() const { return 0; }
+
+  /// Creates a new DIE with the given tag; it is not attached to any parent
+  /// until addChild is called (type DIEs are often only referenced).
+  DieRef createDie(Tag T);
+
+  /// Appends Child to Parent's child list.
+  void addChild(DieRef Parent, DieRef Child);
+
+  /// Attribute setters (later setters for the same attribute overwrite).
+  void setUint(DieRef D, Attr A, uint64_t Value);
+  void setString(DieRef D, Attr A, std::string Value);
+  void setRef(DieRef D, Attr A, DieRef Target);
+  void setFlag(DieRef D, Attr A, bool Value = true);
+
+  /// Attribute getters.
+  std::optional<uint64_t> getUint(DieRef D, Attr A) const;
+  std::optional<std::string> getString(DieRef D, Attr A) const;
+  std::optional<DieRef> getRef(DieRef D, Attr A) const;
+  bool getFlag(DieRef D, Attr A) const;
+
+  Tag tag(DieRef D) const { return die(D).DieTag; }
+  const std::vector<DieRef> &children(DieRef D) const {
+    return die(D).Children;
+  }
+
+  const Die &die(DieRef D) const {
+    assert(D < Dies.size() && "DieRef out of range");
+    return Dies[D];
+  }
+  Die &die(DieRef D) {
+    assert(D < Dies.size() && "DieRef out of range");
+    return Dies[D];
+  }
+
+  size_t size() const { return Dies.size(); }
+
+  /// All DIEs with tag Subprogram anywhere under the root (tree order).
+  std::vector<DieRef> subprograms() const;
+
+  /// The subprogram whose DW_AT_low_pc equals LowPc, or InvalidDieRef.
+  DieRef findSubprogramByLowPc(uint64_t LowPc) const;
+
+  /// The ordered formal parameters of a subprogram DIE.
+  std::vector<DieRef> formalParameters(DieRef Subprogram) const;
+
+  /// Follows DW_AT_type; returns InvalidDieRef if absent (e.g. void return).
+  DieRef typeOf(DieRef D) const;
+
+  /// Renders a DIE subtree like Fig. 1c for debugging and examples.
+  std::string dump(DieRef D, int MaxDepth = 3) const;
+
+private:
+  std::vector<Die> Dies;
+
+  void dumpImpl(DieRef D, int Depth, int MaxDepth, std::string &Out,
+                std::vector<bool> &Visited) const;
+};
+
+} // namespace dwarf
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DWARF_DIE_H

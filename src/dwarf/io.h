@@ -1,0 +1,56 @@
+//===- dwarf/io.h - Serialize debug info into wasm custom sections --------===//
+//
+// DWARF data is split over custom sections of the WebAssembly binary
+// (.debug_info for the DIE tree, .debug_str for the string table), like
+// Emscripten/LLVM emit when compiling with -g. The encoding mirrors physical
+// DWARF: DIEs are nested depth-first with null-entry terminators, strings are
+// referenced by offset into .debug_str (DW_FORM_strp), and DIE references are
+// 4-byte offsets into .debug_info (DW_FORM_ref4) — which is what allows the
+// attribute graph to be cyclic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_DWARF_IO_H
+#define SNOWWHITE_DWARF_IO_H
+
+#include "dwarf/die.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace snowwhite {
+namespace dwarf {
+
+/// Serialized section pair.
+struct DebugSections {
+  std::vector<uint8_t> Info; ///< .debug_info bytes.
+  std::vector<uint8_t> Str;  ///< .debug_str bytes.
+};
+
+/// Serializes Info. DIEs that are referenced but not attached to any parent
+/// are adopted as children of the compile-unit root (as real compilers place
+/// type DIEs under the CU).
+DebugSections writeDebugSections(const DebugInfo &Info);
+
+/// Parses the section pair back into a DebugInfo. DIE references are
+/// resolved from byte offsets back to DieRefs.
+Result<DebugInfo> readDebugSections(const std::vector<uint8_t> &InfoBytes,
+                                    const std::vector<uint8_t> &StrBytes);
+
+/// Appends .debug_info/.debug_str custom sections to M.
+void attachDebugInfo(const DebugInfo &Info, wasm::Module &M);
+
+/// Extracts and parses debug info from M's custom sections. Errors if the
+/// binary is stripped (sections absent) or malformed.
+Result<DebugInfo> extractDebugInfo(const wasm::Module &M);
+
+/// Removes debug custom sections from M, like `llvm-strip` would. Used to
+/// model the stripped binaries a reverse engineer encounters.
+void stripDebugInfo(wasm::Module &M);
+
+} // namespace dwarf
+} // namespace snowwhite
+
+#endif // SNOWWHITE_DWARF_IO_H

@@ -1,0 +1,59 @@
+#include "eval/distribution.h"
+
+#include "support/str.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snowwhite {
+namespace eval {
+
+void TypeDistribution::add(const std::vector<std::string> &Tokens) {
+  add(joinStrings(Tokens, " "));
+}
+
+void TypeDistribution::add(const std::string &TypeString) {
+  ++Counts[TypeString];
+  ++Total;
+}
+
+double TypeDistribution::entropy() const {
+  if (Total == 0)
+    return 0.0;
+  double H = 0.0;
+  for (const auto &[Type, Count] : Counts) {
+    double P = static_cast<double>(Count) / static_cast<double>(Total);
+    H -= P * std::log2(P);
+  }
+  return H;
+}
+
+double TypeDistribution::normalizedEntropy() const {
+  if (Counts.size() <= 1)
+    return 0.0;
+  return entropy() / std::log2(static_cast<double>(Counts.size()));
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+TypeDistribution::mostCommon(size_t Limit) const {
+  std::vector<std::pair<std::string, uint64_t>> Sorted(Counts.begin(),
+                                                       Counts.end());
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  if (Sorted.size() > Limit)
+    Sorted.resize(Limit);
+  return Sorted;
+}
+
+std::pair<std::string, double> TypeDistribution::mostFrequent() const {
+  if (Total == 0)
+    return {"", 0.0};
+  std::vector<std::pair<std::string, uint64_t>> Top = mostCommon(1);
+  return {Top[0].first,
+          static_cast<double>(Top[0].second) / static_cast<double>(Total)};
+}
+
+} // namespace eval
+} // namespace snowwhite

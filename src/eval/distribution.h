@@ -1,0 +1,50 @@
+//===- eval/distribution.h - Type distribution statistics (§6.2) -----------===//
+//
+// Counts realized types under a given language, and summarizes the
+// distribution: number of unique types |L|, normalized entropy H / H_max
+// with H_max = log2 |L|, and the most frequent types (Tables 2 and 4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_EVAL_DISTRIBUTION_H
+#define SNOWWHITE_EVAL_DISTRIBUTION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace eval {
+
+/// An empirical distribution over type strings.
+class TypeDistribution {
+public:
+  /// Records one sample of the type spelled by Tokens.
+  void add(const std::vector<std::string> &Tokens);
+  void add(const std::string &TypeString);
+
+  uint64_t totalSamples() const { return Total; }
+  size_t uniqueTypes() const { return Counts.size(); }
+
+  /// Shannon entropy in bits.
+  double entropy() const;
+
+  /// H / log2(|L|); 1 for a uniform distribution, smaller when biased.
+  double normalizedEntropy() const;
+
+  /// The Limit most frequent types with their counts, descending.
+  std::vector<std::pair<std::string, uint64_t>> mostCommon(size_t Limit) const;
+
+  /// The single most frequent type and its share of the distribution.
+  std::pair<std::string, double> mostFrequent() const;
+
+private:
+  std::map<std::string, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace eval
+} // namespace snowwhite
+
+#endif // SNOWWHITE_EVAL_DISTRIBUTION_H

@@ -1,0 +1,55 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace snowwhite {
+namespace eval {
+
+size_t typePrefixScore(const std::vector<std::string> &Prediction,
+                       const std::vector<std::string> &GroundTruth) {
+  size_t Limit = std::min(Prediction.size(), GroundTruth.size());
+  size_t Length = 0;
+  while (Length < Limit && Prediction[Length] == GroundTruth[Length])
+    ++Length;
+  return Length;
+}
+
+AccuracyReport evaluateAccuracy(const model::Task &Task,
+                                const PredictFn &Predict, unsigned K,
+                                size_t MaxSamples) {
+  AccuracyReport Report;
+  const std::vector<model::EncodedSample> &Test = Task.test();
+  size_t Count = Test.size();
+  if (MaxSamples != 0)
+    Count = std::min(Count, MaxSamples);
+  for (size_t Index = 0; Index < Count; ++Index) {
+    const model::EncodedSample &Sample = Test[Index];
+    std::vector<std::vector<std::string>> Predictions = Predict(Sample, K);
+    ++Report.NumSamples;
+    DepthBucket &Bucket = Report.ByDepth[Sample.NestingDepth];
+    ++Bucket.Count;
+    bool Top1 = !Predictions.empty() &&
+                Predictions[0] == Sample.TargetTokens;
+    bool TopK = false;
+    for (const std::vector<std::string> &Prediction : Predictions)
+      if (Prediction == Sample.TargetTokens) {
+        TopK = true;
+        break;
+      }
+    if (Top1) {
+      ++Report.Top1Hits;
+      ++Bucket.Top1Hits;
+    }
+    if (TopK) {
+      ++Report.TopKHits;
+      ++Bucket.TopKHits;
+    }
+    if (!Predictions.empty())
+      Report.PrefixScoreSum += static_cast<double>(
+          typePrefixScore(Predictions[0], Sample.TargetTokens));
+  }
+  return Report;
+}
+
+} // namespace eval
+} // namespace snowwhite

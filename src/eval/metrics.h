@@ -1,0 +1,67 @@
+//===- eval/metrics.h - Accuracy metrics (§6.3) ----------------------------===//
+//
+// Perfect-match accuracy within the top-1 and top-5 predictions, and the
+// Type Prefix Score: TPS(t', t) = |commonPrefix(t', t)|, the number of
+// leading type tokens that are correct before the prediction diverges.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_EVAL_METRICS_H
+#define SNOWWHITE_EVAL_METRICS_H
+
+#include "model/task.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace eval {
+
+/// Length of the common token prefix of Prediction and GroundTruth.
+size_t typePrefixScore(const std::vector<std::string> &Prediction,
+                       const std::vector<std::string> &GroundTruth);
+
+/// Per-nesting-depth accuracy bucket (Figure 4).
+struct DepthBucket {
+  uint64_t Count = 0;
+  uint64_t Top1Hits = 0;
+  uint64_t TopKHits = 0;
+
+  double top1() const { return Count ? double(Top1Hits) / Count : 0.0; }
+  double topK() const { return Count ? double(TopKHits) / Count : 0.0; }
+};
+
+/// Aggregate accuracy over a sample set.
+struct AccuracyReport {
+  uint64_t NumSamples = 0;
+  uint64_t Top1Hits = 0;
+  uint64_t TopKHits = 0;
+  double PrefixScoreSum = 0.0;
+  std::map<unsigned, DepthBucket> ByDepth;
+
+  double top1() const {
+    return NumSamples ? double(Top1Hits) / NumSamples : 0.0;
+  }
+  double topK() const {
+    return NumSamples ? double(TopKHits) / NumSamples : 0.0;
+  }
+  double meanPrefixScore() const {
+    return NumSamples ? PrefixScoreSum / double(NumSamples) : 0.0;
+  }
+};
+
+/// A prediction source: returns ranked type-token sequences for a sample.
+using PredictFn = std::function<std::vector<std::vector<std::string>>(
+    const model::EncodedSample &Sample, unsigned K)>;
+
+/// Evaluates Predict over (up to MaxSamples of) Task's test split with top-K
+/// retrieval.
+AccuracyReport evaluateAccuracy(const model::Task &Task, const PredictFn &Predict,
+                                unsigned K = 5, size_t MaxSamples = 0);
+
+} // namespace eval
+} // namespace snowwhite
+
+#endif // SNOWWHITE_EVAL_METRICS_H

@@ -1,0 +1,238 @@
+#include "frontend/ast.h"
+
+namespace snowwhite {
+namespace frontend {
+
+uint32_t primByteSize(SrcPrimKind Kind) {
+  switch (Kind) {
+  case SrcPrimKind::SP_Bool:
+  case SrcPrimKind::SP_I8:
+  case SrcPrimKind::SP_U8:
+  case SrcPrimKind::SP_Char:
+    return 1;
+  case SrcPrimKind::SP_I16:
+  case SrcPrimKind::SP_U16:
+  case SrcPrimKind::SP_WChar16:
+    return 2;
+  case SrcPrimKind::SP_I32:
+  case SrcPrimKind::SP_U32:
+  case SrcPrimKind::SP_F32:
+  case SrcPrimKind::SP_WChar32:
+    return 4;
+  case SrcPrimKind::SP_I64:
+  case SrcPrimKind::SP_U64:
+  case SrcPrimKind::SP_F64:
+    return 8;
+  case SrcPrimKind::SP_F128:
+  case SrcPrimKind::SP_Complex:
+    return 16;
+  }
+  assert(false && "unknown primitive");
+  return 4;
+}
+
+bool primIsSigned(SrcPrimKind Kind) {
+  switch (Kind) {
+  case SrcPrimKind::SP_I8:
+  case SrcPrimKind::SP_I16:
+  case SrcPrimKind::SP_I32:
+  case SrcPrimKind::SP_I64:
+  case SrcPrimKind::SP_Char:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const SrcType &SrcType::strippedForLayout() const {
+  const SrcType *Current = this;
+  while (Current->Kind == SrcTypeKind::ST_Const ||
+         Current->Kind == SrcTypeKind::ST_Volatile ||
+         Current->Kind == SrcTypeKind::ST_Typedef) {
+    assert(Current->Inner && "wrapper without inner type");
+    Current = Current->Inner.get();
+  }
+  return *Current;
+}
+
+uint32_t SrcType::byteSize() const {
+  const SrcType &Layout = strippedForLayout();
+  switch (Layout.Kind) {
+  case SrcTypeKind::ST_Void:
+    return 0;
+  case SrcTypeKind::ST_Prim:
+    return primByteSize(Layout.Prim);
+  case SrcTypeKind::ST_Pointer:
+  case SrcTypeKind::ST_Reference:
+  case SrcTypeKind::ST_FuncProto:
+  case SrcTypeKind::ST_Nullptr:
+    return 4; // wasm32 pointers.
+  case SrcTypeKind::ST_Array:
+    return Layout.Inner->byteSize() * Layout.ArrayCount;
+  case SrcTypeKind::ST_Enum:
+    return 4;
+  case SrcTypeKind::ST_Forward:
+    return 0; // Incomplete type.
+  case SrcTypeKind::ST_Struct:
+  case SrcTypeKind::ST_Class: {
+    uint32_t Size = Layout.HasMethods ? 4 : 0; // vtable pointer.
+    for (const SrcField &Field : Layout.Fields) {
+      uint32_t End = Field.ByteOffset + Field.Type->byteSize();
+      if (End > Size)
+        Size = End;
+    }
+    return Size == 0 ? 1 : Size;
+  }
+  case SrcTypeKind::ST_Union: {
+    uint32_t Size = 0;
+    for (const SrcField &Field : Layout.Fields)
+      Size = std::max(Size, Field.Type->byteSize());
+    return Size == 0 ? 1 : Size;
+  }
+  default:
+    return 4;
+  }
+}
+
+wasm::ValType SrcType::lowerValType() const {
+  const SrcType &Layout = strippedForLayout();
+  switch (Layout.Kind) {
+  case SrcTypeKind::ST_Prim:
+    switch (Layout.Prim) {
+    case SrcPrimKind::SP_I64:
+    case SrcPrimKind::SP_U64:
+      return wasm::ValType::I64;
+    case SrcPrimKind::SP_F32:
+      return wasm::ValType::F32;
+    case SrcPrimKind::SP_F64:
+      return wasm::ValType::F64;
+    case SrcPrimKind::SP_F128:
+    case SrcPrimKind::SP_Complex:
+      // Passed indirectly (by pointer) like Emscripten does.
+      return wasm::ValType::I32;
+    default:
+      return wasm::ValType::I32;
+    }
+  case SrcTypeKind::ST_Void:
+    assert(false && "void has no value type");
+    return wasm::ValType::I32;
+  default:
+    // Pointers, references, arrays (decayed), enums, aggregates-by-pointer.
+    return wasm::ValType::I32;
+  }
+}
+
+static SrcTypeRef makeNode(SrcTypeKind Kind) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = Kind;
+  return Node;
+}
+
+SrcTypeRef makeVoid() { return makeNode(SrcTypeKind::ST_Void); }
+
+SrcTypeRef makePrim(SrcPrimKind Kind) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_Prim;
+  Node->Prim = Kind;
+  return Node;
+}
+
+static SrcTypeRef makeWrapper(SrcTypeKind Kind, SrcTypeRef Inner) {
+  assert(Inner && "wrapper over null type");
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = Kind;
+  Node->Inner = std::move(Inner);
+  return Node;
+}
+
+SrcTypeRef makePointer(SrcTypeRef Pointee) {
+  return makeWrapper(SrcTypeKind::ST_Pointer, std::move(Pointee));
+}
+
+SrcTypeRef makeReference(SrcTypeRef Referent) {
+  return makeWrapper(SrcTypeKind::ST_Reference, std::move(Referent));
+}
+
+SrcTypeRef makeArray(SrcTypeRef Element, uint32_t Count) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_Array;
+  Node->Inner = std::move(Element);
+  Node->ArrayCount = Count;
+  return Node;
+}
+
+SrcTypeRef makeConst(SrcTypeRef Underlying) {
+  return makeWrapper(SrcTypeKind::ST_Const, std::move(Underlying));
+}
+
+SrcTypeRef makeVolatile(SrcTypeRef Underlying) {
+  return makeWrapper(SrcTypeKind::ST_Volatile, std::move(Underlying));
+}
+
+SrcTypeRef makeTypedef(std::string Name, SrcTypeRef Underlying) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_Typedef;
+  Node->Name = std::move(Name);
+  Node->Inner = std::move(Underlying);
+  return Node;
+}
+
+SrcTypeRef makeEnum(std::string Name) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_Enum;
+  Node->Name = std::move(Name);
+  return Node;
+}
+
+SrcTypeRef makeForward(std::string Name, bool IsClass) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_Forward;
+  Node->Name = std::move(Name);
+  Node->HasMethods = IsClass;
+  return Node;
+}
+
+SrcTypeRef makeNullptrType() { return makeNode(SrcTypeKind::ST_Nullptr); }
+
+SrcTypeRef makeFuncProto(std::vector<SrcTypeRef> Params, SrcTypeRef Return) {
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = SrcTypeKind::ST_FuncProto;
+  Node->ProtoParams = std::move(Params);
+  Node->ProtoReturn = std::move(Return);
+  return Node;
+}
+
+std::shared_ptr<SrcType> makeAggregate(SrcTypeKind Kind, std::string Name) {
+  assert((Kind == SrcTypeKind::ST_Struct || Kind == SrcTypeKind::ST_Class ||
+          Kind == SrcTypeKind::ST_Union) &&
+         "not an aggregate kind");
+  auto Node = std::make_shared<SrcType>();
+  Node->Kind = Kind;
+  Node->Name = std::move(Name);
+  return Node;
+}
+
+void addField(std::shared_ptr<SrcType> &Aggregate, std::string Name,
+              SrcTypeRef Type) {
+  assert(Aggregate && "null aggregate");
+  uint32_t Offset = 0;
+  if (Aggregate->Kind != SrcTypeKind::ST_Union) {
+    // Natural alignment within the running layout (computed from the raw
+    // field extents, not byteSize(), which reports 1 for empty aggregates).
+    Offset = Aggregate->HasMethods ? 4 : 0;
+    for (const SrcField &Field : Aggregate->Fields)
+      Offset = std::max(Offset, Field.ByteOffset + Field.Type->byteSize());
+    uint32_t Align = std::min<uint32_t>(Type->byteSize(), 8);
+    if (Align == 0)
+      Align = 1;
+    // Round up to a power-of-two-ish alignment.
+    uint32_t Pow2 = 1;
+    while (Pow2 < Align && Pow2 < 8)
+      Pow2 <<= 1;
+    Offset = (Offset + Pow2 - 1) & ~(Pow2 - 1);
+  }
+  Aggregate->Fields.push_back(SrcField{std::move(Name), std::move(Type), Offset});
+}
+
+} // namespace frontend
+} // namespace snowwhite

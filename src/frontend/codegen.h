@@ -1,0 +1,66 @@
+//===- frontend/codegen.h - Lower synthetic functions to WebAssembly -------===//
+//
+// Compiles SrcFunctions to WebAssembly function bodies whose instruction
+// patterns correlate with the source types — the statistical signal the
+// paper's model learns from. A parameter declared `double *` produces
+// f64.load/f64.store idioms, `const char *` produces a load8_u string-scan
+// loop, a class pointer produces vtable-dispatch patterns, a `size_t`
+// produces allocation/pointer-arithmetic patterns, and so on. Bodies also
+// contain unrelated "noise" code and control flow, so predicting a type
+// requires focusing on the windows around parameter uses (paper §4.1).
+//
+// All generated code validates under wasm/validate.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_FRONTEND_CODEGEN_H
+#define SNOWWHITE_FRONTEND_CODEGEN_H
+
+#include "frontend/ast.h"
+#include "support/rng.h"
+#include "wasm/module.h"
+
+namespace snowwhite {
+namespace frontend {
+
+/// Codegen tuning.
+struct CodegenOptions {
+  /// Scales the amount of unrelated code between parameter usages.
+  double NoiseLevel = 1.0;
+  /// Fraction of functions that are very long (heavy-tailed length
+  /// distribution, like the paper's dataset where 10% of functions exceed
+  /// 1,000 tokens).
+  double LongFunctionRate = 0.06;
+};
+
+/// The shared "libc-ish" import table each synthetic module starts with.
+/// Call sites reference these by index (the token representation later drops
+/// the index, so recognizability comes from argument patterns).
+enum StandardImport : uint32_t {
+  ImportAlloc = 0,   ///< (i32) -> i32, malloc-like.
+  ImportRelease = 1, ///< (i32) -> (), free-like.
+  ImportLog = 2,     ///< (i32, i32) -> i32, printf-like.
+  ImportCopy = 3,    ///< (i32, i32, i32) -> i32, memcpy-like.
+  ImportScan = 4,    ///< (i32) -> i32, strlen-like.
+  ImportIo = 5,      ///< (i32, i32, i32, i32) -> i32, fread-like.
+  ImportMath = 6,    ///< (f64, f64) -> f64.
+  ImportMathF = 7,   ///< (f32, f32) -> f32.
+  ImportWide = 8,    ///< (i64, i64) -> i64.
+  ImportNotify = 9,  ///< () -> ().
+  NumStandardImports = 10,
+};
+
+/// Installs the standard imports, one memory, and a couple of globals into
+/// an empty module. Must be called before compileFunction.
+void initStandardModule(wasm::Module &M);
+
+/// Compiles Func into M: interns its wasm type, appends the Function with a
+/// generated body, and exports it under its source name. Returns the defined
+/// function index.
+uint32_t compileFunction(wasm::Module &M, const SrcFunction &Func, Rng &R,
+                         const CodegenOptions &Options = {});
+
+} // namespace frontend
+} // namespace snowwhite
+
+#endif // SNOWWHITE_FRONTEND_CODEGEN_H

@@ -1,0 +1,172 @@
+#include "frontend/corpus.h"
+
+#include "dwarf/io.h"
+#include "frontend/dwarf_emit.h"
+#include "frontend/typegen.h"
+#include "wasm/names.h"
+#include "wasm/writer.h"
+
+#include <cassert>
+
+namespace snowwhite {
+namespace frontend {
+
+CompiledObject compileObject(const std::vector<SrcFunction> &Functions,
+                             const std::string &FileName, Rng &R,
+                             const CodegenOptions &Options) {
+  CompiledObject Object;
+  Object.FileName = FileName;
+  initStandardModule(Object.Mod);
+  for (const SrcFunction &Func : Functions)
+    compileFunction(Object.Mod, Func, R, Options);
+
+  // First serialization assigns CodeOffsets; DWARF low_pc anchors to them.
+  (void)wasm::writeModule(Object.Mod);
+  DwarfEmitter Emitter(Object.Debug);
+  for (size_t I = 0; I < Functions.size(); ++I) {
+    // Occasionally the source-level and binary-level parameter lists
+    // disagree (optimizations drop unused parameters); the paper skips such
+    // functions during matching (~6% of its dataset). Model this by
+    // omitting one formal parameter from the debug info.
+    if (!Functions[I].Params.empty() && R.nextBool(0.04)) {
+      SrcFunction Mismatched = Functions[I];
+      Mismatched.Params.pop_back();
+      Emitter.emitFunction(Mismatched, Object.Mod.Functions[I].CodeOffset);
+      continue;
+    }
+    Emitter.emitFunction(Functions[I], Object.Mod.Functions[I].CodeOffset);
+  }
+  dwarf::attachDebugInfo(Object.Debug, Object.Mod);
+  // Name section, as toolchains emit (and often keep after stripping).
+  wasm::FunctionNameMap Names;
+  for (size_t I = 0; I < Functions.size(); ++I)
+    Names[Object.Mod.functionSpaceIndex(static_cast<uint32_t>(I))] =
+        Functions[I].Name;
+  wasm::attachNameSection(Object.Mod, Names);
+  // Custom sections serialize after the code section, so CodeOffsets are
+  // unchanged by the second serialization.
+  Object.Bytes = wasm::writeModule(Object.Mod);
+  return Object;
+}
+
+namespace {
+
+/// Produces a near-duplicate: identical abstracted instructions, jittered
+/// constant immediates (models embedded build strings/addresses changing
+/// between builds of the same library).
+CompiledObject makeNearDuplicate(const CompiledObject &Original, Rng &R,
+                                 const std::string &FileName) {
+  CompiledObject Copy;
+  Copy.FileName = FileName;
+  Copy.Mod = Original.Mod;
+  Copy.Mod.Customs.clear();
+  for (wasm::Function &Func : Copy.Mod.Functions)
+    for (wasm::Instr &I : Func.Body)
+      if (I.Op == wasm::Opcode::I32Const && R.nextBool(0.3)) {
+        int64_t Value = static_cast<int64_t>(I.Imm0);
+        Value += static_cast<int64_t>(1 + R.nextBelow(7));
+        I.Imm0 = static_cast<uint64_t>(Value);
+      }
+
+  // Re-anchor DWARF low_pc to the (possibly shifted) code offsets.
+  (void)wasm::writeModule(Copy.Mod);
+  Copy.Debug = Original.Debug;
+  std::vector<dwarf::DieRef> Subprograms = Copy.Debug.subprograms();
+  assert(Subprograms.size() == Copy.Mod.Functions.size() &&
+         "subprogram/function count mismatch");
+  for (size_t I = 0; I < Subprograms.size(); ++I)
+    Copy.Debug.setUint(Subprograms[I], dwarf::Attr::LowPc,
+                       Copy.Mod.Functions[I].CodeOffset);
+  dwarf::attachDebugInfo(Copy.Debug, Copy.Mod);
+  // Function names are unchanged by the constant jitter.
+  if (const wasm::CustomSection *Names = Original.Mod.findCustom("name"))
+    Copy.Mod.Customs.push_back(*Names);
+  Copy.Bytes = wasm::writeModule(Copy.Mod);
+  return Copy;
+}
+
+const char *const PackageStems[] = {
+    "glpk",  "tiff", "gdal",  "curl", "zlib",  "pixman", "cairo", "ogg",
+    "vorbis", "xml",  "json",  "pcre", "sqlite", "lua",    "fftw",  "gsl",
+    "blas",  "yaml", "geos",  "proj", "expat", "jpeg",   "webp",  "flac",
+    "physfs", "sdl",  "glew",  "qhull", "eigen", "boostio", "gmp",  "mpfr",
+};
+
+} // namespace
+
+Corpus buildCorpus(const CorpusSpec &Spec) {
+  Corpus Out;
+  Rng Root(Spec.Seed);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+
+  // Shared "static library" pool for exact and near duplication across
+  // packages.
+  std::vector<CompiledObject> LibraryPool;
+
+  for (uint32_t PackageIndex = 0; PackageIndex < Spec.NumPackages;
+       ++PackageIndex) {
+    Rng R = Root.fork();
+    Package Pkg;
+    Pkg.Id = PackageIndex;
+    Pkg.IsCxx = R.nextBool(Spec.CxxFraction);
+    std::string Stem = PackageStems[PackageIndex % std::size(PackageStems)];
+    Pkg.Name = "lib" + Stem + std::to_string(PackageIndex);
+
+    TypeEnvironment Env(R, Pkg.IsCxx, Stem + std::to_string(PackageIndex),
+                        Pool);
+
+    uint32_t NumObjects =
+        Spec.MinObjectsPerPackage +
+        static_cast<uint32_t>(R.nextBelow(
+            Spec.MaxObjectsPerPackage - Spec.MinObjectsPerPackage + 1));
+    uint32_t FunctionCounter = 0;
+    for (uint32_t ObjectIndex = 0; ObjectIndex < NumObjects; ++ObjectIndex) {
+      std::string FileName =
+          Pkg.Name + "/obj" + std::to_string(ObjectIndex) + ".o";
+
+      // Duplication from the shared library pool.
+      if (!LibraryPool.empty() && R.nextBool(Spec.ExactDupRate)) {
+        CompiledObject Dup = LibraryPool[R.nextBelow(LibraryPool.size())];
+        Dup.FileName = FileName;
+        Pkg.Objects.push_back(std::move(Dup));
+        continue;
+      }
+      if (!LibraryPool.empty() && R.nextBool(Spec.NearDupRate)) {
+        const CompiledObject &Original =
+            LibraryPool[R.nextBelow(LibraryPool.size())];
+        Pkg.Objects.push_back(makeNearDuplicate(Original, R, FileName));
+        continue;
+      }
+
+      uint32_t NumFunctions =
+          Spec.MinFunctionsPerObject +
+          static_cast<uint32_t>(R.nextBelow(
+              Spec.MaxFunctionsPerObject - Spec.MinFunctionsPerObject + 1));
+      std::vector<SrcFunction> Functions;
+      for (uint32_t FunctionIndex = 0; FunctionIndex < NumFunctions;
+           ++FunctionIndex)
+        Functions.push_back(generateSignature(
+            R, Env, Stem + std::to_string(PackageIndex), FunctionCounter++));
+      CompiledObject Object =
+          compileObject(Functions, FileName, R, Spec.Codegen);
+
+      // Some fresh objects enter the shared pool, to be duplicated by later
+      // packages (statically linked library effect).
+      if (R.nextBool(0.15) && LibraryPool.size() < 64)
+        LibraryPool.push_back(Object);
+      Pkg.Objects.push_back(std::move(Object));
+    }
+
+    for (const CompiledObject &Object : Pkg.Objects) {
+      ++Out.TotalObjects;
+      Out.TotalFunctions += Object.Mod.Functions.size();
+      Out.TotalInstructions += Object.Mod.countInstructions();
+      Out.TotalBytes += Object.Bytes.size();
+    }
+    Out.Packages.push_back(std::move(Pkg));
+  }
+  return Out;
+}
+
+} // namespace frontend
+} // namespace snowwhite

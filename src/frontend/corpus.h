@@ -1,0 +1,79 @@
+//===- frontend/corpus.h - Build a synthetic package corpus ----------------===//
+//
+// Mirrors the paper's dataset construction (§5) at configurable scale:
+// packages of object files, each object file a WebAssembly binary with
+// .debug_info/.debug_str sections. The corpus deliberately contains exact
+// duplicates (statically-linked-library effect) and near-duplicates (same
+// code with different embedded constants) so the deduplication stage has
+// real work to do.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_FRONTEND_CORPUS_H
+#define SNOWWHITE_FRONTEND_CORPUS_H
+
+#include "dwarf/die.h"
+#include "frontend/ast.h"
+#include "frontend/codegen.h"
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace frontend {
+
+/// Corpus generation parameters.
+struct CorpusSpec {
+  uint64_t Seed = 42;
+  uint32_t NumPackages = 100;
+  uint32_t MinObjectsPerPackage = 1;
+  uint32_t MaxObjectsPerPackage = 4;
+  uint32_t MinFunctionsPerObject = 3;
+  uint32_t MaxFunctionsPerObject = 10;
+  double CxxFraction = 0.55;     ///< Probability a package is C++.
+  double ExactDupRate = 0.08;    ///< Object copied verbatim from the pool.
+  double NearDupRate = 0.06;     ///< Object copied with jittered constants.
+  CodegenOptions Codegen;
+};
+
+/// One compiled object file: the module (with debug sections attached), its
+/// serialized bytes, and the parsed debug info.
+struct CompiledObject {
+  std::string FileName;
+  wasm::Module Mod;
+  std::vector<uint8_t> Bytes;
+  dwarf::DebugInfo Debug;
+};
+
+/// One synthetic package.
+struct Package {
+  std::string Name;
+  uint32_t Id = 0;
+  bool IsCxx = false;
+  std::vector<CompiledObject> Objects;
+};
+
+/// The full corpus plus raw-size statistics (pre-dedup; §5 Table).
+struct Corpus {
+  std::vector<Package> Packages;
+  uint64_t TotalObjects = 0;
+  uint64_t TotalFunctions = 0;
+  uint64_t TotalInstructions = 0;
+  uint64_t TotalBytes = 0;
+};
+
+/// Generates the corpus. Deterministic in Spec.Seed.
+Corpus buildCorpus(const CorpusSpec &Spec);
+
+/// Compiles one object file of Functions against a fresh standard module,
+/// emitting wasm bytes and DWARF. Exposed for tests and examples.
+CompiledObject compileObject(const std::vector<SrcFunction> &Functions,
+                             const std::string &FileName, Rng &R,
+                             const CodegenOptions &Options);
+
+} // namespace frontend
+} // namespace snowwhite
+
+#endif // SNOWWHITE_FRONTEND_CORPUS_H

@@ -1,0 +1,228 @@
+#include "frontend/dwarf_emit.h"
+
+namespace snowwhite {
+namespace frontend {
+
+using dwarf::Attr;
+using dwarf::DieRef;
+using dwarf::Encoding;
+using dwarf::InvalidDieRef;
+using dwarf::Tag;
+
+namespace {
+
+struct BaseTypeSpec {
+  const char *Name;
+  Encoding Enc;
+  uint32_t ByteSize;
+};
+
+BaseTypeSpec baseTypeSpec(SrcPrimKind Kind) {
+  switch (Kind) {
+  case SrcPrimKind::SP_Bool:
+    return {"bool", Encoding::Boolean, 1};
+  case SrcPrimKind::SP_I8:
+    return {"signed char", Encoding::SignedChar, 1};
+  case SrcPrimKind::SP_U8:
+    return {"unsigned char", Encoding::UnsignedChar, 1};
+  case SrcPrimKind::SP_I16:
+    return {"short", Encoding::Signed, 2};
+  case SrcPrimKind::SP_U16:
+    return {"unsigned short", Encoding::Unsigned, 2};
+  case SrcPrimKind::SP_I32:
+    return {"int", Encoding::Signed, 4};
+  case SrcPrimKind::SP_U32:
+    return {"unsigned int", Encoding::Unsigned, 4};
+  case SrcPrimKind::SP_I64:
+    return {"long long", Encoding::Signed, 8};
+  case SrcPrimKind::SP_U64:
+    return {"unsigned long long", Encoding::Unsigned, 8};
+  case SrcPrimKind::SP_F32:
+    return {"float", Encoding::Float, 4};
+  case SrcPrimKind::SP_F64:
+    return {"double", Encoding::Float, 8};
+  case SrcPrimKind::SP_F128:
+    return {"long double", Encoding::Float, 16};
+  case SrcPrimKind::SP_Complex:
+    return {"complex double", Encoding::ComplexFloat, 16};
+  case SrcPrimKind::SP_Char:
+    return {"char", Encoding::SignedChar, 1};
+  case SrcPrimKind::SP_WChar16:
+    return {"char16_t", Encoding::Utf, 2};
+  case SrcPrimKind::SP_WChar32:
+    return {"char32_t", Encoding::Utf, 4};
+  }
+  assert(false && "unknown primitive");
+  return {"int", Encoding::Signed, 4};
+}
+
+} // namespace
+
+DieRef DwarfEmitter::emitType(const SrcTypeRef &T) {
+  if (!T || T->Kind == SrcTypeKind::ST_Void)
+    return InvalidDieRef;
+  auto Found = Cache.find(T);
+  if (Found != Cache.end())
+    return Found->second;
+
+  // Create the DIE first and cache it before recursing, so cyclic types
+  // (struct node { node *next; }) terminate.
+  auto CreateCached = [&](Tag DieTag) {
+    DieRef D = Info.createDie(DieTag);
+    Cache.emplace(T, D);
+    return D;
+  };
+
+  switch (T->Kind) {
+  case SrcTypeKind::ST_Prim: {
+    BaseTypeSpec Spec = baseTypeSpec(T->Prim);
+    DieRef D = CreateCached(Tag::BaseType);
+    Info.setString(D, Attr::Name, Spec.Name);
+    Info.setUint(D, Attr::Encoding, static_cast<uint64_t>(Spec.Enc));
+    Info.setUint(D, Attr::ByteSize, Spec.ByteSize);
+    return D;
+  }
+  case SrcTypeKind::ST_Pointer: {
+    DieRef D = CreateCached(Tag::PointerType);
+    DieRef Pointee = emitType(T->Inner);
+    if (Pointee != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Pointee);
+    return D;
+  }
+  case SrcTypeKind::ST_Reference: {
+    DieRef D = CreateCached(Tag::ReferenceType);
+    DieRef Referent = emitType(T->Inner);
+    if (Referent != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Referent);
+    return D;
+  }
+  case SrcTypeKind::ST_Array: {
+    DieRef D = CreateCached(Tag::ArrayType);
+    DieRef Element = emitType(T->Inner);
+    if (Element != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Element);
+    DieRef Subrange = Info.createDie(Tag::SubrangeType);
+    Info.setUint(Subrange, Attr::Count, T->ArrayCount);
+    Info.addChild(D, Subrange);
+    return D;
+  }
+  case SrcTypeKind::ST_Const: {
+    DieRef D = CreateCached(Tag::ConstType);
+    DieRef Under = emitType(T->Inner);
+    if (Under != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Under);
+    return D;
+  }
+  case SrcTypeKind::ST_Volatile: {
+    DieRef D = CreateCached(Tag::VolatileType);
+    DieRef Under = emitType(T->Inner);
+    if (Under != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Under);
+    return D;
+  }
+  case SrcTypeKind::ST_Typedef: {
+    DieRef D = CreateCached(Tag::Typedef);
+    Info.setString(D, Attr::Name, T->Name);
+    DieRef Under = emitType(T->Inner);
+    if (Under != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Under);
+    return D;
+  }
+  case SrcTypeKind::ST_Struct:
+  case SrcTypeKind::ST_Class:
+  case SrcTypeKind::ST_Union: {
+    Tag DieTag = T->Kind == SrcTypeKind::ST_Struct  ? Tag::StructureType
+                 : T->Kind == SrcTypeKind::ST_Class ? Tag::ClassType
+                                                    : Tag::UnionType;
+    DieRef D = CreateCached(DieTag);
+    if (!T->Name.empty())
+      Info.setString(D, Attr::Name, T->Name);
+    Info.setUint(D, Attr::ByteSize, T->byteSize());
+    for (const SrcField &Field : T->Fields) {
+      DieRef Member = Info.createDie(Tag::Member);
+      Info.setString(Member, Attr::Name, Field.Name);
+      Info.setUint(Member, Attr::DataMemberLocation, Field.ByteOffset);
+      DieRef FieldType = emitType(Field.Type);
+      if (FieldType != InvalidDieRef)
+        Info.setRef(Member, Attr::Type, FieldType);
+      Info.addChild(D, Member);
+    }
+    return D;
+  }
+  case SrcTypeKind::ST_Enum: {
+    DieRef D = CreateCached(Tag::EnumerationType);
+    if (!T->Name.empty())
+      Info.setString(D, Attr::Name, T->Name);
+    Info.setUint(D, Attr::ByteSize, 4);
+    // A couple of representative enumerators, as real DWARF would carry.
+    for (int I = 0; I < 2; ++I) {
+      DieRef Enumerator = Info.createDie(Tag::Enumerator);
+      Info.setString(Enumerator, Attr::Name,
+                     T->Name + "_E" + std::to_string(I));
+      Info.setUint(Enumerator, Attr::ConstValue, static_cast<uint64_t>(I));
+      Info.addChild(D, Enumerator);
+    }
+    return D;
+  }
+  case SrcTypeKind::ST_FuncProto: {
+    DieRef D = CreateCached(Tag::SubroutineType);
+    DieRef Return = emitType(T->ProtoReturn);
+    if (Return != InvalidDieRef)
+      Info.setRef(D, Attr::Type, Return);
+    for (const SrcTypeRef &Param : T->ProtoParams) {
+      DieRef ParamDie = Info.createDie(Tag::FormalParameter);
+      DieRef ParamType = emitType(Param);
+      if (ParamType != InvalidDieRef)
+        Info.setRef(ParamDie, Attr::Type, ParamType);
+      Info.addChild(D, ParamDie);
+    }
+    return D;
+  }
+  case SrcTypeKind::ST_Forward: {
+    DieRef D =
+        CreateCached(T->HasMethods ? Tag::ClassType : Tag::StructureType);
+    if (!T->Name.empty())
+      Info.setString(D, Attr::Name, T->Name);
+    Info.setFlag(D, Attr::Declaration);
+    return D;
+  }
+  case SrcTypeKind::ST_Nullptr: {
+    DieRef D = CreateCached(Tag::UnspecifiedType);
+    Info.setString(D, Attr::Name, "decltype(nullptr)");
+    return D;
+  }
+  case SrcTypeKind::ST_Void:
+    return InvalidDieRef;
+  }
+  assert(false && "unhandled SrcTypeKind");
+  return InvalidDieRef;
+}
+
+DieRef DwarfEmitter::emitFunction(const SrcFunction &Func, uint64_t LowPc) {
+  DieRef Subprogram = Info.createDie(Tag::Subprogram);
+  Info.setString(Subprogram, Attr::Name, Func.Name);
+  Info.setUint(Subprogram, Attr::LowPc, LowPc);
+  Info.setFlag(Subprogram, Attr::External);
+  DieRef Return = emitType(Func.ReturnType);
+  if (Return != InvalidDieRef)
+    Info.setRef(Subprogram, Attr::Type, Return);
+  for (const auto &[ParamName, ParamType] : Func.Params) {
+    DieRef ParamDie = Info.createDie(Tag::FormalParameter);
+    Info.setString(ParamDie, Attr::Name, ParamName);
+    // Array parameters decay to pointers in C/C++, and compilers emit the
+    // decayed pointer type in DWARF (paper Fig. 1: `double Control[]` has a
+    // DW_TAG_pointer_type).
+    SrcTypeRef Emitted = ParamType;
+    if (ParamType->strippedForLayout().Kind == SrcTypeKind::ST_Array)
+      Emitted = makePointer(ParamType->strippedForLayout().Inner);
+    DieRef TypeDie = emitType(Emitted);
+    if (TypeDie != InvalidDieRef)
+      Info.setRef(ParamDie, Attr::Type, TypeDie);
+    Info.addChild(Subprogram, ParamDie);
+  }
+  Info.addChild(Info.root(), Subprogram);
+  return Subprogram;
+}
+
+} // namespace frontend
+} // namespace snowwhite

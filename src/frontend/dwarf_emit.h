@@ -1,0 +1,51 @@
+//===- frontend/dwarf_emit.h - Emit DWARF for synthetic source types -------===//
+//
+// Lowers SrcType terms and SrcFunction signatures to the DWARF DIE graph a
+// real compiler (clang/Emscripten with -g) would produce: base types carry
+// DW_AT_encoding/byte_size/name, aggregates have member children, pointers
+// reference their pointee (possibly cyclically), and subprograms carry
+// DW_AT_low_pc anchoring them to their wasm code entry.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_FRONTEND_DWARF_EMIT_H
+#define SNOWWHITE_FRONTEND_DWARF_EMIT_H
+
+#include "dwarf/die.h"
+#include "frontend/ast.h"
+
+#include <map>
+
+namespace snowwhite {
+namespace frontend {
+
+/// Emits DWARF DIEs for source types and functions into one DebugInfo
+/// (one per synthetic object file). Type DIEs are cached per source node so
+/// shared and recursive types produce a shared, possibly cyclic graph.
+class DwarfEmitter {
+public:
+  explicit DwarfEmitter(dwarf::DebugInfo &Info) : Info(Info) {
+    Info.setString(Info.root(), dwarf::Attr::Producer,
+                   "snowwhite synthetic frontend");
+  }
+
+  /// Emits (or returns the cached) DIE for T. Void yields InvalidDieRef
+  /// (absent DW_AT_type, as in real DWARF).
+  dwarf::DieRef emitType(const SrcTypeRef &T);
+
+  /// Emits a DW_TAG_subprogram with formal parameters, attached to the
+  /// compile unit. LowPc must be the function's code offset in the binary.
+  dwarf::DieRef emitFunction(const SrcFunction &Func, uint64_t LowPc);
+
+private:
+  dwarf::DebugInfo &Info;
+  /// Keyed by the owning shared_ptr (not the raw pointer) so cached source
+  /// nodes stay alive — otherwise a freed node's address could be reused by
+  /// a different type and alias its cache entry.
+  std::map<SrcTypeRef, dwarf::DieRef> Cache;
+};
+
+} // namespace frontend
+} // namespace snowwhite
+
+#endif // SNOWWHITE_FRONTEND_DWARF_EMIT_H

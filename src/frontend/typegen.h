@@ -1,0 +1,98 @@
+//===- frontend/typegen.h - Per-package type environments ------------------===//
+//
+// Models the type populations the paper observes in 4,081 Ubuntu packages:
+//
+//  * Well-known library types shared by many packages (size_t, FILE,
+//    basic_string<char, ...>, va_list, ...) — these end up above the 1%
+//    package threshold and become the common-name vocabulary (Table 3).
+//  * Project-specific aggregates, enums and typedefs with package-prefixed
+//    names — plentiful, but each confined to its package, so their names are
+//    dropped by the vocabulary filter (the "All Names" variant keeps them,
+//    exploding |L| as in Table 4).
+//
+// Parameter and return types are sampled from a distribution shaped like the
+// paper's Table 2: pointers to aggregates dominate, const-ness and the
+// class/struct distinction split large groups, and plain 32-bit ints are the
+// most common primitive.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_FRONTEND_TYPEGEN_H
+#define SNOWWHITE_FRONTEND_TYPEGEN_H
+
+#include "frontend/ast.h"
+#include "support/rng.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace frontend {
+
+/// One shared library type with its per-package inclusion probability
+/// (how likely any given package uses it at all).
+struct WellKnownType {
+  SrcTypeRef Type;
+  double InclusionProbability;
+  bool CxxOnly;
+  /// How the codegen should fingerprint usages (see codegen.cpp).
+  enum class IdiomKind {
+    IK_Generic,
+    IK_SizeT,
+    IK_File,
+    IK_String,
+    IK_VaList,
+    IK_TimeT,
+  } Idiom = IdiomKind::IK_Generic;
+};
+
+/// The global pool of well-known types, built once per corpus (shared
+/// SrcType nodes mean shared DWARF DIEs within an object file).
+std::vector<WellKnownType> makeWellKnownPool();
+
+/// A package's private types plus its slice of the well-known pool.
+class TypeEnvironment {
+public:
+  /// Generates the package-local type population. PackagePrefix seeds the
+  /// project-specific names (e.g. "gdal" -> "GdalLayer", "gdal_ctx_t").
+  TypeEnvironment(Rng &R, bool IsCxx, const std::string &PackagePrefix,
+                  const std::vector<WellKnownType> &Pool);
+
+  bool isCxx() const { return IsCxx; }
+
+  /// Samples one parameter type.
+  SrcTypeRef sampleParamType(Rng &R) const;
+
+  /// Samples one return type; returns makeVoid() for void.
+  SrcTypeRef sampleReturnType(Rng &R) const;
+
+  /// The well-known types this package actually uses (subset of the pool).
+  const std::vector<WellKnownType> &usedWellKnown() const {
+    return UsedWellKnown;
+  }
+
+private:
+  SrcTypeRef sampleAggregatePointer(Rng &R, bool AllowConst) const;
+  SrcTypeRef sampleLocalAggregate(Rng &R) const;
+  SrcTypeRef samplePrimitive(Rng &R) const;
+
+  bool IsCxx;
+  std::vector<WellKnownType> UsedWellKnown;
+  std::vector<SrcTypeRef> Structs;
+  std::vector<SrcTypeRef> Unions;
+  std::vector<SrcTypeRef> Classes; ///< Empty for C packages.
+  std::vector<SrcTypeRef> Enums;
+  std::vector<SrcTypeRef> Typedefs; ///< Project-specific primitive typedefs.
+  std::vector<SrcTypeRef> Forwards;
+};
+
+/// Generates a function signature (name, parameters, return type) against
+/// the environment. FunctionIndex disambiguates names within the package.
+SrcFunction generateSignature(Rng &R, const TypeEnvironment &Env,
+                              const std::string &PackagePrefix,
+                              uint32_t FunctionIndex);
+
+} // namespace frontend
+} // namespace snowwhite
+
+#endif // SNOWWHITE_FRONTEND_TYPEGEN_H

@@ -1,0 +1,97 @@
+#include "model/predictor.h"
+
+#include "typelang/type.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace snowwhite {
+namespace model {
+
+std::vector<TypePrediction>
+Predictor::predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
+                          std::optional<wasm::ValType> LowLevel) const {
+  bool Filtering = Deduplicate || WellFormed ||
+                   (ConsistentOnly && LowLevel.has_value());
+  // Beam a bit wider than K when filtering, so dropped candidates still
+  // leave K survivors.
+  unsigned Width = Filtering ? K + 4 : K;
+  std::vector<nn::Hypothesis> Hypotheses =
+      Model.predictTopK(SourceIds, Width);
+  std::vector<TypePrediction> Out;
+  std::set<std::vector<std::string>> Seen;
+  for (const nn::Hypothesis &Hyp : Hypotheses) {
+    TypePrediction Prediction;
+    Prediction.Tokens = BoundTask.decodeTarget(Hyp.Tokens);
+    Prediction.LogProb = Hyp.LogProb;
+    if (WellFormed || (ConsistentOnly && LowLevel)) {
+      Result<typelang::Type> Parsed = typelang::parseType(Prediction.Tokens);
+      if (Parsed.isErr())
+        continue;
+      if (ConsistentOnly && LowLevel &&
+          typelang::lowLevelTypeOf(*Parsed) != *LowLevel)
+        continue;
+    }
+    if (Deduplicate && !Seen.insert(Prediction.Tokens).second)
+      continue;
+    Out.push_back(std::move(Prediction));
+    if (Out.size() >= K)
+      break;
+  }
+  return Out;
+}
+
+std::vector<TypePrediction>
+Predictor::predict(const std::vector<std::string> &InputTokens,
+                   unsigned K) const {
+  std::optional<wasm::ValType> LowLevel;
+  if (!InputTokens.empty()) {
+    // The extraction prefix is "<t_low> <begin> ...".
+    for (wasm::ValType Type :
+         {wasm::ValType::I32, wasm::ValType::I64, wasm::ValType::F32,
+          wasm::ValType::F64})
+      if (InputTokens[0] == wasm::valTypeName(Type))
+        LowLevel = Type;
+  }
+  return predictEncoded(BoundTask.encodeSource(InputTokens), K, LowLevel);
+}
+
+StatisticalBaseline::StatisticalBaseline(const Task &BoundTask) {
+  std::map<std::vector<std::string>, uint64_t> Counts[4];
+  for (const EncodedSample &Sample : BoundTask.train()) {
+    unsigned Slot = static_cast<unsigned>(Sample.LowLevel);
+    ++Counts[Slot][Sample.TargetTokens];
+    ++Totals[Slot];
+  }
+  for (unsigned Slot = 0; Slot < 4; ++Slot) {
+    for (auto &[Tokens, Count] : Counts[Slot])
+      Ranked[Slot].emplace_back(Count, Tokens);
+    std::stable_sort(Ranked[Slot].begin(), Ranked[Slot].end(),
+                     [](const auto &A, const auto &B) {
+                       return A.first > B.first;
+                     });
+  }
+}
+
+std::vector<TypePrediction>
+StatisticalBaseline::predict(wasm::ValType LowLevel, unsigned K) const {
+  unsigned Slot = static_cast<unsigned>(LowLevel);
+  std::vector<TypePrediction> Out;
+  for (const auto &[Count, Tokens] : Ranked[Slot]) {
+    if (Out.size() >= K)
+      break;
+    TypePrediction Prediction;
+    Prediction.Tokens = Tokens;
+    Prediction.LogProb = Totals[Slot] == 0
+                             ? 0.0f
+                             : std::log(static_cast<float>(Count) /
+                                        static_cast<float>(Totals[Slot]));
+    Out.push_back(std::move(Prediction));
+  }
+  return Out;
+}
+
+} // namespace model
+} // namespace snowwhite

@@ -1,0 +1,85 @@
+//===- model/predictor.h - Top-k type prediction ---------------------------===//
+
+#ifndef SNOWWHITE_MODEL_PREDICTOR_H
+#define SNOWWHITE_MODEL_PREDICTOR_H
+
+#include "model/task.h"
+#include "nn/seq2seq.h"
+#include "wasm/types.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace model {
+
+/// One ranked type prediction: the type-token sequence and its beam-search
+/// log-probability.
+struct TypePrediction {
+  std::vector<std::string> Tokens;
+  float LogProb = 0.0f;
+};
+
+/// Wraps a trained model and a task's codecs into the user-facing "give me
+/// the top-k types for this parameter/return" query. The raw model is not
+/// constrained to produce unique sequences (the paper discusses duplicate
+/// beam results); set DeduplicatePredictions to filter them.
+class Predictor {
+public:
+  /// Production-tool filters (§6.4 suggests filtering raw model output):
+  /// DeduplicatePredictions removes repeated beam hypotheses;
+  /// WellFormedOnly keeps only sentences of the type grammar;
+  /// ConsistentWithLowLevel additionally drops types whose ABI lowering
+  /// contradicts the known low-level wasm type (an i64 parameter can never
+  /// be 'pointer struct'). The last two apply to L_SW-family languages.
+  Predictor(nn::Seq2SeqModel &Model, const Task &BoundTask,
+            bool DeduplicatePredictions = false, bool WellFormedOnly = false,
+            bool ConsistentWithLowLevel = false)
+      : Model(Model), BoundTask(BoundTask),
+        Deduplicate(DeduplicatePredictions), WellFormed(WellFormedOnly),
+        ConsistentOnly(ConsistentWithLowLevel) {}
+
+  /// Top-k predictions for an already-encoded source sequence. LowLevel
+  /// enables the consistency filter when the caller knows the wasm type.
+  std::vector<TypePrediction>
+  predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
+                 std::optional<wasm::ValType> LowLevel = std::nullopt) const;
+
+  /// Top-k predictions for raw wasm input tokens (as produced by
+  /// dataset::extractParamInput / extractReturnInput). The low-level type
+  /// is recovered from the sequence's leading token when present.
+  std::vector<TypePrediction>
+  predict(const std::vector<std::string> &InputTokens, unsigned K) const;
+
+private:
+  nn::Seq2SeqModel &Model;
+  const Task &BoundTask;
+  bool Deduplicate;
+  bool WellFormed;
+  bool ConsistentOnly;
+};
+
+/// The statistical baseline (§6.3): top-k predictions are the k most likely
+/// target sequences under the empirical conditional distribution
+/// P(t_high | t_low) observed on training data.
+class StatisticalBaseline {
+public:
+  /// Fits the conditional distribution from a task's training split.
+  explicit StatisticalBaseline(const Task &BoundTask);
+
+  /// The k most frequent type-token sequences for the given low-level type.
+  std::vector<TypePrediction> predict(wasm::ValType LowLevel,
+                                      unsigned K) const;
+
+private:
+  /// Per low-level type: (count, target tokens) sorted by descending count.
+  std::vector<std::pair<uint64_t, std::vector<std::string>>>
+      Ranked[4]; ///< Indexed by ValType.
+  uint64_t Totals[4] = {0, 0, 0, 0};
+};
+
+} // namespace model
+} // namespace snowwhite
+
+#endif // SNOWWHITE_MODEL_PREDICTOR_H

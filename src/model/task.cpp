@@ -1,0 +1,126 @@
+#include "model/task.h"
+
+#include "dataset/extract.h"
+
+#include <cassert>
+#include <map>
+
+namespace snowwhite {
+namespace model {
+
+using dataset::Dataset;
+using dataset::TypeSample;
+using typelang::NameVocabulary;
+
+namespace {
+
+/// Tokens that the BPE model must never split: structural delimiters and
+/// the type-language keywords.
+std::vector<std::string> protectedTokens() {
+  std::vector<std::string> Out = {
+      dataset::BeginToken, dataset::ParamToken, dataset::WindowToken,
+      dataset::InstrSeparator, "i32", "i64", "f32", "f64"};
+  for (const std::string &Keyword : typelang::typeLanguageKeywords())
+    Out.push_back(Keyword);
+  return Out;
+}
+
+} // namespace
+
+Task::Task(const Dataset &Data, const TaskOptions &Options)
+    : Options(Options) {
+  bool WantReturn = Options.Kind == TaskKind::TK_Return;
+  bool WantFields = Options.Kind == TaskKind::TK_Fields;
+
+  // Collect the relevant sample indices per split.
+  auto SelectSplit = [&](const std::vector<uint32_t> &Split) {
+    std::vector<uint32_t> Selected;
+    for (uint32_t Index : Split) {
+      const TypeSample &Sample = Data.Samples[Index];
+      if (WantFields) {
+        if (!Sample.IsReturn && !Sample.FieldTokens.empty())
+          Selected.push_back(Index);
+        continue;
+      }
+      if (Sample.IsReturn == WantReturn)
+        Selected.push_back(Index);
+    }
+    return Selected;
+  };
+  std::vector<uint32_t> TrainIdx = SelectSplit(Data.Train);
+  std::vector<uint32_t> ValidIdx = SelectSplit(Data.Valid);
+  std::vector<uint32_t> TestIdx = SelectSplit(Data.Test);
+  if (Options.MaxTrainSamples != 0 &&
+      TrainIdx.size() > Options.MaxTrainSamples)
+    TrainIdx.resize(Options.MaxTrainSamples);
+
+  // Train the input BPE model on training-split word frequencies only (no
+  // information from validation/test leaks into the tokenization).
+  std::map<std::string, uint64_t> WordFrequencies;
+  for (uint32_t Index : TrainIdx)
+    for (const std::string &Token : Data.Samples[Index].Input)
+      ++WordFrequencies[Token];
+  Bpe.train(WordFrequencies, Options.BpeVocabSize, protectedTokens());
+  for (const std::string &Symbol : Bpe.symbolVocabulary())
+    SourceVocab.addToken(Symbol);
+
+  // Target vocabulary from training targets.
+  auto TargetTokensOf = [&](const TypeSample &Sample) {
+    if (Options.Kind == TaskKind::TK_Fields)
+      return Sample.FieldTokens;
+    return typelang::lowerTypeToLanguage(Sample.RichType, Options.Language,
+                                         &Data.Names);
+  };
+  auto TargetSymbolsOf = [&](const TypeSample &Sample) {
+    std::vector<std::string> Tokens = TargetTokensOf(Sample);
+    if (Options.BpeTargets)
+      return Bpe.encodeSequence(Tokens);
+    return Tokens;
+  };
+  for (uint32_t Index : TrainIdx)
+    for (const std::string &Token : TargetSymbolsOf(Data.Samples[Index]))
+      TargetVocab.addToken(Token);
+
+  // Encode all splits.
+  auto EncodeAll = [&](const std::vector<uint32_t> &Indices,
+                       std::vector<EncodedSample> &Out) {
+    Out.reserve(Indices.size());
+    for (uint32_t Index : Indices) {
+      const TypeSample &Sample = Data.Samples[Index];
+      EncodedSample Encoded;
+      Encoded.Source = encodeSource(Sample.Input);
+      Encoded.TargetTokens = TargetTokensOf(Sample);
+      Encoded.Target = TargetVocab.encode(TargetSymbolsOf(Sample));
+      Encoded.LowLevel = Sample.LowLevel;
+      Encoded.NestingDepth =
+          typelang::filterTypeNames(Sample.RichType, &Data.Names)
+              .nestingDepth();
+      Out.push_back(std::move(Encoded));
+    }
+  };
+  EncodeAll(TrainIdx, Train);
+  EncodeAll(ValidIdx, Valid);
+  EncodeAll(TestIdx, Test);
+}
+
+std::vector<uint32_t>
+Task::encodeSource(const std::vector<std::string> &Tokens) const {
+  std::vector<std::string> Words = Tokens;
+  if (Options.StripLowLevelType && Words.size() >= 2 &&
+      Words[1] == dataset::BeginToken) {
+    // Drop the leading low-level type token (ablation).
+    Words.erase(Words.begin());
+  }
+  return SourceVocab.encode(Bpe.encodeSequence(Words));
+}
+
+std::vector<std::string>
+Task::decodeTarget(const std::vector<uint32_t> &Ids) const {
+  std::vector<std::string> Tokens = TargetVocab.decode(Ids);
+  if (Options.BpeTargets)
+    return Bpe.decodeSequence(Tokens);
+  return Tokens;
+}
+
+} // namespace model
+} // namespace snowwhite

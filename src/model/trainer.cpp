@@ -1,0 +1,144 @@
+#include "model/trainer.h"
+
+#include "support/rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace snowwhite {
+namespace model {
+
+using nn::AdamOptimizer;
+using nn::Parameter;
+using nn::Seq2SeqConfig;
+using nn::Seq2SeqModel;
+
+namespace {
+
+float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
+                     size_t MaxSamples, size_t BatchSize) {
+  const std::vector<EncodedSample> &Valid = TrainTask.valid();
+  size_t Count = Valid.size();
+  if (MaxSamples != 0)
+    Count = std::min(Count, MaxSamples);
+  if (Count == 0)
+    return 0.0f;
+  double Total = 0.0;
+  size_t Batches = 0;
+  for (size_t Begin = 0; Begin < Count; Begin += BatchSize) {
+    size_t End = std::min(Begin + BatchSize, Count);
+    std::vector<std::vector<uint32_t>> Sources, Targets;
+    for (size_t I = Begin; I < End; ++I) {
+      Sources.push_back(Valid[I].Source);
+      Targets.push_back(Valid[I].Target);
+    }
+    Total += Model.evaluateLoss(Sources, Targets);
+    ++Batches;
+  }
+  return static_cast<float>(Total / static_cast<double>(Batches));
+}
+
+} // namespace
+
+TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
+  auto StartTime = std::chrono::steady_clock::now();
+
+  Seq2SeqConfig Config;
+  Config.SrcVocabSize = TrainTask.sourceVocab().size();
+  Config.TgtVocabSize = TrainTask.targetVocab().size();
+  Config.EmbedDim = Options.EmbedDim;
+  Config.HiddenDim = Options.HiddenDim;
+  Config.DropoutRate = Options.Dropout;
+  Config.MaxSrcLen = Options.MaxSrcLen;
+  Config.MaxTgtLen = Options.MaxTgtLen;
+  Config.Seed = Options.Seed;
+
+  TrainResult Out;
+  Out.Model = std::make_unique<Seq2SeqModel>(Config);
+  AdamOptimizer Optimizer(Out.Model->parameters(), Options.LearningRate);
+
+  const std::vector<EncodedSample> &Train = TrainTask.train();
+  if (Train.empty()) {
+    Out.BestValidLoss = 0.0f;
+    return Out;
+  }
+
+  std::vector<size_t> Order(Train.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  Rng ShuffleRng(Options.Seed ^ 0xabcdefULL);
+
+  size_t BatchesPerEpoch =
+      (Train.size() + Options.BatchSize - 1) / Options.BatchSize;
+  size_t CheckEvery = std::max<size_t>(
+      1, BatchesPerEpoch / std::max<size_t>(1, Options.ChecksPerEpoch));
+
+  float BestLoss = std::numeric_limits<float>::infinity();
+  std::vector<std::vector<float>> BestWeights;
+  size_t ChecksWithoutImprovement = 0;
+  bool Stop = false;
+
+  auto Snapshot = [&] {
+    BestWeights.clear();
+    for (Parameter *P : Out.Model->parameters())
+      BestWeights.push_back(P->Value);
+  };
+  auto Restore = [&] {
+    if (BestWeights.empty())
+      return;
+    std::vector<Parameter *> Params = Out.Model->parameters();
+    for (size_t I = 0; I < Params.size(); ++I)
+      Params[I]->Value = BestWeights[I];
+  };
+
+  for (size_t Epoch = 0; Epoch < Options.MaxEpochs && !Stop; ++Epoch) {
+    ShuffleRng.shuffle(Order);
+    for (size_t Begin = 0; Begin < Order.size() && !Stop;
+         Begin += Options.BatchSize) {
+      size_t End = std::min(Begin + Options.BatchSize, Order.size());
+      std::vector<std::vector<uint32_t>> Sources, Targets;
+      for (size_t I = Begin; I < End; ++I) {
+        Sources.push_back(Train[Order[I]].Source);
+        Targets.push_back(Train[Order[I]].Target);
+      }
+      float Loss = Out.Model->trainBatch(Sources, Targets, Optimizer);
+      ++Out.BatchesRun;
+      if (Options.Verbose && Out.BatchesRun % 20 == 0)
+        std::fprintf(stderr, "  [train] epoch %zu batch %zu loss %.4f\n",
+                     Epoch + 1, Out.BatchesRun, Loss);
+
+      if (Out.BatchesRun % CheckEvery == 0) {
+        float ValidLoss = validationLoss(*Out.Model, TrainTask,
+                                         Options.MaxValidSamples,
+                                         Options.BatchSize);
+        if (Options.Verbose)
+          std::fprintf(stderr, "  [valid] batch %zu loss %.4f (best %.4f)\n",
+                       Out.BatchesRun, ValidLoss, BestLoss);
+        if (ValidLoss < BestLoss) {
+          BestLoss = ValidLoss;
+          Snapshot();
+          ChecksWithoutImprovement = 0;
+        } else if (++ChecksWithoutImprovement >= Options.Patience) {
+          Stop = true; // Early stopping: validation loss regressed.
+        }
+      }
+    }
+  }
+  // Final check in case the last batches improved.
+  float FinalLoss = validationLoss(*Out.Model, TrainTask,
+                                   Options.MaxValidSamples, Options.BatchSize);
+  if (FinalLoss < BestLoss) {
+    BestLoss = FinalLoss;
+    Snapshot();
+  }
+  Restore();
+  Out.BestValidLoss = BestLoss;
+  Out.TrainSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - StartTime)
+                         .count();
+  return Out;
+}
+
+} // namespace model
+} // namespace snowwhite

@@ -1,0 +1,49 @@
+//===- model/trainer.h - Training loop with early stopping -----------------===//
+
+#ifndef SNOWWHITE_MODEL_TRAINER_H
+#define SNOWWHITE_MODEL_TRAINER_H
+
+#include "model/task.h"
+#include "nn/seq2seq.h"
+
+#include <memory>
+
+namespace snowwhite {
+namespace model {
+
+/// Training hyperparameters (paper §4.2: Adam, lr=0.001, dropout 0.2, early
+/// stopping on the validation set, one to four epochs).
+struct TrainOptions {
+  size_t BatchSize = 24;
+  size_t MaxEpochs = 3;
+  float LearningRate = 1e-3f;
+  size_t EmbedDim = 32;
+  size_t HiddenDim = 48;
+  float Dropout = 0.2f;
+  size_t MaxSrcLen = 96;
+  size_t MaxTgtLen = 20;
+  /// Validation-loss checks per epoch; training stops after Patience checks
+  /// without improvement and the best weights are restored.
+  size_t ChecksPerEpoch = 2;
+  size_t Patience = 3;
+  /// Cap on validation samples used per check (0 = all).
+  size_t MaxValidSamples = 256;
+  uint64_t Seed = 1234;
+  bool Verbose = false;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  std::unique_ptr<nn::Seq2SeqModel> Model;
+  float BestValidLoss = 0.0f;
+  size_t BatchesRun = 0;
+  double TrainSeconds = 0.0;
+};
+
+/// Trains a fresh model on Task's training split.
+TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options);
+
+} // namespace model
+} // namespace snowwhite
+
+#endif // SNOWWHITE_MODEL_TRAINER_H

@@ -1,0 +1,520 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace snowwhite {
+namespace nn {
+
+VarData *Graph::newNode(size_t Rows, size_t Cols, bool NeedGrad) {
+  auto Node = std::make_unique<VarData>();
+  Node->Rows = Rows;
+  Node->Cols = Cols;
+  Node->OwnedValue.assign(Rows * Cols, 0.0f);
+  Node->Value = Node->OwnedValue.data();
+  if (NeedGrad && Training) {
+    Node->OwnedGrad.assign(Rows * Cols, 0.0f);
+    Node->Grad = Node->OwnedGrad.data();
+  }
+  Nodes.push_back(std::move(Node));
+  return Nodes.back().get();
+}
+
+Var Graph::input(size_t Rows, size_t Cols, const float *Data) {
+  VarData *Node = newNode(Rows, Cols, /*NeedGrad=*/false);
+  std::memcpy(Node->Value, Data, Rows * Cols * sizeof(float));
+  return Var{Node};
+}
+
+Var Graph::zeros(size_t Rows, size_t Cols) {
+  return Var{newNode(Rows, Cols, /*NeedGrad=*/false)};
+}
+
+Var Graph::param(Parameter &P) {
+  auto Node = std::make_unique<VarData>();
+  Node->Rows = P.Rows;
+  Node->Cols = P.Cols;
+  Node->Value = P.Value.data();
+  if (Training)
+    Node->Grad = P.Grad.data();
+  Nodes.push_back(std::move(Node));
+  return Var{Nodes.back().get()};
+}
+
+Var Graph::matmul(Var A, Var B) {
+  assert(A.cols() == B.rows() && "matmul shape mismatch");
+  size_t M = A.rows(), K = A.cols(), N = B.cols();
+  VarData *Out = newNode(M, N, true);
+  const float *AV = A.value(), *BV = B.value();
+  float *OV = Out->Value;
+  // ikj loop order: unit-stride inner loop, auto-vectorizable.
+  for (size_t I = 0; I < M; ++I)
+    for (size_t P = 0; P < K; ++P) {
+      float AIP = AV[I * K + P];
+      const float *BRow = BV + P * N;
+      float *ORow = OV + I * N;
+      for (size_t J = 0; J < N; ++J)
+        ORow[J] += AIP * BRow[J];
+    }
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
+      const float *G = Out->Grad;
+      if (AD->Grad) {
+        // dA = G * B^T.
+        for (size_t I = 0; I < M; ++I)
+          for (size_t P = 0; P < K; ++P) {
+            float Sum = 0.0f;
+            const float *GRow = G + I * N;
+            const float *BRow = BD->Value + P * N;
+            for (size_t J = 0; J < N; ++J)
+              Sum += GRow[J] * BRow[J];
+            AD->Grad[I * K + P] += Sum;
+          }
+      }
+      if (BD->Grad) {
+        // dB = A^T * G.
+        for (size_t I = 0; I < M; ++I)
+          for (size_t P = 0; P < K; ++P) {
+            float AIP = AD->Value[I * K + P];
+            const float *GRow = G + I * N;
+            float *BGRow = BD->Grad + P * N;
+            for (size_t J = 0; J < N; ++J)
+              BGRow[J] += AIP * GRow[J];
+          }
+      }
+    });
+  return Var{Out};
+}
+
+Var Graph::matmulTransposeB(Var A, Var B) {
+  assert(A.cols() == B.cols() && "matmulTransposeB shape mismatch");
+  size_t M = A.rows(), K = A.cols(), N = B.rows();
+  VarData *Out = newNode(M, N, true);
+  const float *AV = A.value(), *BV = B.value();
+  for (size_t I = 0; I < M; ++I)
+    for (size_t J = 0; J < N; ++J) {
+      float Sum = 0.0f;
+      const float *ARow = AV + I * K;
+      const float *BRow = BV + J * K;
+      for (size_t P = 0; P < K; ++P)
+        Sum += ARow[P] * BRow[P];
+      Out->Value[I * N + J] = Sum;
+    }
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
+      const float *G = Out->Grad;
+      if (AD->Grad)
+        for (size_t I = 0; I < M; ++I)
+          for (size_t J = 0; J < N; ++J) {
+            float GIJ = G[I * N + J];
+            const float *BRow = BD->Value + J * K;
+            float *AGRow = AD->Grad + I * K;
+            for (size_t P = 0; P < K; ++P)
+              AGRow[P] += GIJ * BRow[P];
+          }
+      if (BD->Grad)
+        for (size_t I = 0; I < M; ++I)
+          for (size_t J = 0; J < N; ++J) {
+            float GIJ = G[I * N + J];
+            const float *ARow = AD->Value + I * K;
+            float *BGRow = BD->Grad + J * K;
+            for (size_t P = 0; P < K; ++P)
+              BGRow[P] += GIJ * ARow[P];
+          }
+    });
+  return Var{Out};
+}
+
+Var Graph::add(Var A, Var B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols() && "add shape mismatch");
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = A.value()[I] + B.value()[I];
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, Size] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          AD->Grad[I] += Out->Grad[I];
+      if (BD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          BD->Grad[I] += Out->Grad[I];
+    });
+  return Var{Out};
+}
+
+Var Graph::addRowBroadcast(Var A, Var B) {
+  assert(B.rows() == 1 && A.cols() == B.cols() && "broadcast shape mismatch");
+  size_t M = A.rows(), N = A.cols();
+  VarData *Out = newNode(M, N, true);
+  for (size_t I = 0; I < M; ++I)
+    for (size_t J = 0; J < N; ++J)
+      Out->Value[I * N + J] = A.value()[I * N + J] + B.value()[J];
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, M, N] {
+      if (AD->Grad)
+        for (size_t I = 0; I < M * N; ++I)
+          AD->Grad[I] += Out->Grad[I];
+      if (BD->Grad)
+        for (size_t I = 0; I < M; ++I)
+          for (size_t J = 0; J < N; ++J)
+            BD->Grad[J] += Out->Grad[I * N + J];
+    });
+  return Var{Out};
+}
+
+Var Graph::mul(Var A, Var B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols() && "mul shape mismatch");
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = A.value()[I] * B.value()[I];
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, Size] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          AD->Grad[I] += Out->Grad[I] * BD->Value[I];
+      if (BD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          BD->Grad[I] += Out->Grad[I] * AD->Value[I];
+    });
+  return Var{Out};
+}
+
+Var Graph::scale(Var A, float Factor) {
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = A.value()[I] * Factor;
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, Size, Factor] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          AD->Grad[I] += Out->Grad[I] * Factor;
+    });
+  return Var{Out};
+}
+
+Var Graph::sigmoid(Var A) {
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = 1.0f / (1.0f + std::exp(-A.value()[I]));
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, Size] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I) {
+          float Y = Out->Value[I];
+          AD->Grad[I] += Out->Grad[I] * Y * (1.0f - Y);
+        }
+    });
+  return Var{Out};
+}
+
+Var Graph::tanhOp(Var A) {
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = std::tanh(A.value()[I]);
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, Size] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I) {
+          float Y = Out->Value[I];
+          AD->Grad[I] += Out->Grad[I] * (1.0f - Y * Y);
+        }
+    });
+  return Var{Out};
+}
+
+Var Graph::relu(Var A) {
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  size_t Size = Out->size();
+  for (size_t I = 0; I < Size; ++I)
+    Out->Value[I] = A.value()[I] > 0.0f ? A.value()[I] : 0.0f;
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, Size] {
+      if (AD->Grad)
+        for (size_t I = 0; I < Size; ++I)
+          if (AD->Value[I] > 0.0f)
+            AD->Grad[I] += Out->Grad[I];
+    });
+  return Var{Out};
+}
+
+Var Graph::layerNorm(Var A, Var Gain, Var Bias) {
+  assert(Gain.rows() == 1 && Gain.cols() == A.cols() && "bad gain shape");
+  assert(Bias.rows() == 1 && Bias.cols() == A.cols() && "bad bias shape");
+  size_t M = A.rows(), N = A.cols();
+  constexpr float Epsilon = 1e-5f;
+  VarData *Out = newNode(M, N, true);
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto Stats = std::make_shared<std::vector<float>>(2 * M);
+  for (size_t I = 0; I < M; ++I) {
+    const float *Row = A.value() + I * N;
+    float Mean = 0.0f;
+    for (size_t J = 0; J < N; ++J)
+      Mean += Row[J];
+    Mean /= static_cast<float>(N);
+    float Variance = 0.0f;
+    for (size_t J = 0; J < N; ++J) {
+      float Centered = Row[J] - Mean;
+      Variance += Centered * Centered;
+    }
+    Variance /= static_cast<float>(N);
+    float InvStd = 1.0f / std::sqrt(Variance + Epsilon);
+    (*Stats)[2 * I] = Mean;
+    (*Stats)[2 * I + 1] = InvStd;
+    for (size_t J = 0; J < N; ++J)
+      Out->Value[I * N + J] =
+          (Row[J] - Mean) * InvStd * Gain.value()[J] + Bias.value()[J];
+  }
+  if (Training)
+    Tape.push_back([AD = A.Data, GD = Gain.Data, BD = Bias.Data, Out, Stats,
+                    M, N] {
+      for (size_t I = 0; I < M; ++I) {
+        float Mean = (*Stats)[2 * I];
+        float InvStd = (*Stats)[2 * I + 1];
+        const float *Row = AD->Value + I * N;
+        const float *G = Out->Grad + I * N;
+        // Normalized activations and the gradient wrt them.
+        // dXhat_j = G_j * gain_j; dX uses the standard layernorm backward.
+        float SumDXhat = 0.0f, SumDXhatXhat = 0.0f;
+        for (size_t J = 0; J < N; ++J) {
+          float XHat = (Row[J] - Mean) * InvStd;
+          float DXhat = G[J] * GD->Value[J];
+          SumDXhat += DXhat;
+          SumDXhatXhat += DXhat * XHat;
+          if (GD->Grad)
+            GD->Grad[J] += G[J] * XHat;
+          if (BD->Grad)
+            BD->Grad[J] += G[J];
+        }
+        if (AD->Grad) {
+          float InvN = 1.0f / static_cast<float>(N);
+          for (size_t J = 0; J < N; ++J) {
+            float XHat = (Row[J] - Mean) * InvStd;
+            float DXhat = G[J] * GD->Value[J];
+            AD->Grad[I * N + J] +=
+                InvStd * (DXhat - InvN * SumDXhat - InvN * XHat * SumDXhatXhat);
+          }
+        }
+      }
+    });
+  return Var{Out};
+}
+
+Var Graph::sliceCols(Var A, size_t Begin, size_t Count) {
+  assert(Begin + Count <= A.cols() && "slice out of range");
+  size_t M = A.rows(), N = A.cols();
+  VarData *Out = newNode(M, Count, true);
+  for (size_t I = 0; I < M; ++I)
+    std::memcpy(Out->Value + I * Count, A.value() + I * N + Begin,
+                Count * sizeof(float));
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, M, N, Begin, Count] {
+      if (AD->Grad)
+        for (size_t I = 0; I < M; ++I)
+          for (size_t J = 0; J < Count; ++J)
+            AD->Grad[I * N + Begin + J] += Out->Grad[I * Count + J];
+    });
+  return Var{Out};
+}
+
+Var Graph::concatCols(Var A, Var B) {
+  assert(A.rows() == B.rows() && "concatCols row mismatch");
+  size_t M = A.rows(), NA = A.cols(), NB = B.cols();
+  VarData *Out = newNode(M, NA + NB, true);
+  for (size_t I = 0; I < M; ++I) {
+    std::memcpy(Out->Value + I * (NA + NB), A.value() + I * NA,
+                NA * sizeof(float));
+    std::memcpy(Out->Value + I * (NA + NB) + NA, B.value() + I * NB,
+                NB * sizeof(float));
+  }
+  if (Training)
+    Tape.push_back([AD = A.Data, BD = B.Data, Out, M, NA, NB] {
+      for (size_t I = 0; I < M; ++I) {
+        if (AD->Grad)
+          for (size_t J = 0; J < NA; ++J)
+            AD->Grad[I * NA + J] += Out->Grad[I * (NA + NB) + J];
+        if (BD->Grad)
+          for (size_t J = 0; J < NB; ++J)
+            BD->Grad[I * NB + J] += Out->Grad[I * (NA + NB) + NA + J];
+      }
+    });
+  return Var{Out};
+}
+
+Var Graph::sliceRow(Var A, size_t Row) {
+  assert(Row < A.rows() && "row out of range");
+  size_t N = A.cols();
+  VarData *Out = newNode(1, N, true);
+  std::memcpy(Out->Value, A.value() + Row * N, N * sizeof(float));
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, Row, N] {
+      if (AD->Grad)
+        for (size_t J = 0; J < N; ++J)
+          AD->Grad[Row * N + J] += Out->Grad[J];
+    });
+  return Var{Out};
+}
+
+Var Graph::stackRows(const std::vector<Var> &Rows) {
+  assert(!Rows.empty() && "stackRows of nothing");
+  size_t N = Rows[0].cols();
+  VarData *Out = newNode(Rows.size(), N, true);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    assert(Rows[I].rows() == 1 && Rows[I].cols() == N && "row shape mismatch");
+    std::memcpy(Out->Value + I * N, Rows[I].value(), N * sizeof(float));
+  }
+  if (Training) {
+    std::vector<VarData *> Sources;
+    for (const Var &RowVar : Rows)
+      Sources.push_back(RowVar.Data);
+    Tape.push_back([Sources, Out, N] {
+      for (size_t I = 0; I < Sources.size(); ++I)
+        if (Sources[I]->Grad)
+          for (size_t J = 0; J < N; ++J)
+            Sources[I]->Grad[J] += Out->Grad[I * N + J];
+    });
+  }
+  return Var{Out};
+}
+
+Var Graph::dropout(Var A, float Rate, Rng &R) {
+  if (!Training || Rate <= 0.0f)
+    return A;
+  size_t Size = A.Data->size();
+  VarData *Out = newNode(A.rows(), A.cols(), true);
+  // Inverted dropout: kept units are scaled so inference needs no change.
+  float Keep = 1.0f - Rate;
+  auto Mask = std::make_shared<std::vector<float>>(Size);
+  for (size_t I = 0; I < Size; ++I) {
+    (*Mask)[I] = R.nextDouble() < Rate ? 0.0f : 1.0f / Keep;
+    Out->Value[I] = A.value()[I] * (*Mask)[I];
+  }
+  Tape.push_back([AD = A.Data, Out, Size, Mask] {
+    if (AD->Grad)
+      for (size_t I = 0; I < Size; ++I)
+        AD->Grad[I] += Out->Grad[I] * (*Mask)[I];
+  });
+  return Var{Out};
+}
+
+Var Graph::embedding(Parameter &E, const std::vector<uint32_t> &Ids) {
+  size_t N = E.Cols;
+  VarData *Out = newNode(Ids.size(), N, true);
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    assert(Ids[I] < E.Rows && "embedding id out of range");
+    std::memcpy(Out->Value + I * N, E.Value.data() + Ids[I] * N,
+                N * sizeof(float));
+  }
+  if (Training) {
+    float *EGrad = E.Grad.data();
+    Tape.push_back([EGrad, Out, Ids, N] {
+      for (size_t I = 0; I < Ids.size(); ++I)
+        for (size_t J = 0; J < N; ++J)
+          EGrad[Ids[I] * N + J] += Out->Grad[I * N + J];
+    });
+  }
+  return Var{Out};
+}
+
+Var Graph::softmaxRows(Var A) {
+  size_t M = A.rows(), N = A.cols();
+  VarData *Out = newNode(M, N, true);
+  for (size_t I = 0; I < M; ++I) {
+    const float *Row = A.value() + I * N;
+    float *ORow = Out->Value + I * N;
+    float Max = Row[0];
+    for (size_t J = 1; J < N; ++J)
+      Max = std::max(Max, Row[J]);
+    float Sum = 0.0f;
+    for (size_t J = 0; J < N; ++J) {
+      ORow[J] = std::exp(Row[J] - Max);
+      Sum += ORow[J];
+    }
+    float Inverse = 1.0f / Sum;
+    for (size_t J = 0; J < N; ++J)
+      ORow[J] *= Inverse;
+  }
+  if (Training)
+    Tape.push_back([AD = A.Data, Out, M, N] {
+      if (!AD->Grad)
+        return;
+      for (size_t I = 0; I < M; ++I) {
+        const float *Y = Out->Value + I * N;
+        const float *G = Out->Grad + I * N;
+        float Dot = 0.0f;
+        for (size_t J = 0; J < N; ++J)
+          Dot += Y[J] * G[J];
+        for (size_t J = 0; J < N; ++J)
+          AD->Grad[I * N + J] += Y[J] * (G[J] - Dot);
+      }
+    });
+  return Var{Out};
+}
+
+Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
+                        uint32_t IgnoreIndex) {
+  size_t M = Logits.rows(), V = Logits.cols();
+  assert(Targets.size() == M && "targets/logits mismatch");
+  VarData *Out = newNode(1, 1, true);
+
+  // Softmax probabilities are needed for both value and gradient.
+  auto Probs = std::make_shared<std::vector<float>>(M * V);
+  size_t Counted = 0;
+  double Loss = 0.0;
+  for (size_t I = 0; I < M; ++I) {
+    const float *Row = Logits.value() + I * V;
+    float *PRow = Probs->data() + I * V;
+    float Max = Row[0];
+    for (size_t J = 1; J < V; ++J)
+      Max = std::max(Max, Row[J]);
+    float Sum = 0.0f;
+    for (size_t J = 0; J < V; ++J) {
+      PRow[J] = std::exp(Row[J] - Max);
+      Sum += PRow[J];
+    }
+    float Inverse = 1.0f / Sum;
+    for (size_t J = 0; J < V; ++J)
+      PRow[J] *= Inverse;
+    if (Targets[I] != IgnoreIndex) {
+      Loss -= std::log(std::max(PRow[Targets[I]], 1e-9f));
+      ++Counted;
+    }
+  }
+  if (Counted == 0)
+    Counted = 1;
+  Out->Value[0] = static_cast<float>(Loss / static_cast<double>(Counted));
+  if (Training)
+    Tape.push_back([LD = Logits.Data, Out, Probs, Targets, IgnoreIndex, M, V,
+                    Counted] {
+      if (!LD->Grad)
+        return;
+      float Seed = Out->Grad[0] / static_cast<float>(Counted);
+      for (size_t I = 0; I < M; ++I) {
+        if (Targets[I] == IgnoreIndex)
+          continue;
+        const float *PRow = Probs->data() + I * V;
+        float *GRow = LD->Grad + I * V;
+        for (size_t J = 0; J < V; ++J)
+          GRow[J] += Seed * PRow[J];
+        GRow[Targets[I]] -= Seed;
+      }
+    });
+  return Var{Out};
+}
+
+void Graph::backward(Var Loss) {
+  assert(Training && "backward on inference graph");
+  assert(Loss.Data->size() == 1 && "loss must be scalar");
+  assert(Loss.Data->Grad && "loss has no gradient");
+  Loss.Data->Grad[0] = 1.0f;
+  for (auto It = Tape.rbegin(); It != Tape.rend(); ++It)
+    (*It)();
+}
+
+} // namespace nn
+} // namespace snowwhite

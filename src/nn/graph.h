@@ -1,0 +1,153 @@
+//===- nn/graph.h - Tape-based reverse-mode autograd -----------------------===//
+//
+// A small define-by-run automatic differentiation engine over 2-D row-major
+// float tensors, sufficient for LSTM sequence-to-sequence models with global
+// attention: matrix products, elementwise nonlinearities, slicing/concat,
+// row-broadcast bias addition, embedding lookup, dropout, softmax and
+// cross-entropy. A Graph owns all intermediate values of one forward pass
+// and a tape of backward closures; Graph::backward replays the tape in
+// reverse. Parameters live outside the graph (nn/layers.h) and accumulate
+// gradients across a batch until the optimizer consumes them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_NN_GRAPH_H
+#define SNOWWHITE_NN_GRAPH_H
+
+#include "support/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace snowwhite {
+namespace nn {
+
+/// A persistent, trainable weight matrix with its gradient accumulator.
+struct Parameter {
+  size_t Rows = 0, Cols = 0;
+  std::vector<float> Value;
+  std::vector<float> Grad;
+  // Adam state (owned here so optimizers stay stateless).
+  std::vector<float> AdamM;
+  std::vector<float> AdamV;
+
+  Parameter() = default;
+  Parameter(size_t Rows, size_t Cols) { resize(Rows, Cols); }
+
+  void resize(size_t NewRows, size_t NewCols) {
+    Rows = NewRows;
+    Cols = NewCols;
+    Value.assign(Rows * Cols, 0.0f);
+    Grad.assign(Rows * Cols, 0.0f);
+    AdamM.assign(Rows * Cols, 0.0f);
+    AdamV.assign(Rows * Cols, 0.0f);
+  }
+
+  /// Glorot-uniform initialization.
+  void initXavier(Rng &R) {
+    float Scale = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
+    for (float &W : Value)
+      W = R.nextUniformFloat(Scale);
+  }
+
+  void zeroGrad() { std::fill(Grad.begin(), Grad.end(), 0.0f); }
+  size_t size() const { return Rows * Cols; }
+};
+
+/// One node of the computation graph. Value points either at OwnedValue or
+/// at external parameter storage; likewise for Grad.
+struct VarData {
+  size_t Rows = 0, Cols = 0;
+  std::vector<float> OwnedValue;
+  std::vector<float> OwnedGrad;
+  float *Value = nullptr;
+  float *Grad = nullptr; ///< nullptr when gradients are not tracked.
+
+  size_t size() const { return Rows * Cols; }
+};
+
+/// Lightweight handle to a graph node.
+struct Var {
+  VarData *Data = nullptr;
+
+  bool valid() const { return Data != nullptr; }
+  size_t rows() const { return Data->Rows; }
+  size_t cols() const { return Data->Cols; }
+  const float *value() const { return Data->Value; }
+  float at(size_t Row, size_t Col) const {
+    assert(Row < rows() && Col < cols());
+    return Data->Value[Row * cols() + Col];
+  }
+};
+
+/// One forward pass (and its tape). Construct with Training = false for
+/// inference: gradients are not allocated and dropout is the identity.
+class Graph {
+public:
+  explicit Graph(bool Training) : Training(Training) {}
+
+  bool isTraining() const { return Training; }
+
+  /// A leaf holding copied input data (no gradient).
+  Var input(size_t Rows, size_t Cols, const float *Data);
+
+  /// A leaf of zeros (no gradient); initial LSTM states.
+  Var zeros(size_t Rows, size_t Cols);
+
+  /// A leaf aliasing a Parameter's storage; gradients accumulate into
+  /// Parameter::Grad.
+  Var param(Parameter &P);
+
+  // --- Operations ---------------------------------------------------------
+  Var matmul(Var A, Var B);           ///< [m,k] x [k,n] -> [m,n]
+  Var matmulTransposeB(Var A, Var B); ///< [m,k] x [n,k]^T -> [m,n]
+  Var add(Var A, Var B);              ///< Same shape.
+  Var addRowBroadcast(Var A, Var B);  ///< [m,n] + [1,n].
+  Var mul(Var A, Var B);              ///< Elementwise.
+  Var scale(Var A, float Factor);
+  Var sigmoid(Var A);
+  Var tanhOp(Var A);
+  Var relu(Var A);
+
+  /// Row-wise layer normalization with learned gain/bias rows [1, n]:
+  /// y = (x - mean(x)) / sqrt(var(x) + eps) * Gain + Bias.
+  Var layerNorm(Var A, Var Gain, Var Bias);
+  Var sliceCols(Var A, size_t Begin, size_t Count);
+  Var concatCols(Var A, Var B);
+  Var sliceRow(Var A, size_t Row);         ///< [1, n] view-copy of one row.
+  Var stackRows(const std::vector<Var> &Rows); ///< k x [1,n] -> [k,n].
+  Var dropout(Var A, float Rate, Rng &R);
+
+  /// Rows of E indexed by Ids -> [|Ids|, e]; backward scatters into E.
+  Var embedding(Parameter &E, const std::vector<uint32_t> &Ids);
+
+  /// Row-wise softmax. Optional additive mask should be applied (via add)
+  /// beforehand.
+  Var softmaxRows(Var A);
+
+  /// Mean token-level cross-entropy between Logits [m, v] and Targets [m],
+  /// ignoring positions where Targets == IgnoreIndex. Returns a [1,1] loss.
+  Var crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
+                   uint32_t IgnoreIndex);
+
+  /// Runs the tape backwards from Loss (seeds dLoss = 1).
+  void backward(Var Loss);
+
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  VarData *newNode(size_t Rows, size_t Cols, bool NeedGrad);
+
+  bool Training;
+  std::vector<std::unique_ptr<VarData>> Nodes;
+  std::vector<std::function<void()>> Tape;
+};
+
+} // namespace nn
+} // namespace snowwhite
+
+#endif // SNOWWHITE_NN_GRAPH_H

@@ -1,0 +1,75 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace snowwhite {
+namespace nn {
+
+void LstmCell::init(size_t InputSize, size_t HiddenSize, Rng &R) {
+  Hidden = HiddenSize;
+  Wx.resize(InputSize, 4 * HiddenSize);
+  Wx.initXavier(R);
+  Wh.resize(HiddenSize, 4 * HiddenSize);
+  Wh.initXavier(R);
+  Bias.resize(1, 4 * HiddenSize);
+  // Forget-gate bias = 1.
+  for (size_t J = HiddenSize; J < 2 * HiddenSize; ++J)
+    Bias.Value[J] = 1.0f;
+}
+
+std::pair<Var, Var> LstmCell::step(Graph &G, Var X, Var H, Var C) {
+  Var Gates = G.addRowBroadcast(
+      G.add(G.matmul(X, G.param(Wx)), G.matmul(H, G.param(Wh))),
+      G.param(Bias));
+  Var InputGate = G.sigmoid(G.sliceCols(Gates, 0, Hidden));
+  Var ForgetGate = G.sigmoid(G.sliceCols(Gates, Hidden, Hidden));
+  Var CellInput = G.tanhOp(G.sliceCols(Gates, 2 * Hidden, Hidden));
+  Var OutputGate = G.sigmoid(G.sliceCols(Gates, 3 * Hidden, Hidden));
+  Var NewC = G.add(G.mul(ForgetGate, C), G.mul(InputGate, CellInput));
+  Var NewH = G.mul(OutputGate, G.tanhOp(NewC));
+  return {NewH, NewC};
+}
+
+size_t AdamOptimizer::numParameters() const {
+  size_t Total = 0;
+  for (const Parameter *P : Parameters)
+    Total += P->size();
+  return Total;
+}
+
+void AdamOptimizer::step(float MaxNorm) {
+  ++StepCount;
+
+  if (MaxNorm > 0.0f) {
+    double NormSquared = 0.0;
+    for (const Parameter *P : Parameters)
+      for (float G : P->Grad)
+        NormSquared += static_cast<double>(G) * G;
+    double Norm = std::sqrt(NormSquared);
+    if (Norm > MaxNorm) {
+      float Scale = static_cast<float>(MaxNorm / Norm);
+      for (Parameter *P : Parameters)
+        for (float &G : P->Grad)
+          G *= Scale;
+    }
+  }
+
+  float BiasCorrection1 =
+      1.0f - std::pow(Beta1, static_cast<float>(StepCount));
+  float BiasCorrection2 =
+      1.0f - std::pow(Beta2, static_cast<float>(StepCount));
+  for (Parameter *P : Parameters) {
+    for (size_t I = 0; I < P->size(); ++I) {
+      float G = P->Grad[I];
+      P->AdamM[I] = Beta1 * P->AdamM[I] + (1.0f - Beta1) * G;
+      P->AdamV[I] = Beta2 * P->AdamV[I] + (1.0f - Beta2) * G * G;
+      float MHat = P->AdamM[I] / BiasCorrection1;
+      float VHat = P->AdamV[I] / BiasCorrection2;
+      P->Value[I] -= LearningRate * MHat / (std::sqrt(VHat) + Epsilon);
+    }
+    P->zeroGrad();
+  }
+}
+
+} // namespace nn
+} // namespace snowwhite

@@ -1,0 +1,99 @@
+//===- nn/layers.h - Neural network building blocks ------------------------===//
+
+#ifndef SNOWWHITE_NN_LAYERS_H
+#define SNOWWHITE_NN_LAYERS_H
+
+#include "nn/graph.h"
+
+#include <utility>
+#include <vector>
+
+namespace snowwhite {
+namespace nn {
+
+/// Fully connected layer: y = x W + b.
+class Linear {
+public:
+  Linear() = default;
+  Linear(size_t In, size_t Out, Rng &R) { init(In, Out, R); }
+
+  void init(size_t In, size_t Out, Rng &R) {
+    Weight.resize(In, Out);
+    Weight.initXavier(R);
+    Bias.resize(1, Out);
+  }
+
+  Var forward(Graph &G, Var X) {
+    return G.addRowBroadcast(G.matmul(X, G.param(Weight)), G.param(Bias));
+  }
+
+  void collectParameters(std::vector<Parameter *> &Out) {
+    Out.push_back(&Weight);
+    Out.push_back(&Bias);
+  }
+
+  Parameter Weight;
+  Parameter Bias;
+};
+
+/// A standard LSTM cell. Gate order in the packed weight matrices is
+/// [input, forget, cell, output]; the forget gate bias is initialized to 1
+/// (standard practice for gradient flow early in training).
+class LstmCell {
+public:
+  LstmCell() = default;
+  LstmCell(size_t InputSize, size_t HiddenSize, Rng &R) {
+    init(InputSize, HiddenSize, R);
+  }
+
+  void init(size_t InputSize, size_t HiddenSize, Rng &R);
+
+  size_t hiddenSize() const { return Hidden; }
+
+  /// One timestep over a batch: X [B, in], H/C [B, hidden]. Returns the new
+  /// (H, C).
+  std::pair<Var, Var> step(Graph &G, Var X, Var H, Var C);
+
+  void collectParameters(std::vector<Parameter *> &Out) {
+    Out.push_back(&Wx);
+    Out.push_back(&Wh);
+    Out.push_back(&Bias);
+  }
+
+private:
+  size_t Hidden = 0;
+  Parameter Wx;   ///< [in, 4*hidden]
+  Parameter Wh;   ///< [hidden, 4*hidden]
+  Parameter Bias; ///< [1, 4*hidden]
+};
+
+/// Adam optimizer over a parameter set (Kingma & Ba). Gradients are
+/// accumulated by Graph::backward into Parameter::Grad; step() consumes and
+/// clears them.
+class AdamOptimizer {
+public:
+  explicit AdamOptimizer(std::vector<Parameter *> Parameters,
+                         float LearningRate = 1e-3f, float Beta1 = 0.9f,
+                         float Beta2 = 0.999f, float Epsilon = 1e-8f)
+      : Parameters(std::move(Parameters)), LearningRate(LearningRate),
+        Beta1(Beta1), Beta2(Beta2), Epsilon(Epsilon) {}
+
+  /// Clips the global gradient norm to MaxNorm (0 disables), applies one
+  /// Adam update, and zeroes the gradients.
+  void step(float MaxNorm = 5.0f);
+
+  /// Total trainable parameter count.
+  size_t numParameters() const;
+
+  void setLearningRate(float NewRate) { LearningRate = NewRate; }
+
+private:
+  std::vector<Parameter *> Parameters;
+  float LearningRate, Beta1, Beta2, Epsilon;
+  uint64_t StepCount = 0;
+};
+
+} // namespace nn
+} // namespace snowwhite
+
+#endif // SNOWWHITE_NN_LAYERS_H

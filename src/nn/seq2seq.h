@@ -1,0 +1,116 @@
+//===- nn/seq2seq.h - Attentional LSTM sequence-to-sequence model ----------===//
+//
+// The paper's prediction model (§4.2): a bidirectional LSTM encoder over the
+// WebAssembly input tokens and an LSTM decoder with Luong global attention
+// producing the type-token sequence, trained with teacher forcing and Adam,
+// queried with beam search for top-k predictions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_NN_SEQ2SEQ_H
+#define SNOWWHITE_NN_SEQ2SEQ_H
+
+#include "nn/layers.h"
+#include "support/result.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace nn {
+
+/// Model hyperparameters. The paper uses h=512, e=100; the defaults here are
+/// scaled for single-core CPU training while keeping the architecture
+/// identical.
+struct Seq2SeqConfig {
+  size_t SrcVocabSize = 0;
+  size_t TgtVocabSize = 0;
+  size_t EmbedDim = 32;
+  size_t HiddenDim = 48;
+  float DropoutRate = 0.2f;
+  size_t MaxSrcLen = 96; ///< Inputs are truncated/padded to this length.
+  size_t MaxTgtLen = 20;
+  uint64_t Seed = 123;
+
+  /// Special ids, matching dataset::TokenVocab.
+  uint32_t PadId = 0, UnkId = 1, BosId = 2, EosId = 3;
+};
+
+/// One beam-search result.
+struct Hypothesis {
+  std::vector<uint32_t> Tokens; ///< Without BOS/EOS.
+  float LogProb = 0.0f;
+};
+
+class Seq2SeqModel {
+public:
+  explicit Seq2SeqModel(const Seq2SeqConfig &Config);
+
+  const Seq2SeqConfig &config() const { return Config; }
+
+  /// One optimizer step over a batch of (source, target) id sequences
+  /// (targets without BOS/EOS). Returns the mean token cross-entropy.
+  float trainBatch(const std::vector<std::vector<uint32_t>> &Sources,
+                   const std::vector<std::vector<uint32_t>> &Targets,
+                   AdamOptimizer &Optimizer);
+
+  /// Mean token cross-entropy without updating weights (validation).
+  float evaluateLoss(const std::vector<std::vector<uint32_t>> &Sources,
+                     const std::vector<std::vector<uint32_t>> &Targets);
+
+  /// Beam search for the BeamWidth most likely target sequences.
+  std::vector<Hypothesis> predictTopK(const std::vector<uint32_t> &Source,
+                                      unsigned BeamWidth);
+
+  /// All trainable parameters (for the optimizer).
+  std::vector<Parameter *> parameters();
+  size_t numParameters();
+
+  /// Binary serialization (config + all weights).
+  Result<void> save(const std::string &Path) const;
+  static Result<Seq2SeqModel> load(const std::string &Path);
+
+private:
+  /// Shared encoder pass. Sources are truncated to MaxSrcLen and left-padded
+  /// to a common length.
+  struct Encoded {
+    std::vector<Var> PerItemStates; ///< Per batch item: [T, 2h].
+    std::vector<Var> PadMasks;      ///< Per item: [1, T] additive mask.
+    Var DecoderH;                   ///< [B, h].
+    Var DecoderC;                   ///< [B, h].
+    size_t PaddedLen = 0;
+  };
+  Encoded encode(Graph &G, const std::vector<std::vector<uint32_t>> &Sources);
+
+  /// One decoder step with attention: returns (logits [B, V], new H, new C).
+  struct DecodeStep {
+    Var Logits;
+    Var H;
+    Var C;
+  };
+  DecodeStep decodeStep(Graph &G, const std::vector<uint32_t> &InputIds,
+                        Var H, Var C, const Encoded &Enc,
+                        const std::vector<size_t> &ItemOfRow);
+
+  float runBatch(const std::vector<std::vector<uint32_t>> &Sources,
+                 const std::vector<std::vector<uint32_t>> &Targets,
+                 bool Train, AdamOptimizer *Optimizer);
+
+  Seq2SeqConfig Config;
+  Rng ModelRng;
+
+  Parameter SrcEmbed; ///< [srcV, e]
+  Parameter TgtEmbed; ///< [tgtV, e]
+  LstmCell EncoderFwd;
+  LstmCell EncoderBwd;
+  LstmCell Decoder;
+  Linear Bridge;        ///< 2h -> h decoder init.
+  Parameter AttnW;      ///< [h, 2h] Luong "general" score.
+  Linear AttnCombine;   ///< (h + 2h) -> h.
+  Linear Output;        ///< h -> tgtV.
+};
+
+} // namespace nn
+} // namespace snowwhite
+
+#endif // SNOWWHITE_NN_SEQ2SEQ_H

@@ -1,0 +1,42 @@
+#include "support/hash.h"
+
+namespace snowwhite {
+
+static constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+static constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t hashBytes(const uint8_t *Data, size_t Size) {
+  uint64_t Hash = FnvOffset;
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Data[I];
+    Hash *= FnvPrime;
+  }
+  return Hash;
+}
+
+uint64_t hashString(std::string_view Text) {
+  return hashBytes(reinterpret_cast<const uint8_t *>(Text.data()),
+                   Text.size());
+}
+
+uint64_t hashVector(const std::vector<uint8_t> &Data) {
+  return hashBytes(Data.data(), Data.size());
+}
+
+uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // 64-bit variant of boost::hash_combine with a strong odd constant.
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed * FnvPrime;
+}
+
+std::string hashToHex(uint64_t Hash) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Digits[Hash & 0xf];
+    Hash >>= 4;
+  }
+  return Out;
+}
+
+} // namespace snowwhite

@@ -1,0 +1,36 @@
+//===- support/hash.h - Stable 64-bit hashing ----------------------------===//
+//
+// Dataset deduplication (exact binary hashes and approximate signatures)
+// needs a hash that is stable across runs and platforms, which std::hash does
+// not guarantee. FNV-1a over bytes plus a mixing combiner is sufficient.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_HASH_H
+#define SNOWWHITE_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snowwhite {
+
+/// FNV-1a over a byte range.
+uint64_t hashBytes(const uint8_t *Data, size_t Size);
+
+/// FNV-1a over the bytes of Text.
+uint64_t hashString(std::string_view Text);
+
+/// FNV-1a over a byte vector.
+uint64_t hashVector(const std::vector<uint8_t> &Data);
+
+/// Mixes Value into Seed (boost-style combiner with 64-bit constants).
+uint64_t hashCombine(uint64_t Seed, uint64_t Value);
+
+/// Renders a hash as 16 lowercase hex digits.
+std::string hashToHex(uint64_t Hash);
+
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_HASH_H

@@ -1,0 +1,92 @@
+//===- support/result.h - Exception-free error handling ------------------===//
+//
+// Library code does not use exceptions (LLVM coding standards). Fallible
+// operations return Result<T>, which holds either a value or an Error with a
+// human-readable message.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_RESULT_H
+#define SNOWWHITE_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace snowwhite {
+
+/// A failure description carried by Result<T>.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or an Error. Inspect with isOk()/isErr() before
+/// dereferencing.
+template <typename T> class Result {
+public:
+  Result(T Value) : Storage(std::move(Value)) {}
+  Result(Error E) : Storage(std::move(E)) {}
+
+  bool isOk() const { return std::holds_alternative<T>(Storage); }
+  bool isErr() const { return !isOk(); }
+
+  /// Returns the contained value. Must only be called when isOk().
+  T &value() {
+    assert(isOk() && "Result::value() on error");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(isOk() && "Result::value() on error");
+    return std::get<T>(Storage);
+  }
+
+  /// Returns the contained error. Must only be called when isErr().
+  const Error &error() const {
+    assert(isErr() && "Result::error() on success");
+    return std::get<Error>(Storage);
+  }
+
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the value out of the Result. Must only be called when isOk().
+  T take() {
+    assert(isOk() && "Result::take() on error");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Result specialization for operations that produce no value.
+template <> class Result<void> {
+public:
+  Result() = default;
+  Result(Error E) : Err(std::move(E)), HasError(true) {}
+
+  bool isOk() const { return !HasError; }
+  bool isErr() const { return HasError; }
+
+  const Error &error() const {
+    assert(isErr() && "Result::error() on success");
+    return Err;
+  }
+
+private:
+  Error Err{""};
+  bool HasError = false;
+};
+
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_RESULT_H

@@ -1,0 +1,97 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace snowwhite {
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl64(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t Mixer = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(Mixer);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** step.
+  uint64_t Out = rotl64(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl64(State[3], 45);
+  return Out;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0)");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  while (true) {
+    uint64_t Raw = next();
+    if (Raw >= Threshold)
+      return Raw % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::nextUniformFloat(float Scale) {
+  return static_cast<float>((nextDouble() * 2.0 - 1.0) * Scale);
+}
+
+float Rng::nextGaussian() {
+  // Irwin-Hall approximation: sum of 12 uniforms has variance 1, mean 6.
+  double Sum = 0.0;
+  for (int I = 0; I < 12; ++I)
+    Sum += nextDouble();
+  return static_cast<float>(Sum - 6.0);
+}
+
+bool Rng::nextBool(double P) { return nextDouble() < P; }
+
+size_t Rng::nextWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "nextWeighted with no weights");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0.0 && "all weights zero");
+  double Target = nextDouble() * Total;
+  double Running = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+Rng Rng::fork() {
+  Rng Child(next());
+  return Child;
+}
+
+} // namespace snowwhite

@@ -1,0 +1,80 @@
+//===- support/rng.h - Deterministic pseudo-random numbers ---------------===//
+//
+// All corpus generation, dataset shuffling, and weight initialization must be
+// reproducible across runs, so the project uses an explicit, seedable
+// generator (SplitMix64 seeding a xoshiro256** core) instead of <random>
+// engines whose distributions are implementation-defined.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_RNG_H
+#define SNOWWHITE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace snowwhite {
+
+/// Deterministic PRNG with convenience sampling helpers. Same seed, same
+/// sequence, on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eed5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the state from Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns a uniform float in [-Scale, Scale).
+  float nextUniformFloat(float Scale);
+
+  /// Returns an approximately standard-normal float (sum of uniforms).
+  float nextGaussian();
+
+  /// Returns true with probability P.
+  bool nextBool(double P = 0.5);
+
+  /// Returns a uniformly chosen index weighted by Weights (all >= 0, sum > 0).
+  size_t nextWeighted(const std::vector<double> &Weights);
+
+  /// Picks a uniformly random element of Items. Items must be non-empty.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I) {
+      size_t J = nextBelow(I + 1);
+      std::swap(Items[I], Items[J]);
+    }
+  }
+
+  /// Derives an independent generator; useful for giving each synthetic
+  /// package its own stream without coupling to generation order.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_RNG_H

@@ -1,0 +1,97 @@
+#include "support/str.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace snowwhite {
+
+std::vector<std::string> splitString(std::string_view Text, char Separator) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t End = Text.find(Separator, Start);
+    if (End == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view Text) {
+  std::vector<std::string> Parts;
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Parts.emplace_back(Text.substr(Start, I - Start));
+  }
+  return Parts;
+}
+
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Separator) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string trimString(std::string_view Text) {
+  size_t Start = 0;
+  while (Start < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Start])))
+    ++Start;
+  size_t End = Text.size();
+  while (End > Start && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return std::string(Text.substr(Start, End - Start));
+}
+
+std::string formatDouble(double Value, int FractionDigits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", FractionDigits, Value);
+  return Buffer;
+}
+
+std::string formatPercent(double Ratio, int FractionDigits) {
+  return formatDouble(Ratio * 100.0, FractionDigits) + "%";
+}
+
+std::string formatWithCommas(uint64_t Count) {
+  std::string Digits = std::to_string(Count);
+  std::string Out;
+  int Position = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Position != 0 && Position % 3 == 0)
+      Out += ',';
+    Out += *It;
+    ++Position;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string padLeft(std::string_view Text, size_t Width) {
+  if (Text.size() >= Width)
+    return std::string(Text);
+  return std::string(Width - Text.size(), ' ') + std::string(Text);
+}
+
+std::string padRight(std::string_view Text, size_t Width) {
+  std::string Out(Text);
+  if (Out.size() < Width)
+    Out.append(Width - Out.size(), ' ');
+  return Out;
+}
+
+} // namespace snowwhite

@@ -1,0 +1,44 @@
+//===- support/str.h - Small string utilities ----------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_STR_H
+#define SNOWWHITE_SUPPORT_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snowwhite {
+
+/// Splits Text on Separator; empty fields are kept. splitString("a,,b", ',')
+/// yields {"a", "", "b"}.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Splits Text on runs of whitespace; no empty fields are produced.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Joins Parts with Separator between adjacent elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Separator);
+
+/// Returns Text with leading and trailing whitespace removed.
+std::string trimString(std::string_view Text);
+
+/// Formats Value with FractionDigits digits after the decimal point.
+std::string formatDouble(double Value, int FractionDigits);
+
+/// Formats a ratio as a percentage string, e.g. formatPercent(0.445, 1) ==
+/// "44.5%".
+std::string formatPercent(double Ratio, int FractionDigits);
+
+/// Renders Count with thousands separators, e.g. 1307617 -> "1,307,617".
+std::string formatWithCommas(uint64_t Count);
+
+/// Left-pads Text with spaces to at least Width characters.
+std::string padLeft(std::string_view Text, size_t Width);
+
+/// Right-pads Text with spaces to at least Width characters.
+std::string padRight(std::string_view Text, size_t Width);
+
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_STR_H

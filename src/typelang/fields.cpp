@@ -1,0 +1,111 @@
+#include "typelang/fields.h"
+
+#include "typelang/from_dwarf.h"
+
+namespace snowwhite {
+namespace typelang {
+
+using dwarf::Attr;
+using dwarf::DebugInfo;
+using dwarf::DieRef;
+using dwarf::InvalidDieRef;
+using dwarf::Tag;
+
+std::string shapeToken(const Type &T) {
+  switch (T.kind()) {
+  case TypeKind::TK_Pointer:
+    return "ptr";
+  case TypeKind::TK_Array:
+    return "arr";
+  case TypeKind::TK_Const:
+  case TypeKind::TK_Name:
+    return shapeToken(T.inner());
+  case TypeKind::TK_Struct:
+  case TypeKind::TK_Class:
+  case TypeKind::TK_Union:
+    return "agg";
+  case TypeKind::TK_Enum:
+    return "enum";
+  case TypeKind::TK_Function:
+    return "fn";
+  case TypeKind::TK_Unknown:
+    return "unk";
+  case TypeKind::TK_Primitive:
+    switch (T.primKind()) {
+    case PrimKind::PK_Bool:
+      return "bool";
+    case PrimKind::PK_Int:
+      return "i" + std::to_string(T.primBits());
+    case PrimKind::PK_Uint:
+      return "u" + std::to_string(T.primBits());
+    case PrimKind::PK_Float:
+      return "f" + std::to_string(T.primBits());
+    case PrimKind::PK_Complex:
+      return "complex";
+    case PrimKind::PK_CChar:
+      return "cchar";
+    case PrimKind::PK_WChar:
+      return "wchar";
+    }
+  }
+  return "unk";
+}
+
+namespace {
+
+/// Strips typedef/const/volatile DIEs (not pointers).
+DieRef stripQualifiers(const DebugInfo &Info, DieRef D) {
+  unsigned Fuel = 32;
+  while (D != InvalidDieRef && Fuel-- > 0) {
+    switch (Info.tag(D)) {
+    case Tag::Typedef:
+    case Tag::ConstType:
+    case Tag::VolatileType:
+    case Tag::RestrictType:
+      D = Info.typeOf(D);
+      continue;
+    default:
+      return D;
+    }
+  }
+  return D;
+}
+
+} // namespace
+
+std::vector<std::string> fieldShapeTokens(const DebugInfo &Info,
+                                          DieRef TypeDie,
+                                          unsigned MaxFields) {
+  DieRef D = stripQualifiers(Info, TypeDie);
+  if (D == InvalidDieRef)
+    return {};
+  // Exactly one pointer/reference level, as in "a parameter pointing at an
+  // aggregate".
+  if (Info.tag(D) != Tag::PointerType && Info.tag(D) != Tag::ReferenceType)
+    return {};
+  D = stripQualifiers(Info, Info.typeOf(D));
+  if (D == InvalidDieRef)
+    return {};
+  Tag AggregateTag = Info.tag(D);
+  if (AggregateTag != Tag::StructureType && AggregateTag != Tag::ClassType &&
+      AggregateTag != Tag::UnionType)
+    return {};
+  if (Info.getFlag(D, Attr::Declaration))
+    return {}; // Forward declaration: no fields known.
+
+  std::vector<std::string> Tokens;
+  ConvertOptions Options;
+  Options.KeepNames = false;
+  for (DieRef Child : Info.children(D)) {
+    if (Info.tag(Child) != Tag::Member)
+      continue;
+    Type FieldType = typeFromDwarf(Info, Info.typeOf(Child), Options);
+    Tokens.push_back(shapeToken(FieldType));
+    if (Tokens.size() >= MaxFields)
+      break;
+  }
+  return Tokens;
+}
+
+} // namespace typelang
+} // namespace snowwhite

@@ -1,0 +1,44 @@
+//===- typelang/fields.h - Field-shape summaries (extension) ---------------===//
+//
+// EXTENSION beyond the paper. SNOWWHITE deliberately does not capture the
+// individual fields of aggregates and names their prediction as future work
+// (§3.3: "prediction of field types is a challenge left for future work";
+// §6.4: "Future work could explore to predict information about the struct
+// fields as well"). This module implements the target side of that task: a
+// flat token summary of the pointee aggregate's field shapes, e.g. a
+// `FILE *` parameter yields {"u32", "i32", "i64", "ptr"}. The learnable
+// source signal exists because field accesses compile to loads/stores at
+// the fields' offsets with the fields' widths.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_TYPELANG_FIELDS_H
+#define SNOWWHITE_TYPELANG_FIELDS_H
+
+#include "dwarf/die.h"
+#include "typelang/type.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace typelang {
+
+/// The single shape token of a (field) type: "bool", "i8".."u64", "f32",
+/// "f64", "cchar", "wchar", "complex", "ptr", "arr", "enum", "agg", "fn",
+/// or "unk".
+std::string shapeToken(const Type &T);
+
+/// If TypeDie (after stripping typedefs/const/volatile and exactly the
+/// outermost pointer/reference) resolves to a defined aggregate, returns the
+/// shape tokens of its first MaxFields fields, in declaration order.
+/// Returns an empty vector for anything else (primitives, opaque pointers,
+/// deep pointers, enums, ...).
+std::vector<std::string> fieldShapeTokens(const dwarf::DebugInfo &Info,
+                                          dwarf::DieRef TypeDie,
+                                          unsigned MaxFields = 8);
+
+} // namespace typelang
+} // namespace snowwhite
+
+#endif // SNOWWHITE_TYPELANG_FIELDS_H

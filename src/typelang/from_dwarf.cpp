@@ -1,0 +1,172 @@
+#include "typelang/from_dwarf.h"
+
+#include "typelang/variants.h"
+
+#include <set>
+
+namespace snowwhite {
+namespace typelang {
+
+using dwarf::Attr;
+using dwarf::DebugInfo;
+using dwarf::DieRef;
+using dwarf::Encoding;
+using dwarf::InvalidDieRef;
+using dwarf::Tag;
+
+namespace {
+
+/// Converts a DW_TAG_base_type DIE using its encoding, byte size, and name
+/// (paper §3.2: exact, language-independent primitive representation).
+Type convertBaseType(const DebugInfo &Info, DieRef D) {
+  uint64_t EncodingValue =
+      Info.getUint(D, Attr::Encoding).value_or(uint64_t(Encoding::Signed));
+  uint64_t ByteSize = Info.getUint(D, Attr::ByteSize).value_or(4);
+  std::string Name = Info.getString(D, Attr::Name).value_or("");
+  unsigned Bits = static_cast<unsigned>(ByteSize * 8);
+
+  auto ClampIntBits = [](unsigned B) -> unsigned {
+    if (B <= 8)
+      return 8;
+    if (B <= 16)
+      return 16;
+    if (B <= 32)
+      return 32;
+    return 64;
+  };
+
+  switch (static_cast<Encoding>(EncodingValue)) {
+  case Encoding::Boolean:
+    return Type::makeBool();
+  case Encoding::ComplexFloat:
+    return Type::makeComplex();
+  case Encoding::Float:
+    if (Bits <= 32)
+      return Type::makeFloat(32);
+    if (Bits <= 64)
+      return Type::makeFloat(64);
+    return Type::makeFloat(128);
+  case Encoding::Signed:
+    return Type::makeInt(ClampIntBits(Bits));
+  case Encoding::Unsigned:
+  case Encoding::Address:
+    return Type::makeUint(ClampIntBits(Bits));
+  case Encoding::SignedChar:
+    // "Plain" char is used only for character data; signed char is an int.
+    return Name == "char" ? Type::makeCChar() : Type::makeInt(8);
+  case Encoding::UnsignedChar:
+    return Name == "char" ? Type::makeCChar() : Type::makeUint(8);
+  case Encoding::Utf:
+    return Type::makeWChar(Bits <= 16 ? 16 : 32);
+  }
+  return Type::makeInt(32);
+}
+
+/// Wraps Base in a 'name' constructor if the DIE is named.
+Type wrapName(const DebugInfo &Info, DieRef D, Type Base) {
+  std::optional<std::string> Name = Info.getString(D, Attr::Name);
+  if (!Name || Name->empty())
+    return Base;
+  return Type::makeNamed(*Name, std::move(Base));
+}
+
+/// Core recursive conversion. Produces a type with *all* names attached;
+/// filtering and outermost-name selection run as separate passes below.
+/// Visited breaks reference cycles in the DWARF graph (paper §3.1).
+Type convertImpl(const DebugInfo &Info, DieRef D, std::set<DieRef> &Visited,
+                 unsigned Depth) {
+  if (D == InvalidDieRef)
+    return Type::makeUnknown();
+  // Cycle or pathological nesting: emit the uninformative type rather than
+  // an infinite sequence.
+  if (Depth > 32 || !Visited.insert(D).second)
+    return Type::makeUnknown();
+
+  Type Converted = [&] {
+    switch (Info.tag(D)) {
+    case Tag::BaseType:
+      return convertBaseType(Info, D);
+    case Tag::PointerType:
+    case Tag::ReferenceType:
+      // C++ references are mapped to pointers (§3.4): less instructive and
+      // harder to recover than the const/class distinctions we do keep.
+      return Type::makePointer(
+          convertImpl(Info, Info.typeOf(D), Visited, Depth + 1));
+    case Tag::ArrayType:
+      return Type::makeArray(
+          convertImpl(Info, Info.typeOf(D), Visited, Depth + 1));
+    case Tag::ConstType:
+      return Type::makeConst(
+          convertImpl(Info, Info.typeOf(D), Visited, Depth + 1));
+    case Tag::VolatileType:
+    case Tag::RestrictType:
+      // Optimization hints; removed when traversing the input type (§3.4).
+      return convertImpl(Info, Info.typeOf(D), Visited, Depth + 1);
+    case Tag::Typedef: {
+      Type Underlying = convertImpl(Info, Info.typeOf(D), Visited, Depth + 1);
+      return wrapName(Info, D, std::move(Underlying));
+    }
+    case Tag::StructureType:
+      // Forward declarations carry no usable definition: the element type is
+      // unknown (§3.5).
+      if (Info.getFlag(D, Attr::Declaration))
+        return Type::makeUnknown();
+      return wrapName(Info, D, Type::makeStruct());
+    case Tag::ClassType:
+      if (Info.getFlag(D, Attr::Declaration))
+        return Type::makeUnknown();
+      return wrapName(Info, D, Type::makeClass());
+    case Tag::UnionType:
+      if (Info.getFlag(D, Attr::Declaration))
+        return Type::makeUnknown();
+      return wrapName(Info, D, Type::makeUnion());
+    case Tag::EnumerationType:
+      return wrapName(Info, D, Type::makeEnum());
+    case Tag::SubroutineType:
+      return Type::makeFunction();
+    case Tag::UnspecifiedType:
+      // E.g. decltype(nullptr) (§3.5).
+      return Type::makeUnknown();
+    default:
+      return Type::makeUnknown();
+    }
+  }();
+
+  Visited.erase(D);
+  return Converted;
+}
+
+} // namespace
+
+Type typeFromDwarf(const DebugInfo &Info, DieRef TypeDie,
+                   const ConvertOptions &Options) {
+  std::set<DieRef> Visited;
+  Type Raw = convertImpl(Info, TypeDie, Visited, 0);
+  if (Options.KeepNestedNames)
+    return Raw;
+  if (!Options.KeepNames)
+    return dropTypeNames(Raw);
+  return filterTypeNames(Raw, Options.Vocabulary);
+}
+
+void collectTypeNames(const dwarf::DebugInfo &Info, dwarf::DieRef TypeDie,
+                      uint32_t PackageId, NameVocabulary &Vocabulary) {
+  // Convert with every name attached, then record the name that would be
+  // kept (the outermost surviving one) — matching what an L_SW sample would
+  // actually contain.
+  ConvertOptions AllNames;
+  Type Converted = typeFromDwarf(Info, TypeDie, AllNames);
+  const Type *Current = &Converted;
+  while (true) {
+    if (Current->kind() == TypeKind::TK_Name) {
+      Vocabulary.addOccurrence(Current->name(), PackageId);
+      return;
+    }
+    if (!Current->hasInner())
+      return;
+    Current = &Current->inner();
+  }
+}
+
+} // namespace typelang
+} // namespace snowwhite

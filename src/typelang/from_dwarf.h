@@ -1,0 +1,57 @@
+//===- typelang/from_dwarf.h - DWARF type graph -> type language -----------===//
+//
+// Produces a type sequence in the high-level language from the DWARF type
+// graph in a binary (paper §3.1): recursively traverse the graph, pattern
+// match on the type constructor (e.g. DW_TAG_pointer_type) and convert it to
+// a constructor of Fig. 3 or remove it (volatile/restrict). Cycles are
+// broken to prevent infinite sequences. Names are collapsed per §3.6:
+// typedefs and named datatype definitions both map to a single 'name'
+// constructor, only the outermost name is kept, and names are filtered
+// against a common-name vocabulary.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_TYPELANG_FROM_DWARF_H
+#define SNOWWHITE_TYPELANG_FROM_DWARF_H
+
+#include "dwarf/die.h"
+#include "typelang/type.h"
+#include "typelang/vocab.h"
+
+namespace snowwhite {
+namespace typelang {
+
+/// Tuning knobs for the conversion. The defaults produce the full L_SW
+/// language; the variant lowerings of §3.7 are applied afterwards by
+/// lowerToVariant (variants.h).
+struct ConvertOptions {
+  /// Map typedef / named-datatype names to 'name' constructors. When false,
+  /// names are dropped entirely.
+  bool KeepNames = true;
+
+  /// When non-null, only names in this vocabulary are kept ('L_SW'); when
+  /// null, all non-filtered names are kept ('L_SW All Names').
+  const NameVocabulary *Vocabulary = nullptr;
+
+  /// Keep *nested* names (skip the outermost-name selection and all name
+  /// filtering). Used by the dataset pipeline to produce a "rich" type that
+  /// can later be lowered to any language variant via lowerTypeToLanguage.
+  bool KeepNestedNames = false;
+};
+
+/// Converts the DWARF type DIE TypeDie into a Type of the language.
+/// InvalidDieRef converts to 'unknown' (e.g. void behind a pointer).
+Type typeFromDwarf(const dwarf::DebugInfo &Info, dwarf::DieRef TypeDie,
+                   const ConvertOptions &Options = {});
+
+/// Walks a full DWARF graph and records every name a 'name' constructor
+/// would use into Vocabulary (one occurrence per converted type sample),
+/// attributing them to PackageId. Used to build the corpus-wide vocabulary
+/// before the real conversion runs.
+void collectTypeNames(const dwarf::DebugInfo &Info, dwarf::DieRef TypeDie,
+                      uint32_t PackageId, NameVocabulary &Vocabulary);
+
+} // namespace typelang
+} // namespace snowwhite
+
+#endif // SNOWWHITE_TYPELANG_FROM_DWARF_H

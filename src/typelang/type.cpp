@@ -1,0 +1,347 @@
+#include "typelang/type.h"
+
+#include "support/str.h"
+
+#include <cctype>
+
+namespace snowwhite {
+namespace typelang {
+
+bool primKindHasBits(PrimKind Kind) {
+  switch (Kind) {
+  case PrimKind::PK_Int:
+  case PrimKind::PK_Uint:
+  case PrimKind::PK_Float:
+  case PrimKind::PK_WChar:
+    return true;
+  case PrimKind::PK_Bool:
+  case PrimKind::PK_Complex:
+  case PrimKind::PK_CChar:
+    return false;
+  }
+  assert(false && "unknown PrimKind");
+  return false;
+}
+
+const char *primKindName(PrimKind Kind) {
+  switch (Kind) {
+  case PrimKind::PK_Bool:
+    return "bool";
+  case PrimKind::PK_Int:
+    return "int";
+  case PrimKind::PK_Uint:
+    return "uint";
+  case PrimKind::PK_Float:
+    return "float";
+  case PrimKind::PK_Complex:
+    return "complex";
+  case PrimKind::PK_CChar:
+    return "cchar";
+  case PrimKind::PK_WChar:
+    return "wchar";
+  }
+  assert(false && "unknown PrimKind");
+  return "?";
+}
+
+static bool validPrimBits(PrimKind Kind, unsigned Bits) {
+  switch (Kind) {
+  case PrimKind::PK_Int:
+  case PrimKind::PK_Uint:
+    return Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64;
+  case PrimKind::PK_Float:
+    return Bits == 32 || Bits == 64 || Bits == 128;
+  case PrimKind::PK_WChar:
+    return Bits == 16 || Bits == 32;
+  case PrimKind::PK_Bool:
+  case PrimKind::PK_Complex:
+  case PrimKind::PK_CChar:
+    return Bits == 0;
+  }
+  return false;
+}
+
+Type Type::makePrim(PrimKind Kind, unsigned Bits) {
+  assert(validPrimBits(Kind, Bits) && "invalid primitive width");
+  Type T(TypeKind::TK_Primitive);
+  T.Prim = Kind;
+  T.Bits = Bits;
+  return T;
+}
+
+Type Type::makePointer(Type Pointee) {
+  Type T(TypeKind::TK_Pointer);
+  T.Inner = std::make_shared<const Type>(std::move(Pointee));
+  return T;
+}
+
+Type Type::makeArray(Type Element) {
+  Type T(TypeKind::TK_Array);
+  T.Inner = std::make_shared<const Type>(std::move(Element));
+  return T;
+}
+
+Type Type::makeConst(Type Underlying) {
+  Type T(TypeKind::TK_Const);
+  T.Inner = std::make_shared<const Type>(std::move(Underlying));
+  return T;
+}
+
+Type Type::makeNamed(std::string Name, Type Underlying) {
+  assert(!Name.empty() && "named type with empty name");
+  Type T(TypeKind::TK_Name);
+  T.NameStr = std::move(Name);
+  T.Inner = std::make_shared<const Type>(std::move(Underlying));
+  return T;
+}
+
+std::vector<std::string> Type::tokens() const {
+  std::vector<std::string> Out;
+  const Type *Current = this;
+  while (true) {
+    switch (Current->Kind) {
+    case TypeKind::TK_Primitive:
+      Out.emplace_back("primitive");
+      Out.emplace_back(primKindName(Current->Prim));
+      if (primKindHasBits(Current->Prim))
+        Out.emplace_back(std::to_string(Current->Bits));
+      return Out;
+    case TypeKind::TK_Pointer:
+      Out.emplace_back("pointer");
+      break;
+    case TypeKind::TK_Array:
+      Out.emplace_back("array");
+      break;
+    case TypeKind::TK_Const:
+      Out.emplace_back("const");
+      break;
+    case TypeKind::TK_Name:
+      Out.emplace_back("name");
+      Out.emplace_back("\"" + Current->NameStr + "\"");
+      break;
+    case TypeKind::TK_Struct:
+      Out.emplace_back("struct");
+      return Out;
+    case TypeKind::TK_Class:
+      Out.emplace_back("class");
+      return Out;
+    case TypeKind::TK_Union:
+      Out.emplace_back("union");
+      return Out;
+    case TypeKind::TK_Enum:
+      Out.emplace_back("enum");
+      return Out;
+    case TypeKind::TK_Function:
+      Out.emplace_back("function");
+      return Out;
+    case TypeKind::TK_Unknown:
+      Out.emplace_back("unknown");
+      return Out;
+    }
+    Current = Current->Inner.get();
+    assert(Current && "wrapper without inner type");
+  }
+}
+
+std::string Type::toString() const {
+  return joinStrings(tokens(), " ");
+}
+
+unsigned Type::nestingDepth() const {
+  unsigned Depth = 0;
+  const Type *Current = this;
+  while (Current->hasInner()) {
+    ++Depth;
+    Current = Current->Inner.get();
+  }
+  return Depth;
+}
+
+bool Type::operator==(const Type &Other) const {
+  const Type *A = this;
+  const Type *B = &Other;
+  while (true) {
+    if (A->Kind != B->Kind)
+      return false;
+    switch (A->Kind) {
+    case TypeKind::TK_Primitive:
+      return A->Prim == B->Prim && A->Bits == B->Bits;
+    case TypeKind::TK_Name:
+      if (A->NameStr != B->NameStr)
+        return false;
+      break;
+    default:
+      break;
+    }
+    if (!A->hasInner())
+      return true;
+    A = A->Inner.get();
+    B = B->Inner.get();
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser over the prefix token stream.
+class TypeParser {
+public:
+  explicit TypeParser(const std::vector<std::string> &Tokens)
+      : Tokens(Tokens) {}
+
+  Result<Type> run() {
+    Result<Type> Parsed = parse(0);
+    if (Parsed.isErr())
+      return Parsed;
+    if (Position != Tokens.size())
+      return Error("trailing tokens after type");
+    return Parsed;
+  }
+
+private:
+  Result<Type> parse(unsigned Depth) {
+    // Generous recursion bound; malformed model output must not overflow the
+    // stack.
+    if (Depth > 64)
+      return Error("type nesting too deep");
+    if (Position >= Tokens.size())
+      return Error("unexpected end of type");
+    const std::string &Head = Tokens[Position++];
+    if (Head == "primitive")
+      return parsePrimitive();
+    if (Head == "pointer") {
+      Result<Type> Inner = parse(Depth + 1);
+      if (Inner.isErr())
+        return Inner;
+      return Type::makePointer(Inner.take());
+    }
+    if (Head == "array") {
+      Result<Type> Inner = parse(Depth + 1);
+      if (Inner.isErr())
+        return Inner;
+      return Type::makeArray(Inner.take());
+    }
+    if (Head == "const") {
+      Result<Type> Inner = parse(Depth + 1);
+      if (Inner.isErr())
+        return Inner;
+      return Type::makeConst(Inner.take());
+    }
+    if (Head == "name") {
+      if (Position >= Tokens.size())
+        return Error("'name' without a literal");
+      std::string Literal = Tokens[Position++];
+      if (Literal.size() < 2 || Literal.front() != '"' ||
+          Literal.back() != '"')
+        return Error("name literal must be quoted");
+      std::string Name = Literal.substr(1, Literal.size() - 2);
+      if (Name.empty())
+        return Error("empty name literal");
+      Result<Type> Inner = parse(Depth + 1);
+      if (Inner.isErr())
+        return Inner;
+      return Type::makeNamed(std::move(Name), Inner.take());
+    }
+    if (Head == "struct")
+      return Type::makeStruct();
+    if (Head == "class")
+      return Type::makeClass();
+    if (Head == "union")
+      return Type::makeUnion();
+    if (Head == "enum")
+      return Type::makeEnum();
+    if (Head == "function")
+      return Type::makeFunction();
+    if (Head == "unknown")
+      return Type::makeUnknown();
+    return Error("unknown type token '" + Head + "'");
+  }
+
+  Result<Type> parsePrimitive() {
+    if (Position >= Tokens.size())
+      return Error("'primitive' without a kind");
+    const std::string &KindToken = Tokens[Position++];
+    PrimKind Kind;
+    if (KindToken == "bool")
+      Kind = PrimKind::PK_Bool;
+    else if (KindToken == "int")
+      Kind = PrimKind::PK_Int;
+    else if (KindToken == "uint")
+      Kind = PrimKind::PK_Uint;
+    else if (KindToken == "float")
+      Kind = PrimKind::PK_Float;
+    else if (KindToken == "complex")
+      Kind = PrimKind::PK_Complex;
+    else if (KindToken == "cchar")
+      Kind = PrimKind::PK_CChar;
+    else if (KindToken == "wchar")
+      Kind = PrimKind::PK_WChar;
+    else
+      return Error("unknown primitive '" + KindToken + "'");
+
+    unsigned Bits = 0;
+    if (primKindHasBits(Kind)) {
+      if (Position >= Tokens.size())
+        return Error("primitive missing bit width");
+      const std::string &BitsToken = Tokens[Position++];
+      Bits = 0;
+      for (char Digit : BitsToken) {
+        if (Digit < '0' || Digit > '9')
+          return Error("bad bit width '" + BitsToken + "'");
+        Bits = Bits * 10 + static_cast<unsigned>(Digit - '0');
+        if (Bits > 1024)
+          return Error("bit width out of range");
+      }
+      if (!validPrimBits(Kind, Bits))
+        return Error("invalid width " + BitsToken + " for " + KindToken);
+    }
+    return Type::makePrim(Kind, Bits);
+  }
+
+  const std::vector<std::string> &Tokens;
+  size_t Position = 0;
+};
+
+} // namespace
+
+Result<Type> parseType(const std::vector<std::string> &Tokens) {
+  TypeParser Parser(Tokens);
+  return Parser.run();
+}
+
+Result<Type> parseType(const std::string &Text) {
+  // Name literals are quoted and may contain spaces ("basic_string<char,
+  // ...>"), so tokenization must keep quoted regions intact.
+  std::vector<std::string> Tokens;
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I >= Text.size())
+      break;
+    size_t Start = I;
+    if (Text[I] == '"') {
+      ++I;
+      while (I < Text.size() && Text[I] != '"')
+        ++I;
+      if (I >= Text.size())
+        return Error("unterminated name literal");
+      ++I; // Include the closing quote.
+    } else {
+      while (I < Text.size() &&
+             !std::isspace(static_cast<unsigned char>(Text[I])))
+        ++I;
+    }
+    Tokens.emplace_back(Text.substr(Start, I - Start));
+  }
+  return parseType(Tokens);
+}
+
+std::vector<std::string> typeLanguageKeywords() {
+  return {"primitive", "pointer", "array",  "const",   "name",  "struct",
+          "class",     "union",   "enum",   "function", "unknown", "bool",
+          "int",       "uint",    "float",  "complex", "cchar", "wchar",
+          "8",         "16",      "32",     "64",      "128"};
+}
+
+} // namespace typelang
+} // namespace snowwhite

@@ -1,0 +1,170 @@
+//===- typelang/type.h - The SNOWWHITE high-level type language ------------===//
+//
+// The paper's core contribution: an expressive type language for binary type
+// recovery (Fig. 3). Types are recursive and linearize to prefix token
+// sequences, which is what turns type prediction into sequence prediction:
+//
+//   type      ::= 'primitive' primitive
+//               | 'pointer' type | 'array' type
+//               | 'const' type
+//               | 'name' <string> type
+//               | 'struct' | 'class' | 'union' | 'enum'
+//               | 'function' | 'unknown'
+//   primitive ::= 'bool' | 'int' bits | 'uint' bits | 'float' bits
+//               | 'complex' | 'cchar' | 'wchar' bits
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_TYPELANG_TYPE_H
+#define SNOWWHITE_TYPELANG_TYPE_H
+
+#include "support/result.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace typelang {
+
+/// Discriminates the Type constructors of Fig. 3.
+enum class TypeKind : uint8_t {
+  TK_Primitive,
+  TK_Pointer,
+  TK_Array,
+  TK_Const,
+  TK_Name,
+  TK_Struct,
+  TK_Class,
+  TK_Union,
+  TK_Enum,
+  TK_Function,
+  TK_Unknown,
+};
+
+/// Discriminates the primitive types. Sizes are tracked exactly (in bits) to
+/// avoid the ambiguous C names the paper argues against (ILP32 vs LP64).
+enum class PrimKind : uint8_t {
+  PK_Bool,
+  PK_Int,     ///< Signed integer; Bits in {8, 16, 32, 64}.
+  PK_Uint,    ///< Unsigned integer; Bits in {8, 16, 32, 64}.
+  PK_Float,   ///< IEEE float; Bits in {32, 64, 128}.
+  PK_Complex, ///< C built-in _Complex.
+  PK_CChar,   ///< "Plain" C char: character data, not arithmetic.
+  PK_WChar,   ///< Wide/unicode char; Bits in {16, 32}.
+};
+
+/// Whether this primitive kind carries a bit width in the type language.
+bool primKindHasBits(PrimKind Kind);
+
+/// Token spelling of a primitive kind ("bool", "int", ...).
+const char *primKindName(PrimKind Kind);
+
+/// An immutable, value-semantic type term. Nested types (pointer, array,
+/// const, name) share their pointee structurally via shared_ptr, so copies
+/// are cheap; Type values are never mutated after construction.
+class Type {
+public:
+  /// Default-constructs the uninformative 'unknown' type.
+  Type() : Kind(TypeKind::TK_Unknown) {}
+
+  static Type makeBool() { return makePrim(PrimKind::PK_Bool, 0); }
+  static Type makeInt(unsigned Bits) { return makePrim(PrimKind::PK_Int, Bits); }
+  static Type makeUint(unsigned Bits) {
+    return makePrim(PrimKind::PK_Uint, Bits);
+  }
+  static Type makeFloat(unsigned Bits) {
+    return makePrim(PrimKind::PK_Float, Bits);
+  }
+  static Type makeComplex() { return makePrim(PrimKind::PK_Complex, 0); }
+  static Type makeCChar() { return makePrim(PrimKind::PK_CChar, 0); }
+  static Type makeWChar(unsigned Bits) {
+    return makePrim(PrimKind::PK_WChar, Bits);
+  }
+  static Type makePrim(PrimKind Kind, unsigned Bits);
+
+  static Type makePointer(Type Pointee);
+  static Type makeArray(Type Element);
+  static Type makeConst(Type Underlying);
+  static Type makeNamed(std::string Name, Type Underlying);
+  static Type makeStruct() { return Type(TypeKind::TK_Struct); }
+  static Type makeClass() { return Type(TypeKind::TK_Class); }
+  static Type makeUnion() { return Type(TypeKind::TK_Union); }
+  static Type makeEnum() { return Type(TypeKind::TK_Enum); }
+  static Type makeFunction() { return Type(TypeKind::TK_Function); }
+  static Type makeUnknown() { return Type(TypeKind::TK_Unknown); }
+
+  TypeKind kind() const { return Kind; }
+  bool isPrimitive() const { return Kind == TypeKind::TK_Primitive; }
+
+  /// True for constructors that wrap an inner type.
+  bool hasInner() const {
+    return Kind == TypeKind::TK_Pointer || Kind == TypeKind::TK_Array ||
+           Kind == TypeKind::TK_Const || Kind == TypeKind::TK_Name;
+  }
+
+  /// The wrapped type; only valid when hasInner().
+  const Type &inner() const {
+    assert(hasInner() && Inner && "no inner type");
+    return *Inner;
+  }
+
+  PrimKind primKind() const {
+    assert(isPrimitive() && "not a primitive");
+    return Prim;
+  }
+  unsigned primBits() const {
+    assert(isPrimitive() && "not a primitive");
+    return Bits;
+  }
+
+  /// The literal of a 'name' constructor; only valid for TK_Name.
+  const std::string &name() const {
+    assert(Kind == TypeKind::TK_Name && "not a named type");
+    return NameStr;
+  }
+
+  /// Linearizes to the prefix token sequence, e.g.
+  /// {"pointer", "const", "primitive", "cchar"}. Name literals are quoted
+  /// tokens: {"name", "\"size_t\"", "primitive", "uint", "32"}.
+  std::vector<std::string> tokens() const;
+
+  /// Tokens joined with spaces: the canonical display string.
+  std::string toString() const;
+
+  /// Number of nested type constructors: 0 for leaves, 1 for 'pointer
+  /// primitive float 64', etc. (paper §6.2 "recursion depth").
+  unsigned nestingDepth() const;
+
+  /// Structural equality.
+  bool operator==(const Type &Other) const;
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+private:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind Kind;
+  PrimKind Prim = PrimKind::PK_Int;
+  unsigned Bits = 0;
+  std::string NameStr;
+  std::shared_ptr<const Type> Inner;
+};
+
+/// Parses a prefix token sequence back into a Type. The grammar is prefix-
+/// unambiguous, so this is a single-pass recursive descent. Fails on
+/// unknown tokens, missing operands, or trailing tokens.
+Result<Type> parseType(const std::vector<std::string> &Tokens);
+
+/// Convenience: parse from a space-separated string.
+Result<Type> parseType(const std::string &Text);
+
+/// All keyword tokens of the type language (excluding name literals and bit
+/// widths); used to seed model vocabularies.
+std::vector<std::string> typeLanguageKeywords();
+
+} // namespace typelang
+} // namespace snowwhite
+
+#endif // SNOWWHITE_TYPELANG_TYPE_H

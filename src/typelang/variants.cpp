@@ -1,0 +1,230 @@
+#include "typelang/variants.h"
+
+#include <cassert>
+
+namespace snowwhite {
+namespace typelang {
+
+const char *typeLanguageName(TypeLanguageKind Kind) {
+  switch (Kind) {
+  case TypeLanguageKind::TL_Sw:
+    return "Lsw";
+  case TypeLanguageKind::TL_SwAllNames:
+    return "Lsw, All Names";
+  case TypeLanguageKind::TL_SwSimplified:
+    return "Lsw, Simplified";
+  case TypeLanguageKind::TL_Eklavya:
+    return "L_Eklavya";
+  }
+  assert(false && "unknown language");
+  return "?";
+}
+
+Type simplifyType(const Type &T) {
+  switch (T.kind()) {
+  case TypeKind::TK_Name:
+  case TypeKind::TK_Const:
+    // Flattened away entirely.
+    return simplifyType(T.inner());
+  case TypeKind::TK_Class:
+    return Type::makeStruct();
+  case TypeKind::TK_Pointer:
+    return Type::makePointer(simplifyType(T.inner()));
+  case TypeKind::TK_Array:
+    return Type::makeArray(simplifyType(T.inner()));
+  default:
+    return T;
+  }
+}
+
+std::string eklavyaLabel(const Type &T) {
+  switch (T.kind()) {
+  case TypeKind::TK_Pointer:
+  case TypeKind::TK_Array:
+    // Eklavya does not distinguish arrays from pointers and tracks no
+    // pointee type.
+    return "pointer";
+  case TypeKind::TK_Const:
+  case TypeKind::TK_Name:
+    return eklavyaLabel(T.inner());
+  case TypeKind::TK_Struct:
+  case TypeKind::TK_Class:
+    return "struct";
+  case TypeKind::TK_Union:
+    return "union";
+  case TypeKind::TK_Enum:
+    return "enum";
+  case TypeKind::TK_Function:
+    return "pointer";
+  case TypeKind::TK_Unknown:
+    return "int";
+  case TypeKind::TK_Primitive:
+    switch (T.primKind()) {
+    case PrimKind::PK_Bool:
+    case PrimKind::PK_Int:
+    case PrimKind::PK_Uint:
+      // Booleans are not distinguished from integers in Eklavya.
+      return "int";
+    case PrimKind::PK_Float:
+    case PrimKind::PK_Complex:
+      return "float";
+    case PrimKind::PK_CChar:
+    case PrimKind::PK_WChar:
+      return "char";
+    }
+  }
+  assert(false && "unhandled type kind");
+  return "int";
+}
+
+namespace {
+
+/// Rebuilds T without 'name' constructors that are filtered or missing from
+/// Vocabulary (when given).
+Type dropRejectedNames(const Type &T, const NameVocabulary *Vocabulary) {
+  switch (T.kind()) {
+  case TypeKind::TK_Name: {
+    Type Inner = dropRejectedNames(T.inner(), Vocabulary);
+    if (isFilteredName(T.name()))
+      return Inner;
+    if (Vocabulary && !Vocabulary->contains(T.name()))
+      return Inner;
+    return Type::makeNamed(T.name(), std::move(Inner));
+  }
+  case TypeKind::TK_Pointer:
+    return Type::makePointer(dropRejectedNames(T.inner(), Vocabulary));
+  case TypeKind::TK_Array:
+    return Type::makeArray(dropRejectedNames(T.inner(), Vocabulary));
+  case TypeKind::TK_Const:
+    return Type::makeConst(dropRejectedNames(T.inner(), Vocabulary));
+  default:
+    return T;
+  }
+}
+
+/// Keeps only the outermost 'name' constructor.
+Type keepOutermostName(const Type &T, bool SeenName) {
+  switch (T.kind()) {
+  case TypeKind::TK_Name: {
+    if (SeenName)
+      return keepOutermostName(T.inner(), true);
+    return Type::makeNamed(T.name(), keepOutermostName(T.inner(), true));
+  }
+  case TypeKind::TK_Pointer:
+    return Type::makePointer(keepOutermostName(T.inner(), SeenName));
+  case TypeKind::TK_Array:
+    return Type::makeArray(keepOutermostName(T.inner(), SeenName));
+  case TypeKind::TK_Const:
+    return Type::makeConst(keepOutermostName(T.inner(), SeenName));
+  default:
+    return T;
+  }
+}
+
+} // namespace
+
+Type filterTypeNames(const Type &T, const NameVocabulary *Vocabulary) {
+  return keepOutermostName(dropRejectedNames(T, Vocabulary), false);
+}
+
+Type dropTypeNames(const Type &T) {
+  switch (T.kind()) {
+  case TypeKind::TK_Name:
+    return dropTypeNames(T.inner());
+  case TypeKind::TK_Pointer:
+    return Type::makePointer(dropTypeNames(T.inner()));
+  case TypeKind::TK_Array:
+    return Type::makeArray(dropTypeNames(T.inner()));
+  case TypeKind::TK_Const:
+    return Type::makeConst(dropTypeNames(T.inner()));
+  default:
+    return T;
+  }
+}
+
+wasm::ValType lowLevelTypeOf(const Type &T) {
+  switch (T.kind()) {
+  case TypeKind::TK_Const:
+  case TypeKind::TK_Name:
+    return lowLevelTypeOf(T.inner());
+  case TypeKind::TK_Primitive:
+    switch (T.primKind()) {
+    case PrimKind::PK_Int:
+    case PrimKind::PK_Uint:
+      return T.primBits() == 64 ? wasm::ValType::I64 : wasm::ValType::I32;
+    case PrimKind::PK_Float:
+      if (T.primBits() == 32)
+        return wasm::ValType::F32;
+      if (T.primBits() == 64)
+        return wasm::ValType::F64;
+      return wasm::ValType::I32; // float 128: passed indirectly.
+    case PrimKind::PK_Complex:
+      return wasm::ValType::I32; // Passed indirectly.
+    case PrimKind::PK_Bool:
+    case PrimKind::PK_CChar:
+    case PrimKind::PK_WChar:
+      return wasm::ValType::I32;
+    }
+    return wasm::ValType::I32;
+  default:
+    // Pointers, arrays, aggregates, enums, functions, unknown.
+    return wasm::ValType::I32;
+  }
+}
+
+std::vector<std::string>
+lowerTypeToLanguage(const Type &Rich, TypeLanguageKind Kind,
+                    const NameVocabulary *Vocabulary) {
+  switch (Kind) {
+  case TypeLanguageKind::TL_Sw:
+    return filterTypeNames(Rich, Vocabulary).tokens();
+  case TypeLanguageKind::TL_SwAllNames:
+    return filterTypeNames(Rich, nullptr).tokens();
+  case TypeLanguageKind::TL_SwSimplified:
+    return simplifyType(dropTypeNames(Rich)).tokens();
+  case TypeLanguageKind::TL_Eklavya:
+    return {eklavyaLabel(Rich)};
+  }
+  assert(false && "unknown language");
+  return {};
+}
+
+std::vector<std::string> typeTokensInLanguage(const Type &T,
+                                              TypeLanguageKind Kind) {
+  switch (Kind) {
+  case TypeLanguageKind::TL_Sw:
+  case TypeLanguageKind::TL_SwAllNames:
+    // Name filtering for these two variants happens at DWARF conversion
+    // time (the vocabulary is a conversion input).
+    return T.tokens();
+  case TypeLanguageKind::TL_SwSimplified:
+    return simplifyType(T).tokens();
+  case TypeLanguageKind::TL_Eklavya:
+    return {eklavyaLabel(T)};
+  }
+  assert(false && "unknown language");
+  return {};
+}
+
+std::vector<LanguageFeatureRow> languageFeatureMatrix() {
+  // Columns follow Table 1 of the paper. Prim size: 0 = unsupported,
+  // 1 = exact bit width, 2 = via (ambiguous) C type names.
+  return {
+      {"Eklavya", "7", "Fixed set", true, false, false, 0, true, false, true,
+       true, false, false, "x", "Top-1", false, false, "-"},
+      {"Debin", "17", "Fixed set", true, true, false, 2, true, false, true,
+       true, true, false, "x", "Top-1", false, false, "-"},
+      {"TypeMiner", "11", "Fixed set", true, true, true, 0, false, false,
+       false, false, true, false, "struct,char,func", "Top-1", false, false,
+       "-"},
+      {"StateFormer", "35", "Fixed set", true, false, true, 2, false, true,
+       true, true, true, false, "Single level", "Top-1", false, false, "-"},
+      {"SNOWWHITE", "inf", "Sequence", true, true, true, 1, true, true, true,
+       true, true, true, "Recursive", "Top-k", false, false, "class"},
+      {"Full DWARF", "inf", "Full graph", true, true, true, 1, true, true,
+       true, true, true, true, "Recursive", "-", true, true, "all"},
+  };
+}
+
+} // namespace typelang
+} // namespace snowwhite

@@ -1,0 +1,99 @@
+//===- typelang/variants.h - Type language variants (§3.7) -----------------===//
+//
+// To evaluate the effect of type-language expressiveness, the paper defines
+// variants of L_SW: "All Names" (no frequency filtering of names),
+// "Simplified" (no const, no class/struct distinction, no names — close to
+// prior work like StateFormer), and the 7-label L_Eklavya baseline language.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_TYPELANG_VARIANTS_H
+#define SNOWWHITE_TYPELANG_VARIANTS_H
+
+#include "typelang/type.h"
+#include "typelang/vocab.h"
+#include "wasm/types.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace typelang {
+
+/// The type languages compared in Tables 4 and 5.
+enum class TypeLanguageKind : uint8_t {
+  TL_Sw,           ///< L_SW: common names, const, class/struct distinction.
+  TL_SwAllNames,   ///< L_SW with every (non-filtered) name kept.
+  TL_SwSimplified, ///< L_SW without name/const/class constructors.
+  TL_Eklavya,      ///< Fixed 7-label set of Eklavya.
+};
+
+/// Human-readable language name, e.g. "Lsw" or "Lsw, Simplified".
+const char *typeLanguageName(TypeLanguageKind Kind);
+
+/// Applies the "Simplified" lowering: removes 'name' and 'const'
+/// constructors and maps 'class' to 'struct'.
+Type simplifyType(const Type &T);
+
+/// Name filtering (§3.6) on an already-converted type that may carry nested
+/// names: drops names that are filtered (underscore/primitive restatements)
+/// or absent from Vocabulary (nullptr = keep all non-filtered names), then
+/// keeps only the outermost surviving 'name' constructor.
+Type filterTypeNames(const Type &T, const NameVocabulary *Vocabulary);
+
+/// Removes every 'name' constructor.
+Type dropTypeNames(const Type &T);
+
+/// The wasm value type a value of T occupies (wasm32 C ABI): pointers,
+/// arrays, aggregates, enums, bools, chars and sub-64-bit integers are i32;
+/// 64-bit integers are i64; float 32 is f32; float 64 is f64; float 128 and
+/// complex are passed indirectly (i32).
+wasm::ValType lowLevelTypeOf(const Type &T);
+
+/// Lowers a rich type (nested names kept, as produced with
+/// ConvertOptions::KeepNestedNames) into the given language. For TL_Sw pass
+/// the corpus vocabulary; it is ignored for the other variants.
+std::vector<std::string>
+lowerTypeToLanguage(const Type &Rich, TypeLanguageKind Kind,
+                    const NameVocabulary *Vocabulary);
+
+/// Maps a type to its single L_Eklavya label, one of: "int", "char",
+/// "float", "pointer", "enum", "struct", "union".
+std::string eklavyaLabel(const Type &T);
+
+/// Token sequence of T in the given language. For the L_SW family this is
+/// the (possibly lowered) prefix sequence; for L_Eklavya it is a single
+/// label token.
+std::vector<std::string> typeTokensInLanguage(const Type &T,
+                                              TypeLanguageKind Kind);
+
+/// One row of the paper's Table 1 feature matrix.
+struct LanguageFeatureRow {
+  const char *Name;
+  const char *NumTypes; ///< "7", "17", ... or the infinity symbol.
+  const char *Structure;
+  bool IntCharDistinct;
+  bool Bool;
+  bool IntSign;
+  int PrimSize; ///< 0 = no, 1 = yes (exact), 2 = via C type names "(√)".
+  bool Enum;
+  bool Array;
+  bool Struct;
+  bool Union;
+  bool FuncPtr;
+  bool Const;
+  const char *PointerPointee;
+  const char *PredictionOutput; ///< e.g. "Top-k".
+  bool Fields;
+  bool OptimizationHints;
+  const char *LanguageSpecific;
+};
+
+/// Static data behind Table 1 (prior work rows reported from the respective
+/// papers; SNOWWHITE and full-DWARF rows reflect this implementation).
+std::vector<LanguageFeatureRow> languageFeatureMatrix();
+
+} // namespace typelang
+} // namespace snowwhite
+
+#endif // SNOWWHITE_TYPELANG_VARIANTS_H

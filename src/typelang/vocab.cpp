@@ -1,0 +1,90 @@
+#include "typelang/vocab.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace snowwhite {
+namespace typelang {
+
+bool isFilteredName(const std::string &Name) {
+  if (Name.empty())
+    return true;
+  if (Name[0] == '_')
+    return true;
+  // Names that restate the primitive representation carry no information
+  // beyond what the 'primitive' constructor already encodes.
+  static const char *PrimitiveNames[] = {
+      "int8_t",  "int16_t",  "int32_t",  "int64_t", "uint8_t", "uint16_t",
+      "uint32_t", "uint64_t", "char8_t", "bool",    "float",   "double",
+  };
+  for (const char *Primitive : PrimitiveNames)
+    if (Name == Primitive)
+      return true;
+  return false;
+}
+
+void NameVocabulary::addOccurrence(const std::string &Name,
+                                   uint32_t PackageId) {
+  assert(!Finalized && "addOccurrence after finalize");
+  if (isFilteredName(Name))
+    return;
+  PackagesByName[Name].insert(PackageId);
+  ++SamplesByName[Name];
+}
+
+void NameVocabulary::finalize(uint32_t TotalPackagesIn,
+                              double MinPackageFraction) {
+  assert(!Finalized && "finalize called twice");
+  TotalPackages = TotalPackagesIn;
+  uint32_t Threshold = static_cast<uint32_t>(
+      std::ceil(MinPackageFraction * static_cast<double>(TotalPackages)));
+  if (Threshold < 1)
+    Threshold = 1;
+  for (const auto &[Name, Packages] : PackagesByName)
+    if (Packages.size() >= Threshold)
+      Common.insert(Name);
+  Finalized = true;
+}
+
+bool NameVocabulary::contains(const std::string &Name) const {
+  assert(Finalized && "contains before finalize");
+  return Common.count(Name) != 0;
+}
+
+std::vector<std::string> NameVocabulary::names() const {
+  assert(Finalized && "names before finalize");
+  return std::vector<std::string>(Common.begin(), Common.end());
+}
+
+std::vector<NameVocabulary::NameStat>
+NameVocabulary::mostCommon(size_t Limit) const {
+  assert(Finalized && "mostCommon before finalize");
+  std::vector<NameStat> Stats;
+  for (const std::string &Name : Common) {
+    NameStat Stat;
+    Stat.Name = Name;
+    auto SampleIt = SamplesByName.find(Name);
+    Stat.SampleCount = SampleIt == SamplesByName.end() ? 0 : SampleIt->second;
+    auto PackageIt = PackagesByName.find(Name);
+    size_t InPackages =
+        PackageIt == PackagesByName.end() ? 0 : PackageIt->second.size();
+    Stat.PackageFraction =
+        TotalPackages == 0
+            ? 0.0
+            : static_cast<double>(InPackages) / TotalPackages;
+    Stats.push_back(std::move(Stat));
+  }
+  std::stable_sort(Stats.begin(), Stats.end(),
+                   [](const NameStat &A, const NameStat &B) {
+                     if (A.PackageFraction != B.PackageFraction)
+                       return A.PackageFraction > B.PackageFraction;
+                     return A.Name < B.Name;
+                   });
+  if (Stats.size() > Limit)
+    Stats.resize(Limit);
+  return Stats;
+}
+
+} // namespace typelang
+} // namespace snowwhite

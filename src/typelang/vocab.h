@@ -1,0 +1,74 @@
+//===- typelang/vocab.h - Common type-name vocabulary ----------------------===//
+//
+// The L_SW language keeps only *common* type names: names that appear in at
+// least 1% of all compiled packages (paper §3.6). Rare/project-specific
+// names are dropped, together with names starting with an underscore (likely
+// internal) and names that merely restate the primitive representation
+// (uint32_t etc.). This file builds that vocabulary from per-package name
+// occurrences and answers Table 3's "most common names" query.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_TYPELANG_VOCAB_H
+#define SNOWWHITE_TYPELANG_VOCAB_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace typelang {
+
+/// True if Name should never become a 'name' constructor, regardless of
+/// frequency: underscore-prefixed (internal) or restating a primitive
+/// (e.g. "uint32_t", "int8_t").
+bool isFilteredName(const std::string &Name);
+
+/// Frequency-based name vocabulary built over a corpus of packages.
+class NameVocabulary {
+public:
+  /// Records that Name occurred (in a typedef or named datatype definition)
+  /// inside package PackageId. Filtered names are ignored.
+  void addOccurrence(const std::string &Name, uint32_t PackageId);
+
+  /// Fixes the vocabulary: keep names appearing in at least
+  /// ceil(MinPackageFraction * TotalPackages) distinct packages (at least 1).
+  void finalize(uint32_t TotalPackages, double MinPackageFraction = 0.01);
+
+  /// True if Name survived finalization. Must be called after finalize().
+  bool contains(const std::string &Name) const;
+
+  /// Number of names kept.
+  size_t size() const { return Common.size(); }
+
+  /// All kept names (sorted).
+  std::vector<std::string> names() const;
+
+  /// One Table-3 row: a name with its sample count and the fraction of
+  /// packages it appears in.
+  struct NameStat {
+    std::string Name;
+    uint64_t SampleCount = 0;
+    double PackageFraction = 0.0;
+  };
+
+  /// Kept names ordered by descending package fraction (Table 3). Sample
+  /// counts reflect addOccurrence calls (one per extracted sample).
+  std::vector<NameStat> mostCommon(size_t Limit) const;
+
+  bool isFinalized() const { return Finalized; }
+
+private:
+  std::map<std::string, std::set<uint32_t>> PackagesByName;
+  std::map<std::string, uint64_t> SamplesByName;
+  std::set<std::string> Common;
+  uint32_t TotalPackages = 0;
+  bool Finalized = false;
+};
+
+} // namespace typelang
+} // namespace snowwhite
+
+#endif // SNOWWHITE_TYPELANG_VOCAB_H

@@ -1,0 +1,25 @@
+#include "wasm/abstract.h"
+
+#include "support/hash.h"
+
+namespace snowwhite {
+namespace wasm {
+
+std::string abstractInstr(const Instr &I) { return opcodeName(I.Op); }
+
+uint64_t abstractFunctionHash(const Function &Func) {
+  uint64_t Hash = 0xf00dULL;
+  for (const Instr &I : Func.Body)
+    Hash = hashCombine(Hash, static_cast<uint64_t>(I.Op));
+  return Hash;
+}
+
+uint64_t approximateModuleSignature(const Module &M) {
+  uint64_t Signature = 0xcafeULL;
+  for (const Function &Func : M.Functions)
+    Signature = hashCombine(Signature, abstractFunctionHash(Func));
+  return Signature;
+}
+
+} // namespace wasm
+} // namespace snowwhite

@@ -1,0 +1,36 @@
+//===- wasm/abstract.h - Instruction abstraction for dedup signatures -----===//
+//
+// Near-duplicate binaries (same code, different embedded strings/offsets)
+// are detected via an approximate signature (paper §5): every instruction is
+// abstracted to its bare mnemonic (local.get $0 -> local.get, i32.load
+// offset=8 -> i32.load), each function body is hashed, the function hashes
+// are concatenated in order, and the concatenation is hashed again.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_WASM_ABSTRACT_H
+#define SNOWWHITE_WASM_ABSTRACT_H
+
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace snowwhite {
+namespace wasm {
+
+/// The abstraction of an instruction: its mnemonic with all immediates
+/// removed.
+std::string abstractInstr(const Instr &I);
+
+/// Hash of a function's abstracted instruction sequence.
+uint64_t abstractFunctionHash(const Function &Func);
+
+/// Approximate whole-module signature: function hashes concatenated in order
+/// (order matters), hashed again.
+uint64_t approximateModuleSignature(const Module &M);
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_ABSTRACT_H

@@ -1,0 +1,46 @@
+#include "wasm/module.h"
+
+#include <cassert>
+
+namespace snowwhite {
+namespace wasm {
+
+std::vector<ValType> Function::flattenedLocals() const {
+  std::vector<ValType> Flat;
+  for (const LocalRun &Run : Locals)
+    for (uint32_t I = 0; I < Run.Count; ++I)
+      Flat.push_back(Run.Type);
+  return Flat;
+}
+
+uint32_t Module::internType(const FuncType &Type) {
+  for (uint32_t I = 0; I < Types.size(); ++I)
+    if (Types[I] == Type)
+      return I;
+  Types.push_back(Type);
+  return static_cast<uint32_t>(Types.size() - 1);
+}
+
+const FuncType &Module::functionType(uint32_t DefinedIndex) const {
+  assert(DefinedIndex < Functions.size() && "function index out of range");
+  uint32_t TypeIndex = Functions[DefinedIndex].TypeIndex;
+  assert(TypeIndex < Types.size() && "type index out of range");
+  return Types[TypeIndex];
+}
+
+const CustomSection *Module::findCustom(const std::string &Name) const {
+  for (const CustomSection &Section : Customs)
+    if (Section.Name == Name)
+      return &Section;
+  return nullptr;
+}
+
+uint64_t Module::countInstructions() const {
+  uint64_t Count = 0;
+  for (const Function &Func : Functions)
+    Count += Func.Body.size();
+  return Count;
+}
+
+} // namespace wasm
+} // namespace snowwhite

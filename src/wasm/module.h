@@ -1,0 +1,106 @@
+//===- wasm/module.h - In-memory WebAssembly module model -----------------===//
+
+#ifndef SNOWWHITE_WASM_MODULE_H
+#define SNOWWHITE_WASM_MODULE_H
+
+#include "wasm/instr.h"
+#include "wasm/types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace wasm {
+
+/// An imported function (module."name" with a type index).
+struct FuncImport {
+  std::string ModuleName;
+  std::string FieldName;
+  uint32_t TypeIndex = 0;
+};
+
+/// An exported function.
+struct FuncExport {
+  std::string Name;
+  uint32_t FuncIndex = 0;
+};
+
+/// A run of locals of the same type, as encoded in a code entry.
+struct LocalRun {
+  uint32_t Count = 0;
+  ValType Type = ValType::I32;
+
+  bool operator==(const LocalRun &Other) const = default;
+};
+
+/// A defined (non-imported) function.
+struct Function {
+  uint32_t TypeIndex = 0;
+  std::vector<LocalRun> Locals;
+  std::vector<Instr> Body; ///< Includes the terminating End.
+
+  /// Byte offset of this function's code entry in the serialized module,
+  /// filled in by Writer::write and Reader::read. This is the anchor that
+  /// DWARF DW_AT_low_pc refers to.
+  uint64_t CodeOffset = 0;
+
+  /// Expands Locals into a flat list of local value types (excluding
+  /// parameters).
+  std::vector<ValType> flattenedLocals() const;
+};
+
+/// Memory limits (MVP: one memory at most).
+struct MemoryDecl {
+  uint32_t MinPages = 1;
+  bool HasMax = false;
+  uint32_t MaxPages = 0;
+};
+
+/// A global variable with a constant initializer.
+struct GlobalDecl {
+  ValType Type = ValType::I32;
+  bool Mutable = false;
+  Instr Init = Instr::i32Const(0); ///< Must be a const instruction.
+};
+
+/// A custom section, e.g. ".debug_info". Bytes are opaque at this layer.
+struct CustomSection {
+  std::string Name;
+  std::vector<uint8_t> Bytes;
+};
+
+/// An entire WebAssembly module.
+struct Module {
+  std::vector<FuncType> Types;
+  std::vector<FuncImport> Imports;
+  std::vector<Function> Functions; ///< Defined functions only.
+  std::vector<MemoryDecl> Memories;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncExport> Exports;
+  std::vector<CustomSection> Customs;
+
+  /// Adds Type if not present and returns its index.
+  uint32_t internType(const FuncType &Type);
+
+  /// Returns the FuncType of defined function DefinedIndex (i.e. the index
+  /// into Functions, not counting imports).
+  const FuncType &functionType(uint32_t DefinedIndex) const;
+
+  /// Index space position of defined function DefinedIndex (imports come
+  /// first in the wasm function index space).
+  uint32_t functionSpaceIndex(uint32_t DefinedIndex) const {
+    return static_cast<uint32_t>(Imports.size()) + DefinedIndex;
+  }
+
+  /// Returns the custom section named Name, or nullptr.
+  const CustomSection *findCustom(const std::string &Name) const;
+
+  /// Total number of instructions across all defined function bodies.
+  uint64_t countInstructions() const;
+};
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_MODULE_H

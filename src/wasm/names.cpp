@@ -1,0 +1,86 @@
+#include "wasm/names.h"
+
+#include "support/leb128.h"
+
+namespace snowwhite {
+namespace wasm {
+
+void attachNameSection(Module &M, const FunctionNameMap &Names) {
+  // Drop any existing name section first.
+  std::vector<CustomSection> Kept;
+  for (CustomSection &Section : M.Customs)
+    if (Section.Name != "name")
+      Kept.push_back(std::move(Section));
+  M.Customs = std::move(Kept);
+
+  // Subsection 1: function names, a vec of (funcidx, name) sorted by index.
+  std::vector<uint8_t> Assoc;
+  encodeULEB128(Names.size(), Assoc);
+  for (const auto &[Index, Name] : Names) {
+    encodeULEB128(Index, Assoc);
+    encodeULEB128(Name.size(), Assoc);
+    Assoc.insert(Assoc.end(), Name.begin(), Name.end());
+  }
+  std::vector<uint8_t> Payload;
+  Payload.push_back(0x01); // Subsection id: function names.
+  encodeULEB128(Assoc.size(), Payload);
+  Payload.insert(Payload.end(), Assoc.begin(), Assoc.end());
+  M.Customs.push_back({"name", std::move(Payload)});
+}
+
+Result<FunctionNameMap> extractNameSection(const Module &M) {
+  const CustomSection *Section = M.findCustom("name");
+  if (!Section)
+    return Error("no name section");
+  const std::vector<uint8_t> &Bytes = Section->Bytes;
+  size_t Offset = 0;
+  FunctionNameMap Names;
+  while (Offset < Bytes.size()) {
+    uint8_t SubsectionId = Bytes[Offset++];
+    uint64_t Size;
+    if (!decodeULEB128(Bytes, Offset, Size))
+      return Error("truncated name subsection size");
+    if (Offset + Size > Bytes.size())
+      return Error("name subsection extends past section");
+    size_t End = Offset + static_cast<size_t>(Size);
+    if (SubsectionId != 0x01) {
+      Offset = End; // Skip module/local/other name subsections.
+      continue;
+    }
+    uint64_t Count;
+    if (!decodeULEB128(Bytes, Offset, Count))
+      return Error("truncated name count");
+    for (uint64_t I = 0; I < Count; ++I) {
+      uint64_t FuncIndex, NameSize;
+      if (!decodeULEB128(Bytes, Offset, FuncIndex) ||
+          !decodeULEB128(Bytes, Offset, NameSize))
+        return Error("truncated name assoc");
+      if (Offset + NameSize > Bytes.size())
+        return Error("name string extends past section");
+      Names[static_cast<uint32_t>(FuncIndex)] =
+          std::string(Bytes.begin() + Offset,
+                      Bytes.begin() + Offset + NameSize);
+      Offset += NameSize;
+    }
+    if (Offset != End)
+      return Error("name subsection size mismatch");
+  }
+  return Names;
+}
+
+std::string functionDisplayName(const Module &M, uint32_t DefinedIndex) {
+  uint32_t SpaceIndex = M.functionSpaceIndex(DefinedIndex);
+  Result<FunctionNameMap> Names = extractNameSection(M);
+  if (Names.isOk()) {
+    auto It = Names->find(SpaceIndex);
+    if (It != Names->end())
+      return It->second;
+  }
+  for (const FuncExport &Export : M.Exports)
+    if (Export.FuncIndex == SpaceIndex)
+      return Export.Name;
+  return "func[" + std::to_string(SpaceIndex) + "]";
+}
+
+} // namespace wasm
+} // namespace snowwhite

@@ -1,0 +1,40 @@
+//===- wasm/names.h - The "name" custom section ----------------------------===//
+//
+// The WebAssembly "name" custom section (spec appendix) carries debug names
+// for functions. Unlike the DWARF sections, toolchains often keep it even in
+// otherwise-stripped binaries, so a reverse engineer frequently has function
+// names but no types — exactly the scenario SNOWWHITE targets. Only the
+// function-names subsection (id 1) is implemented.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_WASM_NAMES_H
+#define SNOWWHITE_WASM_NAMES_H
+
+#include "support/result.h"
+#include "wasm/module.h"
+
+#include <map>
+#include <string>
+
+namespace snowwhite {
+namespace wasm {
+
+/// Function-index-space index -> name.
+using FunctionNameMap = std::map<uint32_t, std::string>;
+
+/// Encodes Names as a "name" custom section and appends it to M (replacing
+/// any existing one).
+void attachNameSection(Module &M, const FunctionNameMap &Names);
+
+/// Parses M's "name" custom section. Errors if absent or malformed.
+Result<FunctionNameMap> extractNameSection(const Module &M);
+
+/// The name of defined function DefinedIndex: from the name section if
+/// present, else from an export, else "func[N]".
+std::string functionDisplayName(const Module &M, uint32_t DefinedIndex);
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_NAMES_H

@@ -1,0 +1,382 @@
+#include "wasm/reader.h"
+
+#include "support/leb128.h"
+
+#include <cassert>
+
+namespace snowwhite {
+namespace wasm {
+
+namespace {
+
+/// Bounded cursor over the input bytes with primitive readers. All readers
+/// return false on truncation or malformed data.
+class Cursor {
+public:
+  Cursor(const std::vector<uint8_t> &Bytes, size_t Offset, size_t End)
+      : Bytes(Bytes), Offset(Offset), End(End) {
+    assert(End <= Bytes.size() && "cursor end past buffer");
+  }
+
+  size_t offset() const { return Offset; }
+  bool atEnd() const { return Offset >= End; }
+  size_t remaining() const { return End - Offset; }
+
+  bool readByte(uint8_t &Out) {
+    if (Offset >= End)
+      return false;
+    Out = Bytes[Offset++];
+    return true;
+  }
+
+  bool readU32(uint32_t &Out) {
+    uint64_t Wide;
+    if (!readU64(Wide) || Wide > UINT32_MAX)
+      return false;
+    Out = static_cast<uint32_t>(Wide);
+    return true;
+  }
+
+  bool readU64(uint64_t &Out) {
+    size_t Local = Offset;
+    if (!decodeULEB128(Bytes, Local, Out) || Local > End)
+      return false;
+    Offset = Local;
+    return true;
+  }
+
+  bool readS64(int64_t &Out) {
+    size_t Local = Offset;
+    if (!decodeSLEB128(Bytes, Local, Out) || Local > End)
+      return false;
+    Offset = Local;
+    return true;
+  }
+
+  bool readName(std::string &Out) {
+    uint32_t Size;
+    if (!readU32(Size) || remaining() < Size)
+      return false;
+    Out.assign(Bytes.begin() + Offset, Bytes.begin() + Offset + Size);
+    Offset += Size;
+    return true;
+  }
+
+  bool readValType(ValType &Out) {
+    uint8_t Byte;
+    return readByte(Byte) && valTypeFromByte(Byte, Out);
+  }
+
+  bool skip(size_t Count) {
+    if (remaining() < Count)
+      return false;
+    Offset += Count;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Offset;
+  size_t End;
+};
+
+bool readInstrAt(const std::vector<uint8_t> &Bytes, Cursor &C, Instr &Out) {
+  uint8_t Byte;
+  if (!C.readByte(Byte))
+    return false;
+  Opcode Op;
+  if (!opcodeFromByte(Byte, Op))
+    return false;
+  Out = Instr(Op);
+  Out.Table.clear();
+  switch (opcodeImmKind(Op)) {
+  case ImmKind::None:
+    return true;
+  case ImmKind::BlockType: {
+    uint8_t TypeByte;
+    if (!C.readByte(TypeByte))
+      return false;
+    if (TypeByte == 0x40) {
+      Out.Imm0 = 0;
+      return true;
+    }
+    ValType Type;
+    if (!valTypeFromByte(TypeByte, Type))
+      return false;
+    Out.Imm0 = 1 + static_cast<uint64_t>(Type);
+    return true;
+  }
+  case ImmKind::Label:
+  case ImmKind::Func:
+  case ImmKind::Local:
+  case ImmKind::Global:
+  case ImmKind::MemIdx:
+    return C.readU64(Out.Imm0);
+  case ImmKind::BrTable: {
+    uint32_t Count;
+    if (!C.readU32(Count))
+      return false;
+    Out.Table.resize(Count);
+    for (uint32_t I = 0; I < Count; ++I)
+      if (!C.readU32(Out.Table[I]))
+        return false;
+    return C.readU64(Out.Imm0);
+  }
+  case ImmKind::CallIndirect:
+    return C.readU64(Out.Imm0) && C.readU64(Out.Imm1);
+  case ImmKind::Mem:
+    return C.readU64(Out.Imm1) && C.readU64(Out.Imm0);
+  case ImmKind::I32: {
+    int64_t Value;
+    if (!C.readS64(Value))
+      return false;
+    if (Value < INT32_MIN || Value > INT32_MAX)
+      return false;
+    Out.Imm0 = static_cast<uint64_t>(Value);
+    return true;
+  }
+  case ImmKind::I64: {
+    int64_t Value;
+    if (!C.readS64(Value))
+      return false;
+    Out.Imm0 = static_cast<uint64_t>(Value);
+    return true;
+  }
+  case ImmKind::F32: {
+    uint64_t Bits = 0;
+    for (int Shift = 0; Shift < 32; Shift += 8) {
+      uint8_t B;
+      if (!C.readByte(B))
+        return false;
+      Bits |= static_cast<uint64_t>(B) << Shift;
+    }
+    Out.Imm0 = Bits;
+    return true;
+  }
+  case ImmKind::F64: {
+    uint64_t Bits = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8) {
+      uint8_t B;
+      if (!C.readByte(B))
+        return false;
+      Bits |= static_cast<uint64_t>(B) << Shift;
+    }
+    Out.Imm0 = Bits;
+    return true;
+  }
+  }
+  return false;
+}
+
+} // namespace
+
+bool readInstr(const std::vector<uint8_t> &Bytes, size_t &Offset, Instr &Out) {
+  Cursor C(Bytes, Offset, Bytes.size());
+  if (!readInstrAt(Bytes, C, Out))
+    return false;
+  Offset = C.offset();
+  return true;
+}
+
+Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 8)
+    return Error("module too small for header");
+  const uint8_t Header[] = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  for (int I = 0; I < 8; ++I)
+    if (Bytes[I] != Header[I])
+      return Error("bad magic or version");
+
+  Module M;
+  size_t TopOffset = 8;
+  while (TopOffset < Bytes.size()) {
+    Cursor Top(Bytes, TopOffset, Bytes.size());
+    uint8_t SectionId;
+    if (!Top.readByte(SectionId))
+      return Error("truncated section id");
+    uint32_t SectionSize;
+    if (!Top.readU32(SectionSize))
+      return Error("truncated section size");
+    if (Top.remaining() < SectionSize)
+      return Error("section extends past end of file");
+    size_t SectionStart = Top.offset();
+    size_t SectionEnd = SectionStart + SectionSize;
+    Cursor C(Bytes, SectionStart, SectionEnd);
+
+    switch (SectionId) {
+    case 0: { // Custom.
+      CustomSection Custom;
+      if (!C.readName(Custom.Name))
+        return Error("bad custom section name");
+      Custom.Bytes.assign(Bytes.begin() + C.offset(),
+                          Bytes.begin() + SectionEnd);
+      M.Customs.push_back(std::move(Custom));
+      break;
+    }
+    case 1: { // Type.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad type count");
+      for (uint32_t I = 0; I < Count; ++I) {
+        uint8_t Form;
+        if (!C.readByte(Form) || Form != 0x60)
+          return Error("unsupported type form");
+        FuncType Type;
+        uint32_t NumParams;
+        if (!C.readU32(NumParams))
+          return Error("bad param count");
+        Type.Params.resize(NumParams);
+        for (uint32_t P = 0; P < NumParams; ++P)
+          if (!C.readValType(Type.Params[P]))
+            return Error("bad param type");
+        uint32_t NumResults;
+        if (!C.readU32(NumResults))
+          return Error("bad result count");
+        if (NumResults > 1)
+          return Error("multi-value results not supported");
+        Type.Results.resize(NumResults);
+        for (uint32_t R = 0; R < NumResults; ++R)
+          if (!C.readValType(Type.Results[R]))
+            return Error("bad result type");
+        M.Types.push_back(std::move(Type));
+      }
+      break;
+    }
+    case 2: { // Import.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad import count");
+      for (uint32_t I = 0; I < Count; ++I) {
+        FuncImport Import;
+        if (!C.readName(Import.ModuleName) || !C.readName(Import.FieldName))
+          return Error("bad import name");
+        uint8_t Kind;
+        if (!C.readByte(Kind))
+          return Error("bad import kind");
+        if (Kind != 0x00)
+          return Error("only function imports supported");
+        if (!C.readU32(Import.TypeIndex))
+          return Error("bad import type index");
+        M.Imports.push_back(std::move(Import));
+      }
+      break;
+    }
+    case 3: { // Function.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad function count");
+      M.Functions.resize(Count);
+      for (uint32_t I = 0; I < Count; ++I)
+        if (!C.readU32(M.Functions[I].TypeIndex))
+          return Error("bad function type index");
+      break;
+    }
+    case 5: { // Memory.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad memory count");
+      for (uint32_t I = 0; I < Count; ++I) {
+        MemoryDecl Memory;
+        uint8_t Flags;
+        if (!C.readByte(Flags))
+          return Error("bad memory flags");
+        Memory.HasMax = Flags & 0x01;
+        if (!C.readU32(Memory.MinPages))
+          return Error("bad memory min");
+        if (Memory.HasMax && !C.readU32(Memory.MaxPages))
+          return Error("bad memory max");
+        M.Memories.push_back(Memory);
+      }
+      break;
+    }
+    case 6: { // Global.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad global count");
+      for (uint32_t I = 0; I < Count; ++I) {
+        GlobalDecl Global;
+        if (!C.readValType(Global.Type))
+          return Error("bad global type");
+        uint8_t Mutability;
+        if (!C.readByte(Mutability))
+          return Error("bad global mutability");
+        Global.Mutable = Mutability != 0;
+        if (!readInstrAt(Bytes, C, Global.Init))
+          return Error("bad global init");
+        Instr EndInstr;
+        if (!readInstrAt(Bytes, C, EndInstr) || EndInstr.Op != Opcode::End)
+          return Error("global init not terminated");
+        M.Globals.push_back(Global);
+      }
+      break;
+    }
+    case 7: { // Export.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad export count");
+      for (uint32_t I = 0; I < Count; ++I) {
+        FuncExport Export;
+        if (!C.readName(Export.Name))
+          return Error("bad export name");
+        uint8_t Kind;
+        if (!C.readByte(Kind))
+          return Error("bad export kind");
+        if (Kind != 0x00)
+          return Error("only function exports supported");
+        if (!C.readU32(Export.FuncIndex))
+          return Error("bad export func index");
+        M.Exports.push_back(std::move(Export));
+      }
+      break;
+    }
+    case 10: { // Code.
+      uint32_t Count;
+      if (!C.readU32(Count))
+        return Error("bad code count");
+      if (Count != M.Functions.size())
+        return Error("code/function section count mismatch");
+      for (uint32_t I = 0; I < Count; ++I) {
+        Function &Func = M.Functions[I];
+        Func.CodeOffset = C.offset();
+        uint32_t BodySize;
+        if (!C.readU32(BodySize))
+          return Error("bad body size");
+        if (C.remaining() < BodySize)
+          return Error("body extends past section");
+        size_t BodyEnd = C.offset() + BodySize;
+        Cursor BodyCursor(Bytes, C.offset(), BodyEnd);
+        uint32_t NumRuns;
+        if (!BodyCursor.readU32(NumRuns))
+          return Error("bad locals count");
+        for (uint32_t R = 0; R < NumRuns; ++R) {
+          LocalRun Run;
+          if (!BodyCursor.readU32(Run.Count) ||
+              !BodyCursor.readValType(Run.Type))
+            return Error("bad local run");
+          Func.Locals.push_back(Run);
+        }
+        while (!BodyCursor.atEnd()) {
+          Instr I2;
+          if (!readInstrAt(Bytes, BodyCursor, I2))
+            return Error("bad instruction");
+          Func.Body.push_back(std::move(I2));
+        }
+        if (Func.Body.empty() || Func.Body.back().Op != Opcode::End)
+          return Error("function body not terminated by end");
+        if (!C.skip(BodySize))
+          return Error("body skip failed");
+      }
+      break;
+    }
+    default:
+      // Skip unknown sections (e.g. data) rather than failing hard.
+      break;
+    }
+
+    // Advance past the section regardless of how much the handler consumed.
+    TopOffset = SectionEnd;
+  }
+  return M;
+}
+
+} // namespace wasm
+} // namespace snowwhite

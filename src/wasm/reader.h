@@ -1,0 +1,28 @@
+//===- wasm/reader.h - WebAssembly binary decoder --------------------------===//
+
+#ifndef SNOWWHITE_WASM_READER_H
+#define SNOWWHITE_WASM_READER_H
+
+#include "support/result.h"
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace snowwhite {
+namespace wasm {
+
+/// Decodes a WebAssembly binary into a Module. Static disassembly of
+/// WebAssembly is well-specified (unlike x86); any structural violation is
+/// reported as an error rather than guessed around. Function::CodeOffset is
+/// set to the byte offset of each code entry, matching writeModule.
+Result<Module> readModule(const std::vector<uint8_t> &Bytes);
+
+/// Decodes a single instruction at Bytes[Offset], advancing Offset. Returns
+/// false on malformed input. Exposed for tests.
+bool readInstr(const std::vector<uint8_t> &Bytes, size_t &Offset, Instr &Out);
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_READER_H

@@ -1,0 +1,141 @@
+#include "wasm/text.h"
+
+#include "wasm/writer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace snowwhite {
+namespace wasm {
+
+static std::string formatFloatConst(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%g", Value);
+  return Buffer;
+}
+
+std::vector<std::string> instrTokens(const Instr &I,
+                                     const TokenOptions &Options) {
+  std::vector<std::string> Tokens;
+  Tokens.emplace_back(opcodeName(I.Op));
+  switch (opcodeImmKind(I.Op)) {
+  case ImmKind::None:
+    break;
+  case ImmKind::BlockType: {
+    BlockType Type = I.blockType();
+    if (Type.HasResult)
+      Tokens.push_back(std::string("(result ") + valTypeName(Type.Result) +
+                       ")");
+    break;
+  }
+  case ImmKind::Label:
+    Tokens.push_back(std::to_string(I.Imm0));
+    break;
+  case ImmKind::BrTable:
+    for (uint32_t Target : I.Table)
+      Tokens.push_back(std::to_string(Target));
+    Tokens.push_back(std::to_string(I.Imm0));
+    break;
+  case ImmKind::Func:
+    if (!Options.OmitCallIndex)
+      Tokens.push_back(std::to_string(I.Imm0));
+    break;
+  case ImmKind::CallIndirect:
+    // The type index of an indirect call is a useful signature hint; keep it.
+    Tokens.push_back("(type " + std::to_string(I.Imm0) + ")");
+    break;
+  case ImmKind::Local:
+  case ImmKind::Global:
+    Tokens.push_back(std::to_string(I.Imm0));
+    break;
+  case ImmKind::Mem:
+    Tokens.push_back("offset=" + std::to_string(I.Imm0));
+    if (!Options.OmitAlignment && I.Imm1 != 0)
+      Tokens.push_back("align=" + std::to_string(uint64_t(1) << I.Imm1));
+    break;
+  case ImmKind::MemIdx:
+    break;
+  case ImmKind::I32:
+    Tokens.push_back(std::to_string(static_cast<int64_t>(I.Imm0)));
+    break;
+  case ImmKind::I64:
+    Tokens.push_back(std::to_string(static_cast<int64_t>(I.Imm0)));
+    break;
+  case ImmKind::F32:
+    Tokens.push_back(formatFloatConst(I.f32Value()));
+    break;
+  case ImmKind::F64:
+    Tokens.push_back(formatFloatConst(I.f64Value()));
+    break;
+  }
+  return Tokens;
+}
+
+std::string instrToString(const Instr &I, const TokenOptions &Options) {
+  std::vector<std::string> Tokens = instrTokens(I, Options);
+  std::string Out;
+  for (size_t T = 0; T < Tokens.size(); ++T) {
+    if (T != 0)
+      Out += ' ';
+    Out += Tokens[T];
+  }
+  return Out;
+}
+
+std::string printFuncType(const FuncType &Type) {
+  std::string Out = "(param";
+  for (ValType Param : Type.Params) {
+    Out += ' ';
+    Out += valTypeName(Param);
+  }
+  Out += ") (result";
+  for (ValType ResultType : Type.Results) {
+    Out += ' ';
+    Out += valTypeName(ResultType);
+  }
+  Out += ')';
+  return Out;
+}
+
+std::string printFunction(const Module &M, uint32_t DefinedIndex) {
+  assert(DefinedIndex < M.Functions.size() && "function index out of range");
+  const Function &Func = M.Functions[DefinedIndex];
+  std::ostringstream Out;
+  Out << "function $" << M.functionSpaceIndex(DefinedIndex) << ":\n";
+  Out << "  type " << printFuncType(M.functionType(DefinedIndex)) << "\n";
+  if (!Func.Locals.empty()) {
+    Out << "  locals";
+    for (const LocalRun &Run : Func.Locals)
+      Out << " " << Run.Count << "x" << valTypeName(Run.Type);
+    Out << "\n";
+  }
+
+  TokenOptions Full;
+  Full.OmitAlignment = false;
+  Full.OmitCallIndex = false;
+  int Indent = 1;
+  uint64_t Offset = Func.CodeOffset;
+  // Replay the encoding to recover per-instruction byte offsets.
+  for (const Instr &I : Func.Body) {
+    if (I.Op == Opcode::End || I.Op == Opcode::Else)
+      Indent = Indent > 1 ? Indent - 1 : 1;
+    char Location[32];
+    std::snprintf(Location, sizeof(Location), "%06llx: ",
+                  static_cast<unsigned long long>(Offset));
+    Out << Location;
+    for (int Level = 0; Level < Indent; ++Level)
+      Out << "  ";
+    Out << instrToString(I, Full) << "\n";
+    if (I.Op == Opcode::Block || I.Op == Opcode::Loop || I.Op == Opcode::If ||
+        I.Op == Opcode::Else)
+      ++Indent;
+    std::vector<uint8_t> Encoded;
+    writeInstr(I, Encoded);
+    Offset += Encoded.size();
+  }
+  return Out.str();
+}
+
+} // namespace wasm
+} // namespace snowwhite

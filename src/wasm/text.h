@@ -1,0 +1,43 @@
+//===- wasm/text.h - WAT-style instruction and module printing ------------===//
+
+#ifndef SNOWWHITE_WASM_TEXT_H
+#define SNOWWHITE_WASM_TEXT_H
+
+#include "wasm/module.h"
+
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace wasm {
+
+/// Controls which static immediates instrTokens emits. The dataset
+/// representation (paper §4.1) omits arguments that are unlikely to help
+/// prediction: memory alignment hints and the callee index of calls.
+struct TokenOptions {
+  bool OmitAlignment = true;
+  bool OmitCallIndex = true;
+};
+
+/// Renders one instruction as text-format tokens, e.g. {"i32.const", "42"}
+/// or {"f64.load", "offset=8"}. Structured per the paper's input
+/// representation; raw local indices are kept (the dataset extractor
+/// substitutes "<param>" where appropriate).
+std::vector<std::string> instrTokens(const Instr &I,
+                                     const TokenOptions &Options = {});
+
+/// Renders one instruction as a single string (tokens joined by spaces).
+std::string instrToString(const Instr &I, const TokenOptions &Options = {});
+
+/// Pretty-prints a function like Figure 1b of the paper, with byte offsets
+/// of each instruction (relative to the function's CodeOffset) on the left
+/// and nesting-aware indentation.
+std::string printFunction(const Module &M, uint32_t DefinedIndex);
+
+/// Renders a function type like "(param i32 f64) (result i32)".
+std::string printFuncType(const FuncType &Type);
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_TEXT_H

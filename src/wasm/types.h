@@ -1,0 +1,54 @@
+//===- wasm/types.h - WebAssembly value and function types ----------------===//
+
+#ifndef SNOWWHITE_WASM_TYPES_H
+#define SNOWWHITE_WASM_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace wasm {
+
+/// The four WebAssembly 1.0 value types. The binary encoding byte of each
+/// type is given by valTypeByte().
+enum class ValType : uint8_t {
+  I32,
+  I64,
+  F32,
+  F64,
+};
+
+/// Returns the binary-format byte for Type (0x7f..0x7c).
+uint8_t valTypeByte(ValType Type);
+
+/// Decodes a value-type byte. Returns false for bytes outside the MVP set.
+bool valTypeFromByte(uint8_t Byte, ValType &Type);
+
+/// Returns the canonical text-format spelling, e.g. "i32".
+const char *valTypeName(ValType Type);
+
+/// A function type: parameter list and zero-or-one results (MVP).
+struct FuncType {
+  std::vector<ValType> Params;
+  std::vector<ValType> Results;
+
+  bool operator==(const FuncType &Other) const = default;
+};
+
+/// The block-type immediate of block/loop/if: either empty (no result) or a
+/// single value type.
+struct BlockType {
+  bool HasResult = false;
+  ValType Result = ValType::I32;
+
+  static BlockType empty() { return BlockType{}; }
+  static BlockType value(ValType Type) { return BlockType{true, Type}; }
+
+  bool operator==(const BlockType &Other) const = default;
+};
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_TYPES_H

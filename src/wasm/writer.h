@@ -1,0 +1,30 @@
+//===- wasm/writer.h - WebAssembly binary encoder --------------------------===//
+
+#ifndef SNOWWHITE_WASM_WRITER_H
+#define SNOWWHITE_WASM_WRITER_H
+
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace snowwhite {
+namespace wasm {
+
+/// Serializes Module into the WebAssembly binary format (magic, version,
+/// type/import/function/memory/export/code sections, then custom sections).
+///
+/// As a side effect, fills in Function::CodeOffset for every defined function
+/// with the byte offset of its code entry in the returned buffer; DWARF
+/// DW_AT_low_pc values produced by the frontend use the same anchor, which is
+/// how functions are matched to their debug info.
+std::vector<uint8_t> writeModule(Module &M);
+
+/// Appends a single instruction's binary encoding (opcode + immediates) to
+/// Out. Exposed for tests and for computing instruction sizes.
+void writeInstr(const Instr &I, std::vector<uint8_t> &Out);
+
+} // namespace wasm
+} // namespace snowwhite
+
+#endif // SNOWWHITE_WASM_WRITER_H

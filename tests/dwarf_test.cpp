@@ -1,0 +1,223 @@
+//===- tests/dwarf_test.cpp - DWARF substrate unit tests -------------------===//
+
+#include "dwarf/die.h"
+#include "dwarf/io.h"
+#include "wasm/module.h"
+
+#include <gtest/gtest.h>
+
+namespace snowwhite {
+namespace dwarf {
+namespace {
+
+TEST(Die, RootIsCompileUnit) {
+  DebugInfo Info;
+  EXPECT_EQ(Info.tag(Info.root()), Tag::CompileUnit);
+  EXPECT_EQ(Info.size(), 1u);
+}
+
+TEST(Die, AttributesRoundtrip) {
+  DebugInfo Info;
+  DieRef Base = Info.createDie(Tag::BaseType);
+  Info.setString(Base, Attr::Name, "double");
+  Info.setUint(Base, Attr::ByteSize, 8);
+  Info.setUint(Base, Attr::Encoding, static_cast<uint64_t>(Encoding::Float));
+  Info.setFlag(Base, Attr::External);
+
+  EXPECT_EQ(Info.getString(Base, Attr::Name), "double");
+  EXPECT_EQ(Info.getUint(Base, Attr::ByteSize), 8u);
+  EXPECT_TRUE(Info.getFlag(Base, Attr::External));
+  EXPECT_FALSE(Info.getUint(Base, Attr::LowPc).has_value());
+  EXPECT_FALSE(Info.getString(Base, Attr::ByteSize).has_value()) // Wrong kind.
+      << "typed getter must not cross kinds";
+}
+
+TEST(Die, SetOverwrites) {
+  DebugInfo Info;
+  DieRef D = Info.createDie(Tag::BaseType);
+  Info.setUint(D, Attr::ByteSize, 4);
+  Info.setUint(D, Attr::ByteSize, 8);
+  EXPECT_EQ(Info.getUint(D, Attr::ByteSize), 8u);
+  EXPECT_EQ(Info.die(D).Attributes.size(), 1u);
+}
+
+TEST(Die, TypeReferenceChain) {
+  DebugInfo Info;
+  DieRef Base = Info.createDie(Tag::BaseType);
+  DieRef Pointer = Info.createDie(Tag::PointerType);
+  Info.setRef(Pointer, Attr::Type, Base);
+  EXPECT_EQ(Info.typeOf(Pointer), Base);
+  EXPECT_EQ(Info.typeOf(Base), InvalidDieRef);
+}
+
+TEST(Die, SubprogramLookupByLowPc) {
+  DebugInfo Info;
+  DieRef FuncA = Info.createDie(Tag::Subprogram);
+  Info.setUint(FuncA, Attr::LowPc, 100);
+  DieRef FuncB = Info.createDie(Tag::Subprogram);
+  Info.setUint(FuncB, Attr::LowPc, 200);
+  Info.addChild(Info.root(), FuncA);
+  Info.addChild(Info.root(), FuncB);
+
+  EXPECT_EQ(Info.subprograms().size(), 2u);
+  EXPECT_EQ(Info.findSubprogramByLowPc(200), FuncB);
+  EXPECT_EQ(Info.findSubprogramByLowPc(300), InvalidDieRef);
+}
+
+TEST(Die, FormalParametersInOrder) {
+  DebugInfo Info;
+  DieRef Func = Info.createDie(Tag::Subprogram);
+  DieRef P0 = Info.createDie(Tag::FormalParameter);
+  DieRef P1 = Info.createDie(Tag::FormalParameter);
+  DieRef Var = Info.createDie(Tag::Variable); // Not a parameter.
+  Info.addChild(Func, P0);
+  Info.addChild(Func, Var);
+  Info.addChild(Func, P1);
+  Info.addChild(Info.root(), Func);
+  std::vector<DieRef> Params = Info.formalParameters(Func);
+  ASSERT_EQ(Params.size(), 2u);
+  EXPECT_EQ(Params[0], P0);
+  EXPECT_EQ(Params[1], P1);
+}
+
+TEST(Die, DumpShowsFigure1Structure) {
+  DebugInfo Info;
+  DieRef Base = Info.createDie(Tag::BaseType);
+  Info.setString(Base, Attr::Name, "double");
+  DieRef Pointer = Info.createDie(Tag::PointerType);
+  Info.setRef(Pointer, Attr::Type, Base);
+  std::string Dumped = Info.dump(Pointer);
+  EXPECT_NE(Dumped.find("DW_TAG_pointer_type"), std::string::npos);
+  EXPECT_NE(Dumped.find("DW_TAG_base_type"), std::string::npos);
+  EXPECT_NE(Dumped.find("\"double\""), std::string::npos);
+}
+
+// --- Serialization ------------------------------------------------------------
+
+static DebugInfo buildRichInfo() {
+  DebugInfo Info;
+  DieRef Base = Info.createDie(Tag::BaseType);
+  Info.setString(Base, Attr::Name, "int");
+  Info.setUint(Base, Attr::Encoding, static_cast<uint64_t>(Encoding::Signed));
+  Info.setUint(Base, Attr::ByteSize, 4);
+
+  // A self-referential struct (cyclic graph): struct node { node *next; }.
+  DieRef Node = Info.createDie(Tag::StructureType);
+  Info.setString(Node, Attr::Name, "node");
+  Info.setUint(Node, Attr::ByteSize, 8);
+  DieRef NodePointer = Info.createDie(Tag::PointerType);
+  Info.setRef(NodePointer, Attr::Type, Node);
+  DieRef Next = Info.createDie(Tag::Member);
+  Info.setString(Next, Attr::Name, "next");
+  Info.setRef(Next, Attr::Type, NodePointer);
+  Info.addChild(Node, Next);
+
+  DieRef Func = Info.createDie(Tag::Subprogram);
+  Info.setString(Func, Attr::Name, "list_push");
+  Info.setUint(Func, Attr::LowPc, 0x73);
+  Info.setRef(Func, Attr::Type, Base);
+  DieRef Param = Info.createDie(Tag::FormalParameter);
+  Info.setString(Param, Attr::Name, "head");
+  Info.setRef(Param, Attr::Type, NodePointer);
+  Info.addChild(Func, Param);
+  Info.addChild(Info.root(), Func);
+  return Info;
+}
+
+TEST(DwarfIo, RoundtripPreservesStructure) {
+  DebugInfo Original = buildRichInfo();
+  DebugSections Sections = writeDebugSections(Original);
+  EXPECT_FALSE(Sections.Info.empty());
+  EXPECT_FALSE(Sections.Str.empty());
+
+  Result<DebugInfo> Back = readDebugSections(Sections.Info, Sections.Str);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+
+  DieRef Func = Back->findSubprogramByLowPc(0x73);
+  ASSERT_NE(Func, InvalidDieRef);
+  EXPECT_EQ(Back->getString(Func, Attr::Name), "list_push");
+  std::vector<DieRef> Params = Back->formalParameters(Func);
+  ASSERT_EQ(Params.size(), 1u);
+
+  // Follow head -> pointer -> struct node -> member next -> pointer (cycle).
+  DieRef Pointer = Back->typeOf(Params[0]);
+  ASSERT_NE(Pointer, InvalidDieRef);
+  EXPECT_EQ(Back->tag(Pointer), Tag::PointerType);
+  DieRef Node = Back->typeOf(Pointer);
+  ASSERT_NE(Node, InvalidDieRef);
+  EXPECT_EQ(Back->tag(Node), Tag::StructureType);
+  EXPECT_EQ(Back->getString(Node, Attr::Name), "node");
+  ASSERT_EQ(Back->children(Node).size(), 1u);
+  DieRef Next = Back->children(Node)[0];
+  EXPECT_EQ(Back->tag(Next), Tag::Member);
+  EXPECT_EQ(Back->typeOf(Next), Pointer) << "cycle must be preserved";
+}
+
+TEST(DwarfIo, StringsAreInterned) {
+  DebugInfo Info;
+  for (int I = 0; I < 3; ++I) {
+    DieRef D = Info.createDie(Tag::BaseType);
+    Info.setString(D, Attr::Name, "repeated_name");
+    Info.addChild(Info.root(), D);
+  }
+  DebugSections Sections = writeDebugSections(Info);
+  // One copy of the string + NUL (plus the producer string of the root CU).
+  size_t Expected = std::string("repeated_name").size() + 1;
+  EXPECT_LT(Sections.Str.size(),
+            3 * Expected); // Far less than three copies.
+}
+
+TEST(DwarfIo, UnattachedDiesAreAdopted) {
+  DebugInfo Info;
+  DieRef Dangling = Info.createDie(Tag::BaseType);
+  Info.setString(Dangling, Attr::Name, "orphan");
+  DebugSections Sections = writeDebugSections(Info);
+  Result<DebugInfo> Back = readDebugSections(Sections.Info, Sections.Str);
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(Back->size(), 2u);
+  // The orphan became a child of the root.
+  ASSERT_EQ(Back->children(Back->root()).size(), 1u);
+  EXPECT_EQ(Back->getString(Back->children(Back->root())[0], Attr::Name),
+            "orphan");
+}
+
+TEST(DwarfIo, RejectsCorruptInput) {
+  DebugInfo Original = buildRichInfo();
+  DebugSections Sections = writeDebugSections(Original);
+  // Truncation.
+  std::vector<uint8_t> Truncated(Sections.Info.begin(),
+                                 Sections.Info.end() - 4);
+  EXPECT_TRUE(readDebugSections(Truncated, Sections.Str).isErr());
+  // Not a compile unit at the root.
+  std::vector<uint8_t> BadRoot = Sections.Info;
+  BadRoot[0] = 0x24; // DW_TAG_base_type.
+  EXPECT_TRUE(readDebugSections(BadRoot, Sections.Str).isErr());
+}
+
+TEST(DwarfIo, AttachExtractStrip) {
+  DebugInfo Info = buildRichInfo();
+  wasm::Module M;
+  attachDebugInfo(Info, M);
+  ASSERT_NE(M.findCustom(".debug_info"), nullptr);
+  ASSERT_NE(M.findCustom(".debug_str"), nullptr);
+
+  Result<DebugInfo> Back = extractDebugInfo(M);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+  EXPECT_NE(Back->findSubprogramByLowPc(0x73), InvalidDieRef);
+
+  stripDebugInfo(M);
+  EXPECT_EQ(M.findCustom(".debug_info"), nullptr);
+  EXPECT_TRUE(extractDebugInfo(M).isErr()) << "stripped binary must fail";
+}
+
+TEST(DwarfIo, TagAndAttrNames) {
+  EXPECT_STREQ(tagName(Tag::PointerType), "DW_TAG_pointer_type");
+  EXPECT_STREQ(tagName(Tag::Subprogram), "DW_TAG_subprogram");
+  EXPECT_STREQ(attrName(Attr::LowPc), "DW_AT_low_pc");
+  EXPECT_STREQ(attrName(Attr::DataMemberLocation),
+               "DW_AT_data_member_location");
+}
+
+} // namespace
+} // namespace dwarf
+} // namespace snowwhite

@@ -1,0 +1,119 @@
+//===- tests/eval_test.cpp - Metrics and distribution unit tests -----------===//
+
+#include "eval/distribution.h"
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snowwhite {
+namespace eval {
+namespace {
+
+// --- Type Prefix Score ---------------------------------------------------------
+
+struct TpsCase {
+  std::vector<std::string> Prediction;
+  std::vector<std::string> GroundTruth;
+  size_t Expected;
+};
+
+class TpsParam : public ::testing::TestWithParam<TpsCase> {};
+
+TEST_P(TpsParam, ComputesCommonPrefix) {
+  const TpsCase &Case = GetParam();
+  EXPECT_EQ(typePrefixScore(Case.Prediction, Case.GroundTruth),
+            Case.Expected);
+  // TPS is symmetric.
+  EXPECT_EQ(typePrefixScore(Case.GroundTruth, Case.Prediction),
+            Case.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TpsParam,
+    ::testing::Values(
+        TpsCase{{"pointer", "struct"}, {"pointer", "class"}, 1},
+        TpsCase{{"pointer", "struct"}, {"primitive", "int", "32"}, 0},
+        TpsCase{{"pointer", "struct"}, {"pointer", "struct"}, 2},
+        TpsCase{{"pointer"}, {"pointer", "struct"}, 1},
+        TpsCase{{}, {}, 0},
+        TpsCase{{"a", "b", "c", "d"}, {"a", "b", "x", "d"}, 2},
+        TpsCase{{"name", "\"size_t\"", "primitive", "uint", "32"},
+                {"name", "\"size_t\"", "primitive", "int", "32"},
+                3}));
+
+// --- Depth buckets -------------------------------------------------------------
+
+TEST(DepthBucket, RatiosAndEmpty) {
+  DepthBucket Bucket;
+  EXPECT_DOUBLE_EQ(Bucket.top1(), 0.0);
+  Bucket.Count = 4;
+  Bucket.Top1Hits = 1;
+  Bucket.TopKHits = 3;
+  EXPECT_DOUBLE_EQ(Bucket.top1(), 0.25);
+  EXPECT_DOUBLE_EQ(Bucket.topK(), 0.75);
+}
+
+TEST(AccuracyReport, AggregatesAreConsistent) {
+  AccuracyReport Report;
+  Report.NumSamples = 10;
+  Report.Top1Hits = 4;
+  Report.TopKHits = 8;
+  Report.PrefixScoreSum = 14.0;
+  EXPECT_DOUBLE_EQ(Report.top1(), 0.4);
+  EXPECT_DOUBLE_EQ(Report.topK(), 0.8);
+  EXPECT_DOUBLE_EQ(Report.meanPrefixScore(), 1.4);
+  EXPECT_GE(Report.topK(), Report.top1()) << "top-5 includes top-1";
+}
+
+// --- Distributions ----------------------------------------------------------------
+
+TEST(Distribution, EmptyIsWellDefined) {
+  TypeDistribution Dist;
+  EXPECT_EQ(Dist.uniqueTypes(), 0u);
+  EXPECT_EQ(Dist.totalSamples(), 0u);
+  EXPECT_DOUBLE_EQ(Dist.entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(Dist.normalizedEntropy(), 0.0);
+  auto [Top, Share] = Dist.mostFrequent();
+  EXPECT_TRUE(Top.empty());
+  EXPECT_DOUBLE_EQ(Share, 0.0);
+}
+
+TEST(Distribution, SingletonHasZeroEntropy) {
+  TypeDistribution Dist;
+  for (int I = 0; I < 5; ++I)
+    Dist.add("only");
+  EXPECT_DOUBLE_EQ(Dist.entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(Dist.normalizedEntropy(), 0.0);
+}
+
+TEST(Distribution, EntropyMatchesClosedForm) {
+  // 1/2, 1/4, 1/4 -> H = 1.5 bits.
+  TypeDistribution Dist;
+  Dist.add("a");
+  Dist.add("a");
+  Dist.add("b");
+  Dist.add("c");
+  EXPECT_NEAR(Dist.entropy(), 1.5, 1e-9);
+  EXPECT_NEAR(Dist.normalizedEntropy(), 1.5 / std::log2(3.0), 1e-9);
+}
+
+TEST(Distribution, TokenAndStringEntriesAgree) {
+  TypeDistribution A, B;
+  A.add(std::vector<std::string>{"pointer", "struct"});
+  B.add("pointer struct");
+  EXPECT_EQ(A.mostCommon(1)[0].first, B.mostCommon(1)[0].first);
+}
+
+TEST(Distribution, MostCommonLimitAndTies) {
+  TypeDistribution Dist;
+  Dist.add("x");
+  Dist.add("y");
+  auto Top = Dist.mostCommon(5);
+  EXPECT_EQ(Top.size(), 2u); // Limit does not invent entries.
+}
+
+} // namespace
+} // namespace eval
+} // namespace snowwhite

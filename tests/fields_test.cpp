@@ -1,0 +1,142 @@
+//===- tests/fields_test.cpp - Field-shape extension tests -----------------===//
+
+#include "dataset/pipeline.h"
+#include "frontend/corpus.h"
+#include "frontend/dwarf_emit.h"
+#include "model/task.h"
+#include "typelang/fields.h"
+
+#include <gtest/gtest.h>
+
+namespace snowwhite {
+namespace typelang {
+namespace {
+
+TEST(ShapeToken, CoversAllKinds) {
+  EXPECT_EQ(shapeToken(Type::makeBool()), "bool");
+  EXPECT_EQ(shapeToken(Type::makeInt(32)), "i32");
+  EXPECT_EQ(shapeToken(Type::makeUint(8)), "u8");
+  EXPECT_EQ(shapeToken(Type::makeFloat(64)), "f64");
+  EXPECT_EQ(shapeToken(Type::makeCChar()), "cchar");
+  EXPECT_EQ(shapeToken(Type::makeWChar(16)), "wchar");
+  EXPECT_EQ(shapeToken(Type::makeComplex()), "complex");
+  EXPECT_EQ(shapeToken(Type::makePointer(Type::makeStruct())), "ptr");
+  EXPECT_EQ(shapeToken(Type::makeArray(Type::makeUint(8))), "arr");
+  EXPECT_EQ(shapeToken(Type::makeStruct()), "agg");
+  EXPECT_EQ(shapeToken(Type::makeClass()), "agg");
+  EXPECT_EQ(shapeToken(Type::makeUnion()), "agg");
+  EXPECT_EQ(shapeToken(Type::makeEnum()), "enum");
+  EXPECT_EQ(shapeToken(Type::makeFunction()), "fn");
+  EXPECT_EQ(shapeToken(Type::makeUnknown()), "unk");
+  // Qualifiers and names are transparent.
+  EXPECT_EQ(shapeToken(Type::makeConst(Type::makeInt(16))), "i16");
+  EXPECT_EQ(shapeToken(Type::makeNamed("size_t", Type::makeUint(32))), "u32");
+}
+
+struct FieldsFixture : ::testing::Test {
+  dwarf::DebugInfo Info;
+  frontend::DwarfEmitter Emitter{Info};
+};
+
+TEST_F(FieldsFixture, FileLikeStruct) {
+  auto File = frontend::makeAggregate(frontend::SrcTypeKind::ST_Struct,
+                                      "FILE");
+  addField(File, "flags", frontend::makePrim(frontend::SrcPrimKind::SP_U32));
+  addField(File, "fd", frontend::makePrim(frontend::SrcPrimKind::SP_I32));
+  addField(File, "pos", frontend::makePrim(frontend::SrcPrimKind::SP_I64));
+  addField(File, "buf",
+           frontend::makePointer(
+               frontend::makePrim(frontend::SrcPrimKind::SP_U8)));
+  dwarf::DieRef Pointer = Emitter.emitType(frontend::makePointer(File));
+  EXPECT_EQ(fieldShapeTokens(Info, Pointer),
+            (std::vector<std::string>{"u32", "i32", "i64", "ptr"}));
+}
+
+TEST_F(FieldsFixture, NonAggregatesYieldNothing) {
+  using frontend::makePointer;
+  using frontend::makePrim;
+  using frontend::SrcPrimKind;
+  // Plain primitive parameter.
+  EXPECT_TRUE(fieldShapeTokens(Info, Emitter.emitType(
+                                         makePrim(SrcPrimKind::SP_I32)))
+                  .empty());
+  // Pointer to primitive.
+  EXPECT_TRUE(fieldShapeTokens(Info, Emitter.emitType(makePointer(makePrim(
+                                         SrcPrimKind::SP_F64))))
+                  .empty());
+  // Opaque (void) pointer.
+  EXPECT_TRUE(
+      fieldShapeTokens(Info,
+                       Emitter.emitType(makePointer(frontend::makeVoid())))
+          .empty());
+  // Forward-declared aggregate behind a pointer.
+  EXPECT_TRUE(fieldShapeTokens(
+                  Info, Emitter.emitType(makePointer(
+                            frontend::makeForward("opaque", false))))
+                  .empty());
+  // Aggregate by value (no pointer level).
+  auto Struct = frontend::makeAggregate(frontend::SrcTypeKind::ST_Struct, "s");
+  addField(Struct, "x", makePrim(SrcPrimKind::SP_I32));
+  EXPECT_TRUE(fieldShapeTokens(Info, Emitter.emitType(Struct)).empty());
+}
+
+TEST_F(FieldsFixture, QualifiersAreTransparent) {
+  auto Struct = frontend::makeAggregate(frontend::SrcTypeKind::ST_Struct, "s");
+  addField(Struct, "x", frontend::makePrim(frontend::SrcPrimKind::SP_F32));
+  // const pointer to const struct, behind a typedef.
+  frontend::SrcTypeRef Wrapped = frontend::makeTypedef(
+      "handle_t", frontend::makeConst(frontend::makePointer(
+                      frontend::makeConst(Struct))));
+  EXPECT_EQ(fieldShapeTokens(Info, Emitter.emitType(Wrapped)),
+            (std::vector<std::string>{"f32"}));
+}
+
+TEST_F(FieldsFixture, MaxFieldsCaps) {
+  auto Struct = frontend::makeAggregate(frontend::SrcTypeKind::ST_Struct, "s");
+  for (int I = 0; I < 12; ++I)
+    addField(Struct, "f" + std::to_string(I),
+             frontend::makePrim(frontend::SrcPrimKind::SP_I32));
+  dwarf::DieRef Pointer = Emitter.emitType(frontend::makePointer(Struct));
+  EXPECT_EQ(fieldShapeTokens(Info, Pointer, 4).size(), 4u);
+  EXPECT_EQ(fieldShapeTokens(Info, Pointer).size(), 8u); // Default cap.
+}
+
+TEST_F(FieldsFixture, SelfReferentialStructTerminates) {
+  auto Node = frontend::makeAggregate(frontend::SrcTypeKind::ST_Struct,
+                                      "node");
+  addField(Node, "value", frontend::makePrim(frontend::SrcPrimKind::SP_I32));
+  addField(Node, "next", frontend::makePointer(Node));
+  dwarf::DieRef Pointer = Emitter.emitType(frontend::makePointer(Node));
+  EXPECT_EQ(fieldShapeTokens(Info, Pointer),
+            (std::vector<std::string>{"i32", "ptr"}));
+}
+
+TEST(FieldsPipeline, SamplesCarryFieldTokens) {
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = 55;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  dataset::Dataset Data = dataset::buildDataset(Corpus);
+  size_t WithFields = 0;
+  for (const dataset::TypeSample &Sample : Data.Samples)
+    if (!Sample.FieldTokens.empty()) {
+      ++WithFields;
+      EXPECT_LE(Sample.FieldTokens.size(), 8u);
+    }
+  // Aggregate pointers dominate the distribution, so many samples qualify.
+  EXPECT_GT(WithFields, Data.Samples.size() / 5);
+
+  model::TaskOptions Options;
+  Options.Kind = model::TaskKind::TK_Fields;
+  model::Task T(Data, Options);
+  EXPECT_GT(T.train().size(), 50u);
+  for (const model::EncodedSample &Sample : T.train()) {
+    EXPECT_FALSE(Sample.TargetTokens.empty());
+    for (const std::string &Token : Sample.TargetTokens)
+      EXPECT_LT(Token.size(), 8u); // Shape tokens are short.
+  }
+}
+
+} // namespace
+} // namespace typelang
+} // namespace snowwhite

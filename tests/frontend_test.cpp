@@ -1,0 +1,384 @@
+//===- tests/frontend_test.cpp - Synthetic frontend tests ------------------===//
+
+#include "dwarf/io.h"
+#include "support/hash.h"
+#include "wasm/abstract.h"
+#include "frontend/ast.h"
+#include "frontend/codegen.h"
+#include "frontend/corpus.h"
+#include "frontend/dwarf_emit.h"
+#include "frontend/typegen.h"
+#include "typelang/from_dwarf.h"
+#include "typelang/variants.h"
+#include "wasm/reader.h"
+#include "wasm/validate.h"
+#include "wasm/writer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace snowwhite {
+namespace frontend {
+namespace {
+
+// --- Source type model --------------------------------------------------------
+
+TEST(SrcType, PrimSizes) {
+  EXPECT_EQ(primByteSize(SrcPrimKind::SP_Bool), 1u);
+  EXPECT_EQ(primByteSize(SrcPrimKind::SP_I16), 2u);
+  EXPECT_EQ(primByteSize(SrcPrimKind::SP_F64), 8u);
+  EXPECT_EQ(primByteSize(SrcPrimKind::SP_Complex), 16u);
+}
+
+TEST(SrcType, LoweringToValTypes) {
+  EXPECT_EQ(makePrim(SrcPrimKind::SP_I32)->lowerValType(), wasm::ValType::I32);
+  EXPECT_EQ(makePrim(SrcPrimKind::SP_I64)->lowerValType(), wasm::ValType::I64);
+  EXPECT_EQ(makePrim(SrcPrimKind::SP_F32)->lowerValType(), wasm::ValType::F32);
+  EXPECT_EQ(makePrim(SrcPrimKind::SP_F64)->lowerValType(), wasm::ValType::F64);
+  // Small ints widen to i32; pointers and enums are addresses.
+  EXPECT_EQ(makePrim(SrcPrimKind::SP_I8)->lowerValType(), wasm::ValType::I32);
+  EXPECT_EQ(makePointer(makePrim(SrcPrimKind::SP_F64))->lowerValType(),
+            wasm::ValType::I32);
+  EXPECT_EQ(makeEnum("e")->lowerValType(), wasm::ValType::I32);
+  EXPECT_EQ(makeTypedef("time_t", makePrim(SrcPrimKind::SP_I64))
+                ->lowerValType(),
+            wasm::ValType::I64);
+}
+
+TEST(SrcType, AggregateLayout) {
+  auto Aggregate = makeAggregate(SrcTypeKind::ST_Struct, "s");
+  addField(Aggregate, "a", makePrim(SrcPrimKind::SP_U8));  // offset 0
+  addField(Aggregate, "b", makePrim(SrcPrimKind::SP_I32)); // aligned to 4
+  addField(Aggregate, "c", makePrim(SrcPrimKind::SP_F64)); // aligned to 8
+  ASSERT_EQ(Aggregate->Fields.size(), 3u);
+  EXPECT_EQ(Aggregate->Fields[0].ByteOffset, 0u);
+  EXPECT_EQ(Aggregate->Fields[1].ByteOffset, 4u);
+  EXPECT_EQ(Aggregate->Fields[2].ByteOffset, 8u);
+  EXPECT_EQ(Aggregate->byteSize(), 16u);
+}
+
+TEST(SrcType, ClassVtableShiftsFields) {
+  auto Class = makeAggregate(SrcTypeKind::ST_Class, "c");
+  Class->HasMethods = true;
+  addField(Class, "x", makePrim(SrcPrimKind::SP_I32));
+  EXPECT_EQ(Class->Fields[0].ByteOffset, 4u); // After the vtable slot.
+}
+
+TEST(SrcType, UnionFieldsOverlap) {
+  auto Union = makeAggregate(SrcTypeKind::ST_Union, "u");
+  addField(Union, "a", makePrim(SrcPrimKind::SP_I32));
+  addField(Union, "b", makePrim(SrcPrimKind::SP_F64));
+  EXPECT_EQ(Union->Fields[0].ByteOffset, 0u);
+  EXPECT_EQ(Union->Fields[1].ByteOffset, 0u);
+  EXPECT_EQ(Union->byteSize(), 8u);
+}
+
+TEST(SrcType, StripWrappers) {
+  SrcTypeRef Wrapped = makeConst(
+      makeTypedef("alias", makeVolatile(makePrim(SrcPrimKind::SP_F32))));
+  EXPECT_EQ(Wrapped->strippedForLayout().Kind, SrcTypeKind::ST_Prim);
+  EXPECT_EQ(Wrapped->strippedForLayout().Prim, SrcPrimKind::SP_F32);
+}
+
+// --- DWARF emission + typelang conversion agree with the source -----------------
+
+struct EmitFixture : ::testing::Test {
+  dwarf::DebugInfo Info;
+  DwarfEmitter Emitter{Info};
+
+  std::string convert(const SrcTypeRef &T) {
+    dwarf::DieRef D = Emitter.emitType(T);
+    return typelang::typeFromDwarf(Info, D).toString();
+  }
+};
+
+TEST_F(EmitFixture, EndToEndTypeSpellings) {
+  EXPECT_EQ(convert(makePrim(SrcPrimKind::SP_I32)), "primitive int 32");
+  EXPECT_EQ(convert(makePrim(SrcPrimKind::SP_Char)), "primitive cchar");
+  EXPECT_EQ(convert(makePrim(SrcPrimKind::SP_U8)), "primitive uint 8");
+  EXPECT_EQ(convert(makePrim(SrcPrimKind::SP_Bool)), "primitive bool");
+  EXPECT_EQ(convert(makePointer(makePrim(SrcPrimKind::SP_F64))),
+            "pointer primitive float 64");
+  EXPECT_EQ(convert(makePointer(makeConst(makePrim(SrcPrimKind::SP_Char)))),
+            "pointer const primitive cchar");
+  EXPECT_EQ(convert(makeReference(makePrim(SrcPrimKind::SP_I32))),
+            "pointer primitive int 32");
+  EXPECT_EQ(convert(makePointer(makeVoid())), "pointer unknown");
+  EXPECT_EQ(convert(makeTypedef("size_t", makePrim(SrcPrimKind::SP_U32))),
+            "name \"size_t\" primitive uint 32");
+  EXPECT_EQ(convert(makeArray(makePrim(SrcPrimKind::SP_F64), 8)),
+            "array primitive float 64");
+  EXPECT_EQ(convert(makeEnum("color")), "name \"color\" enum");
+  EXPECT_EQ(convert(makePointer(makeForward("opaque", false))),
+            "pointer unknown");
+  EXPECT_EQ(convert(makeNullptrType()), "unknown");
+  EXPECT_EQ(convert(makePointer(makeFuncProto(
+                {makePrim(SrcPrimKind::SP_I32)}, makeVoid()))),
+            "pointer function");
+}
+
+TEST_F(EmitFixture, AggregateEmission) {
+  auto Class = makeAggregate(SrcTypeKind::ST_Class, "Widget");
+  Class->HasMethods = true;
+  addField(Class, "x", makePrim(SrcPrimKind::SP_I32));
+  EXPECT_EQ(convert(makePointer(Class)), "pointer name \"Widget\" class");
+
+  auto Struct = makeAggregate(SrcTypeKind::ST_Struct, "point");
+  addField(Struct, "x", makePrim(SrcPrimKind::SP_F64));
+  addField(Struct, "y", makePrim(SrcPrimKind::SP_F64));
+  EXPECT_EQ(convert(makePointer(makeConst(Struct))),
+            "pointer const name \"point\" struct");
+}
+
+TEST_F(EmitFixture, SharedTypesShareDies) {
+  SrcTypeRef Double = makePrim(SrcPrimKind::SP_F64);
+  dwarf::DieRef First = Emitter.emitType(Double);
+  dwarf::DieRef Second = Emitter.emitType(Double);
+  EXPECT_EQ(First, Second);
+}
+
+TEST_F(EmitFixture, SelfReferentialStructTerminates) {
+  auto Node = makeAggregate(SrcTypeKind::ST_Struct, "node");
+  addField(Node, "next", makePointer(Node));
+  dwarf::DieRef D = Emitter.emitType(Node);
+  EXPECT_EQ(Info.tag(D), dwarf::Tag::StructureType);
+  // The member's pointer type refers back to the struct DIE.
+  dwarf::DieRef Member = Info.children(D)[0];
+  dwarf::DieRef Pointer = Info.typeOf(Member);
+  EXPECT_EQ(Info.typeOf(Pointer), D);
+  // Conversion breaks the cycle.
+  EXPECT_EQ(typelang::typeFromDwarf(Info, D).toString(),
+            "name \"node\" struct");
+}
+
+TEST_F(EmitFixture, FunctionEmission) {
+  SrcFunction Func;
+  Func.Name = "amd_control";
+  Func.Params.emplace_back("Control",
+                           makePointer(makePrim(SrcPrimKind::SP_F64)));
+  Func.ReturnType = makeVoid();
+  dwarf::DieRef Sub = Emitter.emitFunction(Func, 0x73);
+  EXPECT_EQ(Info.getUint(Sub, dwarf::Attr::LowPc), 0x73u);
+  EXPECT_EQ(Info.getString(Sub, dwarf::Attr::Name), "amd_control");
+  EXPECT_FALSE(Info.getRef(Sub, dwarf::Attr::Type).has_value()); // void.
+  ASSERT_EQ(Info.formalParameters(Sub).size(), 1u);
+  EXPECT_EQ(Info.findSubprogramByLowPc(0x73), Sub);
+}
+
+// --- Codegen: every generated function must validate -----------------------------
+
+TEST(Codegen, StandardModuleValidates) {
+  wasm::Module M;
+  initStandardModule(M);
+  EXPECT_TRUE(wasm::validateModule(M).isOk());
+  EXPECT_EQ(M.Imports.size(), static_cast<size_t>(NumStandardImports));
+}
+
+/// Property test: across many seeds and signature shapes, compiled functions
+/// are valid WebAssembly.
+class CodegenValidation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodegenValidation, GeneratedFunctionsValidate) {
+  Rng R(GetParam());
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, R.nextBool(0.5), "pkg" + std::to_string(GetParam()),
+                      Pool);
+  wasm::Module M;
+  initStandardModule(M);
+  for (int I = 0; I < 12; ++I) {
+    SrcFunction Func = generateSignature(R, Env, "pkg", I);
+    compileFunction(M, Func, R);
+  }
+  Result<void> Status = wasm::validateModule(M);
+  EXPECT_TRUE(Status.isOk()) << Status.error().message();
+
+  // And they roundtrip through the binary format.
+  std::vector<uint8_t> Bytes = wasm::writeModule(M);
+  Result<wasm::Module> Back = wasm::readModule(Bytes);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+  EXPECT_EQ(Back->Functions.size(), M.Functions.size());
+  for (size_t I = 0; I < M.Functions.size(); ++I)
+    EXPECT_EQ(Back->Functions[I].Body, M.Functions[I].Body);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenValidation,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Codegen, LongFunctionsAreGenerated) {
+  Rng R(5);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, true, "pkg", Pool);
+  CodegenOptions Options;
+  Options.LongFunctionRate = 1.0; // Force the long path.
+  wasm::Module M;
+  initStandardModule(M);
+  SrcFunction Func = generateSignature(R, Env, "pkg", 0);
+  uint32_t Index = compileFunction(M, Func, R, Options);
+  EXPECT_GT(M.Functions[Index].Body.size(), 200u);
+  EXPECT_TRUE(wasm::validateModule(M).isOk());
+}
+
+TEST(Codegen, ExportsCarrySourceNames) {
+  Rng R(6);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, false, "pkg", Pool);
+  wasm::Module M;
+  initStandardModule(M);
+  SrcFunction Func = generateSignature(R, Env, "pkg", 3);
+  compileFunction(M, Func, R);
+  ASSERT_EQ(M.Exports.size(), 1u);
+  EXPECT_EQ(M.Exports[0].Name, Func.Name);
+}
+
+// --- Type environment distribution ------------------------------------------------
+
+TEST(TypeGen, ParamDistributionIsPointerHeavy) {
+  Rng R(42);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, true, "pkg", Pool);
+  int Pointers = 0, Total = 4000;
+  for (int I = 0; I < Total; ++I) {
+    SrcTypeRef T = Env.sampleParamType(R);
+    const SrcType &Layout = T->strippedForLayout();
+    if (Layout.Kind == SrcTypeKind::ST_Pointer ||
+        Layout.Kind == SrcTypeKind::ST_Reference)
+      ++Pointers;
+  }
+  // Table 2: pointers dominate parameter types.
+  EXPECT_GT(Pointers, Total / 3);
+  EXPECT_LT(Pointers, Total * 4 / 5);
+}
+
+TEST(TypeGen, ReturnsIncludeVoidOften) {
+  Rng R(43);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, false, "pkg", Pool);
+  int Voids = 0, Total = 2000;
+  for (int I = 0; I < Total; ++I)
+    if (Env.sampleReturnType(R)->Kind == SrcTypeKind::ST_Void)
+      ++Voids;
+  EXPECT_GT(Voids, Total / 3);
+  EXPECT_LT(Voids, Total * 2 / 3);
+}
+
+TEST(TypeGen, CPackagesHaveNoClasses) {
+  Rng R(44);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  TypeEnvironment Env(R, /*IsCxx=*/false, "pkg", Pool);
+  for (int I = 0; I < 2000; ++I) {
+    SrcTypeRef T = Env.sampleParamType(R);
+    const SrcType &Layout = T->strippedForLayout();
+    if (Layout.Kind == SrcTypeKind::ST_Pointer && Layout.Inner) {
+      const SrcType &Pointee = Layout.Inner->strippedForLayout();
+      EXPECT_NE(Pointee.Kind, SrcTypeKind::ST_Class);
+    }
+    EXPECT_NE(Layout.Kind, SrcTypeKind::ST_Reference);
+  }
+}
+
+TEST(TypeGen, AllSevenEklavyaLabelsAreRealized) {
+  // The corpus must exercise every label of the 7-type baseline language,
+  // including by-value aggregates (structs passed byval) and plain chars.
+  Rng R(48);
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  std::set<std::string> Labels;
+  for (int Package = 0; Package < 30; ++Package) {
+    TypeEnvironment Env(R, Package % 2 == 0, "pkg" + std::to_string(Package),
+                        Pool);
+    for (int I = 0; I < 120; ++I) {
+      dwarf::DebugInfo Info;
+      DwarfEmitter Emitter(Info);
+      dwarf::DieRef Die = Emitter.emitType(Env.sampleParamType(R));
+      Labels.insert(
+          typelang::eklavyaLabel(typelang::typeFromDwarf(Info, Die)));
+    }
+  }
+  EXPECT_EQ(Labels.size(), 7u);
+  for (const char *Label :
+       {"int", "char", "float", "pointer", "enum", "struct", "union"})
+    EXPECT_TRUE(Labels.count(Label)) << Label;
+}
+
+TEST(TypeGen, WellKnownPoolHasTable3Names) {
+  std::vector<WellKnownType> Pool = makeWellKnownPool();
+  std::set<std::string> Names;
+  for (const WellKnownType &Known : Pool)
+    Names.insert(Known.Type->Name);
+  EXPECT_TRUE(Names.count("size_t"));
+  EXPECT_TRUE(Names.count("FILE"));
+  EXPECT_TRUE(Names.count("basic_string<char, ...>"));
+  EXPECT_TRUE(Names.count("va_list"));
+  EXPECT_TRUE(Names.count("time_t"));
+}
+
+// --- Corpus --------------------------------------------------------------------
+
+TEST(Corpus, DeterministicInSeed) {
+  CorpusSpec Spec;
+  Spec.NumPackages = 4;
+  Spec.Seed = 77;
+  Corpus A = buildCorpus(Spec);
+  Corpus B = buildCorpus(Spec);
+  ASSERT_EQ(A.Packages.size(), B.Packages.size());
+  for (size_t P = 0; P < A.Packages.size(); ++P) {
+    ASSERT_EQ(A.Packages[P].Objects.size(), B.Packages[P].Objects.size());
+    for (size_t O = 0; O < A.Packages[P].Objects.size(); ++O)
+      EXPECT_EQ(A.Packages[P].Objects[O].Bytes,
+                B.Packages[P].Objects[O].Bytes);
+  }
+}
+
+TEST(Corpus, AllBinariesValidateAndCarryDebugInfo) {
+  CorpusSpec Spec;
+  Spec.NumPackages = 6;
+  Spec.Seed = 3;
+  Corpus C = buildCorpus(Spec);
+  EXPECT_EQ(C.Packages.size(), 6u);
+  EXPECT_GT(C.TotalFunctions, 0u);
+  for (const Package &Pkg : C.Packages) {
+    for (const CompiledObject &Object : Pkg.Objects) {
+      Result<void> Status = wasm::validateModule(Object.Mod);
+      EXPECT_TRUE(Status.isOk()) << Status.error().message();
+      Result<wasm::Module> Back = wasm::readModule(Object.Bytes);
+      ASSERT_TRUE(Back.isOk());
+      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(*Back);
+      ASSERT_TRUE(Debug.isOk()) << Debug.error().message();
+      // Most functions have a matching subprogram at their code offset.
+      size_t Matched = 0;
+      for (const wasm::Function &Func : Back->Functions)
+        if (Debug->findSubprogramByLowPc(Func.CodeOffset) !=
+            dwarf::InvalidDieRef)
+          ++Matched;
+      EXPECT_EQ(Matched, Back->Functions.size());
+    }
+  }
+}
+
+TEST(Corpus, ContainsDuplicatesForDedupToFind) {
+  CorpusSpec Spec;
+  Spec.NumPackages = 40;
+  Spec.Seed = 11;
+  Spec.ExactDupRate = 0.25;
+  Spec.NearDupRate = 0.2;
+  Corpus C = buildCorpus(Spec);
+  std::map<uint64_t, int> ExactCounts;
+  std::map<uint64_t, int> ApproxCounts;
+  for (const Package &Pkg : C.Packages)
+    for (const CompiledObject &Object : Pkg.Objects) {
+      ++ExactCounts[hashVector(Object.Bytes)];
+      ++ApproxCounts[wasm::approximateModuleSignature(Object.Mod)];
+    }
+  int ExactDups = 0, ApproxDups = 0;
+  for (const auto &[Hash, Count] : ExactCounts)
+    ExactDups += Count - 1;
+  for (const auto &[Hash, Count] : ApproxCounts)
+    ApproxDups += Count - 1;
+  EXPECT_GT(ExactDups, 0);
+  EXPECT_GT(ApproxDups, ExactDups) << "near-dups must add beyond exact dups";
+}
+
+} // namespace
+} // namespace frontend
+} // namespace snowwhite

@@ -1,0 +1,265 @@
+//===- tests/model_test.cpp - Task, predictor, baseline, metrics tests -----===//
+
+#include "eval/distribution.h"
+#include "eval/metrics.h"
+#include "model/predictor.h"
+#include "model/task.h"
+#include "model/trainer.h"
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snowwhite {
+namespace model {
+namespace {
+
+using dataset::Dataset;
+using typelang::TypeLanguageKind;
+
+/// One shared small corpus/dataset for all fixtures in this file.
+const Dataset &sharedDataset() {
+  static Dataset Data = [] {
+    frontend::CorpusSpec Spec;
+    Spec.NumPackages = 30;
+    Spec.Seed = 123;
+    frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+    dataset::DatasetOptions Options;
+    // At 30 packages the paper's 1% threshold admits every name; require
+    // ~3 packages so L_SW and the All-Names variant actually differ.
+    Options.NameVocabThreshold = 0.1;
+    return dataset::buildDataset(Corpus, Options);
+  }();
+  return Data;
+}
+
+// --- Task ---------------------------------------------------------------------
+
+TEST(Task, SeparatesParameterAndReturnSamples) {
+  TaskOptions ParamOptions;
+  ParamOptions.Kind = TaskKind::TK_Parameter;
+  Task ParamTask(sharedDataset(), ParamOptions);
+  TaskOptions ReturnOptions;
+  ReturnOptions.Kind = TaskKind::TK_Return;
+  Task ReturnTask(sharedDataset(), ReturnOptions);
+
+  EXPECT_GT(ParamTask.train().size(), ReturnTask.train().size());
+  EXPECT_FALSE(ReturnTask.train().empty());
+}
+
+TEST(Task, TargetsAreValidTypeSequencesInLsw) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  for (const EncodedSample &Sample : T.test()) {
+    Result<typelang::Type> Parsed = typelang::parseType(Sample.TargetTokens);
+    ASSERT_TRUE(Parsed.isOk())
+        << "bad target: " << joinStrings(Sample.TargetTokens, " ");
+    EXPECT_EQ(Parsed->nestingDepth(), Sample.NestingDepth);
+  }
+}
+
+TEST(Task, EklavyaTargetsAreSingleLabels) {
+  TaskOptions Options;
+  Options.Language = TypeLanguageKind::TL_Eklavya;
+  Task T(sharedDataset(), Options);
+  for (const EncodedSample &Sample : T.train())
+    EXPECT_EQ(Sample.TargetTokens.size(), 1u);
+  // Target vocab: 4 specials + at most 7 labels.
+  EXPECT_LE(T.targetVocab().size(), 11u);
+}
+
+TEST(Task, SourceEncodingRespectsBpeAndSpecials) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  ASSERT_FALSE(T.train().empty());
+  const EncodedSample &Sample = T.train()[0];
+  EXPECT_FALSE(Sample.Source.empty());
+  // No token encodes to <unk> on training data (vocab was built from it).
+  for (uint32_t Id : Sample.Source)
+    EXPECT_NE(Id, dataset::TokenVocab::Unk);
+}
+
+TEST(Task, StripLowLevelAblationShortensInput) {
+  TaskOptions WithType;
+  Task TaskWith(sharedDataset(), WithType);
+  TaskOptions WithoutType = WithType;
+  WithoutType.StripLowLevelType = true;
+  Task TaskWithout(sharedDataset(), WithoutType);
+  ASSERT_FALSE(TaskWith.train().empty());
+  EXPECT_EQ(TaskWith.train()[0].Source.size(),
+            TaskWithout.train()[0].Source.size() + 1);
+}
+
+TEST(Task, MaxTrainSamplesCap) {
+  TaskOptions Options;
+  Options.MaxTrainSamples = 50;
+  Task T(sharedDataset(), Options);
+  EXPECT_LE(T.train().size(), 50u);
+  EXPECT_GT(T.test().size(), 0u);
+}
+
+TEST(Task, AllNamesVocabularyIsLarger) {
+  TaskOptions Sw;
+  Task SwTask(sharedDataset(), Sw);
+  TaskOptions AllNames;
+  AllNames.Language = TypeLanguageKind::TL_SwAllNames;
+  Task AllNamesTask(sharedDataset(), AllNames);
+  EXPECT_GT(AllNamesTask.targetVocab().size(), SwTask.targetVocab().size());
+}
+
+// --- Statistical baseline -------------------------------------------------------
+
+TEST(Baseline, PredictsMostFrequentPerLowLevelType) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  StatisticalBaseline Baseline(T);
+  std::vector<TypePrediction> Top = Baseline.predict(wasm::ValType::F64, 5);
+  ASSERT_FALSE(Top.empty());
+  // The most frequent f64-lowered type must be the double.
+  EXPECT_EQ(joinStrings(Top[0].Tokens, " "), "primitive float 64");
+  // Ranked by descending probability.
+  for (size_t I = 1; I < Top.size(); ++I)
+    EXPECT_GE(Top[I - 1].LogProb, Top[I].LogProb);
+}
+
+TEST(Baseline, I32CoversManyTypes) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  StatisticalBaseline Baseline(T);
+  std::vector<TypePrediction> Top = Baseline.predict(wasm::ValType::I32, 5);
+  EXPECT_EQ(Top.size(), 5u);
+}
+
+// --- Metrics -------------------------------------------------------------------
+
+TEST(Metrics, TypePrefixScoreExamplesFromPaper) {
+  using V = std::vector<std::string>;
+  EXPECT_EQ(eval::typePrefixScore(V{"pointer", "struct"},
+                                  V{"pointer", "class"}),
+            1u);
+  EXPECT_EQ(eval::typePrefixScore(V{"pointer", "struct"},
+                                  V{"primitive", "int", "32"}),
+            0u);
+  EXPECT_EQ(eval::typePrefixScore(V{"pointer", "struct"},
+                                  V{"pointer", "struct"}),
+            2u);
+  EXPECT_EQ(eval::typePrefixScore(V{}, V{"pointer"}), 0u);
+}
+
+TEST(Metrics, EvaluateAccuracyWithOracleAndWithAlwaysWrong) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  // Oracle: always returns the ground truth.
+  eval::AccuracyReport Oracle = eval::evaluateAccuracy(
+      T,
+      [](const EncodedSample &Sample, unsigned K) {
+        return std::vector<std::vector<std::string>>{Sample.TargetTokens};
+      },
+      5, 200);
+  EXPECT_DOUBLE_EQ(Oracle.top1(), 1.0);
+  EXPECT_DOUBLE_EQ(Oracle.topK(), 1.0);
+
+  // Always-wrong predictor.
+  eval::AccuracyReport Wrong = eval::evaluateAccuracy(
+      T,
+      [](const EncodedSample &Sample, unsigned K) {
+        // A token no real type sequence starts with, so TPS is 0 too.
+        return std::vector<std::vector<std::string>>{{"zzz_not_a_type"}};
+      },
+      5, 200);
+  EXPECT_DOUBLE_EQ(Wrong.top1(), 0.0);
+  EXPECT_DOUBLE_EQ(Wrong.meanPrefixScore(), 0.0);
+}
+
+TEST(Metrics, Top5CountsLaterHits) {
+  TaskOptions Options;
+  Task T(sharedDataset(), Options);
+  eval::AccuracyReport Report = eval::evaluateAccuracy(
+      T,
+      [](const EncodedSample &Sample, unsigned K) {
+        // Rank the truth second behind a wrong guess.
+        return std::vector<std::vector<std::string>>{{"unknown"},
+                                                     Sample.TargetTokens};
+      },
+      5, 100);
+  EXPECT_LT(Report.top1(), 0.2);
+  EXPECT_DOUBLE_EQ(Report.topK(), 1.0);
+}
+
+// --- Distributions ---------------------------------------------------------------
+
+TEST(Distribution, EntropyOfUniformIsOne) {
+  eval::TypeDistribution Dist;
+  for (int I = 0; I < 4; ++I)
+    for (int Copy = 0; Copy < 10; ++Copy)
+      Dist.add("type" + std::to_string(I));
+  EXPECT_NEAR(Dist.normalizedEntropy(), 1.0, 1e-9);
+  EXPECT_EQ(Dist.uniqueTypes(), 4u);
+  EXPECT_EQ(Dist.totalSamples(), 40u);
+}
+
+TEST(Distribution, SkewLowersNormalizedEntropy) {
+  eval::TypeDistribution Skewed;
+  for (int I = 0; I < 97; ++I)
+    Skewed.add("dominant");
+  Skewed.add("a");
+  Skewed.add("b");
+  Skewed.add("c");
+  EXPECT_LT(Skewed.normalizedEntropy(), 0.3);
+  auto [Top, Share] = Skewed.mostFrequent();
+  EXPECT_EQ(Top, "dominant");
+  EXPECT_NEAR(Share, 0.97, 1e-9);
+}
+
+TEST(Distribution, MostCommonOrdering) {
+  eval::TypeDistribution Dist;
+  for (int I = 0; I < 5; ++I)
+    Dist.add("second");
+  for (int I = 0; I < 9; ++I)
+    Dist.add("first");
+  Dist.add("third");
+  auto Top = Dist.mostCommon(2);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_EQ(Top[0].first, "first");
+  EXPECT_EQ(Top[1].first, "second");
+}
+
+// --- End-to-end: train a small model and beat chance ------------------------------
+
+TEST(EndToEnd, TinyModelTrainsAndPredicts) {
+  TaskOptions Options;
+  Options.Language = TypeLanguageKind::TL_SwSimplified;
+  Task T(sharedDataset(), Options);
+
+  TrainOptions Train;
+  Train.MaxEpochs = 10;
+  Train.BatchSize = 16;
+  Train.EmbedDim = 16;
+  Train.HiddenDim = 32;
+  Train.MaxSrcLen = 64;
+  Train.MaxValidSamples = 64;
+  Train.Patience = 5;
+  TrainResult Result = trainModel(T, Train);
+  ASSERT_NE(Result.Model, nullptr);
+  EXPECT_GT(Result.BatchesRun, 0u);
+  EXPECT_TRUE(std::isfinite(Result.BestValidLoss));
+
+  Predictor Pred(*Result.Model, T);
+  eval::AccuracyReport Report = eval::evaluateAccuracy(
+      T,
+      [&](const EncodedSample &Sample, unsigned K) {
+        std::vector<std::vector<std::string>> Out;
+        for (const TypePrediction &P : Pred.predictEncoded(Sample.Source, K))
+          Out.push_back(P.Tokens);
+        return Out;
+      },
+      5, 60);
+  // Against >100 possible types, even a minimally trained model must do far
+  // better than random within the top 5.
+  EXPECT_GT(Report.topK(), 0.15);
+}
+
+} // namespace
+} // namespace model
+} // namespace snowwhite

@@ -1,0 +1,118 @@
+//===- tests/names_test.cpp - "name" custom section tests ------------------===//
+
+#include "dwarf/io.h"
+#include "frontend/corpus.h"
+#include "frontend/typegen.h"
+#include "support/rng.h"
+#include "wasm/names.h"
+#include "wasm/reader.h"
+
+#include <gtest/gtest.h>
+
+namespace snowwhite {
+namespace wasm {
+namespace {
+
+TEST(NameSection, AttachExtractRoundtrip) {
+  Module M;
+  FunctionNameMap Names = {{0, "alpha"}, {3, "beta"}, {17, "gamma_delta"}};
+  attachNameSection(M, Names);
+  ASSERT_NE(M.findCustom("name"), nullptr);
+  Result<FunctionNameMap> Back = extractNameSection(M);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+  EXPECT_EQ(*Back, Names);
+}
+
+TEST(NameSection, ReattachReplaces) {
+  Module M;
+  attachNameSection(M, {{0, "old"}});
+  attachNameSection(M, {{0, "new"}});
+  size_t NameSections = 0;
+  for (const CustomSection &Section : M.Customs)
+    if (Section.Name == "name")
+      ++NameSections;
+  EXPECT_EQ(NameSections, 1u);
+  EXPECT_EQ(extractNameSection(M)->at(0), "new");
+}
+
+TEST(NameSection, EmptyMapIsValid) {
+  Module M;
+  attachNameSection(M, {});
+  Result<FunctionNameMap> Back = extractNameSection(M);
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_TRUE(Back->empty());
+}
+
+TEST(NameSection, MissingSectionErrors) {
+  Module M;
+  EXPECT_TRUE(extractNameSection(M).isErr());
+}
+
+TEST(NameSection, RejectsTruncated) {
+  Module M;
+  attachNameSection(M, {{1, "somename"}});
+  CustomSection *Section = nullptr;
+  for (CustomSection &Candidate : M.Customs)
+    if (Candidate.Name == "name")
+      Section = &Candidate;
+  ASSERT_NE(Section, nullptr);
+  Section->Bytes.resize(Section->Bytes.size() - 3);
+  EXPECT_TRUE(extractNameSection(M).isErr());
+}
+
+TEST(NameSection, UnknownSubsectionsAreSkipped) {
+  Module M;
+  attachNameSection(M, {{2, "kept"}});
+  // Prepend a module-name subsection (id 0) before the function names.
+  CustomSection *Section = nullptr;
+  for (CustomSection &Candidate : M.Customs)
+    if (Candidate.Name == "name")
+      Section = &Candidate;
+  ASSERT_NE(Section, nullptr);
+  std::vector<uint8_t> Prefix = {0x00, 0x03, 'm', 'o', 'd'};
+  Section->Bytes.insert(Section->Bytes.begin(), Prefix.begin(), Prefix.end());
+  Result<FunctionNameMap> Back = extractNameSection(M);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+  EXPECT_EQ(Back->at(2), "kept");
+}
+
+TEST(NameSection, SurvivesBinaryRoundtripAndStrip) {
+  Rng R(7);
+  std::vector<frontend::WellKnownType> Pool = frontend::makeWellKnownPool();
+  frontend::TypeEnvironment Env(R, false, "pkg", Pool);
+  std::vector<frontend::SrcFunction> Functions;
+  for (int I = 0; I < 3; ++I)
+    Functions.push_back(frontend::generateSignature(R, Env, "pkg", I));
+  frontend::CompiledObject Object =
+      frontend::compileObject(Functions, "o.o", R, {});
+
+  Result<Module> Parsed = readModule(Object.Bytes);
+  ASSERT_TRUE(Parsed.isOk());
+  Result<FunctionNameMap> Names = extractNameSection(*Parsed);
+  ASSERT_TRUE(Names.isOk()) << Names.error().message();
+  EXPECT_EQ(Names->size(), Functions.size());
+  EXPECT_EQ(functionDisplayName(*Parsed, 0), Functions[0].Name);
+
+  // Stripping DWARF keeps the name section — the realistic RE scenario.
+  dwarf::stripDebugInfo(*Parsed);
+  EXPECT_TRUE(dwarf::extractDebugInfo(*Parsed).isErr());
+  EXPECT_EQ(functionDisplayName(*Parsed, 1), Functions[1].Name);
+}
+
+TEST(NameSection, DisplayNameFallsBackToExportThenIndex) {
+  Module M;
+  FuncType Type;
+  Function Func;
+  Func.TypeIndex = M.internType(Type);
+  Func.Body = {Instr(Opcode::End)};
+  M.Functions.push_back(Func);
+  EXPECT_EQ(functionDisplayName(M, 0), "func[0]");
+  M.Exports.push_back({"exported_name", 0});
+  EXPECT_EQ(functionDisplayName(M, 0), "exported_name");
+  attachNameSection(M, {{0, "debug_name"}});
+  EXPECT_EQ(functionDisplayName(M, 0), "debug_name");
+}
+
+} // namespace
+} // namespace wasm
+} // namespace snowwhite

@@ -1,0 +1,435 @@
+//===- tests/nn_test.cpp - Autograd and seq2seq model tests ----------------===//
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/seq2seq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace snowwhite {
+namespace nn {
+namespace {
+
+// --- Numerical gradient checking ---------------------------------------------
+//
+// For a scalar loss L(P) built by Builder from a parameter P, compare the
+// autograd gradient against central finite differences.
+
+using LossBuilder = std::function<Var(Graph &, Parameter &)>;
+
+void checkGradient(Parameter &P, const LossBuilder &Builder,
+                   float Tolerance = 2e-2f) {
+  // Analytic gradient.
+  P.zeroGrad();
+  {
+    Graph G(/*Training=*/true);
+    Var Loss = Builder(G, P);
+    ASSERT_EQ(Loss.rows(), 1u);
+    ASSERT_EQ(Loss.cols(), 1u);
+    G.backward(Loss);
+  }
+  std::vector<float> Analytic = P.Grad;
+
+  // Finite differences on a subset of coordinates (all if small).
+  const float Epsilon = 1e-2f;
+  size_t Stride = P.size() <= 64 ? 1 : P.size() / 48;
+  for (size_t I = 0; I < P.size(); I += Stride) {
+    float Saved = P.Value[I];
+    P.Value[I] = Saved + Epsilon;
+    float LossPlus;
+    {
+      Graph G(false);
+      LossPlus = Builder(G, P).at(0, 0);
+    }
+    P.Value[I] = Saved - Epsilon;
+    float LossMinus;
+    {
+      Graph G(false);
+      LossMinus = Builder(G, P).at(0, 0);
+    }
+    P.Value[I] = Saved;
+    float Numeric = (LossPlus - LossMinus) / (2 * Epsilon);
+    float Diff = std::fabs(Numeric - Analytic[I]);
+    float Scale = std::max({1.0f, std::fabs(Numeric), std::fabs(Analytic[I])});
+    EXPECT_LT(Diff / Scale, Tolerance)
+        << "coordinate " << I << ": numeric " << Numeric << " vs analytic "
+        << Analytic[I];
+  }
+}
+
+/// Sums all entries of X into a scalar via matmuls with ones.
+static Var sumAll(Graph &G, Var X) {
+  std::vector<float> OnesRow(X.rows(), 1.0f);
+  std::vector<float> OnesCol(X.cols(), 1.0f);
+  Var Left = G.input(1, X.rows(), OnesRow.data());
+  Var Right = G.input(X.cols(), 1, OnesCol.data());
+  return G.matmul(G.matmul(Left, X), Right);
+}
+
+static void fillParam(Parameter &P, uint64_t Seed) {
+  Rng R(Seed);
+  for (float &V : P.Value)
+    V = R.nextUniformFloat(0.8f);
+}
+
+TEST(GradCheck, Matmul) {
+  Parameter P(4, 5);
+  fillParam(P, 1);
+  Parameter Other(5, 3);
+  fillParam(Other, 2);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.matmul(G.param(Param), G.param(Other))));
+  });
+  checkGradient(Other, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.matmul(G.param(P), G.param(Param))));
+  });
+}
+
+TEST(GradCheck, MatmulTransposeB) {
+  Parameter P(3, 6);
+  fillParam(P, 3);
+  Parameter Other(4, 6);
+  fillParam(Other, 4);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    return sumAll(G,
+                  G.sigmoid(G.matmulTransposeB(G.param(Param), G.param(Other))));
+  });
+  checkGradient(Other, [&](Graph &G, Parameter &Param) {
+    return sumAll(G,
+                  G.sigmoid(G.matmulTransposeB(G.param(P), G.param(Param))));
+  });
+}
+
+TEST(GradCheck, AddAndMulAndScale) {
+  Parameter P(3, 4);
+  fillParam(P, 5);
+  Parameter Other(3, 4);
+  fillParam(Other, 6);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    Var A = G.param(Param);
+    Var Combined = G.scale(G.mul(G.add(A, G.param(Other)), A), 0.5f);
+    return sumAll(G, G.tanhOp(Combined));
+  });
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  Parameter Bias(1, 5);
+  fillParam(Bias, 7);
+  Parameter Matrix(4, 5);
+  fillParam(Matrix, 8);
+  checkGradient(Bias, [&](Graph &G, Parameter &Param) {
+    return sumAll(G,
+                  G.tanhOp(G.addRowBroadcast(G.param(Matrix), G.param(Param))));
+  });
+}
+
+TEST(GradCheck, SigmoidTanh) {
+  Parameter P(2, 6);
+  fillParam(P, 9);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.sigmoid(G.tanhOp(G.param(Param))));
+  });
+}
+
+TEST(GradCheck, SliceAndConcat) {
+  Parameter P(3, 8);
+  fillParam(P, 10);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    Var A = G.param(Param);
+    Var Left = G.sliceCols(A, 0, 3);
+    Var Right = G.sliceCols(A, 5, 3);
+    return sumAll(G, G.tanhOp(G.mul(G.concatCols(Left, Right),
+                                    G.concatCols(Right, Left))));
+  });
+}
+
+TEST(GradCheck, SliceRowAndStackRows) {
+  Parameter P(4, 5);
+  fillParam(P, 11);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    Var A = G.param(Param);
+    std::vector<Var> Rows = {G.sliceRow(A, 2), G.sliceRow(A, 0),
+                             G.sliceRow(A, 2)};
+    return sumAll(G, G.tanhOp(G.stackRows(Rows)));
+  });
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  Parameter P(3, 7);
+  fillParam(P, 12);
+  Parameter Weights(3, 7);
+  fillParam(Weights, 13);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.mul(G.softmaxRows(G.param(Param)), G.param(Weights)));
+  });
+}
+
+TEST(GradCheck, CrossEntropy) {
+  Parameter Logits(5, 9);
+  fillParam(Logits, 14);
+  std::vector<uint32_t> Targets = {2, 0, 7, 1, 0};
+  checkGradient(Logits, [&](Graph &G, Parameter &Param) {
+    return G.crossEntropy(G.param(Param), Targets, /*IgnoreIndex=*/0);
+  });
+}
+
+TEST(GradCheck, Embedding) {
+  Parameter E(6, 4);
+  fillParam(E, 15);
+  std::vector<uint32_t> Ids = {1, 3, 3, 5};
+  checkGradient(E, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.embedding(Param, Ids)));
+  });
+}
+
+TEST(GradCheck, LstmCellStep) {
+  Rng R(77);
+  LstmCell Cell(5, 4, R);
+  Parameter Input(2, 5);
+  fillParam(Input, 16);
+  std::vector<Parameter *> CellParams;
+  Cell.collectParameters(CellParams);
+  for (Parameter *P : CellParams) {
+    checkGradient(*P, [&](Graph &G, Parameter &Unused) {
+      (void)Unused;
+      Var H = G.zeros(2, 4), C = G.zeros(2, 4);
+      Var X = G.param(Input);
+      auto [H1, C1] = Cell.step(G, X, H, C);
+      auto [H2, C2] = Cell.step(G, X, H1, C1);
+      return sumAll(G, G.add(H2, C2));
+    });
+  }
+}
+
+// --- Graph basics -----------------------------------------------------------
+
+TEST(Graph, InferenceModeAllocatesNoGradients) {
+  Graph G(false);
+  Parameter P(2, 2);
+  Var V = G.param(P);
+  EXPECT_EQ(V.Data->Grad, nullptr);
+  Var Sum = G.add(V, V);
+  EXPECT_EQ(Sum.Data->Grad, nullptr);
+}
+
+TEST(Graph, DropoutIsIdentityAtInference) {
+  Graph G(false);
+  Rng R(1);
+  std::vector<float> Data = {1, 2, 3, 4};
+  Var X = G.input(2, 2, Data.data());
+  Var Dropped = G.dropout(X, 0.5f, R);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Dropped.value()[I], Data[I]);
+}
+
+TEST(Graph, DropoutScalesKeptUnits) {
+  Graph G(true);
+  Rng R(2);
+  std::vector<float> Data(1000, 1.0f);
+  Var X = G.input(1, 1000, Data.data());
+  Var Dropped = G.dropout(X, 0.3f, R);
+  int Zeros = 0;
+  double Sum = 0;
+  for (int I = 0; I < 1000; ++I) {
+    if (Dropped.value()[I] == 0.0f)
+      ++Zeros;
+    Sum += Dropped.value()[I];
+  }
+  EXPECT_NEAR(Zeros, 300, 60);
+  EXPECT_NEAR(Sum / 1000.0, 1.0, 0.1); // Inverted dropout keeps expectation.
+}
+
+TEST(Graph, SoftmaxRowsSumToOne) {
+  Graph G(false);
+  std::vector<float> Data = {1, 2, 3, -5, 0, 5};
+  Var X = G.input(2, 3, Data.data());
+  Var Probs = G.softmaxRows(X);
+  for (int Row = 0; Row < 2; ++Row) {
+    float Sum = 0;
+    for (int Col = 0; Col < 3; ++Col)
+      Sum += Probs.at(Row, Col);
+    EXPECT_NEAR(Sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(Probs.at(0, 2), Probs.at(0, 0));
+}
+
+// --- Optimizer ---------------------------------------------------------------
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize ||P - T||^2 for a fixed target T via autograd + Adam.
+  Parameter P(1, 4);
+  P.Value = {5.0f, -3.0f, 2.0f, 0.5f};
+  std::vector<float> Target = {1.0f, 1.0f, 1.0f, 1.0f};
+  AdamOptimizer Optimizer({&P}, 0.05f);
+  float FirstLoss = 0, LastLoss = 0;
+  for (int Step = 0; Step < 300; ++Step) {
+    Graph G(true);
+    Var Diff = G.add(G.param(P), G.scale(G.input(1, 4, Target.data()), -1.0f));
+    Var Loss = G.matmulTransposeB(Diff, Diff);
+    if (Step == 0)
+      FirstLoss = Loss.at(0, 0);
+    LastLoss = Loss.at(0, 0);
+    G.backward(Loss);
+    Optimizer.step();
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.01f);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_NEAR(P.Value[I], 1.0f, 0.1f);
+}
+
+TEST(Adam, GradientClippingBoundsUpdates) {
+  Parameter P(1, 2);
+  P.Value = {0.0f, 0.0f};
+  P.Grad = {1e6f, -1e6f};
+  AdamOptimizer Optimizer({&P}, 0.1f);
+  Optimizer.step(/*MaxNorm=*/1.0f);
+  // After clipping, the Adam step magnitude stays near the learning rate.
+  EXPECT_LT(std::fabs(P.Value[0]), 0.2f);
+  // Gradients are consumed.
+  EXPECT_EQ(P.Grad[0], 0.0f);
+}
+
+// --- Seq2Seq -----------------------------------------------------------------
+
+static Seq2SeqConfig tinyConfig(size_t SrcVocab = 20, size_t TgtVocab = 12) {
+  Seq2SeqConfig Config;
+  Config.SrcVocabSize = SrcVocab;
+  Config.TgtVocabSize = TgtVocab;
+  Config.EmbedDim = 12;
+  Config.HiddenDim = 16;
+  Config.DropoutRate = 0.0f;
+  Config.MaxSrcLen = 24;
+  Config.MaxTgtLen = 8;
+  Config.Seed = 7;
+  return Config;
+}
+
+TEST(Seq2Seq, OverfitsATinyCopyTask) {
+  // Target = a deterministic function of the first source token.
+  Seq2SeqModel Model(tinyConfig());
+  AdamOptimizer Optimizer(Model.parameters(), 5e-3f);
+  std::vector<std::vector<uint32_t>> Sources, Targets;
+  Rng R(3);
+  for (int I = 0; I < 60; ++I) {
+    uint32_t Key = 4 + static_cast<uint32_t>(R.nextBelow(6));
+    std::vector<uint32_t> Source = {Key, 5, 6};
+    std::vector<uint32_t> Target = {Key, static_cast<uint32_t>(4 + (Key % 3))};
+    Sources.push_back(Source);
+    Targets.push_back(Target);
+  }
+  float FirstLoss = 0, LastLoss = 0;
+  for (int Epoch = 0; Epoch < 60; ++Epoch) {
+    LastLoss = Model.trainBatch(Sources, Targets, Optimizer);
+    if (Epoch == 0)
+      FirstLoss = LastLoss;
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.3f);
+
+  // Greedy/beam prediction reproduces the mapping.
+  int Correct = 0;
+  for (uint32_t Key = 4; Key < 10; ++Key) {
+    std::vector<Hypothesis> Top =
+        Model.predictTopK({Key, 5, 6}, /*BeamWidth=*/1);
+    ASSERT_FALSE(Top.empty());
+    std::vector<uint32_t> Expected = {Key, 4 + (Key % 3)};
+    if (Top[0].Tokens == Expected)
+      ++Correct;
+  }
+  EXPECT_GE(Correct, 4);
+}
+
+TEST(Seq2Seq, EvaluateLossMatchesTrainLossWithoutUpdating) {
+  Seq2SeqModel Model(tinyConfig());
+  std::vector<std::vector<uint32_t>> Sources = {{4, 5}, {6, 7}};
+  std::vector<std::vector<uint32_t>> Targets = {{4}, {5, 6}};
+  float LossA = Model.evaluateLoss(Sources, Targets);
+  float LossB = Model.evaluateLoss(Sources, Targets);
+  EXPECT_FLOAT_EQ(LossA, LossB) << "evaluation must not change weights";
+}
+
+TEST(Seq2Seq, BeamSearchReturnsSortedUniqueWidths) {
+  Seq2SeqModel Model(tinyConfig());
+  std::vector<Hypothesis> Top = Model.predictTopK({4, 5, 6}, 5);
+  ASSERT_LE(Top.size(), 5u);
+  ASSERT_GE(Top.size(), 1u);
+  for (size_t I = 1; I < Top.size(); ++I)
+    EXPECT_GE(Top[I - 1].LogProb, Top[I].LogProb);
+  for (const Hypothesis &Hyp : Top)
+    EXPECT_LE(Hyp.Tokens.size(), tinyConfig().MaxTgtLen);
+}
+
+TEST(Seq2Seq, BeamWidthOneIsGreedy) {
+  Seq2SeqModel Model(tinyConfig());
+  std::vector<Hypothesis> A = Model.predictTopK({4, 5}, 1);
+  std::vector<Hypothesis> B = Model.predictTopK({4, 5}, 1);
+  ASSERT_EQ(A.size(), 1u);
+  EXPECT_EQ(A[0].Tokens, B[0].Tokens) << "inference is deterministic";
+}
+
+TEST(Seq2Seq, HandlesLongAndEmptyInputs) {
+  Seq2SeqModel Model(tinyConfig());
+  std::vector<uint32_t> Long(500, 5); // Truncated to MaxSrcLen internally.
+  EXPECT_NO_FATAL_FAILURE(Model.predictTopK(Long, 2));
+  EXPECT_NO_FATAL_FAILURE(Model.predictTopK({}, 2));
+}
+
+TEST(Seq2Seq, BatchWithVaryingLengths) {
+  Seq2SeqModel Model(tinyConfig());
+  AdamOptimizer Optimizer(Model.parameters());
+  std::vector<std::vector<uint32_t>> Sources = {
+      {4}, {4, 5, 6, 7, 8, 9, 10, 11}, {5, 6}};
+  std::vector<std::vector<uint32_t>> Targets = {{4, 5, 6}, {7}, {8, 9}};
+  float Loss = Model.trainBatch(Sources, Targets, Optimizer);
+  EXPECT_TRUE(std::isfinite(Loss));
+}
+
+TEST(Seq2Seq, SaveLoadRoundtrip) {
+  Seq2SeqModel Model(tinyConfig());
+  // Nudge weights so they are not the seed defaults.
+  AdamOptimizer Optimizer(Model.parameters());
+  std::vector<std::vector<uint32_t>> Sources = {{4, 5, 6}};
+  std::vector<std::vector<uint32_t>> Targets = {{7, 8}};
+  Model.trainBatch(Sources, Targets, Optimizer);
+
+  std::string Path = ::testing::TempDir() + "/snowwhite_model.bin";
+  Result<void> Saved = Model.save(Path);
+  ASSERT_TRUE(Saved.isOk()) << Saved.error().message();
+  Result<Seq2SeqModel> Loaded = Seq2SeqModel::load(Path);
+  ASSERT_TRUE(Loaded.isOk()) << Loaded.error().message();
+
+  std::vector<Hypothesis> Original = Model.predictTopK({4, 5, 6}, 3);
+  std::vector<Hypothesis> Restored = Loaded->predictTopK({4, 5, 6}, 3);
+  ASSERT_EQ(Original.size(), Restored.size());
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ(Original[I].Tokens, Restored[I].Tokens);
+    EXPECT_NEAR(Original[I].LogProb, Restored[I].LogProb, 1e-5f);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Seq2Seq, LoadRejectsCorruptFiles) {
+  std::string Path = ::testing::TempDir() + "/not_a_model.bin";
+  FILE *File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  std::fputs("garbage", File);
+  std::fclose(File);
+  EXPECT_TRUE(Seq2SeqModel::load(Path).isErr());
+  EXPECT_TRUE(Seq2SeqModel::load("/nonexistent/path.bin").isErr());
+  std::remove(Path.c_str());
+}
+
+TEST(Seq2Seq, ParameterCountIsPlausible) {
+  Seq2SeqModel Model(tinyConfig());
+  size_t Count = Model.numParameters();
+  // Embeddings + 3 LSTMs + attention + projections.
+  EXPECT_GT(Count, 1000u);
+  EXPECT_LT(Count, 200000u);
+}
+
+} // namespace
+} // namespace nn
+} // namespace snowwhite

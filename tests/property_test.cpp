@@ -1,0 +1,215 @@
+//===- tests/property_test.cpp - Property-based and fuzz-style tests -------===//
+//
+// Invariants checked over randomized inputs:
+//  * Binary canonicality: write(read(write(M))) is byte-identical.
+//  * DWARF section round-trips are lossless and canonical.
+//  * Random types print/parse to themselves.
+//  * BPE encode/decode is the identity on token sequences.
+//  * Extraction invariants hold on every generated function.
+//  * Corrupted binaries never crash the readers (they error or parse).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataset/bpe.h"
+#include "dataset/extract.h"
+#include "dwarf/io.h"
+#include "frontend/corpus.h"
+#include "frontend/typegen.h"
+#include "support/rng.h"
+#include "typelang/type.h"
+#include "wasm/reader.h"
+#include "wasm/validate.h"
+#include "wasm/writer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace snowwhite {
+namespace {
+
+frontend::CompiledObject makeObject(uint64_t Seed, int NumFunctions = 6) {
+  Rng R(Seed);
+  std::vector<frontend::WellKnownType> Pool = frontend::makeWellKnownPool();
+  frontend::TypeEnvironment Env(R, R.nextBool(0.5), "prop", Pool);
+  std::vector<frontend::SrcFunction> Functions;
+  for (int I = 0; I < NumFunctions; ++I)
+    Functions.push_back(frontend::generateSignature(R, Env, "prop", I));
+  return frontend::compileObject(Functions, "prop.o", R, {});
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, BinaryWriteIsCanonical) {
+  frontend::CompiledObject Object = makeObject(GetParam());
+  Result<wasm::Module> Read1 = wasm::readModule(Object.Bytes);
+  ASSERT_TRUE(Read1.isOk()) << Read1.error().message();
+  std::vector<uint8_t> Bytes2 = wasm::writeModule(*Read1);
+  EXPECT_EQ(Bytes2, Object.Bytes);
+}
+
+TEST_P(SeededProperty, DwarfRoundtripIsLosslessAndCanonical) {
+  frontend::CompiledObject Object = makeObject(GetParam());
+  dwarf::DebugSections First = dwarf::writeDebugSections(Object.Debug);
+  Result<dwarf::DebugInfo> Back =
+      dwarf::readDebugSections(First.Info, First.Str);
+  ASSERT_TRUE(Back.isOk()) << Back.error().message();
+  EXPECT_EQ(Back->size(), Object.Debug.size());
+  dwarf::DebugSections Second = dwarf::writeDebugSections(*Back);
+  EXPECT_EQ(Second.Info, First.Info);
+  EXPECT_EQ(Second.Str, First.Str);
+}
+
+TEST_P(SeededProperty, ExtractionInvariants) {
+  frontend::CompiledObject Object = makeObject(GetParam());
+  const wasm::Module &Mod = Object.Mod;
+  for (uint32_t Func = 0; Func < Mod.Functions.size(); ++Func) {
+    const wasm::FuncType &Type = Mod.functionType(Func);
+    for (uint32_t Param = 0; Param < Type.Params.size(); ++Param) {
+      std::vector<std::string> Tokens =
+          dataset::extractParamInput(Mod, Func, Param);
+      ASSERT_GE(Tokens.size(), 2u);
+      // Prefix: low-level type then <begin>.
+      EXPECT_EQ(Tokens[0], wasm::valTypeName(Type.Params[Param]));
+      EXPECT_EQ(Tokens[1], dataset::BeginToken);
+      // The raw local index of the focused parameter never leaks.
+      for (size_t I = 2; I + 1 < Tokens.size(); ++I)
+        if (Tokens[I] == "local.get" || Tokens[I] == "local.set" ||
+            Tokens[I] == "local.tee")
+          EXPECT_NE(Tokens[I + 1], std::to_string(Param));
+      // Bounded by the whole function rendered plus separators.
+      EXPECT_LT(Tokens.size(), 8 * Mod.Functions[Func].Body.size() + 16);
+    }
+    if (!Type.Results.empty()) {
+      std::vector<std::string> Tokens = dataset::extractReturnInput(Mod, Func);
+      EXPECT_EQ(Tokens[0], wasm::valTypeName(Type.Results[0]));
+      EXPECT_EQ(Tokens[1], dataset::BeginToken);
+    }
+  }
+}
+
+TEST_P(SeededProperty, RandomTypesRoundtripThroughGrammar) {
+  Rng R(GetParam() * 7919 + 13);
+  // Random type generator over the full grammar.
+  std::function<typelang::Type(unsigned)> Generate =
+      [&](unsigned Depth) -> typelang::Type {
+    using typelang::Type;
+    if (Depth > 4 || R.nextBool(0.35)) {
+      switch (R.nextBelow(8)) {
+      case 0:
+        return Type::makeBool();
+      case 1:
+        return Type::makeInt(8u << R.nextBelow(4));
+      case 2:
+        return Type::makeUint(8u << R.nextBelow(4));
+      case 3:
+        return Type::makeFloat(32u << R.nextBelow(2));
+      case 4:
+        return Type::makeCChar();
+      case 5:
+        return Type::makeStruct();
+      case 6:
+        return Type::makeEnum();
+      default:
+        return Type::makeUnknown();
+      }
+    }
+    switch (R.nextBelow(4)) {
+    case 0:
+      return Type::makePointer(Generate(Depth + 1));
+    case 1:
+      return Type::makeArray(Generate(Depth + 1));
+    case 2:
+      return Type::makeConst(Generate(Depth + 1));
+    default:
+      return Type::makeNamed("n" + std::to_string(R.nextBelow(100)),
+                             Generate(Depth + 1));
+    }
+  };
+  for (int I = 0; I < 50; ++I) {
+    typelang::Type T = Generate(0);
+    Result<typelang::Type> Back = typelang::parseType(T.tokens());
+    ASSERT_TRUE(Back.isOk()) << T.toString() << ": "
+                             << Back.error().message();
+    EXPECT_EQ(*Back, T);
+    Result<typelang::Type> FromString = typelang::parseType(T.toString());
+    ASSERT_TRUE(FromString.isOk());
+    EXPECT_EQ(*FromString, T);
+  }
+}
+
+TEST_P(SeededProperty, BpeRoundtripsArbitraryTokenSequences) {
+  frontend::CompiledObject Object = makeObject(GetParam(), 3);
+  // Find a function that actually has parameters.
+  uint32_t Func = 0;
+  while (Func < Object.Mod.Functions.size() &&
+         Object.Mod.functionType(Func).Params.empty())
+    ++Func;
+  if (Func == Object.Mod.Functions.size())
+    return; // No parameters anywhere for this seed.
+  std::map<std::string, uint64_t> Frequencies;
+  std::vector<std::string> Tokens =
+      dataset::extractParamInput(Object.Mod, Func, 0);
+  for (const std::string &Token : Tokens)
+    ++Frequencies[Token];
+  dataset::BpeModel Bpe;
+  Bpe.train(Frequencies, 64,
+            {dataset::BeginToken, dataset::ParamToken, dataset::WindowToken,
+             dataset::InstrSeparator});
+  EXPECT_EQ(Bpe.decodeSequence(Bpe.encodeSequence(Tokens)), Tokens);
+}
+
+TEST_P(SeededProperty, CorruptedBinariesNeverCrashTheReader) {
+  frontend::CompiledObject Object = makeObject(GetParam(), 3);
+  Rng R(GetParam() ^ 0xfefefefe);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    std::vector<uint8_t> Mutated = Object.Bytes;
+    switch (R.nextBelow(3)) {
+    case 0: { // Flip bytes.
+      for (int Flip = 0; Flip < 4; ++Flip)
+        Mutated[R.nextBelow(Mutated.size())] ^=
+            static_cast<uint8_t>(1 + R.nextBelow(255));
+      break;
+    }
+    case 1: // Truncate.
+      Mutated.resize(R.nextBelow(Mutated.size()));
+      break;
+    default: // Garbage tail.
+      for (int Extra = 0; Extra < 16; ++Extra)
+        Mutated.push_back(static_cast<uint8_t>(R.next()));
+      break;
+    }
+    Result<wasm::Module> Parsed = wasm::readModule(Mutated);
+    if (Parsed.isOk()) {
+      // If it still parses, validation and DWARF extraction must also be
+      // crash-free (they may, of course, report errors).
+      (void)wasm::validateModule(*Parsed);
+      (void)dwarf::extractDebugInfo(*Parsed);
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(SeededProperty, CorruptedDebugSectionsNeverCrashTheParser) {
+  frontend::CompiledObject Object = makeObject(GetParam(), 3);
+  dwarf::DebugSections Sections = dwarf::writeDebugSections(Object.Debug);
+  Rng R(GetParam() + 4242);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    std::vector<uint8_t> Info = Sections.Info;
+    if (!Info.empty()) {
+      if (R.nextBool(0.5))
+        Info[R.nextBelow(Info.size())] ^=
+            static_cast<uint8_t>(1 + R.nextBelow(255));
+      else
+        Info.resize(R.nextBelow(Info.size()));
+    }
+    (void)dwarf::readDebugSections(Info, Sections.Str);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace snowwhite

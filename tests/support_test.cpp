@@ -1,0 +1,270 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+
+#include "support/hash.h"
+#include "support/leb128.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace snowwhite {
+namespace {
+
+// --- LEB128 -----------------------------------------------------------------
+
+class ULeb128Roundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ULeb128Roundtrip, EncodesAndDecodes) {
+  uint64_t Value = GetParam();
+  std::vector<uint8_t> Buffer;
+  encodeULEB128(Value, Buffer);
+  EXPECT_EQ(Buffer.size(), encodedULEB128Size(Value));
+  size_t Offset = 0;
+  uint64_t Decoded = 0;
+  ASSERT_TRUE(decodeULEB128(Buffer, Offset, Decoded));
+  EXPECT_EQ(Decoded, Value);
+  EXPECT_EQ(Offset, Buffer.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ULeb128Roundtrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 300ULL, 16383ULL,
+                      16384ULL, 65535ULL, 65536ULL, 1ULL << 32,
+                      (1ULL << 56) + 12345, UINT64_MAX));
+
+class SLeb128Roundtrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SLeb128Roundtrip, EncodesAndDecodes) {
+  int64_t Value = GetParam();
+  std::vector<uint8_t> Buffer;
+  encodeSLEB128(Value, Buffer);
+  EXPECT_EQ(Buffer.size(), encodedSLEB128Size(Value));
+  size_t Offset = 0;
+  int64_t Decoded = 0;
+  ASSERT_TRUE(decodeSLEB128(Buffer, Offset, Decoded));
+  EXPECT_EQ(Decoded, Value);
+  EXPECT_EQ(Offset, Buffer.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SLeb128Roundtrip,
+    ::testing::Values(0LL, 1LL, -1LL, 63LL, 64LL, -64LL, -65LL, 127LL, 128LL,
+                      -128LL, 8191LL, -8192LL, INT32_MAX, INT32_MIN, INT64_MAX,
+                      INT64_MIN));
+
+TEST(Leb128, SingleByteBoundary) {
+  std::vector<uint8_t> Buffer;
+  encodeULEB128(127, Buffer);
+  EXPECT_EQ(Buffer.size(), 1u);
+  Buffer.clear();
+  encodeULEB128(128, Buffer);
+  EXPECT_EQ(Buffer.size(), 2u);
+}
+
+TEST(Leb128, DecodeTruncatedFails) {
+  std::vector<uint8_t> Buffer = {0x80}; // Continuation bit, nothing follows.
+  size_t Offset = 0;
+  uint64_t Value;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
+}
+
+TEST(Leb128, DecodeEmptyFails) {
+  std::vector<uint8_t> Buffer;
+  size_t Offset = 0;
+  uint64_t UValue;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, UValue));
+  int64_t SValue;
+  EXPECT_FALSE(decodeSLEB128(Buffer, Offset, SValue));
+}
+
+TEST(Leb128, DecodeOverlongFails) {
+  // Eleven continuation bytes exceed the 64-bit range.
+  std::vector<uint8_t> Buffer(11, 0x80);
+  Buffer.push_back(0x01);
+  size_t Offset = 0;
+  uint64_t Value;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
+}
+
+TEST(Leb128, SequentialDecodes) {
+  std::vector<uint8_t> Buffer;
+  encodeULEB128(5, Buffer);
+  encodeULEB128(300, Buffer);
+  encodeSLEB128(-42, Buffer);
+  size_t Offset = 0;
+  uint64_t A, B;
+  int64_t C;
+  ASSERT_TRUE(decodeULEB128(Buffer, Offset, A));
+  ASSERT_TRUE(decodeULEB128(Buffer, Offset, B));
+  ASSERT_TRUE(decodeSLEB128(Buffer, Offset, C));
+  EXPECT_EQ(A, 5u);
+  EXPECT_EQ(B, 300u);
+  EXPECT_EQ(C, -42);
+  EXPECT_EQ(Offset, Buffer.size());
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(99), B(99);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Matches;
+  EXPECT_LT(Matches, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng R(7);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t Value = R.nextInRange(-3, 3);
+    EXPECT_GE(Value, -3);
+    EXPECT_LE(Value, 3);
+    Seen.insert(Value);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // All values realized.
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng R(11);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    double Value = R.nextDouble();
+    ASSERT_GE(Value, 0.0);
+    ASSERT_LT(Value, 1.0);
+    Sum += Value;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng R(13);
+  double Sum = 0.0, SumSquares = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double Value = R.nextGaussian();
+    Sum += Value;
+    SumSquares += Value * Value;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSquares / N, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng R(17);
+  std::vector<double> Weights = {0.0, 1.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 10000; ++I)
+    ++Counts[R.nextWeighted(Weights)];
+  EXPECT_EQ(Counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(Counts[2]) / Counts[1], 3.0, 0.4);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(23);
+  std::vector<int> Items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Original = Items;
+  R.shuffle(Items);
+  std::sort(Items.begin(), Items.end());
+  EXPECT_EQ(Items, Original);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng A(5);
+  Rng B = A.fork();
+  // The fork and parent produce different streams.
+  EXPECT_NE(A.next(), B.next());
+}
+
+// --- Hashing ------------------------------------------------------------------
+
+TEST(Hash, StableKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(hashBytes(nullptr, 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, DiffersOnContent) {
+  EXPECT_NE(hashString("hello"), hashString("hellp"));
+  EXPECT_NE(hashString("ab"), hashString("ba"));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(1, 2), 3);
+  uint64_t B = hashCombine(hashCombine(1, 3), 2);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hash, HexFormat) {
+  EXPECT_EQ(hashToHex(0), "0000000000000000");
+  EXPECT_EQ(hashToHex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+// --- Strings -------------------------------------------------------------------
+
+TEST(Str, SplitKeepsEmptyFields) {
+  std::vector<std::string> Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[1], "");
+}
+
+TEST(Str, SplitWhitespaceDropsEmpty) {
+  std::vector<std::string> Parts = splitWhitespace("  foo\t bar\nbaz  ");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "foo");
+  EXPECT_EQ(Parts[2], "baz");
+}
+
+TEST(Str, JoinRoundtrip) {
+  std::vector<std::string> Parts = {"pointer", "const", "struct"};
+  EXPECT_EQ(joinStrings(Parts, " "), "pointer const struct");
+  EXPECT_EQ(splitWhitespace(joinStrings(Parts, " ")), Parts);
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trimString("  x  "), "x");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Str, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.445, 1), "44.5%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(Str, FormatWithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1307617), "1,307,617");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+} // namespace
+} // namespace snowwhite

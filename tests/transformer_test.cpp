@@ -1,0 +1,220 @@
+//===- tests/transformer_test.cpp - LayerNorm/ReLU grads + Transformer -----===//
+
+#include "nn/graph.h"
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace snowwhite {
+namespace nn {
+namespace {
+
+// Shared finite-difference checker (same scheme as nn_test.cpp).
+using LossBuilder = std::function<Var(Graph &, Parameter &)>;
+
+void checkGradient(Parameter &P, const LossBuilder &Builder,
+                   float Tolerance = 2e-2f) {
+  P.zeroGrad();
+  {
+    Graph G(true);
+    Var Loss = Builder(G, P);
+    G.backward(Loss);
+  }
+  std::vector<float> Analytic = P.Grad;
+  const float Epsilon = 1e-2f;
+  size_t Stride = P.size() <= 64 ? 1 : P.size() / 48;
+  for (size_t I = 0; I < P.size(); I += Stride) {
+    float Saved = P.Value[I];
+    P.Value[I] = Saved + Epsilon;
+    float LossPlus;
+    {
+      Graph G(false);
+      LossPlus = Builder(G, P).at(0, 0);
+    }
+    P.Value[I] = Saved - Epsilon;
+    float LossMinus;
+    {
+      Graph G(false);
+      LossMinus = Builder(G, P).at(0, 0);
+    }
+    P.Value[I] = Saved;
+    float Numeric = (LossPlus - LossMinus) / (2 * Epsilon);
+    float Diff = std::fabs(Numeric - Analytic[I]);
+    float Scale = std::max({1.0f, std::fabs(Numeric), std::fabs(Analytic[I])});
+    EXPECT_LT(Diff / Scale, Tolerance)
+        << "coordinate " << I << ": numeric " << Numeric << " vs analytic "
+        << Analytic[I];
+  }
+}
+
+static Var sumAll(Graph &G, Var X) {
+  std::vector<float> OnesRow(X.rows(), 1.0f);
+  std::vector<float> OnesCol(X.cols(), 1.0f);
+  Var Left = G.input(1, X.rows(), OnesRow.data());
+  Var Right = G.input(X.cols(), 1, OnesCol.data());
+  return G.matmul(G.matmul(Left, X), Right);
+}
+
+static void fillParam(Parameter &P, uint64_t Seed) {
+  Rng R(Seed);
+  for (float &V : P.Value)
+    V = R.nextUniformFloat(0.8f);
+}
+
+TEST(GradCheck, Relu) {
+  Parameter P(3, 5);
+  fillParam(P, 21);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    // Compose with tanh so the loss is bounded away from kinks.
+    return sumAll(G, G.relu(G.tanhOp(G.param(Param))));
+  });
+}
+
+TEST(GradCheck, LayerNormInput) {
+  Parameter P(3, 6);
+  fillParam(P, 22);
+  Parameter Gain(1, 6), Bias(1, 6);
+  fillParam(Gain, 23);
+  for (float &V : Gain.Value)
+    V += 1.0f; // Keep gains away from zero.
+  fillParam(Bias, 24);
+  checkGradient(P, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.layerNorm(G.param(Param), G.param(Gain),
+                                          G.param(Bias))));
+  });
+}
+
+TEST(GradCheck, LayerNormGainAndBias) {
+  Parameter Input(3, 6);
+  fillParam(Input, 25);
+  Parameter Gain(1, 6), Bias(1, 6);
+  fillParam(Gain, 26);
+  for (float &V : Gain.Value)
+    V += 1.0f;
+  fillParam(Bias, 27);
+  checkGradient(Gain, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.layerNorm(G.param(Input), G.param(Param),
+                                          G.param(Bias))));
+  });
+  checkGradient(Bias, [&](Graph &G, Parameter &Param) {
+    return sumAll(G, G.tanhOp(G.layerNorm(G.param(Input), G.param(Gain),
+                                          G.param(Param))));
+  });
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Graph G(false);
+  Parameter Gain(1, 4), Bias(1, 4);
+  std::fill(Gain.Value.begin(), Gain.Value.end(), 1.0f);
+  std::vector<float> Data = {10, 12, 14, 16, -3, -3, -3, 5};
+  Var X = G.input(2, 4, Data.data());
+  Var Y = G.layerNorm(X, G.param(Gain), G.param(Bias));
+  for (int Row = 0; Row < 2; ++Row) {
+    float Mean = 0, Var2 = 0;
+    for (int Col = 0; Col < 4; ++Col)
+      Mean += Y.at(Row, Col);
+    Mean /= 4;
+    for (int Col = 0; Col < 4; ++Col) {
+      float Centered = Y.at(Row, Col) - Mean;
+      Var2 += Centered * Centered;
+    }
+    EXPECT_NEAR(Mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(Var2 / 4, 1.0f, 1e-2f);
+  }
+}
+
+// --- Transformer end-to-end ---------------------------------------------------
+
+static TransformerConfig tinyConfig() {
+  TransformerConfig Config;
+  Config.SrcVocabSize = 20;
+  Config.TgtVocabSize = 14;
+  Config.ModelDim = 16;
+  Config.NumHeads = 2;
+  Config.FfnDim = 32;
+  Config.NumLayers = 1;
+  Config.DropoutRate = 0.0f;
+  Config.MaxSrcLen = 16;
+  Config.MaxTgtLen = 6;
+  Config.Seed = 3;
+  return Config;
+}
+
+TEST(Transformer, OverfitsConditionalMapping) {
+  TransformerModel Model(tinyConfig());
+  AdamOptimizer Optimizer(Model.parameters(), 3e-3f);
+  Rng R(8);
+  std::vector<std::vector<uint32_t>> Sources, Targets;
+  for (int I = 0; I < 128; ++I) {
+    uint32_t Key = 10 + static_cast<uint32_t>(R.nextBelow(6));
+    Sources.push_back({4, Key, 5});
+    Targets.push_back({Key % 4 + 4, Key % 3 + 9});
+  }
+  float FirstLoss = 0, LastLoss = 0;
+  for (int Epoch = 0; Epoch < 40; ++Epoch) {
+    for (size_t B = 0; B < Sources.size(); B += 32) {
+      std::vector<std::vector<uint32_t>> SB(
+          Sources.begin() + B,
+          Sources.begin() + std::min(B + 32, Sources.size()));
+      std::vector<std::vector<uint32_t>> TB(
+          Targets.begin() + B,
+          Targets.begin() + std::min(B + 32, Targets.size()));
+      LastLoss = Model.trainBatch(SB, TB, Optimizer);
+      if (Epoch == 0 && B == 0)
+        FirstLoss = LastLoss;
+    }
+  }
+  EXPECT_LT(LastLoss, FirstLoss * 0.25f);
+
+  int Correct = 0;
+  for (uint32_t Key = 10; Key < 16; ++Key) {
+    std::vector<Hypothesis> Top = Model.predictTopK({4, Key, 5}, 1);
+    ASSERT_FALSE(Top.empty());
+    std::vector<uint32_t> Want = {Key % 4 + 4, Key % 3 + 9};
+    if (Top[0].Tokens == Want)
+      ++Correct;
+  }
+  EXPECT_GE(Correct, 4);
+}
+
+TEST(Transformer, EvaluateDoesNotUpdateWeights) {
+  TransformerModel Model(tinyConfig());
+  std::vector<std::vector<uint32_t>> Sources = {{4, 5}, {6}};
+  std::vector<std::vector<uint32_t>> Targets = {{4}, {5, 6}};
+  float A = Model.evaluateLoss(Sources, Targets);
+  float B = Model.evaluateLoss(Sources, Targets);
+  EXPECT_FLOAT_EQ(A, B);
+}
+
+TEST(Transformer, BeamSearchIsDeterministicAndBounded) {
+  TransformerModel Model(tinyConfig());
+  std::vector<Hypothesis> A = Model.predictTopK({4, 5, 6}, 4);
+  std::vector<Hypothesis> B = Model.predictTopK({4, 5, 6}, 4);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Tokens, B[I].Tokens);
+  for (const Hypothesis &Hyp : A)
+    EXPECT_LT(Hyp.Tokens.size(), tinyConfig().MaxTgtLen);
+}
+
+TEST(Transformer, HandlesLongAndEmptyInputs) {
+  TransformerModel Model(tinyConfig());
+  std::vector<uint32_t> Long(200, 5);
+  EXPECT_NO_FATAL_FAILURE(Model.predictTopK(Long, 2));
+  EXPECT_NO_FATAL_FAILURE(Model.predictTopK({}, 2));
+}
+
+TEST(Transformer, ParameterCountScalesWithLayers) {
+  TransformerConfig OneLayer = tinyConfig();
+  TransformerConfig TwoLayers = tinyConfig();
+  TwoLayers.NumLayers = 2;
+  TransformerModel A(OneLayer), B(TwoLayers);
+  EXPECT_GT(B.numParameters(), A.numParameters());
+}
+
+} // namespace
+} // namespace nn
+} // namespace snowwhite

@@ -1,0 +1,424 @@
+//===- tests/typelang_test.cpp - Type language unit tests ------------------===//
+
+#include "typelang/from_dwarf.h"
+#include "typelang/type.h"
+#include "typelang/variants.h"
+#include "typelang/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace snowwhite {
+namespace typelang {
+namespace {
+
+using dwarf::Attr;
+using dwarf::DebugInfo;
+using dwarf::DieRef;
+using dwarf::Encoding;
+using dwarf::Tag;
+
+// --- Type construction and printing (Figure 3 / Table 2 spellings) ---------
+
+TEST(Type, PaperExampleSpellings) {
+  // Figure 1d: pointer primitive float 64.
+  Type Fig1 = Type::makePointer(Type::makeFloat(64));
+  EXPECT_EQ(Fig1.toString(), "pointer primitive float 64");
+
+  // Table 2 rows.
+  EXPECT_EQ(Type::makePointer(Type::makeClass()).toString(), "pointer class");
+  EXPECT_EQ(Type::makePointer(Type::makeConst(Type::makeStruct())).toString(),
+            "pointer const struct");
+  EXPECT_EQ(Type::makePointer(Type::makeConst(Type::makeCChar())).toString(),
+            "pointer const primitive cchar");
+  EXPECT_EQ(Type::makeNamed("size_t", Type::makeUint(32)).toString(),
+            "name \"size_t\" primitive uint 32");
+  EXPECT_EQ(Type::makePointer(Type::makeUnknown()).toString(),
+            "pointer unknown");
+}
+
+TEST(Type, PrimitiveSpellsBitsOnlyWhenMeaningful) {
+  EXPECT_EQ(Type::makeBool().toString(), "primitive bool");
+  EXPECT_EQ(Type::makeComplex().toString(), "primitive complex");
+  EXPECT_EQ(Type::makeCChar().toString(), "primitive cchar");
+  EXPECT_EQ(Type::makeWChar(16).toString(), "primitive wchar 16");
+  EXPECT_EQ(Type::makeInt(8).toString(), "primitive int 8");
+}
+
+TEST(Type, NestingDepth) {
+  EXPECT_EQ(Type::makeInt(32).nestingDepth(), 0u);
+  EXPECT_EQ(Type::makeStruct().nestingDepth(), 0u);
+  EXPECT_EQ(Type::makePointer(Type::makeFloat(64)).nestingDepth(), 1u);
+  Type Deep = Type::makePointer(
+      Type::makeConst(Type::makeNamed("string", Type::makeClass())));
+  EXPECT_EQ(Deep.nestingDepth(), 3u);
+}
+
+TEST(Type, EqualityIsStructural) {
+  Type A = Type::makePointer(Type::makeConst(Type::makeCChar()));
+  Type B = Type::makePointer(Type::makeConst(Type::makeCChar()));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, Type::makePointer(Type::makeCChar()));
+  EXPECT_NE(Type::makeNamed("a", Type::makeStruct()),
+            Type::makeNamed("b", Type::makeStruct()));
+  EXPECT_NE(Type::makeInt(32), Type::makeUint(32));
+  EXPECT_NE(Type::makeInt(32), Type::makeInt(64));
+}
+
+// --- Parser roundtrip -------------------------------------------------------
+
+class TypeParseRoundtrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(TypeParseRoundtrip, ParsePrintIdentity) {
+  std::string Text = GetParam();
+  Result<Type> Parsed = parseType(Text);
+  ASSERT_TRUE(Parsed.isOk()) << Parsed.error().message();
+  EXPECT_EQ(Parsed->toString(), Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, TypeParseRoundtrip,
+    ::testing::Values(
+        "primitive bool", "primitive int 8", "primitive int 16",
+        "primitive int 32", "primitive int 64", "primitive uint 32",
+        "primitive float 32", "primitive float 64", "primitive float 128",
+        "primitive complex", "primitive cchar", "primitive wchar 32",
+        "pointer primitive float 64", "array primitive int 32",
+        "const primitive cchar", "pointer const primitive cchar",
+        "name \"size_t\" primitive uint 32",
+        "name \"FILE\" struct", "struct", "class", "union", "enum",
+        "function", "unknown", "pointer pointer primitive cchar",
+        "array pointer primitive cchar",
+        "pointer name \"string\" class",
+        "const pointer const primitive float 64",
+        "pointer const name \"basic_string<char, ...>\" class"));
+
+TEST(TypeParser, RejectsMalformed) {
+  EXPECT_TRUE(parseType("").isErr());
+  EXPECT_TRUE(parseType("pointer").isErr());
+  EXPECT_TRUE(parseType("primitive").isErr());
+  EXPECT_TRUE(parseType("primitive int").isErr());
+  EXPECT_TRUE(parseType("primitive int 33").isErr());
+  EXPECT_TRUE(parseType("primitive bool 8").isErr()); // Trailing token.
+  EXPECT_TRUE(parseType("name size_t primitive uint 32").isErr()); // Unquoted.
+  EXPECT_TRUE(parseType("struct struct").isErr());
+  EXPECT_TRUE(parseType("frobnicate").isErr());
+  EXPECT_TRUE(parseType("primitive wchar 64").isErr());
+}
+
+TEST(TypeParser, RejectsRunawayNesting) {
+  std::string Deep;
+  for (int I = 0; I < 100; ++I)
+    Deep += "pointer ";
+  Deep += "struct";
+  EXPECT_TRUE(parseType(Deep).isErr());
+}
+
+// --- DWARF conversion ---------------------------------------------------------
+
+struct ConversionFixture : ::testing::Test {
+  DebugInfo Info;
+
+  DieRef base(const char *Name, Encoding Enc, uint64_t Size) {
+    DieRef D = Info.createDie(Tag::BaseType);
+    Info.setString(D, Attr::Name, Name);
+    Info.setUint(D, Attr::Encoding, static_cast<uint64_t>(Enc));
+    Info.setUint(D, Attr::ByteSize, Size);
+    return D;
+  }
+  DieRef wrap(Tag T, DieRef Inner) {
+    DieRef D = Info.createDie(T);
+    if (Inner != dwarf::InvalidDieRef)
+      Info.setRef(D, Attr::Type, Inner);
+    return D;
+  }
+  DieRef named(Tag T, const char *Name, DieRef Inner) {
+    DieRef D = wrap(T, Inner);
+    Info.setString(D, Attr::Name, Name);
+    return D;
+  }
+
+  std::string convert(DieRef D, const ConvertOptions &Options = {}) {
+    return typeFromDwarf(Info, D, Options).toString();
+  }
+};
+
+TEST_F(ConversionFixture, PrimitiveEncodings) {
+  EXPECT_EQ(convert(base("int", Encoding::Signed, 4)), "primitive int 32");
+  EXPECT_EQ(convert(base("unsigned int", Encoding::Unsigned, 4)),
+            "primitive uint 32");
+  EXPECT_EQ(convert(base("short", Encoding::Signed, 2)), "primitive int 16");
+  EXPECT_EQ(convert(base("long long", Encoding::Signed, 8)),
+            "primitive int 64");
+  EXPECT_EQ(convert(base("bool", Encoding::Boolean, 1)), "primitive bool");
+  EXPECT_EQ(convert(base("float", Encoding::Float, 4)), "primitive float 32");
+  EXPECT_EQ(convert(base("double", Encoding::Float, 8)),
+            "primitive float 64");
+  EXPECT_EQ(convert(base("long double", Encoding::Float, 16)),
+            "primitive float 128");
+  EXPECT_EQ(convert(base("complex", Encoding::ComplexFloat, 16)),
+            "primitive complex");
+  EXPECT_EQ(convert(base("char16_t", Encoding::Utf, 2)),
+            "primitive wchar 16");
+  EXPECT_EQ(convert(base("char32_t", Encoding::Utf, 4)),
+            "primitive wchar 32");
+}
+
+TEST_F(ConversionFixture, PlainCharVsExplicitSignedChar) {
+  // Plain char is character data -> cchar (§3.2).
+  EXPECT_EQ(convert(base("char", Encoding::SignedChar, 1)),
+            "primitive cchar");
+  // Explicitly signed/unsigned chars are 8-bit integers.
+  EXPECT_EQ(convert(base("signed char", Encoding::SignedChar, 1)),
+            "primitive int 8");
+  EXPECT_EQ(convert(base("unsigned char", Encoding::UnsignedChar, 1)),
+            "primitive uint 8");
+}
+
+TEST_F(ConversionFixture, Figure1PointerToDouble) {
+  DieRef Double = base("double", Encoding::Float, 8);
+  DieRef Pointer = wrap(Tag::PointerType, Double);
+  EXPECT_EQ(convert(Pointer), "pointer primitive float 64");
+}
+
+TEST_F(ConversionFixture, ReferencesBecomePointers) {
+  DieRef Int = base("int", Encoding::Signed, 4);
+  EXPECT_EQ(convert(wrap(Tag::ReferenceType, Int)),
+            "pointer primitive int 32");
+}
+
+TEST_F(ConversionFixture, VolatileAndRestrictAreRemoved) {
+  DieRef Int = base("int", Encoding::Signed, 4);
+  DieRef Volatile = wrap(Tag::VolatileType, Int);
+  EXPECT_EQ(convert(Volatile), "primitive int 32");
+  DieRef Restrict = wrap(Tag::RestrictType, wrap(Tag::PointerType, Int));
+  EXPECT_EQ(convert(Restrict), "pointer primitive int 32");
+}
+
+TEST_F(ConversionFixture, ConstIsKept) {
+  DieRef Char = base("char", Encoding::SignedChar, 1);
+  DieRef Pointer = wrap(Tag::PointerType, wrap(Tag::ConstType, Char));
+  EXPECT_EQ(convert(Pointer), "pointer const primitive cchar");
+}
+
+TEST_F(ConversionFixture, VoidPointerIsPointerUnknown) {
+  DieRef Pointer = wrap(Tag::PointerType, dwarf::InvalidDieRef);
+  EXPECT_EQ(convert(Pointer), "pointer unknown");
+}
+
+TEST_F(ConversionFixture, ForwardDeclarationIsUnknown) {
+  DieRef Forward = Info.createDie(Tag::StructureType);
+  Info.setString(Forward, Attr::Name, "opaque");
+  Info.setFlag(Forward, Attr::Declaration);
+  EXPECT_EQ(convert(wrap(Tag::PointerType, Forward)), "pointer unknown");
+}
+
+TEST_F(ConversionFixture, NullptrTypeIsUnknown) {
+  DieRef Unspecified = Info.createDie(Tag::UnspecifiedType);
+  Info.setString(Unspecified, Attr::Name, "decltype(nullptr)");
+  EXPECT_EQ(convert(wrap(Tag::PointerType, Unspecified)), "pointer unknown");
+}
+
+TEST_F(ConversionFixture, AggregatesAndNames) {
+  DieRef Struct = named(Tag::StructureType, "sname", dwarf::InvalidDieRef);
+  EXPECT_EQ(convert(Struct), "name \"sname\" struct");
+  DieRef Class = named(Tag::ClassType, "Widget", dwarf::InvalidDieRef);
+  EXPECT_EQ(convert(Class), "name \"Widget\" class");
+  DieRef Union = named(Tag::UnionType, "u", dwarf::InvalidDieRef);
+  EXPECT_EQ(convert(Union), "name \"u\" union");
+  DieRef Enum = named(Tag::EnumerationType, "color", dwarf::InvalidDieRef);
+  EXPECT_EQ(convert(Enum), "name \"color\" enum");
+}
+
+TEST_F(ConversionFixture, TypedefOverStructKeepsOutermostName) {
+  // typedef struct sname { ... } tname;  =>  name "tname" struct  (§3.6).
+  DieRef Struct = named(Tag::StructureType, "sname", dwarf::InvalidDieRef);
+  DieRef Typedef = named(Tag::Typedef, "tname", Struct);
+  EXPECT_EQ(convert(Typedef), "name \"tname\" struct");
+}
+
+TEST_F(ConversionFixture, FilteredOuterNameExposesInnerName) {
+  // An underscore-prefixed typedef is dropped; the struct name survives.
+  DieRef Struct = named(Tag::StructureType, "sname", dwarf::InvalidDieRef);
+  DieRef Typedef = named(Tag::Typedef, "_internal", Struct);
+  EXPECT_EQ(convert(Typedef), "name \"sname\" struct");
+}
+
+TEST_F(ConversionFixture, PrimitiveRestatementNamesDropped) {
+  DieRef U32 = base("unsigned int", Encoding::Unsigned, 4);
+  DieRef Typedef = named(Tag::Typedef, "uint32_t", U32);
+  EXPECT_EQ(convert(Typedef), "primitive uint 32");
+  DieRef SizeT = named(Tag::Typedef, "size_t", U32);
+  EXPECT_EQ(convert(SizeT), "name \"size_t\" primitive uint 32");
+}
+
+TEST_F(ConversionFixture, VocabularyRestrictsNames) {
+  DieRef Struct = named(Tag::StructureType, "rare_project_type",
+                        dwarf::InvalidDieRef);
+  NameVocabulary Vocab;
+  Vocab.addOccurrence("FILE", 0);
+  Vocab.finalize(1);
+  ConvertOptions Options;
+  Options.Vocabulary = &Vocab;
+  EXPECT_EQ(convert(Struct, Options), "struct");
+  // Without a vocabulary (All Names), the name is kept.
+  EXPECT_EQ(convert(Struct), "name \"rare_project_type\" struct");
+}
+
+TEST_F(ConversionFixture, FunctionPointer) {
+  DieRef Proto = Info.createDie(Tag::SubroutineType);
+  DieRef Pointer = wrap(Tag::PointerType, Proto);
+  EXPECT_EQ(convert(Pointer), "pointer function");
+}
+
+TEST_F(ConversionFixture, ArrayOfPointers) {
+  DieRef Char = base("char", Encoding::SignedChar, 1);
+  DieRef Pointer = wrap(Tag::PointerType, Char);
+  DieRef Array = wrap(Tag::ArrayType, Pointer);
+  EXPECT_EQ(convert(Array), "array pointer primitive cchar");
+}
+
+TEST_F(ConversionFixture, CyclesAreBroken) {
+  // A typedef that (illegally) refers to itself must not loop forever.
+  DieRef Typedef = Info.createDie(Tag::Typedef);
+  Info.setString(Typedef, Attr::Name, "loop");
+  Info.setRef(Typedef, Attr::Type, Typedef);
+  Type Converted = typeFromDwarf(Info, Typedef);
+  EXPECT_EQ(Converted.toString(), "name \"loop\" unknown");
+}
+
+TEST_F(ConversionFixture, KeepNestedNamesPreservesBoth) {
+  DieRef Struct = named(Tag::StructureType, "sname", dwarf::InvalidDieRef);
+  DieRef Typedef = named(Tag::Typedef, "tname", Struct);
+  ConvertOptions Options;
+  Options.KeepNestedNames = true;
+  EXPECT_EQ(convert(Typedef, Options),
+            "name \"tname\" name \"sname\" struct");
+}
+
+// --- Variants (§3.7) -----------------------------------------------------------
+
+TEST(Variants, SimplifiedDropsNamesConstAndClass) {
+  Type Rich = Type::makePointer(
+      Type::makeConst(Type::makeNamed("string", Type::makeClass())));
+  EXPECT_EQ(simplifyType(Rich).toString(), "pointer struct");
+}
+
+TEST(Variants, EklavyaLabels) {
+  EXPECT_EQ(eklavyaLabel(Type::makePointer(Type::makeClass())), "pointer");
+  EXPECT_EQ(eklavyaLabel(Type::makeArray(Type::makeFloat(64))), "pointer");
+  EXPECT_EQ(eklavyaLabel(Type::makeInt(16)), "int");
+  EXPECT_EQ(eklavyaLabel(Type::makeBool()), "int"); // Not distinguished.
+  EXPECT_EQ(eklavyaLabel(Type::makeFloat(32)), "float");
+  EXPECT_EQ(eklavyaLabel(Type::makeCChar()), "char");
+  EXPECT_EQ(eklavyaLabel(Type::makeEnum()), "enum");
+  EXPECT_EQ(eklavyaLabel(Type::makeNamed("size_t", Type::makeUint(32))),
+            "int");
+  EXPECT_EQ(eklavyaLabel(Type::makeConst(Type::makeUnion())), "union");
+  EXPECT_EQ(eklavyaLabel(Type::makeStruct()), "struct");
+  EXPECT_EQ(eklavyaLabel(Type::makeClass()), "struct");
+}
+
+TEST(Variants, EklavyaHasExactlySevenLabels) {
+  // The label set is {int, char, float, pointer, enum, struct, union}.
+  std::set<std::string> Labels;
+  std::vector<Type> Probes = {
+      Type::makeBool(),      Type::makeInt(32),   Type::makeUint(64),
+      Type::makeFloat(64),   Type::makeComplex(), Type::makeCChar(),
+      Type::makeWChar(32),   Type::makeStruct(),  Type::makeClass(),
+      Type::makeUnion(),     Type::makeEnum(),    Type::makeFunction(),
+      Type::makeUnknown(),   Type::makePointer(Type::makeUnknown()),
+      Type::makeArray(Type::makeInt(32)),
+      Type::makeNamed("FILE", Type::makeStruct()),
+      Type::makeConst(Type::makeCChar()),
+  };
+  for (const Type &Probe : Probes)
+    Labels.insert(eklavyaLabel(Probe));
+  EXPECT_EQ(Labels.size(), 7u);
+}
+
+TEST(Variants, LowerToLanguage) {
+  NameVocabulary Vocab;
+  Vocab.addOccurrence("size_t", 0);
+  Vocab.finalize(1);
+  Type Rich = Type::makeNamed(
+      "size_t", Type::makeNamed("rare_alias", Type::makeUint(32)));
+
+  using TLK = TypeLanguageKind;
+  EXPECT_EQ(lowerTypeToLanguage(Rich, TLK::TL_Sw, &Vocab),
+            (std::vector<std::string>{"name", "\"size_t\"", "primitive",
+                                      "uint", "32"}));
+  // All-names keeps the outermost name even if rare.
+  Type RichRare = Type::makeNamed("rare_alias", Type::makeUint(32));
+  EXPECT_EQ(lowerTypeToLanguage(RichRare, TLK::TL_SwAllNames, nullptr),
+            (std::vector<std::string>{"name", "\"rare_alias\"", "primitive",
+                                      "uint", "32"}));
+  EXPECT_EQ(lowerTypeToLanguage(Rich, TLK::TL_SwSimplified, nullptr),
+            (std::vector<std::string>{"primitive", "uint", "32"}));
+  EXPECT_EQ(lowerTypeToLanguage(Rich, TLK::TL_Eklavya, nullptr),
+            (std::vector<std::string>{"int"}));
+}
+
+TEST(Variants, FeatureMatrixShape) {
+  std::vector<LanguageFeatureRow> Matrix = languageFeatureMatrix();
+  ASSERT_EQ(Matrix.size(), 6u);
+  EXPECT_STREQ(Matrix[0].Name, "Eklavya");
+  EXPECT_STREQ(Matrix[4].Name, "SNOWWHITE");
+  EXPECT_TRUE(Matrix[4].Const);
+  EXPECT_FALSE(Matrix[3].Const); // StateFormer has no const.
+  EXPECT_STREQ(Matrix[4].PointerPointee, "Recursive");
+}
+
+// --- Name vocabulary -------------------------------------------------------------
+
+TEST(NameVocab, FiltersInternalAndPrimitiveNames) {
+  EXPECT_TRUE(isFilteredName("_internal"));
+  EXPECT_TRUE(isFilteredName("__builtin"));
+  EXPECT_TRUE(isFilteredName("uint32_t"));
+  EXPECT_TRUE(isFilteredName("int8_t"));
+  EXPECT_TRUE(isFilteredName(""));
+  EXPECT_FALSE(isFilteredName("size_t"));
+  EXPECT_FALSE(isFilteredName("FILE"));
+  EXPECT_FALSE(isFilteredName("intptr_t"));
+}
+
+TEST(NameVocab, OnePercentThreshold) {
+  NameVocabulary Vocab;
+  // "common" appears in 3 of 200 packages (1.5%), "rare" in 1 (0.5%).
+  for (uint32_t Package : {3u, 77u, 150u})
+    Vocab.addOccurrence("common", Package);
+  Vocab.addOccurrence("rare", 42);
+  Vocab.finalize(200, 0.01);
+  EXPECT_TRUE(Vocab.contains("common"));
+  EXPECT_FALSE(Vocab.contains("rare"));
+  EXPECT_EQ(Vocab.size(), 1u);
+}
+
+TEST(NameVocab, RepeatOccurrencesInOnePackageCountOnce) {
+  NameVocabulary Vocab;
+  for (int I = 0; I < 100; ++I)
+    Vocab.addOccurrence("spam", 7); // Always the same package.
+  Vocab.finalize(200, 0.01);        // Threshold: 2 packages.
+  EXPECT_FALSE(Vocab.contains("spam"));
+}
+
+TEST(NameVocab, MostCommonOrderedByPackageFraction) {
+  NameVocabulary Vocab;
+  for (uint32_t Package = 0; Package < 60; ++Package)
+    Vocab.addOccurrence("size_t", Package);
+  for (uint32_t Package = 0; Package < 40; ++Package)
+    Vocab.addOccurrence("FILE", Package);
+  for (uint32_t Package = 0; Package < 10; ++Package)
+    Vocab.addOccurrence("va_list", Package);
+  Vocab.finalize(100, 0.01);
+  std::vector<NameVocabulary::NameStat> Stats = Vocab.mostCommon(2);
+  ASSERT_EQ(Stats.size(), 2u);
+  EXPECT_EQ(Stats[0].Name, "size_t");
+  EXPECT_NEAR(Stats[0].PackageFraction, 0.6, 1e-9);
+  EXPECT_EQ(Stats[1].Name, "FILE");
+}
+
+} // namespace
+} // namespace typelang
+} // namespace snowwhite

@@ -1,0 +1,204 @@
+//===- tools/snowwhite_cli.cpp - Command-line driver -----------------------===//
+//
+// A small objdump-style driver over the library, operating on real .wasm
+// files on disk:
+//
+//   snowwhite gen <dir> [num_packages] [seed]
+//       Generate a synthetic corpus and write each object file as
+//       <dir>/<package>_objN.wasm (with .debug_info/.debug_str sections).
+//
+//   snowwhite dump <file.wasm>
+//       Parse and validate a binary; list its functions with their low-level
+//       signatures and, if debug info is present, the recovered high-level
+//       parameter/return types in the SNOWWHITE type language.
+//
+//   snowwhite strip <in.wasm> <out.wasm>
+//       Remove all .debug_* custom sections (what a reverse engineer
+//       typically gets).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dwarf/io.h"
+#include "frontend/corpus.h"
+#include "support/str.h"
+#include "typelang/from_dwarf.h"
+#include "wasm/names.h"
+#include "wasm/reader.h"
+#include "wasm/text.h"
+#include "wasm/validate.h"
+#include "wasm/writer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace snowwhite;
+
+static bool writeFile(const std::string &Path,
+                      const std::vector<uint8_t> &Bytes) {
+  FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Written == Bytes.size();
+}
+
+static bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(File);
+    return false;
+  }
+  Bytes.resize(static_cast<size_t>(Size));
+  size_t Read = std::fread(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Read == Bytes.size();
+}
+
+static int commandGen(int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: snowwhite gen <dir> [packages] [seed]\n");
+    return 2;
+  }
+  std::string Dir = argv[0];
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 8;
+  Spec.Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 42;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+
+  size_t Files = 0;
+  for (const frontend::Package &Pkg : Corpus.Packages) {
+    for (size_t Index = 0; Index < Pkg.Objects.size(); ++Index) {
+      std::string Path =
+          Dir + "/" + Pkg.Name + "_obj" + std::to_string(Index) + ".wasm";
+      if (!writeFile(Path, Pkg.Objects[Index].Bytes)) {
+        std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+        return 1;
+      }
+      ++Files;
+    }
+  }
+  std::printf("wrote %zu object files (%llu functions, %llu instructions) "
+              "to %s\n",
+              Files, static_cast<unsigned long long>(Corpus.TotalFunctions),
+              static_cast<unsigned long long>(Corpus.TotalInstructions),
+              Dir.c_str());
+  return 0;
+}
+
+static int commandDump(int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: snowwhite dump <file.wasm>\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(argv[0], Bytes)) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  Result<wasm::Module> Parsed = wasm::readModule(Bytes);
+  if (Parsed.isErr()) {
+    std::fprintf(stderr, "error: not a readable wasm module: %s\n",
+                 Parsed.error().message().c_str());
+    return 1;
+  }
+  wasm::Module &M = *Parsed;
+  Result<void> Valid = wasm::validateModule(M);
+  std::printf("%s: %zu bytes, %zu types, %zu imports, %zu functions, %zu "
+              "exports, %zu custom sections — %s\n",
+              argv[0], Bytes.size(), M.Types.size(), M.Imports.size(),
+              M.Functions.size(), M.Exports.size(), M.Customs.size(),
+              Valid.isOk() ? "valid"
+                           : ("INVALID: " + Valid.error().message()).c_str());
+
+  Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(M);
+  bool HasDebug = Debug.isOk();
+  std::printf("debug info: %s\n\n",
+              HasDebug ? "present" : "absent (stripped)");
+
+  for (uint32_t Func = 0; Func < M.Functions.size(); ++Func) {
+    const wasm::FuncType &Type = M.functionType(Func);
+    std::string Name = wasm::functionDisplayName(M, Func);
+    std::printf("%-40s %s  (%zu instructions)\n", Name.c_str(),
+                wasm::printFuncType(Type).c_str(),
+                M.Functions[Func].Body.size());
+    if (!HasDebug)
+      continue;
+    dwarf::DieRef Sub =
+        Debug->findSubprogramByLowPc(M.Functions[Func].CodeOffset);
+    if (Sub == dwarf::InvalidDieRef) {
+      std::printf("    (no matching subprogram)\n");
+      continue;
+    }
+    std::vector<dwarf::DieRef> Params = Debug->formalParameters(Sub);
+    for (size_t P = 0; P < Params.size(); ++P) {
+      typelang::Type High =
+          typelang::typeFromDwarf(*Debug, Debug->typeOf(Params[P]));
+      std::string ParamName =
+          Debug->getString(Params[P], dwarf::Attr::Name).value_or("?");
+      std::printf("    param %zu %-12s : %s\n", P, ParamName.c_str(),
+                  High.toString().c_str());
+    }
+    if (Debug->typeOf(Sub) != dwarf::InvalidDieRef) {
+      typelang::Type Ret =
+          typelang::typeFromDwarf(*Debug, Debug->typeOf(Sub));
+      std::printf("    returns            : %s\n", Ret.toString().c_str());
+    }
+  }
+  return 0;
+}
+
+static int commandStrip(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: snowwhite strip <in.wasm> <out.wasm>\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(argv[0], Bytes)) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  Result<wasm::Module> Parsed = wasm::readModule(Bytes);
+  if (Parsed.isErr()) {
+    std::fprintf(stderr, "error: %s\n", Parsed.error().message().c_str());
+    return 1;
+  }
+  size_t Before = Parsed->Customs.size();
+  dwarf::stripDebugInfo(*Parsed);
+  std::vector<uint8_t> Out = wasm::writeModule(*Parsed);
+  if (!writeFile(argv[1], Out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("stripped %zu debug section(s): %zu -> %zu bytes\n",
+              Before - Parsed->Customs.size(), Bytes.size(), Out.size());
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "snowwhite — WebAssembly type-recovery toolkit\n"
+                 "usage:\n"
+                 "  snowwhite gen <dir> [packages] [seed]\n"
+                 "  snowwhite dump <file.wasm>\n"
+                 "  snowwhite strip <in.wasm> <out.wasm>\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "gen") == 0)
+    return commandGen(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "dump") == 0)
+    return commandDump(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "strip") == 0)
+    return commandStrip(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+  return 2;
+}
