@@ -12,6 +12,8 @@
 #include "dataset/extract.h"
 #include "frontend/typegen.h"
 #include "dwarf/io.h"
+#include "nn/graph.h"
+#include "support/thread_pool.h"
 #include "typelang/from_dwarf.h"
 #include "wasm/reader.h"
 #include "wasm/validate.h"
@@ -189,6 +191,54 @@ void BM_TrainBatch(benchmark::State &State) {
   State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(BatchSize));
 }
 BENCHMARK(BM_TrainBatch)->Unit(benchmark::kMillisecond);
+
+/// Threads-vs-throughput for the row-blocked GEMM kernel. The Arg is the
+/// pool size; results are bit-identical across Args by construction, so this
+/// row only measures scaling.
+void BM_GemmThreads(benchmark::State &State) {
+  ThreadPool::resetGlobal(static_cast<unsigned>(State.range(0)));
+  constexpr size_t M = 192, K = 192, N = 192;
+  std::vector<float> AData(M * K), BData(K * N);
+  Rng R(7);
+  for (float &V : AData)
+    V = R.nextUniformFloat(1.0f);
+  for (float &V : BData)
+    V = R.nextUniformFloat(1.0f);
+  for (auto _ : State) {
+    nn::Graph G(/*Training=*/false);
+    nn::Var A = G.input(M, K, AData.data());
+    nn::Var B = G.input(K, N, BData.data());
+    nn::Var C = G.matmul(A, B);
+    benchmark::DoNotOptimize(C.value()[0]);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(2 * M * K * N)); // FLOPs.
+  ThreadPool::resetGlobal(0); // Back to the SNOWWHITE_THREADS-sized pool.
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+/// Threads-vs-throughput for a full data-parallel optimizer step (forward,
+/// backward, ordered gradient reduction, Adam).
+void BM_TrainBatchThreads(benchmark::State &State) {
+  TrainedSetup &Setup = trainedSetup();
+  ThreadPool::resetGlobal(static_cast<unsigned>(State.range(0)));
+  const std::vector<model::EncodedSample> &Train = Setup.TaskPtr->train();
+  size_t BatchSize = std::min<size_t>(24, Train.size());
+  std::vector<std::vector<uint32_t>> Sources, Targets;
+  for (size_t I = 0; I < BatchSize; ++I) {
+    Sources.push_back(Train[I].Source);
+    Targets.push_back(Train[I].Target);
+  }
+  nn::AdamOptimizer Optimizer(Setup.Model->parameters());
+  for (auto _ : State) {
+    float Loss = Setup.Model->trainBatch(Sources, Targets, Optimizer);
+    benchmark::DoNotOptimize(Loss);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(BatchSize));
+  ThreadPool::resetGlobal(0);
+}
+BENCHMARK(BM_TrainBatchThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 void BM_StatisticalBaseline(benchmark::State &State) {
   TrainedSetup &Setup = trainedSetup();

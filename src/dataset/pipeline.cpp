@@ -3,6 +3,7 @@
 #include "dwarf/io.h"
 #include "support/hash.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "typelang/fields.h"
 #include "typelang/from_dwarf.h"
 #include "wasm/abstract.h"
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
@@ -52,47 +54,87 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   Out.NumPackages = static_cast<uint32_t>(Corpus.Packages.size());
 
   // --- Stage 1: deduplication over serialized binaries -------------------
-  std::unordered_set<uint64_t> SeenExact;
-  std::unordered_set<uint64_t> SeenApprox;
-  std::vector<KeptBinary> Kept;
-  for (const frontend::Package &Pkg : Corpus.Packages) {
-    for (const CompiledObject &Object : Pkg.Objects) {
-      ++Out.Dedup.ObjectsBefore;
-      Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
-      Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
-      Out.Dedup.BytesBefore += Object.Bytes.size();
+  // Parsing and hashing every object is the expensive part and is pure, so
+  // it fans out over the pool into per-object slots. The dedup *decisions*
+  // (hash-set insertions) then replay sequentially in corpus order, making
+  // the kept set bit-identical to the sequential pipeline for any thread
+  // count.
+  ThreadPool &Pool = ThreadPool::global();
 
+  struct FlatObject {
+    const CompiledObject *Object;
+    uint32_t PackageId;
+  };
+  std::vector<FlatObject> Flat;
+  for (const frontend::Package &Pkg : Corpus.Packages)
+    for (const CompiledObject &Object : Pkg.Objects)
+      Flat.push_back({&Object, Pkg.Id});
+
+  std::vector<std::optional<wasm::Module>> Mods(Flat.size());
+  std::vector<uint64_t> ExactHashes(Flat.size(), 0);
+  std::vector<uint64_t> ApproxSignatures(Flat.size(), 0);
+  Pool.parallelFor(0, Flat.size(), 1, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
       // The pipeline consumes serialized bytes, as it would real binaries.
-      Result<wasm::Module> Parsed = wasm::readModule(Object.Bytes);
+      Result<wasm::Module> Parsed = wasm::readModule(Flat[I].Object->Bytes);
       assert(Parsed.isOk() && "corpus produced unreadable binary");
       if (Parsed.isErr())
         continue;
-      wasm::Module Mod = Parsed.take();
-
+      Mods[I].emplace(Parsed.take());
       if (Options.Deduplicate) {
-        uint64_t ExactHash = hashVector(Object.Bytes);
-        if (!SeenExact.insert(ExactHash).second) {
-          ++Out.Dedup.ExactDuplicates;
-          continue;
-        }
-        uint64_t Approx = wasm::approximateModuleSignature(Mod);
-        if (!SeenApprox.insert(Approx).second) {
-          ++Out.Dedup.NearDuplicates;
-          continue;
-        }
+        ExactHashes[I] = hashVector(Flat[I].Object->Bytes);
+        ApproxSignatures[I] = wasm::approximateModuleSignature(*Mods[I]);
       }
+    }
+  });
 
-      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(Mod);
+  std::unordered_set<uint64_t> SeenExact;
+  std::unordered_set<uint64_t> SeenApprox;
+  std::vector<size_t> KeptFlat; ///< Indices into Flat/Mods surviving dedup.
+  for (size_t I = 0; I < Flat.size(); ++I) {
+    const CompiledObject &Object = *Flat[I].Object;
+    ++Out.Dedup.ObjectsBefore;
+    Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
+    Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
+    Out.Dedup.BytesBefore += Object.Bytes.size();
+    if (!Mods[I])
+      continue;
+    if (Options.Deduplicate) {
+      if (!SeenExact.insert(ExactHashes[I]).second) {
+        ++Out.Dedup.ExactDuplicates;
+        continue;
+      }
+      if (!SeenApprox.insert(ApproxSignatures[I]).second) {
+        ++Out.Dedup.NearDuplicates;
+        continue;
+      }
+    }
+    KeptFlat.push_back(I);
+  }
+
+  std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptFlat.size());
+  Pool.parallelFor(0, KeptFlat.size(), 1, [&](size_t Begin, size_t End) {
+    for (size_t K = Begin; K < End; ++K) {
+      Result<dwarf::DebugInfo> Debug =
+          dwarf::extractDebugInfo(*Mods[KeptFlat[K]]);
       assert(Debug.isOk() && "corpus binary without debug info");
       if (Debug.isErr())
         continue;
-
-      ++Out.Dedup.ObjectsAfter;
-      Out.Dedup.FunctionsAfter += Mod.Functions.size();
-      Out.Dedup.InstructionsAfter += Mod.countInstructions();
-      Out.Dedup.BytesAfter += Object.Bytes.size();
-      Kept.push_back(KeptBinary{std::move(Mod), Debug.take(), Pkg.Id});
+      Debugs[K].emplace(Debug.take());
     }
+  });
+
+  std::vector<KeptBinary> Kept;
+  for (size_t K = 0; K < KeptFlat.size(); ++K) {
+    if (!Debugs[K])
+      continue;
+    size_t I = KeptFlat[K];
+    ++Out.Dedup.ObjectsAfter;
+    Out.Dedup.FunctionsAfter += Mods[I]->Functions.size();
+    Out.Dedup.InstructionsAfter += Mods[I]->countInstructions();
+    Out.Dedup.BytesAfter += Flat[I].Object->Bytes.size();
+    Kept.push_back(KeptBinary{std::move(*Mods[I]), std::move(*Debugs[K]),
+                              Flat[I].PackageId});
   }
 
   // --- Stage 2+3: match functions to subprograms and collect raw samples -
@@ -102,8 +144,11 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
     uint32_t FuncIndex;
     int32_t ParamIndex; ///< -1 = return sample.
   };
-  std::vector<RawRef> Raw;
-  for (size_t BinaryIndex = 0; BinaryIndex < Kept.size(); ++BinaryIndex) {
+  // Each binary's matches are independent; per-binary results concatenate
+  // in binary order, so Raw is identical to the sequential pipeline's.
+  std::vector<std::vector<RawRef>> RawPerBinary(Kept.size());
+  std::vector<uint64_t> MismatchPerBinary(Kept.size(), 0);
+  Pool.parallelTasks(Kept.size(), [&](size_t BinaryIndex) {
     const KeptBinary &Binary = Kept[BinaryIndex];
     for (uint32_t FuncIndex = 0; FuncIndex < Binary.Mod.Functions.size();
          ++FuncIndex) {
@@ -111,7 +156,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       dwarf::DieRef Subprogram =
           Binary.Debug.findSubprogramByLowPc(Func.CodeOffset);
       if (Subprogram == dwarf::InvalidDieRef) {
-        ++Out.FunctionsSkippedMismatch;
+        ++MismatchPerBinary[BinaryIndex];
         continue;
       }
       const wasm::FuncType &Type = Binary.Mod.functionType(FuncIndex);
@@ -120,54 +165,80 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       if (Params.size() != Type.Params.size()) {
         // Parameter counts differ between source and binary (e.g. due to
         // optimizations): skip the whole function (§5).
-        ++Out.FunctionsSkippedMismatch;
+        ++MismatchPerBinary[BinaryIndex];
         continue;
       }
       for (uint32_t ParamIndex = 0; ParamIndex < Params.size(); ++ParamIndex)
-        Raw.push_back({BinaryIndex,
-                       Binary.Debug.typeOf(Params[ParamIndex]), FuncIndex,
-                       static_cast<int32_t>(ParamIndex)});
+        RawPerBinary[BinaryIndex].push_back(
+            {BinaryIndex, Binary.Debug.typeOf(Params[ParamIndex]), FuncIndex,
+             static_cast<int32_t>(ParamIndex)});
       bool DwarfReturns =
           Binary.Debug.typeOf(Subprogram) != dwarf::InvalidDieRef;
       bool WasmReturns = !Type.Results.empty();
       if (DwarfReturns && WasmReturns)
-        Raw.push_back(
+        RawPerBinary[BinaryIndex].push_back(
             {BinaryIndex, Binary.Debug.typeOf(Subprogram), FuncIndex, -1});
     }
+  });
+  std::vector<RawRef> Raw;
+  for (size_t BinaryIndex = 0; BinaryIndex < Kept.size(); ++BinaryIndex) {
+    Out.FunctionsSkippedMismatch += MismatchPerBinary[BinaryIndex];
+    Raw.insert(Raw.end(), RawPerBinary[BinaryIndex].begin(),
+               RawPerBinary[BinaryIndex].end());
   }
 
   // --- Stage 4: common-name vocabulary ------------------------------------
-  for (const RawRef &Ref : Raw)
-    typelang::collectTypeNames(Kept[Ref.BinaryIndex].Debug, Ref.TypeDie,
-                               Kept[Ref.BinaryIndex].PackageId, Out.Names);
+  // Fixed-size shards collect into private vocabularies, merged in shard
+  // order. NameVocabulary::merge is exactly associative (set unions and
+  // integer adds), so the vocabulary matches the sequential build.
+  constexpr size_t NameShardSize = 1024;
+  size_t NameShards = (Raw.size() + NameShardSize - 1) / NameShardSize;
+  std::vector<typelang::NameVocabulary> ShardNames(NameShards);
+  Pool.mapReduceOrdered(
+      NameShards,
+      [&](size_t Shard) {
+        size_t Begin = Shard * NameShardSize;
+        size_t End = std::min(Begin + NameShardSize, Raw.size());
+        for (size_t I = Begin; I < End; ++I)
+          typelang::collectTypeNames(Kept[Raw[I].BinaryIndex].Debug,
+                                     Raw[I].TypeDie,
+                                     Kept[Raw[I].BinaryIndex].PackageId,
+                                     ShardNames[Shard]);
+      },
+      [&](size_t Shard) { Out.Names.merge(ShardNames[Shard]); });
   Out.Names.finalize(Out.NumPackages, Options.NameVocabThreshold);
 
   // --- Materialize samples -------------------------------------------------
+  // Every sample has a preallocated disjoint slot, so this is purely
+  // data-parallel and order-independent.
   typelang::ConvertOptions Convert;
   Convert.KeepNestedNames = true;
-  for (const RawRef &Ref : Raw) {
-    const KeptBinary &Binary = Kept[Ref.BinaryIndex];
-    TypeSample Sample;
-    Sample.PackageId = Binary.PackageId;
-    Sample.RichType =
-        typelang::typeFromDwarf(Binary.Debug, Ref.TypeDie, Convert);
-    Sample.FieldTokens =
-        typelang::fieldShapeTokens(Binary.Debug, Ref.TypeDie);
-    const wasm::FuncType &Type = Binary.Mod.functionType(Ref.FuncIndex);
-    if (Ref.ParamIndex < 0) {
-      Sample.IsReturn = true;
-      Sample.LowLevel = Type.Results[0];
-      Sample.Input =
-          extractReturnInput(Binary.Mod, Ref.FuncIndex, Options.Extract);
-    } else {
-      Sample.IsReturn = false;
-      Sample.LowLevel = Type.Params[static_cast<size_t>(Ref.ParamIndex)];
-      Sample.Input = extractParamInput(Binary.Mod, Ref.FuncIndex,
-                                       static_cast<uint32_t>(Ref.ParamIndex),
-                                       Options.Extract);
+  Out.Samples.resize(Raw.size());
+  Pool.parallelFor(0, Raw.size(), 16, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      const RawRef &Ref = Raw[I];
+      const KeptBinary &Binary = Kept[Ref.BinaryIndex];
+      TypeSample &Sample = Out.Samples[I];
+      Sample.PackageId = Binary.PackageId;
+      Sample.RichType =
+          typelang::typeFromDwarf(Binary.Debug, Ref.TypeDie, Convert);
+      Sample.FieldTokens =
+          typelang::fieldShapeTokens(Binary.Debug, Ref.TypeDie);
+      const wasm::FuncType &Type = Binary.Mod.functionType(Ref.FuncIndex);
+      if (Ref.ParamIndex < 0) {
+        Sample.IsReturn = true;
+        Sample.LowLevel = Type.Results[0];
+        Sample.Input =
+            extractReturnInput(Binary.Mod, Ref.FuncIndex, Options.Extract);
+      } else {
+        Sample.IsReturn = false;
+        Sample.LowLevel = Type.Params[static_cast<size_t>(Ref.ParamIndex)];
+        Sample.Input = extractParamInput(Binary.Mod, Ref.FuncIndex,
+                                         static_cast<uint32_t>(Ref.ParamIndex),
+                                         Options.Extract);
+      }
     }
-    Out.Samples.push_back(std::move(Sample));
-  }
+  });
 
   // --- Stage 5: per-package sample cap ------------------------------------
   if (Options.CapPerPackage) {

@@ -16,29 +16,41 @@ Predictor::predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
   bool Filtering = Deduplicate || WellFormed ||
                    (ConsistentOnly && LowLevel.has_value());
   // Beam a bit wider than K when filtering, so dropped candidates still
-  // leave K survivors.
+  // leave K survivors. A fixed margin is not enough when the filters are
+  // aggressive (e.g. most hypotheses are inconsistent with the low-level
+  // type), so the beam doubles and the search re-runs until K candidates
+  // survive, the beam stops growing (exhausted), or a hard cap is reached.
   unsigned Width = Filtering ? K + 4 : K;
-  std::vector<nn::Hypothesis> Hypotheses =
-      Model.predictTopK(SourceIds, Width);
+  constexpr unsigned MaxWidth = 256;
   std::vector<TypePrediction> Out;
-  std::set<std::vector<std::string>> Seen;
-  for (const nn::Hypothesis &Hyp : Hypotheses) {
-    TypePrediction Prediction;
-    Prediction.Tokens = BoundTask.decodeTarget(Hyp.Tokens);
-    Prediction.LogProb = Hyp.LogProb;
-    if (WellFormed || (ConsistentOnly && LowLevel)) {
-      Result<typelang::Type> Parsed = typelang::parseType(Prediction.Tokens);
-      if (Parsed.isErr())
+  while (true) {
+    std::vector<nn::Hypothesis> Hypotheses =
+        Model.predictTopK(SourceIds, Width);
+    Out.clear();
+    std::set<std::vector<std::string>> Seen;
+    for (const nn::Hypothesis &Hyp : Hypotheses) {
+      TypePrediction Prediction;
+      Prediction.Tokens = BoundTask.decodeTarget(Hyp.Tokens);
+      Prediction.LogProb = Hyp.LogProb;
+      if (WellFormed || (ConsistentOnly && LowLevel)) {
+        Result<typelang::Type> Parsed = typelang::parseType(Prediction.Tokens);
+        if (Parsed.isErr())
+          continue;
+        if (ConsistentOnly && LowLevel &&
+            typelang::lowLevelTypeOf(*Parsed) != *LowLevel)
+          continue;
+      }
+      if (Deduplicate && !Seen.insert(Prediction.Tokens).second)
         continue;
-      if (ConsistentOnly && LowLevel &&
-          typelang::lowLevelTypeOf(*Parsed) != *LowLevel)
-        continue;
+      Out.push_back(std::move(Prediction));
+      if (Out.size() >= K)
+        break;
     }
-    if (Deduplicate && !Seen.insert(Prediction.Tokens).second)
-      continue;
-    Out.push_back(std::move(Prediction));
-    if (Out.size() >= K)
+    if (!Filtering || Out.size() >= K || Width >= MaxWidth)
       break;
+    if (Hypotheses.size() < Width)
+      break; // Beam exhausted: widening cannot surface new candidates.
+    Width = std::min(Width * 2, MaxWidth);
   }
   return Out;
 }

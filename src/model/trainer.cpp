@@ -1,6 +1,7 @@
 #include "model/trainer.h"
 
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 #include <algorithm>
 #include <chrono>
@@ -24,18 +25,25 @@ float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
     Count = std::min(Count, MaxSamples);
   if (Count == 0)
     return 0.0f;
+  // Evaluation batches are independent (no weight updates, no dropout), so
+  // they run concurrently; the sum is taken in ascending batch order so the
+  // reported loss is bit-identical for any thread count.
+  size_t Batches = (Count + BatchSize - 1) / BatchSize;
+  std::vector<float> BatchLoss(Batches, 0.0f);
   double Total = 0.0;
-  size_t Batches = 0;
-  for (size_t Begin = 0; Begin < Count; Begin += BatchSize) {
-    size_t End = std::min(Begin + BatchSize, Count);
-    std::vector<std::vector<uint32_t>> Sources, Targets;
-    for (size_t I = Begin; I < End; ++I) {
-      Sources.push_back(Valid[I].Source);
-      Targets.push_back(Valid[I].Target);
-    }
-    Total += Model.evaluateLoss(Sources, Targets);
-    ++Batches;
-  }
+  ThreadPool::global().mapReduceOrdered(
+      Batches,
+      [&](size_t Batch) {
+        size_t Begin = Batch * BatchSize;
+        size_t End = std::min(Begin + BatchSize, Count);
+        std::vector<std::vector<uint32_t>> Sources, Targets;
+        for (size_t I = Begin; I < End; ++I) {
+          Sources.push_back(Valid[I].Source);
+          Targets.push_back(Valid[I].Target);
+        }
+        BatchLoss[Batch] = Model.evaluateLoss(Sources, Targets);
+      },
+      [&](size_t Batch) { Total += BatchLoss[Batch]; });
   return static_cast<float>(Total / static_cast<double>(Batches));
 }
 

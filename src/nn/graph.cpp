@@ -1,11 +1,36 @@
 #include "nn/graph.h"
 
+#include "support/thread_pool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 
 namespace snowwhite {
 namespace nn {
+
+namespace {
+
+/// Minimum total inner-loop operations before a kernel fans out over the
+/// pool; below this the scheduling overhead exceeds the loop cost.
+constexpr size_t ParallelMinWork = 1 << 15;
+
+/// Runs Body over disjoint row ranges of [0, Rows). Each output row is
+/// computed by exactly one task with the same instruction sequence as the
+/// sequential loop, so results are bit-identical for any thread count.
+void parallelOverRows(size_t Rows, size_t WorkPerRow,
+                      const std::function<void(size_t, size_t)> &Body) {
+  ThreadPool &Pool = ThreadPool::global();
+  if (Pool.numThreads() == 1 || Rows * WorkPerRow < ParallelMinWork) {
+    Body(0, Rows);
+    return;
+  }
+  size_t Grain =
+      std::max<size_t>(1, ParallelMinWork / std::max<size_t>(1, WorkPerRow));
+  Pool.parallelFor(0, Rows, Grain, Body);
+}
+
+} // namespace
 
 VarData *Graph::newNode(size_t Rows, size_t Cols, bool NeedGrad) {
   auto Node = std::make_unique<VarData>();
@@ -37,7 +62,7 @@ Var Graph::param(Parameter &P) {
   Node->Cols = P.Cols;
   Node->Value = P.Value.data();
   if (Training)
-    Node->Grad = P.Grad.data();
+    Node->Grad = paramGradTarget(P);
   Nodes.push_back(std::move(Node));
   return Var{Nodes.back().get()};
 }
@@ -48,40 +73,50 @@ Var Graph::matmul(Var A, Var B) {
   VarData *Out = newNode(M, N, true);
   const float *AV = A.value(), *BV = B.value();
   float *OV = Out->Value;
-  // ikj loop order: unit-stride inner loop, auto-vectorizable.
-  for (size_t I = 0; I < M; ++I)
-    for (size_t P = 0; P < K; ++P) {
-      float AIP = AV[I * K + P];
-      const float *BRow = BV + P * N;
-      float *ORow = OV + I * N;
-      for (size_t J = 0; J < N; ++J)
-        ORow[J] += AIP * BRow[J];
-    }
+  // ikj loop order: unit-stride inner loop, auto-vectorizable. Row-blocked
+  // over the pool: each task owns a disjoint range of output rows.
+  parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I)
+      for (size_t P = 0; P < K; ++P) {
+        float AIP = AV[I * K + P];
+        const float *BRow = BV + P * N;
+        float *ORow = OV + I * N;
+        for (size_t J = 0; J < N; ++J)
+          ORow[J] += AIP * BRow[J];
+      }
+  });
   if (Training)
     Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
       const float *G = Out->Grad;
       if (AD->Grad) {
-        // dA = G * B^T.
-        for (size_t I = 0; I < M; ++I)
-          for (size_t P = 0; P < K; ++P) {
-            float Sum = 0.0f;
-            const float *GRow = G + I * N;
-            const float *BRow = BD->Value + P * N;
-            for (size_t J = 0; J < N; ++J)
-              Sum += GRow[J] * BRow[J];
-            AD->Grad[I * K + P] += Sum;
-          }
+        // dA = G * B^T, row-blocked over rows of A.
+        parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
+          for (size_t I = I0; I < I1; ++I)
+            for (size_t P = 0; P < K; ++P) {
+              float Sum = 0.0f;
+              const float *GRow = G + I * N;
+              const float *BRow = BD->Value + P * N;
+              for (size_t J = 0; J < N; ++J)
+                Sum += GRow[J] * BRow[J];
+              AD->Grad[I * K + P] += Sum;
+            }
+        });
       }
       if (BD->Grad) {
-        // dB = A^T * G.
-        for (size_t I = 0; I < M; ++I)
-          for (size_t P = 0; P < K; ++P) {
-            float AIP = AD->Value[I * K + P];
-            const float *GRow = G + I * N;
+        // dB = A^T * G, row-blocked over rows of B (the P axis); each task
+        // owns disjoint dB rows and sums its I contributions in the same
+        // ascending order as the sequential loop.
+        parallelOverRows(K, M * N, [&](size_t P0, size_t P1) {
+          for (size_t P = P0; P < P1; ++P) {
             float *BGRow = BD->Grad + P * N;
-            for (size_t J = 0; J < N; ++J)
-              BGRow[J] += AIP * GRow[J];
+            for (size_t I = 0; I < M; ++I) {
+              float AIP = AD->Value[I * K + P];
+              const float *GRow = G + I * N;
+              for (size_t J = 0; J < N; ++J)
+                BGRow[J] += AIP * GRow[J];
+            }
           }
+        });
       }
     });
   return Var{Out};
@@ -92,36 +127,45 @@ Var Graph::matmulTransposeB(Var A, Var B) {
   size_t M = A.rows(), K = A.cols(), N = B.rows();
   VarData *Out = newNode(M, N, true);
   const float *AV = A.value(), *BV = B.value();
-  for (size_t I = 0; I < M; ++I)
-    for (size_t J = 0; J < N; ++J) {
-      float Sum = 0.0f;
-      const float *ARow = AV + I * K;
-      const float *BRow = BV + J * K;
-      for (size_t P = 0; P < K; ++P)
-        Sum += ARow[P] * BRow[P];
-      Out->Value[I * N + J] = Sum;
-    }
+  parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I)
+      for (size_t J = 0; J < N; ++J) {
+        float Sum = 0.0f;
+        const float *ARow = AV + I * K;
+        const float *BRow = BV + J * K;
+        for (size_t P = 0; P < K; ++P)
+          Sum += ARow[P] * BRow[P];
+        Out->Value[I * N + J] = Sum;
+      }
+  });
   if (Training)
     Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
       const float *G = Out->Grad;
       if (AD->Grad)
-        for (size_t I = 0; I < M; ++I)
-          for (size_t J = 0; J < N; ++J) {
-            float GIJ = G[I * N + J];
-            const float *BRow = BD->Value + J * K;
-            float *AGRow = AD->Grad + I * K;
-            for (size_t P = 0; P < K; ++P)
-              AGRow[P] += GIJ * BRow[P];
-          }
+        parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
+          for (size_t I = I0; I < I1; ++I)
+            for (size_t J = 0; J < N; ++J) {
+              float GIJ = G[I * N + J];
+              const float *BRow = BD->Value + J * K;
+              float *AGRow = AD->Grad + I * K;
+              for (size_t P = 0; P < K; ++P)
+                AGRow[P] += GIJ * BRow[P];
+            }
+        });
       if (BD->Grad)
-        for (size_t I = 0; I < M; ++I)
-          for (size_t J = 0; J < N; ++J) {
-            float GIJ = G[I * N + J];
-            const float *ARow = AD->Value + I * K;
+        // Row-blocked over rows of B (the J axis); I contributions to each
+        // dB row are summed in the sequential loop's ascending order.
+        parallelOverRows(N, M * K, [&](size_t J0, size_t J1) {
+          for (size_t J = J0; J < J1; ++J) {
             float *BGRow = BD->Grad + J * K;
-            for (size_t P = 0; P < K; ++P)
-              BGRow[P] += GIJ * ARow[P];
+            for (size_t I = 0; I < M; ++I) {
+              float GIJ = G[I * N + J];
+              const float *ARow = AD->Value + I * K;
+              for (size_t P = 0; P < K; ++P)
+                BGRow[P] += GIJ * ARow[P];
+            }
           }
+        });
     });
   return Var{Out};
 }
@@ -411,11 +455,41 @@ Var Graph::embedding(Parameter &E, const std::vector<uint32_t> &Ids) {
                 N * sizeof(float));
   }
   if (Training) {
-    float *EGrad = E.Grad.data();
+    float *EGrad = paramGradTarget(E);
     Tape.push_back([EGrad, Out, Ids, N] {
-      for (size_t I = 0; I < Ids.size(); ++I)
-        for (size_t J = 0; J < N; ++J)
-          EGrad[Ids[I] * N + J] += Out->Grad[I * N + J];
+      size_t M = Ids.size();
+      if (ThreadPool::global().numThreads() == 1 || M * N < ParallelMinWork) {
+        for (size_t I = 0; I < M; ++I)
+          for (size_t J = 0; J < N; ++J)
+            EGrad[Ids[I] * N + J] += Out->Grad[I * N + J];
+        return;
+      }
+      // Scatter with duplicate ids: group positions by id so each gradient
+      // row is owned by exactly one task and accumulated in ascending
+      // position order — bit-identical to the sequential scatter for any
+      // thread count.
+      std::vector<std::pair<uint32_t, uint32_t>> Occurrences(M);
+      for (size_t I = 0; I < M; ++I)
+        Occurrences[I] = {Ids[I], static_cast<uint32_t>(I)};
+      std::stable_sort(Occurrences.begin(), Occurrences.end(),
+                       [](const auto &A, const auto &B) {
+                         return A.first < B.first;
+                       });
+      std::vector<size_t> GroupStarts = {0};
+      for (size_t I = 1; I < M; ++I)
+        if (Occurrences[I].first != Occurrences[I - 1].first)
+          GroupStarts.push_back(I);
+      GroupStarts.push_back(M);
+      ThreadPool::global().parallelTasks(
+          GroupStarts.size() - 1, [&](size_t Group) {
+            for (size_t I = GroupStarts[Group]; I < GroupStarts[Group + 1];
+                 ++I) {
+              float *Dst = EGrad + size_t(Occurrences[I].first) * N;
+              const float *Src = Out->Grad + size_t(Occurrences[I].second) * N;
+              for (size_t J = 0; J < N; ++J)
+                Dst[J] += Src[J];
+            }
+          });
     });
   }
   return Var{Out};
@@ -462,29 +536,46 @@ Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
   assert(Targets.size() == M && "targets/logits mismatch");
   VarData *Out = newNode(1, 1, true);
 
-  // Softmax probabilities are needed for both value and gradient.
+  // The loss clamps log(max(p, ProbFloor)); the backward pass must see the
+  // same clamp: a row whose target probability underflowed the floor has a
+  // constant loss there, so its gradient is exactly zero (previously the
+  // unclamped softmax gradient leaked through).
+  constexpr float ProbFloor = 1e-9f;
+
+  // Softmax probabilities are needed for both value and gradient. Rows are
+  // independent: compute them (and each row's loss term) in parallel, then
+  // reduce the scalar loss sequentially in row order so the sum is
+  // bit-identical for any thread count.
   auto Probs = std::make_shared<std::vector<float>>(M * V);
+  std::vector<float> RowLoss(M, 0.0f);
+  parallelOverRows(M, 4 * V, [&](size_t I0, size_t I1) {
+    for (size_t I = I0; I < I1; ++I) {
+      const float *Row = Logits.value() + I * V;
+      float *PRow = Probs->data() + I * V;
+      float Max = Row[0];
+      for (size_t J = 1; J < V; ++J)
+        Max = std::max(Max, Row[J]);
+      float Sum = 0.0f;
+      for (size_t J = 0; J < V; ++J) {
+        PRow[J] = std::exp(Row[J] - Max);
+        Sum += PRow[J];
+      }
+      float Inverse = 1.0f / Sum;
+      for (size_t J = 0; J < V; ++J)
+        PRow[J] *= Inverse;
+      if (Targets[I] != IgnoreIndex)
+        RowLoss[I] = std::log(std::max(PRow[Targets[I]], ProbFloor));
+    }
+  });
+  // Positions equal to IgnoreIndex contribute neither to the sum nor to the
+  // mean denominator.
   size_t Counted = 0;
   double Loss = 0.0;
-  for (size_t I = 0; I < M; ++I) {
-    const float *Row = Logits.value() + I * V;
-    float *PRow = Probs->data() + I * V;
-    float Max = Row[0];
-    for (size_t J = 1; J < V; ++J)
-      Max = std::max(Max, Row[J]);
-    float Sum = 0.0f;
-    for (size_t J = 0; J < V; ++J) {
-      PRow[J] = std::exp(Row[J] - Max);
-      Sum += PRow[J];
-    }
-    float Inverse = 1.0f / Sum;
-    for (size_t J = 0; J < V; ++J)
-      PRow[J] *= Inverse;
+  for (size_t I = 0; I < M; ++I)
     if (Targets[I] != IgnoreIndex) {
-      Loss -= std::log(std::max(PRow[Targets[I]], 1e-9f));
+      Loss -= RowLoss[I];
       ++Counted;
     }
-  }
   if (Counted == 0)
     Counted = 1;
   Out->Value[0] = static_cast<float>(Loss / static_cast<double>(Counted));
@@ -494,15 +585,21 @@ Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
       if (!LD->Grad)
         return;
       float Seed = Out->Grad[0] / static_cast<float>(Counted);
-      for (size_t I = 0; I < M; ++I) {
-        if (Targets[I] == IgnoreIndex)
-          continue;
-        const float *PRow = Probs->data() + I * V;
-        float *GRow = LD->Grad + I * V;
-        for (size_t J = 0; J < V; ++J)
-          GRow[J] += Seed * PRow[J];
-        GRow[Targets[I]] -= Seed;
-      }
+      parallelOverRows(M, 2 * V, [&](size_t I0, size_t I1) {
+        for (size_t I = I0; I < I1; ++I) {
+          if (Targets[I] == IgnoreIndex)
+            continue;
+          const float *PRow = Probs->data() + I * V;
+          // Clamped row: the forward value is the constant -log(ProbFloor),
+          // so this row's logits receive no gradient.
+          if (PRow[Targets[I]] < ProbFloor)
+            continue;
+          float *GRow = LD->Grad + I * V;
+          for (size_t J = 0; J < V; ++J)
+            GRow[J] += Seed * PRow[J];
+          GRow[Targets[I]] -= Seed;
+        }
+      });
     });
   return Var{Out};
 }

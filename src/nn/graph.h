@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace snowwhite {
@@ -58,6 +60,40 @@ struct Parameter {
   size_t size() const { return Rows * Cols; }
 };
 
+/// Private parameter-gradient storage for data-parallel training. A Graph
+/// constructed with a sink accumulates parameter gradients into per-sink
+/// buffers instead of Parameter::Grad, so several graphs can run backward
+/// concurrently over shared parameters without racing. The trainer then
+/// calls accumulateInto() for each sink in a fixed shard order, which keeps
+/// the floating-point merge identical for any thread count.
+class GradientSink {
+public:
+  /// The buffer accumulating gradients for P (zero-initialized on first
+  /// use). Stable for the lifetime of the sink.
+  float *bufferFor(Parameter &P) {
+    auto [It, Inserted] = Index.try_emplace(&P, Entries.size());
+    if (Inserted)
+      Entries.emplace_back(&P,
+                           std::make_unique<std::vector<float>>(P.size(), 0.0f));
+    return Entries[It->second].second->data();
+  }
+
+  /// Adds every buffer into its parameter's Grad. Buffers are visited in
+  /// first-use order, which is deterministic for a fixed forward pass.
+  void accumulateInto() {
+    for (auto &[P, Buffer] : Entries)
+      for (size_t I = 0; I < Buffer->size(); ++I)
+        P->Grad[I] += (*Buffer)[I];
+  }
+
+private:
+  /// unique_ptr keeps buffer addresses stable across Entries growth; graph
+  /// nodes alias them for the duration of the backward pass.
+  std::vector<std::pair<Parameter *, std::unique_ptr<std::vector<float>>>>
+      Entries;
+  std::unordered_map<Parameter *, size_t> Index;
+};
+
 /// One node of the computation graph. Value points either at OwnedValue or
 /// at external parameter storage; likewise for Grad.
 struct VarData {
@@ -88,7 +124,11 @@ struct Var {
 /// inference: gradients are not allocated and dropout is the identity.
 class Graph {
 public:
-  explicit Graph(bool Training) : Training(Training) {}
+  /// Sink, when given, receives all parameter gradients in place of
+  /// Parameter::Grad (data-parallel shards; see GradientSink). It must
+  /// outlive the graph.
+  explicit Graph(bool Training, GradientSink *Sink = nullptr)
+      : Training(Training), Sink(Sink) {}
 
   bool isTraining() const { return Training; }
 
@@ -142,7 +182,14 @@ public:
 private:
   VarData *newNode(size_t Rows, size_t Cols, bool NeedGrad);
 
+  /// Where gradients for P accumulate: the sink's buffer when one is
+  /// installed, Parameter::Grad otherwise.
+  float *paramGradTarget(Parameter &P) {
+    return Sink ? Sink->bufferFor(P) : P.Grad.data();
+  }
+
   bool Training;
+  GradientSink *Sink = nullptr;
   std::vector<std::unique_ptr<VarData>> Nodes;
   std::vector<std::function<void()>> Tape;
 };

@@ -54,17 +54,23 @@ void AdamOptimizer::step(float MaxNorm) {
     }
   }
 
-  float BiasCorrection1 =
-      1.0f - std::pow(Beta1, static_cast<float>(StepCount));
-  float BiasCorrection2 =
-      1.0f - std::pow(Beta2, static_cast<float>(StepCount));
+  // Bias corrections in double: float pow(beta, step) collapses to 0 (and
+  // the correction to exactly 1) at a step-count-dependent point, and for
+  // small step counts 1 - beta^t underflows float precision, skewing early
+  // updates.
+  double BiasCorrection1 =
+      1.0 - std::pow(static_cast<double>(Beta1), static_cast<double>(StepCount));
+  double BiasCorrection2 =
+      1.0 - std::pow(static_cast<double>(Beta2), static_cast<double>(StepCount));
+  float InvCorrection1 = static_cast<float>(1.0 / BiasCorrection1);
+  float InvCorrection2 = static_cast<float>(1.0 / BiasCorrection2);
   for (Parameter *P : Parameters) {
     for (size_t I = 0; I < P->size(); ++I) {
       float G = P->Grad[I];
       P->AdamM[I] = Beta1 * P->AdamM[I] + (1.0f - Beta1) * G;
       P->AdamV[I] = Beta2 * P->AdamV[I] + (1.0f - Beta2) * G * G;
-      float MHat = P->AdamM[I] / BiasCorrection1;
-      float VHat = P->AdamV[I] / BiasCorrection2;
+      float MHat = P->AdamM[I] * InvCorrection1;
+      float VHat = P->AdamV[I] * InvCorrection2;
       P->Value[I] -= LearningRate * MHat / (std::sqrt(VHat) + Epsilon);
     }
     P->zeroGrad();

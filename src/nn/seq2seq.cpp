@@ -1,5 +1,8 @@
 #include "nn/seq2seq.h"
 
+#include "support/hash.h"
+#include "support/thread_pool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -47,7 +50,8 @@ size_t Seq2SeqModel::numParameters() {
 
 Seq2SeqModel::Encoded
 Seq2SeqModel::encode(Graph &G,
-                     const std::vector<std::vector<uint32_t>> &Sources) {
+                     const std::vector<std::vector<uint32_t>> &Sources,
+                     Rng &DropRng) {
   size_t B = Sources.size();
   size_t H = Config.HiddenDim;
 
@@ -77,7 +81,7 @@ Seq2SeqModel::encode(Graph &G,
   std::vector<Var> Embedded(PaddedLen);
   for (size_t T = 0; T < PaddedLen; ++T) {
     Var E = G.embedding(SrcEmbed, Columns[T]);
-    Embedded[T] = G.dropout(E, Config.DropoutRate, ModelRng);
+    Embedded[T] = G.dropout(E, Config.DropoutRate, DropRng);
   }
   std::vector<Var> FwdStates(PaddedLen), BwdStates(PaddedLen);
   {
@@ -131,10 +135,10 @@ Seq2SeqModel::encode(Graph &G,
 Seq2SeqModel::DecodeStep
 Seq2SeqModel::decodeStep(Graph &G, const std::vector<uint32_t> &InputIds,
                          Var H, Var C, const Encoded &Enc,
-                         const std::vector<size_t> &ItemOfRow) {
+                         const std::vector<size_t> &ItemOfRow, Rng &DropRng) {
   size_t B = InputIds.size();
   Var X = G.dropout(G.embedding(TgtEmbed, InputIds), Config.DropoutRate,
-                    ModelRng);
+                    DropRng);
   auto [NewH, NewC] = Decoder.step(G, X, H, C);
 
   // Luong "general" attention, per batch row (rows may map to shared
@@ -159,21 +163,22 @@ Seq2SeqModel::decodeStep(Graph &G, const std::vector<uint32_t> &InputIds,
   }());
   Var Combined = G.tanhOp(
       AttnCombine.forward(G, G.concatCols(NewH, Context))); // [B, h]
-  Combined = G.dropout(Combined, Config.DropoutRate, ModelRng);
+  Combined = G.dropout(Combined, Config.DropoutRate, DropRng);
   Var Logits = Output.forward(G, Combined); // [B, V]
   return {Logits, NewH, NewC};
 }
 
-float Seq2SeqModel::runBatch(const std::vector<std::vector<uint32_t>> &Sources,
-                             const std::vector<std::vector<uint32_t>> &Targets,
-                             bool Train, AdamOptimizer *Optimizer) {
+float Seq2SeqModel::forwardBackward(
+    const std::vector<std::vector<uint32_t>> &Sources,
+    const std::vector<std::vector<uint32_t>> &Targets, bool Train,
+    float LossScale, GradientSink *Sink, Rng &DropRng) {
   assert(Sources.size() == Targets.size() && "batch size mismatch");
   size_t B = Sources.size();
   if (B == 0)
     return 0.0f;
 
-  Graph G(Train);
-  Encoded Enc = encode(G, Sources);
+  Graph G(Train, Sink);
+  Encoded Enc = encode(G, Sources, DropRng);
 
   // Teacher forcing: inputs = BOS + target, targets = target + EOS, padded.
   size_t MaxSteps = 1;
@@ -198,7 +203,7 @@ float Seq2SeqModel::runBatch(const std::vector<std::vector<uint32_t>> &Sources,
                          : Step == Len ? Config.EosId
                                        : Config.PadId;
     }
-    DecodeStep Decoded = decodeStep(G, Inputs, H, C, Enc, ItemOfRow);
+    DecodeStep Decoded = decodeStep(G, Inputs, H, C, Enc, ItemOfRow, DropRng);
     H = Decoded.H;
     C = Decoded.C;
     Var StepLoss = G.crossEntropy(Decoded.Logits, StepTargets, Config.PadId);
@@ -207,9 +212,8 @@ float Seq2SeqModel::runBatch(const std::vector<std::vector<uint32_t>> &Sources,
   Var MeanLoss = G.scale(TotalLoss, 1.0f / static_cast<float>(MaxSteps));
   float LossValue = MeanLoss.at(0, 0);
   if (Train) {
-    G.backward(MeanLoss);
-    assert(Optimizer && "training without optimizer");
-    Optimizer->step();
+    Var Scaled = LossScale == 1.0f ? MeanLoss : G.scale(MeanLoss, LossScale);
+    G.backward(Scaled);
   }
   return LossValue;
 }
@@ -218,13 +222,52 @@ float Seq2SeqModel::trainBatch(
     const std::vector<std::vector<uint32_t>> &Sources,
     const std::vector<std::vector<uint32_t>> &Targets,
     AdamOptimizer &Optimizer) {
-  return runBatch(Sources, Targets, /*Train=*/true, &Optimizer);
+  assert(Sources.size() == Targets.size() && "batch size mismatch");
+  size_t B = Sources.size();
+  if (B == 0)
+    return 0.0f;
+
+  // Fixed-size shard decomposition (never a function of the thread count)
+  // and one ModelRng draw per batch from which every shard derives a
+  // private dropout stream: both are what make training bit-identical for
+  // any SNOWWHITE_THREADS value.
+  size_t NumShards = (B + TrainShardSize - 1) / TrainShardSize;
+  uint64_t DropoutBase = ModelRng.next();
+
+  std::vector<GradientSink> Sinks(NumShards);
+  std::vector<float> ShardLoss(NumShards, 0.0f);
+  ThreadPool::global().mapReduceOrdered(
+      NumShards,
+      [&](size_t Shard) {
+        size_t Begin = Shard * TrainShardSize;
+        size_t End = std::min(Begin + TrainShardSize, B);
+        std::vector<std::vector<uint32_t>> ShardSources(
+            Sources.begin() + Begin, Sources.begin() + End);
+        std::vector<std::vector<uint32_t>> ShardTargets(
+            Targets.begin() + Begin, Targets.begin() + End);
+        Rng ShardRng(hashCombine(DropoutBase, Shard));
+        float Scale = static_cast<float>(End - Begin) / static_cast<float>(B);
+        ShardLoss[Shard] =
+            forwardBackward(ShardSources, ShardTargets, /*Train=*/true, Scale,
+                            &Sinks[Shard], ShardRng) *
+            Scale;
+      },
+      [&](size_t Shard) { Sinks[Shard].accumulateInto(); });
+
+  Optimizer.step();
+  float Loss = 0.0f;
+  for (float Term : ShardLoss)
+    Loss += Term;
+  return Loss;
 }
 
 float Seq2SeqModel::evaluateLoss(
     const std::vector<std::vector<uint32_t>> &Sources,
     const std::vector<std::vector<uint32_t>> &Targets) {
-  return runBatch(Sources, Targets, /*Train=*/false, nullptr);
+  // Inference: dropout is the identity, so ModelRng is never advanced and
+  // evaluation stays side-effect free.
+  return forwardBackward(Sources, Targets, /*Train=*/false, 1.0f, nullptr,
+                         ModelRng);
 }
 
 std::vector<Hypothesis>
@@ -232,7 +275,7 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
                           unsigned BeamWidth) {
   assert(BeamWidth >= 1 && "beam width must be positive");
   Graph G(/*Training=*/false);
-  Encoded Enc = encode(G, {Source});
+  Encoded Enc = encode(G, {Source}, ModelRng);
 
   struct Beam {
     std::vector<uint32_t> Tokens;
@@ -251,7 +294,7 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
       uint32_t LastToken =
           Current.Tokens.empty() ? Config.BosId : Current.Tokens.back();
       DecodeStep Decoded =
-          decodeStep(G, {LastToken}, Current.H, Current.C, Enc, {0});
+          decodeStep(G, {LastToken}, Current.H, Current.C, Enc, {0}, ModelRng);
       // Log-softmax over the vocabulary.
       size_t V = Decoded.Logits.cols();
       const float *Row = Decoded.Logits.value();

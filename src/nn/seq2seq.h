@@ -50,9 +50,20 @@ public:
 
   /// One optimizer step over a batch of (source, target) id sequences
   /// (targets without BOS/EOS). Returns the mean token cross-entropy.
+  ///
+  /// Data-parallel: the batch is cut into fixed-size shards (TrainShardSize,
+  /// independent of the thread count), each shard runs forward/backward on
+  /// its own Graph with a private GradientSink and its own dropout stream,
+  /// and the shard gradients are reduced into Parameter::Grad in ascending
+  /// shard order before the Adam step — so the trained weights are
+  /// bit-identical for any SNOWWHITE_THREADS value.
   float trainBatch(const std::vector<std::vector<uint32_t>> &Sources,
                    const std::vector<std::vector<uint32_t>> &Targets,
                    AdamOptimizer &Optimizer);
+
+  /// Batch rows per data-parallel shard. Part of the determinism contract:
+  /// the decomposition never depends on the available threads.
+  static constexpr size_t TrainShardSize = 8;
 
   /// Mean token cross-entropy without updating weights (validation).
   float evaluateLoss(const std::vector<std::vector<uint32_t>> &Sources,
@@ -80,7 +91,10 @@ private:
     Var DecoderC;                   ///< [B, h].
     size_t PaddedLen = 0;
   };
-  Encoded encode(Graph &G, const std::vector<std::vector<uint32_t>> &Sources);
+  /// DropRng supplies dropout masks; shards pass private streams so graphs
+  /// can run concurrently.
+  Encoded encode(Graph &G, const std::vector<std::vector<uint32_t>> &Sources,
+                 Rng &DropRng);
 
   /// One decoder step with attention: returns (logits [B, V], new H, new C).
   struct DecodeStep {
@@ -90,11 +104,16 @@ private:
   };
   DecodeStep decodeStep(Graph &G, const std::vector<uint32_t> &InputIds,
                         Var H, Var C, const Encoded &Enc,
-                        const std::vector<size_t> &ItemOfRow);
+                        const std::vector<size_t> &ItemOfRow, Rng &DropRng);
 
-  float runBatch(const std::vector<std::vector<uint32_t>> &Sources,
-                 const std::vector<std::vector<uint32_t>> &Targets,
-                 bool Train, AdamOptimizer *Optimizer);
+  /// Forward (and, when Train, backward) over one shard. LossScale weights
+  /// the shard's contribution to the batch gradient (shard rows / batch
+  /// rows); gradients accumulate into Sink when given, Parameter::Grad
+  /// otherwise. Returns the shard's unscaled mean token cross-entropy.
+  float forwardBackward(const std::vector<std::vector<uint32_t>> &Sources,
+                        const std::vector<std::vector<uint32_t>> &Targets,
+                        bool Train, float LossScale, GradientSink *Sink,
+                        Rng &DropRng);
 
   Seq2SeqConfig Config;
   Rng ModelRng;

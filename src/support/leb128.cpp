@@ -36,6 +36,13 @@ bool decodeULEB128(const std::vector<uint8_t> &Data, size_t &Offset,
     if (Shift >= 64)
       return false;
     uint8_t Byte = Data[Offset++];
+    // The tenth byte only has room for the top bit of a 64-bit value; any
+    // other payload bit (or a continuation into an eleventh byte) would be
+    // silently dropped by the shift, so such over-long encodings are
+    // rejected rather than mis-decoded. Non-canonical but lossless padded
+    // encodings (e.g. 0x80 0x00) stay accepted: DWARF producers emit them.
+    if (Shift == 63 && Byte > 1)
+      return false;
     Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
     if (!(Byte & 0x80))
       return true;
@@ -54,6 +61,11 @@ bool decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Offset,
     if (Shift >= 64)
       return false;
     Byte = Data[Offset++];
+    // In the tenth byte only bit 0 reaches the 64-bit result; the remaining
+    // payload bits must restate the sign extension exactly (0x00 for
+    // non-negative, 0x7f for negative), otherwise information would be lost.
+    if (Shift == 63 && Byte != 0x00 && Byte != 0x7f)
+      return false;
     Raw |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
     Shift += 7;
     if (!(Byte & 0x80))

@@ -1,0 +1,157 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace snowwhite {
+
+namespace {
+
+/// Set while the current thread is executing inside a parallel region
+/// (either a worker thread, or the calling thread helping with its own
+/// batch). Nested parallel calls then run inline, which both avoids
+/// deadlock (a task waiting on queue slots held by its ancestors) and keeps
+/// the observable decomposition one level deep for determinism.
+thread_local bool InParallelRegion = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 0; I + 1 < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  InParallelRegion = true;
+  while (true) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      WorkAvailable.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}
+
+void ThreadPool::parallelTasks(size_t NumTasks,
+                               const std::function<void(size_t)> &Task) {
+  if (NumTasks == 0)
+    return;
+  if (Workers.empty() || NumTasks == 1 || InParallelRegion) {
+    for (size_t I = 0; I < NumTasks; ++I)
+      Task(I);
+    return;
+  }
+
+  // Helpers and the caller pull task indices from a shared counter; the
+  // caller then waits for every helper job to retire. Helper jobs that are
+  // popped after the counter is exhausted simply return, so stragglers never
+  // block completion.
+  struct Batch {
+    std::atomic<size_t> Next{0};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    size_t Outstanding = 0;
+  };
+  auto Shared = std::make_shared<Batch>();
+  size_t Helpers = std::min(NumTasks - 1, Workers.size());
+  Shared->Outstanding = Helpers;
+
+  // &Task stays valid: this function does not return until Outstanding == 0.
+  auto RunTasks = [&Task, Shared, NumTasks] {
+    for (size_t I = Shared->Next.fetch_add(1, std::memory_order_relaxed);
+         I < NumTasks;
+         I = Shared->Next.fetch_add(1, std::memory_order_relaxed))
+      Task(I);
+  };
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (size_t H = 0; H < Helpers; ++H)
+      Queue.push_back([RunTasks, Shared] {
+        RunTasks();
+        {
+          std::lock_guard<std::mutex> DoneLock(Shared->DoneMutex);
+          --Shared->Outstanding;
+        }
+        Shared->DoneCv.notify_one();
+      });
+  }
+  WorkAvailable.notify_all();
+
+  InParallelRegion = true;
+  RunTasks();
+  InParallelRegion = false;
+
+  std::unique_lock<std::mutex> Lock(Shared->DoneMutex);
+  Shared->DoneCv.wait(Lock, [&] { return Shared->Outstanding == 0; });
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End, size_t GrainSize,
+                             const std::function<void(size_t, size_t)> &Body) {
+  if (Begin >= End)
+    return;
+  size_t Count = End - Begin;
+  if (GrainSize == 0)
+    GrainSize = (Count + numThreads() - 1) / numThreads();
+  if (GrainSize >= Count || Workers.empty() || InParallelRegion) {
+    Body(Begin, End);
+    return;
+  }
+  size_t NumChunks = (Count + GrainSize - 1) / GrainSize;
+  parallelTasks(NumChunks, [&](size_t Chunk) {
+    size_t ChunkBegin = Begin + Chunk * GrainSize;
+    size_t ChunkEnd = std::min(ChunkBegin + GrainSize, End);
+    Body(ChunkBegin, ChunkEnd);
+  });
+}
+
+unsigned ThreadPool::threadsFromEnv() {
+  if (const char *Env = std::getenv("SNOWWHITE_THREADS")) {
+    long Parsed = std::strtol(Env, nullptr, 10);
+    if (Parsed > 0)
+      return static_cast<unsigned>(Parsed);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware == 0 ? 1 : Hardware;
+}
+
+namespace {
+
+std::mutex GlobalPoolMutex;
+std::unique_ptr<ThreadPool> GlobalPool;
+
+} // namespace
+
+ThreadPool &ThreadPool::global() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<ThreadPool>(threadsFromEnv());
+  return *GlobalPool;
+}
+
+void ThreadPool::resetGlobal(unsigned NumThreads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  GlobalPool = std::make_unique<ThreadPool>(
+      NumThreads == 0 ? threadsFromEnv() : NumThreads);
+}
+
+} // namespace snowwhite

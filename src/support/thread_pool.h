@@ -1,0 +1,93 @@
+//===- support/thread_pool.h - Fixed-size worker pool ----------------------===//
+//
+// The parallel execution substrate for the dataset pipeline, the autograd
+// kernels, and data-parallel training. A fixed set of worker threads executes
+// chunked index ranges; the calling thread always participates, so a pool
+// sized 1 runs everything inline with zero synchronization (exact legacy
+// behaviour).
+//
+// Determinism contract: every primitive here only *schedules* work. Callers
+// keep results bit-identical across thread counts by (a) giving each index a
+// disjoint output slot, or (b) accumulating into per-task buffers that are
+// reduced on the calling thread in ascending task order (mapReduceOrdered).
+// Nested parallel calls from inside a task run inline on the current thread,
+// so the decomposition visible to callers is always exactly one level deep.
+//
+// The global pool is sized by the SNOWWHITE_THREADS environment variable
+// (default: std::thread::hardware_concurrency).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_THREAD_POOL_H
+#define SNOWWHITE_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snowwhite {
+
+class ThreadPool {
+public:
+  /// NumThreads counts the calling thread: a pool of N spawns N-1 workers.
+  /// 0 is treated as 1.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads that can execute tasks (workers + caller).
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Task(0) .. Task(NumTasks-1), distributing tasks over the pool.
+  /// Blocks until all tasks finish. Tasks must not assume any execution
+  /// order. Called from inside another pool task, runs inline sequentially.
+  void parallelTasks(size_t NumTasks, const std::function<void(size_t)> &Task);
+
+  /// Splits [Begin, End) into chunks of at most GrainSize indices and runs
+  /// Body(ChunkBegin, ChunkEnd) for each chunk, in parallel. A GrainSize of
+  /// 0 picks one evenly-sized chunk per thread.
+  void parallelFor(size_t Begin, size_t End, size_t GrainSize,
+                   const std::function<void(size_t, size_t)> &Body);
+
+  /// Deterministic reduction: runs Map(I) for each shard in parallel, then
+  /// Reduce(I) sequentially on the calling thread in ascending shard order.
+  /// Each Map(I) must write only shard-private state; the ordered Reduce
+  /// makes floating-point merges independent of the thread count.
+  template <typename MapFn, typename ReduceFn>
+  void mapReduceOrdered(size_t NumShards, MapFn &&Map, ReduceFn &&Reduce) {
+    parallelTasks(NumShards, Map);
+    for (size_t I = 0; I < NumShards; ++I)
+      Reduce(I);
+  }
+
+  /// The process-wide pool, lazily built with threadsFromEnv() threads.
+  static ThreadPool &global();
+
+  /// Replaces the global pool (tests and benchmarks that sweep thread
+  /// counts). Must not be called while parallel work is in flight.
+  static void resetGlobal(unsigned NumThreads);
+
+  /// Parses SNOWWHITE_THREADS; unset or 0 means hardware_concurrency.
+  static unsigned threadsFromEnv();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex QueueMutex;
+  std::condition_variable WorkAvailable;
+  bool ShuttingDown = false;
+};
+
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_THREAD_POOL_H

@@ -33,6 +33,14 @@ void NameVocabulary::addOccurrence(const std::string &Name,
   ++SamplesByName[Name];
 }
 
+void NameVocabulary::merge(const NameVocabulary &Other) {
+  assert(!Finalized && !Other.Finalized && "merge after finalize");
+  for (const auto &[Name, Packages] : Other.PackagesByName)
+    PackagesByName[Name].insert(Packages.begin(), Packages.end());
+  for (const auto &[Name, Count] : Other.SamplesByName)
+    SamplesByName[Name] += Count;
+}
+
 void NameVocabulary::finalize(uint32_t TotalPackagesIn,
                               double MinPackageFraction) {
   assert(!Finalized && "finalize called twice");

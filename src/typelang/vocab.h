@@ -33,6 +33,12 @@ public:
   /// inside package PackageId. Filtered names are ignored.
   void addOccurrence(const std::string &Name, uint32_t PackageId);
 
+  /// Folds another (unfinalized) vocabulary's occurrences into this one.
+  /// Set unions and integer adds are exactly associative, so merging
+  /// shard-local vocabularies yields the same vocabulary as sequential
+  /// addOccurrence calls, for any sharding.
+  void merge(const NameVocabulary &Other);
+
   /// Fixes the vocabulary: keep names appearing in at least
   /// ceil(MinPackageFraction * TotalPackages) distinct packages (at least 1).
   void finalize(uint32_t TotalPackages, double MinPackageFraction = 0.01);

@@ -6,10 +6,13 @@
 #include "model/task.h"
 #include "model/trainer.h"
 #include "support/str.h"
+#include "typelang/type.h"
+#include "typelang/variants.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 namespace snowwhite {
 namespace model {
@@ -227,20 +230,102 @@ TEST(Distribution, MostCommonOrdering) {
 
 // --- End-to-end: train a small model and beat chance ------------------------------
 
-TEST(EndToEnd, TinyModelTrainsAndPredicts) {
-  TaskOptions Options;
-  Options.Language = TypeLanguageKind::TL_SwSimplified;
-  Task T(sharedDataset(), Options);
+/// One small trained model shared by the end-to-end and predictor tests
+/// (training dominates this file's runtime).
+struct TrainedFixture {
+  std::unique_ptr<Task> T;
+  TrainResult Result;
+};
 
-  TrainOptions Train;
-  Train.MaxEpochs = 10;
-  Train.BatchSize = 16;
-  Train.EmbedDim = 16;
-  Train.HiddenDim = 32;
-  Train.MaxSrcLen = 64;
-  Train.MaxValidSamples = 64;
-  Train.Patience = 5;
-  TrainResult Result = trainModel(T, Train);
+TrainedFixture &trainedFixture() {
+  static TrainedFixture Fixture = [] {
+    TrainedFixture Out;
+    TaskOptions Options;
+    Options.Language = TypeLanguageKind::TL_SwSimplified;
+    Out.T = std::make_unique<Task>(sharedDataset(), Options);
+    TrainOptions Train;
+    Train.MaxEpochs = 10;
+    Train.BatchSize = 16;
+    Train.EmbedDim = 16;
+    Train.HiddenDim = 32;
+    Train.MaxSrcLen = 64;
+    Train.MaxValidSamples = 64;
+    Train.Patience = 5;
+    Out.Result = trainModel(*Out.T, Train);
+    return Out;
+  }();
+  return Fixture;
+}
+
+TEST(Predictor, WidensBeamWhenFiltersEatTheMargin) {
+  // Regression: the filtered predictor used a fixed beam of K + 4 and
+  // silently returned whatever survived, even when that was fewer than K.
+  // It must now double the beam and re-run, so every shortfall case returns
+  // strictly more survivors than the first beam contained (up to K, or
+  // until the beam is exhausted).
+  TrainedFixture &Fixture = trainedFixture();
+  Task &T = *Fixture.T;
+  nn::Seq2SeqModel &Model = *Fixture.Result.Model;
+
+  const unsigned K = 5;
+  auto countSurvivors = [&](const std::vector<nn::Hypothesis> &Beam,
+                            wasm::ValType LowLevel) {
+    std::set<std::vector<std::string>> Seen;
+    unsigned Survivors = 0;
+    for (const nn::Hypothesis &Hyp : Beam) {
+      std::vector<std::string> Tokens = T.decodeTarget(Hyp.Tokens);
+      Result<typelang::Type> Parsed = typelang::parseType(Tokens);
+      if (Parsed.isErr() || typelang::lowLevelTypeOf(*Parsed) != LowLevel)
+        continue;
+      if (Seen.insert(Tokens).second)
+        ++Survivors;
+    }
+    return Survivors;
+  };
+
+  Predictor Filtered(Model, T, /*DeduplicatePredictions=*/true,
+                     /*WellFormedOnly=*/true, /*ConsistentWithLowLevel=*/true);
+  unsigned ShortfallCases = 0, Recovered = 0;
+  size_t Checked = 0;
+  for (const EncodedSample &Sample : T.test()) {
+    if (++Checked > 8)
+      break;
+    // Forcing each low-level type makes the consistency filter aggressive:
+    // most beam hypotheses lower to the dominant i32.
+    for (wasm::ValType Low :
+         {wasm::ValType::I32, wasm::ValType::I64, wasm::ValType::F32,
+          wasm::ValType::F64}) {
+      unsigned FirstBeam =
+          countSurvivors(Model.predictTopK(Sample.Source, K + 4), Low);
+      if (FirstBeam >= K)
+        continue;
+      ++ShortfallCases;
+      std::vector<TypePrediction> Out =
+          Filtered.predictEncoded(Sample.Source, K, Low);
+      EXPECT_LE(Out.size(), K);
+      if (Out.size() > FirstBeam)
+        ++Recovered;
+      // Whatever is returned must actually pass the filters.
+      std::set<std::vector<std::string>> Unique;
+      for (const TypePrediction &P : Out) {
+        Result<typelang::Type> Parsed = typelang::parseType(P.Tokens);
+        ASSERT_TRUE(Parsed.isOk());
+        EXPECT_EQ(typelang::lowLevelTypeOf(*Parsed), Low);
+        EXPECT_TRUE(Unique.insert(P.Tokens).second);
+      }
+    }
+  }
+  // The trained model's beam falls short of K for the rarer low-level types,
+  // and the widened retry recovers candidates the K + 4 beam missed.
+  EXPECT_GT(ShortfallCases, 0u);
+  EXPECT_GT(Recovered, 0u)
+      << "retry never returned more than the first beam's survivors";
+}
+
+TEST(EndToEnd, TinyModelTrainsAndPredicts) {
+  TrainedFixture &Fixture = trainedFixture();
+  Task &T = *Fixture.T;
+  const TrainResult &Result = Fixture.Result;
   ASSERT_NE(Result.Model, nullptr);
   EXPECT_GT(Result.BatchesRun, 0u);
   EXPECT_TRUE(std::isfinite(Result.BestValidLoss));

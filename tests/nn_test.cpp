@@ -177,6 +177,48 @@ TEST(GradCheck, CrossEntropy) {
   });
 }
 
+TEST(GradCheck, CrossEntropyWithIgnoredPositions) {
+  // Ignored rows must be excluded from the mean denominator in the forward
+  // pass AND receive exactly zero gradient in the backward pass; the finite
+  // differences verify the two stay consistent.
+  Parameter Logits(6, 5);
+  fillParam(Logits, 21);
+  std::vector<uint32_t> Targets = {1, 4, 4, 2, 4, 3}; // 4 = ignored.
+  checkGradient(Logits, [&](Graph &G, Parameter &Param) {
+    return G.crossEntropy(G.param(Param), Targets, /*IgnoreIndex=*/4);
+  });
+
+  Logits.zeroGrad();
+  Graph G(/*Training=*/true);
+  G.backward(G.crossEntropy(G.param(Logits), Targets, /*IgnoreIndex=*/4));
+  for (size_t Row : {1u, 2u, 4u})
+    for (size_t Col = 0; Col < 5; ++Col)
+      EXPECT_EQ(Logits.Grad[Row * 5 + Col], 0.0f)
+          << "ignored row " << Row << " leaked gradient at col " << Col;
+}
+
+TEST(Graph, CrossEntropyClampedProbabilityStaysFinite) {
+  // The target's probability underflows the forward clamp log(max(p, 1e-9)).
+  // The loss is then locally constant in the logits, so the backward pass
+  // must produce zero gradient for that row — not the +-1/p explosion the
+  // unclamped formula would give.
+  Parameter Logits(2, 3);
+  Logits.Value = {-40.0f, 40.0f, 0.0f, // Row 0: p(target 0) ~ e^-80.
+                  1.0f, 0.5f, -0.5f};  // Row 1: well-conditioned.
+  Graph G(/*Training=*/true);
+  Var Loss = G.crossEntropy(G.param(Logits), {0, 1}, /*IgnoreIndex=*/999);
+  ASSERT_TRUE(std::isfinite(Loss.at(0, 0)));
+  // Clamped row contributes -log(1e-9), about 20.7, to the mean of two.
+  EXPECT_GT(Loss.at(0, 0), 9.0f);
+  G.backward(Loss);
+  for (size_t I = 0; I < Logits.size(); ++I)
+    ASSERT_TRUE(std::isfinite(Logits.Grad[I])) << "coordinate " << I;
+  for (size_t Col = 0; Col < 3; ++Col)
+    EXPECT_EQ(Logits.Grad[Col], 0.0f) << "clamped row leaked at col " << Col;
+  // The healthy row still trains.
+  EXPECT_NE(Logits.Grad[3], 0.0f);
+}
+
 TEST(GradCheck, Embedding) {
   Parameter E(6, 4);
   fillParam(E, 15);
@@ -291,6 +333,34 @@ TEST(Adam, GradientClippingBoundsUpdates) {
   EXPECT_LT(std::fabs(P.Value[0]), 0.2f);
   // Gradients are consumed.
   EXPECT_EQ(P.Grad[0], 0.0f);
+}
+
+TEST(Adam, BiasCorrectionSurvivesManySteps) {
+  // In float, beta2^t rounds to 1 - epsilon long before beta1^t does, and
+  // both eventually collapse to 0; with the corrections computed in double
+  // the optimizer state stays finite and keeps contracting a quadratic well
+  // past 10k steps.
+  Parameter P(1, 1);
+  P.Value[0] = 5.0f;
+  AdamOptimizer Optimizer({&P}, 1e-3f);
+  float MaxFirstWindow = 0.0f, MaxLastWindow = 0.0f;
+  const int Steps = 12000;
+  for (int Step = 0; Step < Steps; ++Step) {
+    P.Grad[0] = 2.0f * P.Value[0]; // d/dx of x^2.
+    Optimizer.step();
+    ASSERT_TRUE(std::isfinite(P.Value[0])) << "step " << Step;
+    ASSERT_TRUE(std::isfinite(P.AdamM[0])) << "step " << Step;
+    ASSERT_TRUE(std::isfinite(P.AdamV[0])) << "step " << Step;
+    float Abs = std::fabs(P.Value[0]);
+    if (Step < 1000)
+      MaxFirstWindow = std::max(MaxFirstWindow, Abs);
+    if (Step >= Steps - 1000)
+      MaxLastWindow = std::max(MaxLastWindow, Abs);
+  }
+  // Monotone at window granularity: late iterates stay far inside the early
+  // envelope instead of diverging when the correction degrades.
+  EXPECT_LT(MaxLastWindow, MaxFirstWindow * 0.01f);
+  EXPECT_LT(std::fabs(P.Value[0]), 0.05f);
 }
 
 // --- Seq2Seq -----------------------------------------------------------------

@@ -89,6 +89,140 @@ TEST(Leb128, DecodeOverlongFails) {
   EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
 }
 
+// Property: encode/decode round-trips exactly, for boundary values and a
+// random sweep of the full 64-bit range.
+TEST(Leb128, PropertyRoundtripBoundaries) {
+  const uint64_t UValues[] = {0,
+                              1,
+                              0x7f,
+                              0x80,
+                              uint64_t(INT32_MAX),
+                              uint64_t(INT32_MAX) + 1,
+                              uint64_t(UINT32_MAX),
+                              uint64_t(INT64_MAX),
+                              uint64_t(INT64_MAX) + 1,
+                              UINT64_MAX};
+  for (uint64_t Value : UValues) {
+    std::vector<uint8_t> Buffer;
+    encodeULEB128(Value, Buffer);
+    size_t Offset = 0;
+    uint64_t Decoded = 0;
+    ASSERT_TRUE(decodeULEB128(Buffer, Offset, Decoded)) << Value;
+    EXPECT_EQ(Decoded, Value);
+    EXPECT_EQ(Offset, Buffer.size());
+  }
+  const int64_t SValues[] = {0,         1,         -1,        INT32_MAX,
+                             INT32_MIN, int64_t(INT32_MAX) + 1,
+                             int64_t(INT32_MIN) - 1,          INT64_MAX,
+                             INT64_MIN, INT64_MIN + 1};
+  for (int64_t Value : SValues) {
+    std::vector<uint8_t> Buffer;
+    encodeSLEB128(Value, Buffer);
+    size_t Offset = 0;
+    int64_t Decoded = 0;
+    ASSERT_TRUE(decodeSLEB128(Buffer, Offset, Decoded)) << Value;
+    EXPECT_EQ(Decoded, Value);
+    EXPECT_EQ(Offset, Buffer.size());
+  }
+}
+
+TEST(Leb128, PropertyRoundtripRandom) {
+  Rng R(20260805);
+  for (int I = 0; I < 5000; ++I) {
+    // Mix full-range and small-magnitude values so every encoded length is
+    // exercised.
+    uint64_t Raw = R.next() >> (R.next() % 64);
+    std::vector<uint8_t> Buffer;
+    encodeULEB128(Raw, Buffer);
+    size_t Offset = 0;
+    uint64_t UDecoded = 0;
+    ASSERT_TRUE(decodeULEB128(Buffer, Offset, UDecoded));
+    EXPECT_EQ(UDecoded, Raw);
+    EXPECT_EQ(Offset, Buffer.size());
+
+    int64_t Signed = static_cast<int64_t>(Raw);
+    if (R.next() & 1)
+      Signed = -Signed;
+    Buffer.clear();
+    encodeSLEB128(Signed, Buffer);
+    Offset = 0;
+    int64_t SDecoded = 0;
+    ASSERT_TRUE(decodeSLEB128(Buffer, Offset, SDecoded));
+    EXPECT_EQ(SDecoded, Signed);
+    EXPECT_EQ(Offset, Buffer.size());
+  }
+}
+
+TEST(Leb128, MaxShiftEncodings) {
+  // UINT64_MAX is the largest 10-byte ULEB: nine 0xff groups and a final 0x01.
+  std::vector<uint8_t> Buffer(9, 0xff);
+  Buffer.push_back(0x01);
+  size_t Offset = 0;
+  uint64_t Value = 0;
+  ASSERT_TRUE(decodeULEB128(Buffer, Offset, Value));
+  EXPECT_EQ(Value, UINT64_MAX);
+
+  // INT64_MIN: nine 0x80 groups and a final sign-only 0x7f.
+  Buffer.assign(9, 0x80);
+  Buffer.push_back(0x7f);
+  Offset = 0;
+  int64_t SValue = 0;
+  ASSERT_TRUE(decodeSLEB128(Buffer, Offset, SValue));
+  EXPECT_EQ(SValue, INT64_MIN);
+}
+
+TEST(Leb128, RejectsOverlongTenthByte) {
+  // A tenth ULEB byte with any payload beyond bit 0 would shift data past
+  // bit 63; previously those bits were silently dropped.
+  std::vector<uint8_t> Buffer(9, 0x80);
+  Buffer.push_back(0x02);
+  size_t Offset = 0;
+  uint64_t Value = 0;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
+
+  Buffer.assign(9, 0xff);
+  Buffer.push_back(0x7f); // Bits 64..69 claimed set: out of range.
+  Offset = 0;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
+
+  // A tenth SLEB byte must restate the sign extension exactly (0x00/0x7f).
+  Buffer.assign(9, 0x80);
+  Buffer.push_back(0x01);
+  Offset = 0;
+  int64_t SValue = 0;
+  EXPECT_FALSE(decodeSLEB128(Buffer, Offset, SValue));
+
+  Buffer.assign(9, 0x80);
+  Buffer.push_back(0x3f);
+  Offset = 0;
+  EXPECT_FALSE(decodeSLEB128(Buffer, Offset, SValue));
+
+  // Continuation out of the tenth byte (an eleventh group) is also rejected.
+  Buffer.assign(10, 0x80);
+  Buffer.push_back(0x00);
+  Offset = 0;
+  EXPECT_FALSE(decodeULEB128(Buffer, Offset, Value));
+  Offset = 0;
+  EXPECT_FALSE(decodeSLEB128(Buffer, Offset, SValue));
+}
+
+TEST(Leb128, AcceptsNonCanonicalPadding) {
+  // DWARF producers pad with continuation bytes; short padded forms are
+  // lossless and stay accepted.
+  std::vector<uint8_t> Buffer = {0x80, 0x00};
+  size_t Offset = 0;
+  uint64_t Value = 1;
+  ASSERT_TRUE(decodeULEB128(Buffer, Offset, Value));
+  EXPECT_EQ(Value, 0u);
+  EXPECT_EQ(Offset, 2u);
+
+  Buffer = {0xff, 0x7f}; // Padded -1.
+  Offset = 0;
+  int64_t SValue = 0;
+  ASSERT_TRUE(decodeSLEB128(Buffer, Offset, SValue));
+  EXPECT_EQ(SValue, -1);
+}
+
 TEST(Leb128, SequentialDecodes) {
   std::vector<uint8_t> Buffer;
   encodeULEB128(5, Buffer);
