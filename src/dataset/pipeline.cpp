@@ -38,6 +38,17 @@ uint64_t Dataset::countReturns(const std::vector<uint32_t> &Split) const {
   return Count;
 }
 
+std::string QuarantineReport::summary() const {
+  std::string Out = "quarantined " + std::to_string(total()) + " module(s): " +
+                    std::to_string(ParseFailures) + " parse, " +
+                    std::to_string(DebugFailures) + " debug-info\n";
+  for (const QuarantineEntry &Entry : Entries)
+    Out += "  package " + std::to_string(Entry.PackageId) + "/obj" +
+           std::to_string(Entry.ObjectIndex) + " [" + Entry.Stage + ", " +
+           errorCodeName(Entry.Code) + "]: " + Entry.Message + "\n";
+  return Out;
+}
+
 namespace {
 
 /// A kept binary after dedup: parsed module + debug info + owning package.
@@ -64,22 +75,31 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   struct FlatObject {
     const CompiledObject *Object;
     uint32_t PackageId;
+    uint32_t ObjectIndex; ///< Index within the owning package.
   };
   std::vector<FlatObject> Flat;
   for (const frontend::Package &Pkg : Corpus.Packages)
-    for (const CompiledObject &Object : Pkg.Objects)
-      Flat.push_back({&Object, Pkg.Id});
+    for (size_t Index = 0; Index < Pkg.Objects.size(); ++Index)
+      Flat.push_back({&Pkg.Objects[Index], Pkg.Id,
+                      static_cast<uint32_t>(Index)});
 
+  // Parse results and errors land in disjoint per-object slots; quarantine
+  // decisions (like dedup decisions) replay sequentially in corpus order, so
+  // the surviving set and the report are thread-count independent.
   std::vector<std::optional<wasm::Module>> Mods(Flat.size());
+  std::vector<std::optional<Error>> ParseErrors(Flat.size());
   std::vector<uint64_t> ExactHashes(Flat.size(), 0);
   std::vector<uint64_t> ApproxSignatures(Flat.size(), 0);
   Pool.parallelFor(0, Flat.size(), 1, [&](size_t Begin, size_t End) {
     for (size_t I = Begin; I < End; ++I) {
       // The pipeline consumes serialized bytes, as it would real binaries.
       Result<wasm::Module> Parsed = wasm::readModule(Flat[I].Object->Bytes);
-      assert(Parsed.isOk() && "corpus produced unreadable binary");
-      if (Parsed.isErr())
+      if (Parsed.isErr()) {
+        ParseErrors[I].emplace(Parsed.error().withContext(
+            "package " + std::to_string(Flat[I].PackageId) + "/obj" +
+            std::to_string(Flat[I].ObjectIndex)));
         continue;
+      }
       Mods[I].emplace(Parsed.take());
       if (Options.Deduplicate) {
         ExactHashes[I] = hashVector(Flat[I].Object->Bytes);
@@ -97,8 +117,13 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
     Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
     Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
     Out.Dedup.BytesBefore += Object.Bytes.size();
-    if (!Mods[I])
+    if (!Mods[I]) {
+      ++Out.Quarantine.ParseFailures;
+      Out.Quarantine.Entries.push_back(
+          {Flat[I].PackageId, Flat[I].ObjectIndex, "parse",
+           ParseErrors[I]->code(), ParseErrors[I]->message()});
       continue;
+    }
     if (Options.Deduplicate) {
       if (!SeenExact.insert(ExactHashes[I]).second) {
         ++Out.Dedup.ExactDuplicates;
@@ -113,22 +138,31 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   }
 
   std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptFlat.size());
+  std::vector<std::optional<Error>> DebugErrors(KeptFlat.size());
   Pool.parallelFor(0, KeptFlat.size(), 1, [&](size_t Begin, size_t End) {
     for (size_t K = Begin; K < End; ++K) {
-      Result<dwarf::DebugInfo> Debug =
-          dwarf::extractDebugInfo(*Mods[KeptFlat[K]]);
-      assert(Debug.isOk() && "corpus binary without debug info");
-      if (Debug.isErr())
+      size_t I = KeptFlat[K];
+      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(*Mods[I]);
+      if (Debug.isErr()) {
+        DebugErrors[K].emplace(Debug.error().withContext(
+            "package " + std::to_string(Flat[I].PackageId) + "/obj" +
+            std::to_string(Flat[I].ObjectIndex)));
         continue;
+      }
       Debugs[K].emplace(Debug.take());
     }
   });
 
   std::vector<KeptBinary> Kept;
   for (size_t K = 0; K < KeptFlat.size(); ++K) {
-    if (!Debugs[K])
-      continue;
     size_t I = KeptFlat[K];
+    if (!Debugs[K]) {
+      ++Out.Quarantine.DebugFailures;
+      Out.Quarantine.Entries.push_back(
+          {Flat[I].PackageId, Flat[I].ObjectIndex, "debug-info",
+           DebugErrors[K]->code(), DebugErrors[K]->message()});
+      continue;
+    }
     ++Out.Dedup.ObjectsAfter;
     Out.Dedup.FunctionsAfter += Mods[I]->Functions.size();
     Out.Dedup.InstructionsAfter += Mods[I]->countInstructions();

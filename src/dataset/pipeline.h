@@ -20,11 +20,13 @@
 
 #include "dataset/extract.h"
 #include "frontend/corpus.h"
+#include "support/result.h"
 #include "typelang/type.h"
 #include "typelang/vocab.h"
 #include "wasm/types.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace snowwhite {
@@ -57,6 +59,30 @@ struct TypeSample {
   std::vector<std::string> FieldTokens;
 };
 
+/// One corrupt module set aside by the pipeline instead of aborting it.
+struct QuarantineEntry {
+  uint32_t PackageId = 0;
+  uint32_t ObjectIndex = 0;   ///< Index within the package.
+  std::string Stage;          ///< Pipeline stage that rejected it.
+  ErrorCode Code = ErrorCode::Unknown;
+  std::string Message;        ///< Full context-chained error.
+};
+
+/// Graceful-degradation report: which inputs were skipped, where, and why.
+/// Ingestion of arbitrary binaries must never let one corrupt module abort
+/// the dataset build; the surviving set is bit-identical at any thread count
+/// because rejection decisions replay sequentially in corpus order.
+struct QuarantineReport {
+  uint64_t ParseFailures = 0;  ///< wasm::readModule rejected the bytes.
+  uint64_t DebugFailures = 0;  ///< DWARF sections missing or malformed.
+  std::vector<QuarantineEntry> Entries;
+
+  uint64_t total() const { return ParseFailures + DebugFailures; }
+  bool empty() const { return Entries.empty(); }
+  /// Human-readable multi-line summary ("stage counts + one line per entry").
+  std::string summary() const;
+};
+
 /// Size reduction achieved by deduplication (§5).
 struct DedupStats {
   uint64_t ObjectsBefore = 0, ObjectsAfter = 0;
@@ -72,6 +98,7 @@ struct Dataset {
   std::vector<uint32_t> Train, Valid, Test; ///< Indices into Samples.
   typelang::NameVocabulary Names;
   DedupStats Dedup;
+  QuarantineReport Quarantine;
   uint64_t FunctionsSkippedMismatch = 0;
   uint64_t SamplesDroppedByCap = 0;
   uint32_t NumPackages = 0;

@@ -100,6 +100,10 @@ DieRef DebugInfo::createDie(Tag T) {
 void DebugInfo::addChild(DieRef Parent, DieRef Child) {
   assert(Parent < Dies.size() && Child < Dies.size() && "bad DieRef");
   assert(Parent != Child && "DIE cannot be its own child");
+  // Defensive on builds without assertions: drop structurally impossible
+  // edges instead of corrupting the tree.
+  if (Parent >= Dies.size() || Child >= Dies.size() || Parent == Child)
+    return;
   Dies[Parent].Children.push_back(Child);
 }
 
@@ -172,11 +176,17 @@ bool DebugInfo::getFlag(DieRef D, Attr A) const {
 
 std::vector<DieRef> DebugInfo::subprograms() const {
   std::vector<DieRef> Result;
-  // DFS over the child tree from the root.
+  // DFS over the child tree from the root. The visited set makes the walk
+  // terminate even if the child graph is not a tree (hostile or buggy
+  // construction); each DIE is reported at most once.
+  std::vector<bool> Visited(Dies.size(), false);
   std::vector<DieRef> Stack = {root()};
   while (!Stack.empty()) {
     DieRef Current = Stack.back();
     Stack.pop_back();
+    if (Current >= Dies.size() || Visited[Current])
+      continue;
+    Visited[Current] = true;
     if (tag(Current) == Tag::Subprogram)
       Result.push_back(Current);
     const std::vector<DieRef> &Kids = children(Current);

@@ -176,6 +176,12 @@ DebugSections writeDebugSections(const DebugInfo &Info) {
 
 namespace {
 
+/// Maximum DIE tree depth the parser will recurse into. A hostile
+/// .debug_info can nest one DIE per ~4 bytes, so without a cap a megabyte of
+/// input drives the recursion tens of thousands of frames deep and overflows
+/// the thread stack. Real DWARF nests types a handful of levels.
+constexpr int MaxDieDepth = 256;
+
 /// Recursive-descent parser state for .debug_info.
 class InfoParser {
 public:
@@ -187,31 +193,40 @@ public:
   Result<void> run() {
     size_t Offset = 0;
     DieRef Root;
-    Result<void> Status = parseDie(Offset, /*IsRoot=*/true, Root);
+    Result<void> Status = parseDie(Offset, /*IsRoot=*/true, /*Depth=*/0, Root);
     if (Status.isErr())
-      return Status;
+      return Status.withContext(".debug_info");
     if (Offset != InfoBytes.size())
-      return Error("trailing bytes after root DIE");
+      return Error(ErrorCode::Malformed,
+                   ".debug_info: trailing bytes after root DIE");
     // Resolve raw ref offsets to DieRefs.
     for (auto &[D, Slot] : PendingRefs) {
       auto It = RefByOffset.find(Slot.second);
       if (It == RefByOffset.end())
-        return Error("DW_FORM_ref4 target offset not at a DIE boundary");
+        return Error(ErrorCode::Malformed,
+                     ".debug_info: DW_FORM_ref4 target offset " +
+                         std::to_string(Slot.second) +
+                         " not at a DIE boundary");
       Out.setRef(D, Slot.first, It->second);
     }
     return {};
   }
 
 private:
-  Result<void> parseDie(size_t &Offset, bool IsRoot, DieRef &NewRef) {
+  Result<void> parseDie(size_t &Offset, bool IsRoot, int Depth,
+                        DieRef &NewRef) {
+    if (Depth > MaxDieDepth)
+      return Error(ErrorCode::LimitExceeded,
+                   "DIE tree deeper than " + std::to_string(MaxDieDepth));
     size_t DieOffset = Offset;
+    auto At = [&]() { return " at offset " + std::to_string(DieOffset); };
     uint64_t TagValue;
     if (!decodeULEB128(InfoBytes, Offset, TagValue))
-      return Error("truncated DIE tag");
+      return Error(ErrorCode::Truncated, "truncated DIE tag" + At());
     Tag DieTag = static_cast<Tag>(TagValue);
     if (IsRoot) {
       if (DieTag != Tag::CompileUnit)
-        return Error("root DIE is not a compile unit");
+        return Error(ErrorCode::Malformed, "root DIE is not a compile unit");
       NewRef = Out.root();
     } else {
       NewRef = Out.createDie(DieTag);
@@ -219,34 +234,42 @@ private:
     RefByOffset.emplace(static_cast<uint32_t>(DieOffset), NewRef);
 
     if (Offset >= InfoBytes.size())
-      return Error("truncated hasChildren");
+      return Error(ErrorCode::Truncated, "truncated hasChildren" + At());
     uint8_t HasChildren = InfoBytes[Offset++];
 
     uint64_t NumAttrs;
     if (!decodeULEB128(InfoBytes, Offset, NumAttrs))
-      return Error("truncated attribute count");
+      return Error(ErrorCode::Truncated, "truncated attribute count" + At());
+    // Every attribute costs at least two bytes (code + form); an attribute
+    // count the remaining bytes cannot back is malformed, and rejecting it
+    // here keeps the loop bound by the input size.
+    if (NumAttrs > (InfoBytes.size() - Offset + 1) / 2)
+      return Error(ErrorCode::Malformed,
+                   "attribute count " + std::to_string(NumAttrs) +
+                       " exceeds remaining bytes" + At());
     for (uint64_t I = 0; I < NumAttrs; ++I) {
       uint64_t AttrValueCode;
       if (!decodeULEB128(InfoBytes, Offset, AttrValueCode))
-        return Error("truncated attribute code");
+        return Error(ErrorCode::Truncated, "truncated attribute code" + At());
       Attr A = static_cast<Attr>(AttrValueCode);
       if (Offset >= InfoBytes.size())
-        return Error("truncated form");
+        return Error(ErrorCode::Truncated, "truncated form" + At());
       uint8_t Form = InfoBytes[Offset++];
       switch (Form) {
       case FormUdata: {
         uint64_t Value;
         if (!decodeULEB128(InfoBytes, Offset, Value))
-          return Error("truncated udata");
+          return Error(ErrorCode::Truncated, "truncated udata" + At());
         Out.setUint(NewRef, A, Value);
         break;
       }
       case FormStrp: {
         uint32_t StrOffset;
         if (!readU32At(InfoBytes, Offset, StrOffset))
-          return Error("truncated strp");
+          return Error(ErrorCode::Truncated, "truncated strp" + At());
         if (StrOffset >= StrBytes.size())
-          return Error("strp offset past .debug_str");
+          return Error(ErrorCode::Malformed,
+                       "strp offset past .debug_str" + At());
         std::string Text;
         for (size_t P = StrOffset; P < StrBytes.size() && StrBytes[P]; ++P)
           Text += static_cast<char>(StrBytes[P]);
@@ -256,31 +279,34 @@ private:
       case FormRef4: {
         uint32_t Target;
         if (!readU32At(InfoBytes, Offset, Target))
-          return Error("truncated ref4");
+          return Error(ErrorCode::Truncated, "truncated ref4" + At());
         PendingRefs.emplace_back(NewRef, std::make_pair(A, Target));
         break;
       }
       case FormFlag: {
         if (Offset >= InfoBytes.size())
-          return Error("truncated flag");
+          return Error(ErrorCode::Truncated, "truncated flag" + At());
         Out.setFlag(NewRef, A, InfoBytes[Offset++] != 0);
         break;
       }
       default:
-        return Error("unknown attribute form");
+        return Error(ErrorCode::Unsupported, "unknown attribute form " +
+                                                 std::to_string(Form) + At());
       }
     }
 
     if (HasChildren) {
       while (true) {
         if (Offset >= InfoBytes.size())
-          return Error("missing null terminator in sibling chain");
+          return Error(ErrorCode::Truncated,
+                       "missing null terminator in sibling chain" + At());
         if (InfoBytes[Offset] == 0) {
           ++Offset;
           break;
         }
         DieRef Child;
-        Result<void> Status = parseDie(Offset, /*IsRoot=*/false, Child);
+        Result<void> Status =
+            parseDie(Offset, /*IsRoot=*/false, Depth + 1, Child);
         if (Status.isErr())
           return Status;
         Out.addChild(NewRef, Child);
@@ -317,10 +343,11 @@ void attachDebugInfo(const DebugInfo &Info, wasm::Module &M) {
 Result<DebugInfo> extractDebugInfo(const wasm::Module &M) {
   const wasm::CustomSection *InfoSection = M.findCustom(".debug_info");
   if (!InfoSection)
-    return Error("no .debug_info section (stripped binary?)");
+    return Error(ErrorCode::NotFound,
+                 "no .debug_info section (stripped binary?)");
   const wasm::CustomSection *StrSection = M.findCustom(".debug_str");
   if (!StrSection)
-    return Error("no .debug_str section");
+    return Error(ErrorCode::NotFound, "no .debug_str section");
   return readDebugSections(InfoSection->Bytes, StrSection->Bytes);
 }
 

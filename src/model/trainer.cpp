@@ -1,11 +1,15 @@
 #include "model/trainer.h"
 
+#include "support/io.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 namespace snowwhite {
 namespace model {
@@ -47,6 +51,184 @@ float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
   return static_cast<float>(Total / static_cast<double>(Batches));
 }
 
+// --- Checkpoint format ------------------------------------------------------
+//
+// Everything the training loop's future depends on, so a resumed run replays
+// the uninterrupted one bit-for-bit: weights + Adam moments + step count,
+// both RNG states (shuffle and the model's dropout-seeding RNG), the current
+// epoch's shuffle order and position, and the early-stopping state. Written
+// via io::writeFileChecksummed (atomic + content checksum).
+
+constexpr uint64_t CheckpointMagic = 0x534e4f57434b5054ULL; // "SNOWCKPT"
+constexpr uint64_t CheckpointVersion = 1;
+
+void appendU64(uint64_t Value, std::vector<uint8_t> &Out) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
+}
+
+void appendFloats(const std::vector<float> &Values, std::vector<uint8_t> &Out) {
+  size_t At = Out.size();
+  Out.resize(At + Values.size() * sizeof(float));
+  std::memcpy(Out.data() + At, Values.data(), Values.size() * sizeof(float));
+}
+
+void appendRngState(const Rng &R, std::vector<uint8_t> &Out) {
+  for (uint64_t Word : R.state())
+    appendU64(Word, Out);
+}
+
+class CkptReader {
+public:
+  explicit CkptReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readU64(uint64_t &Value) {
+    if (Bytes.size() - Offset < 8)
+      return false;
+    Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Value |= static_cast<uint64_t>(Bytes[Offset++]) << Shift;
+    return true;
+  }
+
+  bool readFloats(std::vector<float> &Values) {
+    size_t Size = Values.size() * sizeof(float);
+    if (Bytes.size() - Offset < Size)
+      return false;
+    std::memcpy(Values.data(), Bytes.data() + Offset, Size);
+    Offset += Size;
+    return true;
+  }
+
+  bool readRngState(Rng &R) {
+    std::array<uint64_t, 4> State;
+    for (uint64_t &Word : State)
+      if (!readU64(Word))
+        return false;
+    R.restoreState(State);
+    return true;
+  }
+
+  bool atEnd() const { return Offset == Bytes.size(); }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Offset = 0;
+};
+
+/// In-memory image of the resumable loop state (everything but the model and
+/// optimizer objects, which are restored in place).
+struct LoopState {
+  uint64_t Epoch = 0;
+  uint64_t NextBegin = 0; ///< First un-trained index into Order.
+  uint64_t BatchesRun = 0;
+  uint64_t StepCount = 0;
+  uint64_t ChecksWithoutImprovement = 0;
+  float BestLoss = std::numeric_limits<float>::infinity();
+  bool Stop = false;
+  bool HasBest = false;
+};
+
+std::vector<uint8_t> serializeCheckpoint(
+    const LoopState &State, const Rng &ShuffleRng, Seq2SeqModel &Model,
+    const std::vector<size_t> &Order,
+    const std::vector<std::vector<float>> &BestWeights) {
+  std::vector<uint8_t> Out;
+  appendU64(CheckpointMagic, Out);
+  appendU64(CheckpointVersion, Out);
+  appendU64(State.Epoch, Out);
+  appendU64(State.NextBegin, Out);
+  appendU64(State.BatchesRun, Out);
+  appendU64(State.StepCount, Out);
+  appendU64(State.ChecksWithoutImprovement, Out);
+  uint32_t LossBits = 0;
+  static_assert(sizeof(float) == 4, "unexpected float size");
+  std::memcpy(&LossBits, &State.BestLoss, sizeof(float));
+  appendU64(LossBits, Out);
+  appendU64(State.Stop ? 1 : 0, Out);
+  appendU64(State.HasBest ? 1 : 0, Out);
+  appendRngState(ShuffleRng, Out);
+  appendRngState(Model.modelRng(), Out);
+  appendU64(Order.size(), Out);
+  for (size_t Index : Order)
+    appendU64(Index, Out);
+  std::vector<Parameter *> Params = Model.parameters();
+  appendU64(Params.size(), Out);
+  for (const Parameter *P : Params) {
+    appendFloats(P->Value, Out);
+    appendFloats(P->AdamM, Out);
+    appendFloats(P->AdamV, Out);
+  }
+  if (State.HasBest)
+    for (const std::vector<float> &W : BestWeights)
+      appendFloats(W, Out);
+  return Out;
+}
+
+Result<void> deserializeCheckpoint(const std::vector<uint8_t> &Bytes,
+                                   LoopState &State, Rng &ShuffleRng,
+                                   Seq2SeqModel &Model,
+                                   std::vector<size_t> &Order,
+                                   std::vector<std::vector<float>> &BestWeights) {
+  CkptReader In(Bytes);
+  uint64_t Value;
+  if (!In.readU64(Value) || Value != CheckpointMagic)
+    return Error(ErrorCode::Malformed, "bad checkpoint magic");
+  if (!In.readU64(Value) || Value != CheckpointVersion)
+    return Error(ErrorCode::Unsupported, "unknown checkpoint version");
+  auto Truncated = [] {
+    return Error(ErrorCode::Truncated, "truncated checkpoint");
+  };
+  if (!In.readU64(State.Epoch) || !In.readU64(State.NextBegin) ||
+      !In.readU64(State.BatchesRun) || !In.readU64(State.StepCount) ||
+      !In.readU64(State.ChecksWithoutImprovement))
+    return Truncated();
+  if (!In.readU64(Value))
+    return Truncated();
+  uint32_t LossBits = static_cast<uint32_t>(Value);
+  std::memcpy(&State.BestLoss, &LossBits, sizeof(float));
+  if (!In.readU64(Value))
+    return Truncated();
+  State.Stop = Value != 0;
+  if (!In.readU64(Value))
+    return Truncated();
+  State.HasBest = Value != 0;
+  if (!In.readRngState(ShuffleRng) || !In.readRngState(Model.modelRng()))
+    return Truncated();
+  if (!In.readU64(Value))
+    return Truncated();
+  if (Value != Order.size())
+    return Error(ErrorCode::Malformed,
+                 "checkpoint shuffle order is for a different dataset size");
+  for (size_t &Index : Order) {
+    uint64_t Raw;
+    if (!In.readU64(Raw))
+      return Truncated();
+    if (Raw >= Order.size())
+      return Error(ErrorCode::Malformed,
+                   "checkpoint shuffle order index out of range");
+    Index = Raw;
+  }
+  std::vector<Parameter *> Params = Model.parameters();
+  if (!In.readU64(Value) || Value != Params.size())
+    return Error(ErrorCode::Malformed, "checkpoint parameter count mismatch");
+  for (Parameter *P : Params)
+    if (!In.readFloats(P->Value) || !In.readFloats(P->AdamM) ||
+        !In.readFloats(P->AdamV))
+      return Truncated();
+  BestWeights.clear();
+  if (State.HasBest) {
+    for (Parameter *P : Params) {
+      BestWeights.emplace_back(P->Value.size());
+      if (!In.readFloats(BestWeights.back()))
+        return Truncated();
+    }
+  }
+  if (!In.atEnd())
+    return Error(ErrorCode::Malformed, "trailing bytes after checkpoint data");
+  return {};
+}
+
 } // namespace
 
 TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
@@ -82,15 +264,43 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
   size_t CheckEvery = std::max<size_t>(
       1, BatchesPerEpoch / std::max<size_t>(1, Options.ChecksPerEpoch));
 
-  float BestLoss = std::numeric_limits<float>::infinity();
+  LoopState State;
   std::vector<std::vector<float>> BestWeights;
-  size_t ChecksWithoutImprovement = 0;
-  bool Stop = false;
+
+  const bool Checkpointing =
+      !Options.CheckpointPath.empty() && Options.CheckpointEveryBatches > 0;
+  bool Resumed = false;
+  if (Options.Resume && !Options.CheckpointPath.empty()) {
+    Result<std::vector<uint8_t>> Bytes =
+        io::readFileChecksummed(Options.CheckpointPath, Options.Faults);
+    if (Bytes.isOk()) {
+      Result<void> Restored = deserializeCheckpoint(
+          *Bytes, State, ShuffleRng, *Out.Model, Order, BestWeights);
+      if (Restored.isOk()) {
+        Optimizer.setStepCount(State.StepCount);
+        Out.BatchesRun = State.BatchesRun;
+        Resumed = true;
+        if (Options.Verbose)
+          std::fprintf(stderr,
+                       "  [resume] epoch %llu batch %llu from '%s'\n",
+                       static_cast<unsigned long long>(State.Epoch),
+                       static_cast<unsigned long long>(State.BatchesRun),
+                       Options.CheckpointPath.c_str());
+      } else if (Options.Verbose) {
+        std::fprintf(stderr, "  [resume] ignoring checkpoint: %s\n",
+                     Restored.error().message().c_str());
+      }
+    } else if (Options.Verbose) {
+      std::fprintf(stderr, "  [resume] no usable checkpoint: %s\n",
+                   Bytes.error().message().c_str());
+    }
+  }
 
   auto Snapshot = [&] {
     BestWeights.clear();
     for (Parameter *P : Out.Model->parameters())
       BestWeights.push_back(P->Value);
+    State.HasBest = true;
   };
   auto Restore = [&] {
     if (BestWeights.empty())
@@ -99,11 +309,43 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
     for (size_t I = 0; I < Params.size(); ++I)
       Params[I]->Value = BestWeights[I];
   };
+  auto WriteCheckpoint = [&]() -> Result<void> {
+    State.StepCount = Optimizer.stepCount();
+    State.BatchesRun = Out.BatchesRun;
+    return io::writeFileChecksummed(
+               Options.CheckpointPath,
+               serializeCheckpoint(State, ShuffleRng, *Out.Model, Order,
+                                   BestWeights),
+               Options.Faults)
+        .withContext("checkpoint '" + Options.CheckpointPath + "'");
+  };
 
-  for (size_t Epoch = 0; Epoch < Options.MaxEpochs && !Stop; ++Epoch) {
-    ShuffleRng.shuffle(Order);
-    for (size_t Begin = 0; Begin < Order.size() && !Stop;
-         Begin += Options.BatchSize) {
+  // A checkpoint taken after the epoch's last batch resumes at the start of
+  // the next epoch (whose shuffle has not happened yet).
+  size_t StartEpoch = static_cast<size_t>(State.Epoch);
+  size_t StartBegin = static_cast<size_t>(State.NextBegin);
+  bool SkipFirstShuffle = Resumed;
+  if (Resumed && StartBegin >= Order.size()) {
+    ++StartEpoch;
+    StartBegin = 0;
+    SkipFirstShuffle = false;
+  }
+
+  for (size_t Epoch = StartEpoch; Epoch < Options.MaxEpochs && !State.Stop;
+       ++Epoch) {
+    if (SkipFirstShuffle)
+      SkipFirstShuffle = false; // Resumed mid-epoch: Order is the saved one.
+    else
+      ShuffleRng.shuffle(Order);
+    for (size_t Begin = Epoch == StartEpoch ? StartBegin : 0;
+         Begin < Order.size() && !State.Stop; Begin += Options.BatchSize) {
+      if (Options.Faults && Options.Faults->tick()) {
+        Out.Interrupted = true; // Simulated hard crash between batches.
+        Out.TrainSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - StartTime)
+                               .count();
+        return Out;
+      }
       size_t End = std::min(Begin + Options.BatchSize, Order.size());
       std::vector<std::vector<uint32_t>> Sources, Targets;
       for (size_t I = Begin; I < End; ++I) {
@@ -122,26 +364,36 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
                                          Options.BatchSize);
         if (Options.Verbose)
           std::fprintf(stderr, "  [valid] batch %zu loss %.4f (best %.4f)\n",
-                       Out.BatchesRun, ValidLoss, BestLoss);
-        if (ValidLoss < BestLoss) {
-          BestLoss = ValidLoss;
+                       Out.BatchesRun, ValidLoss, State.BestLoss);
+        if (ValidLoss < State.BestLoss) {
+          State.BestLoss = ValidLoss;
           Snapshot();
-          ChecksWithoutImprovement = 0;
-        } else if (++ChecksWithoutImprovement >= Options.Patience) {
-          Stop = true; // Early stopping: validation loss regressed.
+          State.ChecksWithoutImprovement = 0;
+        } else if (++State.ChecksWithoutImprovement >= Options.Patience) {
+          State.Stop = true; // Early stopping: validation loss regressed.
         }
+      }
+
+      if (Checkpointing &&
+          Out.BatchesRun % Options.CheckpointEveryBatches == 0) {
+        State.Epoch = Epoch;
+        State.NextBegin = Begin + Options.BatchSize;
+        Result<void> Written = WriteCheckpoint();
+        if (Written.isErr() && Options.Verbose)
+          std::fprintf(stderr, "  [ckpt] %s\n",
+                       Written.error().message().c_str());
       }
     }
   }
   // Final check in case the last batches improved.
   float FinalLoss = validationLoss(*Out.Model, TrainTask,
                                    Options.MaxValidSamples, Options.BatchSize);
-  if (FinalLoss < BestLoss) {
-    BestLoss = FinalLoss;
+  if (FinalLoss < State.BestLoss) {
+    State.BestLoss = FinalLoss;
     Snapshot();
   }
   Restore();
-  Out.BestValidLoss = BestLoss;
+  Out.BestValidLoss = State.BestLoss;
   Out.TrainSeconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - StartTime)
                          .count();

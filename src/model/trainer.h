@@ -5,8 +5,10 @@
 
 #include "model/task.h"
 #include "nn/seq2seq.h"
+#include "support/fault.h"
 
 #include <memory>
+#include <string>
 
 namespace snowwhite {
 namespace model {
@@ -30,6 +32,20 @@ struct TrainOptions {
   size_t MaxValidSamples = 256;
   uint64_t Seed = 1234;
   bool Verbose = false;
+
+  /// Crash safety. When CheckpointPath is set and CheckpointEveryBatches > 0,
+  /// the full training state (weights, Adam moments + step count, both RNG
+  /// states, the epoch's shuffle order, early-stopping state) is written
+  /// there atomically every N batches. With Resume set, a valid checkpoint at
+  /// that path is restored first and the run continues exactly where it left
+  /// off; the final model is bit-identical to the uninterrupted run.
+  std::string CheckpointPath;
+  size_t CheckpointEveryBatches = 0;
+  bool Resume = false;
+  /// Optional fault injector: its tick() simulates a hard crash between
+  /// batches, and injected transient I/O errors exercise the checkpoint
+  /// retry path. Not owned.
+  fault::FaultInjector *Faults = nullptr;
 };
 
 /// Result of a training run.
@@ -38,6 +54,9 @@ struct TrainResult {
   float BestValidLoss = 0.0f;
   size_t BatchesRun = 0;
   double TrainSeconds = 0.0;
+  /// True when the fault injector simulated a crash before training finished
+  /// (the model holds the state as of the crash; resume from the checkpoint).
+  bool Interrupted = false;
 };
 
 /// Trains a fresh model on Task's training split.

@@ -87,6 +87,11 @@ public:
 
   void setLearningRate(float NewRate) { LearningRate = NewRate; }
 
+  /// Adam's bias-correction step counter. Exposed so checkpoints can capture
+  /// and restore it for bit-identical resume.
+  uint64_t stepCount() const { return StepCount; }
+  void setStepCount(uint64_t Count) { StepCount = Count; }
+
 private:
   std::vector<Parameter *> Parameters;
   float LearningRate, Beta1, Beta2, Epsilon;

@@ -1,6 +1,7 @@
 #include "nn/seq2seq.h"
 
 #include "support/hash.h"
+#include "support/io.h"
 #include "support/thread_pool.h"
 
 #include <algorithm>
@@ -380,100 +381,139 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
 
 namespace {
 
-void writeU64(FILE *File, uint64_t Value) {
-  fwrite(&Value, sizeof(Value), 1, File);
+constexpr uint64_t ModelMagic = 0x534e4f574d4f444cULL; // "SNOWMODL"
+
+void appendU64(uint64_t Value, std::vector<uint8_t> &Out) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
 }
 
-bool readU64(FILE *File, uint64_t &Value) {
-  return fread(&Value, sizeof(Value), 1, File) == 1;
+void appendFloats(const std::vector<float> &Values, std::vector<uint8_t> &Out) {
+  size_t At = Out.size();
+  Out.resize(At + Values.size() * sizeof(float));
+  std::memcpy(Out.data() + At, Values.data(), Values.size() * sizeof(float));
 }
+
+/// Bounds-checked little-endian reader over a serialized model buffer.
+class BufReader {
+public:
+  explicit BufReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readU64(uint64_t &Value) {
+    if (Bytes.size() - Offset < 8)
+      return false;
+    Value = 0;
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Value |= static_cast<uint64_t>(Bytes[Offset++]) << Shift;
+    return true;
+  }
+
+  bool readFloats(std::vector<float> &Values) {
+    size_t Size = Values.size() * sizeof(float);
+    if (Bytes.size() - Offset < Size)
+      return false;
+    std::memcpy(Values.data(), Bytes.data() + Offset, Size);
+    Offset += Size;
+    return true;
+  }
+
+  bool atEnd() const { return Offset == Bytes.size(); }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Offset = 0;
+};
 
 } // namespace
 
-Result<void> Seq2SeqModel::save(const std::string &Path) const {
-  FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File)
-    return Error("cannot open '" + Path + "' for writing");
-  const uint64_t Magic = 0x534e4f574d4f444cULL; // "SNOWMODL"
-  writeU64(File, Magic);
-  writeU64(File, Config.SrcVocabSize);
-  writeU64(File, Config.TgtVocabSize);
-  writeU64(File, Config.EmbedDim);
-  writeU64(File, Config.HiddenDim);
-  writeU64(File, Config.MaxSrcLen);
-  writeU64(File, Config.MaxTgtLen);
-  writeU64(File, Config.Seed);
+std::vector<uint8_t> Seq2SeqModel::serialize() const {
+  std::vector<uint8_t> Out;
+  appendU64(ModelMagic, Out);
+  appendU64(Config.SrcVocabSize, Out);
+  appendU64(Config.TgtVocabSize, Out);
+  appendU64(Config.EmbedDim, Out);
+  appendU64(Config.HiddenDim, Out);
+  appendU64(Config.MaxSrcLen, Out);
+  appendU64(Config.MaxTgtLen, Out);
+  appendU64(Config.Seed, Out);
   uint64_t DropoutBits = 0;
   static_assert(sizeof(float) == 4, "unexpected float size");
   std::memcpy(&DropoutBits, &Config.DropoutRate, sizeof(float));
-  writeU64(File, DropoutBits);
+  appendU64(DropoutBits, Out);
 
   std::vector<Parameter *> Params =
       const_cast<Seq2SeqModel *>(this)->parameters();
-  writeU64(File, Params.size());
+  appendU64(Params.size(), Out);
   for (const Parameter *P : Params) {
-    writeU64(File, P->Rows);
-    writeU64(File, P->Cols);
-    fwrite(P->Value.data(), sizeof(float), P->Value.size(), File);
+    appendU64(P->Rows, Out);
+    appendU64(P->Cols, Out);
+    appendFloats(P->Value, Out);
   }
-  std::fclose(File);
-  return {};
+  return Out;
 }
 
-Result<Seq2SeqModel> Seq2SeqModel::load(const std::string &Path) {
-  FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
-    return Error("cannot open '" + Path + "' for reading");
-  auto Fail = [&](const char *Message) -> Result<Seq2SeqModel> {
-    std::fclose(File);
-    return Error(Message);
-  };
+Result<Seq2SeqModel> Seq2SeqModel::deserialize(
+    const std::vector<uint8_t> &Bytes) {
+  BufReader In(Bytes);
   uint64_t Magic;
-  if (!readU64(File, Magic) || Magic != 0x534e4f574d4f444cULL)
-    return Fail("bad model file magic");
+  if (!In.readU64(Magic))
+    return Error(ErrorCode::Truncated, "model buffer shorter than its magic");
+  if (Magic != ModelMagic)
+    return Error(ErrorCode::Malformed, "bad model file magic");
   Seq2SeqConfig Config;
   uint64_t Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.SrcVocabSize = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.TgtVocabSize = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.EmbedDim = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.HiddenDim = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.MaxSrcLen = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.MaxTgtLen = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
-  Config.Seed = Value;
-  if (!readU64(File, Value))
-    return Fail("truncated config");
+  auto ReadField = [&](size_t &Field) {
+    if (!In.readU64(Value))
+      return false;
+    Field = Value;
+    return true;
+  };
+  if (!ReadField(Config.SrcVocabSize) || !ReadField(Config.TgtVocabSize) ||
+      !ReadField(Config.EmbedDim) || !ReadField(Config.HiddenDim) ||
+      !ReadField(Config.MaxSrcLen) || !ReadField(Config.MaxTgtLen))
+    return Error(ErrorCode::Truncated, "truncated model config");
+  if (!In.readU64(Config.Seed))
+    return Error(ErrorCode::Truncated, "truncated model config");
+  if (!In.readU64(Value))
+    return Error(ErrorCode::Truncated, "truncated model config");
   std::memcpy(&Config.DropoutRate, &Value, sizeof(float));
+  // Counts drive allocations in the constructor; bound them so a corrupt
+  // header cannot OOM.
+  constexpr uint64_t MaxDim = 1u << 24;
+  if (Config.SrcVocabSize > MaxDim || Config.TgtVocabSize > MaxDim ||
+      Config.EmbedDim > MaxDim || Config.HiddenDim > MaxDim ||
+      Config.MaxSrcLen > MaxDim || Config.MaxTgtLen > MaxDim)
+    return Error(ErrorCode::LimitExceeded,
+                 "model config dimension exceeds sanity bound");
 
   Seq2SeqModel Model(Config);
   std::vector<Parameter *> Params = Model.parameters();
   uint64_t NumParams;
-  if (!readU64(File, NumParams) || NumParams != Params.size())
-    return Fail("parameter count mismatch");
+  if (!In.readU64(NumParams) || NumParams != Params.size())
+    return Error(ErrorCode::Malformed, "parameter count mismatch");
   for (Parameter *P : Params) {
     uint64_t Rows, Cols;
-    if (!readU64(File, Rows) || !readU64(File, Cols) || Rows != P->Rows ||
+    if (!In.readU64(Rows) || !In.readU64(Cols) || Rows != P->Rows ||
         Cols != P->Cols)
-      return Fail("parameter shape mismatch");
-    if (fread(P->Value.data(), sizeof(float), P->Value.size(), File) !=
-        P->Value.size())
-      return Fail("truncated parameter data");
+      return Error(ErrorCode::Malformed, "parameter shape mismatch");
+    if (!In.readFloats(P->Value))
+      return Error(ErrorCode::Truncated, "truncated parameter data");
   }
-  std::fclose(File);
+  if (!In.atEnd())
+    return Error(ErrorCode::Malformed, "trailing bytes after model data");
   return Model;
+}
+
+Result<void> Seq2SeqModel::save(const std::string &Path) const {
+  return io::writeFileChecksummed(Path, serialize())
+      .withContext("saving model to '" + Path + "'");
+}
+
+Result<Seq2SeqModel> Seq2SeqModel::load(const std::string &Path) {
+  Result<std::vector<uint8_t>> Bytes = io::readFileChecksummed(Path);
+  if (Bytes.isErr())
+    return Bytes.error().withContext("loading model from '" + Path + "'");
+  return deserialize(*Bytes).withContext("loading model from '" + Path + "'");
 }
 
 } // namespace nn

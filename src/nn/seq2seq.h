@@ -77,7 +77,19 @@ public:
   std::vector<Parameter *> parameters();
   size_t numParameters();
 
-  /// Binary serialization (config + all weights).
+  /// The model's internal RNG (one draw per training batch seeds the
+  /// dropout streams). Exposed so checkpoints can capture and restore it for
+  /// bit-identical resume.
+  Rng &modelRng() { return ModelRng; }
+
+  /// Serializes config + all weights into a byte buffer (no I/O).
+  std::vector<uint8_t> serialize() const;
+  /// Rebuilds a model from serialize() output. Errors: Truncated/Malformed.
+  static Result<Seq2SeqModel> deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Binary serialization (config + all weights) to disk. The write is
+  /// atomic (temp + rename) and carries a content checksum; load verifies
+  /// the checksum (ChecksumMismatch on corruption) before deserializing.
   Result<void> save(const std::string &Path) const;
   static Result<Seq2SeqModel> load(const std::string &Path);
 

@@ -1,0 +1,107 @@
+#include "support/fault.h"
+
+#include <algorithm>
+
+namespace snowwhite {
+namespace fault {
+
+const char *mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::BitFlip:
+    return "bit-flip";
+  case MutationKind::ByteSet:
+    return "byte-set";
+  case MutationKind::Truncate:
+    return "truncate";
+  case MutationKind::DuplicateSlice:
+    return "duplicate-slice";
+  case MutationKind::InsertBytes:
+    return "insert-bytes";
+  case MutationKind::OversizeLeb:
+    return "oversize-leb";
+  }
+  return "unknown";
+}
+
+std::vector<MutationKind> FaultInjector::corrupt(std::vector<uint8_t> &Bytes) {
+  std::vector<MutationKind> Applied;
+  if (Bytes.empty())
+    return Applied;
+  size_t Count = 1 + static_cast<size_t>(R.nextBelow(
+                         std::max<size_t>(1, Config.MaxMutations)));
+  for (size_t I = 0; I < Count && !Bytes.empty(); ++I) {
+    MutationKind Kind = static_cast<MutationKind>(R.nextBelow(6));
+    switch (Kind) {
+    case MutationKind::BitFlip: {
+      size_t At = static_cast<size_t>(R.nextBelow(Bytes.size()));
+      Bytes[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
+      break;
+    }
+    case MutationKind::ByteSet: {
+      size_t At = static_cast<size_t>(R.nextBelow(Bytes.size()));
+      Bytes[At] = static_cast<uint8_t>(R.nextBelow(256));
+      break;
+    }
+    case MutationKind::Truncate: {
+      // Keep at least one byte so later mutations have something to chew on.
+      size_t NewSize = 1 + static_cast<size_t>(R.nextBelow(Bytes.size()));
+      Bytes.resize(NewSize);
+      break;
+    }
+    case MutationKind::DuplicateSlice: {
+      size_t Begin = static_cast<size_t>(R.nextBelow(Bytes.size()));
+      size_t MaxLen = std::min<size_t>(Bytes.size() - Begin, 64);
+      size_t Len = 1 + static_cast<size_t>(R.nextBelow(MaxLen));
+      std::vector<uint8_t> Slice(Bytes.begin() + Begin,
+                                 Bytes.begin() + Begin + Len);
+      size_t At = static_cast<size_t>(R.nextBelow(Bytes.size() + 1));
+      Bytes.insert(Bytes.begin() + At, Slice.begin(), Slice.end());
+      break;
+    }
+    case MutationKind::InsertBytes: {
+      size_t Len = 1 + static_cast<size_t>(R.nextBelow(32));
+      std::vector<uint8_t> Garbage(Len);
+      for (uint8_t &B : Garbage)
+        B = static_cast<uint8_t>(R.nextBelow(256));
+      size_t At = static_cast<size_t>(R.nextBelow(Bytes.size() + 1));
+      Bytes.insert(Bytes.begin() + At, Garbage.begin(), Garbage.end());
+      break;
+    }
+    case MutationKind::OversizeLeb: {
+      // 0xff has the continuation bit set and all payload bits on — landing
+      // on a count encodes a huge value, the classic allocation bomb.
+      size_t At = static_cast<size_t>(R.nextBelow(Bytes.size()));
+      Bytes[At] = 0xff;
+      break;
+    }
+    }
+    Applied.push_back(Kind);
+  }
+  return Applied;
+}
+
+Result<void> retryWithBackoff(const RetryPolicy &Policy,
+                              const std::function<Result<void>()> &Op,
+                              uint64_t *BackoffSpentMicros) {
+  double Backoff = static_cast<double>(Policy.InitialBackoffMicros);
+  size_t Attempts = std::max<size_t>(1, Policy.MaxAttempts);
+  for (size_t Attempt = 1;; ++Attempt) {
+    Result<void> Status = Op();
+    if (Status.isOk() || Status.error().code() != ErrorCode::IoTransient ||
+        Attempt >= Attempts)
+      return Status;
+    if (BackoffSpentMicros)
+      *BackoffSpentMicros += static_cast<uint64_t>(Backoff);
+    Backoff *= Policy.BackoffMultiplier;
+  }
+}
+
+namespace {
+FaultInjector *GlobalInjector = nullptr;
+} // namespace
+
+FaultInjector *globalInjector() { return GlobalInjector; }
+void setGlobalInjector(FaultInjector *Injector) { GlobalInjector = Injector; }
+
+} // namespace fault
+} // namespace snowwhite

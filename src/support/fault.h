@@ -1,0 +1,111 @@
+//===- support/fault.h - Deterministic fault injection ---------------------===//
+//
+// Robustness testing needs hostile conditions on demand: corrupted input
+// bytes, transient I/O failures, and mid-run crashes. FaultInjector produces
+// all three deterministically from a seed, so every failure a test provokes
+// can be replayed exactly. Production code paths consult an injector only
+// when one is installed; with none present they pay a single branch.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_FAULT_H
+#define SNOWWHITE_SUPPORT_FAULT_H
+
+#include "support/result.h"
+#include "support/rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace snowwhite {
+namespace fault {
+
+/// One way corrupt() can damage a byte buffer. The menu mirrors how real
+/// binaries break in the wild: bit rot, truncated downloads, duplicated or
+/// padded sections, and counts inflated past the data that backs them.
+enum class MutationKind : uint8_t {
+  BitFlip,        ///< Flip one bit of one byte.
+  ByteSet,        ///< Overwrite one byte with a random value.
+  Truncate,       ///< Drop a random-length tail.
+  DuplicateSlice, ///< Re-insert a copy of a random slice (duplicated section).
+  InsertBytes,    ///< Splice in random garbage (oversized section).
+  OversizeLeb,    ///< Overwrite a byte with 0xff, inflating a LEB count.
+};
+
+const char *mutationKindName(MutationKind Kind);
+
+struct FaultConfig {
+  uint64_t Seed = 0;
+  /// Probability that a single injectIoFailure() call reports a transient
+  /// I/O error.
+  double IoFailureRate = 0.0;
+  /// When nonzero, tick() fires (returns true) once, on this tick number.
+  /// Trainers poll tick() per batch to simulate a kill -9.
+  uint64_t CrashAtTick = 0;
+  /// Mutations applied per corrupt() call, uniform in [1, MaxMutations].
+  size_t MaxMutations = 4;
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultConfig &Config = {})
+      : Config(Config), R(Config.Seed ^ 0xfa017fa017fa017fULL) {}
+
+  const FaultConfig &config() const { return Config; }
+
+  /// Deterministically corrupts Bytes in place and returns the mutations
+  /// applied. Never leaves Bytes empty unless it started empty.
+  std::vector<MutationKind> corrupt(std::vector<uint8_t> &Bytes);
+
+  /// True when the I/O operation at this call site should fail transiently.
+  bool injectIoFailure() {
+    return Config.IoFailureRate > 0.0 && R.nextBool(Config.IoFailureRate);
+  }
+
+  /// Advances the crash clock; returns true exactly once, when the
+  /// configured crash tick is reached.
+  bool tick() {
+    ++Ticks;
+    if (Crashed || Config.CrashAtTick == 0 || Ticks < Config.CrashAtTick)
+      return false;
+    Crashed = true;
+    return true;
+  }
+
+  uint64_t ticks() const { return Ticks; }
+  bool crashed() const { return Crashed; }
+
+private:
+  FaultConfig Config;
+  Rng R;
+  uint64_t Ticks = 0;
+  bool Crashed = false;
+};
+
+/// Deterministic retry policy for transient I/O errors. Backoff is purely
+/// virtual (accounted, never slept) so tests that exercise the retry path
+/// stay fast while still verifying the schedule.
+struct RetryPolicy {
+  size_t MaxAttempts = 3;
+  uint64_t InitialBackoffMicros = 100;
+  double BackoffMultiplier = 2.0;
+};
+
+/// Runs Op up to Policy.MaxAttempts times, retrying only while the failure
+/// code is IoTransient. Accumulates the virtual backoff spent into
+/// *BackoffSpentMicros when non-null. Returns the final attempt's Result.
+Result<void> retryWithBackoff(const RetryPolicy &Policy,
+                              const std::function<Result<void>()> &Op,
+                              uint64_t *BackoffSpentMicros = nullptr);
+
+/// Process-wide injector consulted by I/O helpers that have no injection
+/// parameter of their own (model save/load). Null means no faults. Tests
+/// install one single-threaded before driving the code under test.
+FaultInjector *globalInjector();
+void setGlobalInjector(FaultInjector *Injector);
+
+} // namespace fault
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_FAULT_H

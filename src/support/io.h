@@ -1,0 +1,61 @@
+//===- support/io.h - Checked, crash-safe file I/O -------------------------===//
+//
+// All on-disk artifacts (models, checkpoints) go through these helpers:
+//
+//  * writeFileAtomic: write-temp-then-rename, so readers never observe a
+//    half-written file and a crash mid-write leaves the previous version
+//    intact.
+//  * The *Checksummed variants append/verify an 8-byte FNV-1a trailer, so a
+//    torn or bit-rotted file is detected at load time (ChecksumMismatch)
+//    instead of silently deserializing garbage.
+//
+// Every helper consults an optional FaultInjector (explicit argument, else
+// the process-global one) so tests can inject transient I/O failures; writes
+// retry those under a deterministic backoff policy.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_IO_H
+#define SNOWWHITE_SUPPORT_IO_H
+
+#include "support/fault.h"
+#include "support/result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace io {
+
+/// Reads the whole file. Errors: IoError (missing/unreadable), IoTransient
+/// (injected).
+Result<std::vector<uint8_t>>
+readFileBytes(const std::string &Path,
+              fault::FaultInjector *Faults = nullptr);
+
+/// Writes Bytes to Path atomically: the content lands in "<Path>.tmp" and is
+/// renamed over Path only once fully flushed. Injected transient failures
+/// are retried per Policy.
+Result<void> writeFileAtomic(const std::string &Path,
+                             const std::vector<uint8_t> &Bytes,
+                             fault::FaultInjector *Faults = nullptr,
+                             const fault::RetryPolicy &Policy = {});
+
+/// writeFileAtomic with an 8-byte FNV-1a checksum trailer appended.
+Result<void> writeFileChecksummed(const std::string &Path,
+                                  const std::vector<uint8_t> &Bytes,
+                                  fault::FaultInjector *Faults = nullptr,
+                                  const fault::RetryPolicy &Policy = {});
+
+/// Reads a checksummed file, verifies the trailer, and returns the payload
+/// without it. Errors: ChecksumMismatch, Truncated (shorter than a trailer),
+/// plus readFileBytes' codes.
+Result<std::vector<uint8_t>>
+readFileChecksummed(const std::string &Path,
+                    fault::FaultInjector *Faults = nullptr);
+
+} // namespace io
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_IO_H

@@ -2,7 +2,9 @@
 //
 // Library code does not use exceptions (LLVM coding standards). Fallible
 // operations return Result<T>, which holds either a value or an Error with a
-// human-readable message.
+// machine-readable code and a human-readable message. Errors can be chained
+// with context as they propagate, so a failure deep in a parser reads like
+// "package p17/mod3: code section: func 12: truncated body".
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,16 +18,67 @@
 
 namespace snowwhite {
 
+/// Failure taxonomy. Consumers branch on the code (e.g. retry IoTransient,
+/// quarantine Malformed); the message is for humans only.
+enum class ErrorCode : uint8_t {
+  Unknown = 0,
+  Truncated,        ///< Input ended before a complete encoding.
+  Malformed,        ///< Structurally invalid input (bad magic, bad form, ...).
+  LimitExceeded,    ///< Input is well-formed but exceeds a hard resource cap.
+  Unsupported,      ///< Valid input using a feature this subset rejects.
+  NotFound,         ///< A required section/entity is absent.
+  IoError,          ///< Permanent I/O failure (missing file, full disk, ...).
+  IoTransient,      ///< I/O failure that a retry may resolve.
+  ChecksumMismatch, ///< Stored checksum disagrees with the content.
+};
+
+const char *errorCodeName(ErrorCode Code);
+
 /// A failure description carried by Result<T>.
 class Error {
 public:
-  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  explicit Error(std::string Message)
+      : Code(ErrorCode::Unknown), Message(std::move(Message)) {}
+  Error(ErrorCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
 
+  ErrorCode code() const { return Code; }
   const std::string &message() const { return Message; }
 
+  /// Returns a copy with Context prepended ("context: message"), preserving
+  /// the code. Chain at each layer that knows where it is.
+  Error withContext(const std::string &Context) const {
+    return Error(Code, Context + ": " + Message);
+  }
+
 private:
+  ErrorCode Code;
   std::string Message;
 };
+
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Unknown:
+    return "unknown";
+  case ErrorCode::Truncated:
+    return "truncated";
+  case ErrorCode::Malformed:
+    return "malformed";
+  case ErrorCode::LimitExceeded:
+    return "limit-exceeded";
+  case ErrorCode::Unsupported:
+    return "unsupported";
+  case ErrorCode::NotFound:
+    return "not-found";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::IoTransient:
+    return "io-transient";
+  case ErrorCode::ChecksumMismatch:
+    return "checksum-mismatch";
+  }
+  return "invalid-code";
+}
 
 /// Either a value of type T or an Error. Inspect with isOk()/isErr() before
 /// dereferencing.
@@ -64,6 +117,18 @@ public:
     return std::move(std::get<T>(Storage));
   }
 
+  /// Passes a success through unchanged; prepends Context to an error.
+  Result<T> withContext(const std::string &Context) && {
+    if (isOk())
+      return std::move(*this);
+    return error().withContext(Context);
+  }
+  Result<T> withContext(const std::string &Context) const & {
+    if (isOk())
+      return *this;
+    return error().withContext(Context);
+  }
+
 private:
   std::variant<T, Error> Storage;
 };
@@ -80,6 +145,13 @@ public:
   const Error &error() const {
     assert(isErr() && "Result::error() on success");
     return Err;
+  }
+
+  /// Passes a success through unchanged; prepends Context to an error.
+  Result<void> withContext(const std::string &Context) const {
+    if (isOk())
+      return {};
+    return Err.withContext(Context);
   }
 
 private:

@@ -10,6 +10,7 @@
 #ifndef SNOWWHITE_SUPPORT_RNG_H
 #define SNOWWHITE_SUPPORT_RNG_H
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -70,6 +71,16 @@ public:
   /// Derives an independent generator; useful for giving each synthetic
   /// package its own stream without coupling to generation order.
   Rng fork();
+
+  /// Raw engine state, for checkpointing. restoreState(state()) reproduces
+  /// the exact remaining sequence.
+  std::array<uint64_t, 4> state() const {
+    return {State[0], State[1], State[2], State[3]};
+  }
+  void restoreState(const std::array<uint64_t, 4> &Saved) {
+    for (size_t I = 0; I < 4; ++I)
+      State[I] = Saved[I];
+  }
 
 private:
   uint64_t State[4];

@@ -9,6 +9,13 @@ namespace wasm {
 
 namespace {
 
+// Hard resource caps. Counts inside a binary are attacker-controlled; before
+// any allocation sized by a count, the count is checked against the bytes
+// that would have to back it (every element costs >= 1 byte), and against
+// these absolute ceilings so a well-formed-but-huge input cannot OOM either.
+constexpr uint64_t MaxFlattenedLocals = 1u << 20;
+constexpr uint32_t MaxBrTableTargets = 1u << 16;
+
 /// Bounded cursor over the input bytes with primitive readers. All readers
 /// return false on truncation or malformed data.
 class Cursor {
@@ -116,6 +123,10 @@ bool readInstrAt(const std::vector<uint8_t> &Bytes, Cursor &C, Instr &Out) {
     uint32_t Count;
     if (!C.readU32(Count))
       return false;
+    // Each target needs at least one byte; a count past the remaining bytes
+    // (or the absolute cap) is an allocation bomb, not a table.
+    if (Count > C.remaining() || Count > MaxBrTableTargets)
+      return false;
     Out.Table.resize(Count);
     for (uint32_t I = 0; I < Count; ++I)
       if (!C.readU32(Out.Table[I]))
@@ -180,11 +191,11 @@ bool readInstr(const std::vector<uint8_t> &Bytes, size_t &Offset, Instr &Out) {
 
 Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
   if (Bytes.size() < 8)
-    return Error("module too small for header");
+    return Error(ErrorCode::Truncated, "module too small for header");
   const uint8_t Header[] = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
   for (int I = 0; I < 8; ++I)
     if (Bytes[I] != Header[I])
-      return Error("bad magic or version");
+      return Error(ErrorCode::Malformed, "bad magic or version");
 
   Module M;
   size_t TopOffset = 8;
@@ -192,12 +203,14 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     Cursor Top(Bytes, TopOffset, Bytes.size());
     uint8_t SectionId;
     if (!Top.readByte(SectionId))
-      return Error("truncated section id");
+      return Error(ErrorCode::Truncated, "truncated section id");
     uint32_t SectionSize;
     if (!Top.readU32(SectionSize))
-      return Error("truncated section size");
+      return Error(ErrorCode::Truncated, "truncated section size");
     if (Top.remaining() < SectionSize)
-      return Error("section extends past end of file");
+      return Error(ErrorCode::Truncated,
+                   "section " + std::to_string(SectionId) +
+                       " extends past end of file");
     size_t SectionStart = Top.offset();
     size_t SectionEnd = SectionStart + SectionSize;
     Cursor C(Bytes, SectionStart, SectionEnd);
@@ -206,7 +219,7 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 0: { // Custom.
       CustomSection Custom;
       if (!C.readName(Custom.Name))
-        return Error("bad custom section name");
+        return Error(ErrorCode::Truncated, "bad custom section name");
       Custom.Bytes.assign(Bytes.begin() + C.offset(),
                           Bytes.begin() + SectionEnd);
       M.Customs.push_back(std::move(Custom));
@@ -215,28 +228,40 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 1: { // Type.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad type count");
+        return Error(ErrorCode::Truncated, "type section: bad type count");
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "type section: type count " + std::to_string(Count) +
+                         " exceeds remaining section bytes");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "type section: entry " + std::to_string(I) + ": ";
         uint8_t Form;
-        if (!C.readByte(Form) || Form != 0x60)
-          return Error("unsupported type form");
+        if (!C.readByte(Form))
+          return Error(ErrorCode::Truncated, Entry + "truncated type form");
+        if (Form != 0x60)
+          return Error(ErrorCode::Unsupported, Entry + "unsupported type form");
         FuncType Type;
         uint32_t NumParams;
         if (!C.readU32(NumParams))
-          return Error("bad param count");
+          return Error(ErrorCode::Truncated, Entry + "bad param count");
+        if (NumParams > C.remaining())
+          return Error(ErrorCode::Malformed,
+                       Entry + "param count " + std::to_string(NumParams) +
+                           " exceeds remaining section bytes");
         Type.Params.resize(NumParams);
         for (uint32_t P = 0; P < NumParams; ++P)
           if (!C.readValType(Type.Params[P]))
-            return Error("bad param type");
+            return Error(ErrorCode::Malformed, Entry + "bad param type");
         uint32_t NumResults;
         if (!C.readU32(NumResults))
-          return Error("bad result count");
+          return Error(ErrorCode::Truncated, Entry + "bad result count");
         if (NumResults > 1)
-          return Error("multi-value results not supported");
+          return Error(ErrorCode::Unsupported,
+                       Entry + "multi-value results not supported");
         Type.Results.resize(NumResults);
         for (uint32_t R = 0; R < NumResults; ++R)
           if (!C.readValType(Type.Results[R]))
-            return Error("bad result type");
+            return Error(ErrorCode::Malformed, Entry + "bad result type");
         M.Types.push_back(std::move(Type));
       }
       break;
@@ -244,18 +269,24 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 2: { // Import.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad import count");
+        return Error(ErrorCode::Truncated, "import section: bad import count");
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "import section: import count " + std::to_string(Count) +
+                         " exceeds remaining section bytes");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "import section: entry " + std::to_string(I) + ": ";
         FuncImport Import;
         if (!C.readName(Import.ModuleName) || !C.readName(Import.FieldName))
-          return Error("bad import name");
+          return Error(ErrorCode::Truncated, Entry + "bad import name");
         uint8_t Kind;
         if (!C.readByte(Kind))
-          return Error("bad import kind");
+          return Error(ErrorCode::Truncated, Entry + "bad import kind");
         if (Kind != 0x00)
-          return Error("only function imports supported");
+          return Error(ErrorCode::Unsupported,
+                       Entry + "only function imports supported");
         if (!C.readU32(Import.TypeIndex))
-          return Error("bad import type index");
+          return Error(ErrorCode::Truncated, Entry + "bad import type index");
         M.Imports.push_back(std::move(Import));
       }
       break;
@@ -263,27 +294,43 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 3: { // Function.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad function count");
+        return Error(ErrorCode::Truncated,
+                     "function section: bad function count");
+      // Every declared function costs at least one byte (its type index), so
+      // a count past the remaining bytes cannot be satisfied; checking before
+      // the resize defuses e.g. a 12-byte module claiming 2^31 functions.
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "function section: function count " +
+                         std::to_string(Count) +
+                         " exceeds remaining section bytes");
       M.Functions.resize(Count);
       for (uint32_t I = 0; I < Count; ++I)
         if (!C.readU32(M.Functions[I].TypeIndex))
-          return Error("bad function type index");
+          return Error(ErrorCode::Truncated,
+                       "function section: func " + std::to_string(I) +
+                           ": bad type index");
       break;
     }
     case 5: { // Memory.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad memory count");
+        return Error(ErrorCode::Truncated, "memory section: bad memory count");
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "memory section: memory count " + std::to_string(Count) +
+                         " exceeds remaining section bytes");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "memory section: entry " + std::to_string(I) + ": ";
         MemoryDecl Memory;
         uint8_t Flags;
         if (!C.readByte(Flags))
-          return Error("bad memory flags");
+          return Error(ErrorCode::Truncated, Entry + "bad memory flags");
         Memory.HasMax = Flags & 0x01;
         if (!C.readU32(Memory.MinPages))
-          return Error("bad memory min");
+          return Error(ErrorCode::Truncated, Entry + "bad memory min");
         if (Memory.HasMax && !C.readU32(Memory.MaxPages))
-          return Error("bad memory max");
+          return Error(ErrorCode::Truncated, Entry + "bad memory max");
         M.Memories.push_back(Memory);
       }
       break;
@@ -291,20 +338,26 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 6: { // Global.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad global count");
+        return Error(ErrorCode::Truncated, "global section: bad global count");
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "global section: global count " + std::to_string(Count) +
+                         " exceeds remaining section bytes");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "global section: entry " + std::to_string(I) + ": ";
         GlobalDecl Global;
         if (!C.readValType(Global.Type))
-          return Error("bad global type");
+          return Error(ErrorCode::Malformed, Entry + "bad global type");
         uint8_t Mutability;
         if (!C.readByte(Mutability))
-          return Error("bad global mutability");
+          return Error(ErrorCode::Truncated, Entry + "bad global mutability");
         Global.Mutable = Mutability != 0;
         if (!readInstrAt(Bytes, C, Global.Init))
-          return Error("bad global init");
+          return Error(ErrorCode::Malformed, Entry + "bad global init");
         Instr EndInstr;
         if (!readInstrAt(Bytes, C, EndInstr) || EndInstr.Op != Opcode::End)
-          return Error("global init not terminated");
+          return Error(ErrorCode::Malformed,
+                       Entry + "global init not terminated");
         M.Globals.push_back(Global);
       }
       break;
@@ -312,18 +365,24 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 7: { // Export.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad export count");
+        return Error(ErrorCode::Truncated, "export section: bad export count");
+      if (Count > C.remaining())
+        return Error(ErrorCode::Malformed,
+                     "export section: export count " + std::to_string(Count) +
+                         " exceeds remaining section bytes");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "export section: entry " + std::to_string(I) + ": ";
         FuncExport Export;
         if (!C.readName(Export.Name))
-          return Error("bad export name");
+          return Error(ErrorCode::Truncated, Entry + "bad export name");
         uint8_t Kind;
         if (!C.readByte(Kind))
-          return Error("bad export kind");
+          return Error(ErrorCode::Truncated, Entry + "bad export kind");
         if (Kind != 0x00)
-          return Error("only function exports supported");
+          return Error(ErrorCode::Unsupported,
+                       Entry + "only function exports supported");
         if (!C.readU32(Export.FuncIndex))
-          return Error("bad export func index");
+          return Error(ErrorCode::Truncated, Entry + "bad export func index");
         M.Exports.push_back(std::move(Export));
       }
       break;
@@ -331,39 +390,59 @@ Result<Module> readModule(const std::vector<uint8_t> &Bytes) {
     case 10: { // Code.
       uint32_t Count;
       if (!C.readU32(Count))
-        return Error("bad code count");
+        return Error(ErrorCode::Truncated, "code section: bad code count");
       if (Count != M.Functions.size())
-        return Error("code/function section count mismatch");
+        return Error(ErrorCode::Malformed,
+                     "code section: code/function section count mismatch");
       for (uint32_t I = 0; I < Count; ++I) {
+        std::string Entry = "code section: func " + std::to_string(I) + ": ";
         Function &Func = M.Functions[I];
         Func.CodeOffset = C.offset();
         uint32_t BodySize;
         if (!C.readU32(BodySize))
-          return Error("bad body size");
+          return Error(ErrorCode::Truncated, Entry + "bad body size");
         if (C.remaining() < BodySize)
-          return Error("body extends past section");
+          return Error(ErrorCode::Truncated,
+                       Entry + "body extends past section");
         size_t BodyEnd = C.offset() + BodySize;
         Cursor BodyCursor(Bytes, C.offset(), BodyEnd);
         uint32_t NumRuns;
         if (!BodyCursor.readU32(NumRuns))
-          return Error("bad locals count");
+          return Error(ErrorCode::Truncated, Entry + "bad locals count");
+        if (NumRuns > BodyCursor.remaining())
+          return Error(ErrorCode::Malformed,
+                       Entry + "local run count " + std::to_string(NumRuns) +
+                           " exceeds remaining body bytes");
+        uint64_t TotalLocals = 0;
         for (uint32_t R = 0; R < NumRuns; ++R) {
           LocalRun Run;
           if (!BodyCursor.readU32(Run.Count) ||
               !BodyCursor.readValType(Run.Type))
-            return Error("bad local run");
+            return Error(ErrorCode::Malformed, Entry + "bad local run");
+          // Run.Count is a multiplier the binary gets for free; cap the
+          // flattened total so flattenedLocals()/validation cannot OOM.
+          TotalLocals += Run.Count;
+          if (TotalLocals > MaxFlattenedLocals)
+            return Error(ErrorCode::LimitExceeded,
+                         Entry + "more than " +
+                             std::to_string(MaxFlattenedLocals) +
+                             " flattened locals");
           Func.Locals.push_back(Run);
         }
         while (!BodyCursor.atEnd()) {
           Instr I2;
           if (!readInstrAt(Bytes, BodyCursor, I2))
-            return Error("bad instruction");
+            return Error(ErrorCode::Malformed,
+                         Entry + "bad instruction at body offset " +
+                             std::to_string(BodyCursor.offset() -
+                                            (BodyEnd - BodySize)));
           Func.Body.push_back(std::move(I2));
         }
         if (Func.Body.empty() || Func.Body.back().Op != Opcode::End)
-          return Error("function body not terminated by end");
+          return Error(ErrorCode::Malformed,
+                       Entry + "function body not terminated by end");
         if (!C.skip(BodySize))
-          return Error("body skip failed");
+          return Error(ErrorCode::Truncated, Entry + "body skip failed");
       }
       break;
     }

@@ -9,6 +9,12 @@ namespace wasm {
 
 namespace {
 
+/// Control nesting cap. The reader already bounds body size by section
+/// bytes, but a body of back-to-back `block` opcodes would still grow the
+/// frame stack linearly with input size; cap it so hostile inputs get a
+/// structured LimitExceeded instead of unbounded memory growth.
+constexpr size_t MaxControlNesting = 1024;
+
 /// A value-stack entry: a concrete type, or "unknown" below an unreachable
 /// point (stack-polymorphic).
 struct StackValue {
@@ -50,7 +56,11 @@ public:
 
 private:
   Result<void> fail(const std::string &Message) {
-    return Error("validation: " + Message);
+    return Error(ErrorCode::Malformed, "validation: " + Message);
+  }
+
+  Result<void> failLimit(const std::string &Message) {
+    return Error(ErrorCode::LimitExceeded, "validation: " + Message);
   }
 
   void pushFrame(Opcode Kind, std::vector<ValType> Results) {
@@ -155,6 +165,11 @@ private:
 };
 
 Result<void> Validator::step(const Instr &I, size_t Index) {
+  // The final `end` pops the implicit function frame; nothing may follow it.
+  // Every helper below indexes Frames.back(), so this guard is load-bearing.
+  if (Frames.empty())
+    return fail("instruction after function body end");
+
   uint8_t Byte = opcodeByte(I.Op);
 
   // Numeric instruction groups by opcode byte range.
@@ -196,6 +211,9 @@ Result<void> Validator::step(const Instr &I, size_t Index) {
 
   case Opcode::Block:
   case Opcode::Loop: {
+    if (Frames.size() >= MaxControlNesting)
+      return failLimit("control nesting deeper than " +
+                       std::to_string(MaxControlNesting));
     BlockType BT = I.blockType();
     std::vector<ValType> Results;
     if (BT.HasResult)
@@ -204,6 +222,9 @@ Result<void> Validator::step(const Instr &I, size_t Index) {
     return {};
   }
   case Opcode::If: {
+    if (Frames.size() >= MaxControlNesting)
+      return failLimit("control nesting deeper than " +
+                       std::to_string(MaxControlNesting));
     if (!popExpect(ValType::I32))
       return fail("if condition must be i32");
     BlockType BT = I.blockType();
@@ -503,10 +524,11 @@ Result<void> Validator::step(const Instr &I, size_t Index) {
 
 Result<void> validateFunction(const Module &M, uint32_t DefinedIndex) {
   if (DefinedIndex >= M.Functions.size())
-    return Error("validation: function index out of range");
+    return Error(ErrorCode::Malformed, "validation: function index out of range");
   const Function &Func = M.Functions[DefinedIndex];
   if (Func.TypeIndex >= M.Types.size())
-    return Error("validation: function type index out of range");
+    return Error(ErrorCode::Malformed,
+                 "validation: function type index out of range");
   Validator V(M, Func, M.Types[Func.TypeIndex]);
   return V.run();
 }
@@ -514,22 +536,24 @@ Result<void> validateFunction(const Module &M, uint32_t DefinedIndex) {
 Result<void> validateModule(const Module &M) {
   for (const FuncImport &Import : M.Imports)
     if (Import.TypeIndex >= M.Types.size())
-      return Error("validation: import type index out of range");
+      return Error(ErrorCode::Malformed,
+                   "validation: import type index out of range");
   for (const FuncExport &Export : M.Exports)
     if (Export.FuncIndex >= M.Imports.size() + M.Functions.size())
-      return Error("validation: export function index out of range");
+      return Error(ErrorCode::Malformed,
+                   "validation: export function index out of range");
   for (const GlobalDecl &Global : M.Globals) {
     ImmKind Imm = opcodeImmKind(Global.Init.Op);
     bool IsConst = Imm == ImmKind::I32 || Imm == ImmKind::I64 ||
                    Imm == ImmKind::F32 || Imm == ImmKind::F64;
     if (!IsConst)
-      return Error("validation: global initializer must be a constant");
+      return Error(ErrorCode::Malformed,
+                   "validation: global initializer must be a constant");
   }
   for (uint32_t I = 0; I < M.Functions.size(); ++I) {
     Result<void> Status = validateFunction(M, I);
     if (Status.isErr())
-      return Error("function " + std::to_string(I) + ": " +
-                   Status.error().message());
+      return Status.withContext("function " + std::to_string(I));
   }
   return {};
 }

@@ -16,10 +16,20 @@
 //       Remove all .debug_* custom sections (what a reverse engineer
 //       typically gets).
 //
+//   snowwhite ingest <dir> [--strict]
+//       Run the dataset pipeline over every .wasm file in <dir>. By default
+//       corrupt modules are quarantined (skip-and-report); with --strict the
+//       first corrupt module aborts the run with its structured error.
+//
+// Every failure path exits non-zero and prints the structured error as
+// "error [<code>]: <context-chained message>".
+//
 //===----------------------------------------------------------------------===//
 
+#include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
+#include "support/io.h"
 #include "support/str.h"
 #include "typelang/from_dwarf.h"
 #include "wasm/names.h"
@@ -28,39 +38,41 @@
 #include "wasm/validate.h"
 #include "wasm/writer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 using namespace snowwhite;
 
+/// Uniform structured-error reporting: machine-readable code + chained
+/// message, always to stderr, caller exits non-zero.
+static void printError(const Error &E) {
+  std::fprintf(stderr, "error [%s]: %s\n", errorCodeName(E.code()),
+               E.message().c_str());
+}
+
 static bool writeFile(const std::string &Path,
                       const std::vector<uint8_t> &Bytes) {
-  FILE *File = std::fopen(Path.c_str(), "wb");
-  if (!File)
+  Result<void> Written = io::writeFileAtomic(Path, Bytes);
+  if (Written.isErr()) {
+    printError(Written.error());
     return false;
-  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
-  std::fclose(File);
-  return Written == Bytes.size();
+  }
+  return true;
 }
 
 static bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
-  FILE *File = std::fopen(Path.c_str(), "rb");
-  if (!File)
-    return false;
-  std::fseek(File, 0, SEEK_END);
-  long Size = std::ftell(File);
-  std::fseek(File, 0, SEEK_SET);
-  if (Size < 0) {
-    std::fclose(File);
+  Result<std::vector<uint8_t>> Read = io::readFileBytes(Path);
+  if (Read.isErr()) {
+    printError(Read.error());
     return false;
   }
-  Bytes.resize(static_cast<size_t>(Size));
-  size_t Read = std::fread(Bytes.data(), 1, Bytes.size(), File);
-  std::fclose(File);
-  return Read == Bytes.size();
+  Bytes = Read.take();
+  return true;
 }
 
 static int commandGen(int argc, char **argv) {
@@ -79,10 +91,8 @@ static int commandGen(int argc, char **argv) {
     for (size_t Index = 0; Index < Pkg.Objects.size(); ++Index) {
       std::string Path =
           Dir + "/" + Pkg.Name + "_obj" + std::to_string(Index) + ".wasm";
-      if (!writeFile(Path, Pkg.Objects[Index].Bytes)) {
-        std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      if (!writeFile(Path, Pkg.Objects[Index].Bytes))
         return 1;
-      }
       ++Files;
     }
   }
@@ -100,14 +110,11 @@ static int commandDump(int argc, char **argv) {
     return 2;
   }
   std::vector<uint8_t> Bytes;
-  if (!readFile(argv[0], Bytes)) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[0]);
+  if (!readFile(argv[0], Bytes))
     return 1;
-  }
   Result<wasm::Module> Parsed = wasm::readModule(Bytes);
   if (Parsed.isErr()) {
-    std::fprintf(stderr, "error: not a readable wasm module: %s\n",
-                 Parsed.error().message().c_str());
+    printError(Parsed.error().withContext(argv[0]));
     return 1;
   }
   wasm::Module &M = *Parsed;
@@ -162,24 +169,112 @@ static int commandStrip(int argc, char **argv) {
     return 2;
   }
   std::vector<uint8_t> Bytes;
-  if (!readFile(argv[0], Bytes)) {
-    std::fprintf(stderr, "error: cannot read %s\n", argv[0]);
+  if (!readFile(argv[0], Bytes))
     return 1;
-  }
   Result<wasm::Module> Parsed = wasm::readModule(Bytes);
   if (Parsed.isErr()) {
-    std::fprintf(stderr, "error: %s\n", Parsed.error().message().c_str());
+    printError(Parsed.error().withContext(argv[0]));
     return 1;
   }
   size_t Before = Parsed->Customs.size();
   dwarf::stripDebugInfo(*Parsed);
   std::vector<uint8_t> Out = wasm::writeModule(*Parsed);
-  if (!writeFile(argv[1], Out)) {
-    std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+  if (!writeFile(argv[1], Out))
     return 1;
-  }
   std::printf("stripped %zu debug section(s): %zu -> %zu bytes\n",
               Before - Parsed->Customs.size(), Bytes.size(), Out.size());
+  return 0;
+}
+
+static int commandIngest(int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: snowwhite ingest <dir> [--strict]\n");
+    return 2;
+  }
+  std::string Dir = argv[0];
+  bool Strict = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--strict") == 0) {
+      Strict = true;
+    } else {
+      std::fprintf(stderr, "unknown ingest option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  std::error_code DirError;
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Dir, DirError)) {
+    if (Entry.is_regular_file() && Entry.path().extension() == ".wasm")
+      Paths.push_back(Entry.path().string());
+  }
+  if (DirError) {
+    printError(Error(ErrorCode::IoError,
+                     "cannot list directory '" + Dir + "': " +
+                         DirError.message()));
+    return 1;
+  }
+  if (Paths.empty()) {
+    printError(Error(ErrorCode::NotFound, "no .wasm files in '" + Dir + "'"));
+    return 1;
+  }
+  std::sort(Paths.begin(), Paths.end()); // Deterministic ingestion order.
+
+  // One package per file: real package structure is unknown for arbitrary
+  // inputs, and the pipeline only uses packages for splits and caps.
+  frontend::Corpus Corpus;
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    std::vector<uint8_t> Bytes;
+    if (!readFile(Paths[I], Bytes))
+      return 1;
+    if (Strict) {
+      // Fail-fast pre-check: the first corrupt module aborts the run.
+      Result<wasm::Module> Parsed = wasm::readModule(Bytes);
+      if (Parsed.isErr()) {
+        printError(Parsed.error().withContext(Paths[I]));
+        return 1;
+      }
+      Result<void> Valid = wasm::validateModule(*Parsed);
+      if (Valid.isErr()) {
+        printError(Valid.error().withContext(Paths[I]));
+        return 1;
+      }
+      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(*Parsed);
+      if (Debug.isErr()) {
+        printError(Debug.error().withContext(Paths[I]));
+        return 1;
+      }
+    }
+    frontend::Package Pkg;
+    Pkg.Name = std::filesystem::path(Paths[I]).stem().string();
+    Pkg.Id = static_cast<uint32_t>(I);
+    frontend::CompiledObject Object;
+    Object.FileName = Paths[I];
+    Object.Bytes = std::move(Bytes);
+    Pkg.Objects.push_back(std::move(Object));
+    Corpus.Packages.push_back(std::move(Pkg));
+    ++Corpus.TotalObjects;
+  }
+
+  dataset::Dataset Data = dataset::buildDataset(Corpus);
+  std::printf("ingested %zu file(s): %llu kept, %llu quarantined "
+              "(%llu parse, %llu debug-info), %zu samples "
+              "(%zu train / %zu valid / %zu test)\n",
+              Paths.size(),
+              static_cast<unsigned long long>(Data.Dedup.ObjectsAfter),
+              static_cast<unsigned long long>(Data.Quarantine.total()),
+              static_cast<unsigned long long>(Data.Quarantine.ParseFailures),
+              static_cast<unsigned long long>(Data.Quarantine.DebugFailures),
+              Data.Samples.size(), Data.Train.size(), Data.Valid.size(),
+              Data.Test.size());
+  if (!Data.Quarantine.empty())
+    std::printf("%s", Data.Quarantine.summary().c_str());
+  if (Data.Dedup.ObjectsAfter == 0) {
+    printError(Error(ErrorCode::Malformed,
+                     "all input modules were quarantined"));
+    return 1;
+  }
   return 0;
 }
 
@@ -190,7 +285,8 @@ int main(int argc, char **argv) {
                  "usage:\n"
                  "  snowwhite gen <dir> [packages] [seed]\n"
                  "  snowwhite dump <file.wasm>\n"
-                 "  snowwhite strip <in.wasm> <out.wasm>\n");
+                 "  snowwhite strip <in.wasm> <out.wasm>\n"
+                 "  snowwhite ingest <dir> [--strict]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "gen") == 0)
@@ -199,6 +295,8 @@ int main(int argc, char **argv) {
     return commandDump(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "strip") == 0)
     return commandStrip(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "ingest") == 0)
+    return commandIngest(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
 }
