@@ -1,0 +1,217 @@
+#include "model/serving.h"
+
+#include <algorithm>
+#include <set>
+
+namespace snowwhite {
+namespace model {
+
+const char *tierName(PredictionTier Tier) {
+  switch (Tier) {
+  case PredictionTier::Beam:
+    return "beam";
+  case PredictionTier::Greedy:
+    return "greedy";
+  case PredictionTier::Baseline:
+    return "baseline";
+  }
+  return "?";
+}
+
+const char *outcomeCode(ServeOutcome Outcome) {
+  switch (Outcome) {
+  case ServeOutcome::OkBeam:
+    return "ok-beam";
+  case ServeOutcome::OkGreedy:
+    return "ok-greedy";
+  case ServeOutcome::OkBaseline:
+    return "ok-baseline";
+  case ServeOutcome::RejectedQueueFull:
+    return "rejected-queue-full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Decodes budgeted-search hypotheses into deduplicated predictions, best
+/// log-probability first. Hypotheses that decode to zero tokens (the model
+/// emitted EOS immediately) are dropped: the engine's contract is a *typed*
+/// prediction per request, and an empty sequence names no type — better to
+/// degrade a rung than to return it.
+std::vector<TypePrediction> decodeHypotheses(
+    const Task &BoundTask, const std::vector<nn::Hypothesis> &Hypotheses,
+    unsigned K) {
+  std::vector<TypePrediction> Out;
+  std::set<std::vector<std::string>> Seen;
+  for (const nn::Hypothesis &Hyp : Hypotheses) {
+    TypePrediction Prediction;
+    Prediction.Tokens = BoundTask.decodeTarget(Hyp.Tokens);
+    Prediction.LogProb = Hyp.LogProb;
+    if (Prediction.Tokens.empty())
+      continue;
+    if (!Seen.insert(Prediction.Tokens).second)
+      continue;
+    Out.push_back(std::move(Prediction));
+    if (Out.size() >= K)
+      break;
+  }
+  return Out;
+}
+
+std::optional<wasm::ValType>
+lowLevelOf(const std::vector<std::string> &InputTokens) {
+  if (InputTokens.empty())
+    return std::nullopt;
+  for (wasm::ValType Type : {wasm::ValType::I32, wasm::ValType::I64,
+                             wasm::ValType::F32, wasm::ValType::F64})
+    if (InputTokens[0] == wasm::valTypeName(Type))
+      return Type;
+  return std::nullopt;
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(nn::Seq2SeqModel &Model, const Task &BoundTask,
+                             const ServingOptions &Options)
+    : Model(Model), BoundTask(BoundTask), Options(Options),
+      Baseline(BoundTask) {}
+
+bool ServingEngine::submit(ServeRequest Request) {
+  ++Stats.Submitted;
+  if (Queue.size() >= Options.QueueCapacity) {
+    ++Stats.Rejected;
+    return false;
+  }
+  Queue.push_back(std::move(Request));
+  return true;
+}
+
+std::vector<ServeResponse> ServingEngine::drain() {
+  std::vector<ServeResponse> Out;
+  while (!Queue.empty()) {
+    size_t Batch = std::min(Queue.size(), std::max<size_t>(1, Options.MaxBatch));
+    for (size_t I = 0; I < Batch; ++I) {
+      Out.push_back(processOne(Queue.front()));
+      Queue.pop_front();
+    }
+  }
+  return Out;
+}
+
+ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
+  ServeResponse Response;
+  Response.Id = Request.Id;
+
+  uint64_t Budget =
+      Request.StepBudget != 0 ? Request.StepBudget : Options.DefaultStepBudget;
+  unsigned K = std::max(1u, Options.TopK);
+  unsigned Width = Options.BeamWidth != 0 ? Options.BeamWidth : K;
+  uint64_t GreedyFloor = Model.config().MaxTgtLen;
+  std::optional<wasm::ValType> LowLevel = lowLevelOf(Request.InputTokens);
+  std::vector<uint32_t> SourceIds = BoundTask.encodeSource(Request.InputTokens);
+
+  // --- Tier 1: budgeted beam search ---------------------------------------
+  //
+  // Attempted only when the budget leaves room for a full greedy pass
+  // afterwards (the greedy floor). That reservation is what turns the step
+  // budget into a deadline guarantee: a beam that burns its whole allowance
+  // can still degrade to a model-based answer instead of dropping straight
+  // to the baseline.
+  if (Budget >= 2 * GreedyFloor) {
+    if (Options.Faults && Options.Faults->injectModelFailure()) {
+      Response.Detail = "beam: injected model failure";
+    } else {
+      uint64_t BeamBudget = Budget - GreedyFloor;
+      nn::Seq2SeqModel::BeamOutcome Beam =
+          Model.predictTopKBudgeted(SourceIds, Width, BeamBudget);
+      Response.DecodeStepsUsed += Beam.DecodeStepsUsed;
+      if (Beam.NonFinite) {
+        Response.Detail = "beam: non-finite logits";
+      } else if (Beam.BudgetExhausted && Beam.Hypotheses.empty()) {
+        Response.Detail = "beam: step budget exhausted";
+      } else if (Beam.Hypotheses.empty()) {
+        Response.Detail = "beam: no hypotheses";
+      } else {
+        std::vector<TypePrediction> Decoded =
+            decodeHypotheses(BoundTask, Beam.Hypotheses, K);
+        if (Decoded.empty()) {
+          Response.Detail = "beam: only empty hypotheses";
+        } else {
+          Response.Tier = PredictionTier::Beam;
+          Response.Outcome = ServeOutcome::OkBeam;
+          Response.Predictions = std::move(Decoded);
+        }
+      }
+    }
+  } else if (Budget >= GreedyFloor) {
+    Response.Detail = "beam: budget below beam floor";
+  } else {
+    Response.Detail = "budget below greedy floor";
+  }
+
+  // --- Tier 2: greedy decode ----------------------------------------------
+  if (Response.Predictions.empty() && Budget >= GreedyFloor &&
+      Budget - Response.DecodeStepsUsed >= GreedyFloor) {
+    if (Options.Faults && Options.Faults->injectModelFailure()) {
+      Response.Detail += "; greedy: injected model failure";
+    } else {
+      nn::Seq2SeqModel::BeamOutcome Greedy = Model.predictTopKBudgeted(
+          SourceIds, 1, Budget - Response.DecodeStepsUsed);
+      Response.DecodeStepsUsed += Greedy.DecodeStepsUsed;
+      if (Greedy.NonFinite) {
+        Response.Detail += "; greedy: non-finite logits";
+      } else if (Greedy.Hypotheses.empty()) {
+        Response.Detail += "; greedy: no hypotheses";
+      } else {
+        std::vector<TypePrediction> Decoded =
+            decodeHypotheses(BoundTask, Greedy.Hypotheses, K);
+        if (Decoded.empty()) {
+          Response.Detail += "; greedy: only empty hypotheses";
+        } else {
+          Response.Tier = PredictionTier::Greedy;
+          Response.Outcome = ServeOutcome::OkGreedy;
+          Response.Predictions = std::move(Decoded);
+        }
+      }
+    }
+  }
+
+  // --- Tier 3: statistical baseline ---------------------------------------
+  //
+  // Costs zero decode steps and cannot fail, so every admitted request gets
+  // an answer. Unknown low-level types fall back to the I32 slot (the most
+  // populous in practice); an empty task yields a single "unknown" marker
+  // rather than an empty response.
+  if (Response.Predictions.empty()) {
+    Response.Tier = PredictionTier::Baseline;
+    Response.Outcome = ServeOutcome::OkBaseline;
+    wasm::ValType Slot = LowLevel.value_or(wasm::ValType::I32);
+    Response.Predictions = Baseline.predict(Slot, K);
+    if (Response.Predictions.empty() && Slot != wasm::ValType::I32)
+      Response.Predictions = Baseline.predict(wasm::ValType::I32, K);
+    if (Response.Predictions.empty()) {
+      TypePrediction Unknown;
+      Unknown.Tokens = {"unknown"};
+      Response.Predictions.push_back(std::move(Unknown));
+    }
+  }
+
+  ++Stats.Answered;
+  Stats.DecodeSteps += Response.DecodeStepsUsed;
+  switch (Response.Tier) {
+  case PredictionTier::Beam:
+    ++Stats.BeamAnswers;
+    break;
+  case PredictionTier::Greedy:
+    ++Stats.GreedyAnswers;
+    break;
+  case PredictionTier::Baseline:
+    ++Stats.BaselineAnswers;
+    break;
+  }
+  return Response;
+}
+
+} // namespace model
+} // namespace snowwhite

@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -59,8 +61,10 @@ float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
 // epoch's shuffle order and position, and the early-stopping state. Written
 // via io::writeFileChecksummed (atomic + content checksum).
 
+// Version 2 added the supervisor fields (EMA loss state, recovery budget,
+// LR scale) so a killed-and-resumed run replays recovery decisions exactly.
 constexpr uint64_t CheckpointMagic = 0x534e4f57434b5054ULL; // "SNOWCKPT"
-constexpr uint64_t CheckpointVersion = 1;
+constexpr uint64_t CheckpointVersion = 2;
 
 void appendU64(uint64_t Value, std::vector<uint8_t> &Out) {
   for (int Shift = 0; Shift < 64; Shift += 8)
@@ -127,6 +131,47 @@ struct LoopState {
   float BestLoss = std::numeric_limits<float>::infinity();
   bool Stop = false;
   bool HasBest = false;
+  // Supervisor state (checkpointed so resumed runs keep making the same
+  // recovery decisions).
+  double EmaLoss = 0.0;
+  uint64_t EmaCount = 0;       ///< Healthy batches folded into the EMA.
+  uint64_t ConsecutiveBad = 0; ///< Bad batches since the last healthy step.
+  uint64_t RecoveriesUsed = 0; ///< Spent recovery budget (skips + rollbacks).
+  float LrScale = 1.0f;        ///< Cumulative LR backoff multiplier.
+};
+
+/// Last-known-good model state for in-run rollback: weights, Adam moments,
+/// and the step counter (so bias correction matches the restored moments).
+/// In memory only — the on-disk checkpoint (PR 2) stays the crash-recovery
+/// layer; this is the divergence-recovery layer.
+struct ModelSnapshot {
+  bool Valid = false;
+  std::vector<std::vector<float>> Value, AdamM, AdamV;
+  uint64_t StepCount = 0;
+
+  void capture(Seq2SeqModel &Model, const AdamOptimizer &Optimizer) {
+    Value.clear();
+    AdamM.clear();
+    AdamV.clear();
+    for (Parameter *P : Model.parameters()) {
+      Value.push_back(P->Value);
+      AdamM.push_back(P->AdamM);
+      AdamV.push_back(P->AdamV);
+    }
+    StepCount = Optimizer.stepCount();
+    Valid = true;
+  }
+
+  void restore(Seq2SeqModel &Model, AdamOptimizer &Optimizer) const {
+    assert(Valid && "restore from empty snapshot");
+    std::vector<Parameter *> Params = Model.parameters();
+    for (size_t I = 0; I < Params.size(); ++I) {
+      Params[I]->Value = Value[I];
+      Params[I]->AdamM = AdamM[I];
+      Params[I]->AdamV = AdamV[I];
+    }
+    Optimizer.setStepCount(StepCount);
+  }
 };
 
 std::vector<uint8_t> serializeCheckpoint(
@@ -147,6 +192,16 @@ std::vector<uint8_t> serializeCheckpoint(
   appendU64(LossBits, Out);
   appendU64(State.Stop ? 1 : 0, Out);
   appendU64(State.HasBest ? 1 : 0, Out);
+  uint64_t EmaBits = 0;
+  static_assert(sizeof(double) == 8, "unexpected double size");
+  std::memcpy(&EmaBits, &State.EmaLoss, sizeof(double));
+  appendU64(EmaBits, Out);
+  appendU64(State.EmaCount, Out);
+  appendU64(State.ConsecutiveBad, Out);
+  appendU64(State.RecoveriesUsed, Out);
+  uint32_t LrBits = 0;
+  std::memcpy(&LrBits, &State.LrScale, sizeof(float));
+  appendU64(LrBits, Out);
   appendRngState(ShuffleRng, Out);
   appendRngState(Model.modelRng(), Out);
   appendU64(Order.size(), Out);
@@ -193,6 +248,16 @@ Result<void> deserializeCheckpoint(const std::vector<uint8_t> &Bytes,
   if (!In.readU64(Value))
     return Truncated();
   State.HasBest = Value != 0;
+  if (!In.readU64(Value))
+    return Truncated();
+  std::memcpy(&State.EmaLoss, &Value, sizeof(double));
+  if (!In.readU64(State.EmaCount) || !In.readU64(State.ConsecutiveBad) ||
+      !In.readU64(State.RecoveriesUsed))
+    return Truncated();
+  if (!In.readU64(Value))
+    return Truncated();
+  uint32_t LrBits = static_cast<uint32_t>(Value);
+  std::memcpy(&State.LrScale, &LrBits, sizeof(float));
   if (!In.readRngState(ShuffleRng) || !In.readRngState(Model.modelRng()))
     return Truncated();
   if (!In.readU64(Value))
@@ -278,6 +343,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
           *Bytes, State, ShuffleRng, *Out.Model, Order, BestWeights);
       if (Restored.isOk()) {
         Optimizer.setStepCount(State.StepCount);
+        Optimizer.setLearningRate(Options.LearningRate * State.LrScale);
         Out.BatchesRun = State.BatchesRun;
         Resumed = true;
         if (Options.Verbose)
@@ -320,6 +386,28 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
         .withContext("checkpoint '" + Options.CheckpointPath + "'");
   };
 
+  // --- Numerical-health supervisor -----------------------------------------
+  //
+  // Every batch's gradients are screened before the optimizer may consume
+  // them. A bad batch (non-finite loss/gradient, or an EMA loss spike) is
+  // discarded; enough consecutive bad batches trigger a rollback to the last
+  // good snapshot with LR backoff. All decisions are functions of
+  // checkpointed state, so they replay identically across thread counts and
+  // across kill-and-resume.
+  const RecoveryOptions &Heal = Options.Recovery;
+  ModelSnapshot LastGood;
+  auto RecordAction = [&](const std::string &Line) {
+    Out.Recovery.Log.push_back(Line);
+    if (Options.Verbose)
+      std::fprintf(stderr, "  [heal] %s\n", Line.c_str());
+  };
+  auto TakeSnapshot = [&] {
+    if (Heal.Enabled)
+      LastGood.capture(*Out.Model, Optimizer);
+  };
+  // The initial (or resumed) state is by definition the last known-good one.
+  TakeSnapshot();
+
   // A checkpoint taken after the epoch's last batch resumes at the start of
   // the next epoch (whose shuffle has not happened yet).
   size_t StartEpoch = static_cast<size_t>(State.Epoch);
@@ -352,8 +440,109 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
         Sources.push_back(Train[Order[I]].Source);
         Targets.push_back(Train[Order[I]].Target);
       }
-      float Loss = Out.Model->trainBatch(Sources, Targets, Optimizer);
+      float Loss = Out.Model->computeBatchGradients(Sources, Targets);
       ++Out.BatchesRun;
+      uint64_t BatchNumber = Out.BatchesRun;
+
+      // Deterministic NaN injection: the injector names the batch, the
+      // trainer plants the poison where a real numerical blow-up would
+      // land — in the accumulated gradients, before the optimizer step.
+      if (Options.Faults && Options.Faults->shouldPoisonGrad(BatchNumber)) {
+        std::vector<Parameter *> Params = Out.Model->parameters();
+        if (!Params.empty() && !Params[0]->Grad.empty())
+          Params[0]->Grad[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+
+      // Health verdict for this batch.
+      const char *BadReason = nullptr;
+      bool Forced =
+          std::find(Options.ForceSkipBatches.begin(),
+                    Options.ForceSkipBatches.end(),
+                    BatchNumber) != Options.ForceSkipBatches.end();
+      if (Forced) {
+        BadReason = "forced skip";
+      } else if (Heal.Enabled) {
+        if (!std::isfinite(Loss))
+          BadReason = "non-finite loss";
+        else if (!Optimizer.gradientsFinite())
+          BadReason = "non-finite gradient";
+        else if (Heal.LossSpikeFactor > 0.0f &&
+                 State.EmaCount >= Heal.EmaWarmupBatches &&
+                 static_cast<double>(Loss) >
+                     static_cast<double>(Heal.LossSpikeFactor) * State.EmaLoss)
+          BadReason = "loss spike";
+      }
+
+      if (!BadReason) {
+        Optimizer.step(Options.GradClipNorm);
+        State.ConsecutiveBad = 0;
+        if (Heal.Enabled) {
+          State.EmaLoss = State.EmaCount == 0
+                              ? static_cast<double>(Loss)
+                              : Heal.EmaDecay * State.EmaLoss +
+                                    (1.0 - Heal.EmaDecay) *
+                                        static_cast<double>(Loss);
+          ++State.EmaCount;
+          if (Heal.SnapshotEveryBatches > 0 &&
+              Optimizer.stepCount() % Heal.SnapshotEveryBatches == 0)
+            TakeSnapshot();
+        }
+      } else {
+        // Recovery. The batch's gradients never touch the weights; the
+        // ModelRng draw already happened inside computeBatchGradients, so a
+        // skipped batch leaves the dropout stream exactly where a stepped
+        // batch would — that is what makes the hand-skipped reference run
+        // bit-identical.
+        Optimizer.discardGradients();
+        ++State.ConsecutiveBad;
+        ++State.RecoveriesUsed;
+        char Line[160];
+        if (!Forced && State.ConsecutiveBad >= Heal.RollbackAfterConsecutive &&
+            LastGood.Valid) {
+          LastGood.restore(*Out.Model, Optimizer);
+          State.LrScale *= Heal.LrBackoffFactor;
+          Optimizer.setLearningRate(Options.LearningRate * State.LrScale);
+          State.ConsecutiveBad = 0;
+          ++Out.Recovery.Rollbacks;
+          ++Out.Recovery.LrBackoffs;
+          std::snprintf(Line, sizeof(Line),
+                        "batch %llu: %s — rolled back to step %llu, lr x%.3g "
+                        "(budget %llu/%zu)",
+                        static_cast<unsigned long long>(BatchNumber),
+                        BadReason,
+                        static_cast<unsigned long long>(Optimizer.stepCount()),
+                        static_cast<double>(State.LrScale),
+                        static_cast<unsigned long long>(State.RecoveriesUsed),
+                        Heal.MaxRecoveries);
+          RecordAction(Line);
+          if (Checkpointing) {
+            // Refresh the crash-recovery checkpoint so a kill right after a
+            // rollback resumes from the healed state, not the diverged one.
+            State.Epoch = Epoch;
+            State.NextBegin = Begin + Options.BatchSize;
+            Result<void> Written = WriteCheckpoint();
+            if (Written.isErr() && Options.Verbose)
+              std::fprintf(stderr, "  [ckpt] %s\n",
+                           Written.error().message().c_str());
+          }
+        } else {
+          ++Out.Recovery.BatchesSkipped;
+          std::snprintf(Line, sizeof(Line),
+                        "batch %llu: %s — skipped (budget %llu/%zu)",
+                        static_cast<unsigned long long>(BatchNumber),
+                        BadReason,
+                        static_cast<unsigned long long>(State.RecoveriesUsed),
+                        Heal.MaxRecoveries);
+          RecordAction(Line);
+        }
+        if (Heal.MaxRecoveries > 0 &&
+            State.RecoveriesUsed >= Heal.MaxRecoveries) {
+          Out.Recovery.Diverged = true;
+          State.Stop = true;
+          RecordAction("recovery budget exhausted — stopping (diverged)");
+        }
+      }
+
       if (Options.Verbose && Out.BatchesRun % 20 == 0)
         std::fprintf(stderr, "  [train] epoch %zu batch %zu loss %.4f\n",
                      Epoch + 1, Out.BatchesRun, Loss);

@@ -32,6 +32,15 @@ void parallelOverRows(size_t Rows, size_t WorkPerRow,
 
 } // namespace
 
+bool allFinite(const float *Data, size_t Size) {
+  // Accumulating |x| keeps the loop branch-free and auto-vectorizable; the
+  // sum is +inf or NaN iff some element was non-finite.
+  float Probe = 0.0f;
+  for (size_t I = 0; I < Size; ++I)
+    Probe += std::fabs(Data[I]) * 0.0f;
+  return Probe == 0.0f;
+}
+
 VarData *Graph::newNode(size_t Rows, size_t Cols, bool NeedGrad) {
   auto Node = std::make_unique<VarData>();
   Node->Rows = Rows;
@@ -243,8 +252,18 @@ Var Graph::scale(Var A, float Factor) {
 Var Graph::sigmoid(Var A) {
   VarData *Out = newNode(A.rows(), A.cols(), true);
   size_t Size = Out->size();
-  for (size_t I = 0; I < Size; ++I)
-    Out->Value[I] = 1.0f / (1.0f + std::exp(-A.value()[I]));
+  // Two-branch form so exp() only ever sees non-positive arguments: the
+  // naive 1/(1+exp(-x)) overflows exp for x < -88 and round-trips through
+  // inf. Both branches agree exactly at x = 0.
+  for (size_t I = 0; I < Size; ++I) {
+    float X = A.value()[I];
+    if (X >= 0.0f) {
+      Out->Value[I] = 1.0f / (1.0f + std::exp(-X));
+    } else {
+      float E = std::exp(X);
+      Out->Value[I] = E / (1.0f + E);
+    }
+  }
   if (Training)
     Tape.push_back([AD = A.Data, Out, Size] {
       if (AD->Grad)

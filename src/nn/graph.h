@@ -28,6 +28,11 @@
 namespace snowwhite {
 namespace nn {
 
+/// True when every element of [Data, Data + Size) is finite — no NaN, no
+/// infinity. The per-batch numerical-health sentinel: one linear scan, no
+/// allocation, safe to run on every batch.
+bool allFinite(const float *Data, size_t Size);
+
 /// A persistent, trainable weight matrix with its gradient accumulator.
 struct Parameter {
   size_t Rows = 0, Cols = 0;

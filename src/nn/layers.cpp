@@ -30,6 +30,26 @@ std::pair<Var, Var> LstmCell::step(Graph &G, Var X, Var H, Var C) {
   return {NewH, NewC};
 }
 
+bool AdamOptimizer::gradientsFinite() const {
+  for (const Parameter *P : Parameters)
+    if (!allFinite(P->Grad.data(), P->Grad.size()))
+      return false;
+  return true;
+}
+
+double AdamOptimizer::gradientNorm() const {
+  double NormSquared = 0.0;
+  for (const Parameter *P : Parameters)
+    for (float G : P->Grad)
+      NormSquared += static_cast<double>(G) * G;
+  return std::sqrt(NormSquared);
+}
+
+void AdamOptimizer::discardGradients() {
+  for (Parameter *P : Parameters)
+    P->zeroGrad();
+}
+
 size_t AdamOptimizer::numParameters() const {
   size_t Total = 0;
   for (const Parameter *P : Parameters)

@@ -82,10 +82,23 @@ public:
   /// Adam update, and zeroes the gradients.
   void step(float MaxNorm = 5.0f);
 
+  /// Numerical-health sentinel: true when every accumulated gradient is
+  /// finite. Cheap (one linear scan); the training supervisor runs it before
+  /// every step so one NaN can never reach the weights or the Adam moments.
+  bool gradientsFinite() const;
+
+  /// Global L2 norm of the accumulated gradients (pre-clipping), in double.
+  double gradientNorm() const;
+
+  /// Zeroes the accumulated gradients without touching weights, moments, or
+  /// the step counter — the "skip this batch" recovery action.
+  void discardGradients();
+
   /// Total trainable parameter count.
   size_t numParameters() const;
 
   void setLearningRate(float NewRate) { LearningRate = NewRate; }
+  float learningRate() const { return LearningRate; }
 
   /// Adam's bias-correction step counter. Exposed so checkpoints can capture
   /// and restore it for bit-identical resume.

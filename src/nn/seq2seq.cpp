@@ -223,6 +223,15 @@ float Seq2SeqModel::trainBatch(
     const std::vector<std::vector<uint32_t>> &Sources,
     const std::vector<std::vector<uint32_t>> &Targets,
     AdamOptimizer &Optimizer) {
+  float Loss = computeBatchGradients(Sources, Targets);
+  if (!Sources.empty())
+    Optimizer.step();
+  return Loss;
+}
+
+float Seq2SeqModel::computeBatchGradients(
+    const std::vector<std::vector<uint32_t>> &Sources,
+    const std::vector<std::vector<uint32_t>> &Targets) {
   assert(Sources.size() == Targets.size() && "batch size mismatch");
   size_t B = Sources.size();
   if (B == 0)
@@ -255,7 +264,6 @@ float Seq2SeqModel::trainBatch(
       },
       [&](size_t Shard) { Sinks[Shard].accumulateInto(); });
 
-  Optimizer.step();
   float Loss = 0.0f;
   for (float Term : ShardLoss)
     Loss += Term;
@@ -274,7 +282,16 @@ float Seq2SeqModel::evaluateLoss(
 std::vector<Hypothesis>
 Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
                           unsigned BeamWidth) {
+  return predictTopKBudgeted(Source, BeamWidth, /*MaxDecodeSteps=*/0)
+      .Hypotheses;
+}
+
+Seq2SeqModel::BeamOutcome
+Seq2SeqModel::predictTopKBudgeted(const std::vector<uint32_t> &Source,
+                                  unsigned BeamWidth,
+                                  uint64_t MaxDecodeSteps) {
   assert(BeamWidth >= 1 && "beam width must be positive");
+  BeamOutcome Out;
   Graph G(/*Training=*/false);
   Encoded Enc = encode(G, {Source}, ModelRng);
 
@@ -287,18 +304,29 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
   std::vector<Beam> Beams = {{{}, 0.0f, Enc.DecoderH, Enc.DecoderC, false}};
   std::vector<Hypothesis> Finished;
 
-  for (size_t Step = 0; Step < Config.MaxTgtLen; ++Step) {
+  for (size_t Step = 0; Step < Config.MaxTgtLen && !Out.BudgetExhausted &&
+                        !Out.NonFinite;
+       ++Step) {
     std::vector<Beam> Candidates;
     for (Beam &Current : Beams) {
       if (Current.Finished)
         continue;
+      if (MaxDecodeSteps != 0 && Out.DecodeStepsUsed >= MaxDecodeSteps) {
+        Out.BudgetExhausted = true;
+        break;
+      }
       uint32_t LastToken =
           Current.Tokens.empty() ? Config.BosId : Current.Tokens.back();
       DecodeStep Decoded =
           decodeStep(G, {LastToken}, Current.H, Current.C, Enc, {0}, ModelRng);
+      ++Out.DecodeStepsUsed;
       // Log-softmax over the vocabulary.
       size_t V = Decoded.Logits.cols();
       const float *Row = Decoded.Logits.value();
+      if (!allFinite(Row, V)) {
+        Out.NonFinite = true;
+        break;
+      }
       float Max = Row[0];
       for (size_t J = 1; J < V; ++J)
         Max = std::max(Max, Row[J]);
@@ -361,9 +389,12 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
         break;
     }
   }
-  // Unfinished beams count as (truncated) hypotheses if we ran out.
-  for (const Beam &Current : Beams)
-    Finished.push_back({Current.Tokens, Current.LogProb});
+  // Unfinished beams count as (truncated) hypotheses if we ran out. After a
+  // non-finite step the live beams are tainted; keep only cleanly finished
+  // hypotheses in that case.
+  if (!Out.NonFinite)
+    for (const Beam &Current : Beams)
+      Finished.push_back({Current.Tokens, Current.LogProb});
   // Rank by length-normalized log-probability: plain sums systematically
   // favor short sequences (an immediate EOS would dominate every multi-token
   // type).
@@ -374,7 +405,8 @@ Seq2SeqModel::predictTopK(const std::vector<uint32_t> &Source,
             });
   if (Finished.size() > BeamWidth)
     Finished.resize(BeamWidth);
-  return Finished;
+  Out.Hypotheses = std::move(Finished);
+  return Out;
 }
 
 // --- Serialization ---------------------------------------------------------

@@ -61,6 +61,14 @@ public:
                    const std::vector<std::vector<uint32_t>> &Targets,
                    AdamOptimizer &Optimizer);
 
+  /// The forward/backward half of trainBatch: accumulates the batch gradient
+  /// into Parameter::Grad (same fixed-shard decomposition, same ordered
+  /// reduction, one ModelRng draw) but does NOT run the optimizer. The
+  /// self-healing trainer uses this so it can inspect gradient health — and
+  /// discard a poisoned batch — before any weight or Adam moment changes.
+  float computeBatchGradients(const std::vector<std::vector<uint32_t>> &Sources,
+                              const std::vector<std::vector<uint32_t>> &Targets);
+
   /// Batch rows per data-parallel shard. Part of the determinism contract:
   /// the decomposition never depends on the available threads.
   static constexpr size_t TrainShardSize = 8;
@@ -72,6 +80,27 @@ public:
   /// Beam search for the BeamWidth most likely target sequences.
   std::vector<Hypothesis> predictTopK(const std::vector<uint32_t> &Source,
                                       unsigned BeamWidth);
+
+  /// Outcome of a budgeted beam search. Hypotheses may be empty or partial
+  /// when the budget ran out or the logits went non-finite; callers degrade
+  /// to a cheaper tier instead of trusting them.
+  struct BeamOutcome {
+    std::vector<Hypothesis> Hypotheses;
+    uint64_t DecodeStepsUsed = 0; ///< decodeStep invocations consumed.
+    bool BudgetExhausted = false; ///< Search stopped by the step budget.
+    bool NonFinite = false;       ///< A decode step produced NaN/inf logits.
+  };
+
+  /// predictTopK with a hard cost ceiling: the search charges one unit per
+  /// decoder invocation (the dominant cost) and stops as soon as the next
+  /// step would exceed MaxDecodeSteps (0 = unlimited). Every step's logits
+  /// are also screened for non-finite values, so a numerically broken model
+  /// reports NonFinite instead of emitting garbage predictions. This is what
+  /// makes per-request deadlines in the serving engine enforceable: beam
+  /// cost is bounded by construction, not by wall-clock supervision.
+  BeamOutcome predictTopKBudgeted(const std::vector<uint32_t> &Source,
+                                  unsigned BeamWidth,
+                                  uint64_t MaxDecodeSteps);
 
   /// All trainable parameters (for the optimizer).
   std::vector<Parameter *> parameters();

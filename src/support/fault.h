@@ -45,12 +45,24 @@ struct FaultConfig {
   uint64_t CrashAtTick = 0;
   /// Mutations applied per corrupt() call, uniform in [1, MaxMutations].
   size_t MaxMutations = 4;
+  /// Training batches (1-based batch numbers, as counted by the trainer)
+  /// whose gradients are poisoned with NaN after the backward pass. Each
+  /// listed batch fires exactly once, so a supervisor that rolls back and
+  /// replays a batch is not re-poisoned forever.
+  std::vector<uint64_t> PoisonGradBatches;
+  /// Probability that a single model call in the serving path fails
+  /// (simulating the flakiest stage of the pipeline). Drawn from a stream
+  /// independent of the I/O-failure stream so enabling one does not perturb
+  /// the other's schedule.
+  double ModelFailureRate = 0.0;
 };
 
 class FaultInjector {
 public:
   explicit FaultInjector(const FaultConfig &Config = {})
-      : Config(Config), R(Config.Seed ^ 0xfa017fa017fa017fULL) {}
+      : Config(Config), R(Config.Seed ^ 0xfa017fa017fa017fULL),
+        ModelR(Config.Seed ^ 0x0de1fa11ed0de1faULL),
+        PoisonPending(Config.PoisonGradBatches) {}
 
   const FaultConfig &config() const { return Config; }
 
@@ -61,6 +73,24 @@ public:
   /// True when the I/O operation at this call site should fail transiently.
   bool injectIoFailure() {
     return Config.IoFailureRate > 0.0 && R.nextBool(Config.IoFailureRate);
+  }
+
+  /// True when the gradients of training batch BatchNumber (1-based) should
+  /// be poisoned with NaN. Consuming: each configured batch fires once.
+  bool shouldPoisonGrad(uint64_t BatchNumber) {
+    for (size_t I = 0; I < PoisonPending.size(); ++I)
+      if (PoisonPending[I] == BatchNumber) {
+        PoisonPending.erase(PoisonPending.begin() + I);
+        return true;
+      }
+    return false;
+  }
+
+  /// True when the model call at this call site should fail (serving-path
+  /// degradation tests). Independent stream from injectIoFailure().
+  bool injectModelFailure() {
+    return Config.ModelFailureRate > 0.0 &&
+           ModelR.nextBool(Config.ModelFailureRate);
   }
 
   /// Advances the crash clock; returns true exactly once, when the
@@ -79,6 +109,8 @@ public:
 private:
   FaultConfig Config;
   Rng R;
+  Rng ModelR;
+  std::vector<uint64_t> PoisonPending;
   uint64_t Ticks = 0;
   bool Crashed = false;
 };

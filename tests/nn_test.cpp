@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 
 namespace snowwhite {
 namespace nn {
@@ -297,6 +298,87 @@ TEST(Graph, SoftmaxRowsSumToOne) {
     EXPECT_NEAR(Sum, 1.0f, 1e-5f);
   }
   EXPECT_GT(Probs.at(0, 2), Probs.at(0, 0));
+}
+
+// --- Numerical stability at extreme magnitudes --------------------------------
+//
+// Audit targets for the self-healing work: every exp/log call site must
+// stay finite when logits reach magnitudes far beyond anything a healthy
+// model produces, so one overflowing batch degrades into a detectable NaN
+// gradient at worst — never into silent inf propagation.
+
+TEST(Graph, SoftmaxRowsFiniteAtExtremeLogits) {
+  Graph G(false);
+  std::vector<float> Data = {1e4f,  -1e4f, 0.0f,   // One dominating logit.
+                             3e4f,  3e4f,  -3e4f,  // Tied at the top.
+                             -3e4f, -3e4f, -3e4f}; // All tiny, tied.
+  Var Probs = G.softmaxRows(G.input(3, 3, Data.data()));
+  for (int Row = 0; Row < 3; ++Row) {
+    float Sum = 0;
+    for (int Col = 0; Col < 3; ++Col) {
+      ASSERT_TRUE(std::isfinite(Probs.at(Row, Col)))
+          << "row " << Row << " col " << Col;
+      Sum += Probs.at(Row, Col);
+    }
+    EXPECT_NEAR(Sum, 1.0f, 1e-5f) << "row " << Row;
+  }
+  EXPECT_NEAR(Probs.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(Probs.at(1, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(Probs.at(2, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(GradCheck, CrossEntropyAtExtremeLogits) {
+  // Max-subtracted log-sum-exp keeps both the loss and its gradient finite;
+  // the finite differences confirm analytic and numeric agree even where
+  // most coordinates are fully saturated (both ~0).
+  Parameter Logits(3, 4);
+  Logits.Value = {1e3f, -1e3f, 0.0f,  0.5f,  // Saturated towards col 0.
+                  2e3f, 2e3f,  -2e3f, 0.0f,  // Top-2 tie.
+                  0.3f, -0.2f, 0.1f,  0.4f}; // Well-conditioned.
+  std::vector<uint32_t> Targets = {0, 1, 3};
+  {
+    Graph G(/*Training=*/true);
+    Var Loss = G.crossEntropy(G.param(Logits), Targets, /*IgnoreIndex=*/99);
+    ASSERT_TRUE(std::isfinite(Loss.at(0, 0)));
+    G.backward(Loss);
+    for (size_t I = 0; I < Logits.size(); ++I)
+      ASSERT_TRUE(std::isfinite(Logits.Grad[I])) << "coordinate " << I;
+  }
+  checkGradient(Logits, [&](Graph &G, Parameter &Param) {
+    return G.crossEntropy(G.param(Param), Targets, /*IgnoreIndex=*/99);
+  });
+}
+
+TEST(Graph, SigmoidStableAtLargeMagnitude) {
+  // The two-branch form never evaluates exp on a positive argument, so
+  // sigmoid(-100) underflows to 0 instead of inf/(1+inf) = NaN.
+  Graph G(false);
+  std::vector<float> Data = {-100.0f, -4.0f, 0.0f, 4.0f, 100.0f};
+  Var S = G.sigmoid(G.input(1, 5, Data.data()));
+  for (int Col = 0; Col < 5; ++Col) {
+    ASSERT_TRUE(std::isfinite(S.at(0, Col))) << "col " << Col;
+    EXPECT_GE(S.at(0, Col), 0.0f);
+    EXPECT_LE(S.at(0, Col), 1.0f);
+  }
+  EXPECT_NEAR(S.at(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(S.at(0, 4), 1.0f, 1e-6f);
+  EXPECT_NEAR(S.at(0, 2), 0.5f, 1e-6f);
+  // Both branches agree with the reference formula where it is stable.
+  EXPECT_NEAR(S.at(0, 1), 1.0f / (1.0f + std::exp(4.0f)), 1e-6f);
+  EXPECT_NEAR(S.at(0, 3), 1.0f / (1.0f + std::exp(-4.0f)), 1e-6f);
+}
+
+TEST(Graph, AllFiniteFlagsEveryNonFiniteKind) {
+  std::vector<float> Healthy = {0.0f, -1.5f, 3e38f, -3e38f};
+  EXPECT_TRUE(allFinite(Healthy.data(), Healthy.size()));
+  for (float Bad : {std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    std::vector<float> Poisoned = Healthy;
+    Poisoned[2] = Bad;
+    EXPECT_FALSE(allFinite(Poisoned.data(), Poisoned.size()));
+  }
+  EXPECT_TRUE(allFinite(nullptr, 0));
 }
 
 // --- Optimizer ---------------------------------------------------------------

@@ -21,6 +21,19 @@
 //       corrupt modules are quarantined (skip-and-report); with --strict the
 //       first corrupt module aborts the run with its structured error.
 //
+//   snowwhite predict-batch [requests] [--fail-rate F] [--budget N]
+//                           [--queue N] [--seed S] [--verbose]
+//       Train a small model on a synthetic corpus, then run a batch of
+//       type-prediction requests through the degrade-gracefully serving
+//       engine. Emits one machine-readable line per request
+//       (req= outcome= tier= steps= top1=) plus a summary; every request is
+//       answered even under injected model failures.
+//
+//   snowwhite serve [--fail-rate F] [--budget N] [--seed S]
+//       Same engine as a line-oriented REPL: each stdin line is a
+//       whitespace-separated wasm input-token sequence; the response line is
+//       printed to stdout. EOF or "quit" ends the session.
+//
 // Every failure path exits non-zero and prints the structured error as
 // "error [<code>]: <context-chained message>".
 //
@@ -29,6 +42,8 @@
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
+#include "model/serving.h"
+#include "model/trainer.h"
 #include "support/io.h"
 #include "support/str.h"
 #include "typelang/from_dwarf.h"
@@ -43,6 +58,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -278,6 +296,229 @@ static int commandIngest(int argc, char **argv) {
   return 0;
 }
 
+// --- Serving commands --------------------------------------------------------
+
+namespace {
+
+/// Shared backend for predict-batch and serve: a synthetic corpus, its
+/// parameter-prediction task, and a quickly trained small model.
+struct ServingDemo {
+  dataset::Dataset Data;
+  std::unique_ptr<model::Task> BoundTask;
+  model::TrainResult Trained;
+};
+
+bool buildServingDemo(uint64_t Seed, bool Verbose, ServingDemo &Out) {
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = Seed;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  Out.Data = dataset::buildDataset(Corpus);
+  model::TaskOptions TaskOpts;
+  TaskOpts.MaxTrainSamples = 256; // Keep the demo train fast.
+  Out.BoundTask = std::make_unique<model::Task>(Out.Data, TaskOpts);
+  model::TrainOptions TrainOpts;
+  TrainOpts.MaxEpochs = 1;
+  TrainOpts.BatchSize = 16;
+  TrainOpts.EmbedDim = 16;
+  TrainOpts.HiddenDim = 24;
+  TrainOpts.MaxValidSamples = 64;
+  TrainOpts.Seed = Seed;
+  TrainOpts.Verbose = Verbose;
+  if (Verbose)
+    std::fprintf(stderr, "training demo model (%zu samples)...\n",
+                 Out.BoundTask->train().size());
+  Out.Trained = model::trainModel(*Out.BoundTask, TrainOpts);
+  return Out.Trained.Model != nullptr;
+}
+
+void printResponse(const model::ServeResponse &Response) {
+  std::string Top1 = Response.Predictions.empty()
+                         ? std::string()
+                         : joinStrings(Response.Predictions[0].Tokens, " ");
+  std::printf("req=%llu outcome=%s tier=%s steps=%llu top1=\"%s\"%s%s\n",
+              static_cast<unsigned long long>(Response.Id),
+              model::outcomeCode(Response.Outcome),
+              model::tierName(Response.Tier),
+              static_cast<unsigned long long>(Response.DecodeStepsUsed),
+              Top1.c_str(), Response.Detail.empty() ? "" : " detail=",
+              Response.Detail.empty()
+                  ? ""
+                  : ("\"" + Response.Detail + "\"").c_str());
+}
+
+void printStats(const model::ServingStats &Stats) {
+  std::printf("summary submitted=%llu answered=%llu beam=%llu greedy=%llu "
+              "baseline=%llu rejected=%llu decode-steps=%llu\n",
+              static_cast<unsigned long long>(Stats.Submitted),
+              static_cast<unsigned long long>(Stats.Answered),
+              static_cast<unsigned long long>(Stats.BeamAnswers),
+              static_cast<unsigned long long>(Stats.GreedyAnswers),
+              static_cast<unsigned long long>(Stats.BaselineAnswers),
+              static_cast<unsigned long long>(Stats.Rejected),
+              static_cast<unsigned long long>(Stats.DecodeSteps));
+}
+
+/// Parses the flags shared by predict-batch and serve. Returns false (after
+/// printing to stderr) on a malformed command line.
+bool parseServingFlags(int argc, char **argv, const char *Usage,
+                       double &FailRate, uint64_t &Budget, size_t &QueueCap,
+                       uint64_t &Seed, bool &Verbose, size_t *Requests) {
+  for (int I = 0; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\nusage: %s\n", Flag, Usage);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--fail-rate") == 0) {
+      const char *V = Value("--fail-rate");
+      if (!V)
+        return false;
+      FailRate = std::atof(V);
+    } else if (std::strcmp(argv[I], "--budget") == 0) {
+      const char *V = Value("--budget");
+      if (!V)
+        return false;
+      Budget = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--queue") == 0) {
+      const char *V = Value("--queue");
+      if (!V)
+        return false;
+      QueueCap = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--seed") == 0) {
+      const char *V = Value("--seed");
+      if (!V)
+        return false;
+      Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--verbose") == 0) {
+      Verbose = true;
+    } else if (Requests && argv[I][0] != '-') {
+      *Requests = static_cast<size_t>(std::atoll(argv[I]));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\nusage: %s\n", argv[I], Usage);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+static int commandPredictBatch(int argc, char **argv) {
+  const char *Usage = "snowwhite predict-batch [requests] [--fail-rate F] "
+                      "[--budget N] [--queue N] [--seed S] [--verbose]";
+  size_t NumRequests = 32;
+  double FailRate = 0.0;
+  uint64_t Budget = 256;
+  size_t QueueCap = 16;
+  uint64_t Seed = 7;
+  bool Verbose = false;
+  if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
+                         Verbose, &NumRequests))
+    return 2;
+
+  ServingDemo Demo;
+  if (!buildServingDemo(Seed, Verbose, Demo))
+    return 1;
+
+  fault::FaultConfig FaultCfg;
+  FaultCfg.Seed = Seed;
+  FaultCfg.ModelFailureRate = FailRate;
+  fault::FaultInjector Faults(FaultCfg);
+
+  model::ServingOptions Opts;
+  Opts.TopK = 3;
+  Opts.DefaultStepBudget = Budget;
+  Opts.QueueCapacity = QueueCap;
+  if (FailRate > 0.0)
+    Opts.Faults = &Faults;
+  model::ServingEngine Engine(*Demo.Trained.Model, *Demo.BoundTask, Opts);
+
+  // Requests are the test split's raw input-token sequences, in order.
+  const std::vector<uint32_t> &TestIdx = Demo.Data.Test;
+  size_t Total = std::min(NumRequests, TestIdx.size());
+  if (Total == 0) {
+    printError(Error(ErrorCode::NotFound, "no test samples to serve"));
+    return 1;
+  }
+  for (size_t I = 0; I < Total; ++I) {
+    model::ServeRequest Request;
+    Request.Id = I;
+    Request.InputTokens = Demo.Data.Samples[TestIdx[I]].Input;
+    if (!Engine.submit(Request)) {
+      // Admission control fired: drain the queue, then retry (the caller's
+      // retry policy — here, serve everything).
+      for (const model::ServeResponse &Response : Engine.drain())
+        printResponse(Response);
+      Engine.submit(std::move(Request));
+    }
+  }
+  for (const model::ServeResponse &Response : Engine.drain())
+    printResponse(Response);
+  printStats(Engine.stats());
+  return Engine.stats().Answered == Total ? 0 : 1;
+}
+
+static int commandServe(int argc, char **argv) {
+  const char *Usage =
+      "snowwhite serve [--fail-rate F] [--budget N] [--seed S] [--verbose]";
+  double FailRate = 0.0;
+  uint64_t Budget = 256;
+  size_t QueueCap = 64;
+  uint64_t Seed = 7;
+  bool Verbose = false;
+  if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
+                         Verbose, nullptr))
+    return 2;
+
+  ServingDemo Demo;
+  if (!buildServingDemo(Seed, Verbose, Demo))
+    return 1;
+
+  fault::FaultConfig FaultCfg;
+  FaultCfg.Seed = Seed;
+  FaultCfg.ModelFailureRate = FailRate;
+  fault::FaultInjector Faults(FaultCfg);
+
+  model::ServingOptions Opts;
+  Opts.DefaultStepBudget = Budget;
+  Opts.QueueCapacity = QueueCap;
+  if (FailRate > 0.0)
+    Opts.Faults = &Faults;
+  model::ServingEngine Engine(*Demo.Trained.Model, *Demo.BoundTask, Opts);
+
+  std::fprintf(stderr, "ready — one request per line "
+                       "(wasm input tokens, e.g. \"i32 <begin> ...\"); "
+                       "\"quit\" or EOF ends the session\n");
+  std::string Line;
+  uint64_t NextId = 0;
+  while (std::getline(std::cin, Line)) {
+    if (Line == "quit")
+      break;
+    model::ServeRequest Request;
+    Request.Id = NextId++;
+    std::istringstream Tokens(Line);
+    std::string Token;
+    while (Tokens >> Token)
+      Request.InputTokens.push_back(Token);
+    if (Request.InputTokens.empty())
+      continue;
+    if (!Engine.submit(std::move(Request))) {
+      std::printf("req=%llu outcome=rejected-queue-full\n",
+                  static_cast<unsigned long long>(NextId - 1));
+      std::fflush(stdout);
+      continue;
+    }
+    for (const model::ServeResponse &Response : Engine.drain())
+      printResponse(Response);
+    std::fflush(stdout);
+  }
+  printStats(Engine.stats());
+  return 0;
+}
+
 int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
@@ -286,7 +527,10 @@ int main(int argc, char **argv) {
                  "  snowwhite gen <dir> [packages] [seed]\n"
                  "  snowwhite dump <file.wasm>\n"
                  "  snowwhite strip <in.wasm> <out.wasm>\n"
-                 "  snowwhite ingest <dir> [--strict]\n");
+                 "  snowwhite ingest <dir> [--strict]\n"
+                 "  snowwhite predict-batch [requests] [--fail-rate F] "
+                 "[--budget N] [--queue N] [--seed S]\n"
+                 "  snowwhite serve [--fail-rate F] [--budget N] [--seed S]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "gen") == 0)
@@ -297,6 +541,10 @@ int main(int argc, char **argv) {
     return commandStrip(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "ingest") == 0)
     return commandIngest(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "predict-batch") == 0)
+    return commandPredictBatch(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "serve") == 0)
+    return commandServe(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
 }

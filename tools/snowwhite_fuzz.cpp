@@ -19,22 +19,48 @@
 //       rate vs. quarantined modules vs. surviving samples vs. validation
 //       loss.
 //
+//   snowwhite_fuzz --checkpoints [iterations] [seed]
+//       Checkpoint/model-file mutation fuzz: train a tiny model with
+//       checkpointing on, then corrupt the saved model file and trainer
+//       checkpoint and push them through the load paths. Invariant: every
+//       corrupted file is rejected with a taxonomy-coded error (usually
+//       ChecksumMismatch; Truncated/Malformed/Unsupported when the payload
+//       is corrupted under a freshly recomputed checksum) — never a crash,
+//       never a silent load. A resumed training run over a corrupt
+//       checkpoint must fall back to a fresh start, not abort.
+//
+//   snowwhite_fuzz --recovery-table [seed]
+//       Self-healing sweep for EXPERIMENTS.md: inject NaN gradients into a
+//       growing number of batches and print recovery overhead (batches
+//       skipped, rollbacks, wall-clock delta vs. the clean run).
+//
+//   snowwhite_fuzz --serving-table [seed]
+//       Degradation-ladder sweep for EXPERIMENTS.md: run a request batch at
+//       increasing injected model-failure rates and print per-tier answer
+//       rates (answered must stay 100%).
+//
 //===----------------------------------------------------------------------===//
 
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
+#include "model/serving.h"
 #include "model/task.h"
 #include "model/trainer.h"
+#include "nn/seq2seq.h"
 #include "support/fault.h"
 #include "support/hash.h"
+#include "support/io.h"
 #include "wasm/reader.h"
 #include "wasm/validate.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -159,12 +185,278 @@ int runFaultTable(uint64_t Seed) {
   return 0;
 }
 
+/// Small shared fixture for the checkpoint/recovery/serving modes: a tiny
+/// task and a training configuration fast enough to run repeatedly.
+struct TinyTrainFixture {
+  dataset::Dataset Data;
+  std::unique_ptr<model::Task> BoundTask;
+  model::TrainOptions Options;
+};
+
+TinyTrainFixture makeTinyFixture(uint64_t Seed) {
+  TinyTrainFixture Out;
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 8;
+  Spec.Seed = Seed ^ 0x7e57c0deULL;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  Out.Data = dataset::buildDataset(Corpus);
+  model::TaskOptions TaskOpts;
+  TaskOpts.MaxTrainSamples = 96;
+  Out.BoundTask = std::make_unique<model::Task>(Out.Data, TaskOpts);
+  Out.Options.MaxEpochs = 1;
+  Out.Options.BatchSize = 16;
+  Out.Options.EmbedDim = 12;
+  Out.Options.HiddenDim = 16;
+  Out.Options.MaxValidSamples = 32;
+  Out.Options.Seed = Seed;
+  return Out;
+}
+
+int runCheckpointFuzz(uint64_t Iterations, uint64_t Seed) {
+  // Produce one genuine model file and one genuine trainer checkpoint.
+  TinyTrainFixture Fixture = makeTinyFixture(Seed);
+  std::string Dir = std::filesystem::temp_directory_path().string();
+  std::string CkptPath = Dir + "/snowwhite_fuzz.ckpt";
+  std::string ModelPath = Dir + "/snowwhite_fuzz.model";
+  std::string MutantPath = Dir + "/snowwhite_fuzz.mutant";
+  Fixture.Options.CheckpointPath = CkptPath;
+  Fixture.Options.CheckpointEveryBatches = 2;
+  model::TrainResult Trained =
+      model::trainModel(*Fixture.BoundTask, Fixture.Options);
+  Result<void> Saved = Trained.Model->save(ModelPath);
+  if (Saved.isErr()) {
+    std::fprintf(stderr, "error: %s\n", Saved.error().message().c_str());
+    return 1;
+  }
+  Result<std::vector<uint8_t>> CkptFile = io::readFileBytes(CkptPath);
+  Result<std::vector<uint8_t>> ModelFile = io::readFileBytes(ModelPath);
+  Result<std::vector<uint8_t>> CkptPayload = io::readFileChecksummed(CkptPath);
+  Result<std::vector<uint8_t>> ModelPayload =
+      io::readFileChecksummed(ModelPath);
+  if (CkptFile.isErr() || ModelFile.isErr() || CkptPayload.isErr() ||
+      ModelPayload.isErr()) {
+    std::fprintf(stderr, "error: could not read back training artifacts\n");
+    return 1;
+  }
+
+  uint64_t Tested = 0, Unchanged = 0, Rejected = 0, ResumesFreshStart = 0,
+           StructurallyValid = 0;
+  std::map<std::string, uint64_t> ByCode;
+
+  auto LoadModelMutant = [&](const std::vector<uint8_t> &Bytes) -> bool {
+    if (io::writeFileAtomic(MutantPath, Bytes).isErr())
+      return false;
+    Result<nn::Seq2SeqModel> Loaded = nn::Seq2SeqModel::load(MutantPath);
+    if (Loaded.isOk())
+      return false; // Mutant loaded: only legal when bytes were unchanged.
+    ++Rejected;
+    ++ByCode[errorCodeName(Loaded.error().code())];
+    return true;
+  };
+  auto LoadCkptMutant = [&](const std::vector<uint8_t> &Bytes) -> bool {
+    if (io::writeFileAtomic(MutantPath, Bytes).isErr())
+      return false;
+    Result<std::vector<uint8_t>> Read = io::readFileChecksummed(MutantPath);
+    if (Read.isOk())
+      return false;
+    ++Rejected;
+    ++ByCode[errorCodeName(Read.error().code())];
+    return true;
+  };
+
+  for (uint64_t I = 0; I < Iterations; ++I) {
+    fault::FaultConfig Config;
+    Config.Seed = hashCombine(Seed, I);
+    fault::FaultInjector Injector(Config);
+    // Alternate targets: whole model file, whole checkpoint file, and (every
+    // fourth iteration) the checkpoint *payload* re-wrapped under a fresh
+    // checksum — the only way corruption can get past the checksum layer and
+    // into the structural validation of the deserializer.
+    std::vector<uint8_t> Bytes;
+    bool Rewrapped = I % 4 == 3;
+    bool TargetModel = Rewrapped ? (I / 4) % 2 == 0 : I % 2 == 0;
+    if (Rewrapped)
+      Bytes = TargetModel ? *ModelPayload : *CkptPayload;
+    else
+      Bytes = TargetModel ? *ModelFile : *CkptFile;
+    std::vector<uint8_t> Original = Bytes;
+    Injector.corrupt(Bytes);
+    if (Bytes == Original) {
+      ++Unchanged; // corrupt() landed on an identity mutation; not a mutant.
+      continue;
+    }
+    ++Tested;
+    bool Ok;
+    if (Rewrapped) {
+      // Recompute the checksum over the corrupted payload, then load.
+      if (io::writeFileChecksummed(MutantPath, Bytes).isErr())
+        return 1;
+      if (TargetModel) {
+        // With the checksum recomputed over the corrupted payload, the
+        // deserializer's structural validation is all that remains. A
+        // mutation confined to the weight floats is structurally valid and
+        // MAY load; the invariant here is no crash and taxonomy-coded
+        // rejection for everything structurally broken.
+        Result<nn::Seq2SeqModel> Loaded = nn::Seq2SeqModel::load(MutantPath);
+        Ok = true;
+        if (Loaded.isErr()) {
+          ++Rejected;
+          ++ByCode[errorCodeName(Loaded.error().code())];
+        } else {
+          ++StructurallyValid;
+        }
+      } else {
+        // The trainer's contract for a structurally broken checkpoint is
+        // fall-back-to-fresh-start, never a crash or a silent partial load.
+        model::TrainOptions ResumeOpts = Fixture.Options;
+        ResumeOpts.CheckpointPath = MutantPath;
+        ResumeOpts.Resume = true;
+        ResumeOpts.MaxEpochs = 1;
+        model::TrainResult Rerun =
+            model::trainModel(*Fixture.BoundTask, ResumeOpts);
+        Ok = Rerun.Model != nullptr;
+        if (Ok)
+          ++ResumesFreshStart;
+      }
+    } else {
+      Ok = TargetModel ? LoadModelMutant(Bytes) : LoadCkptMutant(Bytes);
+    }
+    if (!Ok) {
+      std::fprintf(stderr,
+                   "FAIL: iteration %llu (seed %llu) corrupted %s was not "
+                   "rejected\n",
+                   static_cast<unsigned long long>(I),
+                   static_cast<unsigned long long>(Seed),
+                   TargetModel ? "model" : "checkpoint");
+      return 1;
+    }
+  }
+
+  std::printf("checkpoint fuzz: %llu mutants, 0 crashes, 0 silent loads\n"
+              "  rejected             %llu\n"
+              "  resumes survived     %llu\n"
+              "  rewrapped valid      %llu\n"
+              "  identity mutations   %llu\n",
+              static_cast<unsigned long long>(Tested),
+              static_cast<unsigned long long>(Rejected),
+              static_cast<unsigned long long>(ResumesFreshStart),
+              static_cast<unsigned long long>(StructurallyValid),
+              static_cast<unsigned long long>(Unchanged));
+  std::printf("  rejection codes:");
+  for (const auto &[Code, Count] : ByCode)
+    std::printf(" %s=%llu", Code.c_str(),
+                static_cast<unsigned long long>(Count));
+  std::printf("\n");
+  std::remove(MutantPath.c_str());
+  std::remove(CkptPath.c_str());
+  std::remove(ModelPath.c_str());
+  return 0;
+}
+
+int runRecoveryTable(uint64_t Seed) {
+  TinyTrainFixture Fixture = makeTinyFixture(Seed);
+  Fixture.Options.Recovery.RollbackAfterConsecutive = 2;
+
+  // Clean reference run for the wall-clock delta.
+  model::TrainResult Clean =
+      model::trainModel(*Fixture.BoundTask, Fixture.Options);
+
+  std::printf("| poisoned batches | skipped | rollbacks | lr backoffs | "
+              "diverged | wall-clock delta |\n");
+  std::printf("|-----------------:|--------:|----------:|------------:|"
+              ":--------:|-----------------:|\n");
+  const std::vector<std::vector<uint64_t>> PoisonSets = {
+      {}, {3}, {2, 5}, {2, 3, 4}, {1, 2, 3, 4, 5, 6}};
+  for (const std::vector<uint64_t> &Poison : PoisonSets) {
+    fault::FaultConfig Config;
+    Config.Seed = Seed;
+    Config.PoisonGradBatches = Poison;
+    fault::FaultInjector Injector(Config);
+    model::TrainOptions Options = Fixture.Options;
+    Options.Faults = &Injector;
+    model::TrainResult Run = model::trainModel(*Fixture.BoundTask, Options);
+    std::printf("| %16zu | %7zu | %9zu | %11zu | %8s | %15.2fs |\n",
+                Poison.size(), Run.Recovery.BatchesSkipped,
+                Run.Recovery.Rollbacks, Run.Recovery.LrBackoffs,
+                Run.Recovery.Diverged ? "yes" : "no",
+                Run.TrainSeconds - Clean.TrainSeconds);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int runServingTable(uint64_t Seed) {
+  TinyTrainFixture Fixture = makeTinyFixture(Seed);
+  model::TrainResult Trained =
+      model::trainModel(*Fixture.BoundTask, Fixture.Options);
+
+  std::printf("| model failure rate | requests | answered | beam | greedy | "
+              "baseline |\n");
+  std::printf("|-------------------:|---------:|---------:|-----:|-------:|"
+              "---------:|\n");
+  for (double Rate : {0.0, 0.2, 0.5, 0.8}) {
+    fault::FaultConfig Config;
+    Config.Seed = Seed;
+    Config.ModelFailureRate = Rate;
+    fault::FaultInjector Injector(Config);
+    model::ServingOptions Opts;
+    Opts.TopK = 3;
+    Opts.DefaultStepBudget = 128;
+    Opts.QueueCapacity = 256;
+    if (Rate > 0.0)
+      Opts.Faults = &Injector;
+    model::ServingEngine Engine(*Trained.Model, *Fixture.BoundTask, Opts);
+    size_t Requests = 0;
+    for (uint32_t Index : Fixture.Data.Test) {
+      if (Requests >= 64)
+        break;
+      model::ServeRequest Request;
+      Request.Id = Requests++;
+      Request.InputTokens = Fixture.Data.Samples[Index].Input;
+      Engine.submit(std::move(Request));
+    }
+    std::vector<model::ServeResponse> Responses = Engine.drain();
+    for (const model::ServeResponse &Response : Responses)
+      if (Response.Predictions.empty()) {
+        std::fprintf(stderr, "FAIL: request %llu got no prediction\n",
+                     static_cast<unsigned long long>(Response.Id));
+        return 1;
+      }
+    const model::ServingStats &Stats = Engine.stats();
+    std::printf("| %17.0f%% | %8zu | %7.0f%% | %4llu | %6llu | %8llu |\n",
+                Rate * 100.0, Requests,
+                Requests == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(Stats.Answered) /
+                          static_cast<double>(Requests),
+                static_cast<unsigned long long>(Stats.BeamAnswers),
+                static_cast<unsigned long long>(Stats.GreedyAnswers),
+                static_cast<unsigned long long>(Stats.BaselineAnswers));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc > 1 && std::strcmp(argv[1], "--fault-table") == 0) {
     uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
     return runFaultTable(Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--checkpoints") == 0) {
+    uint64_t Iterations =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 400;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runCheckpointFuzz(Iterations, Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--recovery-table") == 0) {
+    uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
+    return runRecoveryTable(Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--serving-table") == 0) {
+    uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
+    return runServingTable(Seed);
   }
   uint64_t Iterations =
       argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 10000;
