@@ -1,0 +1,137 @@
+#include "analysis/gate.h"
+
+namespace snowwhite {
+namespace analysis {
+
+using typelang::PrimKind;
+using typelang::Type;
+using typelang::TypeKind;
+
+namespace {
+
+/// Peels `name` wrappers: typedefs are transparent to the checker.
+const Type &resolveNames(const Type &T) {
+  const Type *Cur = &T;
+  while (Cur->kind() == TypeKind::TK_Name)
+    Cur = &Cur->inner();
+  return *Cur;
+}
+
+/// Peels `name` and `const` wrappers.
+const Type &resolveQualifiers(const Type &T) {
+  const Type *Cur = &T;
+  while (Cur->kind() == TypeKind::TK_Name ||
+         Cur->kind() == TypeKind::TK_Const)
+    Cur = &Cur->inner();
+  return *Cur;
+}
+
+/// Storage width of a pointee in bits, or 0 when unknown/not applicable
+/// (aggregates, arrays, enums — an access through those can be any member
+/// width, so the width check must not fire).
+unsigned pointeeBits(const Type &Pointee) {
+  const Type &T = resolveQualifiers(Pointee);
+  switch (T.kind()) {
+  case TypeKind::TK_Primitive:
+    switch (T.primKind()) {
+    case PrimKind::PK_Bool:
+    case PrimKind::PK_CChar:
+      return 8;
+    case PrimKind::PK_Complex:
+      return 0; // Two-part layout; member accesses are narrower.
+    default:
+      return T.primBits();
+    }
+  case TypeKind::TK_Pointer:
+    return 32; // wasm32 pointers.
+  default:
+    return 0;
+  }
+}
+
+/// True when the pointee (after typedefs) is const-qualified.
+bool pointeeIsConst(const Type &Pointee) {
+  const Type *Cur = &Pointee;
+  while (Cur->kind() == TypeKind::TK_Name)
+    Cur = &Cur->inner();
+  return Cur->kind() == TypeKind::TK_Const;
+}
+
+GateVerdict checkParam(const Type &Predicted, const ParamEvidence &E) {
+  const Type &T = resolveNames(Predicted);
+
+  if (T.kind() == TypeKind::TK_Pointer) {
+    const Type &Pointee = T.inner();
+    if (pointeeIsConst(Pointee) && E.storedThrough())
+      return GateVerdict::StoreThroughConst;
+    unsigned Bits = pointeeBits(Pointee);
+    if (Bits > 0 && E.MinAccessBytes > 0 &&
+        static_cast<unsigned>(E.MinAccessBytes) * 8 > Bits)
+      return GateVerdict::AccessWiderThanPointee;
+    return GateVerdict::Consistent;
+  }
+
+  // Aggregates are lowered byval as pointers by C ABIs, `unknown` claims
+  // nothing, and functions decay to pointers — none of those can be
+  // contradicted by address-like usage. Only plain scalars can.
+  bool Scalar =
+      T.kind() == TypeKind::TK_Primitive || T.kind() == TypeKind::TK_Enum;
+  if (!Scalar)
+    return GateVerdict::Consistent;
+
+  if (E.directlyDereferenced())
+    return GateVerdict::DerefNonPointer;
+
+  // Signedness: only exclusive sign-suffixed *arithmetic* usage counts.
+  // Comparisons are excluded — compilers emit lt_u for enums and pointers
+  // regardless of the C-level signedness.
+  if (T.kind() == TypeKind::TK_Primitive) {
+    if (T.primKind() == PrimKind::PK_Int && E.UnsignedOps > 0 &&
+        E.SignedOps == 0)
+      return GateVerdict::SignMismatch;
+    if (T.primKind() == PrimKind::PK_Uint && E.SignedOps > 0 &&
+        E.UnsignedOps == 0)
+      return GateVerdict::SignMismatch;
+  }
+  return GateVerdict::Consistent;
+}
+
+GateVerdict checkReturn(const Type &Predicted, const ReturnEvidence &R) {
+  const Type &T = resolveNames(Predicted);
+  if (T.kind() == TypeKind::TK_Pointer && R.TotalReturns > 0 &&
+      R.FromComparison == R.TotalReturns)
+    return GateVerdict::PointerFromComparison;
+  return GateVerdict::Consistent;
+}
+
+} // namespace
+
+const char *gateVerdictName(GateVerdict Verdict) {
+  switch (Verdict) {
+  case GateVerdict::Consistent:
+    return "consistent";
+  case GateVerdict::DerefNonPointer:
+    return "deref-non-pointer";
+  case GateVerdict::StoreThroughConst:
+    return "store-through-const";
+  case GateVerdict::AccessWiderThanPointee:
+    return "access-wider-than-pointee";
+  case GateVerdict::SignMismatch:
+    return "sign-mismatch";
+  case GateVerdict::PointerFromComparison:
+    return "pointer-from-comparison";
+  }
+  return "invalid-verdict";
+}
+
+GateVerdict checkConsistency(const typelang::Type &Predicted,
+                             const QueryEvidence &Evidence) {
+  if (Evidence.Param)
+    return checkParam(Predicted, *Evidence.Param);
+  if (Evidence.Ret)
+    return checkReturn(Predicted, *Evidence.Ret);
+  return GateVerdict::Consistent;
+}
+
+} // namespace analysis
+} // namespace snowwhite

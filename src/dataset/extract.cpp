@@ -52,10 +52,13 @@ std::vector<std::string> renderWindows(const Function &Func,
                                        const std::vector<Window> &Windows,
                                        int64_t ParamIndex,
                                        const char *LowLevelName,
-                                       const ExtractOptions &Options) {
+                                       const ExtractOptions &Options,
+                                       std::vector<std::string> Evidence) {
   std::vector<std::string> Out;
   if (Options.IncludeLowLevelType)
     Out.emplace_back(LowLevelName);
+  for (std::string &Token : Evidence)
+    Out.push_back(std::move(Token));
   Out.emplace_back(BeginToken);
   for (size_t WindowIndex = 0; WindowIndex < Windows.size(); ++WindowIndex) {
     if (WindowIndex != 0)
@@ -72,10 +75,10 @@ std::vector<std::string> renderWindows(const Function &Func,
 
 } // namespace
 
-std::vector<std::string> extractParamInput(const Module &M,
-                                           uint32_t DefinedIndex,
-                                           uint32_t ParamIndex,
-                                           const ExtractOptions &Options) {
+std::vector<std::string>
+extractParamInput(const Module &M, uint32_t DefinedIndex, uint32_t ParamIndex,
+                  const ExtractOptions &Options,
+                  const analysis::ParamEvidence *Evidence) {
   assert(DefinedIndex < M.Functions.size() && "function index out of range");
   const Function &Func = M.Functions[DefinedIndex];
   const wasm::FuncType &Type = M.functionType(DefinedIndex);
@@ -101,13 +104,17 @@ std::vector<std::string> extractParamInput(const Module &M,
     if (Func.Body.empty())
       Windows.clear();
   }
+  std::vector<std::string> EvidenceTokens;
+  if (Options.EvidenceTokens && Evidence)
+    EvidenceTokens = analysis::evidenceTokens(*Evidence);
   return renderWindows(Func, Windows, static_cast<int64_t>(ParamIndex),
-                       LowLevelName, Options);
+                       LowLevelName, Options, std::move(EvidenceTokens));
 }
 
-std::vector<std::string> extractReturnInput(const Module &M,
-                                            uint32_t DefinedIndex,
-                                            const ExtractOptions &Options) {
+std::vector<std::string>
+extractReturnInput(const Module &M, uint32_t DefinedIndex,
+                   const ExtractOptions &Options,
+                   const analysis::ReturnEvidence *Evidence) {
   assert(DefinedIndex < M.Functions.size() && "function index out of range");
   const Function &Func = M.Functions[DefinedIndex];
   const wasm::FuncType &Type = M.functionType(DefinedIndex);
@@ -130,8 +137,11 @@ std::vector<std::string> extractReturnInput(const Module &M,
   }
   if (Windows.empty() && !Func.Body.empty())
     Windows.push_back({0, Func.Body.size() - 1});
+  std::vector<std::string> EvidenceTokens;
+  if (Options.EvidenceTokens && Evidence)
+    EvidenceTokens = analysis::evidenceTokens(*Evidence);
   return renderWindows(Func, Windows, /*ParamIndex=*/-1, LowLevelName,
-                       Options);
+                       Options, std::move(EvidenceTokens));
 }
 
 } // namespace dataset

@@ -16,6 +16,7 @@
 #ifndef SNOWWHITE_DATASET_EXTRACT_H
 #define SNOWWHITE_DATASET_EXTRACT_H
 
+#include "analysis/evidence.h"
 #include "wasm/module.h"
 
 #include <string>
@@ -39,20 +40,26 @@ struct ExtractOptions {
                               ///< later truncation).
   bool IncludeLowLevelType = true; ///< Prefix t_low before <begin>
                                    ///< (ablation: Table 5 rightmost column).
+  bool EvidenceTokens = false; ///< Insert analysis-derived evidence tokens
+                               ///< ("<evid:ptr>", ...) between t_low and
+                               ///< <begin> (EXPERIMENTS ablation).
 };
 
 /// Input sequence for predicting the type of parameter ParamIndex of defined
-/// function DefinedIndex.
-std::vector<std::string> extractParamInput(const wasm::Module &M,
-                                           uint32_t DefinedIndex,
-                                           uint32_t ParamIndex,
-                                           const ExtractOptions &Options = {});
+/// function DefinedIndex. When Options.EvidenceTokens is set and Evidence is
+/// non-null, the parameter's evidence summary is rendered into auxiliary
+/// tokens after t_low.
+std::vector<std::string>
+extractParamInput(const wasm::Module &M, uint32_t DefinedIndex,
+                  uint32_t ParamIndex, const ExtractOptions &Options = {},
+                  const analysis::ParamEvidence *Evidence = nullptr);
 
 /// Input sequence for predicting the return type of DefinedIndex. The
 /// function must have a result.
 std::vector<std::string>
 extractReturnInput(const wasm::Module &M, uint32_t DefinedIndex,
-                   const ExtractOptions &Options = {});
+                   const ExtractOptions &Options = {},
+                   const analysis::ReturnEvidence *Evidence = nullptr);
 
 } // namespace dataset
 } // namespace snowwhite

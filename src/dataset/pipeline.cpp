@@ -1,5 +1,6 @@
 #include "dataset/pipeline.h"
 
+#include "analysis/analyzer.h"
 #include "dwarf/io.h"
 #include "support/hash.h"
 #include "support/rng.h"
@@ -171,6 +172,22 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
                               Flat[I].PackageId});
   }
 
+  // --- Stage 1b: dataflow analysis over kept binaries ---------------------
+  // Summaries are a pure function of the module bytes, so per-binary slots
+  // keep the results thread-count invariant. Analysis failure on a binary
+  // that already passed validation is unexpected but non-fatal: the binary
+  // simply contributes samples without evidence.
+  bool WantEvidence = Options.ComputeEvidence || Options.Extract.EvidenceTokens;
+  std::vector<std::optional<analysis::ModuleSummary>> Summaries(
+      WantEvidence ? Kept.size() : 0);
+  if (WantEvidence)
+    Pool.parallelTasks(Kept.size(), [&](size_t BinaryIndex) {
+      Result<analysis::ModuleSummary> Summary =
+          analysis::analyzeModule(Kept[BinaryIndex].Mod);
+      if (Summary.isOk())
+        Summaries[BinaryIndex].emplace(Summary.take());
+    });
+
   // --- Stage 2+3: match functions to subprograms and collect raw samples -
   struct RawRef {
     size_t BinaryIndex;
@@ -259,17 +276,22 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       Sample.FieldTokens =
           typelang::fieldShapeTokens(Binary.Debug, Ref.TypeDie);
       const wasm::FuncType &Type = Binary.Mod.functionType(Ref.FuncIndex);
+      if (WantEvidence && Summaries[Ref.BinaryIndex])
+        Sample.Evidence = analysis::queryEvidence(
+            *Summaries[Ref.BinaryIndex], Ref.FuncIndex, Ref.ParamIndex);
       if (Ref.ParamIndex < 0) {
         Sample.IsReturn = true;
         Sample.LowLevel = Type.Results[0];
-        Sample.Input =
-            extractReturnInput(Binary.Mod, Ref.FuncIndex, Options.Extract);
+        Sample.Input = extractReturnInput(
+            Binary.Mod, Ref.FuncIndex, Options.Extract,
+            Sample.Evidence.Ret ? &*Sample.Evidence.Ret : nullptr);
       } else {
         Sample.IsReturn = false;
         Sample.LowLevel = Type.Params[static_cast<size_t>(Ref.ParamIndex)];
-        Sample.Input = extractParamInput(Binary.Mod, Ref.FuncIndex,
-                                         static_cast<uint32_t>(Ref.ParamIndex),
-                                         Options.Extract);
+        Sample.Input = extractParamInput(
+            Binary.Mod, Ref.FuncIndex, static_cast<uint32_t>(Ref.ParamIndex),
+            Options.Extract,
+            Sample.Evidence.Param ? &*Sample.Evidence.Param : nullptr);
       }
     }
   });

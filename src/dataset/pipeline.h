@@ -18,6 +18,7 @@
 #ifndef SNOWWHITE_DATASET_PIPELINE_H
 #define SNOWWHITE_DATASET_PIPELINE_H
 
+#include "analysis/evidence.h"
 #include "dataset/extract.h"
 #include "frontend/corpus.h"
 #include "support/result.h"
@@ -42,6 +43,11 @@ struct DatasetOptions {
   double NameVocabThreshold = 0.01; ///< Fraction of packages for a "common"
                                     ///< name.
   uint64_t SplitSeed = 7;
+  /// Run the dataflow analysis (analysis/analyzer.h) on every kept binary
+  /// and attach per-sample evidence summaries (TypeSample::Evidence).
+  /// Implied by Extract.EvidenceTokens; also needed alone for the
+  /// consistency-gate precision measurement.
+  bool ComputeEvidence = false;
 };
 
 /// One labeled sample: the wasm input tokens and the "rich" converted type
@@ -57,6 +63,9 @@ struct TypeSample {
   /// a defined aggregate, the shape tokens of that aggregate's fields
   /// (typelang/fields.h); empty otherwise.
   std::vector<std::string> FieldTokens;
+  /// Statically-proven evidence for this query slot; populated only when
+  /// DatasetOptions::ComputeEvidence (or Extract.EvidenceTokens) is set.
+  analysis::QueryEvidence Evidence;
 };
 
 /// One corrupt module set aside by the pipeline instead of aborting it.

@@ -10,11 +10,32 @@
 namespace snowwhite {
 namespace model {
 
+analysis::GateVerdict
+gatePrediction(const TypePrediction &Prediction,
+               const analysis::QueryEvidence &Evidence) {
+  Result<typelang::Type> Parsed = typelang::parseType(Prediction.Tokens);
+  if (Parsed.isErr())
+    return analysis::GateVerdict::Consistent;
+  return analysis::checkConsistency(*Parsed, Evidence);
+}
+
+size_t applyEvidenceGate(std::vector<TypePrediction> &Predictions,
+                         const analysis::QueryEvidence &Evidence) {
+  size_t Before = Predictions.size();
+  std::erase_if(Predictions, [&](const TypePrediction &Prediction) {
+    return gatePrediction(Prediction, Evidence) !=
+           analysis::GateVerdict::Consistent;
+  });
+  return Before - Predictions.size();
+}
+
 std::vector<TypePrediction>
 Predictor::predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
-                          std::optional<wasm::ValType> LowLevel) const {
+                          std::optional<wasm::ValType> LowLevel,
+                          const analysis::QueryEvidence *Evidence) const {
   bool Filtering = Deduplicate || WellFormed ||
-                   (ConsistentOnly && LowLevel.has_value());
+                   (ConsistentOnly && LowLevel.has_value()) ||
+                   Evidence != nullptr;
   // Beam a bit wider than K when filtering, so dropped candidates still
   // leave K survivors. A fixed margin is not enough when the filters are
   // aggressive (e.g. most hypotheses are inconsistent with the low-level
@@ -39,6 +60,13 @@ Predictor::predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
         if (ConsistentOnly && LowLevel &&
             typelang::lowLevelTypeOf(*Parsed) != *LowLevel)
           continue;
+        if (Evidence && analysis::checkConsistency(*Parsed, *Evidence) !=
+                            analysis::GateVerdict::Consistent)
+          continue;
+      } else if (Evidence &&
+                 gatePrediction(Prediction, *Evidence) !=
+                     analysis::GateVerdict::Consistent) {
+        continue;
       }
       if (Deduplicate && !Seen.insert(Prediction.Tokens).second)
         continue;
@@ -56,8 +84,8 @@ Predictor::predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
 }
 
 std::vector<TypePrediction>
-Predictor::predict(const std::vector<std::string> &InputTokens,
-                   unsigned K) const {
+Predictor::predict(const std::vector<std::string> &InputTokens, unsigned K,
+                   const analysis::QueryEvidence *Evidence) const {
   std::optional<wasm::ValType> LowLevel;
   if (!InputTokens.empty()) {
     // The extraction prefix is "<t_low> <begin> ...".
@@ -67,7 +95,8 @@ Predictor::predict(const std::vector<std::string> &InputTokens,
       if (InputTokens[0] == wasm::valTypeName(Type))
         LowLevel = Type;
   }
-  return predictEncoded(BoundTask.encodeSource(InputTokens), K, LowLevel);
+  return predictEncoded(BoundTask.encodeSource(InputTokens), K, LowLevel,
+                        Evidence);
 }
 
 StatisticalBaseline::StatisticalBaseline(const Task &BoundTask) {

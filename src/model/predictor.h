@@ -3,6 +3,7 @@
 #ifndef SNOWWHITE_MODEL_PREDICTOR_H
 #define SNOWWHITE_MODEL_PREDICTOR_H
 
+#include "analysis/gate.h"
 #include "model/task.h"
 #include "nn/seq2seq.h"
 #include "wasm/types.h"
@@ -20,6 +21,19 @@ struct TypePrediction {
   std::vector<std::string> Tokens;
   float LogProb = 0.0f;
 };
+
+/// Checks one prediction against statically-proven evidence. Predictions
+/// that do not parse as type sentences are Consistent by definition — the
+/// gate only ever rejects provable contradictions.
+analysis::GateVerdict gatePrediction(const TypePrediction &Prediction,
+                                     const analysis::QueryEvidence &Evidence);
+
+/// Filters Predictions in place (preserving rank order) to the candidates
+/// consistent with Evidence. Returns the number of rejected candidates.
+/// Callers must handle the all-rejected case themselves (the serving ladder
+/// degrades a tier; it never leaves a request unanswered).
+size_t applyEvidenceGate(std::vector<TypePrediction> &Predictions,
+                         const analysis::QueryEvidence &Evidence);
 
 /// Wraps a trained model and a task's codecs into the user-facing "give me
 /// the top-k types for this parameter/return" query. The raw model is not
@@ -41,16 +55,21 @@ public:
         ConsistentOnly(ConsistentWithLowLevel) {}
 
   /// Top-k predictions for an already-encoded source sequence. LowLevel
-  /// enables the consistency filter when the caller knows the wasm type.
+  /// enables the consistency filter when the caller knows the wasm type;
+  /// Evidence (optional, not owned) additionally rejects candidates that
+  /// contradict the dataflow analysis, widening the beam to refill the
+  /// survivors like the other filters.
   std::vector<TypePrediction>
   predictEncoded(const std::vector<uint32_t> &SourceIds, unsigned K,
-                 std::optional<wasm::ValType> LowLevel = std::nullopt) const;
+                 std::optional<wasm::ValType> LowLevel = std::nullopt,
+                 const analysis::QueryEvidence *Evidence = nullptr) const;
 
   /// Top-k predictions for raw wasm input tokens (as produced by
   /// dataset::extractParamInput / extractReturnInput). The low-level type
   /// is recovered from the sequence's leading token when present.
   std::vector<TypePrediction>
-  predict(const std::vector<std::string> &InputTokens, unsigned K) const;
+  predict(const std::vector<std::string> &InputTokens, unsigned K,
+          const analysis::QueryEvidence *Evidence = nullptr) const;
 
 private:
   nn::Seq2SeqModel &Model;

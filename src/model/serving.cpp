@@ -138,9 +138,16 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
         if (Decoded.empty()) {
           Response.Detail = "beam: only empty hypotheses";
         } else {
-          Response.Tier = PredictionTier::Beam;
-          Response.Outcome = ServeOutcome::OkBeam;
-          Response.Predictions = std::move(Decoded);
+          size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
+          Stats.GatedCandidates += Gated;
+          if (Decoded.empty()) {
+            ++Stats.GateDegradations;
+            Response.Detail = "beam: all candidates contradicted evidence";
+          } else {
+            Response.Tier = PredictionTier::Beam;
+            Response.Outcome = ServeOutcome::OkBeam;
+            Response.Predictions = std::move(Decoded);
+          }
         }
       }
     }
@@ -169,9 +176,16 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
         if (Decoded.empty()) {
           Response.Detail += "; greedy: only empty hypotheses";
         } else {
-          Response.Tier = PredictionTier::Greedy;
-          Response.Outcome = ServeOutcome::OkGreedy;
-          Response.Predictions = std::move(Decoded);
+          size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
+          Stats.GatedCandidates += Gated;
+          if (Decoded.empty()) {
+            ++Stats.GateDegradations;
+            Response.Detail += "; greedy: all candidates contradicted evidence";
+          } else {
+            Response.Tier = PredictionTier::Greedy;
+            Response.Outcome = ServeOutcome::OkGreedy;
+            Response.Predictions = std::move(Decoded);
+          }
         }
       }
     }

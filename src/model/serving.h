@@ -76,6 +76,10 @@ struct ServeRequest {
   std::vector<std::string> InputTokens;
   /// Per-request decode-step budget (0 = ServingOptions::DefaultStepBudget).
   uint64_t StepBudget = 0;
+  /// Statically-proven evidence for this query slot. When populated, the
+  /// beam and greedy tiers reject candidates that contradict it (the
+  /// baseline tier is never gated, preserving the answer guarantee).
+  analysis::QueryEvidence Evidence;
 };
 
 struct ServeResponse {
@@ -98,6 +102,11 @@ struct ServingStats {
   uint64_t GreedyAnswers = 0;
   uint64_t BaselineAnswers = 0;
   uint64_t DecodeSteps = 0;
+  /// Individual candidates rejected by the evidence consistency gate.
+  uint64_t GatedCandidates = 0;
+  /// Requests whose beam/greedy tier lost *all* candidates to the gate and
+  /// therefore degraded a rung.
+  uint64_t GateDegradations = 0;
 };
 
 class ServingEngine {

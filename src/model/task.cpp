@@ -1,5 +1,6 @@
 #include "model/task.h"
 
+#include "analysis/evidence.h"
 #include "dataset/extract.h"
 
 #include <cassert>
@@ -15,13 +16,19 @@ using typelang::NameVocabulary;
 namespace {
 
 /// Tokens that the BPE model must never split: structural delimiters and
-/// the type-language keywords.
-std::vector<std::string> protectedTokens() {
+/// the type-language keywords. Evidence tokens join the set only when the
+/// inputs actually carry them (ExtractOptions::EvidenceTokens), so the
+/// vocabulary — and therefore model shape and behavior — is unchanged for
+/// evidence-free datasets.
+std::vector<std::string> protectedTokens(bool WithEvidence) {
   std::vector<std::string> Out = {
       dataset::BeginToken, dataset::ParamToken, dataset::WindowToken,
       dataset::InstrSeparator, "i32", "i64", "f32", "f64"};
   for (const std::string &Keyword : typelang::typeLanguageKeywords())
     Out.push_back(Keyword);
+  if (WithEvidence)
+    for (const std::string &Token : analysis::evidenceTokenVocabulary())
+      Out.push_back(Token);
   return Out;
 }
 
@@ -57,10 +64,15 @@ Task::Task(const Dataset &Data, const TaskOptions &Options)
   // Train the input BPE model on training-split word frequencies only (no
   // information from validation/test leaks into the tokenization).
   std::map<std::string, uint64_t> WordFrequencies;
+  bool HasEvidenceTokens = false;
   for (uint32_t Index : TrainIdx)
-    for (const std::string &Token : Data.Samples[Index].Input)
+    for (const std::string &Token : Data.Samples[Index].Input) {
       ++WordFrequencies[Token];
-  Bpe.train(WordFrequencies, Options.BpeVocabSize, protectedTokens());
+      if (!HasEvidenceTokens && Token.rfind("<evid:", 0) == 0)
+        HasEvidenceTokens = true;
+    }
+  Bpe.train(WordFrequencies, Options.BpeVocabSize,
+            protectedTokens(HasEvidenceTokens));
   for (const std::string &Symbol : Bpe.symbolVocabulary())
     SourceVocab.addToken(Symbol);
 
@@ -95,6 +107,7 @@ Task::Task(const Dataset &Data, const TaskOptions &Options)
       Encoded.NestingDepth =
           typelang::filterTypeNames(Sample.RichType, &Data.Names)
               .nestingDepth();
+      Encoded.DatasetIndex = Index;
       Out.push_back(std::move(Encoded));
     }
   };

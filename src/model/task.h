@@ -56,6 +56,9 @@ struct EncodedSample {
   std::vector<std::string> TargetTokens; ///< Ground-truth type tokens.
   wasm::ValType LowLevel = wasm::ValType::I32;
   unsigned NestingDepth = 0; ///< Of the ground-truth type (Figure 4).
+  /// Index into Dataset::Samples this was encoded from, for joining back to
+  /// per-sample metadata (e.g. TypeSample::Evidence in the gate bench).
+  uint32_t DatasetIndex = 0;
 };
 
 /// The materialized task.

@@ -37,10 +37,9 @@ const char *errorCodeName(ErrorCode Code);
 /// A failure description carried by Result<T>.
 class Error {
 public:
-  explicit Error(std::string Message)
-      : Code(ErrorCode::Unknown), Message(std::move(Message)) {}
-  Error(ErrorCode Code, std::string Message)
-      : Code(Code), Message(std::move(Message)) {}
+  explicit Error(std::string Msg)
+      : Code(ErrorCode::Unknown), Message(std::move(Msg)) {}
+  Error(ErrorCode C, std::string Msg) : Code(C), Message(std::move(Msg)) {}
 
   ErrorCode code() const { return Code; }
   const std::string &message() const { return Message; }

@@ -143,7 +143,7 @@ public:
   bool operator!=(const Type &Other) const { return !(*this == Other); }
 
 private:
-  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  explicit Type(TypeKind K) : Kind(K) {}
 
   TypeKind Kind;
   PrimKind Prim = PrimKind::PK_Int;

@@ -70,10 +70,9 @@ struct Instr {
   std::vector<uint32_t> Table; ///< Only used by br_table.
 
   Instr() = default;
-  explicit Instr(Opcode Op) : Op(Op) {}
-  Instr(Opcode Op, uint64_t Imm0) : Op(Op), Imm0(Imm0) {}
-  Instr(Opcode Op, uint64_t Imm0, uint64_t Imm1)
-      : Op(Op), Imm0(Imm0), Imm1(Imm1) {}
+  explicit Instr(Opcode O) : Op(O) {}
+  Instr(Opcode O, uint64_t I0) : Op(O), Imm0(I0) {}
+  Instr(Opcode O, uint64_t I0, uint64_t I1) : Op(O), Imm0(I0), Imm1(I1) {}
 
   bool operator==(const Instr &Other) const = default;
 

@@ -20,8 +20,8 @@ constexpr uint32_t MaxBrTableTargets = 1u << 16;
 /// return false on truncation or malformed data.
 class Cursor {
 public:
-  Cursor(const std::vector<uint8_t> &Bytes, size_t Offset, size_t End)
-      : Bytes(Bytes), Offset(Offset), End(End) {
+  Cursor(const std::vector<uint8_t> &Buf, size_t Start, size_t Limit)
+      : Bytes(Buf), Offset(Start), End(Limit) {
     assert(End <= Bytes.size() && "cursor end past buffer");
   }
 

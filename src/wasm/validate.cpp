@@ -1,7 +1,9 @@
 #include "wasm/validate.h"
 
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace snowwhite {
@@ -32,8 +34,8 @@ struct ControlFrame {
 
 class Validator {
 public:
-  Validator(const Module &M, const Function &Func, const FuncType &Type)
-      : M(M), Func(Func), Type(Type) {}
+  Validator(const Module &Mod, const Function &F, const FuncType &FT)
+      : M(Mod), Func(F), Type(FT) {}
 
   Result<void> run() {
     Locals = Type.Params;
@@ -68,11 +70,11 @@ private:
         ControlFrame{Kind, std::move(Results), Stack.size(), false});
   }
 
-  void pushValue(ValType Type) { Stack.push_back({true, Type}); }
+  void pushValue(ValType T) { Stack.push_back({true, T}); }
   void pushUnknown() { Stack.push_back({false, ValType::I32}); }
 
-  /// Pops a value expecting Type; unknown values match anything.
-  bool popExpect(ValType Type) {
+  /// Pops a value expecting type T; unknown values match anything.
+  bool popExpect(ValType T) {
     ControlFrame &Frame = Frames.back();
     if (Stack.size() == Frame.StackHeight) {
       // Below the frame base: only legal in unreachable code.
@@ -80,7 +82,7 @@ private:
     }
     StackValue Value = Stack.back();
     Stack.pop_back();
-    return !Value.Known || Value.Type == Type;
+    return !Value.Known || Value.Type == T;
   }
 
   /// Pops any value; returns nullopt if polymorphic or empty-unreachable.
@@ -121,18 +123,60 @@ private:
     return Locals[static_cast<size_t>(Index)];
   }
 
-  Result<void> checkLoad(ValType Pushed) {
+  /// Natural access width (bytes) of a load/store opcode, for the memarg
+  /// alignment rule: the alignment exponent must not exceed log2(width).
+  /// Found by the analysis-subsystem audit: previously unchecked.
+  static unsigned accessBytes(Opcode Op) {
+    switch (Op) {
+    case Opcode::I32Load8S:
+    case Opcode::I32Load8U:
+    case Opcode::I64Load8S:
+    case Opcode::I64Load8U:
+    case Opcode::I32Store8:
+    case Opcode::I64Store8:
+      return 1;
+    case Opcode::I32Load16S:
+    case Opcode::I32Load16U:
+    case Opcode::I64Load16S:
+    case Opcode::I64Load16U:
+    case Opcode::I32Store16:
+    case Opcode::I64Store16:
+      return 2;
+    case Opcode::I64Load:
+    case Opcode::F64Load:
+    case Opcode::I64Store:
+    case Opcode::F64Store:
+      return 8;
+    default: // 32-bit loads/stores and i64.load32/store32.
+      return 4;
+    }
+  }
+
+  Result<void> checkAlignment(const Instr &I) {
+    unsigned MaxExp = 0;
+    for (unsigned Bytes = accessBytes(I.Op); Bytes > 1; Bytes >>= 1)
+      ++MaxExp;
+    if (I.Imm1 > MaxExp)
+      return fail("alignment exceeds natural alignment");
+    return {};
+  }
+
+  Result<void> checkLoad(const Instr &I, ValType Pushed) {
     if (M.Memories.empty())
       return fail("memory access without memory");
+    if (Result<void> Status = checkAlignment(I); Status.isErr())
+      return Status;
     if (!popExpect(ValType::I32))
       return fail("load address must be i32");
     pushValue(Pushed);
     return {};
   }
 
-  Result<void> checkStore(ValType Stored) {
+  Result<void> checkStore(const Instr &I, ValType Stored) {
     if (M.Memories.empty())
       return fail("memory access without memory");
+    if (Result<void> Status = checkAlignment(I); Status.isErr())
+      return Status;
     if (!popExpect(Stored))
       return fail("store value type mismatch");
     if (!popExpect(ValType::I32))
@@ -413,7 +457,7 @@ Result<void> Validator::step(const Instr &I, size_t Index) {
   case Opcode::I32Load8U:
   case Opcode::I32Load16S:
   case Opcode::I32Load16U:
-    return checkLoad(ValType::I32);
+    return checkLoad(I, ValType::I32);
   case Opcode::I64Load:
   case Opcode::I64Load8S:
   case Opcode::I64Load8U:
@@ -421,25 +465,25 @@ Result<void> Validator::step(const Instr &I, size_t Index) {
   case Opcode::I64Load16U:
   case Opcode::I64Load32S:
   case Opcode::I64Load32U:
-    return checkLoad(ValType::I64);
+    return checkLoad(I, ValType::I64);
   case Opcode::F32Load:
-    return checkLoad(ValType::F32);
+    return checkLoad(I, ValType::F32);
   case Opcode::F64Load:
-    return checkLoad(ValType::F64);
+    return checkLoad(I, ValType::F64);
 
   case Opcode::I32Store:
   case Opcode::I32Store8:
   case Opcode::I32Store16:
-    return checkStore(ValType::I32);
+    return checkStore(I, ValType::I32);
   case Opcode::I64Store:
   case Opcode::I64Store8:
   case Opcode::I64Store16:
   case Opcode::I64Store32:
-    return checkStore(ValType::I64);
+    return checkStore(I, ValType::I64);
   case Opcode::F32Store:
-    return checkStore(ValType::F32);
+    return checkStore(I, ValType::F32);
   case Opcode::F64Store:
-    return checkStore(ValType::F64);
+    return checkStore(I, ValType::F64);
 
   case Opcode::MemorySize:
     if (M.Memories.empty())
@@ -538,17 +582,51 @@ Result<void> validateModule(const Module &M) {
     if (Import.TypeIndex >= M.Types.size())
       return Error(ErrorCode::Malformed,
                    "validation: import type index out of range");
-  for (const FuncExport &Export : M.Exports)
-    if (Export.FuncIndex >= M.Imports.size() + M.Functions.size())
+  {
+    // Export names must be unique within the module (spec 3.4.10). Found by
+    // the analysis-subsystem audit: previously unchecked.
+    std::set<std::string_view> ExportNames;
+    for (const FuncExport &Export : M.Exports) {
+      if (Export.FuncIndex >= M.Imports.size() + M.Functions.size())
+        return Error(ErrorCode::Malformed,
+                     "validation: export function index out of range");
+      if (!ExportNames.insert(Export.Name).second)
+        return Error(ErrorCode::Malformed,
+                     "validation: duplicate export name '" + Export.Name +
+                         "'");
+    }
+  }
+  for (const MemoryDecl &Memory : M.Memories)
+    // Spec 3.2.5: a limit's minimum must not exceed its maximum. Found by
+    // the analysis-subsystem audit: previously unchecked.
+    if (Memory.HasMax && Memory.MinPages > Memory.MaxPages)
       return Error(ErrorCode::Malformed,
-                   "validation: export function index out of range");
+                   "validation: memory minimum exceeds maximum");
   for (const GlobalDecl &Global : M.Globals) {
     ImmKind Imm = opcodeImmKind(Global.Init.Op);
-    bool IsConst = Imm == ImmKind::I32 || Imm == ImmKind::I64 ||
-                   Imm == ImmKind::F32 || Imm == ImmKind::F64;
-    if (!IsConst)
+    ValType InitType;
+    switch (Imm) {
+    case ImmKind::I32:
+      InitType = ValType::I32;
+      break;
+    case ImmKind::I64:
+      InitType = ValType::I64;
+      break;
+    case ImmKind::F32:
+      InitType = ValType::F32;
+      break;
+    case ImmKind::F64:
+      InitType = ValType::F64;
+      break;
+    default:
       return Error(ErrorCode::Malformed,
                    "validation: global initializer must be a constant");
+    }
+    // Spec 3.4.4: the initializer's type must match the declared type.
+    // Found by the analysis-subsystem audit: previously unchecked.
+    if (InitType != Global.Type)
+      return Error(ErrorCode::Malformed,
+                   "validation: global initializer type mismatch");
   }
   for (uint32_t I = 0; I < M.Functions.size(); ++I) {
     Result<void> Status = validateFunction(M, I);

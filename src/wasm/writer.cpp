@@ -81,7 +81,10 @@ static void writeSection(uint8_t Id, const std::vector<uint8_t> &Payload,
 
 std::vector<uint8_t> writeModule(Module &M) {
   std::vector<uint8_t> Out;
-  // Magic and version.
+  // Magic and version. Reserve up front: sidesteps GCC 12's spurious
+  // -Wstringop-overflow on the inlined grow-path memmove of insert-at-end
+  // (the destination "size 0" it reports is the not-yet-grown allocation).
+  Out.reserve(64);
   const uint8_t Header[] = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
   Out.insert(Out.end(), std::begin(Header), std::end(Header));
 

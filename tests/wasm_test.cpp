@@ -500,6 +500,59 @@ TEST(Validate, RejectsIfResultWithoutElse) {
   EXPECT_TRUE(validateModule(M).isErr());
 }
 
+// --- Regressions for gaps found by the analysis-subsystem audit ---------------
+
+TEST(Validate, RejectsOverAlignedAccess) {
+  // Alignment exponent must not exceed log2(natural width): 1 << 6 = 64
+  // bytes claimed for a 4-byte store.
+  Module Store = moduleWithBody({Instr::i32Const(0), Instr::i32Const(0),
+                                 Instr::store(Opcode::I32Store, 0, 6),
+                                 Instr(Opcode::End)});
+  EXPECT_TRUE(validateModule(Store).isErr());
+
+  Module Load = moduleWithBody({Instr::i32Const(0),
+                                Instr::load(Opcode::I32Load8U, 0, 1),
+                                Instr(Opcode::Drop), Instr(Opcode::End)});
+  EXPECT_TRUE(validateModule(Load).isErr());
+
+  // Natural alignment stays accepted.
+  Module Natural = moduleWithBody({Instr::i32Const(0), Instr::i32Const(0),
+                                   Instr::store(Opcode::I32Store, 0, 2),
+                                   Instr(Opcode::End)});
+  EXPECT_TRUE(validateModule(Natural).isOk());
+}
+
+TEST(Validate, RejectsDuplicateExportNames) {
+  Module M = moduleWithBody({Instr(Opcode::End)});
+  M.Exports.push_back(FuncExport{"f", 0});
+  M.Exports.push_back(FuncExport{"f", 0});
+  Result<void> Status = validateModule(M);
+  ASSERT_TRUE(Status.isErr());
+  EXPECT_NE(Status.error().message().find("duplicate export"),
+            std::string::npos);
+}
+
+TEST(Validate, RejectsMemoryMinAboveMax) {
+  Module M = moduleWithBody({Instr(Opcode::End)});
+  M.Memories[0] = MemoryDecl{4, true, 2};
+  Result<void> Status = validateModule(M);
+  ASSERT_TRUE(Status.isErr());
+  EXPECT_NE(Status.error().message().find("memory minimum exceeds maximum"),
+            std::string::npos);
+}
+
+TEST(Validate, RejectsGlobalInitTypeMismatch) {
+  Module M = moduleWithBody({Instr(Opcode::End)});
+  GlobalDecl Global;
+  Global.Type = ValType::F64;
+  Global.Init = Instr::i32Const(1);
+  M.Globals.push_back(Global);
+  Result<void> Status = validateModule(M);
+  ASSERT_TRUE(Status.isErr());
+  EXPECT_NE(Status.error().message().find("global initializer type mismatch"),
+            std::string::npos);
+}
+
 } // namespace
 } // namespace wasm
 } // namespace snowwhite

@@ -16,6 +16,12 @@
 //       Remove all .debug_* custom sections (what a reverse engineer
 //       typically gets).
 //
+//   snowwhite analyze <file.wasm>
+//       Parse, validate, and run the dataflow analysis; print per-function
+//       parameter/return evidence summaries (access widths, derived loads,
+//       sign uses, escapes, ...) as JSON on stdout. Works on stripped
+//       binaries — the evidence comes from the code, not from debug info.
+//
 //   snowwhite ingest <dir> [--strict]
 //       Run the dataset pipeline over every .wasm file in <dir>. By default
 //       corrupt modules are quarantined (skip-and-report); with --strict the
@@ -39,6 +45,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/analyzer.h"
+#include "analysis/evidence.h"
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
@@ -201,6 +209,33 @@ static int commandStrip(int argc, char **argv) {
     return 1;
   std::printf("stripped %zu debug section(s): %zu -> %zu bytes\n",
               Before - Parsed->Customs.size(), Bytes.size(), Out.size());
+  return 0;
+}
+
+static int commandAnalyze(int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: snowwhite analyze <file.wasm>\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(argv[0], Bytes))
+    return 1;
+  Result<wasm::Module> Parsed = wasm::readModule(Bytes);
+  if (Parsed.isErr()) {
+    printError(Parsed.error().withContext(argv[0]));
+    return 1;
+  }
+  Result<void> Valid = wasm::validateModule(*Parsed);
+  if (Valid.isErr()) {
+    printError(Valid.error().withContext(argv[0]));
+    return 1;
+  }
+  Result<analysis::ModuleSummary> Summary = analysis::analyzeModule(*Parsed);
+  if (Summary.isErr()) {
+    printError(Summary.error().withContext(argv[0]));
+    return 1;
+  }
+  std::printf("%s\n", analysis::toJson(*Summary).c_str());
   return 0;
 }
 
@@ -527,6 +562,7 @@ int main(int argc, char **argv) {
                  "  snowwhite gen <dir> [packages] [seed]\n"
                  "  snowwhite dump <file.wasm>\n"
                  "  snowwhite strip <in.wasm> <out.wasm>\n"
+                 "  snowwhite analyze <file.wasm>\n"
                  "  snowwhite ingest <dir> [--strict]\n"
                  "  snowwhite predict-batch [requests] [--fail-rate F] "
                  "[--budget N] [--queue N] [--seed S]\n"
@@ -539,6 +575,8 @@ int main(int argc, char **argv) {
     return commandDump(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "strip") == 0)
     return commandStrip(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "analyze") == 0)
+    return commandAnalyze(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "ingest") == 0)
     return commandIngest(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "predict-batch") == 0)

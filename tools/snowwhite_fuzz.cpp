@@ -11,6 +11,14 @@
 //   snowwhite_fuzz [iterations] [seed]
 //       Default 10000 iterations. Deterministic in (iterations, seed): each
 //       iteration derives its own RNG stream via hashCombine(seed, i).
+//       Mutants that survive validation additionally run the dataflow
+//       analyzer (analysis::analyzeModule), which must never crash or hang.
+//
+//   snowwhite_fuzz --analysis [iterations] [seed]
+//       Differential fuzz of the two typing implementations: every mutant
+//       that parses runs wasm::validateFunction and analysis::evaluateFunction
+//       per function; any verdict divergence is a hard failure with a replay
+//       line. Surviving modules also run the full analyzer.
 //
 //   snowwhite_fuzz --fault-table [seed]
 //       Fault-injection sweep for EXPERIMENTS.md: corrupt a growing fraction
@@ -41,6 +49,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/analyzer.h"
+#include "analysis/stack_eval.h"
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
@@ -91,7 +101,7 @@ int runFuzz(uint64_t Iterations, uint64_t Seed) {
   }
 
   uint64_t Parsed = 0, ParseRejected = 0, ValidateRejected = 0,
-           DebugRejected = 0, FullyAccepted = 0;
+           DebugRejected = 0, FullyAccepted = 0, Analyzed = 0;
   std::map<std::string, uint64_t> ByCode;
   for (uint64_t I = 0; I < Iterations; ++I) {
     // A private, iteration-indexed stream: any single failing iteration can
@@ -122,6 +132,22 @@ int runFuzz(uint64_t Iterations, uint64_t Seed) {
       ++ByCode[errorCodeName(Debug.error().code())];
       Accepted = false;
     }
+    if (Valid.isOk()) {
+      // Mutants that survive validation also run the dataflow analyzer: its
+      // fixpoints and summary sizes are bounded, so this must terminate and
+      // succeed on every validated module.
+      Result<analysis::ModuleSummary> Summary = analysis::analyzeModule(*Mod);
+      if (Summary.isErr()) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu): analyzer rejected a "
+                     "validated mutant: %s\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed),
+                     Summary.error().message().c_str());
+        return 1;
+      }
+      ++Analyzed;
+    }
     if (Accepted)
       ++FullyAccepted;
   }
@@ -131,18 +157,115 @@ int runFuzz(uint64_t Iterations, uint64_t Seed) {
               "  parsed             %llu\n"
               "  validate rejected  %llu\n"
               "  debug rejected     %llu\n"
+              "  analyzed           %llu\n"
               "  fully accepted     %llu\n",
               static_cast<unsigned long long>(Iterations),
               static_cast<unsigned long long>(ParseRejected),
               static_cast<unsigned long long>(Parsed),
               static_cast<unsigned long long>(ValidateRejected),
               static_cast<unsigned long long>(DebugRejected),
+              static_cast<unsigned long long>(Analyzed),
               static_cast<unsigned long long>(FullyAccepted));
   std::printf("  rejection codes:");
   for (const auto &[Code, Count] : ByCode)
     std::printf(" %s=%llu", Code.c_str(),
                 static_cast<unsigned long long>(Count));
   std::printf("\n");
+  return 0;
+}
+
+/// Differential fuzz of the spec validator against the typed-stack
+/// evaluator. Each implementation is the other's oracle: a mutant function
+/// accepted by one and rejected by the other is a bug in one of them (this
+/// harness is how the memarg over-alignment gap in the original validator
+/// was found). Modules whose functions all validate then run the full
+/// analyzer, which must produce a summary for every defined function.
+int runAnalysisFuzz(uint64_t Iterations, uint64_t Seed) {
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = Seed ^ 0x5eedc0de;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  std::vector<const std::vector<uint8_t> *> Seeds = corpusSeeds(Corpus);
+  if (Seeds.empty()) {
+    std::fprintf(stderr, "error: empty seed corpus\n");
+    return 1;
+  }
+
+  uint64_t Parsed = 0, FunctionsChecked = 0, FunctionsRejected = 0,
+           ModulesAnalyzed = 0, SummariesProduced = 0;
+  for (uint64_t I = 0; I < Iterations; ++I) {
+    fault::FaultConfig Config;
+    Config.Seed = hashCombine(Seed, I);
+    fault::FaultInjector Injector(Config);
+    std::vector<uint8_t> Bytes = *Seeds[I % Seeds.size()];
+    Injector.corrupt(Bytes);
+
+    Result<wasm::Module> Mod = wasm::readModule(Bytes);
+    if (Mod.isErr())
+      continue;
+    ++Parsed;
+    bool AllFunctionsOk = true;
+    for (uint32_t F = 0; F < Mod->Functions.size(); ++F) {
+      Result<void> Spec1 = wasm::validateFunction(*Mod, F);
+      Result<void> Spec2 = analysis::evaluateFunction(*Mod, F);
+      ++FunctionsChecked;
+      if (Spec1.isOk() != Spec2.isOk()) {
+        std::fprintf(
+            stderr,
+            "FAIL: iteration %llu (seed %llu) function %u: validator says "
+            "%s (%s), evaluator says %s (%s)\n",
+            static_cast<unsigned long long>(I),
+            static_cast<unsigned long long>(Seed), F,
+            Spec1.isOk() ? "valid" : "invalid",
+            Spec1.isErr() ? Spec1.error().message().c_str() : "ok",
+            Spec2.isOk() ? "valid" : "invalid",
+            Spec2.isErr() ? Spec2.error().message().c_str() : "ok");
+        return 1;
+      }
+      if (Spec1.isErr())
+        ++FunctionsRejected;
+      AllFunctionsOk = AllFunctionsOk && Spec1.isOk();
+    }
+    // The analyzer contract only covers validated modules; module-level
+    // checks (types, exports, globals) still apply on top of the per-function
+    // verdicts.
+    if (AllFunctionsOk && wasm::validateModule(*Mod).isOk()) {
+      Result<analysis::ModuleSummary> Summary = analysis::analyzeModule(*Mod);
+      if (Summary.isErr()) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu): analyzer rejected a "
+                     "validated mutant: %s\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed),
+                     Summary.error().message().c_str());
+        return 1;
+      }
+      if (Summary->Functions.size() != Mod->Functions.size()) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu): analyzer produced "
+                     "%zu summaries for %zu functions\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed),
+                     Summary->Functions.size(), Mod->Functions.size());
+        return 1;
+      }
+      ++ModulesAnalyzed;
+      SummariesProduced += Summary->Functions.size();
+    }
+  }
+
+  std::printf("analysis fuzz: %llu iterations, 0 divergences\n"
+              "  parsed               %llu\n"
+              "  functions checked    %llu\n"
+              "  functions rejected   %llu\n"
+              "  modules analyzed     %llu\n"
+              "  summaries produced   %llu\n",
+              static_cast<unsigned long long>(Iterations),
+              static_cast<unsigned long long>(Parsed),
+              static_cast<unsigned long long>(FunctionsChecked),
+              static_cast<unsigned long long>(FunctionsRejected),
+              static_cast<unsigned long long>(ModulesAnalyzed),
+              static_cast<unsigned long long>(SummariesProduced));
   return 0;
 }
 
@@ -440,6 +563,12 @@ int runServingTable(uint64_t Seed) {
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--analysis") == 0) {
+    uint64_t Iterations =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runAnalysisFuzz(Iterations, Seed);
+  }
   if (argc > 1 && std::strcmp(argv[1], "--fault-table") == 0) {
     uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
     return runFaultTable(Seed);
