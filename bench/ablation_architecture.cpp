@@ -108,7 +108,7 @@ int main() {
   std::printf("%-24s %10zu %8s %8s %6s %10s\n", "bi-LSTM + attention",
               Lstm.Parameters, formatPercent(Lstm.Report.top1(), 1).c_str(),
               formatPercent(Lstm.Report.topK(), 1).c_str(),
-              formatDouble(Lstm.Report.meanPrefixScore(), 2).c_str(),
+              formatDouble(Lstm.Report.meanPrefixScoreTopK(), 2).c_str(),
               formatDouble(Lstm.TrainSeconds, 0).c_str());
 
   std::fprintf(stderr, "[arch] training Transformer ...\n");
@@ -117,7 +117,7 @@ int main() {
               Trans.Parameters,
               formatPercent(Trans.Report.top1(), 1).c_str(),
               formatPercent(Trans.Report.topK(), 1).c_str(),
-              formatDouble(Trans.Report.meanPrefixScore(), 2).c_str(),
+              formatDouble(Trans.Report.meanPrefixScoreTopK(), 2).c_str(),
               formatDouble(Trans.TrainSeconds, 0).c_str());
 
   bench::printRule();

@@ -54,7 +54,7 @@ int main() {
                            : "whole body, truncated",
                 formatPercent(Report.top1(), 1).c_str(),
                 formatPercent(Report.topK(), 1).c_str(),
-                formatDouble(Report.meanPrefixScore(), 2).c_str(),
+                formatDouble(Report.meanPrefixScoreTopK(), 2).c_str(),
                 formatDouble(TrainSeconds, 0).c_str());
   }
   return 0;

@@ -62,11 +62,11 @@ int main() {
   std::printf("%-28s %8s %8s %6s\n", "seq2seq model",
               formatPercent(ModelReport.top1(), 1).c_str(),
               formatPercent(ModelReport.topK(), 1).c_str(),
-              formatDouble(ModelReport.meanPrefixScore(), 2).c_str());
+              formatDouble(ModelReport.meanPrefixScoreTopK(), 2).c_str());
   std::printf("%-28s %8s %8s %6s\n", "most-common baseline",
               formatPercent(BaselineReport.top1(), 1).c_str(),
               formatPercent(BaselineReport.topK(), 1).c_str(),
-              formatDouble(BaselineReport.meanPrefixScore(), 2).c_str());
+              formatDouble(BaselineReport.meanPrefixScoreTopK(), 2).c_str());
   bench::printRule();
   std::printf("(exact field sequences are a much harder target than the "
               "paper's outermost types;\nthe interesting result is the gap "

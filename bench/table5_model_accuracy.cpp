@@ -73,13 +73,13 @@ void printBlock(const char *Title, const std::vector<VariantSpec> &Variants,
     std::printf("%-26s %8s %8s %6s   ", Variants[I].Label,
                 formatPercent(Model.top1(), 1).c_str(),
                 formatPercent(Model.topK(), 1).c_str(),
-                formatDouble(Model.meanPrefixScore(), 2).c_str());
+                formatDouble(Model.meanPrefixScoreTopK(), 2).c_str());
     if (Results[I].HasBaseline) {
       const eval::AccuracyReport &Baseline = Results[I].Baseline;
       std::printf("%8s %8s %6s",
                   formatPercent(Baseline.top1(), 1).c_str(),
                   formatPercent(Baseline.topK(), 1).c_str(),
-                  formatDouble(Baseline.meanPrefixScore(), 2).c_str());
+                  formatDouble(Baseline.meanPrefixScoreTopK(), 2).c_str());
     } else {
       std::printf("%8s %8s %6s", "N/A", "N/A", "N/A");
     }

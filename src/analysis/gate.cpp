@@ -1,5 +1,9 @@
 #include "analysis/gate.h"
 
+#include "support/telemetry.h"
+
+#include <string>
+
 namespace snowwhite {
 namespace analysis {
 
@@ -126,11 +130,18 @@ const char *gateVerdictName(GateVerdict Verdict) {
 
 GateVerdict checkConsistency(const typelang::Type &Predicted,
                              const QueryEvidence &Evidence) {
+  GateVerdict Verdict = GateVerdict::Consistent;
   if (Evidence.Param)
-    return checkParam(Predicted, *Evidence.Param);
-  if (Evidence.Ret)
-    return checkReturn(Predicted, *Evidence.Ret);
-  return GateVerdict::Consistent;
+    Verdict = checkParam(Predicted, *Evidence.Param);
+  else if (Evidence.Ret)
+    Verdict = checkReturn(Predicted, *Evidence.Ret);
+  telemetry::counter("gate.checks").add();
+  if (Verdict != GateVerdict::Consistent) {
+    telemetry::counter("gate.contradicted").add();
+    telemetry::counter(std::string("gate.verdict.") + gateVerdictName(Verdict))
+        .add();
+  }
+  return Verdict;
 }
 
 } // namespace analysis

@@ -4,6 +4,7 @@
 #include "dwarf/io.h"
 #include "support/hash.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 #include "typelang/fields.h"
 #include "typelang/from_dwarf.h"
@@ -13,6 +14,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -64,6 +66,17 @@ struct KeptBinary {
 Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   Dataset Out;
   Out.NumPackages = static_cast<uint32_t>(Corpus.Packages.size());
+
+  // Per-stage time attribution: the stages run strictly in sequence, so one
+  // rolling ScopedPhase slot gives each its own wall/CPU window in the
+  // telemetry registry ("ingest.<stage>").
+  telemetry::ScopedPhase IngestPhase("ingest.total");
+  std::unique_ptr<telemetry::ScopedPhase> Stage;
+  auto BeginStage = [&Stage](const char *Name) {
+    Stage.reset();
+    Stage = std::make_unique<telemetry::ScopedPhase>(Name);
+  };
+  BeginStage("ingest.parse_dedup");
 
   // --- Stage 1: deduplication over serialized binaries -------------------
   // Parsing and hashing every object is the expensive part and is pure, so
@@ -138,6 +151,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
     KeptFlat.push_back(I);
   }
 
+  BeginStage("ingest.debug_extract");
   std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptFlat.size());
   std::vector<std::optional<Error>> DebugErrors(KeptFlat.size());
   Pool.parallelFor(0, KeptFlat.size(), 1, [&](size_t Begin, size_t End) {
@@ -177,6 +191,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   // keep the results thread-count invariant. Analysis failure on a binary
   // that already passed validation is unexpected but non-fatal: the binary
   // simply contributes samples without evidence.
+  BeginStage("ingest.analysis");
   bool WantEvidence = Options.ComputeEvidence || Options.Extract.EvidenceTokens;
   std::vector<std::optional<analysis::ModuleSummary>> Summaries(
       WantEvidence ? Kept.size() : 0);
@@ -189,6 +204,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
     });
 
   // --- Stage 2+3: match functions to subprograms and collect raw samples -
+  BeginStage("ingest.match");
   struct RawRef {
     size_t BinaryIndex;
     dwarf::DieRef TypeDie;
@@ -242,6 +258,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   // Fixed-size shards collect into private vocabularies, merged in shard
   // order. NameVocabulary::merge is exactly associative (set unions and
   // integer adds), so the vocabulary matches the sequential build.
+  BeginStage("ingest.names");
   constexpr size_t NameShardSize = 1024;
   size_t NameShards = (Raw.size() + NameShardSize - 1) / NameShardSize;
   std::vector<typelang::NameVocabulary> ShardNames(NameShards);
@@ -262,6 +279,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   // --- Materialize samples -------------------------------------------------
   // Every sample has a preallocated disjoint slot, so this is purely
   // data-parallel and order-independent.
+  BeginStage("ingest.materialize");
   typelang::ConvertOptions Convert;
   Convert.KeepNestedNames = true;
   Out.Samples.resize(Raw.size());
@@ -297,6 +315,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   });
 
   // --- Stage 5: per-package sample cap ------------------------------------
+  BeginStage("ingest.cap_and_split");
   if (Options.CapPerPackage) {
     std::map<uint32_t, uint64_t> PerPackage;
     for (const TypeSample &Sample : Out.Samples)
@@ -362,6 +381,20 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       break;
     }
   }
+  Stage.reset();
+
+  telemetry::counter("ingest.quarantine.parse_failures")
+      .add(Out.Quarantine.ParseFailures);
+  telemetry::counter("ingest.quarantine.debug_failures")
+      .add(Out.Quarantine.DebugFailures);
+  telemetry::counter("ingest.duplicates_dropped")
+      .add(Out.Dedup.ExactDuplicates + Out.Dedup.NearDuplicates);
+  telemetry::counter("ingest.objects_kept").add(Out.Dedup.ObjectsAfter);
+  telemetry::counter("ingest.functions_skipped_mismatch")
+      .add(Out.FunctionsSkippedMismatch);
+  telemetry::counter("ingest.samples_dropped_by_cap")
+      .add(Out.SamplesDroppedByCap);
+  telemetry::counter("ingest.samples").add(Out.Samples.size());
   return Out;
 }
 

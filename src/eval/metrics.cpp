@@ -14,6 +14,40 @@ size_t typePrefixScore(const std::vector<std::string> &Prediction,
   return Length;
 }
 
+void scorePredictions(AccuracyReport &Report,
+                      const std::vector<std::vector<std::string>> &Predictions,
+                      const std::vector<std::string> &GroundTruth,
+                      unsigned NestingDepth) {
+  ++Report.NumSamples;
+  DepthBucket &Bucket = Report.ByDepth[NestingDepth];
+  ++Bucket.Count;
+  bool Top1 = !Predictions.empty() && Predictions[0] == GroundTruth;
+  bool TopK = false;
+  for (const std::vector<std::string> &Prediction : Predictions)
+    if (Prediction == GroundTruth) {
+      TopK = true;
+      break;
+    }
+  if (Top1) {
+    ++Report.Top1Hits;
+    ++Bucket.Top1Hits;
+  }
+  if (TopK) {
+    ++Report.TopKHits;
+    ++Bucket.TopKHits;
+  }
+  if (!Predictions.empty()) {
+    Report.PrefixScoreSumTop1 += static_cast<double>(
+        typePrefixScore(Predictions[0], GroundTruth));
+    // The top-K variant credits the *best* candidate in the list, matching
+    // the paper's TPS@5; scoring rank 0 unconditionally under-reports it.
+    size_t Best = 0;
+    for (const std::vector<std::string> &Prediction : Predictions)
+      Best = std::max(Best, typePrefixScore(Prediction, GroundTruth));
+    Report.PrefixScoreSumTopK += static_cast<double>(Best);
+  }
+}
+
 AccuracyReport evaluateAccuracy(const model::Task &Task,
                                 const PredictFn &Predict, unsigned K,
                                 size_t MaxSamples) {
@@ -24,29 +58,8 @@ AccuracyReport evaluateAccuracy(const model::Task &Task,
     Count = std::min(Count, MaxSamples);
   for (size_t Index = 0; Index < Count; ++Index) {
     const model::EncodedSample &Sample = Test[Index];
-    std::vector<std::vector<std::string>> Predictions = Predict(Sample, K);
-    ++Report.NumSamples;
-    DepthBucket &Bucket = Report.ByDepth[Sample.NestingDepth];
-    ++Bucket.Count;
-    bool Top1 = !Predictions.empty() &&
-                Predictions[0] == Sample.TargetTokens;
-    bool TopK = false;
-    for (const std::vector<std::string> &Prediction : Predictions)
-      if (Prediction == Sample.TargetTokens) {
-        TopK = true;
-        break;
-      }
-    if (Top1) {
-      ++Report.Top1Hits;
-      ++Bucket.Top1Hits;
-    }
-    if (TopK) {
-      ++Report.TopKHits;
-      ++Bucket.TopKHits;
-    }
-    if (!Predictions.empty())
-      Report.PrefixScoreSum += static_cast<double>(
-          typePrefixScore(Predictions[0], Sample.TargetTokens));
+    scorePredictions(Report, Predict(Sample, K), Sample.TargetTokens,
+                     Sample.NestingDepth);
   }
   return Report;
 }

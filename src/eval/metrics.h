@@ -34,11 +34,18 @@ struct DepthBucket {
 };
 
 /// Aggregate accuracy over a sample set.
+///
+/// TPS comes in two variants, matching how the paper reports it: the top-1
+/// variant scores the rank-0 candidate, the top-K variant scores the *best*
+/// candidate in the returned list (the paper's TPS@5 column). They used to
+/// be a single sum computed from rank 0 unconditionally, which silently
+/// under-reported the top-5 numbers.
 struct AccuracyReport {
   uint64_t NumSamples = 0;
   uint64_t Top1Hits = 0;
   uint64_t TopKHits = 0;
-  double PrefixScoreSum = 0.0;
+  double PrefixScoreSumTop1 = 0.0;
+  double PrefixScoreSumTopK = 0.0;
   std::map<unsigned, DepthBucket> ByDepth;
 
   double top1() const {
@@ -47,10 +54,21 @@ struct AccuracyReport {
   double topK() const {
     return NumSamples ? double(TopKHits) / NumSamples : 0.0;
   }
-  double meanPrefixScore() const {
-    return NumSamples ? PrefixScoreSum / double(NumSamples) : 0.0;
+  double meanPrefixScoreTop1() const {
+    return NumSamples ? PrefixScoreSumTop1 / double(NumSamples) : 0.0;
+  }
+  double meanPrefixScoreTopK() const {
+    return NumSamples ? PrefixScoreSumTopK / double(NumSamples) : 0.0;
   }
 };
+
+/// Folds one sample's ranked predictions into Report: top-1/top-K hits,
+/// both TPS sums, and the per-depth bucket. evaluateAccuracy is a loop over
+/// this; tests drive it directly with hand-made samples.
+void scorePredictions(AccuracyReport &Report,
+                      const std::vector<std::vector<std::string>> &Predictions,
+                      const std::vector<std::string> &GroundTruth,
+                      unsigned NestingDepth);
 
 /// A prediction source: returns ranked type-token sequences for a sample.
 using PredictFn = std::function<std::vector<std::vector<std::string>>(

@@ -1,5 +1,7 @@
 #include "model/serving.h"
 
+#include "support/telemetry.h"
+
 #include <algorithm>
 #include <set>
 
@@ -79,11 +81,14 @@ ServingEngine::ServingEngine(nn::Seq2SeqModel &Model, const Task &BoundTask,
 
 bool ServingEngine::submit(ServeRequest Request) {
   ++Stats.Submitted;
+  telemetry::counter("serving.submitted").add();
   if (Queue.size() >= Options.QueueCapacity) {
     ++Stats.Rejected;
+    telemetry::counter("serving.rejected").add();
     return false;
   }
   Queue.push_back(std::move(Request));
+  telemetry::gauge("serving.queue_depth").set(static_cast<int64_t>(Queue.size()));
   return true;
 }
 
@@ -92,14 +97,26 @@ std::vector<ServeResponse> ServingEngine::drain() {
   while (!Queue.empty()) {
     size_t Batch = std::min(Queue.size(), std::max<size_t>(1, Options.MaxBatch));
     for (size_t I = 0; I < Batch; ++I) {
-      Out.push_back(processOne(Queue.front()));
+      // Queued requests were counted as submitted at admission, so they go
+      // straight to the ladder.
+      Out.push_back(serveLadder(Queue.front()));
       Queue.pop_front();
     }
+    telemetry::gauge("serving.queue_depth")
+        .set(static_cast<int64_t>(Queue.size()));
   }
   return Out;
 }
 
 ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
+  ++Stats.Submitted;
+  telemetry::counter("serving.submitted").add();
+  return serveLadder(Request);
+}
+
+ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
+  telemetry::Span RequestSpan("serve.request");
+  uint64_t RequestStartNs = telemetry::nowNs();
   ServeResponse Response;
   Response.Id = Request.Id;
 
@@ -126,6 +143,10 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
       nn::Seq2SeqModel::BeamOutcome Beam =
           Model.predictTopKBudgeted(SourceIds, Width, BeamBudget);
       Response.DecodeStepsUsed += Beam.DecodeStepsUsed;
+      if (Beam.BudgetExhausted) {
+        ++Stats.BudgetExhaustions;
+        telemetry::counter("serving.budget_exhaustions").add();
+      }
       if (Beam.NonFinite) {
         Response.Detail = "beam: non-finite logits";
       } else if (Beam.BudgetExhausted && Beam.Hypotheses.empty()) {
@@ -140,8 +161,10 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
         } else {
           size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
           Stats.GatedCandidates += Gated;
+          telemetry::counter("serving.gated_candidates").add(Gated);
           if (Decoded.empty()) {
             ++Stats.GateDegradations;
+            telemetry::counter("serving.gate_degradations").add();
             Response.Detail = "beam: all candidates contradicted evidence";
           } else {
             Response.Tier = PredictionTier::Beam;
@@ -166,6 +189,10 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
       nn::Seq2SeqModel::BeamOutcome Greedy = Model.predictTopKBudgeted(
           SourceIds, 1, Budget - Response.DecodeStepsUsed);
       Response.DecodeStepsUsed += Greedy.DecodeStepsUsed;
+      if (Greedy.BudgetExhausted) {
+        ++Stats.BudgetExhaustions;
+        telemetry::counter("serving.budget_exhaustions").add();
+      }
       if (Greedy.NonFinite) {
         Response.Detail += "; greedy: non-finite logits";
       } else if (Greedy.Hypotheses.empty()) {
@@ -178,8 +205,10 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
         } else {
           size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
           Stats.GatedCandidates += Gated;
+          telemetry::counter("serving.gated_candidates").add(Gated);
           if (Decoded.empty()) {
             ++Stats.GateDegradations;
+            telemetry::counter("serving.gate_degradations").add();
             Response.Detail += "; greedy: all candidates contradicted evidence";
           } else {
             Response.Tier = PredictionTier::Greedy;
@@ -213,17 +242,24 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
 
   ++Stats.Answered;
   Stats.DecodeSteps += Response.DecodeStepsUsed;
+  telemetry::counter("serving.answered").add();
+  telemetry::counter("serving.decode_steps").add(Response.DecodeStepsUsed);
   switch (Response.Tier) {
   case PredictionTier::Beam:
     ++Stats.BeamAnswers;
+    telemetry::counter("serving.answers.beam").add();
     break;
   case PredictionTier::Greedy:
     ++Stats.GreedyAnswers;
+    telemetry::counter("serving.answers.greedy").add();
     break;
   case PredictionTier::Baseline:
     ++Stats.BaselineAnswers;
+    telemetry::counter("serving.answers.baseline").add();
     break;
   }
+  telemetry::histogram("serving.request_ns")
+      .record(telemetry::nowNs() - RequestStartNs);
   return Response;
 }
 

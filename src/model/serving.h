@@ -107,6 +107,9 @@ struct ServingStats {
   /// Requests whose beam/greedy tier lost *all* candidates to the gate and
   /// therefore degraded a rung.
   uint64_t GateDegradations = 0;
+  /// Decode attempts (beam or greedy) that ran out of step budget before
+  /// finishing. A request can contribute more than one.
+  uint64_t BudgetExhaustions = 0;
 };
 
 class ServingEngine {
@@ -124,14 +127,29 @@ public:
   /// Returns one response per processed request.
   std::vector<ServeResponse> drain();
 
-  /// Runs one request through the degradation ladder immediately,
-  /// bypassing the queue. drain() uses this internally.
+  /// Runs one request through the degradation ladder immediately, bypassing
+  /// the queue. Counts as a submission (it enters the system), so the stats
+  /// invariant Submitted == Rejected + Answered + queued() holds on every
+  /// path — see checkStats().
   ServeResponse processOne(const ServeRequest &Request);
 
   size_t queued() const { return Queue.size(); }
   const ServingStats &stats() const { return Stats; }
 
+  /// True iff the outcome counters are consistent: every submitted request
+  /// is accounted for by exactly one terminal state (rejected, answered, or
+  /// still queued), and answers partition across the three tiers.
+  bool checkStats() const {
+    return Stats.Submitted == Stats.Rejected + Stats.Answered + Queue.size() &&
+           Stats.Answered == Stats.BeamAnswers + Stats.GreedyAnswers +
+                                 Stats.BaselineAnswers;
+  }
+
 private:
+  /// The degradation ladder itself; assumes the request was already counted
+  /// as submitted (by submit() or processOne()).
+  ServeResponse serveLadder(const ServeRequest &Request);
+
   nn::Seq2SeqModel &Model;
   const Task &BoundTask;
   ServingOptions Options;

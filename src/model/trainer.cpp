@@ -2,6 +2,7 @@
 
 #include "support/io.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 
 #include <algorithm>
@@ -25,6 +26,7 @@ namespace {
 
 float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
                      size_t MaxSamples, size_t BatchSize) {
+  telemetry::ScopedPhase ValidPhase("train.validation");
   const std::vector<EncodedSample> &Valid = TrainTask.valid();
   size_t Count = Valid.size();
   if (MaxSamples != 0)
@@ -63,8 +65,11 @@ float validationLoss(Seq2SeqModel &Model, const Task &TrainTask,
 
 // Version 2 added the supervisor fields (EMA loss state, recovery budget,
 // LR scale) so a killed-and-resumed run replays recovery decisions exactly.
+// Version 3 added accumulated training seconds: TrainSeconds used to restart
+// from zero on every resume, so killed-and-resumed runs under-reported total
+// training time.
 constexpr uint64_t CheckpointMagic = 0x534e4f57434b5054ULL; // "SNOWCKPT"
-constexpr uint64_t CheckpointVersion = 2;
+constexpr uint64_t CheckpointVersion = 3;
 
 void appendU64(uint64_t Value, std::vector<uint8_t> &Out) {
   for (int Shift = 0; Shift < 64; Shift += 8)
@@ -138,6 +143,11 @@ struct LoopState {
   uint64_t ConsecutiveBad = 0; ///< Bad batches since the last healthy step.
   uint64_t RecoveriesUsed = 0; ///< Spent recovery budget (skips + rollbacks).
   float LrScale = 1.0f;        ///< Cumulative LR backoff multiplier.
+  /// Wall-clock seconds spent training across *all* prior runs of this
+  /// checkpoint lineage, as of the moment the checkpoint was written. A
+  /// resumed run reports PriorSeconds + its own elapsed time, so
+  /// TrainResult::TrainSeconds is monotone across kill-and-resume.
+  double AccumSeconds = 0.0;
 };
 
 /// Last-known-good model state for in-run rollback: weights, Adam moments,
@@ -202,6 +212,9 @@ std::vector<uint8_t> serializeCheckpoint(
   uint32_t LrBits = 0;
   std::memcpy(&LrBits, &State.LrScale, sizeof(float));
   appendU64(LrBits, Out);
+  uint64_t AccumBits = 0;
+  std::memcpy(&AccumBits, &State.AccumSeconds, sizeof(double));
+  appendU64(AccumBits, Out);
   appendRngState(ShuffleRng, Out);
   appendRngState(Model.modelRng(), Out);
   appendU64(Order.size(), Out);
@@ -258,6 +271,9 @@ Result<void> deserializeCheckpoint(const std::vector<uint8_t> &Bytes,
     return Truncated();
   uint32_t LrBits = static_cast<uint32_t>(Value);
   std::memcpy(&State.LrScale, &LrBits, sizeof(float));
+  if (!In.readU64(Value))
+    return Truncated();
+  std::memcpy(&State.AccumSeconds, &Value, sizeof(double));
   if (!In.readRngState(ShuffleRng) || !In.readRngState(Model.modelRng()))
     return Truncated();
   if (!In.readU64(Value))
@@ -298,6 +314,12 @@ Result<void> deserializeCheckpoint(const std::vector<uint8_t> &Bytes,
 
 TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
   auto StartTime = std::chrono::steady_clock::now();
+  auto ElapsedSeconds = [StartTime] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         StartTime)
+        .count();
+  };
+  telemetry::ScopedPhase TrainPhase("train.total");
 
   Seq2SeqConfig Config;
   Config.SrcVocabSize = TrainTask.sourceVocab().size();
@@ -346,6 +368,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
         Optimizer.setLearningRate(Options.LearningRate * State.LrScale);
         Out.BatchesRun = State.BatchesRun;
         Resumed = true;
+        telemetry::counter("train.resumes").add();
         if (Options.Verbose)
           std::fprintf(stderr,
                        "  [resume] epoch %llu batch %llu from '%s'\n",
@@ -362,6 +385,12 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
     }
   }
 
+  // Training time accumulated by prior runs of this checkpoint lineage
+  // (zero on a fresh start). Every TrainSeconds report and every checkpoint
+  // write adds the current run's elapsed time on top, so the total is
+  // monotone across kill-and-resume.
+  const double PriorSeconds = State.AccumSeconds;
+
   auto Snapshot = [&] {
     BestWeights.clear();
     for (Parameter *P : Out.Model->parameters())
@@ -376,14 +405,20 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
       Params[I]->Value = BestWeights[I];
   };
   auto WriteCheckpoint = [&]() -> Result<void> {
+    telemetry::ScopedPhase CkptPhase("train.checkpoint");
     State.StepCount = Optimizer.stepCount();
     State.BatchesRun = Out.BatchesRun;
-    return io::writeFileChecksummed(
-               Options.CheckpointPath,
-               serializeCheckpoint(State, ShuffleRng, *Out.Model, Order,
-                                   BestWeights),
-               Options.Faults)
-        .withContext("checkpoint '" + Options.CheckpointPath + "'");
+    State.AccumSeconds = PriorSeconds + ElapsedSeconds();
+    Result<void> Written =
+        io::writeFileChecksummed(
+            Options.CheckpointPath,
+            serializeCheckpoint(State, ShuffleRng, *Out.Model, Order,
+                                BestWeights),
+            Options.Faults)
+            .withContext("checkpoint '" + Options.CheckpointPath + "'");
+    if (Written.isOk())
+      telemetry::counter("train.checkpoints_written").add();
+    return Written;
   };
 
   // --- Numerical-health supervisor -----------------------------------------
@@ -421,6 +456,8 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
 
   for (size_t Epoch = StartEpoch; Epoch < Options.MaxEpochs && !State.Stop;
        ++Epoch) {
+    telemetry::ScopedPhase EpochPhase("train.epoch");
+    telemetry::counter("train.epochs").add();
     if (SkipFirstShuffle)
       SkipFirstShuffle = false; // Resumed mid-epoch: Order is the saved one.
     else
@@ -429,11 +466,10 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
          Begin < Order.size() && !State.Stop; Begin += Options.BatchSize) {
       if (Options.Faults && Options.Faults->tick()) {
         Out.Interrupted = true; // Simulated hard crash between batches.
-        Out.TrainSeconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - StartTime)
-                               .count();
+        Out.TrainSeconds = PriorSeconds + ElapsedSeconds();
         return Out;
       }
+      uint64_t BatchStartNs = telemetry::nowNs();
       size_t End = std::min(Begin + Options.BatchSize, Order.size());
       std::vector<std::vector<uint32_t>> Sources, Targets;
       for (size_t I = Begin; I < End; ++I) {
@@ -442,6 +478,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
       }
       float Loss = Out.Model->computeBatchGradients(Sources, Targets);
       ++Out.BatchesRun;
+      telemetry::counter("train.batches").add();
       uint64_t BatchNumber = Out.BatchesRun;
 
       // Deterministic NaN injection: the injector names the batch, the
@@ -475,6 +512,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
 
       if (!BadReason) {
         Optimizer.step(Options.GradClipNorm);
+        telemetry::counter("train.steps").add();
         State.ConsecutiveBad = 0;
         if (Heal.Enabled) {
           State.EmaLoss = State.EmaCount == 0
@@ -505,6 +543,8 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
           State.ConsecutiveBad = 0;
           ++Out.Recovery.Rollbacks;
           ++Out.Recovery.LrBackoffs;
+          telemetry::counter("train.supervisor.rollbacks").add();
+          telemetry::counter("train.supervisor.lr_backoffs").add();
           std::snprintf(Line, sizeof(Line),
                         "batch %llu: %s — rolled back to step %llu, lr x%.3g "
                         "(budget %llu/%zu)",
@@ -527,6 +567,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
           }
         } else {
           ++Out.Recovery.BatchesSkipped;
+          telemetry::counter("train.supervisor.skips").add();
           std::snprintf(Line, sizeof(Line),
                         "batch %llu: %s — skipped (budget %llu/%zu)",
                         static_cast<unsigned long long>(BatchNumber),
@@ -539,6 +580,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
             State.RecoveriesUsed >= Heal.MaxRecoveries) {
           Out.Recovery.Diverged = true;
           State.Stop = true;
+          telemetry::counter("train.supervisor.diverged").add();
           RecordAction("recovery budget exhausted — stopping (diverged)");
         }
       }
@@ -546,6 +588,11 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
       if (Options.Verbose && Out.BatchesRun % 20 == 0)
         std::fprintf(stderr, "  [train] epoch %zu batch %zu loss %.4f\n",
                      Epoch + 1, Out.BatchesRun, Loss);
+
+      // Batch cost ends here: validation and checkpointing are attributed to
+      // their own phases below.
+      telemetry::histogram("train.batch_ns")
+          .record(telemetry::nowNs() - BatchStartNs);
 
       if (Out.BatchesRun % CheckEvery == 0) {
         float ValidLoss = validationLoss(*Out.Model, TrainTask,
@@ -583,9 +630,7 @@ TrainResult trainModel(const Task &TrainTask, const TrainOptions &Options) {
   }
   Restore();
   Out.BestValidLoss = State.BestLoss;
-  Out.TrainSeconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - StartTime)
-                         .count();
+  Out.TrainSeconds = PriorSeconds + ElapsedSeconds();
   return Out;
 }
 

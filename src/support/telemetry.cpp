@@ -1,0 +1,584 @@
+#include "support/telemetry.h"
+
+#if SNOWWHITE_TELEMETRY_ENABLED
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <time.h>
+#endif
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace telemetry {
+
+// --- JSON string escaping (shared by the writer and the round-tripper) ------
+
+namespace {
+
+void appendEscaped(const std::string &S, std::string &Out) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+#if SNOWWHITE_TELEMETRY_ENABLED
+
+// --- Clocks -----------------------------------------------------------------
+
+uint64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Start)
+          .count());
+}
+
+namespace {
+
+uint64_t threadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec Ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) == 0)
+    return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(Ts.tv_nsec);
+#endif
+  return 0;
+}
+
+/// Small stable per-thread index for trace output (first use wins).
+uint32_t threadIndex() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Mine = Next.fetch_add(1, std::memory_order_relaxed);
+  return Mine;
+}
+
+/// Per-thread span nesting state; Span push/pops it RAII-style.
+struct SpanContext {
+  uint64_t CurrentId = 0;
+  uint32_t Depth = 0;
+};
+thread_local SpanContext CurrentSpan;
+
+std::atomic<uint64_t> NextSpanId{1};
+
+} // namespace
+
+// --- Histogram --------------------------------------------------------------
+
+void Histogram::record(uint64_t Value) {
+  size_t Bucket = static_cast<size_t>(std::bit_width(Value));
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Seen = Max.load(std::memory_order_relaxed);
+  while (Value > Seen &&
+         !Max.compare_exchange_weak(Seen, Value, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::bucketBound(size_t Bucket) {
+  if (Bucket >= 64)
+    return UINT64_MAX;
+  return 1ull << Bucket;
+}
+
+void Histogram::reset() {
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex Mu;
+  // unique_ptr values keep metric addresses stable across map rehashes, so
+  // call sites may cache references for the process lifetime.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, PhaseStat> Phases;
+  std::vector<SpanRecord> Spans;
+  std::atomic<uint64_t> SpansDropped{0};
+};
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Registry::Impl &Registry::impl() const {
+  static Impl I;
+  return I;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::unique_ptr<Counter> &Slot = I.Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::unique_ptr<Gauge> &Slot = I.Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::unique_ptr<Histogram> &Slot = I.Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+void Registry::accumulatePhase(const std::string &Name, uint64_t WallNs,
+                               uint64_t CpuNs) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  PhaseStat &Stat = I.Phases[Name];
+  ++Stat.Count;
+  Stat.WallNs += WallNs;
+  Stat.CpuNs += CpuNs;
+}
+
+void Registry::recordSpan(SpanRecord Record) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  if (I.Spans.size() >= MaxSpans) {
+    I.SpansDropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  I.Spans.push_back(std::move(Record));
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.Spans;
+}
+
+PhaseStat Registry::phase(const std::string &Name) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  auto It = I.Phases.find(Name);
+  return It == I.Phases.end() ? PhaseStat{} : It->second;
+}
+
+void Registry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  for (auto &[Name, C] : I.Counters)
+    C->reset();
+  for (auto &[Name, G] : I.Gauges)
+    G->reset();
+  for (auto &[Name, H] : I.Histograms)
+    H->reset();
+  I.Phases.clear();
+  I.Spans.clear();
+  I.SpansDropped.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void appendKey(const std::string &Name, std::string &Out) {
+  Out += '"';
+  appendEscaped(Name, Out);
+  Out += "\":";
+}
+
+} // namespace
+
+std::string Registry::countersJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, C] : I.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendKey(Name, Out);
+    Out += std::to_string(C->value());
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string Registry::metricsJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::string Out = "{\"schema\":\"";
+  Out += SchemaVersion;
+  Out += "\",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : I.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendKey(Name, Out);
+    Out += std::to_string(C->value());
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : I.Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendKey(Name, Out);
+    Out += std::to_string(G->value());
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : I.Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendKey(Name, Out);
+    Out += "{\"count\":" + std::to_string(H->count()) +
+           ",\"sum\":" + std::to_string(H->sum()) +
+           ",\"max\":" + std::to_string(H->max()) + ",\"buckets\":{";
+    bool FirstBucket = true;
+    for (size_t B = 0; B < Histogram::NumBuckets; ++B) {
+      uint64_t N = H->bucketCount(B);
+      if (N == 0)
+        continue;
+      if (!FirstBucket)
+        Out += ',';
+      FirstBucket = false;
+      Out += '"' + std::to_string(Histogram::bucketBound(B)) +
+             "\":" + std::to_string(N);
+    }
+    Out += "}}";
+  }
+  Out += "},\"phases\":{";
+  First = true;
+  for (const auto &[Name, Stat] : I.Phases) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendKey(Name, Out);
+    Out += "{\"count\":" + std::to_string(Stat.Count) +
+           ",\"wall_ns\":" + std::to_string(Stat.WallNs) +
+           ",\"cpu_ns\":" + std::to_string(Stat.CpuNs) + "}";
+  }
+  Out += "},\"spans_dropped\":" +
+         std::to_string(I.SpansDropped.load(std::memory_order_relaxed));
+  Out += '}';
+  return Out;
+}
+
+std::string Registry::traceJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  // Chrome trace format: complete events, microsecond timestamps. Sorted by
+  // start time so the dump is stable for a single-threaded run.
+  std::vector<const SpanRecord *> Ordered;
+  Ordered.reserve(I.Spans.size());
+  for (const SpanRecord &Span : I.Spans)
+    Ordered.push_back(&Span);
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const SpanRecord *A, const SpanRecord *B) {
+              return A->StartNs != B->StartNs ? A->StartNs < B->StartNs
+                                              : A->Id < B->Id;
+            });
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const SpanRecord *Span : Ordered) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    appendEscaped(Span->Name, Out);
+    Out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(Span->Tid) +
+           ",\"ts\":" + std::to_string(Span->StartNs / 1000) +
+           ",\"dur\":" + std::to_string(Span->DurNs / 1000) +
+           ",\"args\":{\"id\":" + std::to_string(Span->Id) +
+           ",\"parent\":" + std::to_string(Span->ParentId) +
+           ",\"depth\":" + std::to_string(Span->Depth) + "}}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+// --- Span / ScopedPhase -----------------------------------------------------
+
+Span::Span(const char *SpanName) : Name(SpanName) {
+  Id = NextSpanId.fetch_add(1, std::memory_order_relaxed);
+  ParentId = CurrentSpan.CurrentId;
+  Depth = CurrentSpan.Depth;
+  CurrentSpan.CurrentId = Id;
+  ++CurrentSpan.Depth;
+  StartNs = nowNs();
+}
+
+Span::~Span() {
+  uint64_t EndNs = nowNs();
+  CurrentSpan.CurrentId = ParentId;
+  --CurrentSpan.Depth;
+  SpanRecord Record;
+  Record.Name = Name;
+  Record.Id = Id;
+  Record.ParentId = ParentId;
+  Record.Depth = Depth;
+  Record.Tid = threadIndex();
+  Record.StartNs = StartNs;
+  Record.DurNs = EndNs - StartNs;
+  Registry::global().recordSpan(std::move(Record));
+}
+
+ScopedPhase::ScopedPhase(const char *PhaseName)
+    : Name(PhaseName), StartWallNs(nowNs()), StartCpuNs(threadCpuNs()) {}
+
+ScopedPhase::~ScopedPhase() {
+  uint64_t WallNs = nowNs() - StartWallNs;
+  uint64_t CpuNs = threadCpuNs() - StartCpuNs;
+  Registry::global().accumulatePhase(Name, WallNs, CpuNs);
+}
+
+#endif // SNOWWHITE_TELEMETRY_ENABLED
+
+// --- Snapshot round-trip (both builds) --------------------------------------
+//
+// A minimal recursive-descent parser over the subset of JSON the snapshot
+// writer emits (objects, strings, integers), re-serialized with the same
+// canonical rules (no whitespace, insertion order, shared escaping). A
+// writer-produced snapshot therefore round-trips byte-identically; anything
+// else (truncation, NaN, floats, arrays) fails the parse and returns "".
+
+namespace {
+
+struct JsonParser {
+  const std::string &S;
+  size_t At = 0;
+  bool Failed = false;
+
+  explicit JsonParser(const std::string &Text) : S(Text) {}
+
+  void skipWs() {
+    while (At < S.size() && (S[At] == ' ' || S[At] == '\t' || S[At] == '\n' ||
+                             S[At] == '\r'))
+      ++At;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (At < S.size() && S[At] == C) {
+      ++At;
+      return true;
+    }
+    Failed = true;
+    return false;
+  }
+
+  /// Parses a value and appends its canonical form to Out.
+  void value(std::string &Out) {
+    skipWs();
+    if (At >= S.size()) {
+      Failed = true;
+      return;
+    }
+    char C = S[At];
+    if (C == '{')
+      object(Out);
+    else if (C == '"')
+      string(Out);
+    else if (C == '-' || (C >= '0' && C <= '9'))
+      integer(Out);
+    else
+      Failed = true;
+  }
+
+  void object(std::string &Out) {
+    if (!eat('{'))
+      return;
+    Out += '{';
+    skipWs();
+    if (At < S.size() && S[At] == '}') {
+      ++At;
+      Out += '}';
+      return;
+    }
+    bool First = true;
+    while (!Failed) {
+      if (!First)
+        Out += ',';
+      First = false;
+      string(Out);
+      if (!eat(':'))
+        return;
+      Out += ':';
+      value(Out);
+      skipWs();
+      if (At < S.size() && S[At] == ',') {
+        ++At;
+        continue;
+      }
+      break;
+    }
+    if (!eat('}'))
+      return;
+    Out += '}';
+  }
+
+  void string(std::string &Out) {
+    if (!eat('"'))
+      return;
+    std::string Decoded;
+    while (At < S.size() && S[At] != '"') {
+      char C = S[At];
+      if (C == '\\') {
+        if (At + 1 >= S.size()) {
+          Failed = true;
+          return;
+        }
+        char E = S[At + 1];
+        At += 2;
+        switch (E) {
+        case '"':
+          Decoded += '"';
+          break;
+        case '\\':
+          Decoded += '\\';
+          break;
+        case '/':
+          Decoded += '/';
+          break;
+        case 'n':
+          Decoded += '\n';
+          break;
+        case 't':
+          Decoded += '\t';
+          break;
+        case 'r':
+          Decoded += '\r';
+          break;
+        case 'b':
+          Decoded += '\b';
+          break;
+        case 'f':
+          Decoded += '\f';
+          break;
+        case 'u': {
+          if (At + 4 > S.size()) {
+            Failed = true;
+            return;
+          }
+          unsigned Code = 0;
+          for (int Digit = 0; Digit < 4; ++Digit) {
+            char H = S[At + static_cast<size_t>(Digit)];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else {
+              Failed = true;
+              return;
+            }
+          }
+          At += 4;
+          if (Code > 0xff) {
+            // The writer only ever escapes control bytes; anything else is
+            // not a snapshot.
+            Failed = true;
+            return;
+          }
+          Decoded += static_cast<char>(Code);
+          break;
+        }
+        default:
+          Failed = true;
+          return;
+        }
+      } else {
+        Decoded += C;
+        ++At;
+      }
+    }
+    if (!eat('"'))
+      return;
+    Out += '"';
+    appendEscaped(Decoded, Out);
+    Out += '"';
+  }
+
+  void integer(std::string &Out) {
+    size_t Begin = At;
+    if (At < S.size() && S[At] == '-')
+      ++At;
+    size_t DigitsBegin = At;
+    while (At < S.size() && S[At] >= '0' && S[At] <= '9')
+      ++At;
+    if (At == DigitsBegin) {
+      Failed = true;
+      return;
+    }
+    // Reject floats/exponents outright: the snapshot is integers only.
+    if (At < S.size() && (S[At] == '.' || S[At] == 'e' || S[At] == 'E')) {
+      Failed = true;
+      return;
+    }
+    Out.append(S, Begin, At - Begin);
+  }
+};
+
+} // namespace
+
+std::string roundTripMetricsJson(const std::string &Json) {
+  JsonParser Parser(Json);
+  std::string Out;
+  Parser.value(Out);
+  Parser.skipWs();
+  if (Parser.Failed || Parser.At != Json.size())
+    return std::string();
+  return Out;
+}
+
+} // namespace telemetry
+} // namespace snowwhite

@@ -1,0 +1,279 @@
+//===- support/telemetry.h - Metrics registry, spans, phase profiler -------===//
+//
+// The observability layer: a process-wide, thread-safe registry of named
+// metrics, RAII tracing spans with parent/child nesting, and a phase
+// profiler that attributes wall and CPU time to named phases. The four hot
+// layers (dataset pipeline, trainer, serving engine, analysis gate) report
+// through this instead of ad-hoc struct tallies, so one JSON snapshot
+// answers "where did the wall clock go" for any run.
+//
+// Determinism contract: counter values, gauge values, histogram bucket
+// counts and histogram sums are integers accumulated with relaxed atomic
+// adds — integer addition is associative and commutative, so aggregates are
+// bit-identical at any SNOWWHITE_THREADS. Only *timestamps* (span start
+// times, phase wall/CPU totals, latency histogram values) vary run to run;
+// consumers that compare snapshots across thread counts compare the
+// "counters" section (Registry::countersJson), which is fully deterministic.
+//
+// Snapshot format (schema-versioned, integers only, sorted keys — see
+// README "Observability"):
+//
+//   {"schema":"snowwhite.metrics.v1",
+//    "counters":{"serving.submitted":12,...},
+//    "gauges":{"serving.queue_depth":0,...},
+//    "histograms":{"train.batch_ns":{"count":6,"sum":...,
+//                  "max":...,"buckets":{"33554432":4,"67108864":2}}},
+//    "phases":{"train.batch":{"count":6,"wall_ns":...,"cpu_ns":...}}}
+//
+// Histogram buckets are fixed log-scale: a value lands in the bucket keyed
+// by the smallest power of two strictly greater than it (value 0 lands in
+// bucket "1"). Fixed buckets keep aggregation exact and thread-count
+// independent — there is no re-bucketing and no floating point anywhere.
+//
+// Compile-out: configuring with -DSNOWWHITE_TELEMETRY=OFF defines
+// SNOWWHITE_TELEMETRY_DISABLED, and this header degrades to empty inline
+// stubs — instrumentation sites compile to zero code, and metricsJson()
+// reports {"telemetry":"off"} so tooling can tell the difference between
+// "nothing happened" and "nothing was recorded".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_SUPPORT_TELEMETRY_H
+#define SNOWWHITE_SUPPORT_TELEMETRY_H
+
+#include <cstdint>
+#include <string>
+
+#ifndef SNOWWHITE_TELEMETRY_DISABLED
+#define SNOWWHITE_TELEMETRY_ENABLED 1
+#else
+#define SNOWWHITE_TELEMETRY_ENABLED 0
+#endif
+
+#if SNOWWHITE_TELEMETRY_ENABLED
+#include <atomic>
+#include <vector>
+#endif
+
+namespace snowwhite {
+namespace telemetry {
+
+/// Schema tag embedded in every snapshot; bump when the layout changes.
+inline constexpr const char *SchemaVersion = "snowwhite.metrics.v1";
+
+#if SNOWWHITE_TELEMETRY_ENABLED
+
+/// Monotonic counter. Relaxed atomic adds: exact and order-independent.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins signed gauge (queue depths, scale factors x1e6, ...).
+class Gauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  void add(int64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed log2-bucket histogram over uint64 values. Bucket I counts values in
+/// [2^(I-1), 2^I) (bucket 0 counts only the value 0, keyed "1" in JSON).
+/// Count, sum and max are exact integers, so aggregates are bit-identical at
+/// any thread count.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  void record(uint64_t Value);
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucketCount(size_t Bucket) const {
+    return Buckets[Bucket].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper bound of bucket I (its JSON key).
+  static uint64_t bucketBound(size_t Bucket);
+  void reset();
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// One completed tracing span, for tests and the Chrome trace export.
+struct SpanRecord {
+  std::string Name;
+  uint64_t Id = 0;       ///< Process-unique, assigned at span entry.
+  uint64_t ParentId = 0; ///< Enclosing span on the same thread (0 = root).
+  uint32_t Depth = 0;    ///< Nesting depth on its thread (0 = root).
+  uint32_t Tid = 0;      ///< Small stable per-thread index.
+  uint64_t StartNs = 0;  ///< Monotonic, relative to process start.
+  uint64_t DurNs = 0;
+};
+
+/// Per-phase accumulated cost (the phase profiler's output).
+struct PhaseStat {
+  uint64_t Count = 0;
+  uint64_t WallNs = 0;
+  uint64_t CpuNs = 0; ///< Thread CPU time of the thread running the phase.
+};
+
+/// The process-wide metric store. Metric objects are created on first use
+/// and live for the process lifetime; reset() zeroes values but never
+/// invalidates references, so call sites may cache them.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Folds one finished phase measurement into the named phase.
+  void accumulatePhase(const std::string &Name, uint64_t WallNs,
+                       uint64_t CpuNs);
+
+  /// Appends a finished span. Storage is bounded (MaxSpans); overflow drops
+  /// the span and bumps the "telemetry.spans_dropped" counter instead of
+  /// growing without bound.
+  void recordSpan(SpanRecord Record);
+
+  /// Full schema-versioned snapshot (see the header comment for the layout).
+  std::string metricsJson() const;
+  /// Just the deterministic "counters" section, as its own JSON object.
+  std::string countersJson() const;
+  /// Chrome trace format (load via chrome://tracing or Perfetto): one
+  /// complete ("ph":"X") event per span, microsecond timestamps.
+  std::string traceJson() const;
+
+  std::vector<SpanRecord> spans() const;
+  PhaseStat phase(const std::string &Name) const;
+
+  /// Zeroes every value and clears spans/phases; registered metric objects
+  /// stay valid. Tests only.
+  void reset();
+
+  static constexpr size_t MaxSpans = 1 << 16;
+
+private:
+  Registry() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// RAII tracing span. Construction records entry (timestamp, parent = the
+/// enclosing Span on this thread); destruction records the duration into
+/// the global registry. Cheap enough for per-request use; not for per-token
+/// inner loops.
+class Span {
+public:
+  explicit Span(const char *Name);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  uint64_t Id;
+  uint64_t ParentId;
+  uint32_t Depth;
+  uint64_t StartNs;
+};
+
+/// RAII phase profiler entry: attributes the enclosed wall and thread-CPU
+/// time to Name via Registry::accumulatePhase.
+class ScopedPhase {
+public:
+  explicit ScopedPhase(const char *Name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+private:
+  const char *Name;
+  uint64_t StartWallNs;
+  uint64_t StartCpuNs;
+};
+
+/// Nanoseconds since process start (monotonic clock).
+uint64_t nowNs();
+
+inline Counter &counter(const std::string &Name) {
+  return Registry::global().counter(Name);
+}
+inline Gauge &gauge(const std::string &Name) {
+  return Registry::global().gauge(Name);
+}
+inline Histogram &histogram(const std::string &Name) {
+  return Registry::global().histogram(Name);
+}
+inline std::string metricsJson() { return Registry::global().metricsJson(); }
+inline std::string traceJson() { return Registry::global().traceJson(); }
+
+#else // !SNOWWHITE_TELEMETRY_ENABLED
+
+// Compile-out stubs: same spellings, zero generated code. Free functions
+// return no-op values so `telemetry::counter("x").add()` still compiles.
+
+struct Counter {
+  void add(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+  void reset() {}
+};
+struct Gauge {
+  void set(int64_t) {}
+  void add(int64_t) {}
+  int64_t value() const { return 0; }
+  void reset() {}
+};
+struct Histogram {
+  void record(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t max() const { return 0; }
+};
+
+struct Span {
+  explicit Span(const char *) {}
+};
+struct ScopedPhase {
+  explicit ScopedPhase(const char *) {}
+};
+
+inline uint64_t nowNs() { return 0; }
+
+inline Counter counter(const std::string &) { return {}; }
+inline Gauge gauge(const std::string &) { return {}; }
+inline Histogram histogram(const std::string &) { return {}; }
+inline std::string metricsJson() {
+  return std::string("{\"schema\":\"") + SchemaVersion +
+         "\",\"telemetry\":\"off\"}";
+}
+inline std::string traceJson() { return "{\"traceEvents\":[]}"; }
+
+#endif // SNOWWHITE_TELEMETRY_ENABLED
+
+/// Parses a metrics snapshot (the subset of JSON metricsJson emits: objects,
+/// strings, and integers) and re-serializes it canonically. Returns the
+/// re-serialized text, or an empty string on a parse error. A healthy
+/// snapshot round-trips byte-identically — the fuzz driver asserts this
+/// after every campaign, and tests pin it on golden snapshots. Available in
+/// both telemetry builds (it is a pure string transform).
+std::string roundTripMetricsJson(const std::string &Json);
+
+} // namespace telemetry
+} // namespace snowwhite
+
+#endif // SNOWWHITE_SUPPORT_TELEMETRY_H

@@ -60,11 +60,51 @@ TEST(AccuracyReport, AggregatesAreConsistent) {
   Report.NumSamples = 10;
   Report.Top1Hits = 4;
   Report.TopKHits = 8;
-  Report.PrefixScoreSum = 14.0;
+  Report.PrefixScoreSumTop1 = 14.0;
+  Report.PrefixScoreSumTopK = 21.0;
   EXPECT_DOUBLE_EQ(Report.top1(), 0.4);
   EXPECT_DOUBLE_EQ(Report.topK(), 0.8);
-  EXPECT_DOUBLE_EQ(Report.meanPrefixScore(), 1.4);
+  EXPECT_DOUBLE_EQ(Report.meanPrefixScoreTop1(), 1.4);
+  EXPECT_DOUBLE_EQ(Report.meanPrefixScoreTopK(), 2.1);
   EXPECT_GE(Report.topK(), Report.top1()) << "top-5 includes top-1";
+}
+
+// Regression for the TPS aggregation bug: the old code summed the rank-0
+// candidate's prefix score unconditionally, so the top-5 TPS column silently
+// reported top-1 numbers. Three hand-computed samples pin both variants.
+TEST(AccuracyReport, HandComputedThreeSampleTpsVariants) {
+  using V = std::vector<std::string>;
+  AccuracyReport Report;
+
+  // Sample 1: truth at rank 1. Rank-0 prefix = 1 ("pointer"); the rank-1
+  // candidate matches all 3 tokens.
+  scorePredictions(Report,
+                   {V{"pointer", "class", "\"A\""},
+                    V{"pointer", "struct", "\"B\""}},
+                   V{"pointer", "struct", "\"B\""}, 1);
+  // Sample 2: exact hit at rank 0 (2 tokens); rank 1 is worse (prefix 1).
+  scorePredictions(Report,
+                   {V{"primitive", "int"}, V{"primitive", "uint"}},
+                   V{"primitive", "int"}, 0);
+  // Sample 3: both candidates miss; best prefix is 2 at rank 1.
+  scorePredictions(Report,
+                   {V{"struct", "x", "y"}, V{"pointer", "primitive", "char"}},
+                   V{"pointer", "primitive", "int", "8"}, 2);
+
+  EXPECT_EQ(Report.NumSamples, 3u);
+  EXPECT_EQ(Report.Top1Hits, 1u);
+  EXPECT_EQ(Report.TopKHits, 2u);
+  // Top-1 TPS: (1 + 2 + 0) / 3.
+  EXPECT_DOUBLE_EQ(Report.PrefixScoreSumTop1, 3.0);
+  EXPECT_DOUBLE_EQ(Report.meanPrefixScoreTop1(), 1.0);
+  // Top-K TPS: (3 + 2 + 2) / 3 — credits the best-of-top-K candidate.
+  EXPECT_DOUBLE_EQ(Report.PrefixScoreSumTopK, 7.0);
+  EXPECT_DOUBLE_EQ(Report.meanPrefixScoreTopK(), 7.0 / 3.0);
+  // Per-depth buckets saw one sample each.
+  EXPECT_EQ(Report.ByDepth.size(), 3u);
+  EXPECT_EQ(Report.ByDepth[1].TopKHits, 1u);
+  EXPECT_EQ(Report.ByDepth[0].Top1Hits, 1u);
+  EXPECT_EQ(Report.ByDepth[2].TopKHits, 0u);
 }
 
 // --- Distributions ----------------------------------------------------------------

@@ -172,7 +172,8 @@ TEST(Metrics, EvaluateAccuracyWithOracleAndWithAlwaysWrong) {
       },
       5, 200);
   EXPECT_DOUBLE_EQ(Wrong.top1(), 0.0);
-  EXPECT_DOUBLE_EQ(Wrong.meanPrefixScore(), 0.0);
+  EXPECT_DOUBLE_EQ(Wrong.meanPrefixScoreTop1(), 0.0);
+  EXPECT_DOUBLE_EQ(Wrong.meanPrefixScoreTopK(), 0.0);
 }
 
 TEST(Metrics, Top5CountsLaterHits) {
@@ -188,6 +189,9 @@ TEST(Metrics, Top5CountsLaterHits) {
       5, 100);
   EXPECT_LT(Report.top1(), 0.2);
   EXPECT_DOUBLE_EQ(Report.topK(), 1.0);
+  // The top-K TPS must credit the rank-1 exact hit, not score rank 0
+  // unconditionally (the pre-fix behaviour).
+  EXPECT_GT(Report.meanPrefixScoreTopK(), Report.meanPrefixScoreTop1());
 }
 
 // --- Distributions ---------------------------------------------------------------

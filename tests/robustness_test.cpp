@@ -14,6 +14,7 @@
 #include "model/trainer.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 
 #include <gtest/gtest.h>
@@ -305,6 +306,151 @@ TEST(Serving, AdmissionQueueIsBounded) {
   EXPECT_EQ(Engine.stats().Rejected, 6u);
   EXPECT_EQ(Engine.drain().size(), 4u);
   EXPECT_EQ(Engine.stats().Answered, 4u);
+}
+
+// --- Serving: stats invariant on every exit path --------------------------------
+
+// Regression for the stats-consistency bug: some exit paths (notably the
+// direct processOne() entry and budget-exhausted ladder rungs) used to leave
+// Submitted and the terminal outcome counters out of sync. The invariant is
+// checked after every externally observable state change, under injected
+// model failures so all three tiers and both entry points are exercised.
+TEST(Serving, StatsInvariantHoldsOnEveryExitPath) {
+  ServingFixture &Fixture = servingFixture();
+  fault::FaultConfig Config;
+  Config.Seed = 11;
+  Config.ModelFailureRate = 0.5;
+  fault::FaultInjector Injector(Config);
+
+  ServingOptions Options;
+  Options.TopK = 3;
+  Options.QueueCapacity = 6;
+  Options.Faults = &Injector;
+  ServingEngine Engine(*Fixture.Trained.Model, sharedTask(), Options);
+  const Dataset &Data = sharedDataset();
+  const std::vector<std::string> &Input = Data.Samples[Data.Test[0]].Input;
+
+  // Overfill the bounded queue: 6 admissions, 4 rejections.
+  for (uint64_t I = 0; I < 10; ++I) {
+    ServeRequest Request;
+    Request.Id = I;
+    Request.InputTokens = Input;
+    Engine.submit(std::move(Request));
+    ASSERT_TRUE(Engine.checkStats()) << "after submit " << I;
+  }
+
+  // Direct entries bypassing the queue, including a budget too small for any
+  // model tier (the baseline exit path).
+  ServeRequest Direct;
+  Direct.Id = 100;
+  Direct.InputTokens = Input;
+  Engine.processOne(Direct);
+  ASSERT_TRUE(Engine.checkStats()) << "after processOne";
+  Direct.Id = 101;
+  Direct.StepBudget = 1;
+  Engine.processOne(Direct);
+  ASSERT_TRUE(Engine.checkStats()) << "after budget-starved processOne";
+
+  Engine.drain();
+  ASSERT_TRUE(Engine.checkStats()) << "after drain";
+
+  const ServingStats &Stats = Engine.stats();
+  EXPECT_EQ(Stats.Submitted, 12u);
+  EXPECT_EQ(Stats.Rejected, 4u);
+  EXPECT_EQ(Stats.Answered, 8u);
+  EXPECT_EQ(Engine.queued(), 0u);
+}
+
+// The registry mirrors are views over the same events the per-engine struct
+// counts: after a run against a fresh registry, both must agree exactly.
+// Registry inspection needs the live telemetry build.
+#if SNOWWHITE_TELEMETRY_ENABLED
+TEST(Serving, RegistryCountersMirrorEngineStats) {
+  ServingFixture &Fixture = servingFixture();
+  telemetry::Registry::global().reset();
+
+  ServingOptions Options;
+  Options.QueueCapacity = 4;
+  ServingEngine Engine(*Fixture.Trained.Model, sharedTask(), Options);
+  const Dataset &Data = sharedDataset();
+  for (uint64_t I = 0; I < 7; ++I) {
+    ServeRequest Request;
+    Request.Id = I;
+    Request.InputTokens = Data.Samples[Data.Test[0]].Input;
+    Engine.submit(std::move(Request));
+  }
+  Engine.drain();
+  ServeRequest Direct;
+  Direct.Id = 50;
+  Direct.InputTokens = Data.Samples[Data.Test[0]].Input;
+  Engine.processOne(Direct);
+  // A budget just wide enough to admit the beam tier but far too small for
+  // width x length decoding: the beam burns its allowance and the
+  // exhaustion is tallied (in both the struct and its registry mirror).
+  Direct.Id = 51;
+  Direct.StepBudget = 2 * Fixture.Trained.Model->config().MaxTgtLen;
+  Engine.processOne(Direct);
+
+  const ServingStats &Stats = Engine.stats();
+  EXPECT_GT(Stats.BudgetExhaustions, 0u)
+      << "the starved beam must be tallied, not silently degraded";
+  EXPECT_EQ(telemetry::counter("serving.submitted").value(), Stats.Submitted);
+  EXPECT_EQ(telemetry::counter("serving.rejected").value(), Stats.Rejected);
+  EXPECT_EQ(telemetry::counter("serving.answered").value(), Stats.Answered);
+  EXPECT_EQ(telemetry::counter("serving.answers.beam").value(),
+            Stats.BeamAnswers);
+  EXPECT_EQ(telemetry::counter("serving.answers.greedy").value(),
+            Stats.GreedyAnswers);
+  EXPECT_EQ(telemetry::counter("serving.answers.baseline").value(),
+            Stats.BaselineAnswers);
+  EXPECT_EQ(telemetry::counter("serving.budget_exhaustions").value(),
+            Stats.BudgetExhaustions);
+  EXPECT_EQ(telemetry::gauge("serving.queue_depth").value(),
+            static_cast<int64_t>(Engine.queued()));
+  EXPECT_EQ(telemetry::histogram("serving.request_ns").count(),
+            Stats.Answered);
+}
+#endif // SNOWWHITE_TELEMETRY_ENABLED
+
+// --- Trainer: accumulated time survives kill-and-resume -------------------------
+
+// Regression for the TrainSeconds reset bug: each resumed process used to
+// report only its own wall time, so a kill-and-resume cycle made the
+// reported training time go *down*. The checkpoint now carries the
+// accumulated seconds, so time is monotone across any number of resumes.
+TEST(TrainerTime, AccumulatedSecondsAreMonotoneAcrossResumes) {
+  std::string Ckpt = ::testing::TempDir() + "/robustness_time.ckpt";
+  std::remove(Ckpt.c_str());
+
+  auto RunSegment = [&](uint64_t CrashAtTick, bool Resume) {
+    TrainOptions Options = tinyTrainOptions();
+    Options.MaxEpochs = 2; // 12 batches total; segments crash mid-run.
+    Options.CheckpointPath = Ckpt;
+    Options.CheckpointEveryBatches = 1;
+    Options.Resume = Resume;
+    fault::FaultConfig Config;
+    Config.CrashAtTick = CrashAtTick;
+    fault::FaultInjector Injector(Config);
+    Options.Faults = CrashAtTick ? &Injector : nullptr;
+    return trainModel(sharedTask(), Options);
+  };
+
+  // Segment 1 runs nine batches before the kill; segment 2 only two. Without
+  // the accumulated-seconds fix, segment 2 would report just its own short
+  // elapsed time — strictly less than segment 1's — and this test fails.
+  TrainResult First = RunSegment(10, false);
+  ASSERT_TRUE(First.Interrupted);
+  EXPECT_GT(First.TrainSeconds, 0.0);
+
+  TrainResult Second = RunSegment(3, true);
+  ASSERT_TRUE(Second.Interrupted);
+  EXPECT_GT(Second.TrainSeconds, First.TrainSeconds)
+      << "resume must add to the accumulated time, not restart the clock";
+
+  TrainResult Final = RunSegment(0, true);
+  EXPECT_FALSE(Final.Interrupted);
+  EXPECT_GT(Final.TrainSeconds, Second.TrainSeconds);
+  std::remove(Ckpt.c_str());
 }
 
 // --- Checkpoint integrity -----------------------------------------------------

@@ -1,15 +1,16 @@
 #!/usr/bin/env sh
-# Lint driver for the static-analysis layers (src/analysis/, src/wasm/).
+# Lint driver for the static-analysis layers (src/analysis/, src/wasm/) and
+# the telemetry layer (src/support/telemetry.*).
 #
 # Two passes, each independently useful:
 #
 #   1. Strict-warning audit (always runs): configure the `lint` preset
 #      (SNOWWHITE_LINT=ON -> -Wextra -Wshadow -Wconversion -Werror on
-#      sw_analysis and sw_wasm) and build those two targets. Any warning is
-#      a hard build failure.
+#      sw_analysis, sw_wasm, and src/support/telemetry.cpp) and build those
+#      targets. Any warning is a hard build failure.
 #
 #   2. clang-tidy (runs when installed): the checks in .clang-tidy over
-#      every translation unit of the two layers, using the
+#      every translation unit of the audited layers, using the
 #      compile_commands.json the lint preset exports. When clang-tidy is not
 #      on PATH this pass is skipped with a notice — the audit above still
 #      gates — so the script works in minimal containers.
@@ -21,13 +22,13 @@ cd "$(dirname "$0")/.."
 
 echo "== lint: strict-warning audit (SNOWWHITE_LINT=ON) =="
 cmake --preset lint >/dev/null
-cmake --build build-lint --target sw_analysis sw_wasm -j
+cmake --build build-lint --target sw_analysis sw_wasm sw_support -j
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== lint: clang-tidy over src/analysis/ src/wasm/ =="
+  echo "== lint: clang-tidy over src/analysis/ src/wasm/ src/support/telemetry.* =="
   # shellcheck disable=SC2046 -- word-splitting the file list is intended.
   clang-tidy -p build-lint --quiet \
-    $(ls src/analysis/*.cpp src/wasm/*.cpp)
+    $(ls src/analysis/*.cpp src/wasm/*.cpp src/support/telemetry.cpp)
 else
   echo "== lint: clang-tidy not installed; skipping (warning audit passed) =="
 fi

@@ -27,6 +27,15 @@
 //       corrupt modules are quarantined (skip-and-report); with --strict the
 //       first corrupt module aborts the run with its structured error.
 //
+//   snowwhite train [--epochs N] [--checkpoint PATH] [--resume] ...
+//       Train a small model on a synthetic corpus, optionally checkpointing
+//       (and resuming) so kill-and-resume behaviour can be exercised from
+//       the command line.
+//
+//   snowwhite metrics [--check FILE]
+//       Print this process's telemetry snapshot, or verify that a captured
+//       snapshot is canonical (parses and round-trips byte-identically).
+//
 //   snowwhite predict-batch [requests] [--fail-rate F] [--budget N]
 //                           [--queue N] [--seed S] [--verbose]
 //       Train a small model on a synthetic corpus, then run a batch of
@@ -54,6 +63,7 @@
 #include "model/trainer.h"
 #include "support/io.h"
 #include "support/str.h"
+#include "support/telemetry.h"
 #include "typelang/from_dwarf.h"
 #include "wasm/names.h"
 #include "wasm/reader.h"
@@ -98,6 +108,39 @@ static bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
     return false;
   }
   Bytes = Read.take();
+  return true;
+}
+
+/// Writes Text (plus a trailing newline) to Path, or to stdout for "-".
+static bool writeTextFile(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::vector<uint8_t> Bytes(Text.begin(), Text.end());
+  Bytes.push_back('\n');
+  return writeFile(Path, Bytes);
+}
+
+/// Emits the telemetry snapshot and/or Chrome trace at end of command, as
+/// requested by --metrics-out / --trace-out ("" = not requested, "-" =
+/// stdout). The snapshot is round-trip-checked before it leaves the process
+/// so a malformed emitter fails loudly here, not in a consumer.
+static bool emitTelemetry(const std::string &MetricsOut,
+                          const std::string &TraceOut) {
+  if (!MetricsOut.empty()) {
+    std::string Json = telemetry::metricsJson();
+    if (telemetry::roundTripMetricsJson(Json) != Json) {
+      printError(Error(ErrorCode::Malformed,
+                       "metrics snapshot failed the JSON round-trip check"));
+      return false;
+    }
+    if (!writeTextFile(MetricsOut, Json))
+      return false;
+  }
+  if (!TraceOut.empty() && !writeTextFile(TraceOut, telemetry::traceJson()))
+    return false;
   return true;
 }
 
@@ -241,14 +284,20 @@ static int commandAnalyze(int argc, char **argv) {
 
 static int commandIngest(int argc, char **argv) {
   if (argc < 1) {
-    std::fprintf(stderr, "usage: snowwhite ingest <dir> [--strict]\n");
+    std::fprintf(stderr, "usage: snowwhite ingest <dir> [--strict] "
+                         "[--metrics-out F] [--trace-out F]\n");
     return 2;
   }
   std::string Dir = argv[0];
   bool Strict = false;
+  std::string MetricsOut, TraceOut;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--strict") == 0) {
       Strict = true;
+    } else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc) {
+      MetricsOut = argv[++I];
+    } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
+      TraceOut = argv[++I];
     } else {
       std::fprintf(stderr, "unknown ingest option '%s'\n", argv[I]);
       return 2;
@@ -328,6 +377,139 @@ static int commandIngest(int argc, char **argv) {
                      "all input modules were quarantined"));
     return 1;
   }
+  if (!emitTelemetry(MetricsOut, TraceOut))
+    return 1;
+  return 0;
+}
+
+static int commandTrain(int argc, char **argv) {
+  const char *Usage =
+      "snowwhite train [--packages N] [--epochs N] [--seed S] "
+      "[--checkpoint PATH] [--checkpoint-every N] [--resume] "
+      "[--metrics-out F] [--trace-out F] [--verbose]";
+  uint32_t Packages = 12;
+  size_t Epochs = 1;
+  uint64_t Seed = 7;
+  std::string Checkpoint, MetricsOut, TraceOut;
+  size_t CheckpointEvery = 16;
+  bool Resume = false, Verbose = false;
+  for (int I = 0; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\nusage: %s\n", Flag, Usage);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
+    if (std::strcmp(argv[I], "--packages") == 0) {
+      if (!(V = Value("--packages")))
+        return 2;
+      Packages = static_cast<uint32_t>(std::atoi(V));
+    } else if (std::strcmp(argv[I], "--epochs") == 0) {
+      if (!(V = Value("--epochs")))
+        return 2;
+      Epochs = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--seed") == 0) {
+      if (!(V = Value("--seed")))
+        return 2;
+      Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--checkpoint") == 0) {
+      if (!(V = Value("--checkpoint")))
+        return 2;
+      Checkpoint = V;
+    } else if (std::strcmp(argv[I], "--checkpoint-every") == 0) {
+      if (!(V = Value("--checkpoint-every")))
+        return 2;
+      CheckpointEvery = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--resume") == 0) {
+      Resume = true;
+    } else if (std::strcmp(argv[I], "--metrics-out") == 0) {
+      if (!(V = Value("--metrics-out")))
+        return 2;
+      MetricsOut = V;
+    } else if (std::strcmp(argv[I], "--trace-out") == 0) {
+      if (!(V = Value("--trace-out")))
+        return 2;
+      TraceOut = V;
+    } else if (std::strcmp(argv[I], "--verbose") == 0) {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\nusage: %s\n", argv[I], Usage);
+      return 2;
+    }
+  }
+
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = Packages;
+  Spec.Seed = Seed;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  dataset::Dataset Data = dataset::buildDataset(Corpus);
+  model::TaskOptions TaskOpts;
+  TaskOpts.MaxTrainSamples = 512;
+  model::Task BoundTask(Data, TaskOpts);
+
+  model::TrainOptions TrainOpts;
+  TrainOpts.MaxEpochs = Epochs;
+  TrainOpts.BatchSize = 16;
+  TrainOpts.EmbedDim = 16;
+  TrainOpts.HiddenDim = 24;
+  TrainOpts.MaxValidSamples = 64;
+  TrainOpts.Seed = Seed;
+  TrainOpts.Verbose = Verbose;
+  TrainOpts.CheckpointPath = Checkpoint;
+  TrainOpts.CheckpointEveryBatches = Checkpoint.empty() ? 0 : CheckpointEvery;
+  TrainOpts.Resume = Resume;
+  model::TrainResult Trained = model::trainModel(BoundTask, TrainOpts);
+  if (!Trained.Model) {
+    printError(Error(ErrorCode::Unknown, "training produced no model"));
+    return 1;
+  }
+  std::printf("trained %llu batch(es) in %.2fs%s — best valid loss %.4f\n",
+              static_cast<unsigned long long>(Trained.BatchesRun),
+              Trained.TrainSeconds, Trained.Interrupted ? " (interrupted)" : "",
+              Trained.BestValidLoss);
+  if (!emitTelemetry(MetricsOut, TraceOut))
+    return 1;
+  return 0;
+}
+
+static int commandMetrics(int argc, char **argv) {
+  // With no arguments: print this process's (mostly empty) registry
+  // snapshot — documents the schema and gives scripts a stable probe. With
+  // --check FILE: verify a previously captured snapshot parses and
+  // round-trips byte-identically.
+  if (argc >= 1 && std::strcmp(argv[0], "--check") == 0) {
+    if (argc < 2) {
+      std::fprintf(stderr, "usage: snowwhite metrics [--check FILE]\n");
+      return 2;
+    }
+    std::vector<uint8_t> Bytes;
+    if (!readFile(argv[1], Bytes))
+      return 1;
+    std::string Json(Bytes.begin(), Bytes.end());
+    while (!Json.empty() && (Json.back() == '\n' || Json.back() == '\r'))
+      Json.pop_back();
+    std::string RoundTripped = telemetry::roundTripMetricsJson(Json);
+    if (RoundTripped.empty()) {
+      printError(Error(ErrorCode::Malformed,
+                       std::string(argv[1]) + ": not a metrics snapshot"));
+      return 1;
+    }
+    if (RoundTripped != Json) {
+      printError(Error(ErrorCode::Malformed,
+                       std::string(argv[1]) +
+                           ": snapshot is not canonical (round-trip differs)"));
+      return 1;
+    }
+    std::printf("%s: ok (%zu bytes, canonical)\n", argv[1], Json.size());
+    return 0;
+  }
+  if (argc >= 1) {
+    std::fprintf(stderr, "usage: snowwhite metrics [--check FILE]\n");
+    return 2;
+  }
+  std::printf("%s\n", telemetry::metricsJson().c_str());
   return 0;
 }
 
@@ -398,7 +580,8 @@ void printStats(const model::ServingStats &Stats) {
 /// printing to stderr) on a malformed command line.
 bool parseServingFlags(int argc, char **argv, const char *Usage,
                        double &FailRate, uint64_t &Budget, size_t &QueueCap,
-                       uint64_t &Seed, bool &Verbose, size_t *Requests) {
+                       uint64_t &Seed, bool &Verbose, size_t *Requests,
+                       std::string &MetricsOut, std::string &TraceOut) {
   for (int I = 0; I < argc; ++I) {
     auto Value = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
@@ -407,7 +590,17 @@ bool parseServingFlags(int argc, char **argv, const char *Usage,
       }
       return argv[++I];
     };
-    if (std::strcmp(argv[I], "--fail-rate") == 0) {
+    if (std::strcmp(argv[I], "--metrics-out") == 0) {
+      const char *V = Value("--metrics-out");
+      if (!V)
+        return false;
+      MetricsOut = V;
+    } else if (std::strcmp(argv[I], "--trace-out") == 0) {
+      const char *V = Value("--trace-out");
+      if (!V)
+        return false;
+      TraceOut = V;
+    } else if (std::strcmp(argv[I], "--fail-rate") == 0) {
       const char *V = Value("--fail-rate");
       if (!V)
         return false;
@@ -443,15 +636,17 @@ bool parseServingFlags(int argc, char **argv, const char *Usage,
 
 static int commandPredictBatch(int argc, char **argv) {
   const char *Usage = "snowwhite predict-batch [requests] [--fail-rate F] "
-                      "[--budget N] [--queue N] [--seed S] [--verbose]";
+                      "[--budget N] [--queue N] [--seed S] [--verbose] "
+                      "[--metrics-out F] [--trace-out F]";
   size_t NumRequests = 32;
   double FailRate = 0.0;
   uint64_t Budget = 256;
   size_t QueueCap = 16;
   uint64_t Seed = 7;
   bool Verbose = false;
+  std::string MetricsOut, TraceOut;
   if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
-                         Verbose, &NumRequests))
+                         Verbose, &NumRequests, MetricsOut, TraceOut))
     return 2;
 
   ServingDemo Demo;
@@ -493,19 +688,23 @@ static int commandPredictBatch(int argc, char **argv) {
   for (const model::ServeResponse &Response : Engine.drain())
     printResponse(Response);
   printStats(Engine.stats());
+  if (!emitTelemetry(MetricsOut, TraceOut))
+    return 1;
   return Engine.stats().Answered == Total ? 0 : 1;
 }
 
 static int commandServe(int argc, char **argv) {
   const char *Usage =
-      "snowwhite serve [--fail-rate F] [--budget N] [--seed S] [--verbose]";
+      "snowwhite serve [--fail-rate F] [--budget N] [--seed S] [--verbose] "
+      "[--metrics-out F] [--trace-out F]";
   double FailRate = 0.0;
   uint64_t Budget = 256;
   size_t QueueCap = 64;
   uint64_t Seed = 7;
   bool Verbose = false;
+  std::string MetricsOut, TraceOut;
   if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
-                         Verbose, nullptr))
+                         Verbose, nullptr, MetricsOut, TraceOut))
     return 2;
 
   ServingDemo Demo;
@@ -551,6 +750,8 @@ static int commandServe(int argc, char **argv) {
     std::fflush(stdout);
   }
   printStats(Engine.stats());
+  if (!emitTelemetry(MetricsOut, TraceOut))
+    return 1;
   return 0;
 }
 
@@ -563,10 +764,14 @@ int main(int argc, char **argv) {
                  "  snowwhite dump <file.wasm>\n"
                  "  snowwhite strip <in.wasm> <out.wasm>\n"
                  "  snowwhite analyze <file.wasm>\n"
-                 "  snowwhite ingest <dir> [--strict]\n"
+                 "  snowwhite ingest <dir> [--strict] [--metrics-out F]\n"
+                 "  snowwhite train [--epochs N] [--checkpoint PATH] "
+                 "[--resume] [--metrics-out F]\n"
                  "  snowwhite predict-batch [requests] [--fail-rate F] "
-                 "[--budget N] [--queue N] [--seed S]\n"
-                 "  snowwhite serve [--fail-rate F] [--budget N] [--seed S]\n");
+                 "[--budget N] [--queue N] [--seed S] [--metrics-out F]\n"
+                 "  snowwhite serve [--fail-rate F] [--budget N] [--seed S] "
+                 "[--metrics-out F]\n"
+                 "  snowwhite metrics [--check FILE]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "gen") == 0)
@@ -579,6 +784,10 @@ int main(int argc, char **argv) {
     return commandAnalyze(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "ingest") == 0)
     return commandIngest(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "train") == 0)
+    return commandTrain(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "metrics") == 0)
+    return commandMetrics(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "predict-batch") == 0)
     return commandPredictBatch(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "serve") == 0)

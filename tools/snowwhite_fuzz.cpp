@@ -61,6 +61,7 @@
 #include "support/fault.h"
 #include "support/hash.h"
 #include "support/io.h"
+#include "support/telemetry.h"
 #include "wasm/reader.h"
 #include "wasm/validate.h"
 
@@ -171,6 +172,20 @@ int runFuzz(uint64_t Iterations, uint64_t Seed) {
     std::printf(" %s=%llu", Code.c_str(),
                 static_cast<unsigned long long>(Count));
   std::printf("\n");
+
+  // The campaign above exercised the instrumented layers, so the telemetry
+  // snapshot is now full of real values — assert it round-trips through the
+  // canonical parser byte-identically before declaring the campaign healthy.
+  std::string Metrics = telemetry::metricsJson();
+  if (telemetry::roundTripMetricsJson(Metrics) != Metrics) {
+    std::fprintf(stderr,
+                 "FAIL: metrics snapshot does not round-trip canonically "
+                 "(%zu bytes)\n",
+                 Metrics.size());
+    return 1;
+  }
+  std::printf("  metrics snapshot   %zu bytes, round-trips byte-identically\n",
+              Metrics.size());
   return 0;
 }
 
