@@ -1,0 +1,237 @@
+//===- bench/serve_daemon.cpp - Dedup-heavy serving daemon benchmark -------===//
+//
+// Measures the sharded serve daemon on the workload the paper's dedup stats
+// predict: a small set of unique abstracted inputs, each repeated many
+// times. Three passes per worker count:
+//
+//   cold  — fresh daemon, every unique input computes once; later repeats
+//           already hit the cache inside the same pass.
+//   warm  — the same requests again: every request answers from the cache.
+//   lat   — per-request latency sampling (one submit+pump per request) on
+//           both a cold daemon (compute path) and the warmed daemon (hit
+//           path), reported as p50/p99.
+//
+// Prints a markdown table for EXPERIMENTS.md. Deterministic workload; wall
+// times vary run to run like every timing measurement in bench/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "model/serve_daemon.h"
+#include "support/telemetry.h"
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace snowwhite;
+
+namespace {
+
+struct BenchSetup {
+  dataset::Dataset Data;
+  std::unique_ptr<model::Task> TaskPtr;
+  std::unique_ptr<nn::Seq2SeqModel> Model;
+};
+
+BenchSetup makeSetup() {
+  BenchSetup Out;
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = 5150;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  Out.Data = dataset::buildDataset(Corpus);
+  model::TaskOptions Options;
+  Options.MaxTrainSamples = 256;
+  Out.TaskPtr = std::make_unique<model::Task>(Out.Data, Options);
+  model::TrainOptions Train;
+  Train.MaxEpochs = 1;
+  Train.BatchSize = 16;
+  Train.EmbedDim = 16;
+  Train.HiddenDim = 24;
+  Train.MaxValidSamples = 64;
+  Train.Seed = 5150;
+  model::TrainResult Result = model::trainModel(*Out.TaskPtr, Train);
+  Out.Model = std::move(Result.Model);
+  return Out;
+}
+
+/// The dedup-heavy request stream: Unique distinct inputs, each repeated
+/// DupFactor times, deterministically interleaved (round-robin) so repeats
+/// are spread across the stream like duplicates in a real corpus.
+std::vector<std::vector<std::string>>
+makeWorkload(const dataset::Dataset &Data, size_t Unique, size_t DupFactor) {
+  std::vector<std::vector<std::string>> Inputs;
+  for (const dataset::TypeSample &Sample : Data.Samples) {
+    if (Inputs.size() >= Unique)
+      break;
+    Inputs.push_back(Sample.Input);
+  }
+  std::vector<std::vector<std::string>> Stream;
+  Stream.reserve(Inputs.size() * DupFactor);
+  for (size_t Round = 0; Round < DupFactor; ++Round)
+    for (const std::vector<std::string> &Input : Inputs)
+      Stream.push_back(Input);
+  return Stream;
+}
+
+model::DaemonOptions daemonOptions(size_t Workers, size_t QueueCapacity) {
+  model::DaemonOptions Opts;
+  Opts.NumWorkers = Workers;
+  Opts.Serving.TopK = 3;
+  Opts.Serving.DefaultStepBudget = 128;
+  Opts.Serving.QueueCapacity = QueueCapacity;
+  return Opts;
+}
+
+/// Pushes the whole stream through the daemon (submit everything, pump once
+/// per queue-capacity batch) and returns the wall nanoseconds spent.
+uint64_t runPass(model::ServeDaemon &Daemon,
+                 const std::vector<std::vector<std::string>> &Stream,
+                 uint64_t &NextId) {
+  uint64_t Start = telemetry::nowNs();
+  size_t InFlight = 0;
+  for (const std::vector<std::string> &Input : Stream) {
+    model::DaemonRequest Request;
+    Request.Request.Id = NextId++;
+    Request.Request.InputTokens = Input;
+    if (Daemon.submit(std::move(Request)) != model::AdmitOutcome::Admitted) {
+      Daemon.pump();
+      InFlight = 0;
+      model::DaemonRequest Retry;
+      Retry.Request.Id = NextId++;
+      Retry.Request.InputTokens = Input;
+      Daemon.submit(std::move(Retry));
+    }
+    if (++InFlight >= 64) {
+      Daemon.pump();
+      InFlight = 0;
+    }
+  }
+  Daemon.pump();
+  return telemetry::nowNs() - Start;
+}
+
+/// One request at a time, recording each submit+pump round trip.
+std::vector<uint64_t>
+sampleLatencies(model::ServeDaemon &Daemon,
+                const std::vector<std::vector<std::string>> &Stream,
+                uint64_t &NextId) {
+  std::vector<uint64_t> Ns;
+  Ns.reserve(Stream.size());
+  for (const std::vector<std::string> &Input : Stream) {
+    model::DaemonRequest Request;
+    Request.Request.Id = NextId++;
+    Request.Request.InputTokens = Input;
+    uint64_t Start = telemetry::nowNs();
+    Daemon.submit(std::move(Request));
+    Daemon.pump();
+    Ns.push_back(telemetry::nowNs() - Start);
+  }
+  return Ns;
+}
+
+uint64_t percentile(std::vector<uint64_t> Values, double P) {
+  if (Values.empty())
+    return 0;
+  std::sort(Values.begin(), Values.end());
+  size_t Index = static_cast<size_t>(P * static_cast<double>(Values.size()));
+  if (Index >= Values.size())
+    Index = Values.size() - 1;
+  return Values[Index];
+}
+
+double predsPerSec(size_t Requests, uint64_t WallNs) {
+  return WallNs == 0 ? 0.0
+                     : static_cast<double>(Requests) * 1e9 /
+                           static_cast<double>(WallNs);
+}
+
+} // namespace
+
+int main() {
+  BenchSetup Setup = makeSetup();
+  if (!Setup.Model) {
+    std::fprintf(stderr, "error: bench model failed to train\n");
+    return 1;
+  }
+
+  const size_t Unique = 64;
+  const size_t DupFactor = 16;
+  std::vector<std::vector<std::string>> Stream =
+      makeWorkload(Setup.Data, Unique, DupFactor);
+  std::printf("Dedup-heavy serve-daemon workload: %zu requests "
+              "(%zu unique x %zu repeats)\n\n",
+              Stream.size(), std::min(Unique, Stream.size() / DupFactor),
+              DupFactor);
+  std::printf("| workers | pass | requests | wall ms | preds/sec | p50 us | "
+              "p99 us |\n");
+  std::printf("|--------:|------|---------:|--------:|----------:|-------:|"
+              "-------:|\n");
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ThreadPool::resetGlobal(Workers);
+    model::ServeDaemon Daemon(*Setup.Model, *Setup.TaskPtr,
+                              daemonOptions(Workers, 128));
+    uint64_t NextId = 0;
+
+    // Cold latency sample on the fresh daemon: every unique input's first
+    // serve is a genuine compute; the remaining repeats sample the hit path
+    // too, so restrict the sample to the first round of uniques.
+    std::vector<std::vector<std::string>> UniqueOnly(
+        Stream.begin(),
+        Stream.begin() +
+            static_cast<std::ptrdiff_t>(Stream.size() / DupFactor));
+    std::vector<uint64_t> ColdNs =
+        sampleLatencies(Daemon, UniqueOnly, NextId);
+    std::printf("| %7u | cold-compute lat | %8zu | %7.1f | %9s | %6.0f | "
+                "%6.0f |\n",
+                Workers, UniqueOnly.size(), 0.0, "-",
+                static_cast<double>(percentile(ColdNs, 0.50)) / 1e3,
+                static_cast<double>(percentile(ColdNs, 0.99)) / 1e3);
+
+    // Cold pass proper: fresh daemon again so every unique recomputes.
+    model::ServeDaemon ColdDaemon(*Setup.Model, *Setup.TaskPtr,
+                                  daemonOptions(Workers, 128));
+    uint64_t ColdId = 0;
+    uint64_t ColdWall = runPass(ColdDaemon, Stream, ColdId);
+    std::printf("| %7u | cold | %8zu | %7.1f | %9.0f | %6s | %6s |\n",
+                Workers, Stream.size(),
+                static_cast<double>(ColdWall) / 1e6,
+                predsPerSec(Stream.size(), ColdWall), "-", "-");
+
+    // Warm pass: same stream against the now-fully-warm cache.
+    uint64_t WarmWall = runPass(ColdDaemon, Stream, ColdId);
+    std::printf("| %7u | warm | %8zu | %7.1f | %9.0f | %6s | %6s |\n",
+                Workers, Stream.size(),
+                static_cast<double>(WarmWall) / 1e6,
+                predsPerSec(Stream.size(), WarmWall), "-", "-");
+
+    // Warm latency: per-request round trips, all cache hits.
+    std::vector<uint64_t> WarmNs = sampleLatencies(ColdDaemon, Stream, ColdId);
+    std::printf("| %7u | warm-hit lat | %8zu | %7.1f | %9s | %6.1f | %6.1f "
+                "|\n",
+                Workers, Stream.size(), 0.0, "-",
+                static_cast<double>(percentile(WarmNs, 0.50)) / 1e3,
+                static_cast<double>(percentile(WarmNs, 0.99)) / 1e3);
+
+    model::ServingStats Totals = ColdDaemon.engineTotals();
+    model::CacheStats Cache = ColdDaemon.cache()->totals();
+    if (!ColdDaemon.checkStats() ||
+        Totals.Answered != Totals.Submitted - Totals.Rejected) {
+      std::fprintf(stderr, "error: daemon stats inconsistent\n");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "workers=%u cache hits=%llu misses=%llu evictions=%llu "
+                 "entries=%llu bytes=%llu\n",
+                 Workers, static_cast<unsigned long long>(Cache.Hits),
+                 static_cast<unsigned long long>(Cache.Misses),
+                 static_cast<unsigned long long>(Cache.Evictions),
+                 static_cast<unsigned long long>(Cache.Entries),
+                 static_cast<unsigned long long>(Cache.Bytes));
+  }
+  return 0;
+}

@@ -104,6 +104,7 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   std::vector<std::optional<Error>> ParseErrors(Flat.size());
   std::vector<uint64_t> ExactHashes(Flat.size(), 0);
   std::vector<uint64_t> ApproxSignatures(Flat.size(), 0);
+  std::vector<std::string> Abstractions(Flat.size());
   Pool.parallelFor(0, Flat.size(), 1, [&](size_t Begin, size_t End) {
     for (size_t I = Begin; I < End; ++I) {
       // The pipeline consumes serialized bytes, as it would real binaries.
@@ -117,13 +118,17 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       Mods[I].emplace(Parsed.take());
       if (Options.Deduplicate) {
         ExactHashes[I] = hashVector(Flat[I].Object->Bytes);
-        ApproxSignatures[I] = wasm::approximateModuleSignature(*Mods[I]);
+        // Keep the full abstraction string alongside its hash: a 64-bit
+        // signature match alone is not proof of a near-duplicate, so the
+        // sequential replay below confirms byte-wise before dropping.
+        Abstractions[I] = wasm::moduleAbstraction(*Mods[I]);
+        ApproxSignatures[I] = hashString(Abstractions[I]);
       }
     }
   });
 
-  std::unordered_set<uint64_t> SeenExact;
-  std::unordered_set<uint64_t> SeenApprox;
+  SignatureSet SeenExact;
+  SignatureSet SeenApprox;
   std::vector<size_t> KeptFlat; ///< Indices into Flat/Mods surviving dedup.
   for (size_t I = 0; I < Flat.size(); ++I) {
     const CompiledObject &Object = *Flat[I].Object;
@@ -139,17 +144,29 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       continue;
     }
     if (Options.Deduplicate) {
-      if (!SeenExact.insert(ExactHashes[I]).second) {
+      // Hash match alone never drops a module: both sets fall back to a
+      // byte-wise key comparison, so a 64-bit collision is kept (and
+      // counted) instead of being silently merged with a distinct module.
+      std::string ExactKey(Object.Bytes.begin(), Object.Bytes.end());
+      if (SeenExact.insert(ExactHashes[I], std::move(ExactKey)) ==
+          SignatureSet::Insert::Duplicate) {
         ++Out.Dedup.ExactDuplicates;
         continue;
       }
-      if (!SeenApprox.insert(ApproxSignatures[I]).second) {
+      if (SeenApprox.insert(ApproxSignatures[I],
+                            std::move(Abstractions[I])) ==
+          SignatureSet::Insert::Duplicate) {
         ++Out.Dedup.NearDuplicates;
         continue;
       }
     }
     KeptFlat.push_back(I);
   }
+  Out.Dedup.SignatureCollisions =
+      SeenExact.collisions() + SeenApprox.collisions();
+  if (Out.Dedup.SignatureCollisions)
+    telemetry::counter("ingest.signature_collisions")
+        .add(Out.Dedup.SignatureCollisions);
 
   BeginStage("ingest.debug_extract");
   std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptFlat.size());

@@ -99,6 +99,9 @@ struct DedupStats {
   uint64_t InstructionsBefore = 0, InstructionsAfter = 0;
   uint64_t BytesBefore = 0, BytesAfter = 0;
   uint64_t ExactDuplicates = 0, NearDuplicates = 0;
+  /// 64-bit hash matches whose full keys differed byte-wise; such objects
+  /// are kept, never merged (collision-safe dedup).
+  uint64_t SignatureCollisions = 0;
 };
 
 /// The assembled dataset.

@@ -1,0 +1,355 @@
+#include "model/serve_daemon.h"
+
+#include "analysis/evidence.h"
+#include "support/hash.h"
+#include "support/telemetry.h"
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snowwhite {
+namespace model {
+
+//===----------------------------------------------------------------------===//
+// PredictionCache
+//===----------------------------------------------------------------------===//
+
+PredictionCache::PredictionCache(const Config &Cfg) {
+  size_t NumShards = std::max<size_t>(1, Cfg.NumShards);
+  uint64_t PerShard = Cfg.ByteBudget / NumShards;
+  for (size_t I = 0; I < NumShards; ++I) {
+    Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->ByteBudget = PerShard;
+  }
+}
+
+std::string PredictionCache::requestKey(const ServeRequest &Request,
+                                        uint64_t Budget, unsigned K,
+                                        unsigned Width) {
+  std::string Key;
+  size_t TokenBytes = 0;
+  for (const std::string &Tok : Request.InputTokens)
+    TokenBytes += Tok.size() + 4;
+  Key.reserve(TokenBytes + 48);
+  // Length-prefixed framing: "3:i32 " can never collide with a different
+  // token split of the same bytes, whatever the tokens contain.
+  for (const std::string &Tok : Request.InputTokens) {
+    Key += std::to_string(Tok.size());
+    Key.push_back(':');
+    Key += Tok;
+    Key.push_back(' ');
+  }
+  // 0x1f (unit separator) cannot appear in a token, so the qualifier block
+  // can never be confused with input text. Everything that changes the
+  // answer is part of the identity: budget, K, width, and the evidence the
+  // gate will apply.
+  Key.push_back('\x1f');
+  Key += "b=" + std::to_string(Budget) + ";k=" + std::to_string(K) +
+         ";w=" + std::to_string(Width);
+  if (Request.Evidence.Param)
+    Key += ";pe=" + analysis::toJson(*Request.Evidence.Param);
+  if (Request.Evidence.Ret)
+    Key += ";re=" + analysis::toJson(*Request.Evidence.Ret);
+  return Key;
+}
+
+uint64_t PredictionCache::entryBytes(const std::string &Key,
+                                     const CachedPrediction &Value) {
+  // Deterministic estimate (not allocator truth): key bytes + per-token
+  // bytes + fixed per-object overheads. Stable across platforms so byte
+  // budgets behave identically everywhere.
+  uint64_t Bytes = 64 + Key.size();
+  for (const TypePrediction &P : Value.Predictions) {
+    Bytes += 32;
+    for (const std::string &Tok : P.Tokens)
+      Bytes += Tok.size() + 16;
+  }
+  return Bytes;
+}
+
+std::optional<CachedPrediction> PredictionCache::find(uint64_t Hash,
+                                                      std::string_view Key) {
+  Shard &S = *Shards[Hash % Shards.size()];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Buckets.find(Hash);
+  if (It != S.Buckets.end()) {
+    for (Entry &E : It->second) {
+      if (E.Key == Key) {
+        E.LastUse = ++S.Clock;
+        ++S.Stats.Hits;
+        telemetry::counter("serve_cache.hits").add();
+        return E.Value; // Copy: safe to use after the lock drops.
+      }
+    }
+  }
+  ++S.Stats.Misses;
+  telemetry::counter("serve_cache.misses").add();
+  return std::nullopt;
+}
+
+void PredictionCache::insert(uint64_t Hash, std::string Key,
+                             CachedPrediction Value) {
+  Shard &S = *Shards[Hash % Shards.size()];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::vector<Entry> &Bucket = S.Buckets[Hash];
+  for (Entry &E : Bucket) {
+    if (E.Key == Key) {
+      // Same key recomputed (e.g. after eviction raced a lookup): computes
+      // are deterministic, so refreshing recency is all there is to do.
+      E.LastUse = ++S.Clock;
+      return;
+    }
+  }
+  bool Collided = !Bucket.empty();
+  Entry E;
+  E.Bytes = entryBytes(Key, Value);
+  E.Key = std::move(Key);
+  E.Value = std::move(Value);
+  E.LastUse = ++S.Clock;
+  S.Stats.Bytes += E.Bytes;
+  ++S.Stats.Entries;
+  ++S.Stats.Insertions;
+  telemetry::counter("serve_cache.insertions").add();
+  if (Collided) {
+    // Distinct key, same 64-bit hash: a detected collision. Both entries
+    // stay resident side by side; byte-wise key comparison keeps their
+    // answers apart.
+    ++S.Stats.Collisions;
+    telemetry::counter("serve_cache.collisions").add();
+  }
+  Bucket.push_back(std::move(E));
+  evictOverBudget(S);
+}
+
+void PredictionCache::evictOverBudget(Shard &S) {
+  // Scan-min LRU: resident entry counts are small (bounded by the byte
+  // budget), so a linear victim scan is simpler than an intrusive list and
+  // has no pointer-stability hazards. The just-inserted entry holds the
+  // newest LastUse, so it is always the last possible victim; the
+  // Entries > 1 guard lets one oversize entry stay resident until the next
+  // insert displaces it.
+  while (S.Stats.Bytes > S.ByteBudget && S.Stats.Entries > 1) {
+    auto VictimBucket = S.Buckets.end();
+    size_t VictimIndex = 0;
+    uint64_t OldestUse = UINT64_MAX;
+    for (auto It = S.Buckets.begin(); It != S.Buckets.end(); ++It)
+      for (size_t I = 0; I < It->second.size(); ++I)
+        if (It->second[I].LastUse < OldestUse) {
+          OldestUse = It->second[I].LastUse;
+          VictimBucket = It;
+          VictimIndex = I;
+        }
+    assert(VictimBucket != S.Buckets.end() && "entries but no victim");
+    std::vector<Entry> &Bucket = VictimBucket->second;
+    S.Stats.Bytes -= Bucket[VictimIndex].Bytes;
+    --S.Stats.Entries;
+    ++S.Stats.Evictions;
+    telemetry::counter("serve_cache.evictions").add();
+    Bucket.erase(Bucket.begin() +
+                 static_cast<std::ptrdiff_t>(VictimIndex));
+    if (Bucket.empty())
+      S.Buckets.erase(VictimBucket);
+  }
+}
+
+CacheStats PredictionCache::shardStats(size_t ShardIndex) const {
+  const Shard &S = *Shards[ShardIndex];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Stats;
+}
+
+CacheStats PredictionCache::totals() const {
+  CacheStats Total;
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    CacheStats S = shardStats(I);
+    Total.Hits += S.Hits;
+    Total.Misses += S.Misses;
+    Total.Insertions += S.Insertions;
+    Total.Evictions += S.Evictions;
+    Total.Collisions += S.Collisions;
+    Total.Bytes += S.Bytes;
+    Total.Entries += S.Entries;
+  }
+  return Total;
+}
+
+void PredictionCache::publishGauges() const {
+  CacheStats Total;
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    CacheStats S = shardStats(I);
+    std::string Prefix = "serve_cache.shard" + std::to_string(I);
+    telemetry::gauge(Prefix + ".bytes").set(static_cast<int64_t>(S.Bytes));
+    telemetry::gauge(Prefix + ".entries")
+        .set(static_cast<int64_t>(S.Entries));
+    Total.Bytes += S.Bytes;
+    Total.Entries += S.Entries;
+  }
+  telemetry::gauge("serve_cache.bytes").set(static_cast<int64_t>(Total.Bytes));
+  telemetry::gauge("serve_cache.entries")
+      .set(static_cast<int64_t>(Total.Entries));
+}
+
+//===----------------------------------------------------------------------===//
+// ServeDaemon
+//===----------------------------------------------------------------------===//
+
+const char *admitOutcomeCode(AdmitOutcome Outcome) {
+  switch (Outcome) {
+  case AdmitOutcome::Admitted:
+    return "admitted";
+  case AdmitOutcome::RejectedQuota:
+    return "rejected-quota";
+  case AdmitOutcome::RejectedQueueFull:
+    return "rejected-queue-full";
+  case AdmitOutcome::RejectedShutdown:
+    return "rejected-shutdown";
+  }
+  return "?";
+}
+
+ServeDaemon::ServeDaemon(nn::Seq2SeqModel &Model, const Task &BoundTask,
+                         const DaemonOptions &Opts)
+    : Options(Opts) {
+  Options.NumWorkers = std::max<size_t>(1, Options.NumWorkers);
+  if (Options.UseCache)
+    Cache = std::make_unique<PredictionCache>(Options.Cache);
+  ServingOptions PerWorker = Options.Serving;
+  PerWorker.Cache = Cache.get();
+  for (size_t I = 0; I < Options.NumWorkers; ++I)
+    Engines.push_back(
+        std::make_unique<ServingEngine>(Model, BoundTask, PerWorker));
+}
+
+size_t ServeDaemon::shardOf(const ServeRequest &Request) const {
+  // Route by the token sequence alone so byte-identical inputs always land
+  // on the same worker — duplicates then replay sequentially in submission
+  // order there, which is what makes warm-cache behaviour deterministic.
+  uint64_t Hash = 0xdaef00dULL;
+  for (const std::string &Tok : Request.InputTokens)
+    Hash = hashCombine(Hash, hashString(Tok));
+  return static_cast<size_t>(Hash % Engines.size());
+}
+
+AdmitOutcome ServeDaemon::submit(DaemonRequest Request) {
+  ++Stats.Submitted;
+  telemetry::counter("daemon.submitted").add();
+  size_t Shard = shardOf(Request.Request);
+  if (!Stopped && Options.TenantCapacity > 0) {
+    auto [It, IsNew] = Tenants.try_emplace(Request.Tenant);
+    if (IsNew)
+      It->second.Tokens = Options.TenantCapacity;
+    if (It->second.Tokens == 0) {
+      ++Stats.RejectedQuota;
+      telemetry::counter("daemon.rejected.quota").add();
+      return AdmitOutcome::RejectedQuota;
+    }
+    --It->second.Tokens;
+  }
+  if (!Engines[Shard]->submit(std::move(Request.Request)))
+    return Engines[Shard]->stopped() ? AdmitOutcome::RejectedShutdown
+                                     : AdmitOutcome::RejectedQueueFull;
+  return AdmitOutcome::Admitted;
+}
+
+std::vector<ServeResponse> ServeDaemon::pump() {
+  telemetry::ScopedPhase Phase("daemon.pump");
+  ++Stats.PumpRounds;
+  std::vector<std::vector<ServeResponse>> PerShard(Engines.size());
+  // Each task drains exactly one engine (disjoint state); the shared model
+  // is read-only at inference and the cache is internally locked.
+  ThreadPool::global().parallelTasks(Engines.size(), [&](size_t Shard) {
+    PerShard[Shard] = Engines[Shard]->drain();
+  });
+  size_t Total = 0;
+  for (const std::vector<ServeResponse> &Responses : PerShard)
+    Total += Responses.size();
+  std::vector<ServeResponse> Out;
+  Out.reserve(Total);
+  for (std::vector<ServeResponse> &Responses : PerShard)
+    for (ServeResponse &Response : Responses)
+      Out.push_back(std::move(Response));
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const ServeResponse &A, const ServeResponse &B) {
+                     return A.Id < B.Id;
+                   });
+  // Virtual-time quota refill: one refill per pump round, never wall clock,
+  // so admission decisions replay identically run to run.
+  if (Options.TenantCapacity > 0 && Options.TenantRefill > 0)
+    for (auto &[Name, Bucket] : Tenants)
+      Bucket.Tokens = std::min(Options.TenantCapacity,
+                               Bucket.Tokens + Options.TenantRefill);
+  if (Cache)
+    Cache->publishGauges();
+  for (size_t I = 0; I < Engines.size(); ++I)
+    telemetry::gauge("daemon.shard" + std::to_string(I) + ".queued")
+        .set(static_cast<int64_t>(Engines[I]->queued()));
+  return Out;
+}
+
+std::vector<ServeResponse> ServeDaemon::shutdown() {
+  Stopped = true;
+  std::vector<ServeResponse> Out;
+  for (std::unique_ptr<ServingEngine> &Engine : Engines) {
+    std::vector<ServeResponse> Rejected = Engine->shutdown();
+    for (ServeResponse &Response : Rejected)
+      Out.push_back(std::move(Response));
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const ServeResponse &A, const ServeResponse &B) {
+                     return A.Id < B.Id;
+                   });
+  return Out;
+}
+
+size_t ServeDaemon::queued() const {
+  size_t Total = 0;
+  for (const std::unique_ptr<ServingEngine> &Engine : Engines)
+    Total += Engine->queued();
+  return Total;
+}
+
+const ServingStats &ServeDaemon::engineStats(size_t Shard) const {
+  return Engines[Shard]->stats();
+}
+
+ServingStats ServeDaemon::engineTotals() const {
+  ServingStats Total;
+  for (const std::unique_ptr<ServingEngine> &Engine : Engines) {
+    const ServingStats &S = Engine->stats();
+    Total.Submitted += S.Submitted;
+    Total.Rejected += S.Rejected;
+    Total.RejectedQueueFull += S.RejectedQueueFull;
+    Total.RejectedShutdown += S.RejectedShutdown;
+    Total.Answered += S.Answered;
+    Total.BeamAnswers += S.BeamAnswers;
+    Total.GreedyAnswers += S.GreedyAnswers;
+    Total.BaselineAnswers += S.BaselineAnswers;
+    Total.CachedAnswers += S.CachedAnswers;
+    Total.DecodeSteps += S.DecodeSteps;
+    Total.GatedCandidates += S.GatedCandidates;
+    Total.GateDegradations += S.GateDegradations;
+    Total.BudgetExhaustions += S.BudgetExhaustions;
+  }
+  return Total;
+}
+
+uint64_t ServeDaemon::tenantTokens(const std::string &Tenant) const {
+  if (Options.TenantCapacity == 0)
+    return 0;
+  auto It = Tenants.find(Tenant);
+  return It == Tenants.end() ? Options.TenantCapacity : It->second.Tokens;
+}
+
+bool ServeDaemon::checkStats() const {
+  uint64_t Forwarded = 0;
+  for (const std::unique_ptr<ServingEngine> &Engine : Engines) {
+    if (!Engine->checkStats())
+      return false;
+    Forwarded += Engine->stats().Submitted;
+  }
+  return Stats.Submitted == Stats.RejectedQuota + Forwarded;
+}
+
+} // namespace model
+} // namespace snowwhite

@@ -1,0 +1,232 @@
+//===- model/serve_daemon.h - Sharded serving daemon + prediction cache ----===//
+//
+// The long-lived form of the serving engine: N worker shards (one
+// ServingEngine each, all sharing one trained model), an admission layer
+// with per-tenant token-bucket quotas, and a sharded signature-keyed
+// prediction cache. The paper's dedup stage shows real workloads are
+// dominated by repeated abstracted instruction sequences, so a daemon that
+// answers repeats from cache turns the dominant case into a hash lookup.
+//
+// Cache correctness: entries are bucketed by the 64-bit hash of the full
+// request key (abstracted token sequence + every answer-affecting knob), but
+// a hash match alone NEVER produces a hit — membership is decided by
+// byte-wise comparison of the stored key, so a 64-bit collision can never
+// replay another request's answer. Hits are bit-identical copies of the
+// originally computed predictions and carry the `cached` provenance tier.
+//
+// Determinism: requests shard by the hash of their token sequence, so
+// byte-identical inputs always land on the same worker and replay in
+// submission order there. Quota refills happen per pump round (virtual
+// time), never from the wall clock. Under the byte budget (no evictions),
+// responses are bit-identical at any SNOWWHITE_THREADS; under eviction
+// pressure the LRU victim can depend on cross-worker timing, which may flip
+// a hit into a recompute — the predictions are still bit-identical, only the
+// provenance tier and step counters can differ.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_MODEL_SERVE_DAEMON_H
+#define SNOWWHITE_MODEL_SERVE_DAEMON_H
+
+#include "model/serving.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snowwhite {
+namespace model {
+
+/// A cached answer: the predictions exactly as first computed, plus the
+/// ladder tier that computed them (surfaced in hit responses' Detail).
+struct CachedPrediction {
+  PredictionTier ComputedBy = PredictionTier::Baseline;
+  std::vector<TypePrediction> Predictions;
+};
+
+/// Aggregate cache counters; available per shard and summed (totals()).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  /// Inserts that landed in an occupied hash bucket with a different key:
+  /// detected 64-bit collisions, kept side by side, never merged.
+  uint64_t Collisions = 0;
+  uint64_t Bytes = 0;   ///< Current resident entry bytes.
+  uint64_t Entries = 0; ///< Current resident entries.
+};
+
+/// Sharded, byte-budgeted, LRU prediction cache. Thread-safe: each shard has
+/// its own mutex; a key always maps to the same shard (Hash % NumShards).
+class PredictionCache {
+public:
+  struct Config {
+    size_t NumShards = 4;
+    /// Total byte budget across all shards (split evenly). Entry cost is
+    /// the deterministic entryBytes() estimate, not allocator truth.
+    uint64_t ByteBudget = 8ull << 20;
+  };
+
+  PredictionCache() : PredictionCache(Config()) {}
+  explicit PredictionCache(const Config &Cfg);
+
+  /// Canonical cache key for a request: the token sequence joined with
+  /// spaces, then a 0x1f-separated qualifier block with the effective step
+  /// budget, K, beam width, and the evidence JSON (when present) — every
+  /// knob that can change the answer is part of the identity.
+  static std::string requestKey(const ServeRequest &Request, uint64_t Budget,
+                                unsigned K, unsigned Width);
+
+  /// Looks up (Hash, Key); a hit requires the stored key to compare equal
+  /// byte-wise. Returns a copy (safe under concurrent eviction) and marks
+  /// the entry most-recently-used.
+  std::optional<CachedPrediction> find(uint64_t Hash, std::string_view Key);
+
+  /// Inserts or refreshes (Hash, Key) -> Value, then evicts
+  /// least-recently-used entries in the shard until it is back under its
+  /// byte budget. An entry larger than the whole shard budget is admitted
+  /// alone and evicted by the next insert.
+  void insert(uint64_t Hash, std::string Key, CachedPrediction Value);
+
+  /// Deterministic size estimate used against the byte budget.
+  static uint64_t entryBytes(const std::string &Key,
+                             const CachedPrediction &Value);
+
+  size_t numShards() const { return Shards.size(); }
+  CacheStats shardStats(size_t Shard) const;
+  /// Field-wise sum over all shards.
+  CacheStats totals() const;
+
+  /// Publishes per-shard resident bytes/entries as telemetry gauges
+  /// ("serve_cache.shard<i>.bytes" / ".entries") plus the totals.
+  void publishGauges() const;
+
+private:
+  struct Entry {
+    std::string Key;
+    CachedPrediction Value;
+    uint64_t Bytes = 0;
+    uint64_t LastUse = 0; ///< Logical per-shard clock, not wall time.
+  };
+  struct Shard {
+    mutable std::mutex Mutex;
+    // One vector per 64-bit hash; more than one element means a detected
+    // collision (distinct keys, same hash).
+    std::map<uint64_t, std::vector<Entry>> Buckets;
+    CacheStats Stats;
+    uint64_t Clock = 0;
+    uint64_t ByteBudget = 0;
+  };
+
+  void evictOverBudget(Shard &S); ///< Caller holds S.Mutex.
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+/// Admission verdict for one daemon submission.
+enum class AdmitOutcome : uint8_t {
+  Admitted,
+  RejectedQuota,     ///< Tenant token bucket empty this round.
+  RejectedQueueFull, ///< Worker shard's bounded queue full.
+  RejectedShutdown,  ///< Daemon already shut down.
+};
+
+const char *admitOutcomeCode(AdmitOutcome Outcome);
+
+struct DaemonOptions {
+  /// Worker shards; each owns a ServingEngine over the shared model.
+  size_t NumWorkers = 2;
+  /// Per-worker engine options. Cache is overwritten with the daemon's own
+  /// cache (or null when UseCache is false). Faults, if set, is shared
+  /// across workers and is not thread-safe — only use with NumWorkers == 1.
+  ServingOptions Serving;
+  bool UseCache = true;
+  PredictionCache::Config Cache;
+  /// Token-bucket quota per tenant: a tenant may have at most
+  /// TenantCapacity requests admitted between refills; every pump() adds
+  /// TenantRefill tokens (capped at capacity). 0 capacity disables quotas.
+  uint64_t TenantCapacity = 0;
+  uint64_t TenantRefill = 0;
+};
+
+struct DaemonRequest {
+  ServeRequest Request;
+  /// Quota accounting key; "" is the default tenant.
+  std::string Tenant;
+};
+
+/// Daemon-level counters. Engine-level outcomes live in the per-shard
+/// ServingStats (engineStats / engineTotals).
+struct DaemonStats {
+  uint64_t Submitted = 0;
+  uint64_t RejectedQuota = 0;
+  uint64_t PumpRounds = 0;
+};
+
+class ServeDaemon {
+public:
+  /// Model and task must outlive the daemon and are shared by all workers
+  /// (inference never mutates the model, so concurrent decodes are safe).
+  ServeDaemon(nn::Seq2SeqModel &Model, const Task &BoundTask,
+              const DaemonOptions &Options);
+
+  /// Worker shard a request routes to: hash of its token sequence modulo
+  /// NumWorkers, so byte-identical inputs always co-locate.
+  size_t shardOf(const ServeRequest &Request) const;
+
+  /// Admission: quota check, then bounded enqueue on the target shard.
+  /// Every call counts as submitted somewhere: quota rejections in
+  /// stats().RejectedQuota, everything else in the shard engine's stats.
+  AdmitOutcome submit(DaemonRequest Request);
+
+  /// Drains every worker shard (in parallel over the global thread pool),
+  /// merges the responses sorted by request Id, refills tenant buckets by
+  /// TenantRefill, and republishes per-shard gauges.
+  std::vector<ServeResponse> pump();
+
+  /// Stops admission on every engine and rejects all queued requests with
+  /// RejectedShutdown (one response per victim, merged and Id-sorted).
+  /// Idempotent; after it returns, checkStats() holds with empty queues so
+  /// Submitted == Rejected + Answered exactly.
+  std::vector<ServeResponse> shutdown();
+
+  size_t numWorkers() const { return Engines.size(); }
+  size_t queued() const;
+  bool stopped() const { return Stopped; }
+  const DaemonStats &stats() const { return Stats; }
+  const ServingStats &engineStats(size_t Shard) const;
+  /// Field-wise sum of every shard engine's ServingStats.
+  ServingStats engineTotals() const;
+  PredictionCache *cache() { return Cache.get(); }
+
+  /// Deterministic tokens left for a tenant right now (TenantCapacity when
+  /// the tenant has never submitted; 0 when quotas are disabled).
+  uint64_t tenantTokens(const std::string &Tenant) const;
+
+  /// Daemon-wide consistency: every engine's checkStats() plus the
+  /// admission identity: Submitted == RejectedQuota + sum(engine Submitted).
+  bool checkStats() const;
+
+private:
+  struct TenantBucket {
+    uint64_t Tokens = 0;
+  };
+
+  DaemonOptions Options;
+  std::unique_ptr<PredictionCache> Cache; ///< Null when UseCache is false.
+  std::vector<std::unique_ptr<ServingEngine>> Engines;
+  std::map<std::string, TenantBucket> Tenants;
+  DaemonStats Stats;
+  bool Stopped = false;
+};
+
+} // namespace model
+} // namespace snowwhite
+
+#endif // SNOWWHITE_MODEL_SERVE_DAEMON_H

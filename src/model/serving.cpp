@@ -1,5 +1,7 @@
 #include "model/serving.h"
 
+#include "model/serve_daemon.h"
+#include "support/hash.h"
 #include "support/telemetry.h"
 
 #include <algorithm>
@@ -16,6 +18,8 @@ const char *tierName(PredictionTier Tier) {
     return "greedy";
   case PredictionTier::Baseline:
     return "baseline";
+  case PredictionTier::Cached:
+    return "cached";
   }
   return "?";
 }
@@ -28,8 +32,12 @@ const char *outcomeCode(ServeOutcome Outcome) {
     return "ok-greedy";
   case ServeOutcome::OkBaseline:
     return "ok-baseline";
+  case ServeOutcome::OkCached:
+    return "ok-cached";
   case ServeOutcome::RejectedQueueFull:
     return "rejected-queue-full";
+  case ServeOutcome::RejectedShutdown:
+    return "rejected-shutdown";
   }
   return "?";
 }
@@ -82,9 +90,18 @@ ServingEngine::ServingEngine(nn::Seq2SeqModel &Model, const Task &BoundTask,
 bool ServingEngine::submit(ServeRequest Request) {
   ++Stats.Submitted;
   telemetry::counter("serving.submitted").add();
+  if (Stopped) {
+    ++Stats.Rejected;
+    ++Stats.RejectedShutdown;
+    telemetry::counter("serving.rejected").add();
+    telemetry::counter("serving.rejected.shutdown").add();
+    return false;
+  }
   if (Queue.size() >= Options.QueueCapacity) {
     ++Stats.Rejected;
+    ++Stats.RejectedQueueFull;
     telemetry::counter("serving.rejected").add();
+    telemetry::counter("serving.rejected.queue_full").add();
     return false;
   }
   Queue.push_back(std::move(Request));
@@ -114,6 +131,28 @@ ServeResponse ServingEngine::processOne(const ServeRequest &Request) {
   return serveLadder(Request);
 }
 
+std::vector<ServeResponse> ServingEngine::shutdown() {
+  Stopped = true;
+  std::vector<ServeResponse> Out;
+  // Admitted-but-unprocessed requests must not vanish at teardown: each one
+  // gets an explicit rejected-shutdown response, keeping the accounting
+  // invariant Submitted == Rejected + Answered exact at exit.
+  while (!Queue.empty()) {
+    ServeResponse Response;
+    Response.Id = Queue.front().Id;
+    Response.Outcome = ServeOutcome::RejectedShutdown;
+    Response.Detail = "engine shut down before request was processed";
+    Out.push_back(std::move(Response));
+    Queue.pop_front();
+    ++Stats.Rejected;
+    ++Stats.RejectedShutdown;
+    telemetry::counter("serving.rejected").add();
+    telemetry::counter("serving.rejected.shutdown").add();
+  }
+  telemetry::gauge("serving.queue_depth").set(0);
+  return Out;
+}
+
 ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
   telemetry::Span RequestSpan("serve.request");
   uint64_t RequestStartNs = telemetry::nowNs();
@@ -125,6 +164,36 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
   unsigned K = std::max(1u, Options.TopK);
   unsigned Width = Options.BeamWidth != 0 ? Options.BeamWidth : K;
   uint64_t GreedyFloor = Model.config().MaxTgtLen;
+
+  // --- Tier 0: prediction cache -------------------------------------------
+  //
+  // Keyed by the full abstracted token sequence plus every knob that can
+  // change the answer (budget, K, width, evidence). The hash only buckets;
+  // membership is decided by byte-wise key comparison inside the cache, so a
+  // 64-bit collision can never replay another request's answer.
+  std::string CacheKey;
+  uint64_t CacheHash = 0;
+  if (Options.Cache) {
+    CacheKey = PredictionCache::requestKey(Request, Budget, K, Width);
+    CacheHash = hashString(CacheKey);
+    if (std::optional<CachedPrediction> Hit =
+            Options.Cache->find(CacheHash, CacheKey)) {
+      Response.Tier = PredictionTier::Cached;
+      Response.Outcome = ServeOutcome::OkCached;
+      Response.Predictions = std::move(Hit->Predictions);
+      Response.Detail =
+          std::string("cache: hit (computed by ") + tierName(Hit->ComputedBy) +
+          ")";
+      ++Stats.Answered;
+      ++Stats.CachedAnswers;
+      telemetry::counter("serving.answered").add();
+      telemetry::counter("serving.answers.cached").add();
+      telemetry::histogram("serving.cache_hit_ns")
+          .record(telemetry::nowNs() - RequestStartNs);
+      return Response;
+    }
+  }
+
   std::optional<wasm::ValType> LowLevel = lowLevelOf(Request.InputTokens);
   std::vector<uint32_t> SourceIds = BoundTask.encodeSource(Request.InputTokens);
 
@@ -257,6 +326,19 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
     ++Stats.BaselineAnswers;
     telemetry::counter("serving.answers.baseline").add();
     break;
+  case PredictionTier::Cached:
+    // Unreachable: hits return from tier 0 above.
+    ++Stats.CachedAnswers;
+    break;
+  }
+  if (Options.Cache) {
+    CachedPrediction Computed;
+    Computed.ComputedBy = Response.Tier;
+    Computed.Predictions = Response.Predictions;
+    Options.Cache->insert(CacheHash, std::move(CacheKey),
+                          std::move(Computed));
+    telemetry::histogram("serving.compute_ns")
+        .record(telemetry::nowNs() - RequestStartNs);
   }
   telemetry::histogram("serving.request_ns")
       .record(telemetry::nowNs() - RequestStartNs);

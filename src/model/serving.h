@@ -31,11 +31,14 @@
 namespace snowwhite {
 namespace model {
 
+class PredictionCache;
+
 /// Which rung of the degradation ladder produced a prediction.
 enum class PredictionTier : uint8_t {
   Beam,     ///< Full budgeted beam search completed.
   Greedy,   ///< Beam could not finish; greedy decode did.
   Baseline, ///< Model unusable; statistical baseline answered.
+  Cached,   ///< Replayed verbatim from the prediction cache.
 };
 
 /// Machine-readable request outcome. Every submitted request maps to
@@ -44,7 +47,9 @@ enum class ServeOutcome : uint8_t {
   OkBeam,
   OkGreedy,
   OkBaseline,
+  OkCached,
   RejectedQueueFull, ///< Admission control: never enqueued, no prediction.
+  RejectedShutdown,  ///< Engine stopped before the request could run.
 };
 
 const char *tierName(PredictionTier Tier);
@@ -67,6 +72,11 @@ struct ServingOptions {
   /// failure so tests can exercise the full ladder deterministically.
   /// Not owned.
   fault::FaultInjector *Faults = nullptr;
+  /// Optional signature-keyed prediction cache (model/serve_daemon.h). When
+  /// set, the ladder consults it before decoding and publishes every
+  /// computed answer back; hits are replayed bit-identically with the
+  /// `cached` provenance tier. Not owned; may be shared across engines.
+  PredictionCache *Cache = nullptr;
 };
 
 struct ServeRequest {
@@ -97,10 +107,15 @@ struct ServeResponse {
 struct ServingStats {
   uint64_t Submitted = 0;
   uint64_t Rejected = 0;
+  /// Partition of Rejected by cause.
+  uint64_t RejectedQueueFull = 0;
+  uint64_t RejectedShutdown = 0;
   uint64_t Answered = 0;
   uint64_t BeamAnswers = 0;
   uint64_t GreedyAnswers = 0;
   uint64_t BaselineAnswers = 0;
+  /// Answers replayed from the prediction cache (tier `cached`).
+  uint64_t CachedAnswers = 0;
   uint64_t DecodeSteps = 0;
   /// Individual candidates rejected by the evidence consistency gate.
   uint64_t GatedCandidates = 0;
@@ -133,16 +148,28 @@ public:
   /// path — see checkStats().
   ServeResponse processOne(const ServeRequest &Request);
 
+  /// Teardown: rejects every request still queued with RejectedShutdown
+  /// (one response per victim, no predictions) and stops admission — later
+  /// submit() calls are rejected the same way instead of queueing work that
+  /// would never run. Idempotent. After shutdown the queue is empty, so
+  /// Submitted == Rejected + Answered holds exactly.
+  std::vector<ServeResponse> shutdown();
+
+  bool stopped() const { return Stopped; }
+
   size_t queued() const { return Queue.size(); }
   const ServingStats &stats() const { return Stats; }
 
   /// True iff the outcome counters are consistent: every submitted request
   /// is accounted for by exactly one terminal state (rejected, answered, or
-  /// still queued), and answers partition across the three tiers.
+  /// still queued), rejections partition by cause, and answers partition
+  /// across the four tiers.
   bool checkStats() const {
     return Stats.Submitted == Stats.Rejected + Stats.Answered + Queue.size() &&
+           Stats.Rejected ==
+               Stats.RejectedQueueFull + Stats.RejectedShutdown &&
            Stats.Answered == Stats.BeamAnswers + Stats.GreedyAnswers +
-                                 Stats.BaselineAnswers;
+                                 Stats.BaselineAnswers + Stats.CachedAnswers;
   }
 
 private:
@@ -156,6 +183,7 @@ private:
   StatisticalBaseline Baseline;
   std::deque<ServeRequest> Queue;
   ServingStats Stats;
+  bool Stopped = false;
 };
 
 } // namespace model

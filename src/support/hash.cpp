@@ -29,6 +29,31 @@ uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   return Seed * FnvPrime;
 }
 
+SignatureSet::Insert SignatureSet::insert(uint64_t Hash, std::string Key) {
+  std::vector<std::string> &Bucket = Buckets[Hash];
+  for (const std::string &Existing : Bucket)
+    if (Existing == Key)
+      return Insert::Duplicate;
+  bool Collided = !Bucket.empty();
+  Bucket.push_back(std::move(Key));
+  ++Size;
+  if (Collided) {
+    ++Collisions;
+    return Insert::Collision;
+  }
+  return Insert::New;
+}
+
+bool SignatureSet::contains(uint64_t Hash, std::string_view Key) const {
+  auto It = Buckets.find(Hash);
+  if (It == Buckets.end())
+    return false;
+  for (const std::string &Existing : It->second)
+    if (Existing == Key)
+      return true;
+  return false;
+}
+
 std::string hashToHex(uint64_t Hash) {
   static const char Digits[] = "0123456789abcdef";
   std::string Out(16, '0');

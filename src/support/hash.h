@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace snowwhite {
@@ -30,6 +31,46 @@ uint64_t hashCombine(uint64_t Seed, uint64_t Value);
 
 /// Renders a hash as 16 lowercase hex digits.
 std::string hashToHex(uint64_t Hash);
+
+/// A collision-checked set of (hash, key) signatures.
+///
+/// A 64-bit hash is not an identity: treating "hash already seen" as "key
+/// already seen" silently merges distinct keys on collision. SignatureSet
+/// buckets by hash but confirms membership by byte-wise comparison of the
+/// full key, so a colliding key is reported as Collision (and kept as a new
+/// member) instead of being misclassified as Duplicate.
+///
+/// The hash is passed in explicitly rather than derived from the key so that
+/// (a) callers who already computed it in a parallel phase don't pay twice,
+/// and (b) tests can force a bucket collision with distinct keys.
+class SignatureSet {
+public:
+  enum class Insert {
+    New,       ///< Hash and key both unseen.
+    Duplicate, ///< Hash seen with a byte-identical key.
+    Collision, ///< Hash seen, but only with different keys; key was kept.
+  };
+
+  /// Inserts (Hash, Key); see Insert for the outcome taxonomy. Collisions
+  /// are retained, so a later insert of the same (Hash, Key) pair reports
+  /// Duplicate.
+  Insert insert(uint64_t Hash, std::string Key);
+
+  /// True iff this exact (Hash, Key) pair has been inserted.
+  bool contains(uint64_t Hash, std::string_view Key) const;
+
+  /// Number of distinct keys inserted.
+  size_t size() const { return Size; }
+
+  /// Number of inserts that hit an occupied hash bucket with a different
+  /// key (i.e. detected 64-bit collisions).
+  uint64_t collisions() const { return Collisions; }
+
+private:
+  std::unordered_map<uint64_t, std::vector<std::string>> Buckets;
+  size_t Size = 0;
+  uint64_t Collisions = 0;
+};
 
 } // namespace snowwhite
 

@@ -7,18 +7,34 @@ namespace wasm {
 
 std::string abstractInstr(const Instr &I) { return opcodeName(I.Op); }
 
+std::string abstractFunctionSignature(const Function &Func) {
+  std::string Signature;
+  // Mnemonics average ~8 chars; reserve once to avoid rehash churn on the
+  // dedup hot path.
+  Signature.reserve(Func.Body.size() * 9);
+  for (const Instr &I : Func.Body) {
+    if (!Signature.empty())
+      Signature.push_back(' ');
+    Signature += abstractInstr(I);
+  }
+  return Signature;
+}
+
 uint64_t abstractFunctionHash(const Function &Func) {
-  uint64_t Hash = 0xf00dULL;
-  for (const Instr &I : Func.Body)
-    Hash = hashCombine(Hash, static_cast<uint64_t>(I.Op));
-  return Hash;
+  return hashString(abstractFunctionSignature(Func));
+}
+
+std::string moduleAbstraction(const Module &M) {
+  std::string Abstraction;
+  for (const Function &Func : M.Functions) {
+    Abstraction += abstractFunctionSignature(Func);
+    Abstraction.push_back('\n');
+  }
+  return Abstraction;
 }
 
 uint64_t approximateModuleSignature(const Module &M) {
-  uint64_t Signature = 0xcafeULL;
-  for (const Function &Func : M.Functions)
-    Signature = hashCombine(Signature, abstractFunctionHash(Func));
-  return Signature;
+  return hashString(moduleAbstraction(M));
 }
 
 } // namespace wasm

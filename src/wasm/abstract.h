@@ -6,6 +6,13 @@
 // offset=8 -> i32.load), each function body is hashed, the function hashes
 // are concatenated in order, and the concatenation is hashed again.
 //
+// A 64-bit hash is NOT an identity: two distinct abstraction sequences can
+// collide. Consumers that treat a signature as "same code" must keep the
+// abstraction string alongside the hash and compare the strings byte-wise on
+// hash match (see support/hash.h SignatureSet and model/serve_daemon.h
+// PredictionCache). The string forms below exist so callers can do exactly
+// that without re-deriving the textual abstraction themselves.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SNOWWHITE_WASM_ABSTRACT_H
@@ -23,11 +30,23 @@ namespace wasm {
 /// removed.
 std::string abstractInstr(const Instr &I);
 
-/// Hash of a function's abstracted instruction sequence.
+/// The abstraction of a whole function body: the abstracted instructions
+/// joined with single spaces ("local.get i32.load i32.add end"). This is the
+/// canonical collision-check key for abstractFunctionHash.
+std::string abstractFunctionSignature(const Function &Func);
+
+/// Hash of a function's abstracted instruction sequence. Defined as
+/// hashString(abstractFunctionSignature(Func)), so the hash and its
+/// collision-check key can never drift apart.
 uint64_t abstractFunctionHash(const Function &Func);
 
-/// Approximate whole-module signature: function hashes concatenated in order
-/// (order matters), hashed again.
+/// The abstraction of a whole module: per-function signatures joined with
+/// newlines, in function order. Canonical collision-check key for
+/// approximateModuleSignature.
+std::string moduleAbstraction(const Module &M);
+
+/// Approximate whole-module signature: hash of moduleAbstraction(M). Order
+/// of functions matters.
 uint64_t approximateModuleSignature(const Module &M);
 
 } // namespace wasm

@@ -1,0 +1,479 @@
+//===- tests/serving_daemon_test.cpp - Daemon + prediction-cache tests -----===//
+//
+// Contracts under test (issue 6):
+//  - a cache hit returns a bit-identical prediction to a cold compute, with
+//    the `cached` provenance tier and zero decode steps;
+//  - a 64-bit hash collision can never replay another request's answer (the
+//    cache compares full keys byte-wise; colliding entries live side by
+//    side);
+//  - LRU eviction respects the byte budget;
+//  - per-shard stats sum to the cache/daemon totals (and to the telemetry
+//    registry) at any SNOWWHITE_THREADS, and warm-path responses are
+//    bit-identical across thread counts;
+//  - engine/daemon shutdown rejects admitted-but-unprocessed requests with
+//    a distinct outcome so Submitted == Rejected + Answered holds at exit;
+//  - per-tenant token buckets admit deterministically in virtual time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/serve_daemon.h"
+#include "model/serving.h"
+#include "model/task.h"
+#include "model/trainer.h"
+#include "support/hash.h"
+#include "support/telemetry.h"
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace model {
+namespace {
+
+using dataset::Dataset;
+
+const Dataset &sharedDataset() {
+  static Dataset Data = [] {
+    frontend::CorpusSpec Spec;
+    Spec.NumPackages = 8;
+    Spec.Seed = 177;
+    frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+    return dataset::buildDataset(Corpus);
+  }();
+  return Data;
+}
+
+const Task &sharedTask() {
+  static Task T = [] {
+    TaskOptions Options;
+    Options.MaxTrainSamples = 96;
+    return Task(sharedDataset(), Options);
+  }();
+  return T;
+}
+
+struct DaemonFixture {
+  TrainResult Trained;
+  DaemonFixture() {
+    TrainOptions Options;
+    Options.MaxEpochs = 1;
+    Options.BatchSize = 16;
+    Options.EmbedDim = 12;
+    Options.HiddenDim = 16;
+    Options.MaxValidSamples = 32;
+    Options.Seed = 515;
+    Trained = trainModel(sharedTask(), Options);
+  }
+};
+
+DaemonFixture &fixture() {
+  static DaemonFixture F;
+  return F;
+}
+
+/// Input-token sequences for requests: real samples from the dataset.
+std::vector<std::vector<std::string>> sampleInputs(size_t Count) {
+  std::vector<std::vector<std::string>> Out;
+  for (const dataset::TypeSample &Sample : sharedDataset().Samples) {
+    if (Out.size() >= Count)
+      break;
+    Out.push_back(Sample.Input);
+  }
+  return Out;
+}
+
+bool samePredictions(const std::vector<TypePrediction> &A,
+                     const std::vector<TypePrediction> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Tokens != B[I].Tokens ||
+        std::memcmp(&A[I].LogProb, &B[I].LogProb, sizeof(float)) != 0)
+      return false;
+  return true;
+}
+
+CachedPrediction makeValue(const std::string &Token, float LogProb) {
+  CachedPrediction Value;
+  TypePrediction P;
+  P.Tokens = {Token};
+  P.LogProb = LogProb;
+  Value.Predictions.push_back(std::move(P));
+  return Value;
+}
+
+// --- PredictionCache unit tests ----------------------------------------------
+
+// Regression (issue 6): before the collision-safe key check, a cache keyed
+// on the bare 64-bit hash would return entry A's answer for colliding
+// entry B. Forced collision via the explicit-hash seam.
+TEST(PredictionCache, ForcedHashCollisionNeverCrossesAnswers) {
+  PredictionCache Cache;
+  Cache.insert(42, "key-a", makeValue("int", -1.0f));
+  Cache.insert(42, "key-b", makeValue("char *", -2.0f));
+
+  auto A = Cache.find(42, "key-a");
+  auto B = Cache.find(42, "key-b");
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(A->Predictions[0].Tokens[0], "int");
+  EXPECT_EQ(B->Predictions[0].Tokens[0], "char *");
+  EXPECT_FALSE(Cache.find(42, "key-c").has_value());
+
+  CacheStats Totals = Cache.totals();
+  EXPECT_EQ(Totals.Collisions, 1u);
+  EXPECT_EQ(Totals.Entries, 2u);
+  EXPECT_EQ(Totals.Hits, 2u);
+  EXPECT_EQ(Totals.Misses, 1u);
+}
+
+TEST(PredictionCache, EvictionRespectsByteBudgetWithLruOrder) {
+  PredictionCache::Config Cfg;
+  Cfg.NumShards = 1; // One shard so the budget applies to every entry.
+  CachedPrediction Probe = makeValue("t", -1.0f);
+  uint64_t PerEntry = PredictionCache::entryBytes("key-00", Probe);
+  Cfg.ByteBudget = PerEntry * 4; // Room for exactly four entries.
+  PredictionCache Cache(Cfg);
+
+  auto KeyOf = [](int I) {
+    std::string Key = "key-" + std::to_string(I / 10) + std::to_string(I % 10);
+    return Key;
+  };
+  for (int I = 0; I < 4; ++I)
+    Cache.insert(hashString(KeyOf(I)), KeyOf(I), Probe);
+  EXPECT_EQ(Cache.totals().Entries, 4u);
+  EXPECT_EQ(Cache.totals().Evictions, 0u);
+
+  // Touch key-00 so key-01 becomes the least recently used.
+  EXPECT_TRUE(Cache.find(hashString(KeyOf(0)), KeyOf(0)).has_value());
+  Cache.insert(hashString(KeyOf(4)), KeyOf(4), Probe);
+
+  CacheStats Totals = Cache.totals();
+  EXPECT_EQ(Totals.Entries, 4u);
+  EXPECT_EQ(Totals.Evictions, 1u);
+  EXPECT_LE(Totals.Bytes, Cfg.ByteBudget);
+  EXPECT_TRUE(Cache.find(hashString(KeyOf(0)), KeyOf(0)).has_value());
+  EXPECT_FALSE(Cache.find(hashString(KeyOf(1)), KeyOf(1)).has_value());
+  EXPECT_TRUE(Cache.find(hashString(KeyOf(4)), KeyOf(4)).has_value());
+}
+
+TEST(PredictionCache, OversizeEntryAdmittedAloneThenDisplaced) {
+  PredictionCache::Config Cfg;
+  Cfg.NumShards = 1;
+  Cfg.ByteBudget = 16; // Smaller than any entry.
+  PredictionCache Cache(Cfg);
+  CachedPrediction Value = makeValue("giant", -1.0f);
+  Cache.insert(1, "big", Value);
+  EXPECT_EQ(Cache.totals().Entries, 1u);
+  EXPECT_TRUE(Cache.find(1, "big").has_value());
+  Cache.insert(2, "next", Value);
+  // The older oversize entry is the LRU victim; one entry stays resident.
+  EXPECT_EQ(Cache.totals().Entries, 1u);
+  EXPECT_FALSE(Cache.find(1, "big").has_value());
+  EXPECT_TRUE(Cache.find(2, "next").has_value());
+}
+
+TEST(PredictionCache, RequestKeyCoversAnswerAffectingKnobs) {
+  ServeRequest Request;
+  Request.InputTokens = {"i32", "<begin>", "i32.load", "<end>"};
+  std::string Base = PredictionCache::requestKey(Request, 128, 3, 3);
+  EXPECT_NE(PredictionCache::requestKey(Request, 64, 3, 3), Base);
+  EXPECT_NE(PredictionCache::requestKey(Request, 128, 5, 3), Base);
+  EXPECT_NE(PredictionCache::requestKey(Request, 128, 3, 8), Base);
+  ServeRequest WithEvidence = Request;
+  analysis::ParamEvidence Param;
+  Param.DirectLoads = 2;
+  WithEvidence.Evidence.Param = Param;
+  EXPECT_NE(PredictionCache::requestKey(WithEvidence, 128, 3, 3), Base);
+  // Token boundaries are unambiguous: the qualifier block is separated by a
+  // byte that cannot appear in tokens.
+  ServeRequest Joined;
+  Joined.InputTokens = {"i32", "<begin> i32.load", "<end>"};
+  EXPECT_NE(PredictionCache::requestKey(Joined, 128, 3, 3), Base);
+}
+
+// --- Engine-level cache semantics --------------------------------------------
+
+TEST(ServingCache, HitIsBitIdenticalToColdCompute) {
+  DaemonFixture &F = fixture();
+  ServingOptions Opts;
+  Opts.TopK = 3;
+  Opts.DefaultStepBudget = 128;
+
+  // Cold engine without a cache: the reference compute.
+  ServingEngine Reference(*F.Trained.Model, sharedTask(), Opts);
+
+  PredictionCache Cache;
+  ServingOptions CachedOpts = Opts;
+  CachedOpts.Cache = &Cache;
+  ServingEngine Engine(*F.Trained.Model, sharedTask(), CachedOpts);
+
+  std::vector<std::vector<std::string>> Inputs = sampleInputs(8);
+  ASSERT_FALSE(Inputs.empty());
+  uint64_t Id = 0;
+  for (const std::vector<std::string> &Input : Inputs) {
+    ServeRequest Request;
+    Request.Id = Id++;
+    Request.InputTokens = Input;
+    ServeResponse Cold = Engine.processOne(Request);
+    ServeResponse Ref = Reference.processOne(Request);
+    ServeResponse Warm = Engine.processOne(Request);
+
+    EXPECT_NE(Cold.Tier, PredictionTier::Cached);
+    EXPECT_TRUE(samePredictions(Cold.Predictions, Ref.Predictions));
+    EXPECT_EQ(Warm.Tier, PredictionTier::Cached);
+    EXPECT_EQ(Warm.Outcome, ServeOutcome::OkCached);
+    EXPECT_EQ(Warm.DecodeStepsUsed, 0u);
+    EXPECT_TRUE(samePredictions(Warm.Predictions, Cold.Predictions));
+    EXPECT_TRUE(Engine.checkStats());
+  }
+  const ServingStats &Stats = Engine.stats();
+  EXPECT_EQ(Stats.CachedAnswers, Inputs.size());
+  EXPECT_EQ(Stats.Answered, 2 * Inputs.size());
+  CacheStats Totals = Cache.totals();
+  EXPECT_EQ(Totals.Hits, Inputs.size());
+  EXPECT_EQ(Totals.Misses, Inputs.size());
+}
+
+// --- Shutdown accounting ------------------------------------------------------
+
+TEST(ServingShutdown, QueuedRequestsRejectedWithDistinctOutcome) {
+  DaemonFixture &F = fixture();
+  ServingOptions Opts;
+  Opts.DefaultStepBudget = 64;
+  Opts.QueueCapacity = 8;
+  ServingEngine Engine(*F.Trained.Model, sharedTask(), Opts);
+
+  std::vector<std::vector<std::string>> Inputs = sampleInputs(4);
+  ASSERT_GE(Inputs.size(), 2u);
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    ServeRequest Request;
+    Request.Id = I;
+    Request.InputTokens = Inputs[I];
+    ASSERT_TRUE(Engine.submit(std::move(Request)));
+  }
+  ASSERT_EQ(Engine.queued(), Inputs.size());
+
+  std::vector<ServeResponse> Victims = Engine.shutdown();
+  ASSERT_EQ(Victims.size(), Inputs.size());
+  for (const ServeResponse &Victim : Victims) {
+    EXPECT_EQ(Victim.Outcome, ServeOutcome::RejectedShutdown);
+    EXPECT_TRUE(Victim.Predictions.empty());
+  }
+  EXPECT_EQ(Engine.queued(), 0u);
+  EXPECT_TRUE(Engine.stopped());
+  EXPECT_TRUE(Engine.checkStats());
+  const ServingStats &Stats = Engine.stats();
+  EXPECT_EQ(Stats.Submitted, Stats.Rejected + Stats.Answered);
+  EXPECT_EQ(Stats.RejectedShutdown, Inputs.size());
+
+  // Admission is closed: later submissions reject with the same code.
+  ServeRequest Late;
+  Late.Id = 99;
+  Late.InputTokens = Inputs[0];
+  EXPECT_FALSE(Engine.submit(std::move(Late)));
+  EXPECT_EQ(Engine.stats().RejectedShutdown, Inputs.size() + 1);
+  EXPECT_TRUE(Engine.checkStats());
+  // Idempotent.
+  EXPECT_TRUE(Engine.shutdown().empty());
+}
+
+TEST(ServeDaemonTest, KillDuringLoadAccountsForEveryRequest) {
+  DaemonFixture &F = fixture();
+  DaemonOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.Serving.DefaultStepBudget = 64;
+  Opts.Serving.QueueCapacity = 32;
+  ServeDaemon Daemon(*F.Trained.Model, sharedTask(), Opts);
+
+  std::vector<std::vector<std::string>> Inputs = sampleInputs(6);
+  ASSERT_GE(Inputs.size(), 4u);
+  uint64_t Id = 0;
+  // First wave is processed...
+  for (size_t I = 0; I < 2; ++I) {
+    DaemonRequest Request;
+    Request.Request.Id = Id++;
+    Request.Request.InputTokens = Inputs[I];
+    ASSERT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+  }
+  EXPECT_EQ(Daemon.pump().size(), 2u);
+  // ...second wave is admitted but never pumped: the kill-during-load.
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    DaemonRequest Request;
+    Request.Request.Id = Id++;
+    Request.Request.InputTokens = Inputs[I];
+    ASSERT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+  }
+  EXPECT_EQ(Daemon.queued(), Inputs.size());
+
+  std::vector<ServeResponse> Victims = Daemon.shutdown();
+  ASSERT_EQ(Victims.size(), Inputs.size());
+  for (size_t I = 0; I + 1 < Victims.size(); ++I)
+    EXPECT_LT(Victims[I].Id, Victims[I + 1].Id); // Merged and Id-sorted.
+  for (const ServeResponse &Victim : Victims)
+    EXPECT_EQ(Victim.Outcome, ServeOutcome::RejectedShutdown);
+
+  EXPECT_TRUE(Daemon.stopped());
+  EXPECT_TRUE(Daemon.checkStats());
+  ServingStats Totals = Daemon.engineTotals();
+  EXPECT_EQ(Totals.Submitted, Totals.Rejected + Totals.Answered);
+  EXPECT_EQ(Totals.RejectedShutdown, Inputs.size());
+  EXPECT_EQ(Daemon.queued(), 0u);
+
+  DaemonRequest Late;
+  Late.Request.Id = Id++;
+  Late.Request.InputTokens = Inputs[0];
+  EXPECT_EQ(Daemon.submit(std::move(Late)), AdmitOutcome::RejectedShutdown);
+  EXPECT_TRUE(Daemon.checkStats());
+}
+
+// --- Tenant quotas -------------------------------------------------------------
+
+TEST(ServeDaemonTest, TenantTokenBucketsAdmitDeterministically) {
+  DaemonFixture &F = fixture();
+  DaemonOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.Serving.DefaultStepBudget = 64;
+  Opts.Serving.QueueCapacity = 32;
+  Opts.TenantCapacity = 2;
+  Opts.TenantRefill = 1;
+  ServeDaemon Daemon(*F.Trained.Model, sharedTask(), Opts);
+
+  std::vector<std::vector<std::string>> Inputs = sampleInputs(3);
+  ASSERT_GE(Inputs.size(), 3u);
+  uint64_t Id = 0;
+  auto Submit = [&](const std::string &Tenant, size_t Input) {
+    DaemonRequest Request;
+    Request.Tenant = Tenant;
+    Request.Request.Id = Id++;
+    Request.Request.InputTokens = Inputs[Input];
+    return Daemon.submit(std::move(Request));
+  };
+
+  EXPECT_EQ(Daemon.tenantTokens("acme"), 2u);
+  EXPECT_EQ(Submit("acme", 0), AdmitOutcome::Admitted);
+  EXPECT_EQ(Submit("acme", 1), AdmitOutcome::Admitted);
+  // Bucket empty: third submission this round is rejected by quota.
+  EXPECT_EQ(Submit("acme", 2), AdmitOutcome::RejectedQuota);
+  EXPECT_EQ(Daemon.tenantTokens("acme"), 0u);
+  // Another tenant is unaffected.
+  EXPECT_EQ(Submit("umbrella", 0), AdmitOutcome::Admitted);
+  EXPECT_TRUE(Daemon.checkStats());
+  EXPECT_EQ(Daemon.stats().RejectedQuota, 1u);
+
+  // pump() is the virtual-time refill tick.
+  EXPECT_EQ(Daemon.pump().size(), 3u);
+  EXPECT_EQ(Daemon.tenantTokens("acme"), 1u);
+  EXPECT_EQ(Submit("acme", 2), AdmitOutcome::Admitted);
+  EXPECT_EQ(Submit("acme", 0), AdmitOutcome::RejectedQuota);
+  EXPECT_TRUE(Daemon.checkStats());
+}
+
+// --- Per-shard stats and thread-count invariance -------------------------------
+
+struct WarmRunResult {
+  std::vector<ServeResponse> Responses;
+  CacheStats Cache;
+  ServingStats Engines;
+};
+
+WarmRunResult runWarmWorkload(unsigned Threads) {
+  ThreadPool::resetGlobal(Threads);
+  telemetry::Registry::global().reset();
+  DaemonFixture &F = fixture();
+  DaemonOptions Opts;
+  Opts.NumWorkers = 3;
+  Opts.Serving.TopK = 3;
+  Opts.Serving.DefaultStepBudget = 128;
+  Opts.Serving.QueueCapacity = 64;
+  ServeDaemon Daemon(*F.Trained.Model, sharedTask(), Opts);
+
+  std::vector<std::vector<std::string>> Inputs = sampleInputs(10);
+  WarmRunResult Out;
+  uint64_t Id = 0;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (const std::vector<std::string> &Input : Inputs) {
+      DaemonRequest Request;
+      Request.Request.Id = Id++;
+      Request.Request.InputTokens = Input;
+      EXPECT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+    }
+    for (ServeResponse &Response : Daemon.pump())
+      Out.Responses.push_back(std::move(Response));
+  }
+  EXPECT_TRUE(Daemon.checkStats());
+
+  // Per-shard stats must sum to the totals...
+  PredictionCache *Cache = Daemon.cache();
+  CacheStats Summed;
+  for (size_t I = 0; I < Cache->numShards(); ++I) {
+    CacheStats S = Cache->shardStats(I);
+    Summed.Hits += S.Hits;
+    Summed.Misses += S.Misses;
+    Summed.Insertions += S.Insertions;
+    Summed.Evictions += S.Evictions;
+    Summed.Collisions += S.Collisions;
+    Summed.Bytes += S.Bytes;
+    Summed.Entries += S.Entries;
+  }
+  Out.Cache = Cache->totals();
+  EXPECT_EQ(Summed.Hits, Out.Cache.Hits);
+  EXPECT_EQ(Summed.Misses, Out.Cache.Misses);
+  EXPECT_EQ(Summed.Insertions, Out.Cache.Insertions);
+  EXPECT_EQ(Summed.Evictions, Out.Cache.Evictions);
+  EXPECT_EQ(Summed.Collisions, Out.Cache.Collisions);
+  EXPECT_EQ(Summed.Bytes, Out.Cache.Bytes);
+  EXPECT_EQ(Summed.Entries, Out.Cache.Entries);
+
+  // ...and to the telemetry registry's counters (reset above, so this run
+  // is the only contributor).
+  EXPECT_EQ(telemetry::counter("serve_cache.hits").value(), Out.Cache.Hits);
+  EXPECT_EQ(telemetry::counter("serve_cache.misses").value(),
+            Out.Cache.Misses);
+  EXPECT_EQ(telemetry::counter("serve_cache.insertions").value(),
+            Out.Cache.Insertions);
+  EXPECT_EQ(telemetry::counter("serve_cache.evictions").value(),
+            Out.Cache.Evictions);
+
+  Out.Engines = Daemon.engineTotals();
+  EXPECT_EQ(telemetry::counter("serving.answers.cached").value(),
+            Out.Engines.CachedAnswers);
+  return Out;
+}
+
+TEST(ServeDaemonTest, ShardStatsSumToTotalsAtAnyThreadCount) {
+  WarmRunResult One = runWarmWorkload(1);
+  WarmRunResult Four = runWarmWorkload(4);
+  ThreadPool::resetGlobal(ThreadPool::threadsFromEnv());
+
+  // No eviction pressure: the whole run is bit-identical across thread
+  // counts — responses, tiers, predictions, cache and engine aggregates.
+  EXPECT_EQ(One.Cache.Hits, Four.Cache.Hits);
+  EXPECT_EQ(One.Cache.Misses, Four.Cache.Misses);
+  EXPECT_EQ(One.Cache.Evictions, 0u);
+  EXPECT_EQ(Four.Cache.Evictions, 0u);
+  EXPECT_EQ(One.Cache.Bytes, Four.Cache.Bytes);
+  EXPECT_EQ(One.Engines.CachedAnswers, Four.Engines.CachedAnswers);
+  EXPECT_EQ(One.Engines.DecodeSteps, Four.Engines.DecodeSteps);
+
+  ASSERT_EQ(One.Responses.size(), Four.Responses.size());
+  for (size_t I = 0; I < One.Responses.size(); ++I) {
+    EXPECT_EQ(One.Responses[I].Id, Four.Responses[I].Id);
+    EXPECT_EQ(One.Responses[I].Tier, Four.Responses[I].Tier);
+    EXPECT_EQ(One.Responses[I].Outcome, Four.Responses[I].Outcome);
+    EXPECT_TRUE(samePredictions(One.Responses[I].Predictions,
+                                Four.Responses[I].Predictions));
+  }
+  // The dedup-heavy workload actually exercised the cache: rounds 2 and 3
+  // answered entirely from it.
+  EXPECT_GT(One.Engines.CachedAnswers, 0u);
+}
+
+} // namespace
+} // namespace model
+} // namespace snowwhite

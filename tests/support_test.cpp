@@ -355,6 +355,36 @@ TEST(Hash, HexFormat) {
   EXPECT_EQ(hashToHex(0xdeadbeefULL), "00000000deadbeef");
 }
 
+// Regression (issue 6): a 64-bit hash match alone must never classify a
+// *different* key as a duplicate. Before the collision-safe dedup, the
+// pipeline kept bare uint64 sets, so the forced collision below would have
+// been reported as Duplicate and the second module silently dropped.
+TEST(Hash, SignatureSetDetectsForcedCollision) {
+  SignatureSet Set;
+  EXPECT_EQ(Set.insert(42, "module-a"), SignatureSet::Insert::New);
+  EXPECT_EQ(Set.insert(42, "module-b"), SignatureSet::Insert::Collision);
+  EXPECT_EQ(Set.size(), 2u);
+  EXPECT_EQ(Set.collisions(), 1u);
+  // Both colliding keys are retained as distinct members.
+  EXPECT_TRUE(Set.contains(42, "module-a"));
+  EXPECT_TRUE(Set.contains(42, "module-b"));
+  // Only a byte-identical key is a duplicate.
+  EXPECT_EQ(Set.insert(42, "module-a"), SignatureSet::Insert::Duplicate);
+  EXPECT_EQ(Set.insert(42, "module-b"), SignatureSet::Insert::Duplicate);
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+TEST(Hash, SignatureSetBasics) {
+  SignatureSet Set;
+  EXPECT_FALSE(Set.contains(7, "x"));
+  EXPECT_EQ(Set.insert(7, "x"), SignatureSet::Insert::New);
+  EXPECT_EQ(Set.insert(8, "x"), SignatureSet::Insert::New); // Same key, new
+                                                            // hash: distinct.
+  EXPECT_EQ(Set.insert(7, "x"), SignatureSet::Insert::Duplicate);
+  EXPECT_EQ(Set.size(), 2u);
+  EXPECT_EQ(Set.collisions(), 0u);
+}
+
 // --- Strings -------------------------------------------------------------------
 
 TEST(Str, SplitKeepsEmptyFields) {

@@ -1,5 +1,7 @@
 //===- tests/wasm_test.cpp - WebAssembly substrate unit tests --------------===//
 
+#include "support/hash.h"
+#include "support/rng.h"
 #include "wasm/abstract.h"
 #include "wasm/instr.h"
 #include "wasm/module.h"
@@ -321,6 +323,64 @@ TEST(Abstract, SignatureIgnoresImmediatesButNotOpcodes) {
   Module C = makeTinyModule();
   C.Functions[0].Body[1] = Instr::load(Opcode::F32Load, 8, 2);
   EXPECT_NE(approximateModuleSignature(A), approximateModuleSignature(C));
+}
+
+// Audit (issue 6): every immediate-carrying opcode in opcodes.def must
+// abstract to its bare mnemonic — memarg align/offset, br_table targets,
+// call_indirect type index, constants, all of it.
+TEST(Abstract, EveryImmediateCarryingOpcodeStripsToBareMnemonic) {
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    if (opcodeImmKind(Op) == ImmKind::None)
+      continue;
+    Instr A(Op, 1, 2);
+    Instr B(Op, 0xdeadbeef, 13);
+    A.Table = {1, 2, 3};
+    B.Table = {9};
+    EXPECT_EQ(abstractInstr(A), opcodeName(Op)) << opcodeName(Op);
+    EXPECT_EQ(abstractInstr(A), abstractInstr(B)) << opcodeName(Op);
+  }
+}
+
+// The hash and its collision-check key must be incapable of drifting apart:
+// the hash is defined as the hash of the abstraction string.
+TEST(Abstract, HashIsHashOfAbstractionString) {
+  Module M = makeTinyModule();
+  const Function &F = M.Functions[0];
+  EXPECT_EQ(abstractFunctionSignature(F), "local.get f64.load end");
+  EXPECT_EQ(abstractFunctionHash(F), hashString(abstractFunctionSignature(F)));
+  EXPECT_EQ(approximateModuleSignature(M), hashString(moduleAbstraction(M)));
+}
+
+// Property: abstraction of a function is invariant under arbitrary
+// immediate rewriting — a body spanning the whole opcode table keeps a
+// byte-identical signature (and hash) no matter what the mutator writes
+// into Imm0/Imm1/Table.
+TEST(Abstract, InvariantUnderImmediateRewriting) {
+  Function F;
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    F.Body.push_back(Instr(static_cast<Opcode>(I)));
+  std::string Base = abstractFunctionSignature(F);
+  uint64_t BaseHash = abstractFunctionHash(F);
+
+  Rng R(0xab5712);
+  for (int Round = 0; Round < 32; ++Round) {
+    Function G = F;
+    for (Instr &Ins : G.Body) {
+      if (opcodeImmKind(Ins.Op) == ImmKind::None)
+        continue;
+      Ins.Imm0 = R.next();
+      Ins.Imm1 = R.next();
+      if (opcodeImmKind(Ins.Op) == ImmKind::BrTable) {
+        Ins.Table.clear();
+        size_t Targets = R.nextBelow(6);
+        for (size_t T = 0; T < Targets; ++T)
+          Ins.Table.push_back(static_cast<uint32_t>(R.nextBelow(16)));
+      }
+    }
+    ASSERT_EQ(abstractFunctionSignature(G), Base);
+    ASSERT_EQ(abstractFunctionHash(G), BaseHash);
+  }
 }
 
 TEST(Abstract, SignatureIsOrderSensitive) {

@@ -49,6 +49,15 @@
 //       whitespace-separated wasm input-token sequence; the response line is
 //       printed to stdout. EOF or "quit" ends the session.
 //
+//   snowwhite serve --daemon [--workers N] [--cache-bytes N]
+//                   [--tenant-capacity N] [--tenant-refill N]
+//       The sharded daemon form: N engine workers over the thread pool and
+//       a signature-keyed prediction cache, so repeated inputs answer from
+//       cache with tier=cached. An optional "@tenant " line prefix routes
+//       quota accounting; queued requests are processed on every line (one
+//       pump round). EOF or "quit" shuts the daemon down, rejecting
+//       anything still queued with outcome=rejected-shutdown.
+//
 // Every failure path exits non-zero and prints the structured error as
 // "error [<code>]: <context-chained message>".
 //
@@ -59,6 +68,7 @@
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
+#include "model/serve_daemon.h"
 #include "model/serving.h"
 #include "model/trainer.h"
 #include "support/io.h"
@@ -566,14 +576,27 @@ void printResponse(const model::ServeResponse &Response) {
 
 void printStats(const model::ServingStats &Stats) {
   std::printf("summary submitted=%llu answered=%llu beam=%llu greedy=%llu "
-              "baseline=%llu rejected=%llu decode-steps=%llu\n",
+              "baseline=%llu cached=%llu rejected=%llu decode-steps=%llu\n",
               static_cast<unsigned long long>(Stats.Submitted),
               static_cast<unsigned long long>(Stats.Answered),
               static_cast<unsigned long long>(Stats.BeamAnswers),
               static_cast<unsigned long long>(Stats.GreedyAnswers),
               static_cast<unsigned long long>(Stats.BaselineAnswers),
+              static_cast<unsigned long long>(Stats.CachedAnswers),
               static_cast<unsigned long long>(Stats.Rejected),
               static_cast<unsigned long long>(Stats.DecodeSteps));
+}
+
+void printCacheStats(const model::CacheStats &Stats) {
+  std::printf("cache hits=%llu misses=%llu insertions=%llu evictions=%llu "
+              "collisions=%llu bytes=%llu entries=%llu\n",
+              static_cast<unsigned long long>(Stats.Hits),
+              static_cast<unsigned long long>(Stats.Misses),
+              static_cast<unsigned long long>(Stats.Insertions),
+              static_cast<unsigned long long>(Stats.Evictions),
+              static_cast<unsigned long long>(Stats.Collisions),
+              static_cast<unsigned long long>(Stats.Bytes),
+              static_cast<unsigned long long>(Stats.Entries));
 }
 
 /// Parses the flags shared by predict-batch and serve. Returns false (after
@@ -693,18 +716,122 @@ static int commandPredictBatch(int argc, char **argv) {
   return Engine.stats().Answered == Total ? 0 : 1;
 }
 
+/// The sharded daemon REPL behind `snowwhite serve --daemon`: requests fan
+/// out over worker shards, duplicates answer from the signature-keyed
+/// prediction cache, and an optional "@tenant " line prefix routes quota
+/// accounting. One pump round per input line keeps it interactive.
+static int runServeDaemonRepl(const ServingDemo &Demo,
+                              model::DaemonOptions DaemonOpts,
+                              const std::string &MetricsOut,
+                              const std::string &TraceOut) {
+  model::ServeDaemon Daemon(*Demo.Trained.Model, *Demo.BoundTask, DaemonOpts);
+  std::fprintf(stderr,
+               "daemon ready — %zu worker(s), cache %s; one request per "
+               "line, optional \"@tenant \" prefix; \"quit\" or EOF shuts "
+               "down\n",
+               Daemon.numWorkers(), Daemon.cache() ? "on" : "off");
+  std::string Line;
+  uint64_t NextId = 0;
+  while (std::getline(std::cin, Line)) {
+    if (Line == "quit")
+      break;
+    model::DaemonRequest Request;
+    std::istringstream Tokens(Line);
+    std::string Token;
+    while (Tokens >> Token) {
+      if (Request.Request.InputTokens.empty() && Request.Tenant.empty() &&
+          Token.size() > 1 && Token[0] == '@') {
+        Request.Tenant = Token.substr(1);
+        continue;
+      }
+      Request.Request.InputTokens.push_back(Token);
+    }
+    if (Request.Request.InputTokens.empty())
+      continue;
+    Request.Request.Id = NextId++;
+    model::AdmitOutcome Admit = Daemon.submit(std::move(Request));
+    if (Admit != model::AdmitOutcome::Admitted) {
+      std::printf("req=%llu outcome=%s\n",
+                  static_cast<unsigned long long>(NextId - 1),
+                  model::admitOutcomeCode(Admit));
+      std::fflush(stdout);
+      continue;
+    }
+    for (const model::ServeResponse &Response : Daemon.pump())
+      printResponse(Response);
+    std::fflush(stdout);
+  }
+  for (const model::ServeResponse &Response : Daemon.shutdown())
+    printResponse(Response);
+  printStats(Daemon.engineTotals());
+  if (Daemon.cache())
+    printCacheStats(Daemon.cache()->totals());
+  if (!Daemon.checkStats()) {
+    printError(Error(ErrorCode::Malformed, "daemon stats are inconsistent"));
+    return 1;
+  }
+  if (!emitTelemetry(MetricsOut, TraceOut))
+    return 1;
+  return 0;
+}
+
 static int commandServe(int argc, char **argv) {
   const char *Usage =
-      "snowwhite serve [--fail-rate F] [--budget N] [--seed S] [--verbose] "
+      "snowwhite serve [--daemon] [--workers N] [--cache-bytes N] "
+      "[--tenant-capacity N] [--tenant-refill N] [--fail-rate F] "
+      "[--budget N] [--seed S] [--verbose] "
       "[--metrics-out F] [--trace-out F]";
+  // Daemon-specific flags are peeled off first; the remainder goes through
+  // the shared serving-flag parser.
+  bool Daemon = false;
+  size_t Workers = 2;
+  uint64_t CacheBytes = 8ull << 20;
+  uint64_t TenantCapacity = 0;
+  uint64_t TenantRefill = 0;
+  std::vector<char *> Rest;
+  for (int I = 0; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\nusage: %s\n", Flag, Usage);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--daemon") == 0) {
+      Daemon = true;
+    } else if (std::strcmp(argv[I], "--workers") == 0) {
+      const char *V = Value("--workers");
+      if (!V)
+        return 2;
+      Workers = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--cache-bytes") == 0) {
+      const char *V = Value("--cache-bytes");
+      if (!V)
+        return 2;
+      CacheBytes = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--tenant-capacity") == 0) {
+      const char *V = Value("--tenant-capacity");
+      if (!V)
+        return 2;
+      TenantCapacity = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--tenant-refill") == 0) {
+      const char *V = Value("--tenant-refill");
+      if (!V)
+        return 2;
+      TenantRefill = static_cast<uint64_t>(std::atoll(V));
+    } else {
+      Rest.push_back(argv[I]);
+    }
+  }
   double FailRate = 0.0;
   uint64_t Budget = 256;
   size_t QueueCap = 64;
   uint64_t Seed = 7;
   bool Verbose = false;
   std::string MetricsOut, TraceOut;
-  if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
-                         Verbose, nullptr, MetricsOut, TraceOut))
+  if (!parseServingFlags(static_cast<int>(Rest.size()), Rest.data(), Usage,
+                         FailRate, Budget, QueueCap, Seed, Verbose, nullptr,
+                         MetricsOut, TraceOut))
     return 2;
 
   ServingDemo Demo;
@@ -721,6 +848,22 @@ static int commandServe(int argc, char **argv) {
   Opts.QueueCapacity = QueueCap;
   if (FailRate > 0.0)
     Opts.Faults = &Faults;
+
+  if (Daemon) {
+    model::DaemonOptions DaemonOpts;
+    DaemonOpts.NumWorkers = Workers;
+    DaemonOpts.Serving = Opts;
+    // The shared fault injector is not thread-safe; honor it only for a
+    // single-worker daemon.
+    if (Workers > 1)
+      DaemonOpts.Serving.Faults = nullptr;
+    DaemonOpts.UseCache = CacheBytes > 0;
+    DaemonOpts.Cache.ByteBudget = CacheBytes;
+    DaemonOpts.TenantCapacity = TenantCapacity;
+    DaemonOpts.TenantRefill = TenantRefill;
+    return runServeDaemonRepl(Demo, DaemonOpts, MetricsOut, TraceOut);
+  }
+
   model::ServingEngine Engine(*Demo.Trained.Model, *Demo.BoundTask, Opts);
 
   std::fprintf(stderr, "ready — one request per line "
@@ -771,6 +914,8 @@ int main(int argc, char **argv) {
                  "[--budget N] [--queue N] [--seed S] [--metrics-out F]\n"
                  "  snowwhite serve [--fail-rate F] [--budget N] [--seed S] "
                  "[--metrics-out F]\n"
+                 "  snowwhite serve --daemon [--workers N] [--cache-bytes N] "
+                 "[--tenant-capacity N] [--tenant-refill N]\n"
                  "  snowwhite metrics [--check FILE]\n");
     return 2;
   }

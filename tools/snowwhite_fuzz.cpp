@@ -47,6 +47,14 @@
 //       increasing injected model-failure rates and print per-tier answer
 //       rates (answered must stay 100%).
 //
+//   snowwhite_fuzz --cache [iterations] [seed]
+//       Prediction-cache consistency fuzz: mutate real input-token
+//       sequences with the fault injector and replay each mutant twice
+//       through the sharded serve daemon. The second submission must hit
+//       the cache (tier=cached) and answer bit-identically to the first;
+//       daemon stats must balance after every pump and after a
+//       kill-during-load shutdown.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/analyzer.h"
@@ -54,6 +62,7 @@
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
+#include "model/serve_daemon.h"
 #include "model/serving.h"
 #include "model/task.h"
 #include "model/trainer.h"
@@ -575,6 +584,154 @@ int runServingTable(uint64_t Seed) {
   return 0;
 }
 
+/// Cache-consistency fuzz: mutate real input-token sequences with the fault
+/// injector, replay every mutant twice through the sharded daemon, and
+/// assert the hit path answers bit-identically to the miss path (tokens and
+/// log-probabilities). Daemon stats must stay consistent throughout, and a
+/// kill-during-load shutdown at the end must account for every queued
+/// request.
+int runCacheFuzz(uint64_t Iterations, uint64_t Seed) {
+  TinyTrainFixture Fixture = makeTinyFixture(Seed);
+  model::TrainResult Trained =
+      model::trainModel(*Fixture.BoundTask, Fixture.Options);
+
+  model::DaemonOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.Serving.TopK = 3;
+  Opts.Serving.DefaultStepBudget = 128;
+  Opts.Serving.QueueCapacity = 256;
+  model::ServeDaemon Daemon(*Trained.Model, *Fixture.BoundTask, Opts);
+
+  // Mutation bases: real sample inputs, so mutants stay near the token
+  // distribution the model was trained on.
+  std::vector<std::vector<std::string>> Bases;
+  for (const dataset::TypeSample &Sample : Fixture.Data.Samples) {
+    Bases.push_back(Sample.Input);
+    if (Bases.size() >= 24)
+      break;
+  }
+  if (Bases.empty()) {
+    std::fprintf(stderr, "FAIL: fixture produced no samples to mutate\n");
+    return 1;
+  }
+
+  auto SamePredictions = [](const std::vector<model::TypePrediction> &A,
+                            const std::vector<model::TypePrediction> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I].Tokens != B[I].Tokens ||
+          std::memcmp(&A[I].LogProb, &B[I].LogProb, sizeof(float)) != 0)
+        return false;
+    return true;
+  };
+
+  uint64_t NextId = 0, Replayed = 0;
+  Rng Pick(hashCombine(Seed, 0xcac4e));
+  for (uint64_t I = 0; I < Iterations; ++I) {
+    // Corrupt the joined byte form of a base sequence, then re-tokenize:
+    // the mutant is a plausible-but-novel request, and submitting it twice
+    // makes a guaranteed miss/hit pair (duplicates co-locate on one shard).
+    const std::vector<std::string> &Base =
+        Bases[Pick.nextBelow(Bases.size())];
+    std::string Joined;
+    for (const std::string &Tok : Base) {
+      if (!Joined.empty())
+        Joined.push_back(' ');
+      Joined += Tok;
+    }
+    fault::FaultConfig Config;
+    Config.Seed = hashCombine(Seed, I);
+    fault::FaultInjector Injector(Config);
+    std::vector<uint8_t> Bytes(Joined.begin(), Joined.end());
+    Injector.corrupt(Bytes);
+    std::istringstream Stream(std::string(Bytes.begin(), Bytes.end()));
+    model::DaemonRequest First;
+    std::string Tok;
+    while (Stream >> Tok)
+      First.Request.InputTokens.push_back(Tok);
+    if (First.Request.InputTokens.empty())
+      continue;
+
+    model::DaemonRequest Second;
+    Second.Request.InputTokens = First.Request.InputTokens;
+    First.Request.Id = NextId++;
+    if (Daemon.submit(std::move(First)) != model::AdmitOutcome::Admitted) {
+      std::fprintf(stderr, "FAIL: mutant %llu rejected at admission\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    std::vector<model::ServeResponse> Cold = Daemon.pump();
+    Second.Request.Id = NextId++;
+    if (Daemon.submit(std::move(Second)) != model::AdmitOutcome::Admitted) {
+      std::fprintf(stderr, "FAIL: replay %llu rejected at admission\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    std::vector<model::ServeResponse> Warm = Daemon.pump();
+    if (Cold.size() != 1 || Warm.size() != 1) {
+      std::fprintf(stderr, "FAIL: mutant %llu: expected 1+1 responses\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    if (Warm[0].Tier != model::PredictionTier::Cached) {
+      std::fprintf(stderr, "FAIL: mutant %llu replay missed the cache\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    if (!SamePredictions(Cold[0].Predictions, Warm[0].Predictions)) {
+      std::fprintf(stderr,
+                   "FAIL: mutant %llu hit path differs from miss path\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    if (!Daemon.checkStats()) {
+      std::fprintf(stderr, "FAIL: stats inconsistent after mutant %llu\n",
+                   static_cast<unsigned long long>(I));
+      return 1;
+    }
+    ++Replayed;
+  }
+
+  // Kill-during-load: leave a few admitted requests unprocessed, then shut
+  // down. Every victim must get a rejected-shutdown response and the books
+  // must balance exactly (no queue term left).
+  uint64_t Queued = 0;
+  for (size_t K = 0; K < 5 && K < Bases.size(); ++K) {
+    model::DaemonRequest Request;
+    Request.Request.Id = NextId++;
+    Request.Request.InputTokens = Bases[K];
+    if (Daemon.submit(std::move(Request)) == model::AdmitOutcome::Admitted)
+      ++Queued;
+  }
+  std::vector<model::ServeResponse> Victims = Daemon.shutdown();
+  model::ServingStats Totals = Daemon.engineTotals();
+  if (Victims.size() != Queued || !Daemon.checkStats() ||
+      Totals.Submitted != Totals.Rejected + Totals.Answered) {
+    std::fprintf(stderr, "FAIL: shutdown accounting broken (%zu victims, "
+                         "%llu queued)\n",
+                 Victims.size(), static_cast<unsigned long long>(Queued));
+    return 1;
+  }
+  for (const model::ServeResponse &Victim : Victims)
+    if (Victim.Outcome != model::ServeOutcome::RejectedShutdown) {
+      std::fprintf(stderr, "FAIL: shutdown victim has wrong outcome\n");
+      return 1;
+    }
+
+  model::CacheStats Cache = Daemon.cache()->totals();
+  std::printf("cache fuzz: %llu mutant pairs replayed, hits=%llu "
+              "misses=%llu collisions=%llu evictions=%llu, shutdown "
+              "rejected %zu queued request(s): OK\n",
+              static_cast<unsigned long long>(Replayed),
+              static_cast<unsigned long long>(Cache.Hits),
+              static_cast<unsigned long long>(Cache.Misses),
+              static_cast<unsigned long long>(Cache.Collisions),
+              static_cast<unsigned long long>(Cache.Evictions),
+              Victims.size());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -601,6 +758,12 @@ int main(int argc, char **argv) {
   if (argc > 1 && std::strcmp(argv[1], "--serving-table") == 0) {
     uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
     return runServingTable(Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--cache") == 0) {
+    uint64_t Iterations =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 60;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runCacheFuzz(Iterations, Seed);
   }
   uint64_t Iterations =
       argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 10000;
