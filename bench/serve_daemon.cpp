@@ -11,7 +11,12 @@
 //           both a cold daemon (compute path) and the warmed daemon (hit
 //           path), reported as p50/p99.
 //
-// Prints a markdown table for EXPERIMENTS.md. Deterministic workload; wall
+// A second section measures crash-safe serving: snapshot save/load latency,
+// the cache hit rate of a daemon restarted from its snapshot, and
+// shed-vs-answered rates when the stream bursts against a small per-shard
+// cost budget.
+//
+// Prints markdown tables for EXPERIMENTS.md. Deterministic workload; wall
 // times vary run to run like every timing measurement in bench/.
 //
 //===----------------------------------------------------------------------===//
@@ -23,7 +28,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 using namespace snowwhite;
@@ -97,7 +104,8 @@ uint64_t runPass(model::ServeDaemon &Daemon,
     model::DaemonRequest Request;
     Request.Request.Id = NextId++;
     Request.Request.InputTokens = Input;
-    if (Daemon.submit(std::move(Request)) != model::AdmitOutcome::Admitted) {
+    if (Daemon.submit(std::move(Request)).Outcome !=
+        model::AdmitOutcome::Admitted) {
       Daemon.pump();
       InFlight = 0;
       model::DaemonRequest Retry;
@@ -233,5 +241,107 @@ int main() {
                  static_cast<unsigned long long>(Cache.Entries),
                  static_cast<unsigned long long>(Cache.Bytes));
   }
+
+  // --- Crash-safe serving: snapshot latency, warm-restart hit rate, and
+  // overload shed-vs-answered rates (ISSUE 7 rows for EXPERIMENTS.md) -----
+  ThreadPool::resetGlobal(2);
+  std::string SnapshotPath =
+      (std::filesystem::temp_directory_path() / "snowwhite_bench.snapshot")
+          .string();
+  std::filesystem::remove(SnapshotPath);
+
+  model::DaemonOptions CrashOpts = daemonOptions(2, 128);
+  CrashOpts.SnapshotPath = SnapshotPath;
+  model::ServeDaemon Original(*Setup.Model, *Setup.TaskPtr, CrashOpts);
+  uint64_t CrashId = 0;
+  runPass(Original, Stream, CrashId); // Warm the cache with every unique.
+  uint64_t Entries = Original.cache()->totals().Entries;
+
+  uint64_t SaveStart = telemetry::nowNs();
+  if (Original.saveSnapshotNow().isErr()) {
+    std::fprintf(stderr, "error: snapshot save failed\n");
+    return 1;
+  }
+  uint64_t SaveNs = telemetry::nowNs() - SaveStart;
+  Original.shutdown();
+
+  // "Restart": a fresh daemon loads the snapshot, then serves the same
+  // stream. Every request should hit the reloaded cache.
+  model::ServeDaemon Restarted(*Setup.Model, *Setup.TaskPtr, CrashOpts);
+  uint64_t LoadStart = telemetry::nowNs();
+  Result<model::SnapshotLoadReport> Loaded = Restarted.loadSnapshotNow();
+  uint64_t LoadNs = telemetry::nowNs() - LoadStart;
+  if (Loaded.isErr()) {
+    std::fprintf(stderr, "error: snapshot load failed\n");
+    return 1;
+  }
+  uint64_t RestartId = 0;
+  uint64_t RestartWall = runPass(Restarted, Stream, RestartId);
+  model::CacheStats RestartCache = Restarted.cache()->totals();
+  double HitRate = Stream.empty()
+                       ? 0.0
+                       : 100.0 * static_cast<double>(RestartCache.Hits) /
+                             static_cast<double>(Stream.size());
+  Restarted.shutdown();
+  std::filesystem::remove(SnapshotPath);
+
+  // Synthetic overload: submit the whole stream in one burst against a
+  // small per-shard cost budget, pumping only when admission sheds; count
+  // what was shed vs. answered.
+  model::DaemonOptions OverloadOpts = daemonOptions(2, 4096);
+  OverloadOpts.ShardCostBudget = 8 * OverloadOpts.Serving.DefaultStepBudget;
+  model::ServeDaemon Overloaded(*Setup.Model, *Setup.TaskPtr, OverloadOpts);
+  uint64_t OverloadId = 0, Shed = 0, RetryRoundsHinted = 0;
+  uint64_t OverloadStart = telemetry::nowNs();
+  for (const std::vector<std::string> &Input : Stream) {
+    model::DaemonRequest Request;
+    Request.Request.Id = OverloadId++;
+    Request.Request.InputTokens = Input;
+    model::AdmitResult Admit = Overloaded.submit(std::move(Request));
+    if (Admit.Outcome == model::AdmitOutcome::RejectedOverload) {
+      ++Shed;
+      RetryRoundsHinted += Admit.RetryAfterRounds;
+      Overloaded.pump(); // The shed client's backoff round.
+    }
+  }
+  Overloaded.pump();
+  uint64_t OverloadWall = telemetry::nowNs() - OverloadStart;
+  model::ServingStats OverloadTotals = Overloaded.engineTotals();
+  Overloaded.shutdown();
+  if (!Overloaded.checkStats()) {
+    std::fprintf(stderr, "error: overload daemon stats inconsistent\n");
+    return 1;
+  }
+
+  std::printf("\nCrash-safe serving (2 workers):\n\n");
+  std::printf("| metric | value |\n");
+  std::printf("|--------|-------|\n");
+  std::printf("| snapshot save (%llu entries) | %.2f ms |\n",
+              static_cast<unsigned long long>(Entries),
+              static_cast<double>(SaveNs) / 1e6);
+  std::printf("| snapshot load (%llu entries, %llu/%llu segments) | "
+              "%.2f ms |\n",
+              static_cast<unsigned long long>(Loaded->EntriesLoaded),
+              static_cast<unsigned long long>(Loaded->SegmentsLoaded),
+              static_cast<unsigned long long>(Loaded->SegmentsTotal),
+              static_cast<double>(LoadNs) / 1e6);
+  std::printf("| warm-restart pass (%zu requests) | %.1f ms, %.1f%% cache "
+              "hits |\n",
+              Stream.size(), static_cast<double>(RestartWall) / 1e6,
+              HitRate);
+  std::printf("| overload burst (%zu requests, cost budget %llu) | "
+              "shed %llu (%.1f%%), answered %llu, mean retry-after %.1f "
+              "rounds, %.1f ms |\n",
+              Stream.size(),
+              static_cast<unsigned long long>(OverloadOpts.ShardCostBudget),
+              static_cast<unsigned long long>(Shed),
+              Stream.empty() ? 0.0
+                             : 100.0 * static_cast<double>(Shed) /
+                                   static_cast<double>(Stream.size()),
+              static_cast<unsigned long long>(OverloadTotals.Answered),
+              Shed == 0 ? 0.0
+                        : static_cast<double>(RetryRoundsHinted) /
+                              static_cast<double>(Shed),
+              static_cast<double>(OverloadWall) / 1e6);
   return 0;
 }

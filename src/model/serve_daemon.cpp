@@ -2,11 +2,13 @@
 
 #include "analysis/evidence.h"
 #include "support/hash.h"
+#include "support/io.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace snowwhite {
 namespace model {
@@ -68,6 +70,26 @@ uint64_t PredictionCache::entryBytes(const std::string &Key,
   return Bytes;
 }
 
+bool PredictionCache::shardConsistent(const Shard &S) {
+  uint64_t Bytes = 0;
+  uint64_t Entries = 0;
+  for (const auto &[Hash, Bucket] : S.Buckets)
+    for (const Entry &E : Bucket) {
+      Bytes += E.Bytes;
+      ++Entries;
+    }
+  return Bytes == S.Stats.Bytes && Entries == S.Stats.Entries;
+}
+
+bool PredictionCache::checkStats() const {
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    if (!shardConsistent(*S))
+      return false;
+  }
+  return true;
+}
+
 std::optional<CachedPrediction> PredictionCache::find(uint64_t Hash,
                                                       std::string_view Key) {
   Shard &S = *Shards[Hash % Shards.size()];
@@ -120,6 +142,33 @@ void PredictionCache::insert(uint64_t Hash, std::string Key,
   }
   Bucket.push_back(std::move(E));
   evictOverBudget(S);
+  assert(shardConsistent(S) && "cache counters diverged after insert");
+}
+
+void PredictionCache::restoreEntry(std::string Key, CachedPrediction Value) {
+  // Shard by the current configuration, not the snapshot's: a snapshot
+  // taken at a different NumShards still lands every entry on the shard
+  // find() will consult.
+  uint64_t Hash = hashString(Key);
+  Shard &S = *Shards[Hash % Shards.size()];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::vector<Entry> &Bucket = S.Buckets[Hash];
+  for (Entry &E : Bucket) {
+    if (E.Key == Key) {
+      E.LastUse = ++S.Clock;
+      return;
+    }
+  }
+  Entry E;
+  E.Bytes = entryBytes(Key, Value);
+  E.Key = std::move(Key);
+  E.Value = std::move(Value);
+  E.LastUse = ++S.Clock;
+  S.Stats.Bytes += E.Bytes;
+  ++S.Stats.Entries;
+  Bucket.push_back(std::move(E));
+  evictOverBudget(S);
+  assert(shardConsistent(S) && "cache counters diverged after restore");
 }
 
 void PredictionCache::evictOverBudget(Shard &S) {
@@ -151,6 +200,7 @@ void PredictionCache::evictOverBudget(Shard &S) {
     if (Bucket.empty())
       S.Buckets.erase(VictimBucket);
   }
+  assert(shardConsistent(S) && "cache counters diverged after eviction");
 }
 
 CacheStats PredictionCache::shardStats(size_t ShardIndex) const {
@@ -191,6 +241,278 @@ void PredictionCache::publishGauges() const {
 }
 
 //===----------------------------------------------------------------------===//
+// Snapshot serialization
+//
+// Layout (all integers u64 little-endian, mirroring the checkpoint format):
+//
+//   Magic  Version  NumSegments
+//   per segment: PayloadLen  Checksum(FNV-1a over payload)  payload
+//   payload: EntryCount, then entries oldest-LRU-first:
+//     KeyLen key  ComputedBy  NumPredictions
+//     per prediction: LogProbBits(float bits)  NumTokens  (TokLen tok)*
+//
+// Each segment carries its own checksum so one shard's bit rot quarantines
+// one segment, not the whole snapshot.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// "SNOWCSH1" little-endian; distinct from the model/checkpoint magics so a
+// snapshot can never be mistaken for either.
+constexpr uint64_t SnapshotMagic = 0x31485343574f4e53ULL;
+// Hard cap on any single length field. Well over any real key or token, so
+// only a corrupt or hostile length trips it — before it becomes an
+// allocation bomb.
+constexpr uint64_t MaxSnapshotFieldBytes = 1ull << 24;
+
+void appendU64(std::vector<uint8_t> &Out, uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>((Value >> (8 * I)) & 0xff));
+}
+
+void appendBytes(std::vector<uint8_t> &Out, std::string_view Text) {
+  appendU64(Out, Text.size());
+  Out.insert(Out.end(), Text.begin(), Text.end());
+}
+
+/// Bounds-checked little-endian reader over a byte span.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t remaining() const { return Size - Pos; }
+
+  bool readU64(uint64_t &Value) {
+    if (remaining() < 8)
+      return false;
+    Value = 0;
+    for (int I = 0; I < 8; ++I)
+      Value |= static_cast<uint64_t>(Data[Pos + static_cast<size_t>(I)])
+               << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool readString(std::string &Out, Error &Err) {
+    uint64_t Len = 0;
+    if (!readU64(Len)) {
+      Err = Error(ErrorCode::Truncated, "length field truncated");
+      return false;
+    }
+    if (Len > MaxSnapshotFieldBytes) {
+      Err = Error(ErrorCode::LimitExceeded,
+                  "field of " + std::to_string(Len) + " bytes exceeds cap");
+      return false;
+    }
+    if (Len > remaining()) {
+      Err = Error(ErrorCode::Truncated, "field overruns its segment");
+      return false;
+    }
+    Out.assign(reinterpret_cast<const char *>(Data + Pos),
+               static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+
+  void skip(size_t N) { Pos += std::min(N, remaining()); }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+struct StagedEntry {
+  std::string Key;
+  CachedPrediction Value;
+};
+
+/// Parses one segment payload into Staged. All-or-nothing: any failure
+/// leaves Staged untouched and reports the taxonomy code, so a half-parsed
+/// segment never leaks partial entries into the cache.
+Result<void> parseSegment(const uint8_t *Data, size_t Size,
+                          std::vector<StagedEntry> &Staged) {
+  ByteReader R(Data, Size);
+  std::vector<StagedEntry> Local;
+  uint64_t EntryCount = 0;
+  if (!R.readU64(EntryCount))
+    return Error(ErrorCode::Truncated, "entry count truncated");
+  if (EntryCount > MaxSnapshotFieldBytes)
+    return Error(ErrorCode::LimitExceeded, "entry count exceeds cap");
+  for (uint64_t E = 0; E < EntryCount; ++E) {
+    StagedEntry Entry;
+    Error Err(ErrorCode::Unknown, "");
+    if (!R.readString(Entry.Key, Err))
+      return Err;
+    uint64_t ComputedBy = 0;
+    if (!R.readU64(ComputedBy))
+      return Error(ErrorCode::Truncated, "tier field truncated");
+    if (ComputedBy > static_cast<uint64_t>(PredictionTier::Cached))
+      return Error(ErrorCode::Malformed,
+                   "unknown prediction tier " + std::to_string(ComputedBy));
+    Entry.Value.ComputedBy = static_cast<PredictionTier>(ComputedBy);
+    uint64_t NumPredictions = 0;
+    if (!R.readU64(NumPredictions))
+      return Error(ErrorCode::Truncated, "prediction count truncated");
+    if (NumPredictions > MaxSnapshotFieldBytes)
+      return Error(ErrorCode::LimitExceeded, "prediction count exceeds cap");
+    for (uint64_t P = 0; P < NumPredictions; ++P) {
+      TypePrediction Pred;
+      uint64_t LogProbBits = 0;
+      if (!R.readU64(LogProbBits))
+        return Error(ErrorCode::Truncated, "log-prob field truncated");
+      uint32_t Bits32 = static_cast<uint32_t>(LogProbBits);
+      std::memcpy(&Pred.LogProb, &Bits32, sizeof(Pred.LogProb));
+      uint64_t NumTokens = 0;
+      if (!R.readU64(NumTokens))
+        return Error(ErrorCode::Truncated, "token count truncated");
+      if (NumTokens > MaxSnapshotFieldBytes)
+        return Error(ErrorCode::LimitExceeded, "token count exceeds cap");
+      Pred.Tokens.reserve(static_cast<size_t>(NumTokens));
+      for (uint64_t T = 0; T < NumTokens; ++T) {
+        std::string Tok;
+        if (!R.readString(Tok, Err))
+          return Err;
+        Pred.Tokens.push_back(std::move(Tok));
+      }
+      Entry.Value.Predictions.push_back(std::move(Pred));
+    }
+    Local.push_back(std::move(Entry));
+  }
+  Staged = std::move(Local);
+  return {};
+}
+
+} // namespace
+
+std::vector<uint8_t> PredictionCache::serializeSnapshot() const {
+  std::vector<uint8_t> Out;
+  appendU64(Out, SnapshotMagic);
+  appendU64(Out, SnapshotVersion);
+  appendU64(Out, Shards.size());
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    // Oldest-LRU-first, so restoreEntry() replays recency in file order and
+    // a budget-constrained load evicts exactly what the live cache would
+    // have evicted next.
+    std::vector<const Entry *> Ordered;
+    Ordered.reserve(S->Stats.Entries);
+    for (const auto &[Hash, Bucket] : S->Buckets)
+      for (const Entry &E : Bucket)
+        Ordered.push_back(&E);
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const Entry *A, const Entry *B) {
+                return A->LastUse < B->LastUse;
+              });
+    std::vector<uint8_t> Payload;
+    appendU64(Payload, Ordered.size());
+    for (const Entry *E : Ordered) {
+      appendBytes(Payload, E->Key);
+      appendU64(Payload, static_cast<uint64_t>(E->Value.ComputedBy));
+      appendU64(Payload, E->Value.Predictions.size());
+      for (const TypePrediction &P : E->Value.Predictions) {
+        uint32_t Bits32 = 0;
+        std::memcpy(&Bits32, &P.LogProb, sizeof(Bits32));
+        appendU64(Payload, Bits32);
+        appendU64(Payload, P.Tokens.size());
+        for (const std::string &Tok : P.Tokens)
+          appendBytes(Payload, Tok);
+      }
+    }
+    appendU64(Out, Payload.size());
+    appendU64(Out, hashVector(Payload));
+    Out.insert(Out.end(), Payload.begin(), Payload.end());
+  }
+  return Out;
+}
+
+Result<void> PredictionCache::saveSnapshot(
+    const std::string &Path, fault::FaultInjector *Faults,
+    const fault::RetryPolicy &Policy) const {
+  telemetry::ScopedPhase Phase("serve_cache.snapshot.save");
+  std::vector<uint8_t> Bytes = serializeSnapshot();
+  telemetry::histogram("serve_cache.snapshot.bytes").record(Bytes.size());
+  Result<void> Written = io::writeFileAtomic(Path, Bytes, Faults, Policy);
+  if (Written.isOk())
+    telemetry::counter("serve_cache.snapshot.saves").add();
+  else
+    telemetry::counter("serve_cache.snapshot.save_failures").add();
+  return Written.withContext("cache snapshot '" + Path + "'");
+}
+
+Result<SnapshotLoadReport>
+PredictionCache::loadSnapshot(const std::string &Path,
+                              fault::FaultInjector *Faults) {
+  telemetry::ScopedPhase Phase("serve_cache.snapshot.load");
+  Result<std::vector<uint8_t>> Read = io::readFileBytes(Path, Faults);
+  if (Read.isErr())
+    return Read.error().withContext("cache snapshot '" + Path + "'");
+  std::vector<uint8_t> Bytes = Read.take();
+  ByteReader Header(Bytes.data(), Bytes.size());
+  uint64_t Magic = 0, Version = 0, NumSegments = 0;
+  if (!Header.readU64(Magic) || !Header.readU64(Version) ||
+      !Header.readU64(NumSegments))
+    return Error(ErrorCode::Truncated,
+                 "cache snapshot '" + Path + "': header truncated");
+  if (Magic != SnapshotMagic)
+    return Error(ErrorCode::Malformed,
+                 "cache snapshot '" + Path + "': bad magic");
+  if (Version != SnapshotVersion)
+    return Error(ErrorCode::Unsupported,
+                 "cache snapshot '" + Path + "': version " +
+                     std::to_string(Version) + " (expected " +
+                     std::to_string(SnapshotVersion) + ")");
+  // A hostile segment count would otherwise dominate the quarantine
+  // accounting (and its telemetry) with quadrillions of phantom segments.
+  if (NumSegments > MaxSnapshotFieldBytes)
+    return Error(ErrorCode::LimitExceeded,
+                 "cache snapshot '" + Path + "': segment count " +
+                     std::to_string(NumSegments) + " exceeds cap");
+  SnapshotLoadReport Report;
+  Report.SegmentsTotal = NumSegments;
+  size_t Cursor = 24; // Past the header.
+  auto Quarantine = [&](ErrorCode Code, uint64_t Count) {
+    Report.SegmentsQuarantined += Count;
+    Report.QuarantinedByCode[Code] += Count;
+    telemetry::counter("serve_cache.snapshot.quarantined").add(Count);
+  };
+  for (uint64_t Seg = 0; Seg < NumSegments; ++Seg) {
+    ByteReader R(Bytes.data() + Cursor, Bytes.size() - Cursor);
+    uint64_t PayloadLen = 0, Checksum = 0;
+    if (!R.readU64(PayloadLen) || !R.readU64(Checksum) ||
+        PayloadLen > R.remaining()) {
+      // The file ends before this segment does; everything from here on is
+      // unrecoverable, so quarantine the rest in one stroke.
+      Quarantine(ErrorCode::Truncated, NumSegments - Seg);
+      break;
+    }
+    const uint8_t *Payload = Bytes.data() + Cursor + 16;
+    Cursor += 16 + static_cast<size_t>(PayloadLen);
+    if (hashBytes(Payload, static_cast<size_t>(PayloadLen)) != Checksum) {
+      // The length framing held, so later segments are still addressable:
+      // skip just this one.
+      Quarantine(ErrorCode::ChecksumMismatch, 1);
+      continue;
+    }
+    std::vector<StagedEntry> Staged;
+    Result<void> Parsed =
+        parseSegment(Payload, static_cast<size_t>(PayloadLen), Staged);
+    if (Parsed.isErr()) {
+      Quarantine(Parsed.error().code(), 1);
+      continue;
+    }
+    for (StagedEntry &E : Staged)
+      restoreEntry(std::move(E.Key), std::move(E.Value));
+    ++Report.SegmentsLoaded;
+    Report.EntriesLoaded += Staged.size();
+  }
+  telemetry::counter("serve_cache.snapshot.loads").add();
+  telemetry::counter("serve_cache.snapshot.entries_loaded")
+      .add(Report.EntriesLoaded);
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
 // ServeDaemon
 //===----------------------------------------------------------------------===//
 
@@ -204,21 +526,59 @@ const char *admitOutcomeCode(AdmitOutcome Outcome) {
     return "rejected-queue-full";
   case AdmitOutcome::RejectedShutdown:
     return "rejected-shutdown";
+  case AdmitOutcome::RejectedOverload:
+    return "rejected-overload";
+  case AdmitOutcome::RejectedPoisoned:
+    return "rejected-poisoned";
   }
   return "?";
 }
 
+namespace {
+
+void accumulateStats(ServingStats &Total, const ServingStats &S) {
+  Total.Submitted += S.Submitted;
+  Total.Rejected += S.Rejected;
+  Total.RejectedQueueFull += S.RejectedQueueFull;
+  Total.RejectedShutdown += S.RejectedShutdown;
+  Total.Answered += S.Answered;
+  Total.BeamAnswers += S.BeamAnswers;
+  Total.GreedyAnswers += S.GreedyAnswers;
+  Total.BaselineAnswers += S.BaselineAnswers;
+  Total.CachedAnswers += S.CachedAnswers;
+  Total.DecodeSteps += S.DecodeSteps;
+  Total.GatedCandidates += S.GatedCandidates;
+  Total.GateDegradations += S.GateDegradations;
+  Total.BudgetExhaustions += S.BudgetExhaustions;
+}
+
+} // namespace
+
 ServeDaemon::ServeDaemon(nn::Seq2SeqModel &Model, const Task &BoundTask,
                          const DaemonOptions &Opts)
-    : Options(Opts) {
+    : Model(Model), BoundTask(BoundTask), Options(Opts) {
   Options.NumWorkers = std::max<size_t>(1, Options.NumWorkers);
   if (Options.UseCache)
     Cache = std::make_unique<PredictionCache>(Options.Cache);
-  ServingOptions PerWorker = Options.Serving;
-  PerWorker.Cache = Cache.get();
-  for (size_t I = 0; I < Options.NumWorkers; ++I)
+  if (Options.WorkerFaults) {
+    // One injector per worker, each with an independent deterministic
+    // stream: safe at any NumWorkers, and a restarted shard keeps its
+    // injector so the fault schedule survives the restart.
+    for (size_t I = 0; I < Options.NumWorkers; ++I) {
+      fault::FaultConfig Cfg = *Options.WorkerFaults;
+      Cfg.Seed = hashCombine(Cfg.Seed, I);
+      WorkerInjectors.push_back(std::make_unique<fault::FaultInjector>(Cfg));
+    }
+  }
+  for (size_t I = 0; I < Options.NumWorkers; ++I) {
+    ServingOptions PerWorker = Options.Serving;
+    PerWorker.Cache = Cache.get();
+    if (I < WorkerInjectors.size())
+      PerWorker.Faults = WorkerInjectors[I].get();
     Engines.push_back(
         std::make_unique<ServingEngine>(Model, BoundTask, PerWorker));
+  }
+  PendingCost.assign(Options.NumWorkers, 0);
 }
 
 size_t ServeDaemon::shardOf(const ServeRequest &Request) const {
@@ -231,10 +591,53 @@ size_t ServeDaemon::shardOf(const ServeRequest &Request) const {
   return static_cast<size_t>(Hash % Engines.size());
 }
 
-AdmitOutcome ServeDaemon::submit(DaemonRequest Request) {
+std::string ServeDaemon::requestSignature(const ServeRequest &Request) {
+  std::string Sig;
+  for (const std::string &Tok : Request.InputTokens) {
+    Sig += std::to_string(Tok.size());
+    Sig.push_back(':');
+    Sig += Tok;
+    Sig.push_back(' ');
+  }
+  return Sig;
+}
+
+uint64_t ServeDaemon::effectiveCost(const ServeRequest &Request) const {
+  uint64_t Budget = Request.StepBudget != 0 ? Request.StepBudget
+                                            : Options.Serving.DefaultStepBudget;
+  // A zero-budget request still occupies a queue slot and a drain turn.
+  return std::max<uint64_t>(1, Budget);
+}
+
+AdmitResult ServeDaemon::submit(DaemonRequest Request) {
   ++Stats.Submitted;
   telemetry::counter("daemon.submitted").add();
   size_t Shard = shardOf(Request.Request);
+  std::string Signature;
+  bool TrackPoison = !Stopped && Options.PoisonStrikeLimit > 0;
+  if (TrackPoison) {
+    Signature = requestSignature(Request.Request);
+    if (Denylist.count(Signature) > 0) {
+      ++Stats.RejectedPoisoned;
+      telemetry::counter("daemon.rejected.poisoned").add();
+      return {AdmitOutcome::RejectedPoisoned, 0};
+    }
+  }
+  // Overload shedding before the quota check: a shed request should not
+  // burn a tenant token it never got to use.
+  uint64_t Cost = effectiveCost(Request.Request);
+  if (!Stopped && Options.ShardCostBudget > 0 &&
+      PendingCost[Shard] + Cost > Options.ShardCostBudget) {
+    ++Stats.RejectedOverload;
+    telemetry::counter("daemon.rejected.overload").add();
+    // Each pump round drains the shard's whole queue, so the backlog
+    // clears at ShardCostBudget per round (virtual time): hint the round
+    // count after which this request's cost fits.
+    uint64_t RetryAfter = (PendingCost[Shard] + Cost +
+                           Options.ShardCostBudget - 1) /
+                          Options.ShardCostBudget;
+    return {AdmitOutcome::RejectedOverload, RetryAfter};
+  }
   if (!Stopped && Options.TenantCapacity > 0) {
     auto [It, IsNew] = Tenants.try_emplace(Request.Tenant);
     if (IsNew)
@@ -242,14 +645,19 @@ AdmitOutcome ServeDaemon::submit(DaemonRequest Request) {
     if (It->second.Tokens == 0) {
       ++Stats.RejectedQuota;
       telemetry::counter("daemon.rejected.quota").add();
-      return AdmitOutcome::RejectedQuota;
+      return {AdmitOutcome::RejectedQuota, 0};
     }
     --It->second.Tokens;
   }
+  uint64_t Id = Request.Request.Id;
   if (!Engines[Shard]->submit(std::move(Request.Request)))
-    return Engines[Shard]->stopped() ? AdmitOutcome::RejectedShutdown
-                                     : AdmitOutcome::RejectedQueueFull;
-  return AdmitOutcome::Admitted;
+    return {Engines[Shard]->stopped() ? AdmitOutcome::RejectedShutdown
+                                      : AdmitOutcome::RejectedQueueFull,
+            0};
+  PendingCost[Shard] += Cost;
+  if (TrackPoison)
+    PendingSignatures[Id] = {std::move(Signature), Shard};
+  return {AdmitOutcome::Admitted, 0};
 }
 
 std::vector<ServeResponse> ServeDaemon::pump() {
@@ -261,6 +669,9 @@ std::vector<ServeResponse> ServeDaemon::pump() {
   ThreadPool::global().parallelTasks(Engines.size(), [&](size_t Shard) {
     PerShard[Shard] = Engines[Shard]->drain();
   });
+  // drain() processes everything queued, so the pending cost resets; new
+  // submissions start the next round's backlog from zero.
+  std::fill(PendingCost.begin(), PendingCost.end(), 0);
   size_t Total = 0;
   for (const std::vector<ServeResponse> &Responses : PerShard)
     Total += Responses.size();
@@ -273,12 +684,29 @@ std::vector<ServeResponse> ServeDaemon::pump() {
                    [](const ServeResponse &A, const ServeResponse &B) {
                      return A.Id < B.Id;
                    });
+  // Poison watchdog: attribute Suspect answers to their signatures, then
+  // apply the strikes (strikes can restart engines, so they run after the
+  // parallel drain is fully done).
+  if (Options.PoisonStrikeLimit > 0 && !PendingSignatures.empty()) {
+    std::vector<std::pair<std::string, size_t>> Struck;
+    for (const ServeResponse &Response : Out) {
+      auto It = PendingSignatures.find(Response.Id);
+      if (It == PendingSignatures.end())
+        continue;
+      if (Response.Suspect)
+        Struck.push_back(It->second);
+      PendingSignatures.erase(It);
+    }
+    for (auto &[Signature, Shard] : Struck)
+      strikeSignature(Signature, Shard);
+  }
   // Virtual-time quota refill: one refill per pump round, never wall clock,
   // so admission decisions replay identically run to run.
   if (Options.TenantCapacity > 0 && Options.TenantRefill > 0)
     for (auto &[Name, Bucket] : Tenants)
       Bucket.Tokens = std::min(Options.TenantCapacity,
                                Bucket.Tokens + Options.TenantRefill);
+  maybeSnapshotOnCadence();
   if (Cache)
     Cache->publishGauges();
   for (size_t I = 0; I < Engines.size(); ++I)
@@ -287,7 +715,78 @@ std::vector<ServeResponse> ServeDaemon::pump() {
   return Out;
 }
 
+void ServeDaemon::strikeSignature(const std::string &Signature, size_t Shard) {
+  size_t Count = ++Strikes[Signature];
+  ++Stats.WatchdogStrikes;
+  telemetry::counter("daemon.watchdog.strikes").add();
+  if (Count < Options.PoisonStrikeLimit || Denylist.count(Signature) > 0)
+    return;
+  Denylist.insert(Signature);
+  telemetry::counter("daemon.denylisted").add();
+  restartShard(Shard);
+}
+
+void ServeDaemon::restartShard(size_t Shard) {
+  // Archive the old engine's stats first so engineTotals() and the
+  // admission identity keep counting every request it ever saw. Shutting
+  // it down converts anything still queued (there should be nothing after
+  // a drain) into accounted RejectedShutdown outcomes rather than losing
+  // them.
+  Engines[Shard]->shutdown();
+  accumulateStats(ArchivedStats, Engines[Shard]->stats());
+  ServingOptions PerWorker = Options.Serving;
+  PerWorker.Cache = Cache.get();
+  if (Shard < WorkerInjectors.size())
+    PerWorker.Faults = WorkerInjectors[Shard].get();
+  Engines[Shard] =
+      std::make_unique<ServingEngine>(Model, BoundTask, PerWorker);
+  PendingCost[Shard] = 0;
+  ++Stats.ShardRestarts;
+  telemetry::counter("daemon.shard_restarts").add();
+}
+
+void ServeDaemon::maybeSnapshotOnCadence() {
+  if (!Cache || Options.SnapshotPath.empty() ||
+      Options.SnapshotEveryInsertions == 0)
+    return;
+  uint64_t Insertions = Cache->totals().Insertions;
+  if (Insertions - LastSnapshotInsertions < Options.SnapshotEveryInsertions)
+    return;
+  LastSnapshotInsertions = Insertions;
+  // Failures are recorded (telemetry + health report), not fatal: the
+  // daemon keeps serving and retries at the next cadence point.
+  (void)saveSnapshotNow();
+}
+
+Result<void> ServeDaemon::saveSnapshotNow() {
+  if (!Cache)
+    return Error(ErrorCode::Unsupported, "daemon has no prediction cache");
+  if (Options.SnapshotPath.empty())
+    return Error(ErrorCode::Unsupported, "no snapshot path configured");
+  Result<void> Saved = Cache->saveSnapshot(Options.SnapshotPath);
+  LastSaveOk = Saved.isOk();
+  if (Saved.isOk())
+    ++Stats.SnapshotSaves;
+  return Saved;
+}
+
+Result<SnapshotLoadReport> ServeDaemon::loadSnapshotNow() {
+  if (!Cache)
+    return Error(ErrorCode::Unsupported, "daemon has no prediction cache");
+  if (Options.SnapshotPath.empty())
+    return Error(ErrorCode::Unsupported, "no snapshot path configured");
+  Result<SnapshotLoadReport> Loaded = Cache->loadSnapshot(Options.SnapshotPath);
+  if (Loaded.isOk()) {
+    LastLoad = Loaded.value();
+    // Cadence accounting starts from the post-load insertion count so a
+    // warm start does not trigger an immediate save of what it just read.
+    LastSnapshotInsertions = Cache->totals().Insertions;
+  }
+  return Loaded;
+}
+
 std::vector<ServeResponse> ServeDaemon::shutdown() {
+  bool WasStopped = Stopped;
   Stopped = true;
   std::vector<ServeResponse> Out;
   for (std::unique_ptr<ServingEngine> &Engine : Engines) {
@@ -299,6 +798,13 @@ std::vector<ServeResponse> ServeDaemon::shutdown() {
                    [](const ServeResponse &A, const ServeResponse &B) {
                      return A.Id < B.Id;
                    });
+  PendingSignatures.clear();
+  std::fill(PendingCost.begin(), PendingCost.end(), 0);
+  // Final snapshot after the queues are flushed: the warm state a restart
+  // will reload. Only on the first shutdown — the cache cannot have
+  // changed since.
+  if (!WasStopped && Cache && !Options.SnapshotPath.empty())
+    (void)saveSnapshotNow();
   return Out;
 }
 
@@ -314,23 +820,9 @@ const ServingStats &ServeDaemon::engineStats(size_t Shard) const {
 }
 
 ServingStats ServeDaemon::engineTotals() const {
-  ServingStats Total;
-  for (const std::unique_ptr<ServingEngine> &Engine : Engines) {
-    const ServingStats &S = Engine->stats();
-    Total.Submitted += S.Submitted;
-    Total.Rejected += S.Rejected;
-    Total.RejectedQueueFull += S.RejectedQueueFull;
-    Total.RejectedShutdown += S.RejectedShutdown;
-    Total.Answered += S.Answered;
-    Total.BeamAnswers += S.BeamAnswers;
-    Total.GreedyAnswers += S.GreedyAnswers;
-    Total.BaselineAnswers += S.BaselineAnswers;
-    Total.CachedAnswers += S.CachedAnswers;
-    Total.DecodeSteps += S.DecodeSteps;
-    Total.GatedCandidates += S.GatedCandidates;
-    Total.GateDegradations += S.GateDegradations;
-    Total.BudgetExhaustions += S.BudgetExhaustions;
-  }
+  ServingStats Total = ArchivedStats;
+  for (const std::unique_ptr<ServingEngine> &Engine : Engines)
+    accumulateStats(Total, Engine->stats());
   return Total;
 }
 
@@ -341,14 +833,62 @@ uint64_t ServeDaemon::tenantTokens(const std::string &Tenant) const {
   return It == Tenants.end() ? Options.TenantCapacity : It->second.Tokens;
 }
 
+std::string ServeDaemon::healthReport() const {
+  ServingStats Engine = engineTotals();
+  std::string Report;
+  auto Line = [&Report](const std::string &Key, const std::string &Value) {
+    Report += Key;
+    Report.push_back('=');
+    Report += Value;
+    Report.push_back('\n');
+  };
+  Line("status", Stopped ? "stopped" : "running");
+  Line("workers", std::to_string(Engines.size()));
+  Line("queued", std::to_string(queued()));
+  Line("submitted", std::to_string(Stats.Submitted));
+  Line("rejected.quota", std::to_string(Stats.RejectedQuota));
+  Line("rejected.poisoned", std::to_string(Stats.RejectedPoisoned));
+  Line("rejected.overload", std::to_string(Stats.RejectedOverload));
+  Line("answered", std::to_string(Engine.Answered));
+  Line("pump_rounds", std::to_string(Stats.PumpRounds));
+  Line("watchdog.strikes", std::to_string(Stats.WatchdogStrikes));
+  Line("watchdog.denylist", std::to_string(Denylist.size()));
+  Line("shard_restarts", std::to_string(Stats.ShardRestarts));
+  if (Cache) {
+    CacheStats C = Cache->totals();
+    Line("cache.entries", std::to_string(C.Entries));
+    Line("cache.bytes", std::to_string(C.Bytes));
+    Line("cache.hits", std::to_string(C.Hits));
+    Line("cache.misses", std::to_string(C.Misses));
+    Line("cache.evictions", std::to_string(C.Evictions));
+  }
+  Line("snapshot.path",
+       Options.SnapshotPath.empty() ? "(none)" : Options.SnapshotPath);
+  Line("snapshot.saves", std::to_string(Stats.SnapshotSaves));
+  Line("snapshot.last_save_ok", LastSaveOk ? "yes" : "no");
+  if (LastLoad) {
+    Line("snapshot.loaded_segments",
+         std::to_string(LastLoad->SegmentsLoaded) + "/" +
+             std::to_string(LastLoad->SegmentsTotal));
+    Line("snapshot.quarantined_segments",
+         std::to_string(LastLoad->SegmentsQuarantined));
+    Line("snapshot.entries_loaded", std::to_string(LastLoad->EntriesLoaded));
+  }
+  Line("stats_consistent", checkStats() ? "yes" : "no");
+  return Report;
+}
+
 bool ServeDaemon::checkStats() const {
-  uint64_t Forwarded = 0;
+  uint64_t Forwarded = ArchivedStats.Submitted;
   for (const std::unique_ptr<ServingEngine> &Engine : Engines) {
     if (!Engine->checkStats())
       return false;
     Forwarded += Engine->stats().Submitted;
   }
-  return Stats.Submitted == Stats.RejectedQuota + Forwarded;
+  if (Cache && !Cache->checkStats())
+    return false;
+  return Stats.Submitted == Stats.RejectedQuota + Stats.RejectedPoisoned +
+                                Stats.RejectedOverload + Forwarded;
 }
 
 } // namespace model

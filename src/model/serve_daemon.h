@@ -14,6 +14,21 @@
 // replay another request's answer. Hits are bit-identical copies of the
 // originally computed predictions and carry the `cached` provenance tier.
 //
+// Crash safety: the cache serializes to a versioned snapshot of per-shard
+// segments, each with its own checksum, written atomically (support/io) on
+// graceful shutdown and on an every-N-insertions cadence. On restart the
+// daemon loads what validates and quarantines corrupt segments one by one —
+// a flipped bit in one shard's segment costs that shard's warmth, not the
+// whole snapshot. Warm hits after a restart are bit-identical to the
+// answers computed before it.
+//
+// Poison quarantine: a request whose answer fell to the baseline tier
+// because a model tier exhausted its budget or faulted (ServeResponse::
+// Suspect) earns its signature a watchdog strike; at the configured strike
+// limit the signature is denylisted (later retries get RejectedPoisoned
+// without touching a worker) and the shard's engine is restarted in place,
+// mirroring the trainer supervisor's skip-and-continue design.
+//
 // Determinism: requests shard by the hash of their token sequence, so
 // byte-identical inputs always land on the same worker and replay in
 // submission order there. Quota refills happen per pump round (virtual
@@ -29,12 +44,14 @@
 #define SNOWWHITE_MODEL_SERVE_DAEMON_H
 
 #include "model/serving.h"
+#include "support/result.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +77,19 @@ struct CacheStats {
   uint64_t Collisions = 0;
   uint64_t Bytes = 0;   ///< Current resident entry bytes.
   uint64_t Entries = 0; ///< Current resident entries.
+};
+
+/// What loadSnapshot() salvaged, segment by segment. Segment-level damage
+/// is quarantined (counted here, taxonomy-coded), never fatal: one shard's
+/// corrupt segment costs that shard's warmth, not the whole restart.
+struct SnapshotLoadReport {
+  uint64_t SegmentsTotal = 0;
+  uint64_t SegmentsLoaded = 0;
+  uint64_t SegmentsQuarantined = 0;
+  uint64_t EntriesLoaded = 0;
+  /// Quarantined segments partitioned by error class (ChecksumMismatch,
+  /// Truncated, Malformed, LimitExceeded).
+  std::map<ErrorCode, uint64_t> QuarantinedByCode;
 };
 
 /// Sharded, byte-budgeted, LRU prediction cache. Thread-safe: each shard has
@@ -103,9 +133,41 @@ public:
   /// Field-wise sum over all shards.
   CacheStats totals() const;
 
+  /// Debug-mode reconciliation, mirroring ServingStats::checkStats(): walks
+  /// every shard and verifies the Bytes/Entries counters against the sum
+  /// over resident entries. True iff every shard reconciles.
+  bool checkStats() const;
+
+  /// Serializes the resident entries to the versioned snapshot format:
+  /// a magic+version+segment-count header followed by one length-prefixed,
+  /// individually checksummed segment per shard. Entries are emitted oldest
+  /// LRU first so a load replays them in recency order.
+  std::vector<uint8_t> serializeSnapshot() const;
+
+  /// serializeSnapshot() written atomically via io::writeFileAtomic, with
+  /// injected transient failures retried per Policy. A crash mid-save
+  /// leaves the previous snapshot intact.
+  Result<void> saveSnapshot(const std::string &Path,
+                            fault::FaultInjector *Faults = nullptr,
+                            const fault::RetryPolicy &Policy = {}) const;
+
+  /// Loads a snapshot into this cache. File-level damage (unreadable, bad
+  /// magic, unsupported version, header truncation) fails the whole load
+  /// with a taxonomy-coded error; segment-level damage (bad checksum,
+  /// truncation, oversized field) quarantines that segment and keeps going.
+  /// Restored entries route by the current shard count, so a snapshot taken
+  /// with a different NumShards still loads. Counts as restores, not
+  /// insertions, so warm-start cadence accounting is unaffected.
+  Result<SnapshotLoadReport> loadSnapshot(const std::string &Path,
+                                          fault::FaultInjector *Faults =
+                                              nullptr);
+
   /// Publishes per-shard resident bytes/entries as telemetry gauges
   /// ("serve_cache.shard<i>.bytes" / ".entries") plus the totals.
   void publishGauges() const;
+
+  /// On-disk snapshot format version accepted by loadSnapshot().
+  static constexpr uint64_t SnapshotVersion = 1;
 
 private:
   struct Entry {
@@ -125,6 +187,11 @@ private:
   };
 
   void evictOverBudget(Shard &S); ///< Caller holds S.Mutex.
+  /// Re-admits one snapshot entry (no Insertions/Collisions accounting);
+  /// recency is the restore order, i.e. the snapshot's LRU order.
+  void restoreEntry(std::string Key, CachedPrediction Value);
+  /// Counter reconciliation for one shard; caller holds S.Mutex.
+  static bool shardConsistent(const Shard &S);
 
   std::vector<std::unique_ptr<Shard>> Shards;
 };
@@ -135,16 +202,29 @@ enum class AdmitOutcome : uint8_t {
   RejectedQuota,     ///< Tenant token bucket empty this round.
   RejectedQueueFull, ///< Worker shard's bounded queue full.
   RejectedShutdown,  ///< Daemon already shut down.
+  RejectedOverload,  ///< Shard's pending compute cost over budget; retry
+                     ///< after the hinted number of pump rounds.
+  RejectedPoisoned,  ///< Signature denylisted by the poison watchdog.
 };
 
 const char *admitOutcomeCode(AdmitOutcome Outcome);
+
+/// Admission verdict plus the overload retry hint. RetryAfterRounds is in
+/// virtual time — pump rounds, not wall-clock — and is nonzero only for
+/// RejectedOverload: the number of rounds after which the shard's pending
+/// cost will have drained enough to admit a request of this cost.
+struct AdmitResult {
+  AdmitOutcome Outcome = AdmitOutcome::Admitted;
+  uint64_t RetryAfterRounds = 0;
+};
 
 struct DaemonOptions {
   /// Worker shards; each owns a ServingEngine over the shared model.
   size_t NumWorkers = 2;
   /// Per-worker engine options. Cache is overwritten with the daemon's own
   /// cache (or null when UseCache is false). Faults, if set, is shared
-  /// across workers and is not thread-safe — only use with NumWorkers == 1.
+  /// across workers and is not thread-safe — only use with NumWorkers == 1,
+  /// or set WorkerFaults instead for a per-worker injector.
   ServingOptions Serving;
   bool UseCache = true;
   PredictionCache::Config Cache;
@@ -153,6 +233,27 @@ struct DaemonOptions {
   /// TenantRefill tokens (capped at capacity). 0 capacity disables quotas.
   uint64_t TenantCapacity = 0;
   uint64_t TenantRefill = 0;
+  /// When set, each worker shard gets its own FaultInjector seeded
+  /// deterministically from (Seed, shard index) — safe at any NumWorkers,
+  /// unlike the shared Serving.Faults pointer. A restarted shard keeps its
+  /// injector, so fault schedules survive watchdog restarts.
+  std::optional<fault::FaultConfig> WorkerFaults;
+  /// Snapshot file for crash-safe warm restarts ("" disables). Written on
+  /// graceful shutdown and, when SnapshotEveryInsertions > 0, whenever that
+  /// many cache insertions have accumulated since the last save (checked
+  /// per pump round — a deterministic cadence, not a wall-clock timer).
+  std::string SnapshotPath;
+  uint64_t SnapshotEveryInsertions = 0;
+  /// Poison watchdog: a request signature whose answers come back Suspect
+  /// (baseline fallback after budget exhaustion or a model fault) this many
+  /// times is denylisted and its shard's engine restarted in place.
+  /// 0 disables the watchdog.
+  size_t PoisonStrikeLimit = 0;
+  /// Deadline-aware admission: each shard may hold at most this much
+  /// pending decode-step cost (sum of effective step budgets of queued
+  /// requests); submissions beyond it shed with RejectedOverload and a
+  /// retry-after hint. 0 disables shedding.
+  uint64_t ShardCostBudget = 0;
 };
 
 struct DaemonRequest {
@@ -166,7 +267,15 @@ struct DaemonRequest {
 struct DaemonStats {
   uint64_t Submitted = 0;
   uint64_t RejectedQuota = 0;
+  uint64_t RejectedPoisoned = 0;
+  uint64_t RejectedOverload = 0;
   uint64_t PumpRounds = 0;
+  /// Suspect answers attributed to a tracked signature by the watchdog.
+  uint64_t WatchdogStrikes = 0;
+  /// Engines recreated in place after a signature hit the strike limit.
+  uint64_t ShardRestarts = 0;
+  /// Successful snapshot saves (cadence + shutdown).
+  uint64_t SnapshotSaves = 0;
 };
 
 class ServeDaemon {
@@ -180,28 +289,47 @@ public:
   /// NumWorkers, so byte-identical inputs always co-locate.
   size_t shardOf(const ServeRequest &Request) const;
 
-  /// Admission: quota check, then bounded enqueue on the target shard.
-  /// Every call counts as submitted somewhere: quota rejections in
-  /// stats().RejectedQuota, everything else in the shard engine's stats.
-  AdmitOutcome submit(DaemonRequest Request);
+  /// Watchdog identity of a request: its length-prefixed token sequence.
+  /// Deliberately excludes budget/K/width — poison is a property of the
+  /// input, and a retry with a different budget is the same poison.
+  static std::string requestSignature(const ServeRequest &Request);
+
+  /// Admission: denylist check, quota check, overload check, then bounded
+  /// enqueue on the target shard. Every call counts as submitted somewhere:
+  /// daemon-level rejections in stats(), everything else in the shard
+  /// engine's stats.
+  AdmitResult submit(DaemonRequest Request);
 
   /// Drains every worker shard (in parallel over the global thread pool),
-  /// merges the responses sorted by request Id, refills tenant buckets by
-  /// TenantRefill, and republishes per-shard gauges.
+  /// merges the responses sorted by request Id, feeds Suspect answers to
+  /// the poison watchdog, refills tenant buckets by TenantRefill, writes a
+  /// cadence snapshot when due, and republishes per-shard gauges.
   std::vector<ServeResponse> pump();
 
   /// Stops admission on every engine and rejects all queued requests with
   /// RejectedShutdown (one response per victim, merged and Id-sorted).
-  /// Idempotent; after it returns, checkStats() holds with empty queues so
+  /// Writes a final snapshot when SnapshotPath is set. Idempotent; after it
+  /// returns, checkStats() holds with empty queues so
   /// Submitted == Rejected + Answered exactly.
   std::vector<ServeResponse> shutdown();
+
+  /// Loads Options.SnapshotPath into the cache (call once, before traffic,
+  /// to warm-start after a restart). Returns the salvage report; file-level
+  /// errors (missing file, bad magic, wrong version) are returned, not
+  /// thrown — a missing snapshot is a cold start, not a failure. The report
+  /// is retained for healthReport().
+  Result<SnapshotLoadReport> loadSnapshotNow();
+
+  /// Saves the cache to Options.SnapshotPath immediately.
+  Result<void> saveSnapshotNow();
 
   size_t numWorkers() const { return Engines.size(); }
   size_t queued() const;
   bool stopped() const { return Stopped; }
   const DaemonStats &stats() const { return Stats; }
   const ServingStats &engineStats(size_t Shard) const;
-  /// Field-wise sum of every shard engine's ServingStats.
+  /// Field-wise sum of every shard engine's ServingStats, including the
+  /// stats archived from engines replaced by watchdog restarts.
   ServingStats engineTotals() const;
   PredictionCache *cache() { return Cache.get(); }
 
@@ -209,8 +337,29 @@ public:
   /// the tenant has never submitted; 0 when quotas are disabled).
   uint64_t tenantTokens(const std::string &Tenant) const;
 
-  /// Daemon-wide consistency: every engine's checkStats() plus the
-  /// admission identity: Submitted == RejectedQuota + sum(engine Submitted).
+  /// Signatures currently denylisted by the poison watchdog.
+  size_t denylistSize() const { return Denylist.size(); }
+  /// True iff this request's signature is denylisted.
+  bool isDenylisted(const ServeRequest &Request) const {
+    return Denylist.count(requestSignature(Request)) > 0;
+  }
+
+  /// Pending decode-step cost currently admitted to a shard's queue.
+  uint64_t shardPendingCost(size_t Shard) const { return PendingCost[Shard]; }
+
+  /// The report from the last loadSnapshotNow(), if one ran.
+  const std::optional<SnapshotLoadReport> &lastLoadReport() const {
+    return LastLoad;
+  }
+
+  /// Human-readable "key=value" lines covering liveness, admission,
+  /// watchdog, cache, and snapshot state — the `!health` REPL command and
+  /// `snowwhite health` surface this.
+  std::string healthReport() const;
+
+  /// Daemon-wide consistency: every engine's checkStats(), the cache's
+  /// checkStats(), and the admission identity: Submitted == daemon-level
+  /// rejections + sum(engine Submitted, archived engines included).
   bool checkStats() const;
 
 private:
@@ -218,10 +367,30 @@ private:
     uint64_t Tokens = 0;
   };
 
+  uint64_t effectiveCost(const ServeRequest &Request) const;
+  void strikeSignature(const std::string &Signature, size_t Shard);
+  void restartShard(size_t Shard);
+  void maybeSnapshotOnCadence();
+
+  nn::Seq2SeqModel &Model;
+  const Task &BoundTask;
   DaemonOptions Options;
   std::unique_ptr<PredictionCache> Cache; ///< Null when UseCache is false.
+  std::vector<std::unique_ptr<fault::FaultInjector>> WorkerInjectors;
   std::vector<std::unique_ptr<ServingEngine>> Engines;
   std::map<std::string, TenantBucket> Tenants;
+  /// In-flight admitted requests the watchdog is tracking: Id -> (signature,
+  /// shard). Populated at submit when the watchdog is on; drained at pump.
+  std::map<uint64_t, std::pair<std::string, size_t>> PendingSignatures;
+  std::map<std::string, size_t> Strikes;
+  std::set<std::string> Denylist;
+  /// Stats of engines replaced by restartShard(), folded into engineTotals.
+  ServingStats ArchivedStats;
+  /// Per-shard pending decode-step cost for overload shedding.
+  std::vector<uint64_t> PendingCost;
+  uint64_t LastSnapshotInsertions = 0;
+  std::optional<SnapshotLoadReport> LastLoad;
+  bool LastSaveOk = true;
   DaemonStats Stats;
   bool Stopped = false;
 };

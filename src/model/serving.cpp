@@ -197,6 +197,13 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
   std::optional<wasm::ValType> LowLevel = lowLevelOf(Request.InputTokens);
   std::vector<uint32_t> SourceIds = BoundTask.encodeSource(Request.InputTokens);
 
+  // Poison signals for the daemon watchdog: a model tier that burned decode
+  // budget without finishing, or an injected/organic model fault. A request
+  // whose budget is simply below the floors costs nothing and is not
+  // suspect.
+  bool Exhausted = false;
+  bool Faulted = false;
+
   // --- Tier 1: budgeted beam search ---------------------------------------
   //
   // Attempted only when the budget leaves room for a full greedy pass
@@ -207,6 +214,7 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
   if (Budget >= 2 * GreedyFloor) {
     if (Options.Faults && Options.Faults->injectModelFailure()) {
       Response.Detail = "beam: injected model failure";
+      Faulted = true;
     } else {
       uint64_t BeamBudget = Budget - GreedyFloor;
       nn::Seq2SeqModel::BeamOutcome Beam =
@@ -215,9 +223,11 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
       if (Beam.BudgetExhausted) {
         ++Stats.BudgetExhaustions;
         telemetry::counter("serving.budget_exhaustions").add();
+        Exhausted = true;
       }
       if (Beam.NonFinite) {
         Response.Detail = "beam: non-finite logits";
+        Faulted = true;
       } else if (Beam.BudgetExhausted && Beam.Hypotheses.empty()) {
         Response.Detail = "beam: step budget exhausted";
       } else if (Beam.Hypotheses.empty()) {
@@ -254,6 +264,7 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
       Budget - Response.DecodeStepsUsed >= GreedyFloor) {
     if (Options.Faults && Options.Faults->injectModelFailure()) {
       Response.Detail += "; greedy: injected model failure";
+      Faulted = true;
     } else {
       nn::Seq2SeqModel::BeamOutcome Greedy = Model.predictTopKBudgeted(
           SourceIds, 1, Budget - Response.DecodeStepsUsed);
@@ -261,9 +272,11 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
       if (Greedy.BudgetExhausted) {
         ++Stats.BudgetExhaustions;
         telemetry::counter("serving.budget_exhaustions").add();
+        Exhausted = true;
       }
       if (Greedy.NonFinite) {
         Response.Detail += "; greedy: non-finite logits";
+        Faulted = true;
       } else if (Greedy.Hypotheses.empty()) {
         Response.Detail += "; greedy: no hypotheses";
       } else {
@@ -308,6 +321,14 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
       Response.Predictions.push_back(std::move(Unknown));
     }
   }
+
+  // A request that only the baseline could answer, after a model tier burned
+  // budget or faulted, is the poison profile: retrying it would wedge the
+  // worker all over again. Flag it for the daemon's watchdog.
+  Response.Suspect =
+      Response.Tier == PredictionTier::Baseline && (Exhausted || Faulted);
+  if (Response.Suspect)
+    telemetry::counter("serving.suspect_answers").add();
 
   ++Stats.Answered;
   Stats.DecodeSteps += Response.DecodeStepsUsed;

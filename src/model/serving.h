@@ -101,6 +101,12 @@ struct ServeResponse {
   std::vector<TypePrediction> Predictions;
   /// Why the request degraded below beam ("" for beam answers).
   std::string Detail;
+  /// True when the request fell all the way to the baseline tier because a
+  /// model tier exhausted its decode budget or faulted — the signature of a
+  /// poison request that burns a worker's time for nothing. The daemon's
+  /// watchdog strike-counts these per request signature (serve_daemon.h);
+  /// cheap client errors (budget below the greedy floor) are not suspect.
+  bool Suspect = false;
 };
 
 /// Aggregate counters, for the experiment tables and serve-loop summaries.

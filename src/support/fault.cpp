@@ -1,5 +1,7 @@
 #include "support/fault.h"
 
+#include "support/telemetry.h"
+
 #include <algorithm>
 
 namespace snowwhite {
@@ -85,13 +87,25 @@ Result<void> retryWithBackoff(const RetryPolicy &Policy,
                               uint64_t *BackoffSpentMicros) {
   double Backoff = static_cast<double>(Policy.InitialBackoffMicros);
   size_t Attempts = std::max<size_t>(1, Policy.MaxAttempts);
+  uint64_t Spent = 0;
+  auto Finish = [&](Result<void> Status) {
+    // Every retry loop that actually backed off shows up in the
+    // fault.backoff_micros histogram, so retry storms are visible in
+    // `snowwhite metrics` even when the caller discards the accounting.
+    if (Spent > 0) {
+      if (BackoffSpentMicros)
+        *BackoffSpentMicros += Spent;
+      telemetry::counter("fault.retries").add();
+      telemetry::histogram("fault.backoff_micros").record(Spent);
+    }
+    return Status;
+  };
   for (size_t Attempt = 1;; ++Attempt) {
     Result<void> Status = Op();
     if (Status.isOk() || Status.error().code() != ErrorCode::IoTransient ||
         Attempt >= Attempts)
-      return Status;
-    if (BackoffSpentMicros)
-      *BackoffSpentMicros += static_cast<uint64_t>(Backoff);
+      return Finish(std::move(Status));
+    Spent += static_cast<uint64_t>(Backoff);
     Backoff *= Policy.BackoffMultiplier;
   }
 }

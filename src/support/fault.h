@@ -126,7 +126,10 @@ struct RetryPolicy {
 
 /// Runs Op up to Policy.MaxAttempts times, retrying only while the failure
 /// code is IoTransient. Accumulates the virtual backoff spent into
-/// *BackoffSpentMicros when non-null. Returns the final attempt's Result.
+/// *BackoffSpentMicros when non-null, and records it into the
+/// "fault.backoff_micros" telemetry histogram (plus a "fault.retries"
+/// counter) whenever at least one retry happened, so retry storms are
+/// visible in `snowwhite metrics`. Returns the final attempt's Result.
 Result<void> retryWithBackoff(const RetryPolicy &Policy,
                               const std::function<Result<void>()> &Op,
                               uint64_t *BackoffSpentMicros = nullptr);

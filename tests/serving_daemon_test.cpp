@@ -299,7 +299,8 @@ TEST(ServeDaemonTest, KillDuringLoadAccountsForEveryRequest) {
     DaemonRequest Request;
     Request.Request.Id = Id++;
     Request.Request.InputTokens = Inputs[I];
-    ASSERT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+    ASSERT_EQ(Daemon.submit(std::move(Request)).Outcome,
+              AdmitOutcome::Admitted);
   }
   EXPECT_EQ(Daemon.pump().size(), 2u);
   // ...second wave is admitted but never pumped: the kill-during-load.
@@ -307,7 +308,8 @@ TEST(ServeDaemonTest, KillDuringLoadAccountsForEveryRequest) {
     DaemonRequest Request;
     Request.Request.Id = Id++;
     Request.Request.InputTokens = Inputs[I];
-    ASSERT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+    ASSERT_EQ(Daemon.submit(std::move(Request)).Outcome,
+              AdmitOutcome::Admitted);
   }
   EXPECT_EQ(Daemon.queued(), Inputs.size());
 
@@ -328,7 +330,8 @@ TEST(ServeDaemonTest, KillDuringLoadAccountsForEveryRequest) {
   DaemonRequest Late;
   Late.Request.Id = Id++;
   Late.Request.InputTokens = Inputs[0];
-  EXPECT_EQ(Daemon.submit(std::move(Late)), AdmitOutcome::RejectedShutdown);
+  EXPECT_EQ(Daemon.submit(std::move(Late)).Outcome,
+            AdmitOutcome::RejectedShutdown);
   EXPECT_TRUE(Daemon.checkStats());
 }
 
@@ -352,7 +355,7 @@ TEST(ServeDaemonTest, TenantTokenBucketsAdmitDeterministically) {
     Request.Tenant = Tenant;
     Request.Request.Id = Id++;
     Request.Request.InputTokens = Inputs[Input];
-    return Daemon.submit(std::move(Request));
+    return Daemon.submit(std::move(Request)).Outcome;
   };
 
   EXPECT_EQ(Daemon.tenantTokens("acme"), 2u);
@@ -401,7 +404,8 @@ WarmRunResult runWarmWorkload(unsigned Threads) {
       DaemonRequest Request;
       Request.Request.Id = Id++;
       Request.Request.InputTokens = Input;
-      EXPECT_EQ(Daemon.submit(std::move(Request)), AdmitOutcome::Admitted);
+      EXPECT_EQ(Daemon.submit(std::move(Request)).Outcome,
+                AdmitOutcome::Admitted);
     }
     for (ServeResponse &Response : Daemon.pump())
       Out.Responses.push_back(std::move(Response));

@@ -1,13 +1,14 @@
 #!/usr/bin/env sh
 # Lint driver for the static-analysis layers (src/analysis/, src/wasm/), the
-# telemetry layer (src/support/telemetry.*), and the serving daemon
-# (src/model/serve_daemon.*).
+# telemetry layer (src/support/telemetry.*), the fault-injection and
+# crash-safe I/O helpers (src/support/fault.*, src/support/io.*), and the
+# serving daemon (src/model/serve_daemon.*).
 #
 # Two passes, each independently useful:
 #
 #   1. Strict-warning audit (always runs): configure the `lint` preset
 #      (SNOWWHITE_LINT=ON -> -Wextra -Wshadow -Wconversion -Werror on
-#      sw_analysis, sw_wasm, src/support/telemetry.cpp, and
+#      sw_analysis, sw_wasm, src/support/{telemetry,fault,io}.cpp, and
 #      src/model/serve_daemon.cpp) and build those targets. Any warning is a
 #      hard build failure.
 #
@@ -27,10 +28,11 @@ cmake --preset lint >/dev/null
 cmake --build build-lint --target sw_analysis sw_wasm sw_support sw_model -j
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== lint: clang-tidy over src/analysis/ src/wasm/ src/support/telemetry.* src/model/serve_daemon.* =="
+  echo "== lint: clang-tidy over src/analysis/ src/wasm/ src/support/{telemetry,fault,io}.* src/model/serve_daemon.* =="
   # shellcheck disable=SC2046 -- word-splitting the file list is intended.
   clang-tidy -p build-lint --quiet \
     $(ls src/analysis/*.cpp src/wasm/*.cpp src/support/telemetry.cpp \
+       src/support/fault.cpp src/support/io.cpp \
        src/model/serve_daemon.cpp)
 else
   echo "== lint: clang-tidy not installed; skipping (warning audit passed) =="

@@ -51,12 +51,24 @@
 //
 //   snowwhite serve --daemon [--workers N] [--cache-bytes N]
 //                   [--tenant-capacity N] [--tenant-refill N]
+//                   [--snapshot PATH] [--snapshot-every N]
+//                   [--poison-strikes N] [--shard-cost-budget N]
 //       The sharded daemon form: N engine workers over the thread pool and
 //       a signature-keyed prediction cache, so repeated inputs answer from
 //       cache with tier=cached. An optional "@tenant " line prefix routes
 //       quota accounting; queued requests are processed on every line (one
-//       pump round). EOF or "quit" shuts the daemon down, rejecting
-//       anything still queued with outcome=rejected-shutdown.
+//       pump round). --snapshot makes restarts warm: the cache loads from
+//       (and saves to) a checksummed snapshot; --poison-strikes arms the
+//       watchdog that denylists repeatedly-degrading signatures; and
+//       --shard-cost-budget sheds overload with a retry-after hint the REPL
+//       honors via virtual-time backoff. "!health" prints the health
+//       report; EOF or "quit" shuts the daemon down, rejecting anything
+//       still queued with outcome=rejected-shutdown.
+//
+//   snowwhite health <snapshot>
+//       Offline snapshot triage: runs the same salvage pass a restarting
+//       daemon runs and reports loaded vs quarantined segments per error
+//       class. Exits non-zero if anything was quarantined.
 //
 // Every failure path exits non-zero and prints the structured error as
 // "error [<code>]: <context-chained message>".
@@ -696,21 +708,37 @@ static int commandPredictBatch(int argc, char **argv) {
     printError(Error(ErrorCode::NotFound, "no test samples to serve"));
     return 1;
   }
+  // Client-side retry: a full queue is a transient condition (draining
+  // frees it), so admission failures retry under the deterministic backoff
+  // policy. The virtual backoff spent lands in the fault.backoff_micros
+  // histogram and the summary line.
+  fault::RetryPolicy Retry;
+  uint64_t BackoffMicros = 0;
   for (size_t I = 0; I < Total; ++I) {
     model::ServeRequest Request;
     Request.Id = I;
     Request.InputTokens = Demo.Data.Samples[TestIdx[I]].Input;
-    if (!Engine.submit(Request)) {
-      // Admission control fired: drain the queue, then retry (the caller's
-      // retry policy — here, serve everything).
-      for (const model::ServeResponse &Response : Engine.drain())
-        printResponse(Response);
-      Engine.submit(std::move(Request));
+    Result<void> Admitted = fault::retryWithBackoff(
+        Retry,
+        [&]() -> Result<void> {
+          if (Engine.submit(Request))
+            return {};
+          for (const model::ServeResponse &Response : Engine.drain())
+            printResponse(Response);
+          return Error(ErrorCode::IoTransient, "serving queue full");
+        },
+        &BackoffMicros);
+    if (Admitted.isErr()) {
+      printError(Admitted.error());
+      return 1;
     }
   }
   for (const model::ServeResponse &Response : Engine.drain())
     printResponse(Response);
   printStats(Engine.stats());
+  if (BackoffMicros > 0)
+    std::printf("client retries backoff-micros=%llu\n",
+                static_cast<unsigned long long>(BackoffMicros));
   if (!emitTelemetry(MetricsOut, TraceOut))
     return 1;
   return Engine.stats().Answered == Total ? 0 : 1;
@@ -725,16 +753,39 @@ static int runServeDaemonRepl(const ServingDemo &Demo,
                               const std::string &MetricsOut,
                               const std::string &TraceOut) {
   model::ServeDaemon Daemon(*Demo.Trained.Model, *Demo.BoundTask, DaemonOpts);
+  if (!DaemonOpts.SnapshotPath.empty() && Daemon.cache()) {
+    // Warm restart: load whatever validates; a missing or damaged snapshot
+    // is a cold start, never a startup failure.
+    Result<model::SnapshotLoadReport> Loaded = Daemon.loadSnapshotNow();
+    if (Loaded.isOk())
+      std::fprintf(stderr,
+                   "warm start: %llu entries from %llu/%llu segment(s), "
+                   "%llu quarantined\n",
+                   static_cast<unsigned long long>(Loaded->EntriesLoaded),
+                   static_cast<unsigned long long>(Loaded->SegmentsLoaded),
+                   static_cast<unsigned long long>(Loaded->SegmentsTotal),
+                   static_cast<unsigned long long>(
+                       Loaded->SegmentsQuarantined));
+    else
+      std::fprintf(stderr, "cold start (%s: %s)\n",
+                   errorCodeName(Loaded.error().code()),
+                   Loaded.error().message().c_str());
+  }
   std::fprintf(stderr,
                "daemon ready — %zu worker(s), cache %s; one request per "
-               "line, optional \"@tenant \" prefix; \"quit\" or EOF shuts "
-               "down\n",
+               "line, optional \"@tenant \" prefix; \"!health\" prints the "
+               "health report; \"quit\" or EOF shuts down\n",
                Daemon.numWorkers(), Daemon.cache() ? "on" : "off");
   std::string Line;
   uint64_t NextId = 0;
   while (std::getline(std::cin, Line)) {
     if (Line == "quit")
       break;
+    if (Line == "!health") {
+      std::fputs(Daemon.healthReport().c_str(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
     model::DaemonRequest Request;
     std::istringstream Tokens(Line);
     std::string Token;
@@ -749,11 +800,34 @@ static int runServeDaemonRepl(const ServingDemo &Demo,
     if (Request.Request.InputTokens.empty())
       continue;
     Request.Request.Id = NextId++;
-    model::AdmitOutcome Admit = Daemon.submit(std::move(Request));
-    if (Admit != model::AdmitOutcome::Admitted) {
-      std::printf("req=%llu outcome=%s\n",
+    model::DaemonRequest Replay = Request;
+    model::AdmitResult Admit = Daemon.submit(std::move(Request));
+    if (Admit.Outcome == model::AdmitOutcome::RejectedOverload) {
+      // Honor the retry-after hint in virtual time: pump the hinted number
+      // of rounds (draining the backlog), then resubmit under the backoff
+      // policy. Backoff is accounted, never slept.
+      fault::RetryPolicy Retry;
+      (void)fault::retryWithBackoff(Retry, [&]() -> Result<void> {
+        for (uint64_t R = 0; R < std::max<uint64_t>(1, Admit.RetryAfterRounds);
+             ++R)
+          for (const model::ServeResponse &Response : Daemon.pump())
+            printResponse(Response);
+        model::DaemonRequest Again = Replay;
+        Admit = Daemon.submit(std::move(Again));
+        return Admit.Outcome == model::AdmitOutcome::RejectedOverload
+                   ? Result<void>(
+                         Error(ErrorCode::IoTransient, "still overloaded"))
+                   : Result<void>();
+      });
+    }
+    if (Admit.Outcome != model::AdmitOutcome::Admitted) {
+      std::printf("req=%llu outcome=%s",
                   static_cast<unsigned long long>(NextId - 1),
-                  model::admitOutcomeCode(Admit));
+                  model::admitOutcomeCode(Admit.Outcome));
+      if (Admit.RetryAfterRounds > 0)
+        std::printf(" retry-after-rounds=%llu",
+                    static_cast<unsigned long long>(Admit.RetryAfterRounds));
+      std::printf("\n");
       std::fflush(stdout);
       continue;
     }
@@ -778,8 +852,9 @@ static int runServeDaemonRepl(const ServingDemo &Demo,
 static int commandServe(int argc, char **argv) {
   const char *Usage =
       "snowwhite serve [--daemon] [--workers N] [--cache-bytes N] "
-      "[--tenant-capacity N] [--tenant-refill N] [--fail-rate F] "
-      "[--budget N] [--seed S] [--verbose] "
+      "[--tenant-capacity N] [--tenant-refill N] [--snapshot PATH] "
+      "[--snapshot-every N] [--poison-strikes N] [--shard-cost-budget N] "
+      "[--fail-rate F] [--budget N] [--seed S] [--verbose] "
       "[--metrics-out F] [--trace-out F]";
   // Daemon-specific flags are peeled off first; the remainder goes through
   // the shared serving-flag parser.
@@ -788,6 +863,10 @@ static int commandServe(int argc, char **argv) {
   uint64_t CacheBytes = 8ull << 20;
   uint64_t TenantCapacity = 0;
   uint64_t TenantRefill = 0;
+  std::string SnapshotPath;
+  uint64_t SnapshotEvery = 0;
+  size_t PoisonStrikes = 0;
+  uint64_t ShardCostBudget = 0;
   std::vector<char *> Rest;
   for (int I = 0; I < argc; ++I) {
     auto Value = [&](const char *Flag) -> const char * {
@@ -819,6 +898,26 @@ static int commandServe(int argc, char **argv) {
       if (!V)
         return 2;
       TenantRefill = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--snapshot") == 0) {
+      const char *V = Value("--snapshot");
+      if (!V)
+        return 2;
+      SnapshotPath = V;
+    } else if (std::strcmp(argv[I], "--snapshot-every") == 0) {
+      const char *V = Value("--snapshot-every");
+      if (!V)
+        return 2;
+      SnapshotEvery = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--poison-strikes") == 0) {
+      const char *V = Value("--poison-strikes");
+      if (!V)
+        return 2;
+      PoisonStrikes = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--shard-cost-budget") == 0) {
+      const char *V = Value("--shard-cost-budget");
+      if (!V)
+        return 2;
+      ShardCostBudget = static_cast<uint64_t>(std::atoll(V));
     } else {
       Rest.push_back(argv[I]);
     }
@@ -853,14 +952,20 @@ static int commandServe(int argc, char **argv) {
     model::DaemonOptions DaemonOpts;
     DaemonOpts.NumWorkers = Workers;
     DaemonOpts.Serving = Opts;
-    // The shared fault injector is not thread-safe; honor it only for a
-    // single-worker daemon.
-    if (Workers > 1)
-      DaemonOpts.Serving.Faults = nullptr;
+    // The shared fault injector is not thread-safe; the daemon derives one
+    // injector per worker from the config instead, safe at any worker
+    // count.
+    DaemonOpts.Serving.Faults = nullptr;
+    if (FailRate > 0.0)
+      DaemonOpts.WorkerFaults = FaultCfg;
     DaemonOpts.UseCache = CacheBytes > 0;
     DaemonOpts.Cache.ByteBudget = CacheBytes;
     DaemonOpts.TenantCapacity = TenantCapacity;
     DaemonOpts.TenantRefill = TenantRefill;
+    DaemonOpts.SnapshotPath = SnapshotPath;
+    DaemonOpts.SnapshotEveryInsertions = SnapshotEvery;
+    DaemonOpts.PoisonStrikeLimit = PoisonStrikes;
+    DaemonOpts.ShardCostBudget = ShardCostBudget;
     return runServeDaemonRepl(Demo, DaemonOpts, MetricsOut, TraceOut);
   }
 
@@ -898,6 +1003,43 @@ static int commandServe(int argc, char **argv) {
   return 0;
 }
 
+/// `snowwhite health <snapshot>`: offline snapshot triage. Loads the file
+/// into a scratch cache (budget big enough that nothing evicts) and prints
+/// what validated and what was quarantined, per error class — the same
+/// salvage pass a restarting daemon runs, without needing a model.
+static int commandHealth(int argc, char **argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: snowwhite health <snapshot>\n");
+    return 2;
+  }
+  model::PredictionCache::Config Cfg;
+  Cfg.ByteBudget = 1ull << 30;
+  model::PredictionCache Cache(Cfg);
+  Result<model::SnapshotLoadReport> Loaded = Cache.loadSnapshot(argv[0]);
+  if (Loaded.isErr()) {
+    printError(Loaded.error());
+    return 1;
+  }
+  const model::SnapshotLoadReport &Report = Loaded.value();
+  std::printf("snapshot=%s\n", argv[0]);
+  std::printf("segments.total=%llu\n",
+              static_cast<unsigned long long>(Report.SegmentsTotal));
+  std::printf("segments.loaded=%llu\n",
+              static_cast<unsigned long long>(Report.SegmentsLoaded));
+  std::printf("segments.quarantined=%llu\n",
+              static_cast<unsigned long long>(Report.SegmentsQuarantined));
+  for (const auto &[Code, Count] : Report.QuarantinedByCode)
+    std::printf("segments.quarantined.%s=%llu\n", errorCodeName(Code),
+                static_cast<unsigned long long>(Count));
+  std::printf("entries.loaded=%llu\n",
+              static_cast<unsigned long long>(Report.EntriesLoaded));
+  model::CacheStats Totals = Cache.totals();
+  std::printf("entries.bytes=%llu\n",
+              static_cast<unsigned long long>(Totals.Bytes));
+  std::printf("consistent=%s\n", Cache.checkStats() ? "yes" : "no");
+  return Report.SegmentsQuarantined == 0 ? 0 : 1;
+}
+
 int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
@@ -915,7 +1057,10 @@ int main(int argc, char **argv) {
                  "  snowwhite serve [--fail-rate F] [--budget N] [--seed S] "
                  "[--metrics-out F]\n"
                  "  snowwhite serve --daemon [--workers N] [--cache-bytes N] "
-                 "[--tenant-capacity N] [--tenant-refill N]\n"
+                 "[--tenant-capacity N] [--tenant-refill N] "
+                 "[--snapshot PATH] [--snapshot-every N] "
+                 "[--poison-strikes N] [--shard-cost-budget N]\n"
+                 "  snowwhite health <snapshot>\n"
                  "  snowwhite metrics [--check FILE]\n");
     return 2;
   }
@@ -937,6 +1082,8 @@ int main(int argc, char **argv) {
     return commandPredictBatch(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "serve") == 0)
     return commandServe(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "health") == 0)
+    return commandHealth(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
 }

@@ -55,6 +55,15 @@
 //       daemon stats must balance after every pump and after a
 //       kill-during-load shutdown.
 //
+//   snowwhite_fuzz --daemon-chaos [events] [seed]
+//       Serving-daemon chaos storm (default 10000 seeded events): submits
+//       poison-prone requests through per-worker fault injectors, corrupts
+//       snapshot copies and round-trips them through the loader, and
+//       kill-and-restarts the daemon from its snapshot mid-stream. Checks
+//       the cross-generation ledger Submitted == Rejected + Answered
+//       exactly, bit-identical cached-tier warm replay after every restart,
+//       and that no shard ends the storm wedged.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/analyzer.h"
@@ -656,14 +665,16 @@ int runCacheFuzz(uint64_t Iterations, uint64_t Seed) {
     model::DaemonRequest Second;
     Second.Request.InputTokens = First.Request.InputTokens;
     First.Request.Id = NextId++;
-    if (Daemon.submit(std::move(First)) != model::AdmitOutcome::Admitted) {
+    if (Daemon.submit(std::move(First)).Outcome !=
+        model::AdmitOutcome::Admitted) {
       std::fprintf(stderr, "FAIL: mutant %llu rejected at admission\n",
                    static_cast<unsigned long long>(I));
       return 1;
     }
     std::vector<model::ServeResponse> Cold = Daemon.pump();
     Second.Request.Id = NextId++;
-    if (Daemon.submit(std::move(Second)) != model::AdmitOutcome::Admitted) {
+    if (Daemon.submit(std::move(Second)).Outcome !=
+        model::AdmitOutcome::Admitted) {
       std::fprintf(stderr, "FAIL: replay %llu rejected at admission\n",
                    static_cast<unsigned long long>(I));
       return 1;
@@ -701,7 +712,8 @@ int runCacheFuzz(uint64_t Iterations, uint64_t Seed) {
     model::DaemonRequest Request;
     Request.Request.Id = NextId++;
     Request.Request.InputTokens = Bases[K];
-    if (Daemon.submit(std::move(Request)) == model::AdmitOutcome::Admitted)
+    if (Daemon.submit(std::move(Request)).Outcome ==
+        model::AdmitOutcome::Admitted)
       ++Queued;
   }
   std::vector<model::ServeResponse> Victims = Daemon.shutdown();
@@ -729,6 +741,343 @@ int runCacheFuzz(uint64_t Iterations, uint64_t Seed) {
               static_cast<unsigned long long>(Cache.Collisions),
               static_cast<unsigned long long>(Cache.Evictions),
               Victims.size());
+  return 0;
+}
+
+/// Daemon chaos fuzz: one long-lived serving daemon under a seeded storm of
+/// hostile events — poison-prone requests through per-worker fault
+/// injectors, snapshot corruption round-trips, and kill-and-restart cycles
+/// that reload the warm cache from disk. Invariants, checked throughout and
+/// exactly at the end, across every daemon generation:
+///
+///   * Submitted == Rejected + Answered (stats-level, no queue term left);
+///   * an input answered before a restart replays bit-identically after it,
+///     as a `cached`-tier hit out of the reloaded snapshot;
+///   * corrupt snapshots never crash the loader: file-level damage is a
+///     taxonomy-coded error, segment-level damage a quarantine count;
+///   * no wedged shards: after the storm every shard still answers.
+int runDaemonChaos(uint64_t Events, uint64_t Seed) {
+  TinyTrainFixture Fixture = makeTinyFixture(Seed);
+  model::TrainResult Trained =
+      model::trainModel(*Fixture.BoundTask, Fixture.Options);
+
+  std::string Dir = std::filesystem::temp_directory_path().string();
+  std::string SnapshotPath = Dir + "/snowwhite_chaos.snapshot";
+  std::string ScratchPath = Dir + "/snowwhite_chaos.scratch";
+  std::filesystem::remove(SnapshotPath);
+
+  model::DaemonOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.Serving.TopK = 3;
+  Opts.Serving.DefaultStepBudget = 96;
+  Opts.Serving.QueueCapacity = 128;
+  // Generous budget: no eviction pressure, so every computed answer stays
+  // resident and the post-restart replay check can demand tier=cached.
+  Opts.Cache.ByteBudget = 4ull << 20;
+  Opts.PoisonStrikeLimit = 2;
+  Opts.ShardCostBudget = 16 * Opts.Serving.DefaultStepBudget;
+  Opts.SnapshotPath = SnapshotPath;
+  Opts.SnapshotEveryInsertions = 32;
+  fault::FaultConfig WorkerFaults;
+  WorkerFaults.Seed = hashCombine(Seed, 0xda3c0deULL);
+  WorkerFaults.ModelFailureRate = 0.5;
+  Opts.WorkerFaults = WorkerFaults;
+
+  std::vector<std::vector<std::string>> Bases;
+  for (const dataset::TypeSample &Sample : Fixture.Data.Samples) {
+    Bases.push_back(Sample.Input);
+    if (Bases.size() >= 32)
+      break;
+  }
+  if (Bases.empty()) {
+    std::fprintf(stderr, "FAIL: fixture produced no samples\n");
+    return 1;
+  }
+
+  auto SamePredictions = [](const std::vector<model::TypePrediction> &A,
+                            const std::vector<model::TypePrediction> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I].Tokens != B[I].Tokens ||
+          std::memcmp(&A[I].LogProb, &B[I].LogProb, sizeof(float)) != 0)
+        return false;
+    return true;
+  };
+
+  auto MakeDaemon = [&]() {
+    return std::make_unique<model::ServeDaemon>(*Trained.Model,
+                                                *Fixture.BoundTask, Opts);
+  };
+  std::unique_ptr<model::ServeDaemon> Daemon = MakeDaemon();
+
+  // Cross-generation ledgers. Stats from dead daemon generations accumulate
+  // here at each restart so the global invariant spans the whole storm.
+  uint64_t TotalSubmitted = 0, TotalRejected = 0, TotalAnswered = 0,
+           TotalStrikes = 0, TotalDenylisted = 0, TotalShardRestarts = 0;
+  auto FoldFinalStats = [&](model::ServeDaemon &D) {
+    const model::DaemonStats &S = D.stats();
+    model::ServingStats E = D.engineTotals();
+    TotalSubmitted += S.Submitted;
+    TotalRejected += S.RejectedQuota + S.RejectedPoisoned +
+                     S.RejectedOverload + E.Rejected;
+    TotalAnswered += E.Answered;
+    TotalStrikes += S.WatchdogStrikes;
+    TotalDenylisted += D.denylistSize();
+    TotalShardRestarts += S.ShardRestarts;
+  };
+
+  // Identity of a base input is its length-prefixed signature — the same
+  // framing the cache key and the watchdog use. Joining tokens with spaces
+  // would NOT be an identity here: dataset tokens can themselves contain
+  // spaces ("call_indirect (type 2)"), so two different token splits can
+  // share a joined form but never a signature.
+  std::vector<std::string> BaseSigs;
+  for (size_t I = 0; I < Bases.size(); ++I) {
+    model::ServeRequest Probe;
+    Probe.InputTokens = Bases[I];
+    BaseSigs.push_back(model::ServeDaemon::requestSignature(Probe));
+  }
+
+  // Step budgets cycled across submissions (0 = the daemon default). The
+  // budget is part of the cache key but NOT of the poison signature, so
+  // resubmitting a base under a different budget forces a recompute of the
+  // same signature — which is exactly what lets the watchdog accumulate a
+  // second Suspect strike and exercise denylisting + shard restarts here.
+  const uint64_t BudgetChoices[] = {0, 48, 80};
+  constexpr size_t NumBudgets = sizeof(BudgetChoices) / sizeof(uint64_t);
+
+  // First answer ever computed per (input signature, budget): every later
+  // answer for the same pair must be bit-identical (it replays from cache
+  // or snapshot).
+  std::map<std::string, std::vector<model::TypePrediction>> Golden;
+  std::map<std::string, std::pair<size_t, uint64_t>> ProbeBySig;
+  std::map<uint64_t, std::string> InFlight; // Id -> golden key.
+  auto GoldenKey = [&](size_t Base, uint64_t Budget) {
+    return BaseSigs[Base] + '\x1f' + std::to_string(Budget);
+  };
+  uint64_t NextId = 0, Restarts = 0, CorruptLoads = 0, QuarantinedSegs = 0,
+           Replayed = 0, WarmReplays = 0;
+  Rng Pick(hashCombine(Seed, 0xc4a05));
+
+  auto CheckResponses = [&](const std::vector<model::ServeResponse> &Out) {
+    for (const model::ServeResponse &Response : Out) {
+      auto It = InFlight.find(Response.Id);
+      if (It == InFlight.end())
+        continue;
+      if (Response.Outcome != model::ServeOutcome::RejectedShutdown &&
+          !Response.Predictions.empty()) {
+        auto [GoldIt, IsNew] =
+            Golden.try_emplace(It->second, Response.Predictions);
+        if (!IsNew &&
+            !SamePredictions(GoldIt->second, Response.Predictions)) {
+          std::fprintf(stderr,
+                       "FAIL: req %llu diverged from first answer\n",
+                       static_cast<unsigned long long>(Response.Id));
+          return false;
+        }
+        if (!IsNew)
+          ++Replayed;
+      }
+      InFlight.erase(It);
+    }
+    return true;
+  };
+
+  for (uint64_t Event = 0; Event < Events; ++Event) {
+    uint64_t Roll = Pick.nextBelow(100);
+    if (Roll < 70) {
+      // Submit (biased toward duplicates so the cache and the watchdog both
+      // see repeats), occasionally pumping.
+      size_t Base = static_cast<size_t>(Pick.nextBelow(Bases.size()));
+      uint64_t Budget = BudgetChoices[Pick.nextBelow(NumBudgets)];
+      if (Pick.nextBelow(8) == 0) {
+        // Poison traffic: one designated base submitted under an
+        // ever-fresh budget, so its answers never come from the cache and
+        // its signature keeps recomputing — the only way the watchdog can
+        // accumulate enough Suspect strikes within one daemon generation
+        // to denylist it and restart the shard.
+        Base = 0;
+        Budget = 200 + NextId % 97;
+      }
+      model::DaemonRequest Request;
+      Request.Request.Id = NextId++;
+      Request.Request.InputTokens = Bases[Base];
+      Request.Request.StepBudget = Budget;
+      model::AdmitResult Admit = Daemon->submit(std::move(Request));
+      if (Admit.Outcome == model::AdmitOutcome::Admitted) {
+        InFlight[NextId - 1] = GoldenKey(Base, Budget);
+        ProbeBySig.emplace(GoldenKey(Base, Budget),
+                           std::make_pair(Base, Budget));
+      }
+      else if (Admit.Outcome == model::AdmitOutcome::RejectedShutdown) {
+        std::fprintf(stderr, "FAIL: live daemon rejected as shut down\n");
+        return 1;
+      }
+      if (Pick.nextBelow(4) == 0 && !CheckResponses(Daemon->pump()))
+        return 1;
+    } else if (Roll < 80) {
+      if (!CheckResponses(Daemon->pump()))
+        return 1;
+    } else if (Roll < 90) {
+      // Snapshot corruption round-trip: corrupt a copy of the current
+      // snapshot and load it into a scratch cache. Must never crash —
+      // either a taxonomy-coded file-level error or a quarantine report.
+      if (Daemon->saveSnapshotNow().isErr()) {
+        std::fprintf(stderr, "FAIL: snapshot save failed\n");
+        return 1;
+      }
+      Result<std::vector<uint8_t>> Bytes = io::readFileBytes(SnapshotPath);
+      if (Bytes.isErr()) {
+        std::fprintf(stderr, "FAIL: snapshot unreadable after save\n");
+        return 1;
+      }
+      fault::FaultConfig Corrupt;
+      Corrupt.Seed = hashCombine(Seed, Event);
+      fault::FaultInjector Injector(Corrupt);
+      std::vector<uint8_t> Mutant = Bytes.take();
+      Injector.corrupt(Mutant);
+      if (io::writeFileAtomic(ScratchPath, Mutant).isErr()) {
+        std::fprintf(stderr, "FAIL: scratch write failed\n");
+        return 1;
+      }
+      model::PredictionCache Scratch(Opts.Cache);
+      Result<model::SnapshotLoadReport> Loaded =
+          Scratch.loadSnapshot(ScratchPath);
+      if (Loaded.isOk()) {
+        QuarantinedSegs += Loaded->SegmentsQuarantined;
+        if (!Scratch.checkStats()) {
+          std::fprintf(stderr,
+                       "FAIL: scratch cache inconsistent after load\n");
+          return 1;
+        }
+      } else {
+        ++CorruptLoads;
+      }
+    } else {
+      // Kill-and-restart: flush (victims become accounted rejections), fold
+      // the dead generation's stats, then warm-start a new daemon from the
+      // snapshot the shutdown just wrote and prove a known answer replays
+      // bit-identically as a cached-tier hit.
+      if (!CheckResponses(Daemon->shutdown()))
+        return 1;
+      if (!Daemon->checkStats()) {
+        std::fprintf(stderr, "FAIL: stats inconsistent at shutdown\n");
+        return 1;
+      }
+      FoldFinalStats(*Daemon);
+      InFlight.clear(); // Shutdown victims got no predictions.
+      Daemon = MakeDaemon();
+      ++Restarts;
+      Result<model::SnapshotLoadReport> Loaded = Daemon->loadSnapshotNow();
+      if (Loaded.isErr()) {
+        std::fprintf(stderr, "FAIL: warm restart load failed: %s\n",
+                     Loaded.error().message().c_str());
+        return 1;
+      }
+      QuarantinedSegs += Loaded->SegmentsQuarantined;
+      if (!Golden.empty()) {
+        const auto &[Sig, Want] =
+            *std::next(Golden.begin(),
+                       static_cast<std::ptrdiff_t>(
+                           Pick.nextBelow(Golden.size())));
+        const auto &[Base, Budget] = ProbeBySig.at(Sig);
+        model::DaemonRequest Probe;
+        Probe.Request.Id = NextId++;
+        Probe.Request.InputTokens = Bases[Base];
+        Probe.Request.StepBudget = Budget;
+        model::AdmitResult Admit = Daemon->submit(std::move(Probe));
+        if (Admit.Outcome == model::AdmitOutcome::Admitted) {
+          std::vector<model::ServeResponse> Out = Daemon->pump();
+          if (Out.size() != 1 ||
+              Out[0].Tier != model::PredictionTier::Cached ||
+              !SamePredictions(Out[0].Predictions, Want)) {
+            std::fprintf(stderr,
+                         "FAIL: warm replay after restart %llu not a "
+                         "bit-identical cached hit (responses=%zu tier=%s)\n",
+                         static_cast<unsigned long long>(Restarts),
+                         Out.size(),
+                         Out.empty() ? "-" : model::tierName(Out[0].Tier));
+            return 1;
+          }
+          ++WarmReplays;
+        }
+      }
+    }
+    if (Event % 512 == 0 && !Daemon->checkStats()) {
+      std::fprintf(stderr, "FAIL: stats inconsistent at event %llu\n",
+                   static_cast<unsigned long long>(Event));
+      return 1;
+    }
+  }
+
+  // No wedged shards: after the storm, every shard must still answer a
+  // fresh (non-denylisted) request on demand.
+  if (!CheckResponses(Daemon->pump()))
+    return 1;
+  for (size_t Shard = 0; Shard < Daemon->numWorkers(); ++Shard) {
+    const std::vector<std::string> *Probe = nullptr;
+    for (const std::vector<std::string> &Input : Bases) {
+      model::ServeRequest Peek;
+      Peek.InputTokens = Input;
+      if (Daemon->shardOf(Peek) == Shard && !Daemon->isDenylisted(Peek)) {
+        Probe = &Input;
+        break;
+      }
+    }
+    if (!Probe)
+      continue; // Every base routing here is denylisted; nothing to probe.
+    model::DaemonRequest Request;
+    Request.Request.Id = NextId++;
+    Request.Request.InputTokens = *Probe;
+    if (Daemon->submit(std::move(Request)).Outcome !=
+        model::AdmitOutcome::Admitted) {
+      std::fprintf(stderr, "FAIL: shard %zu rejected a live probe\n", Shard);
+      return 1;
+    }
+    std::vector<model::ServeResponse> Out = Daemon->pump();
+    if (Out.size() != 1 || Out[0].Predictions.empty()) {
+      std::fprintf(stderr, "FAIL: shard %zu is wedged\n", Shard);
+      return 1;
+    }
+    InFlight.erase(NextId - 1);
+  }
+
+  if (!CheckResponses(Daemon->shutdown()))
+    return 1;
+  if (!Daemon->checkStats()) {
+    std::fprintf(stderr, "FAIL: final stats inconsistent\n");
+    return 1;
+  }
+  FoldFinalStats(*Daemon);
+  if (TotalSubmitted != TotalRejected + TotalAnswered) {
+    std::fprintf(stderr,
+                 "FAIL: global ledger broken: submitted=%llu rejected=%llu "
+                 "answered=%llu\n",
+                 static_cast<unsigned long long>(TotalSubmitted),
+                 static_cast<unsigned long long>(TotalRejected),
+                 static_cast<unsigned long long>(TotalAnswered));
+    return 1;
+  }
+
+  std::filesystem::remove(SnapshotPath);
+  std::filesystem::remove(ScratchPath);
+  std::printf("daemon chaos: %llu events, submitted=%llu rejected=%llu "
+              "answered=%llu restarts=%llu warm-replays=%llu "
+              "replayed=%llu corrupt-loads=%llu quarantined-segments=%llu "
+              "strikes=%llu denylisted=%llu shard-restarts=%llu: OK\n",
+              static_cast<unsigned long long>(Events),
+              static_cast<unsigned long long>(TotalSubmitted),
+              static_cast<unsigned long long>(TotalRejected),
+              static_cast<unsigned long long>(TotalAnswered),
+              static_cast<unsigned long long>(Restarts),
+              static_cast<unsigned long long>(WarmReplays),
+              static_cast<unsigned long long>(Replayed),
+              static_cast<unsigned long long>(CorruptLoads),
+              static_cast<unsigned long long>(QuarantinedSegs),
+              static_cast<unsigned long long>(TotalStrikes),
+              static_cast<unsigned long long>(TotalDenylisted),
+              static_cast<unsigned long long>(TotalShardRestarts));
   return 0;
 }
 
@@ -764,6 +1113,12 @@ int main(int argc, char **argv) {
         argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 60;
     uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
     return runCacheFuzz(Iterations, Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--daemon-chaos") == 0) {
+    uint64_t Events =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runDaemonChaos(Events, Seed);
   }
   uint64_t Iterations =
       argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 10000;
