@@ -14,6 +14,7 @@
 #include "dwarf/io.h"
 #include "nn/graph.h"
 #include "model/serving.h"
+#include "support/io.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 #include "typelang/from_dwarf.h"
@@ -90,6 +91,21 @@ void BM_WasmRead(benchmark::State &State) {
                           int64_t(Bytes.size()));
 }
 BENCHMARK(BM_WasmRead);
+
+void BM_WasmReadStreamed(benchmark::State &State) {
+  // Same decode as BM_WasmRead, but through the chunked ByteSource the
+  // streaming ingest uses (64 KiB window) — the delta is the streaming
+  // abstraction's overhead.
+  const std::vector<uint8_t> &Bytes = sampleObject().Bytes;
+  for (auto _ : State) {
+    io::MemoryByteSource Source(Bytes, 64 * 1024);
+    Result<wasm::Module> Mod = wasm::readModuleStreamed(Source);
+    benchmark::DoNotOptimize(Mod);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) *
+                          int64_t(Bytes.size()));
+}
+BENCHMARK(BM_WasmReadStreamed);
 
 void BM_WasmValidate(benchmark::State &State) {
   const wasm::Module &Mod = sampleObject().Mod;

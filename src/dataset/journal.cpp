@@ -1,0 +1,257 @@
+#include "dataset/journal.h"
+
+#include "support/hash.h"
+#include "support/io.h"
+
+#include <cstdio>
+
+namespace snowwhite {
+namespace dataset {
+namespace journal {
+
+const char *fileOutcomeName(FileOutcome Outcome) {
+  switch (Outcome) {
+  case FileOutcome::Kept:
+    return "kept";
+  case FileOutcome::QuarantinedParse:
+    return "quarantined-parse";
+  case FileOutcome::QuarantinedWatchdog:
+    return "quarantined-watchdog";
+  case FileOutcome::DuplicateExact:
+    return "duplicate-exact";
+  case FileOutcome::DuplicateNear:
+    return "duplicate-near";
+  }
+  return "invalid-outcome";
+}
+
+namespace {
+
+constexpr uint8_t Magic[4] = {'S', 'W', 'J', 'L'};
+/// The highest error code a record may carry; anything above is a corrupted
+/// (or future) taxonomy, rejected rather than cast blindly.
+constexpr uint8_t MaxErrorCode = static_cast<uint8_t>(ErrorCode::Timeout);
+constexpr uint8_t MaxOutcome =
+    static_cast<uint8_t>(FileOutcome::DuplicateNear);
+/// Serialized strings are paths and error messages; anything longer than
+/// this is a corrupted length field, not a message.
+constexpr uint64_t MaxStringBytes = 1u << 20;
+
+void appendU32(uint32_t Value, std::vector<uint8_t> &Out) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
+}
+
+void appendU64(uint64_t Value, std::vector<uint8_t> &Out) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<uint8_t>(Value >> Shift));
+}
+
+void appendString(const std::string &Text, std::vector<uint8_t> &Out) {
+  appendU64(Text.size(), Out);
+  Out.insert(Out.end(), Text.begin(), Text.end());
+}
+
+/// Bounds-checked little-endian reader over the serialized journal.
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Input) : Bytes(Input) {}
+
+  bool readU8(uint8_t &Out) {
+    if (Offset >= Bytes.size())
+      return false;
+    Out = Bytes[Offset++];
+    return true;
+  }
+
+  bool readU32(uint32_t &Out) {
+    uint64_t Wide;
+    if (!readFixed(4, Wide))
+      return false;
+    Out = static_cast<uint32_t>(Wide);
+    return true;
+  }
+
+  bool readU64(uint64_t &Out) { return readFixed(8, Out); }
+
+  bool readString(std::string &Out) {
+    uint64_t Size;
+    if (!readU64(Size) || Size > MaxStringBytes ||
+        Size > Bytes.size() - Offset)
+      return false;
+    Out.assign(Bytes.begin() + static_cast<ptrdiff_t>(Offset),
+               Bytes.begin() + static_cast<ptrdiff_t>(Offset + Size));
+    Offset += Size;
+    return true;
+  }
+
+  size_t remaining() const { return Bytes.size() - Offset; }
+  bool atEnd() const { return Offset >= Bytes.size(); }
+
+private:
+  bool readFixed(size_t NumBytes, uint64_t &Out) {
+    if (Bytes.size() - Offset < NumBytes)
+      return false;
+    Out = 0;
+    for (size_t I = 0; I < NumBytes; ++I)
+      Out |= static_cast<uint64_t>(Bytes[Offset + I]) << (8 * I);
+    Offset += NumBytes;
+    return true;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+  size_t Offset = 0;
+};
+
+} // namespace
+
+DedupSnapshot IngestJournal::snapshot() const {
+  DedupSnapshot Snap;
+  for (const FileRecord &Rec : Records) {
+    switch (Rec.Outcome) {
+    case FileOutcome::Kept:
+      ++Snap.KeptFiles;
+      Snap.ExactSetDigest = hashCombine(Snap.ExactSetDigest, Rec.ExactHash);
+      Snap.ApproxSetDigest =
+          hashCombine(Snap.ApproxSetDigest, Rec.ApproxHash);
+      break;
+    case FileOutcome::QuarantinedParse:
+      ++Snap.ParseQuarantines;
+      break;
+    case FileOutcome::QuarantinedWatchdog:
+      ++Snap.WatchdogQuarantines;
+      break;
+    case FileOutcome::DuplicateExact:
+      ++Snap.ExactDuplicates;
+      break;
+    case FileOutcome::DuplicateNear:
+      ++Snap.NearDuplicates;
+      break;
+    }
+  }
+  return Snap;
+}
+
+std::vector<uint8_t> IngestJournal::serialize() const {
+  std::vector<uint8_t> Out;
+  // Byte-wise on purpose: GCC 12's -Wstringop-overflow misfires on a
+  // range-insert from a constexpr array into an empty vector.
+  for (uint8_t Byte : Magic)
+    Out.push_back(Byte);
+  appendU32(JournalVersion, Out);
+  appendU64(ConfigDigest, Out);
+  appendU64(Records.size(), Out);
+  for (const FileRecord &Rec : Records) {
+    appendString(Rec.RelPath, Out);
+    Out.push_back(static_cast<uint8_t>(Rec.Outcome));
+    Out.push_back(static_cast<uint8_t>(Rec.Code));
+    appendString(Rec.Stage, Out);
+    appendString(Rec.Message, Out);
+    appendU64(Rec.ExactHash, Out);
+    appendU64(Rec.ApproxHash, Out);
+    appendU64(Rec.Bytes, Out);
+    appendU64(Rec.Functions, Out);
+    appendU64(Rec.Instructions, Out);
+  }
+  DedupSnapshot Snap = snapshot();
+  appendU64(Snap.KeptFiles, Out);
+  appendU64(Snap.ExactDuplicates, Out);
+  appendU64(Snap.NearDuplicates, Out);
+  appendU64(Snap.ParseQuarantines, Out);
+  appendU64(Snap.WatchdogQuarantines, Out);
+  appendU64(Snap.ExactSetDigest, Out);
+  appendU64(Snap.ApproxSetDigest, Out);
+  return Out;
+}
+
+Result<IngestJournal>
+IngestJournal::deserialize(const std::vector<uint8_t> &Bytes) {
+  Reader R(Bytes);
+  uint8_t MagicByte;
+  for (int I = 0; I < 4; ++I)
+    if (!R.readU8(MagicByte) || MagicByte != Magic[I])
+      return Error(ErrorCode::Malformed, "journal: bad magic");
+  uint32_t Version;
+  if (!R.readU32(Version))
+    return Error(ErrorCode::Truncated, "journal: truncated header");
+  if (Version != JournalVersion)
+    return Error(ErrorCode::Unsupported,
+                 "journal: version " + std::to_string(Version) +
+                     " unsupported (expected " +
+                     std::to_string(JournalVersion) + ")");
+  IngestJournal J;
+  uint64_t NumRecords;
+  if (!R.readU64(J.ConfigDigest) || !R.readU64(NumRecords))
+    return Error(ErrorCode::Truncated, "journal: truncated header");
+  // Every record costs well over one byte; a count past the remaining bytes
+  // is a hostile or corrupted header, not a record list.
+  if (NumRecords > R.remaining())
+    return Error(ErrorCode::Malformed,
+                 "journal: record count " + std::to_string(NumRecords) +
+                     " exceeds remaining bytes");
+  J.Records.reserve(static_cast<size_t>(NumRecords));
+  for (uint64_t I = 0; I < NumRecords; ++I) {
+    std::string Where = "journal: record " + std::to_string(I) + ": ";
+    FileRecord Rec;
+    uint8_t Outcome, Code;
+    if (!R.readString(Rec.RelPath) || !R.readU8(Outcome) || !R.readU8(Code) ||
+        !R.readString(Rec.Stage) || !R.readString(Rec.Message) ||
+        !R.readU64(Rec.ExactHash) || !R.readU64(Rec.ApproxHash) ||
+        !R.readU64(Rec.Bytes) || !R.readU64(Rec.Functions) ||
+        !R.readU64(Rec.Instructions))
+      return Error(ErrorCode::Truncated, Where + "truncated");
+    if (Outcome > MaxOutcome)
+      return Error(ErrorCode::Malformed, Where + "invalid outcome");
+    if (Code > MaxErrorCode)
+      return Error(ErrorCode::Malformed, Where + "invalid error code");
+    Rec.Outcome = static_cast<FileOutcome>(Outcome);
+    Rec.Code = static_cast<ErrorCode>(Code);
+    J.Records.push_back(std::move(Rec));
+  }
+  DedupSnapshot Stored;
+  if (!R.readU64(Stored.KeptFiles) || !R.readU64(Stored.ExactDuplicates) ||
+      !R.readU64(Stored.NearDuplicates) ||
+      !R.readU64(Stored.ParseQuarantines) ||
+      !R.readU64(Stored.WatchdogQuarantines) ||
+      !R.readU64(Stored.ExactSetDigest) || !R.readU64(Stored.ApproxSetDigest))
+    return Error(ErrorCode::Truncated, "journal: truncated dedup snapshot");
+  if (!R.atEnd())
+    return Error(ErrorCode::Malformed, "journal: trailing bytes");
+  DedupSnapshot Computed = J.snapshot();
+  if (Computed.KeptFiles != Stored.KeptFiles ||
+      Computed.ExactDuplicates != Stored.ExactDuplicates ||
+      Computed.NearDuplicates != Stored.NearDuplicates ||
+      Computed.ParseQuarantines != Stored.ParseQuarantines ||
+      Computed.WatchdogQuarantines != Stored.WatchdogQuarantines ||
+      Computed.ExactSetDigest != Stored.ExactSetDigest ||
+      Computed.ApproxSetDigest != Stored.ApproxSetDigest)
+    return Error(ErrorCode::Malformed,
+                 "journal: dedup snapshot disagrees with its records");
+  return J;
+}
+
+Result<void> saveJournal(const std::string &Path, const IngestJournal &J,
+                         fault::FaultInjector *Faults) {
+  return io::writeFileChecksummed(Path, J.serialize(), Faults)
+      .withContext("journal '" + Path + "'");
+}
+
+Result<IngestJournal> loadJournal(const std::string &Path,
+                                  fault::FaultInjector *Faults) {
+  Result<std::vector<uint8_t>> Bytes = io::readFileChecksummed(Path, Faults);
+  if (Bytes.isErr())
+    return Bytes.error();
+  return IngestJournal::deserialize(*Bytes).withContext("journal '" + Path +
+                                                        "'");
+}
+
+std::string quarantineJournal(const std::string &Path) {
+  std::string Target = Path + ".quarantined";
+  if (std::rename(Path.c_str(), Target.c_str()) != 0)
+    return {};
+  return Target;
+}
+
+} // namespace journal
+} // namespace dataset
+} // namespace snowwhite

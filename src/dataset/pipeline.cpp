@@ -1,8 +1,10 @@
 #include "dataset/pipeline.h"
 
 #include "analysis/analyzer.h"
+#include "dataset/journal.h"
 #include "dwarf/io.h"
 #include "support/hash.h"
+#include "support/io.h"
 #include "support/rng.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
@@ -13,10 +15,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace snowwhite {
@@ -44,7 +48,10 @@ uint64_t Dataset::countReturns(const std::vector<uint32_t> &Split) const {
 std::string QuarantineReport::summary() const {
   std::string Out = "quarantined " + std::to_string(total()) + " module(s): " +
                     std::to_string(ParseFailures) + " parse, " +
-                    std::to_string(DebugFailures) + " debug-info\n";
+                    std::to_string(DebugFailures) + " debug-info";
+  if (WatchdogFailures)
+    Out += ", " + std::to_string(WatchdogFailures) + " watchdog";
+  Out += "\n";
   for (const QuarantineEntry &Entry : Entries)
     Out += "  package " + std::to_string(Entry.PackageId) + "/obj" +
            std::to_string(Entry.ObjectIndex) + " [" + Entry.Stage + ", " +
@@ -61,124 +68,47 @@ struct KeptBinary {
   uint32_t PackageId;
 };
 
-} // namespace
+/// A parsed module that survived dedup, queued for the shared downstream
+/// stages (debug extraction onward). Both ingest drivers — the buffered
+/// buildDataset and the streaming streamIngest — reduce to this shape, so
+/// everything from DWARF extraction to the split behaves identically.
+struct KeptParsed {
+  wasm::Module Mod;
+  uint32_t PackageId = 0;
+  uint32_t ObjectIndex = 0;
+  uint64_t ByteSize = 0;
+};
 
-Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
-  Dataset Out;
-  Out.NumPackages = static_cast<uint32_t>(Corpus.Packages.size());
+/// Runs the shared downstream stages over the deduped survivors: DWARF
+/// extraction, dataflow analysis, function/subprogram matching, the name
+/// vocabulary, sample materialization, the per-package cap, and the split.
+/// Out must arrive with NumPackages and the parse/dedup-stage counters
+/// already populated; this fills in everything else (including the final
+/// ingest.* telemetry counters).
+void finishDataset(std::vector<KeptParsed> KeptMods,
+                   const DatasetOptions &Options, Dataset &Out) {
+  ThreadPool &Pool = ThreadPool::global();
 
   // Per-stage time attribution: the stages run strictly in sequence, so one
   // rolling ScopedPhase slot gives each its own wall/CPU window in the
   // telemetry registry ("ingest.<stage>").
-  telemetry::ScopedPhase IngestPhase("ingest.total");
   std::unique_ptr<telemetry::ScopedPhase> Stage;
   auto BeginStage = [&Stage](const char *Name) {
     Stage.reset();
     Stage = std::make_unique<telemetry::ScopedPhase>(Name);
   };
-  BeginStage("ingest.parse_dedup");
-
-  // --- Stage 1: deduplication over serialized binaries -------------------
-  // Parsing and hashing every object is the expensive part and is pure, so
-  // it fans out over the pool into per-object slots. The dedup *decisions*
-  // (hash-set insertions) then replay sequentially in corpus order, making
-  // the kept set bit-identical to the sequential pipeline for any thread
-  // count.
-  ThreadPool &Pool = ThreadPool::global();
-
-  struct FlatObject {
-    const CompiledObject *Object;
-    uint32_t PackageId;
-    uint32_t ObjectIndex; ///< Index within the owning package.
-  };
-  std::vector<FlatObject> Flat;
-  for (const frontend::Package &Pkg : Corpus.Packages)
-    for (size_t Index = 0; Index < Pkg.Objects.size(); ++Index)
-      Flat.push_back({&Pkg.Objects[Index], Pkg.Id,
-                      static_cast<uint32_t>(Index)});
-
-  // Parse results and errors land in disjoint per-object slots; quarantine
-  // decisions (like dedup decisions) replay sequentially in corpus order, so
-  // the surviving set and the report are thread-count independent.
-  std::vector<std::optional<wasm::Module>> Mods(Flat.size());
-  std::vector<std::optional<Error>> ParseErrors(Flat.size());
-  std::vector<uint64_t> ExactHashes(Flat.size(), 0);
-  std::vector<uint64_t> ApproxSignatures(Flat.size(), 0);
-  std::vector<std::string> Abstractions(Flat.size());
-  Pool.parallelFor(0, Flat.size(), 1, [&](size_t Begin, size_t End) {
-    for (size_t I = Begin; I < End; ++I) {
-      // The pipeline consumes serialized bytes, as it would real binaries.
-      Result<wasm::Module> Parsed = wasm::readModule(Flat[I].Object->Bytes);
-      if (Parsed.isErr()) {
-        ParseErrors[I].emplace(Parsed.error().withContext(
-            "package " + std::to_string(Flat[I].PackageId) + "/obj" +
-            std::to_string(Flat[I].ObjectIndex)));
-        continue;
-      }
-      Mods[I].emplace(Parsed.take());
-      if (Options.Deduplicate) {
-        ExactHashes[I] = hashVector(Flat[I].Object->Bytes);
-        // Keep the full abstraction string alongside its hash: a 64-bit
-        // signature match alone is not proof of a near-duplicate, so the
-        // sequential replay below confirms byte-wise before dropping.
-        Abstractions[I] = wasm::moduleAbstraction(*Mods[I]);
-        ApproxSignatures[I] = hashString(Abstractions[I]);
-      }
-    }
-  });
-
-  SignatureSet SeenExact;
-  SignatureSet SeenApprox;
-  std::vector<size_t> KeptFlat; ///< Indices into Flat/Mods surviving dedup.
-  for (size_t I = 0; I < Flat.size(); ++I) {
-    const CompiledObject &Object = *Flat[I].Object;
-    ++Out.Dedup.ObjectsBefore;
-    Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
-    Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
-    Out.Dedup.BytesBefore += Object.Bytes.size();
-    if (!Mods[I]) {
-      ++Out.Quarantine.ParseFailures;
-      Out.Quarantine.Entries.push_back(
-          {Flat[I].PackageId, Flat[I].ObjectIndex, "parse",
-           ParseErrors[I]->code(), ParseErrors[I]->message()});
-      continue;
-    }
-    if (Options.Deduplicate) {
-      // Hash match alone never drops a module: both sets fall back to a
-      // byte-wise key comparison, so a 64-bit collision is kept (and
-      // counted) instead of being silently merged with a distinct module.
-      std::string ExactKey(Object.Bytes.begin(), Object.Bytes.end());
-      if (SeenExact.insert(ExactHashes[I], std::move(ExactKey)) ==
-          SignatureSet::Insert::Duplicate) {
-        ++Out.Dedup.ExactDuplicates;
-        continue;
-      }
-      if (SeenApprox.insert(ApproxSignatures[I],
-                            std::move(Abstractions[I])) ==
-          SignatureSet::Insert::Duplicate) {
-        ++Out.Dedup.NearDuplicates;
-        continue;
-      }
-    }
-    KeptFlat.push_back(I);
-  }
-  Out.Dedup.SignatureCollisions =
-      SeenExact.collisions() + SeenApprox.collisions();
-  if (Out.Dedup.SignatureCollisions)
-    telemetry::counter("ingest.signature_collisions")
-        .add(Out.Dedup.SignatureCollisions);
 
   BeginStage("ingest.debug_extract");
-  std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptFlat.size());
-  std::vector<std::optional<Error>> DebugErrors(KeptFlat.size());
-  Pool.parallelFor(0, KeptFlat.size(), 1, [&](size_t Begin, size_t End) {
+  std::vector<std::optional<dwarf::DebugInfo>> Debugs(KeptMods.size());
+  std::vector<std::optional<Error>> DebugErrors(KeptMods.size());
+  Pool.parallelFor(0, KeptMods.size(), 1, [&](size_t Begin, size_t End) {
     for (size_t K = Begin; K < End; ++K) {
-      size_t I = KeptFlat[K];
-      Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(*Mods[I]);
+      Result<dwarf::DebugInfo> Debug =
+          dwarf::extractDebugInfo(KeptMods[K].Mod);
       if (Debug.isErr()) {
         DebugErrors[K].emplace(Debug.error().withContext(
-            "package " + std::to_string(Flat[I].PackageId) + "/obj" +
-            std::to_string(Flat[I].ObjectIndex)));
+            "package " + std::to_string(KeptMods[K].PackageId) + "/obj" +
+            std::to_string(KeptMods[K].ObjectIndex)));
         continue;
       }
       Debugs[K].emplace(Debug.take());
@@ -186,21 +116,20 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   });
 
   std::vector<KeptBinary> Kept;
-  for (size_t K = 0; K < KeptFlat.size(); ++K) {
-    size_t I = KeptFlat[K];
+  for (size_t K = 0; K < KeptMods.size(); ++K) {
     if (!Debugs[K]) {
       ++Out.Quarantine.DebugFailures;
       Out.Quarantine.Entries.push_back(
-          {Flat[I].PackageId, Flat[I].ObjectIndex, "debug-info",
+          {KeptMods[K].PackageId, KeptMods[K].ObjectIndex, "debug-info",
            DebugErrors[K]->code(), DebugErrors[K]->message()});
       continue;
     }
     ++Out.Dedup.ObjectsAfter;
-    Out.Dedup.FunctionsAfter += Mods[I]->Functions.size();
-    Out.Dedup.InstructionsAfter += Mods[I]->countInstructions();
-    Out.Dedup.BytesAfter += Flat[I].Object->Bytes.size();
-    Kept.push_back(KeptBinary{std::move(*Mods[I]), std::move(*Debugs[K]),
-                              Flat[I].PackageId});
+    Out.Dedup.FunctionsAfter += KeptMods[K].Mod.Functions.size();
+    Out.Dedup.InstructionsAfter += KeptMods[K].Mod.countInstructions();
+    Out.Dedup.BytesAfter += KeptMods[K].ByteSize;
+    Kept.push_back(KeptBinary{std::move(KeptMods[K].Mod),
+                              std::move(*Debugs[K]), KeptMods[K].PackageId});
   }
 
   // --- Stage 1b: dataflow analysis over kept binaries ---------------------
@@ -404,6 +333,8 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
       .add(Out.Quarantine.ParseFailures);
   telemetry::counter("ingest.quarantine.debug_failures")
       .add(Out.Quarantine.DebugFailures);
+  telemetry::counter("ingest.quarantine.watchdog_failures")
+      .add(Out.Quarantine.WatchdogFailures);
   telemetry::counter("ingest.duplicates_dropped")
       .add(Out.Dedup.ExactDuplicates + Out.Dedup.NearDuplicates);
   telemetry::counter("ingest.objects_kept").add(Out.Dedup.ObjectsAfter);
@@ -412,6 +343,472 @@ Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
   telemetry::counter("ingest.samples_dropped_by_cap")
       .add(Out.SamplesDroppedByCap);
   telemetry::counter("ingest.samples").add(Out.Samples.size());
+}
+
+} // namespace
+
+Dataset buildDataset(const Corpus &Corpus, const DatasetOptions &Options) {
+  Dataset Out;
+  Out.NumPackages = static_cast<uint32_t>(Corpus.Packages.size());
+
+  telemetry::ScopedPhase IngestPhase("ingest.total");
+  std::unique_ptr<telemetry::ScopedPhase> Stage =
+      std::make_unique<telemetry::ScopedPhase>("ingest.parse_dedup");
+
+  // --- Stage 1: deduplication over serialized binaries -------------------
+  // Parsing and hashing every object is the expensive part and is pure, so
+  // it fans out over the pool into per-object slots. The dedup *decisions*
+  // (hash-set insertions) then replay sequentially in corpus order, making
+  // the kept set bit-identical to the sequential pipeline for any thread
+  // count.
+  ThreadPool &Pool = ThreadPool::global();
+
+  struct FlatObject {
+    const CompiledObject *Object;
+    uint32_t PackageId;
+    uint32_t ObjectIndex; ///< Index within the owning package.
+  };
+  std::vector<FlatObject> Flat;
+  for (const frontend::Package &Pkg : Corpus.Packages)
+    for (size_t Index = 0; Index < Pkg.Objects.size(); ++Index)
+      Flat.push_back({&Pkg.Objects[Index], Pkg.Id,
+                      static_cast<uint32_t>(Index)});
+
+  // Parse results and errors land in disjoint per-object slots; quarantine
+  // decisions (like dedup decisions) replay sequentially in corpus order, so
+  // the surviving set and the report are thread-count independent.
+  std::vector<std::optional<wasm::Module>> Mods(Flat.size());
+  std::vector<std::optional<Error>> ParseErrors(Flat.size());
+  std::vector<uint64_t> ExactHashes(Flat.size(), 0);
+  std::vector<uint64_t> ApproxSignatures(Flat.size(), 0);
+  std::vector<std::string> Abstractions(Flat.size());
+  Pool.parallelFor(0, Flat.size(), 1, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      // The pipeline consumes serialized bytes, as it would real binaries.
+      Result<wasm::Module> Parsed = wasm::readModule(Flat[I].Object->Bytes);
+      if (Parsed.isErr()) {
+        ParseErrors[I].emplace(Parsed.error().withContext(
+            "package " + std::to_string(Flat[I].PackageId) + "/obj" +
+            std::to_string(Flat[I].ObjectIndex)));
+        continue;
+      }
+      Mods[I].emplace(Parsed.take());
+      if (Options.Deduplicate) {
+        ExactHashes[I] = hashVector(Flat[I].Object->Bytes);
+        // Keep the full abstraction string alongside its hash: a 64-bit
+        // signature match alone is not proof of a near-duplicate, so the
+        // sequential replay below confirms byte-wise before dropping.
+        Abstractions[I] = wasm::moduleAbstraction(*Mods[I]);
+        ApproxSignatures[I] = hashString(Abstractions[I]);
+      }
+    }
+  });
+
+  SignatureSet SeenExact;
+  SignatureSet SeenApprox;
+  std::vector<size_t> KeptFlat; ///< Indices into Flat/Mods surviving dedup.
+  for (size_t I = 0; I < Flat.size(); ++I) {
+    const CompiledObject &Object = *Flat[I].Object;
+    ++Out.Dedup.ObjectsBefore;
+    Out.Dedup.FunctionsBefore += Object.Mod.Functions.size();
+    Out.Dedup.InstructionsBefore += Object.Mod.countInstructions();
+    Out.Dedup.BytesBefore += Object.Bytes.size();
+    if (!Mods[I]) {
+      ++Out.Quarantine.ParseFailures;
+      Out.Quarantine.Entries.push_back(
+          {Flat[I].PackageId, Flat[I].ObjectIndex, "parse",
+           ParseErrors[I]->code(), ParseErrors[I]->message()});
+      continue;
+    }
+    if (Options.Deduplicate) {
+      // Hash match alone never drops a module: both sets fall back to a
+      // byte-wise key comparison, so a 64-bit collision is kept (and
+      // counted) instead of being silently merged with a distinct module.
+      std::string ExactKey(Object.Bytes.begin(), Object.Bytes.end());
+      if (SeenExact.insert(ExactHashes[I], std::move(ExactKey)) ==
+          SignatureSet::Insert::Duplicate) {
+        ++Out.Dedup.ExactDuplicates;
+        continue;
+      }
+      if (SeenApprox.insert(ApproxSignatures[I],
+                            std::move(Abstractions[I])) ==
+          SignatureSet::Insert::Duplicate) {
+        ++Out.Dedup.NearDuplicates;
+        continue;
+      }
+    }
+    KeptFlat.push_back(I);
+  }
+  Out.Dedup.SignatureCollisions =
+      SeenExact.collisions() + SeenApprox.collisions();
+  if (Out.Dedup.SignatureCollisions)
+    telemetry::counter("ingest.signature_collisions")
+        .add(Out.Dedup.SignatureCollisions);
+
+  std::vector<KeptParsed> KeptMods;
+  KeptMods.reserve(KeptFlat.size());
+  for (size_t I : KeptFlat)
+    KeptMods.push_back({std::move(*Mods[I]), Flat[I].PackageId,
+                        Flat[I].ObjectIndex, Flat[I].Object->Bytes.size()});
+  Stage.reset();
+
+  finishDataset(std::move(KeptMods), Options, Out);
+  return Out;
+}
+
+Result<std::vector<IngestFile>> discoverWasmFiles(const std::string &Root) {
+  namespace fs = std::filesystem;
+  std::error_code DirError;
+  std::vector<IngestFile> Files;
+  fs::recursive_directory_iterator It(Root, DirError), EndIt;
+  if (DirError)
+    return Error(ErrorCode::IoError, "cannot list directory '" + Root +
+                                         "': " + DirError.message());
+  for (; It != EndIt; It.increment(DirError)) {
+    if (DirError)
+      return Error(ErrorCode::IoError, "cannot list directory '" + Root +
+                                           "': " + DirError.message());
+    std::error_code TypeError;
+    if (!It->is_regular_file(TypeError) ||
+        It->path().extension() != ".wasm")
+      continue;
+    IngestFile File;
+    File.Path = It->path().string();
+    File.RelPath = It->path().lexically_relative(Root).generic_string();
+    Files.push_back(std::move(File));
+  }
+  if (Files.empty())
+    return Error(ErrorCode::NotFound, "no .wasm files under '" + Root + "'");
+  std::sort(Files.begin(), Files.end(),
+            [](const IngestFile &A, const IngestFile &B) {
+              return A.RelPath < B.RelPath;
+            });
+  return Files;
+}
+
+namespace {
+
+/// Digest over the decision-relevant ingest knobs. A journal written under
+/// different budgets (or dedup off) would have decided differently, so
+/// resume refuses to mix them.
+uint64_t ingestConfigDigest(const StreamIngestOptions &Options) {
+  uint64_t Digest = hashString("snowwhite-ingest-journal");
+  Digest = hashCombine(Digest, Options.Dataset.Deduplicate ? 1 : 0);
+  Digest = hashCombine(Digest, Options.FileBudgetMillis);
+  Digest = hashCombine(Digest, Options.MaxSectionBytes);
+  Digest = hashCombine(Digest, Options.MaxModuleBytes);
+  return Digest;
+}
+
+/// Chunked byte-wise comparison of two files through bounded windows. This
+/// is the collision-safety confirm for the streaming exact dedup: a 64-bit
+/// hash match alone never drops a file, and confirming by re-reading costs
+/// memory proportional to the window, not the file.
+Result<bool> fileContentsEqual(const std::string &PathA,
+                               const std::string &PathB, size_t WindowBytes,
+                               fault::FaultInjector *Faults) {
+  io::FileByteSource A(PathA, WindowBytes, Faults);
+  io::FileByteSource B(PathB, WindowBytes, Faults);
+  auto FillChunk = [](io::ByteSource &Source, uint8_t *Buf,
+                      size_t N) -> Result<size_t> {
+    size_t Got = 0;
+    while (Got < N) {
+      Result<size_t> R = Source.readSome(Buf + Got, N - Got);
+      if (R.isErr())
+        return R;
+      if (*R == 0)
+        break;
+      Got += *R;
+    }
+    return Got;
+  };
+  uint8_t BufA[4096], BufB[4096];
+  for (;;) {
+    Result<size_t> GotA = FillChunk(A, BufA, sizeof(BufA));
+    if (GotA.isErr())
+      return GotA.error();
+    Result<size_t> GotB = FillChunk(B, BufB, sizeof(BufB));
+    if (GotB.isErr())
+      return GotB.error();
+    if (*GotA != *GotB)
+      return false;
+    if (*GotA == 0)
+      return true;
+    if (!std::equal(BufA, BufA + *GotA, BufB))
+      return false;
+  }
+}
+
+} // namespace
+
+Result<StreamIngestResult> streamIngest(const std::vector<IngestFile> &Files,
+                                        const StreamIngestOptions &Options) {
+  StreamIngestResult Out;
+  Dataset &Data = Out.Data;
+  Data.NumPackages = static_cast<uint32_t>(Files.size());
+
+  telemetry::ScopedPhase IngestPhase("ingest.total");
+  std::unique_ptr<telemetry::ScopedPhase> Stage =
+      std::make_unique<telemetry::ScopedPhase>("ingest.stream_parse");
+  fault::FaultInjector *Faults =
+      Options.Faults ? Options.Faults : fault::globalInjector();
+  bool Journaling = !Options.JournalPath.empty();
+  uint64_t ConfigDigest = ingestConfigDigest(Options);
+
+  // --- Resume: load the journal and validate it against this corpus ------
+  journal::IngestJournal J;
+  J.ConfigDigest = ConfigDigest;
+  size_t ReplayCount = 0;
+  if (Journaling && Options.Resume) {
+    Result<journal::IngestJournal> Loaded =
+        journal::loadJournal(Options.JournalPath, Faults);
+    std::optional<Error> Reject;
+    if (Loaded.isErr()) {
+      // A missing journal just means nothing to resume; anything else is a
+      // damaged journal and gets quarantined aside.
+      if (Loaded.error().code() != ErrorCode::IoError)
+        Reject = Loaded.error();
+    } else if (Loaded->ConfigDigest != ConfigDigest) {
+      Reject = Error(ErrorCode::Unsupported,
+                     "journal '" + Options.JournalPath +
+                         "': config digest mismatch (ingest options changed)");
+    } else if (Loaded->Records.size() > Files.size()) {
+      Reject = Error(ErrorCode::Unsupported,
+                     "journal '" + Options.JournalPath +
+                         "': more records than discovered files (corpus "
+                         "changed)");
+    } else {
+      for (size_t I = 0; I < Loaded->Records.size(); ++I)
+        if (Loaded->Records[I].RelPath != Files[I].RelPath) {
+          Reject = Error(ErrorCode::Unsupported,
+                         "journal '" + Options.JournalPath + "': record " +
+                             std::to_string(I) + " names '" +
+                             Loaded->Records[I].RelPath +
+                             "' but the corpus has '" + Files[I].RelPath +
+                             "' (corpus changed)");
+          break;
+        }
+    }
+    if (Reject) {
+      Out.JournalIssue = *Reject;
+      Out.JournalQuarantinedPath =
+          journal::quarantineJournal(Options.JournalPath);
+      telemetry::counter("ingest.journal.quarantined").add(1);
+    } else if (Loaded.isOk()) {
+      J.Records = std::move(Loaded->Records);
+      ReplayCount = J.Records.size();
+    }
+  }
+
+  // --- Dedup state ---------------------------------------------------------
+  // Near dedup keeps the canonical abstraction strings (small) in a
+  // collision-checked SignatureSet, exactly like buildDataset. Exact dedup
+  // cannot afford full-file keys in a streaming ingest, so it buckets file
+  // indices by streaming hash and confirms candidate duplicates by chunked
+  // re-read — same collision-safety guarantee, window-bounded memory.
+  SignatureSet SeenApprox;
+  std::unordered_map<uint64_t, std::vector<size_t>> ExactBuckets;
+  uint64_t ExactCollisions = 0;
+  auto InsertExact = [&](size_t FileIndex, uint64_t Hash) {
+    std::vector<size_t> &Bucket = ExactBuckets[Hash];
+    if (!Bucket.empty())
+      ++ExactCollisions;
+    Bucket.push_back(FileIndex);
+  };
+
+  std::vector<KeptParsed> KeptMods;
+
+  auto Publish = [&]() -> Result<void> {
+    if (!Journaling)
+      return {};
+    Result<void> Saved = journal::saveJournal(Options.JournalPath, J, Faults);
+    if (Saved.isOk()) {
+      ++Out.JournalPublishes;
+      telemetry::counter("ingest.journal.publishes").add(1);
+    }
+    return Saved;
+  };
+
+  // Applies a decided record's stats + quarantine entries; identical for
+  // fresh and replayed records, which is what makes resume bit-identical.
+  auto ApplyRecord = [&](size_t FileIndex, const journal::FileRecord &Rec) {
+    ++Data.Dedup.ObjectsBefore;
+    Data.Dedup.BytesBefore += Rec.Bytes;
+    Data.Dedup.FunctionsBefore += Rec.Functions;
+    Data.Dedup.InstructionsBefore += Rec.Instructions;
+    switch (Rec.Outcome) {
+    case journal::FileOutcome::Kept:
+      break; // After-side stats accrue in the debug-extract stage.
+    case journal::FileOutcome::QuarantinedParse:
+      ++Data.Quarantine.ParseFailures;
+      Data.Quarantine.Entries.push_back({static_cast<uint32_t>(FileIndex), 0,
+                                         Rec.Stage, Rec.Code, Rec.Message});
+      break;
+    case journal::FileOutcome::QuarantinedWatchdog:
+      ++Data.Quarantine.WatchdogFailures;
+      Data.Quarantine.Entries.push_back({static_cast<uint32_t>(FileIndex), 0,
+                                         Rec.Stage, Rec.Code, Rec.Message});
+      break;
+    case journal::FileOutcome::DuplicateExact:
+      ++Data.Dedup.ExactDuplicates;
+      break;
+    case journal::FileOutcome::DuplicateNear:
+      ++Data.Dedup.NearDuplicates;
+      break;
+    }
+  };
+
+  // Re-applies a journaled Kept decision: re-read and re-parse (downstream
+  // stages need the module anyway), verify the file still matches its
+  // journaled hash, and rebuild the dedup-set state byte-exactly.
+  auto ReplayKept = [&](size_t FileIndex,
+                        const journal::FileRecord &Rec) -> Result<void> {
+    io::FileByteSource Source(Files[FileIndex].Path, Options.WindowBytes,
+                              Faults);
+    wasm::ReadLimits Limits;
+    Limits.MaxSectionBytes = Options.MaxSectionBytes;
+    Limits.MaxModuleBytes = Options.MaxModuleBytes;
+    Result<wasm::Module> Parsed = wasm::readModuleStreamed(Source, Limits);
+    if (Parsed.isErr())
+      return Parsed.error().withContext(
+          "resume: journaled-kept file '" + Files[FileIndex].RelPath +
+          "' no longer parses");
+    if (Source.runningHash() != Rec.ExactHash)
+      return Error(ErrorCode::ChecksumMismatch,
+                   "resume: file '" + Files[FileIndex].RelPath +
+                       "' changed since it was journaled");
+    wasm::Module Mod = Parsed.take();
+    if (Options.Dataset.Deduplicate) {
+      InsertExact(FileIndex, Rec.ExactHash);
+      std::string Abstraction = wasm::moduleAbstraction(Mod);
+      if (hashString(Abstraction) != Rec.ApproxHash)
+        return Error(ErrorCode::ChecksumMismatch,
+                     "resume: file '" + Files[FileIndex].RelPath +
+                         "' abstraction changed since it was journaled");
+      SeenApprox.insert(Rec.ApproxHash, std::move(Abstraction));
+    }
+    KeptMods.push_back({std::move(Mod), static_cast<uint32_t>(FileIndex), 0,
+                        Rec.Bytes});
+    return {};
+  };
+
+  // Decides one not-yet-journaled file: streamed parse under the per-file
+  // watchdog and byte budgets, then collision-safe dedup.
+  auto DecideFile = [&](size_t FileIndex,
+                        journal::FileRecord &Rec) -> Result<void> {
+    const IngestFile &File = Files[FileIndex];
+    Rec.RelPath = File.RelPath;
+    io::FileByteSource Source(File.Path, Options.WindowBytes, Faults);
+    fault::Deadline Watchdog(Options.FileBudgetMillis, Faults);
+    wasm::ReadLimits Limits;
+    Limits.MaxSectionBytes = Options.MaxSectionBytes;
+    Limits.MaxModuleBytes = Options.MaxModuleBytes;
+    Limits.Watchdog = &Watchdog;
+    Result<wasm::Module> Parsed = wasm::readModuleStreamed(Source, Limits);
+    Rec.Bytes = Source.consumed();
+    telemetry::histogram("ingest.stream.file_bytes").record(Rec.Bytes);
+    if (Parsed.isErr()) {
+      const Error &E = Parsed.error();
+      // Timeout and the reader's byte-budget breaches are the watchdog's
+      // verdicts; everything else is ordinary parse damage.
+      bool Watchdogged =
+          E.code() == ErrorCode::Timeout ||
+          (E.code() == ErrorCode::LimitExceeded &&
+           E.message().find("byte budget") != std::string::npos);
+      Rec.Outcome = Watchdogged ? journal::FileOutcome::QuarantinedWatchdog
+                                : journal::FileOutcome::QuarantinedParse;
+      Rec.Code = E.code();
+      Rec.Stage = Watchdogged ? "watchdog" : "parse";
+      Rec.Message = E.withContext(File.RelPath).message();
+      return {};
+    }
+    wasm::Module Mod = Parsed.take();
+    Rec.ExactHash = Source.runningHash();
+    Rec.Functions = Mod.Functions.size();
+    Rec.Instructions = Mod.countInstructions();
+    if (Options.Dataset.Deduplicate) {
+      std::vector<size_t> &Bucket = ExactBuckets[Rec.ExactHash];
+      for (size_t PriorIndex : Bucket) {
+        Result<bool> Same =
+            fileContentsEqual(Files[PriorIndex].Path, File.Path,
+                              Options.WindowBytes, Faults);
+        if (Same.isErr())
+          return Same.error().withContext("dedup confirm for '" +
+                                          File.RelPath + "'");
+        if (*Same) {
+          Rec.Outcome = journal::FileOutcome::DuplicateExact;
+          return {};
+        }
+      }
+      InsertExact(FileIndex, Rec.ExactHash);
+      std::string Abstraction = wasm::moduleAbstraction(Mod);
+      Rec.ApproxHash = hashString(Abstraction);
+      if (SeenApprox.insert(Rec.ApproxHash, std::move(Abstraction)) ==
+          SignatureSet::Insert::Duplicate) {
+        Rec.Outcome = journal::FileOutcome::DuplicateNear;
+        return {};
+      }
+    }
+    Rec.Outcome = journal::FileOutcome::Kept;
+    KeptMods.push_back({std::move(Mod), static_cast<uint32_t>(FileIndex), 0,
+                        Rec.Bytes});
+    return {};
+  };
+
+  // --- The per-file decision loop (strictly sequential in Files order) ----
+  for (size_t I = 0; I < Files.size(); ++I) {
+    if (I < ReplayCount) {
+      const journal::FileRecord &Rec = J.Records[I];
+      if (Rec.Outcome == journal::FileOutcome::Kept) {
+        Result<void> Replayed = ReplayKept(I, Rec);
+        if (Replayed.isErr())
+          return Replayed.error();
+      } else if (Rec.Outcome == journal::FileOutcome::DuplicateNear &&
+                 Options.Dataset.Deduplicate) {
+        // A near-duplicate's exact hash entered the exact set before the
+        // near check dropped it; replay must rebuild that state too.
+        InsertExact(I, Rec.ExactHash);
+      }
+      ApplyRecord(I, Rec);
+      ++Out.FilesReplayed;
+      continue;
+    }
+    journal::FileRecord Rec;
+    Result<void> Decided = DecideFile(I, Rec);
+    if (Decided.isErr())
+      return Decided.error();
+    J.Records.push_back(Rec);
+    ApplyRecord(I, Rec);
+    ++Out.FilesProcessed;
+    if (Journaling && Options.JournalEvery > 0 &&
+        J.Records.size() % Options.JournalEvery == 0) {
+      Result<void> Published = Publish();
+      if (Published.isErr())
+        return Published.error();
+    }
+    // The crash clock ticks once per decided file; when it fires the run
+    // stops cold — no final publish — exactly like a kill -9 between
+    // journal cadences.
+    if (Faults && Faults->tick()) {
+      Out.Crashed = true;
+      telemetry::counter("ingest.crashes_injected").add(1);
+      return Out;
+    }
+  }
+
+  Result<void> Published = Publish();
+  if (Published.isErr())
+    return Published.error();
+
+  Data.Dedup.SignatureCollisions = ExactCollisions + SeenApprox.collisions();
+  if (Data.Dedup.SignatureCollisions)
+    telemetry::counter("ingest.signature_collisions")
+        .add(Data.Dedup.SignatureCollisions);
+  telemetry::counter("ingest.stream.files_processed").add(Out.FilesProcessed);
+  telemetry::counter("ingest.stream.files_replayed").add(Out.FilesReplayed);
+  Stage.reset();
+
+  finishDataset(std::move(KeptMods), Options.Dataset, Data);
   return Out;
 }
 

@@ -21,12 +21,14 @@
 #include "analysis/evidence.h"
 #include "dataset/extract.h"
 #include "frontend/corpus.h"
+#include "support/fault.h"
 #include "support/result.h"
 #include "typelang/type.h"
 #include "typelang/vocab.h"
 #include "wasm/types.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,9 +86,13 @@ struct QuarantineEntry {
 struct QuarantineReport {
   uint64_t ParseFailures = 0;  ///< wasm::readModule rejected the bytes.
   uint64_t DebugFailures = 0;  ///< DWARF sections missing or malformed.
+  uint64_t WatchdogFailures = 0; ///< Per-file stall/byte-budget watchdog
+                                 ///< fired (streaming ingest only).
   std::vector<QuarantineEntry> Entries;
 
-  uint64_t total() const { return ParseFailures + DebugFailures; }
+  uint64_t total() const {
+    return ParseFailures + DebugFailures + WatchdogFailures;
+  }
   bool empty() const { return Entries.empty(); }
   /// Human-readable multi-line summary ("stage counts + one line per entry").
   std::string summary() const;
@@ -125,6 +131,70 @@ struct Dataset {
 /// on real binaries.
 Dataset buildDataset(const frontend::Corpus &Corpus,
                      const DatasetOptions &Options = {});
+
+/// One object file queued for streaming ingest.
+struct IngestFile {
+  std::string Path;    ///< Full path, opened for reading.
+  std::string RelPath; ///< '/'-separated path relative to the ingest root;
+                       ///< the stable identity journal records key on.
+};
+
+/// Recursively discovers "*.wasm" files under Root. Deterministic: results
+/// are sorted by RelPath, so ingest order (and therefore package ids, dedup
+/// decisions, and the journal) is independent of directory enumeration
+/// order. Errors: IoError (unreadable root), NotFound (no matches).
+Result<std::vector<IngestFile>> discoverWasmFiles(const std::string &Root);
+
+/// Streaming-ingest tuning. The per-file budgets feed the reader's
+/// ReadLimits and the stall watchdog; the journal knobs control crash-safe
+/// resume.
+struct StreamIngestOptions {
+  DatasetOptions Dataset;
+  /// Journal file path; empty disables journaling (and resume).
+  std::string JournalPath;
+  /// Replay the journaled prefix instead of re-deciding it.
+  bool Resume = false;
+  /// Publish the journal after every N files (and once at the end).
+  uint64_t JournalEvery = 32;
+  /// Per-file wall-clock budget in milliseconds; 0 disables the clock (the
+  /// injected-stall stream still fires when configured).
+  uint64_t FileBudgetMillis = 0;
+  /// Per-section / whole-module decoded-byte budgets (wasm::ReadLimits).
+  uint64_t MaxSectionBytes = 1ull << 30;
+  uint64_t MaxModuleBytes = 1ull << 31;
+  /// FileByteSource read-ahead window.
+  size_t WindowBytes = 64 * 1024;
+  /// Fault injector for crash ticks, stalls, and I/O faults; null uses the
+  /// process-global injector.
+  fault::FaultInjector *Faults = nullptr;
+};
+
+/// What streamIngest did, beyond the dataset itself.
+struct StreamIngestResult {
+  Dataset Data;
+  uint64_t FilesProcessed = 0; ///< Decided fresh this run.
+  uint64_t FilesReplayed = 0;  ///< Re-applied from the journal.
+  uint64_t JournalPublishes = 0;
+  /// The injected crash tick fired: the run stopped early with the journal
+  /// at its last published state and Data left unfinished.
+  bool Crashed = false;
+  /// Non-empty: a damaged journal was moved to this path before the fresh
+  /// start; JournalIssue holds why it was rejected.
+  std::string JournalQuarantinedPath;
+  std::optional<Error> JournalIssue;
+};
+
+/// Streaming, crash-safe corpus ingest: each file is decoded section-wise
+/// through a bounded window (never fully materialized), deduped
+/// collision-safely, journaled, and — after the whole corpus is decided —
+/// fed through the same downstream pipeline stages as buildDataset. One
+/// package per file (package id = index in Files). Decisions are strictly
+/// sequential in Files order, so a resumed run is bit-identical to an
+/// uninterrupted one; the parallel downstream stages keep buildDataset's
+/// thread-count invariance. Fatal errors (journal/corpus divergence) abort;
+/// per-file damage only ever quarantines.
+Result<StreamIngestResult> streamIngest(const std::vector<IngestFile> &Files,
+                                        const StreamIngestOptions &Options);
 
 } // namespace dataset
 } // namespace snowwhite

@@ -14,6 +14,7 @@
 #include "support/result.h"
 #include "support/rng.h"
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -55,14 +56,19 @@ struct FaultConfig {
   /// independent of the I/O-failure stream so enabling one does not perturb
   /// the other's schedule.
   double ModelFailureRate = 0.0;
+  /// Probability that a single injectStall() call reports a stall. Deadline
+  /// consults this stream so watchdog tests can provoke a per-file timeout
+  /// without sleeping; independent of the other fault streams.
+  double StallRate = 0.0;
 };
 
 class FaultInjector {
 public:
-  explicit FaultInjector(const FaultConfig &Config = {})
-      : Config(Config), R(Config.Seed ^ 0xfa017fa017fa017fULL),
-        ModelR(Config.Seed ^ 0x0de1fa11ed0de1faULL),
-        PoisonPending(Config.PoisonGradBatches) {}
+  explicit FaultInjector(const FaultConfig &C = {})
+      : Config(C), R(C.Seed ^ 0xfa017fa017fa017fULL),
+        ModelR(C.Seed ^ 0x0de1fa11ed0de1faULL),
+        StallR(C.Seed ^ 0x57a11ed57a11ed57ULL),
+        PoisonPending(C.PoisonGradBatches) {}
 
   const FaultConfig &config() const { return Config; }
 
@@ -93,6 +99,12 @@ public:
            ModelR.nextBool(Config.ModelFailureRate);
   }
 
+  /// True when the work unit polling a Deadline should be treated as
+  /// stalled. Independent stream from the other fault kinds.
+  bool injectStall() {
+    return Config.StallRate > 0.0 && StallR.nextBool(Config.StallRate);
+  }
+
   /// Advances the crash clock; returns true exactly once, when the
   /// configured crash tick is reached.
   bool tick() {
@@ -110,9 +122,46 @@ private:
   FaultConfig Config;
   Rng R;
   Rng ModelR;
+  Rng StallR;
   std::vector<uint64_t> PoisonPending;
   uint64_t Ticks = 0;
   bool Crashed = false;
+};
+
+/// Per-work-unit stall watchdog. A long-running loop (e.g. decoding one
+/// object file) constructs a Deadline with its wall-clock budget and polls
+/// expired() at natural checkpoints; once expired it stays expired, so the
+/// caller sees one consistent verdict. A budget of 0 disables the clock.
+/// When an injector with a nonzero StallRate is installed, expired() also
+/// fires on the injected-stall stream — tests exercise the timeout path
+/// deterministically without sleeping.
+class Deadline {
+public:
+  explicit Deadline(uint64_t Budget, FaultInjector *Injector = nullptr)
+      : BudgetMillis(Budget), Faults(Injector),
+        Start(std::chrono::steady_clock::now()) {}
+
+  /// True once the budget is exhausted (or a stall was injected); sticky.
+  bool expired() {
+    if (Expired)
+      return true;
+    if (Faults && Faults->injectStall())
+      Expired = true;
+    else if (BudgetMillis > 0 &&
+             std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - Start)
+                     .count() >= static_cast<int64_t>(BudgetMillis))
+      Expired = true;
+    return Expired;
+  }
+
+  uint64_t budgetMillis() const { return BudgetMillis; }
+
+private:
+  uint64_t BudgetMillis;
+  FaultInjector *Faults;
+  std::chrono::steady_clock::time_point Start;
+  bool Expired = false;
 };
 
 /// Deterministic retry policy for transient I/O errors. Backoff is purely

@@ -23,6 +23,15 @@ uint64_t hashVector(const std::vector<uint8_t> &Data) {
   return hashBytes(Data.data(), Data.size());
 }
 
+Fnv1aHasher::Fnv1aHasher() : Hash(FnvOffset) {}
+
+void Fnv1aHasher::update(const uint8_t *Data, size_t Size) {
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Data[I];
+    Hash *= FnvPrime;
+  }
+}
+
 uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   // 64-bit variant of boost::hash_combine with a strong odd constant.
   Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);

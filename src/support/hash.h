@@ -32,6 +32,21 @@ uint64_t hashCombine(uint64_t Seed, uint64_t Value);
 /// Renders a hash as 16 lowercase hex digits.
 std::string hashToHex(uint64_t Hash);
 
+/// Incremental FNV-1a: feed byte ranges as they stream past, read the
+/// running hash at any point. Feeding the concatenation of the ranges gives
+/// exactly hashBytes() over the same bytes, so a streaming consumer gets the
+/// whole-file hash without ever buffering the file.
+class Fnv1aHasher {
+public:
+  Fnv1aHasher();
+
+  void update(const uint8_t *Data, size_t Size);
+  uint64_t hash() const { return Hash; }
+
+private:
+  uint64_t Hash;
+};
+
 /// A collision-checked set of (hash, key) signatures.
 ///
 /// A 64-bit hash is not an identity: treating "hash already seen" as "key

@@ -2,6 +2,7 @@
 
 #include "support/hash.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace snowwhite {
@@ -111,6 +112,57 @@ Result<std::vector<uint8_t>> readFileChecksummed(const std::string &Path,
     return Error(ErrorCode::ChecksumMismatch,
                  "checksum mismatch in '" + Path + "'");
   return Bytes;
+}
+
+Result<size_t> MemoryByteSource::readSome(uint8_t *Buf, size_t Max) {
+  size_t Give = std::min({Max, ChunkBytes, Bytes.size() - Offset});
+  if (Give > 0) {
+    std::copy(Bytes.begin() + static_cast<ptrdiff_t>(Offset),
+              Bytes.begin() + static_cast<ptrdiff_t>(Offset + Give), Buf);
+    Offset += Give;
+    account(Buf, Give);
+  }
+  return Give;
+}
+
+FileByteSource::FileByteSource(const std::string &SourcePath,
+                               size_t WindowBytes,
+                               fault::FaultInjector *Injector)
+    : Path(SourcePath), Faults(Injector),
+      Window(WindowBytes ? WindowBytes : 1) {
+  File = std::fopen(Path.c_str(), "rb");
+}
+
+FileByteSource::~FileByteSource() {
+  if (File)
+    std::fclose(File);
+}
+
+Result<size_t> FileByteSource::readSome(uint8_t *Buf, size_t Max) {
+  if (!File)
+    return Error(ErrorCode::IoError,
+                 "cannot open '" + Path + "' for reading");
+  if (Max == 0)
+    return size_t{0};
+  if (WindowPos >= WindowLen) {
+    if (fault::FaultInjector *FI = effectiveInjector(Faults))
+      if (FI->injectIoFailure())
+        return Error(ErrorCode::IoTransient,
+                     "injected transient read failure on '" + Path + "'");
+    WindowLen = std::fread(Window.data(), 1, Window.size(), File);
+    WindowPos = 0;
+    if (WindowLen == 0) {
+      if (std::ferror(File))
+        return Error(ErrorCode::IoError, "read failure on '" + Path + "'");
+      return size_t{0}; // End of stream.
+    }
+  }
+  size_t Give = std::min(Max, WindowLen - WindowPos);
+  std::copy(Window.begin() + static_cast<ptrdiff_t>(WindowPos),
+            Window.begin() + static_cast<ptrdiff_t>(WindowPos + Give), Buf);
+  WindowPos += Give;
+  account(Buf, Give);
+  return Give;
 }
 
 } // namespace io

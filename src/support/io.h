@@ -19,9 +19,11 @@
 #define SNOWWHITE_SUPPORT_IO_H
 
 #include "support/fault.h"
+#include "support/hash.h"
 #include "support/result.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,84 @@ Result<void> writeFileChecksummed(const std::string &Path,
 Result<std::vector<uint8_t>>
 readFileChecksummed(const std::string &Path,
                     fault::FaultInjector *Faults = nullptr);
+
+/// Pull-based byte stream for section-wise decoding. A consumer that only
+/// ever asks for "up to N more bytes" never forces the producer to
+/// materialize the whole input, so multi-gigabyte modules decode within a
+/// bounded window. Every implementation tracks the total bytes handed out
+/// and a running FNV-1a hash over them, so streaming consumers get the
+/// whole-input hash (equal to hashVector over the same bytes) for free.
+class ByteSource {
+public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to Max bytes into Buf and returns how many arrived; 0 means
+  /// end of stream. Errors: IoError (permanent), IoTransient (injected).
+  virtual Result<size_t> readSome(uint8_t *Buf, size_t Max) = 0;
+
+  /// Total bytes handed out so far (the current stream offset).
+  uint64_t consumed() const { return Consumed; }
+
+  /// FNV-1a over every byte handed out so far.
+  uint64_t runningHash() const { return Hasher.hash(); }
+
+protected:
+  /// Implementations call this on every successful readSome to keep the
+  /// offset and running hash exact.
+  void account(const uint8_t *Data, size_t Size) {
+    Consumed += Size;
+    Hasher.update(Data, Size);
+  }
+
+private:
+  uint64_t Consumed = 0;
+  Fnv1aHasher Hasher;
+};
+
+/// ByteSource over an in-memory buffer (non-owning). ChunkBytes caps how
+/// much one readSome call hands out, so tests can force the same refill
+/// cadence a small file window would produce.
+class MemoryByteSource : public ByteSource {
+public:
+  explicit MemoryByteSource(const std::vector<uint8_t> &Buffer,
+                            size_t Chunk = SIZE_MAX)
+      : Bytes(Buffer), ChunkBytes(Chunk ? Chunk : 1) {}
+
+  Result<size_t> readSome(uint8_t *Buf, size_t Max) override;
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t ChunkBytes;
+  size_t Offset = 0;
+};
+
+/// ByteSource over a file, reading through a bounded read-ahead window so
+/// peak memory is WindowBytes regardless of file size. Each window refill
+/// consults the fault injector (explicit argument, else the process-global
+/// one), so transient read failures surface exactly where a real device
+/// error would.
+class FileByteSource : public ByteSource {
+public:
+  explicit FileByteSource(const std::string &Path,
+                          size_t WindowBytes = DefaultWindowBytes,
+                          fault::FaultInjector *Faults = nullptr);
+  ~FileByteSource() override;
+
+  FileByteSource(const FileByteSource &) = delete;
+  FileByteSource &operator=(const FileByteSource &) = delete;
+
+  Result<size_t> readSome(uint8_t *Buf, size_t Max) override;
+
+  static constexpr size_t DefaultWindowBytes = 64 * 1024;
+
+private:
+  std::string Path;
+  std::FILE *File = nullptr;
+  fault::FaultInjector *Faults = nullptr;
+  std::vector<uint8_t> Window;
+  size_t WindowPos = 0;
+  size_t WindowLen = 0;
+};
 
 } // namespace io
 } // namespace snowwhite

@@ -30,6 +30,7 @@ enum class ErrorCode : uint8_t {
   IoError,          ///< Permanent I/O failure (missing file, full disk, ...).
   IoTransient,      ///< I/O failure that a retry may resolve.
   ChecksumMismatch, ///< Stored checksum disagrees with the content.
+  Timeout,          ///< A wall-clock (or injected-stall) budget expired.
 };
 
 const char *errorCodeName(ErrorCode Code);
@@ -75,6 +76,8 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "io-transient";
   case ErrorCode::ChecksumMismatch:
     return "checksum-mismatch";
+  case ErrorCode::Timeout:
+    return "timeout";
   }
   return "invalid-code";
 }

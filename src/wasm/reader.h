@@ -3,6 +3,8 @@
 #ifndef SNOWWHITE_WASM_READER_H
 #define SNOWWHITE_WASM_READER_H
 
+#include "support/fault.h"
+#include "support/io.h"
 #include "support/result.h"
 #include "wasm/module.h"
 
@@ -12,11 +14,36 @@
 namespace snowwhite {
 namespace wasm {
 
+/// Resource budgets for one streamed module decode. Counts inside a binary
+/// are attacker-controlled; these caps bound what a single hostile file can
+/// cost before it is quarantined with a typed error. Breaching a byte budget
+/// is LimitExceeded; an expired watchdog Deadline is Timeout.
+struct ReadLimits {
+  /// Hard cap on one section's declared byte size.
+  uint64_t MaxSectionBytes = 1ull << 30;
+  /// Hard cap on the whole module's byte size (header + all sections).
+  uint64_t MaxModuleBytes = 1ull << 31;
+  /// Optional per-file stall watchdog, polled at section boundaries and on
+  /// every window refill. Null = no deadline.
+  fault::Deadline *Watchdog = nullptr;
+};
+
 /// Decodes a WebAssembly binary into a Module. Static disassembly of
 /// WebAssembly is well-specified (unlike x86); any structural violation is
 /// reported as an error rather than guessed around. Function::CodeOffset is
 /// set to the byte offset of each code entry, matching writeModule.
+/// Thin wrapper over readModuleStreamed with an in-memory source.
 Result<Module> readModule(const std::vector<uint8_t> &Bytes);
+
+/// Section-wise decoder over a pull-based byte stream. Only one section is
+/// materialized at a time, and sections this subset does not decode (e.g.
+/// data) are skipped chunk-by-chunk without ever being buffered, so peak
+/// memory is bounded by the source's window plus the largest *decoded*
+/// section — independent of total module size. Budget breaches surface as
+/// LimitExceeded and an expired watchdog as Timeout; all other verdicts and
+/// messages are identical to readModule on the same bytes.
+Result<Module> readModuleStreamed(io::ByteSource &Source,
+                                  const ReadLimits &Limits = {});
 
 /// Decodes a single instruction at Bytes[Offset], advancing Offset. Returns
 /// false on malformed input. Exposed for tests.

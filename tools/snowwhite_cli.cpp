@@ -22,10 +22,18 @@
 //       sign uses, escapes, ...) as JSON on stdout. Works on stripped
 //       binaries — the evidence comes from the code, not from debug info.
 //
-//   snowwhite ingest <dir> [--strict]
-//       Run the dataset pipeline over every .wasm file in <dir>. By default
-//       corrupt modules are quarantined (skip-and-report); with --strict the
-//       first corrupt module aborts the run with its structured error.
+//   snowwhite ingest <dir> [--strict] [--journal F] [--resume] ...
+//       Run the dataset pipeline over every .wasm file under <dir>
+//       (recursively; ingest order is sorted relative paths, independent of
+//       directory layout). The default path streams each file section-wise
+//       through a bounded window with a per-file stall watchdog and
+//       byte budgets; corrupt or stalling modules are quarantined
+//       (skip-and-report). --journal F writes a crash-safe ingest journal
+//       on a cadence (--journal-every N) so a killed run resumes with
+//       --resume bit-identically to an uninterrupted one. --export-dir D
+//       writes the plaintext dataset; --report-out F the quarantine report
+//       (atomically). With --strict the first corrupt module aborts the run
+//       with its structured error (buffered, no journal).
 //
 //   snowwhite train [--epochs N] [--checkpoint PATH] [--resume] ...
 //       Train a small model on a synthetic corpus, optionally checkpointing
@@ -77,12 +85,14 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/evidence.h"
+#include "dataset/export.h"
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
 #include "frontend/corpus.h"
 #include "model/serve_daemon.h"
 #include "model/serving.h"
 #include "model/trainer.h"
+#include "support/fault.h"
 #include "support/io.h"
 #include "support/str.h"
 #include "support/telemetry.h"
@@ -304,100 +314,212 @@ static int commandAnalyze(int argc, char **argv) {
   return 0;
 }
 
+/// Renders the post-ingest summary (shared between stdout and --report-out).
+static std::string ingestSummary(const dataset::Dataset &Data,
+                                 size_t NumFiles) {
+  char Line[512];
+  std::snprintf(
+      Line, sizeof(Line),
+      "ingested %zu file(s): %llu kept, %llu quarantined "
+      "(%llu parse, %llu debug-info, %llu watchdog), %zu samples "
+      "(%zu train / %zu valid / %zu test)\n",
+      NumFiles, static_cast<unsigned long long>(Data.Dedup.ObjectsAfter),
+      static_cast<unsigned long long>(Data.Quarantine.total()),
+      static_cast<unsigned long long>(Data.Quarantine.ParseFailures),
+      static_cast<unsigned long long>(Data.Quarantine.DebugFailures),
+      static_cast<unsigned long long>(Data.Quarantine.WatchdogFailures),
+      Data.Samples.size(), Data.Train.size(), Data.Valid.size(),
+      Data.Test.size());
+  std::string Out = Line;
+  if (!Data.Quarantine.empty())
+    Out += Data.Quarantine.summary();
+  return Out;
+}
+
 static int commandIngest(int argc, char **argv) {
+  const char *Usage =
+      "snowwhite ingest <dir> [--strict] [--journal F] [--resume] "
+      "[--journal-every N] [--file-budget-ms N] [--max-section-bytes N] "
+      "[--max-module-bytes N] [--window-bytes N] [--crash-at-file N] "
+      "[--export-dir D] [--report-out F] [--metrics-out F] [--trace-out F]";
   if (argc < 1) {
-    std::fprintf(stderr, "usage: snowwhite ingest <dir> [--strict] "
-                         "[--metrics-out F] [--trace-out F]\n");
+    std::fprintf(stderr, "usage: %s\n", Usage);
     return 2;
   }
   std::string Dir = argv[0];
   bool Strict = false;
-  std::string MetricsOut, TraceOut;
+  std::string MetricsOut, TraceOut, ReportOut, ExportDir;
+  dataset::StreamIngestOptions Options;
+  uint64_t CrashAtFile = 0;
   for (int I = 1; I < argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\nusage: %s\n", Flag, Usage);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
     if (std::strcmp(argv[I], "--strict") == 0) {
       Strict = true;
-    } else if (std::strcmp(argv[I], "--metrics-out") == 0 && I + 1 < argc) {
-      MetricsOut = argv[++I];
-    } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
-      TraceOut = argv[++I];
+    } else if (std::strcmp(argv[I], "--journal") == 0) {
+      if (!(V = Value("--journal")))
+        return 2;
+      Options.JournalPath = V;
+    } else if (std::strcmp(argv[I], "--resume") == 0) {
+      Options.Resume = true;
+    } else if (std::strcmp(argv[I], "--journal-every") == 0) {
+      if (!(V = Value("--journal-every")))
+        return 2;
+      Options.JournalEvery = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--file-budget-ms") == 0) {
+      if (!(V = Value("--file-budget-ms")))
+        return 2;
+      Options.FileBudgetMillis = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--max-section-bytes") == 0) {
+      if (!(V = Value("--max-section-bytes")))
+        return 2;
+      Options.MaxSectionBytes = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--max-module-bytes") == 0) {
+      if (!(V = Value("--max-module-bytes")))
+        return 2;
+      Options.MaxModuleBytes = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--window-bytes") == 0) {
+      if (!(V = Value("--window-bytes")))
+        return 2;
+      Options.WindowBytes = static_cast<size_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--crash-at-file") == 0) {
+      if (!(V = Value("--crash-at-file")))
+        return 2;
+      CrashAtFile = static_cast<uint64_t>(std::atoll(V));
+    } else if (std::strcmp(argv[I], "--export-dir") == 0) {
+      if (!(V = Value("--export-dir")))
+        return 2;
+      ExportDir = V;
+    } else if (std::strcmp(argv[I], "--report-out") == 0) {
+      if (!(V = Value("--report-out")))
+        return 2;
+      ReportOut = V;
+    } else if (std::strcmp(argv[I], "--metrics-out") == 0) {
+      if (!(V = Value("--metrics-out")))
+        return 2;
+      MetricsOut = V;
+    } else if (std::strcmp(argv[I], "--trace-out") == 0) {
+      if (!(V = Value("--trace-out")))
+        return 2;
+      TraceOut = V;
     } else {
-      std::fprintf(stderr, "unknown ingest option '%s'\n", argv[I]);
+      std::fprintf(stderr, "unknown ingest option '%s'\nusage: %s\n", argv[I],
+                   Usage);
       return 2;
     }
   }
 
-  std::error_code DirError;
-  std::vector<std::string> Paths;
-  for (const auto &Entry :
-       std::filesystem::directory_iterator(Dir, DirError)) {
-    if (Entry.is_regular_file() && Entry.path().extension() == ".wasm")
-      Paths.push_back(Entry.path().string());
-  }
-  if (DirError) {
-    printError(Error(ErrorCode::IoError,
-                     "cannot list directory '" + Dir + "': " +
-                         DirError.message()));
+  // Nested trees are the norm for real corpora (one subdirectory per
+  // project); discovery recurses and sorts by relative path, so ingest
+  // order is independent of directory layout and enumeration order.
+  Result<std::vector<dataset::IngestFile>> Files =
+      dataset::discoverWasmFiles(Dir);
+  if (Files.isErr()) {
+    printError(Files.error());
     return 1;
   }
-  if (Paths.empty()) {
-    printError(Error(ErrorCode::NotFound, "no .wasm files in '" + Dir + "'"));
-    return 1;
-  }
-  std::sort(Paths.begin(), Paths.end()); // Deterministic ingestion order.
 
-  // One package per file: real package structure is unknown for arbitrary
-  // inputs, and the pipeline only uses packages for splits and caps.
-  frontend::Corpus Corpus;
-  for (size_t I = 0; I < Paths.size(); ++I) {
-    std::vector<uint8_t> Bytes;
-    if (!readFile(Paths[I], Bytes))
-      return 1;
-    if (Strict) {
-      // Fail-fast pre-check: the first corrupt module aborts the run.
+  dataset::Dataset Data;
+  if (Strict) {
+    // Fail-fast buffered path: the first corrupt module aborts the run.
+    frontend::Corpus Corpus;
+    for (size_t I = 0; I < Files->size(); ++I) {
+      const dataset::IngestFile &File = (*Files)[I];
+      std::vector<uint8_t> Bytes;
+      if (!readFile(File.Path, Bytes))
+        return 1;
       Result<wasm::Module> Parsed = wasm::readModule(Bytes);
       if (Parsed.isErr()) {
-        printError(Parsed.error().withContext(Paths[I]));
+        printError(Parsed.error().withContext(File.Path));
         return 1;
       }
       Result<void> Valid = wasm::validateModule(*Parsed);
       if (Valid.isErr()) {
-        printError(Valid.error().withContext(Paths[I]));
+        printError(Valid.error().withContext(File.Path));
         return 1;
       }
       Result<dwarf::DebugInfo> Debug = dwarf::extractDebugInfo(*Parsed);
       if (Debug.isErr()) {
-        printError(Debug.error().withContext(Paths[I]));
+        printError(Debug.error().withContext(File.Path));
         return 1;
       }
+      // One package per file: real package structure is unknown for
+      // arbitrary inputs, and the pipeline only uses packages for splits
+      // and caps.
+      frontend::Package Pkg;
+      Pkg.Name = std::filesystem::path(File.Path).stem().string();
+      Pkg.Id = static_cast<uint32_t>(I);
+      frontend::CompiledObject Object;
+      Object.FileName = File.Path;
+      Object.Bytes = std::move(Bytes);
+      Pkg.Objects.push_back(std::move(Object));
+      Corpus.Packages.push_back(std::move(Pkg));
+      ++Corpus.TotalObjects;
     }
-    frontend::Package Pkg;
-    Pkg.Name = std::filesystem::path(Paths[I]).stem().string();
-    Pkg.Id = static_cast<uint32_t>(I);
-    frontend::CompiledObject Object;
-    Object.FileName = Paths[I];
-    Object.Bytes = std::move(Bytes);
-    Pkg.Objects.push_back(std::move(Object));
-    Corpus.Packages.push_back(std::move(Pkg));
-    ++Corpus.TotalObjects;
+    Data = dataset::buildDataset(Corpus);
+  } else {
+    // Streaming crash-safe path (the default): bounded memory, journal,
+    // per-file watchdog.
+    fault::FaultConfig CrashConfig;
+    CrashConfig.CrashAtTick = CrashAtFile; // 0 = never fires.
+    fault::FaultInjector CrashFaults(CrashConfig);
+    if (CrashAtFile > 0)
+      Options.Faults = &CrashFaults;
+    Result<dataset::StreamIngestResult> Ingested =
+        dataset::streamIngest(*Files, Options);
+    if (Ingested.isErr()) {
+      printError(Ingested.error());
+      return 1;
+    }
+    if (Ingested->JournalIssue) {
+      std::fprintf(stderr, "warning: journal quarantined to '%s': %s\n",
+                   Ingested->JournalQuarantinedPath.c_str(),
+                   Ingested->JournalIssue->message().c_str());
+      std::fprintf(stderr, "warning: ingest restarted from scratch\n");
+    }
+    if (Ingested->Crashed) {
+      // Simulated kill -9: the journal stays at its last published state
+      // and nothing downstream runs. A later --resume picks up from there.
+      std::printf("ingest crashed (injected) after %llu file(s); journal at "
+                  "last publish\n",
+                  static_cast<unsigned long long>(Ingested->FilesProcessed));
+      return 3;
+    }
+    if (Ingested->FilesReplayed)
+      std::printf("resumed: %llu file(s) replayed from the journal, %llu "
+                  "decided fresh\n",
+                  static_cast<unsigned long long>(Ingested->FilesReplayed),
+                  static_cast<unsigned long long>(Ingested->FilesProcessed));
+    Data = std::move(Ingested->Data);
   }
 
-  dataset::Dataset Data = dataset::buildDataset(Corpus);
-  std::printf("ingested %zu file(s): %llu kept, %llu quarantined "
-              "(%llu parse, %llu debug-info), %zu samples "
-              "(%zu train / %zu valid / %zu test)\n",
-              Paths.size(),
-              static_cast<unsigned long long>(Data.Dedup.ObjectsAfter),
-              static_cast<unsigned long long>(Data.Quarantine.total()),
-              static_cast<unsigned long long>(Data.Quarantine.ParseFailures),
-              static_cast<unsigned long long>(Data.Quarantine.DebugFailures),
-              Data.Samples.size(), Data.Train.size(), Data.Valid.size(),
-              Data.Test.size());
-  if (!Data.Quarantine.empty())
-    std::printf("%s", Data.Quarantine.summary().c_str());
+  std::string Summary = ingestSummary(Data, Files->size());
+  std::printf("%s", Summary.c_str());
+  // The report, like every other ingest artifact, publishes atomically: a
+  // kill (or injected IO fault) mid-write leaves the previous report intact.
+  if (!ReportOut.empty() && !writeTextFile(ReportOut, Summary))
+    return 1;
   if (Data.Dedup.ObjectsAfter == 0) {
     printError(Error(ErrorCode::Malformed,
                      "all input modules were quarantined"));
     return 1;
+  }
+  if (!ExportDir.empty()) {
+    std::error_code MkdirError;
+    std::filesystem::create_directories(ExportDir, MkdirError);
+    Result<std::vector<uint64_t>> Exported =
+        dataset::exportPlaintext(Data, ExportDir);
+    if (Exported.isErr()) {
+      printError(Exported.error().withContext("export to '" + ExportDir +
+                                              "'"));
+      return 1;
+    }
   }
   if (!emitTelemetry(MetricsOut, TraceOut))
     return 1;

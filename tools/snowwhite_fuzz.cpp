@@ -55,6 +55,21 @@
 //       daemon stats must balance after every pump and after a
 //       kill-during-load shutdown.
 //
+//   snowwhite_fuzz --streaming [iterations] [seed]
+//       Differential fuzz of the streamed (chunked ByteSource) wasm reader
+//       against the buffered one over mutants and hostile chunk sizes:
+//       identical verdicts, identical taxonomy errors, bit-identical decoded
+//       modules, and the whole-module byte budget honored at zero.
+//
+//   snowwhite_fuzz --rss-table
+//       Peak-RSS comparison for EXPERIMENTS.md: streamed vs. buffered decode
+//       of a module with a 256 MiB skipped data section.
+//
+//   snowwhite_fuzz --ingest-table [seed]
+//       Journal-overhead sweep for EXPERIMENTS.md: same on-disk corpus
+//       ingested with no journal, per-file and every-8 journal cadences, and
+//       a kill-halfway + resume pair.
+//
 //   snowwhite_fuzz --daemon-chaos [events] [seed]
 //       Serving-daemon chaos storm (default 10000 seeded events): submits
 //       poison-prone requests through per-worker fault injectors, corrupts
@@ -82,6 +97,9 @@
 #include "support/telemetry.h"
 #include "wasm/reader.h"
 #include "wasm/validate.h"
+#include "wasm/writer.h"
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
@@ -744,6 +762,291 @@ int runCacheFuzz(uint64_t Iterations, uint64_t Seed) {
   return 0;
 }
 
+/// Differential fuzz of the streamed section-wise reader against the
+/// buffered one. For every mutant and a rotating hostile chunk size, both
+/// readers must agree exactly: same verdict, same taxonomy code and message
+/// on rejection, and — on acceptance — the same decoded module
+/// (re-serialized bytes plus per-function code offsets, which the writer
+/// does not round-trip). Accepted mutants additionally prove the
+/// whole-module byte budget is honored: with a zero budget, any input with
+/// at least one section must be rejected with LimitExceeded.
+int runStreamingFuzz(uint64_t Iterations, uint64_t Seed) {
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = Seed ^ 0x5eedc0de;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  std::vector<const std::vector<uint8_t> *> Seeds = corpusSeeds(Corpus);
+  if (Seeds.empty()) {
+    std::fprintf(stderr, "error: empty seed corpus\n");
+    return 1;
+  }
+
+  const size_t Chunks[] = {1, 7, 61, 4096};
+  uint64_t Accepted = 0, Rejected = 0, BudgetChecked = 0;
+  for (uint64_t I = 0; I < Iterations; ++I) {
+    fault::FaultConfig Config;
+    Config.Seed = hashCombine(Seed, I);
+    fault::FaultInjector Injector(Config);
+    std::vector<uint8_t> Bytes = *Seeds[I % Seeds.size()];
+    // Every eighth iteration keeps the seed pristine so the accept path
+    // (full module equality) is exercised as often as the reject path.
+    if (I % 8 != 0)
+      Injector.corrupt(Bytes);
+
+    Result<wasm::Module> Ref = wasm::readModule(Bytes);
+    size_t Chunk = Chunks[I % (sizeof(Chunks) / sizeof(Chunks[0]))];
+    io::MemoryByteSource Source(Bytes, Chunk);
+    Result<wasm::Module> Streamed = wasm::readModuleStreamed(Source);
+
+    if (Ref.isOk() != Streamed.isOk()) {
+      std::fprintf(stderr,
+                   "FAIL: iteration %llu (seed %llu, chunk %zu): buffered "
+                   "says %s, streamed says %s\n",
+                   static_cast<unsigned long long>(I),
+                   static_cast<unsigned long long>(Seed), Chunk,
+                   Ref.isOk() ? "accept" : Ref.error().message().c_str(),
+                   Streamed.isOk() ? "accept"
+                                   : Streamed.error().message().c_str());
+      return 1;
+    }
+    if (Ref.isErr()) {
+      ++Rejected;
+      if (Ref.error().code() != Streamed.error().code() ||
+          Ref.error().message() != Streamed.error().message()) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu, chunk %zu): error "
+                     "divergence:\n  buffered: [%s] %s\n  streamed: [%s] "
+                     "%s\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed), Chunk,
+                     errorCodeName(Ref.error().code()),
+                     Ref.error().message().c_str(),
+                     errorCodeName(Streamed.error().code()),
+                     Streamed.error().message().c_str());
+        return 1;
+      }
+      continue;
+    }
+    ++Accepted;
+    bool SameOffsets = Ref->Functions.size() == Streamed->Functions.size();
+    for (size_t F = 0; SameOffsets && F < Ref->Functions.size(); ++F)
+      SameOffsets = Ref->Functions[F].CodeOffset ==
+                    Streamed->Functions[F].CodeOffset;
+    if (!SameOffsets || wasm::writeModule(*Ref) != wasm::writeModule(*Streamed)) {
+      std::fprintf(stderr,
+                   "FAIL: iteration %llu (seed %llu, chunk %zu): decoded "
+                   "modules differ\n",
+                   static_cast<unsigned long long>(I),
+                   static_cast<unsigned long long>(Seed), Chunk);
+      return 1;
+    }
+    // Budget honored: a successful parse consumed every byte after the
+    // 8-byte header as sections, so with a zero whole-module budget the
+    // same input must be rejected iff it has any section at all.
+    wasm::ReadLimits Tiny;
+    Tiny.MaxModuleBytes = 0;
+    io::MemoryByteSource TinySource(Bytes, Chunk);
+    Result<wasm::Module> Limited = wasm::readModuleStreamed(TinySource, Tiny);
+    bool HasSections = Bytes.size() > 8;
+    if (Limited.isOk() == HasSections ||
+        (Limited.isErr() &&
+         Limited.error().code() != ErrorCode::LimitExceeded)) {
+      std::fprintf(stderr,
+                   "FAIL: iteration %llu (seed %llu): zero module budget "
+                   "not honored (%s)\n",
+                   static_cast<unsigned long long>(I),
+                   static_cast<unsigned long long>(Seed),
+                   Limited.isOk() ? "accepted"
+                                  : Limited.error().message().c_str());
+      return 1;
+    }
+    ++BudgetChecked;
+  }
+
+  std::printf("streaming fuzz: %llu iterations, 0 divergences\n"
+              "  accepted (module-equal)  %llu\n"
+              "  rejected (error-equal)   %llu\n"
+              "  budget checks            %llu\n",
+              static_cast<unsigned long long>(Iterations),
+              static_cast<unsigned long long>(Accepted),
+              static_cast<unsigned long long>(Rejected),
+              static_cast<unsigned long long>(BudgetChecked));
+  return 0;
+}
+
+/// Peak-RSS comparison for EXPERIMENTS.md: decode a module carrying one
+/// giant (skipped) data section, streamed first — ru_maxrss only ratchets
+/// up, so measuring the streamed path before the buffered one makes both
+/// numbers honest. The streamed decode's delta stays near the configured
+/// window; the buffered decode must materialize the whole file.
+int runRssTable() {
+  constexpr size_t PayloadBytes = 256u << 20; // 256 MiB data section.
+  std::string Path =
+      std::filesystem::temp_directory_path().string() + "/snowwhite_rss.wasm";
+  {
+    // Written chunk-wise on purpose: materializing the payload in one
+    // vector here would ratchet ru_maxrss up before either measurement.
+    std::vector<uint8_t> Header = {0x00, 'a', 's', 'm', 1, 0, 0, 0};
+    Header.push_back(11); // data section: skipped, streamed through
+    uint64_t Size = PayloadBytes;
+    while (Size >= 0x80) {
+      Header.push_back(static_cast<uint8_t>(Size) | 0x80);
+      Size >>= 7;
+    }
+    Header.push_back(static_cast<uint8_t>(Size));
+    std::FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Chunk(1u << 20, 0xAA);
+    bool Ok = std::fwrite(Header.data(), 1, Header.size(), Out) ==
+              Header.size();
+    for (size_t Written = 0; Ok && Written < PayloadBytes;
+         Written += Chunk.size())
+      Ok = std::fwrite(Chunk.data(), 1, Chunk.size(), Out) == Chunk.size();
+    Ok = std::fclose(Out) == 0 && Ok;
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+  }
+  auto MaxRssKb = []() {
+    struct rusage Usage;
+    getrusage(RUSAGE_SELF, &Usage);
+    return static_cast<uint64_t>(Usage.ru_maxrss);
+  };
+
+  std::printf("| decode path | file | peak-RSS delta |\n");
+  std::printf("|-------------|-----:|---------------:|\n");
+  uint64_t Before = MaxRssKb();
+  {
+    io::FileByteSource Source(Path, 64 * 1024);
+    Result<wasm::Module> Mod = wasm::readModuleStreamed(Source);
+    if (Mod.isErr()) {
+      std::fprintf(stderr, "error: streamed decode failed: %s\n",
+                   Mod.error().message().c_str());
+      return 1;
+    }
+  }
+  std::printf("| streamed (64 KiB window) | %zu MiB | %llu KiB |\n",
+              PayloadBytes >> 20,
+              static_cast<unsigned long long>(MaxRssKb() - Before));
+  Before = MaxRssKb();
+  {
+    Result<std::vector<uint8_t>> Bytes = io::readFileBytes(Path);
+    if (Bytes.isErr()) {
+      std::fprintf(stderr, "error: buffered read failed\n");
+      return 1;
+    }
+    Result<wasm::Module> Mod = wasm::readModule(*Bytes);
+    if (Mod.isErr()) {
+      std::fprintf(stderr, "error: buffered decode failed: %s\n",
+                   Mod.error().message().c_str());
+      return 1;
+    }
+  }
+  std::printf("| buffered (whole file) | %zu MiB | %llu KiB |\n",
+              PayloadBytes >> 20,
+              static_cast<unsigned long long>(MaxRssKb() - Before));
+  std::filesystem::remove(Path);
+  return 0;
+}
+
+/// Journal-overhead sweep for EXPERIMENTS.md: the same corpus ingested
+/// without a journal, with one at two cadences, and as a kill + resume pair.
+int runIngestTable(uint64_t Seed) {
+  // Lay a synthetic corpus out on disk the way ingest sees real ones.
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 60;
+  Spec.Seed = Seed ^ 0x16e57;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  std::string Root = std::filesystem::temp_directory_path().string() +
+                     "/snowwhite_ingest_table";
+  std::filesystem::remove_all(Root);
+  for (const frontend::Package &Pkg : Corpus.Packages) {
+    std::string Dir = Root + "/" + Pkg.Name;
+    std::filesystem::create_directories(Dir);
+    for (size_t O = 0; O < Pkg.Objects.size(); ++O)
+      if (io::writeFileAtomic(Dir + "/obj" + std::to_string(O) + ".wasm",
+                              Pkg.Objects[O].Bytes)
+              .isErr()) {
+        std::fprintf(stderr, "error: cannot write corpus\n");
+        return 1;
+      }
+  }
+  Result<std::vector<dataset::IngestFile>> Files =
+      dataset::discoverWasmFiles(Root);
+  if (Files.isErr()) {
+    std::fprintf(stderr, "error: %s\n", Files.error().message().c_str());
+    return 1;
+  }
+  std::string JournalPath = Root + "/ingest.journal";
+
+  auto TimedRun = [&](const dataset::StreamIngestOptions &Options,
+                      double &Seconds)
+      -> Result<dataset::StreamIngestResult> {
+    auto Start = std::chrono::steady_clock::now();
+    Result<dataset::StreamIngestResult> Out =
+        dataset::streamIngest(*Files, Options);
+    Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    return Out;
+  };
+
+  std::printf("| variant | files | wall | journal publishes | replayed |\n");
+  std::printf("|---------|------:|-----:|------------------:|---------:|\n");
+  auto Row = [&](const char *Name, const dataset::StreamIngestResult &R,
+                 double Seconds) {
+    std::printf("| %s | %zu | %.3fs | %llu | %llu |\n", Name, Files->size(),
+                Seconds,
+                static_cast<unsigned long long>(R.JournalPublishes),
+                static_cast<unsigned long long>(R.FilesReplayed));
+    std::fflush(stdout);
+  };
+
+  double Seconds = 0.0;
+  dataset::StreamIngestOptions Options;
+  Result<dataset::StreamIngestResult> R = TimedRun(Options, Seconds);
+  if (R.isErr())
+    return 1;
+  Row("no journal", *R, Seconds);
+
+  for (uint64_t Every : {1ull, 8ull}) {
+    std::filesystem::remove(JournalPath);
+    Options.JournalPath = JournalPath;
+    Options.JournalEvery = Every;
+    R = TimedRun(Options, Seconds);
+    if (R.isErr())
+      return 1;
+    Row(Every == 1 ? "journal, every file" : "journal, every 8", *R,
+        Seconds);
+  }
+
+  // Kill halfway, then measure the resumed run (replay + remainder).
+  std::filesystem::remove(JournalPath);
+  fault::FaultConfig CrashConfig;
+  CrashConfig.CrashAtTick = Files->size() / 2;
+  fault::FaultInjector CrashFaults(CrashConfig);
+  Options.JournalEvery = 8;
+  Options.Faults = &CrashFaults;
+  R = TimedRun(Options, Seconds);
+  if (R.isErr() || !R->Crashed) {
+    std::fprintf(stderr, "error: injected crash did not fire\n");
+    return 1;
+  }
+  Options.Faults = nullptr;
+  Options.Resume = true;
+  R = TimedRun(Options, Seconds);
+  if (R.isErr())
+    return 1;
+  Row("killed halfway + resume", *R, Seconds);
+
+  std::filesystem::remove_all(Root);
+  return 0;
+}
+
 /// Daemon chaos fuzz: one long-lived serving daemon under a seeded storm of
 /// hostile events — poison-prone requests through per-worker fault
 /// injectors, snapshot corruption round-trips, and kill-and-restart cycles
@@ -1113,6 +1416,18 @@ int main(int argc, char **argv) {
         argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 60;
     uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
     return runCacheFuzz(Iterations, Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--streaming") == 0) {
+    uint64_t Iterations =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runStreamingFuzz(Iterations, Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--rss-table") == 0)
+    return runRssTable();
+  if (argc > 1 && std::strcmp(argv[1], "--ingest-table") == 0) {
+    uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
+    return runIngestTable(Seed);
   }
   if (argc > 1 && std::strcmp(argv[1], "--daemon-chaos") == 0) {
     uint64_t Events =
