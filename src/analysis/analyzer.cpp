@@ -1,5 +1,7 @@
 #include "analysis/analyzer.h"
 
+#include "analysis/cfg.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -124,9 +126,20 @@ struct FunctionFacts {
 };
 
 /// Folds the evaluator's callbacks into per-parameter / return counters.
+/// MustMask (optional, indexed by body position) marks instructions that lie
+/// on every entry->exit path; events at those positions additionally bump
+/// the path-sensitive Must* counters.
 class EvidenceCollector : public EvalSink {
 public:
-  EvidenceCollector(FunctionSummary &Out) : Summary(Out) {}
+  EvidenceCollector(FunctionSummary &Out,
+                    const std::vector<bool> *Must = nullptr)
+      : Summary(Out), MustMask(Must) {}
+
+  void onInstr(size_t Index, const Instr &I,
+               const std::vector<AbstractValue> &Stack,
+               bool Unreachable) override {
+    CurIndex = Index;
+  }
 
   void onLoad(const Instr &I, const AbstractValue &Addr, unsigned Bytes,
               bool SignExtending) override {
@@ -134,6 +147,8 @@ public:
     if (!E)
       return;
     bump(Addr.Tag.Direct ? E->DirectLoads : E->DerivedLoads);
+    if (onEveryPath())
+      bump(Addr.Tag.Direct ? E->MustDirectLoads : E->MustDerivedLoads);
     noteWidth(E->MinAccessBytes, E->MaxAccessBytes, Bytes);
     if (SignExtending)
       bump(E->SignExtLoads);
@@ -145,6 +160,8 @@ public:
                const AbstractValue &Value, unsigned Bytes) override {
     if (ParamEvidence *E = paramFor(Addr.Tag)) {
       bump(Addr.Tag.Direct ? E->DirectStores : E->DerivedStores);
+      if (onEveryPath())
+        bump(Addr.Tag.Direct ? E->MustDirectStores : E->MustDerivedStores);
       noteWidth(E->MinAccessBytes, E->MaxAccessBytes, Bytes);
     }
     if (ParamEvidence *E = paramFor(Value.Tag))
@@ -229,6 +246,12 @@ private:
     return &Summary.Params[Tag.Param];
   }
 
+  /// True when the instruction currently executing lies on every
+  /// entry->exit path (its block dominates the CFG's synthetic exit).
+  bool onEveryPath() const {
+    return MustMask && CurIndex < MustMask->size() && (*MustMask)[CurIndex];
+  }
+
   void noteNumeric(Opcode Op, const AbstractValue &Operand) {
     ParamEvidence *E = paramFor(Operand.Tag);
     if (!E)
@@ -236,9 +259,13 @@ private:
     switch (signClass(Op)) {
     case SignClass::SignedOp:
       bump(E->SignedOps);
+      if (onEveryPath())
+        bump(E->MustSignedOps);
       break;
     case SignClass::UnsignedOp:
       bump(E->UnsignedOps);
+      if (onEveryPath())
+        bump(E->MustUnsignedOps);
       break;
     case SignClass::SignedCmp:
       bump(E->SignedCmps);
@@ -272,6 +299,8 @@ private:
   }
 
   FunctionSummary &Summary;
+  const std::vector<bool> *MustMask;
+  size_t CurIndex = 0;
   std::vector<EscapeEdge> Edges;
   std::vector<uint32_t> Callees;
 };
@@ -300,7 +329,8 @@ bool mergeCarry(LoopCarry &Into, const LoopCarry &From) {
 }
 
 Result<FunctionFacts> analyzeFunctionFacts(const Module &M,
-                                           uint32_t DefinedIndex) {
+                                           uint32_t DefinedIndex,
+                                           const AnalyzeOptions &AOpts) {
   if (DefinedIndex >= M.Functions.size())
     return Error(ErrorCode::Malformed,
                  "analysis: function index out of range");
@@ -322,28 +352,54 @@ Result<FunctionFacts> analyzeFunctionFacts(const Module &M,
   Summary.TagsTracked =
       Type.Params.size() + Func.flattenedLocals().size() <= MaxTrackedLocals;
 
-  // Close loop back-edges: re-run the body with the previous pass's carry
-  // state until the carry stops growing (the tag lattice is finite, so this
-  // terminates; the cap only bounds adversarial convergence).
+  // Close loop back-edges. Both engines produce bit-identical carry maps and
+  // round counts (see analysis/cfg.h); the legacy engine is kept as the
+  // differential baseline.
   LoopCarry Carry;
-  uint32_t Passes = 0;
-  while (Passes < MaxFixpointPasses) {
-    LoopCarry Out;
-    EvalOptions Options;
-    Options.LoopCarryIn = Passes == 0 ? nullptr : &Carry;
-    Options.LoopCarryOut = &Out;
-    Result<void> Status = evaluateFunction(M, DefinedIndex, nullptr, Options);
-    if (Status.isErr())
-      return Status.error();
-    ++Passes;
-    if (!mergeCarry(Carry, Out))
-      break;
+  std::vector<bool> MustMask;
+  if (AOpts.Engine == FixpointEngine::CfgWorklist) {
+    Result<ControlFlowGraph> Cfg = buildCfg(M, DefinedIndex);
+    if (Cfg.isErr())
+      return Cfg.error();
+    Result<CarryFixpoint> Fix =
+        runCarryFixpoint(M, DefinedIndex, Cfg.value(), MaxFixpointPasses);
+    if (Fix.isErr())
+      return Fix.error();
+    Carry = std::move(Fix.value().Carry);
+    Summary.FixpointPasses = Fix.value().Rounds;
+    MustMask = mustExecuteMask(Cfg.value(), Func.Body.size());
+  } else {
+    // Legacy engine: re-run the body with the previous pass's carry state
+    // until the carry stops growing (the tag lattice is finite, so this
+    // terminates; the cap only bounds adversarial convergence).
+    uint32_t Passes = 0;
+    while (Passes < MaxFixpointPasses) {
+      LoopCarry Out;
+      EvalOptions Options;
+      Options.LoopCarryIn = Passes == 0 ? nullptr : &Carry;
+      Options.LoopCarryOut = &Out;
+      Result<void> Status =
+          evaluateFunction(M, DefinedIndex, nullptr, Options);
+      if (Status.isErr())
+        return Status.error();
+      ++Passes;
+      if (!mergeCarry(Carry, Out))
+        break;
+    }
+    Summary.FixpointPasses = Passes;
+    // The evaluator accepted the body, so buildCfg must too (it rejects a
+    // strict subset of what the evaluator rejects); the fallback to an
+    // all-false mask is purely defensive and keeps this engine total.
+    Result<ControlFlowGraph> Cfg = buildCfg(M, DefinedIndex);
+    if (Cfg.isOk())
+      MustMask = mustExecuteMask(Cfg.value(), Func.Body.size());
+    else
+      MustMask.assign(Func.Body.size(), false);
   }
-  Summary.FixpointPasses = Passes;
 
   // Final pass with the collector attached; evidence is only gathered once,
   // on the stabilized state.
-  EvidenceCollector Collector(Summary);
+  EvidenceCollector Collector(Summary, &MustMask);
   EvalOptions Options;
   Options.LoopCarryIn = Carry.empty() ? nullptr : &Carry;
   Result<void> Status =
@@ -389,21 +445,24 @@ Result<LocalDefUse> computeDefUse(const Module &M, uint32_t DefinedIndex) {
 }
 
 Result<FunctionSummary> analyzeFunction(const Module &M,
-                                        uint32_t DefinedIndex) {
-  Result<FunctionFacts> Facts = analyzeFunctionFacts(M, DefinedIndex);
+                                        uint32_t DefinedIndex,
+                                        const AnalyzeOptions &Options) {
+  Result<FunctionFacts> Facts =
+      analyzeFunctionFacts(M, DefinedIndex, Options);
   if (Facts.isErr())
     return Facts.error();
   return Facts.take().Summary;
 }
 
-Result<ModuleSummary> analyzeModule(const Module &M) {
+Result<ModuleSummary> analyzeModule(const Module &M,
+                                    const AnalyzeOptions &Options) {
   ModuleSummary Summary;
   Summary.Functions.reserve(M.Functions.size());
   Summary.Callees.reserve(M.Functions.size());
   std::vector<std::vector<EscapeEdge>> Edges;
   Edges.reserve(M.Functions.size());
   for (uint32_t Index = 0; Index < M.Functions.size(); ++Index) {
-    Result<FunctionFacts> Facts = analyzeFunctionFacts(M, Index);
+    Result<FunctionFacts> Facts = analyzeFunctionFacts(M, Index, Options);
     if (Facts.isErr())
       return Facts.error().withContext("function " + std::to_string(Index));
     FunctionFacts F = Facts.take();

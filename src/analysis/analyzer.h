@@ -39,6 +39,22 @@ inline constexpr uint32_t MaxFixpointPasses = 8;
 /// Bottom-up call-graph propagation cap (handles recursion cycles).
 inline constexpr uint32_t MaxCallGraphPasses = 16;
 
+/// Which machinery hosts the per-function loop-carry fixpoint. Both engines
+/// produce bit-identical summaries (same Evaluator core, same rounds — see
+/// analysis/cfg.h); BodyRerun is kept as the differential baseline for tests
+/// and `snowwhite_fuzz --cfg`.
+enum class FixpointEngine : uint8_t {
+  /// Worklist over the explicit CFG: rounds resume from the earliest loop
+  /// header whose carry changed instead of re-running the whole body.
+  CfgWorklist,
+  /// Legacy engine: re-run evaluateFunction over the full body each round.
+  BodyRerun,
+};
+
+struct AnalyzeOptions {
+  FixpointEngine Engine = FixpointEngine::CfgWorklist;
+};
+
 /// Per-local def-use chains for one function: body indices of instructions
 /// writing (local.set/tee) and reading (local.get) each local.
 struct LocalDefUse {
@@ -55,13 +71,15 @@ Result<LocalDefUse> computeDefUse(const wasm::Module &M,
 /// module must already be validated; a typing error inside the evaluator is
 /// reported, never asserted.
 Result<FunctionSummary> analyzeFunction(const wasm::Module &M,
-                                        uint32_t DefinedIndex);
+                                        uint32_t DefinedIndex,
+                                        const AnalyzeOptions &Options = {});
 
 /// Analyzes every defined function and closes the summaries over the direct
 /// call graph. Runs in time linear in the module size (times the small
 /// fixpoint caps); never allocates more than O(functions + params) summary
 /// state.
-Result<ModuleSummary> analyzeModule(const wasm::Module &M);
+Result<ModuleSummary> analyzeModule(const wasm::Module &M,
+                                    const AnalyzeOptions &Options = {});
 
 /// Evidence lookup for one prediction query: ParamIndex >= 0 selects a
 /// parameter, ParamIndex < 0 the return slot. Returns an empty QueryEvidence

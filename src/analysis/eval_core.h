@@ -1,0 +1,150 @@
+//===- analysis/eval_core.h - Shared abstract-evaluator core ---------------===//
+//
+// The per-function typed-stack evaluator behind analysis::evaluateFunction,
+// exposed as an incremental stepping machine so other analyses can drive the
+// *same* transfer functions instruction by instruction. Today it has two
+// drivers:
+//
+//  * evaluateFunction (stack_eval.cpp): prepare() + stepAt(0..N) + finish();
+//  * the CFG-hosted worklist fixpoint (cfg.cpp): steps basic blocks in body
+//    order, snapshotting the machine state at loop headers so later fixpoint
+//    rounds can resume from the earliest loop whose carry state changed
+//    instead of re-running the whole body.
+//
+// Because both drivers execute the identical step() transfer function over
+// the identical instruction sequence, their accept/reject verdicts and the
+// evidence they feed an EvalSink are bit-identical by construction; the
+// differential tests and `snowwhite_fuzz --cfg` enforce this.
+//
+// This header is an internal contract between analysis/*.cpp translation
+// units (namespace detail); everything consumer-facing lives in
+// stack_eval.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_ANALYSIS_EVAL_CORE_H
+#define SNOWWHITE_ANALYSIS_EVAL_CORE_H
+
+#include "analysis/stack_eval.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace analysis {
+namespace detail {
+
+/// Mirrors wasm/validate.cpp's MaxControlNesting; the evaluator, the CFG
+/// builder, and the validator must reject the same nesting depths for the
+/// differential checks to hold.
+constexpr size_t MaxControlNesting = 1024;
+
+/// The typed-stack abstract interpreter for one function body. See the file
+/// banner for the driver contract: prepare() once (or restore() from a
+/// Snapshot), stepAt() each instruction in body order, finish() at the end.
+class Evaluator {
+public:
+  /// One control frame (function body, block, loop, if, else). Public so
+  /// Snapshot can carry the frame stack across fixpoint rounds.
+  struct Frame {
+    wasm::Opcode Kind = wasm::Opcode::Block;
+    std::vector<wasm::ValType> Results;
+    size_t StackHeight = 0;
+    bool Unreachable = false;
+    size_t InstrIndex = 0; ///< Body index of the opening instruction.
+    std::vector<ValueTag> EntryLocals; ///< Local tags at frame entry.
+    bool HasOutLocals = false;
+    std::vector<ValueTag> OutLocals; ///< Join over edges to the end label.
+    bool HasResultTags = false;
+    std::vector<ValueTag> ResultTags; ///< Join of result tags over edges.
+  };
+
+  /// Complete machine state at an instruction boundary. Restoring a snapshot
+  /// into a fresh Evaluator (with possibly different EvalOptions carry maps)
+  /// resumes execution exactly where save() was called.
+  struct Snapshot {
+    std::vector<AbstractValue> Stack;
+    std::vector<ValueTag> LocalTags;
+    std::vector<Frame> Frames;
+  };
+
+  Evaluator(const wasm::Module &Mod, const wasm::Function &F,
+            const wasm::FuncType &FT, EvalSink *S, const EvalOptions &Opts)
+      : M(Mod), Func(F), Type(FT), Sink(S), Options(Opts) {}
+
+  /// prepare + step every instruction + finish. What evaluateFunction runs.
+  Result<void> run();
+
+  /// Initializes local types/tags and pushes the function frame.
+  void prepare();
+
+  /// Executes the instruction at body index Index.
+  Result<void> stepAt(size_t Index);
+
+  /// Final check after the last instruction: every frame must be closed.
+  Result<void> finish();
+
+  Snapshot save() const;
+  void restore(const Snapshot &S);
+
+private:
+  Result<void> fail(const std::string &Message) {
+    return Error(ErrorCode::Malformed, "analysis: " + Message);
+  }
+  Result<void> failLimit(const std::string &Message) {
+    return Error(ErrorCode::LimitExceeded, "analysis: " + Message);
+  }
+
+  /// Initializes LocalTypes/TrackTags (deterministic; shared by prepare and
+  /// restore).
+  void initLocals();
+
+  bool reachable() const { return !Frames.back().Unreachable; }
+  void pushFrame(wasm::Opcode Kind, std::vector<wasm::ValType> Results,
+                 size_t InstrIndex);
+  void pushValue(wasm::ValType T, ValueTag Tag = {});
+  void pushUnknown();
+  bool popExpect(wasm::ValType T, AbstractValue &Out);
+  std::optional<AbstractValue> popAny();
+  const std::vector<wasm::ValType> *
+  labelTypes(uint64_t Depth, std::vector<wasm::ValType> &LoopEmpty);
+  void markUnreachable();
+  void mergeLocalsInto(bool &Has, std::vector<ValueTag> &Into,
+                       const std::vector<ValueTag> &From);
+  void recordBranchLocals(uint64_t Depth);
+  void recordBranchResults(uint64_t Depth,
+                           const std::vector<AbstractValue> &Values);
+  bool popSequence(const std::vector<wasm::ValType> &Types,
+                   std::vector<AbstractValue> &Out);
+  void noteReturnValues(uint64_t Depth,
+                        const std::vector<AbstractValue> &Values);
+  Result<void> checkAlignment(const wasm::Instr &I, unsigned Bytes);
+  Result<void> checkLoad(const wasm::Instr &I, wasm::ValType Pushed);
+  Result<void> checkStore(const wasm::Instr &I, wasm::ValType Stored);
+  Result<void> checkUnary(const wasm::Instr &I, wasm::ValType In,
+                          wasm::ValType Out, Origin Org);
+  Result<void> checkBinary(const wasm::Instr &I, wasm::ValType In,
+                           wasm::ValType Out, Origin Org);
+  Result<void> step(const wasm::Instr &I, size_t Index);
+
+  const wasm::Module &M;
+  const wasm::Function &Func;
+  const wasm::FuncType &Type;
+  EvalSink *Sink;
+  const EvalOptions &Options;
+  bool TrackTags = false;
+  std::vector<wasm::ValType> LocalTypes;
+  std::vector<ValueTag> LocalTags;
+  std::vector<AbstractValue> Stack;
+  std::vector<Frame> Frames;
+};
+
+} // namespace detail
+} // namespace analysis
+} // namespace snowwhite
+
+#endif // SNOWWHITE_ANALYSIS_EVAL_CORE_H

@@ -166,6 +166,12 @@ void writeParam(JsonWriter &W, const ParamEvidence &E) {
   W.key("escapes_to_calls").value(uint64_t(E.EscapesToCalls));
   W.key("escapes_indirect").value(uint64_t(E.EscapesIndirect));
   W.key("stored_to_memory").value(uint64_t(E.StoredToMemory));
+  W.key("must_direct_loads").value(uint64_t(E.MustDirectLoads));
+  W.key("must_direct_stores").value(uint64_t(E.MustDirectStores));
+  W.key("must_derived_loads").value(uint64_t(E.MustDerivedLoads));
+  W.key("must_derived_stores").value(uint64_t(E.MustDerivedStores));
+  W.key("must_signed_ops").value(uint64_t(E.MustSignedOps));
+  W.key("must_unsigned_ops").value(uint64_t(E.MustUnsignedOps));
   W.key("deref_via_callee").value(E.DereferencedViaCallee);
   W.key("stored_via_callee").value(E.StoredViaCallee);
   W.key("call_targets");

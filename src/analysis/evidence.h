@@ -65,6 +65,18 @@ struct ParamEvidence {
   uint32_t EscapesIndirect = 0; ///< Passed to call_indirect.
   uint32_t StoredToMemory = 0;  ///< The parameter *value* stored somewhere.
 
+  // Path-sensitive ("must") counters: the subset of the events above whose
+  // instruction lies on *every* entry->exit path of the body (its basic
+  // block dominates the CFG's synthetic exit — see analysis/cfg.h). The
+  // serving gate only treats evidence as contradicting a prediction when it
+  // is unavoidable, i.e. when the matching must-counter is non-zero.
+  uint32_t MustDirectLoads = 0;
+  uint32_t MustDirectStores = 0;
+  uint32_t MustDerivedLoads = 0;
+  uint32_t MustDerivedStores = 0;
+  uint32_t MustSignedOps = 0;
+  uint32_t MustUnsignedOps = 0;
+
   // Bottom-up call-graph facts: a callee that receives this parameter
   // dereferences / stores through its corresponding formal.
   bool DereferencedViaCallee = false;
@@ -84,6 +96,20 @@ struct ParamEvidence {
   /// True when memory reachable from this parameter is written.
   bool storedThrough() const {
     return DirectStores + DerivedStores > 0 || StoredViaCallee;
+  }
+  /// Must-variants: the fact holds on every entry->exit path. Deliberately
+  /// intraprocedural — a ViaCallee fact may sit on a conditional call, so it
+  /// never upgrades to "must".
+  bool mustUsedAsAddress() const {
+    return MustDirectLoads + MustDirectStores + MustDerivedLoads +
+               MustDerivedStores >
+           0;
+  }
+  bool mustDirectlyDereferenced() const {
+    return MustDirectLoads + MustDirectStores > 0;
+  }
+  bool mustStoredThrough() const {
+    return MustDirectStores + MustDerivedStores > 0;
   }
 };
 

@@ -61,16 +61,19 @@ bool pointeeIsConst(const Type &Pointee) {
   return Cur->kind() == TypeKind::TK_Const;
 }
 
-GateVerdict checkParam(const Type &Predicted, const ParamEvidence &E) {
+GateVerdict checkParam(const Type &Predicted, const ParamEvidence &E,
+                       bool PathSensitive) {
   const Type &T = resolveNames(Predicted);
 
   if (T.kind() == TypeKind::TK_Pointer) {
     const Type &Pointee = T.inner();
-    if (pointeeIsConst(Pointee) && E.storedThrough())
+    if (pointeeIsConst(Pointee) && E.storedThrough() &&
+        (!PathSensitive || E.mustStoredThrough()))
       return GateVerdict::StoreThroughConst;
     unsigned Bits = pointeeBits(Pointee);
     if (Bits > 0 && E.MinAccessBytes > 0 &&
-        static_cast<unsigned>(E.MinAccessBytes) * 8 > Bits)
+        static_cast<unsigned>(E.MinAccessBytes) * 8 > Bits &&
+        (!PathSensitive || E.mustUsedAsAddress()))
       return GateVerdict::AccessWiderThanPointee;
     return GateVerdict::Consistent;
   }
@@ -83,7 +86,8 @@ GateVerdict checkParam(const Type &Predicted, const ParamEvidence &E) {
   if (!Scalar)
     return GateVerdict::Consistent;
 
-  if (E.directlyDereferenced())
+  if (E.directlyDereferenced() &&
+      (!PathSensitive || E.mustDirectlyDereferenced()))
     return GateVerdict::DerefNonPointer;
 
   // Signedness: only exclusive sign-suffixed *arithmetic* usage counts.
@@ -91,10 +95,10 @@ GateVerdict checkParam(const Type &Predicted, const ParamEvidence &E) {
   // regardless of the C-level signedness.
   if (T.kind() == TypeKind::TK_Primitive) {
     if (T.primKind() == PrimKind::PK_Int && E.UnsignedOps > 0 &&
-        E.SignedOps == 0)
+        E.SignedOps == 0 && (!PathSensitive || E.MustUnsignedOps > 0))
       return GateVerdict::SignMismatch;
     if (T.primKind() == PrimKind::PK_Uint && E.SignedOps > 0 &&
-        E.UnsignedOps == 0)
+        E.UnsignedOps == 0 && (!PathSensitive || E.MustSignedOps > 0))
       return GateVerdict::SignMismatch;
   }
   return GateVerdict::Consistent;
@@ -129,12 +133,22 @@ const char *gateVerdictName(GateVerdict Verdict) {
 }
 
 GateVerdict checkConsistency(const typelang::Type &Predicted,
-                             const QueryEvidence &Evidence) {
+                             const QueryEvidence &Evidence,
+                             const GateOptions &Options) {
   GateVerdict Verdict = GateVerdict::Consistent;
-  if (Evidence.Param)
-    Verdict = checkParam(Predicted, *Evidence.Param);
-  else if (Evidence.Ret)
+  if (Evidence.Param) {
+    Verdict = checkParam(Predicted, *Evidence.Param, Options.PathSensitive);
+    if (Options.PathSensitive && Verdict == GateVerdict::Consistent &&
+        checkParam(Predicted, *Evidence.Param, /*PathSensitive=*/false) !=
+            GateVerdict::Consistent)
+      // The flow-insensitive gate would have fired; the path check saved the
+      // prediction because the contradicting evidence is avoidable.
+      telemetry::counter("gate.path_relaxed").add();
+  } else if (Evidence.Ret) {
+    // Return evidence is already quantified over every return edge, so the
+    // path-sensitive mode changes nothing here.
     Verdict = checkReturn(Predicted, *Evidence.Ret);
+  }
   telemetry::counter("gate.checks").add();
   if (Verdict != GateVerdict::Consistent) {
     telemetry::counter("gate.contradicted").add();

@@ -36,11 +36,24 @@ enum class GateVerdict : uint8_t {
 
 const char *gateVerdictName(GateVerdict Verdict);
 
+struct GateOptions {
+  /// Path-sensitive mode: evidence only contradicts a prediction when it
+  /// lies on *every* entry->exit path (the Must* counters of
+  /// ParamEvidence). Evidence confined to one branch of an `if` may sit
+  /// behind a dynamic type check the binary performs — a pattern the
+  /// flow-insensitive gate mis-fires on — so gating requires the
+  /// contradiction to be unavoidable. ViaCallee facts never satisfy the
+  /// must requirement (the call site itself may be conditional), which
+  /// narrows the gate further in the conservative direction.
+  bool PathSensitive = false;
+};
+
 /// Checks Predicted against the evidence. An empty QueryEvidence (no
 /// summary, tags not tracked) always yields Consistent — absence of evidence
 /// is never held against a prediction.
 GateVerdict checkConsistency(const typelang::Type &Predicted,
-                             const QueryEvidence &Evidence);
+                             const QueryEvidence &Evidence,
+                             const GateOptions &Options = {});
 
 } // namespace analysis
 } // namespace snowwhite

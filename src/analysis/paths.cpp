@@ -1,0 +1,129 @@
+//===- analysis/paths.cpp - Bounded acyclic path features ------------------===//
+
+#include "analysis/paths.h"
+
+namespace snowwhite {
+namespace analysis {
+
+namespace {
+
+/// Step token for traversing Edge, or nullptr when the edge carries no
+/// branching information (straight-line continuation and `block` entry).
+const char *stepToken(const CfgEdge &Edge) {
+  if (Edge.Back)
+    return "<path:back>";
+  switch (Edge.Kind) {
+  case EdgeKind::Fall:
+  case EdgeKind::BlockEntry:
+    return nullptr;
+  case EdgeKind::LoopEntry:
+    return "<path:loop>";
+  case EdgeKind::IfTrue:
+    return "<path:if-t>";
+  case EdgeKind::IfFalse:
+    return "<path:if-f>";
+  case EdgeKind::Br:
+    return "<path:br>";
+  case EdgeKind::BrIf:
+    return "<path:brif>";
+  case EdgeKind::BrTable:
+    return "<path:table>";
+  case EdgeKind::Return:
+    return "<path:ret>";
+  case EdgeKind::Unreachable:
+    return "<path:trap>";
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::vector<std::string> extractPathTokens(const ControlFlowGraph &Cfg,
+                                           const PathOptions &Opts) {
+  // One DFS frame per block on the current path prefix. Steps is the token
+  // prefix; each frame remembers the prefix length to rewind to when a
+  // successor subtree is done.
+  struct DfsFrame {
+    uint32_t Block = 0;
+    size_t NextSucc = 0;
+    size_t StepsAtEntry = 0;
+  };
+
+  const uint32_t Exit = Cfg.exitId();
+  std::vector<std::vector<std::string>> Paths;
+  std::vector<std::string> Steps;
+  std::vector<DfsFrame> Stack;
+  Stack.push_back({Cfg.entryId(), 0, 0});
+  uint32_t SearchSteps = 0;
+  bool Exhausted = false;
+
+  while (!Stack.empty() && !Exhausted && Paths.size() < Opts.MaxPaths) {
+    DfsFrame &F = Stack.back();
+    const BasicBlock &B = Cfg.Blocks[F.Block];
+    if (F.NextSucc >= B.Succs.size()) {
+      Steps.resize(F.StepsAtEntry);
+      Stack.pop_back();
+      continue;
+    }
+    const CfgEdge &Edge = Cfg.Edges[B.Succs[F.NextSucc++]];
+    if (++SearchSteps > Opts.MaxSearchSteps) {
+      Exhausted = true;
+      break;
+    }
+    size_t StepsBefore = Steps.size();
+    if (const char *Tok = stepToken(Edge)) {
+      if (Steps.size() >= Opts.MaxStepsPerPath) {
+        // Prefix is at the cap: record the cut path once and prune the
+        // whole subtree below this block (every extension would cut at the
+        // same prefix, producing duplicate paths).
+        std::vector<std::string> Cut = Steps;
+        Cut.push_back("<path:cut>");
+        Paths.push_back(std::move(Cut));
+        Steps.resize(F.StepsAtEntry);
+        Stack.pop_back();
+        continue;
+      }
+      Steps.push_back(Tok);
+    }
+    if (Edge.Back) {
+      // Observed, never traversed — the path stays acyclic. The token stays
+      // in the prefix: every path through a loop header records the retreat.
+      continue;
+    }
+    if (Edge.To == Exit) {
+      Paths.push_back(Steps);
+      Steps.resize(StepsBefore);
+      continue;
+    }
+    // The child rewinds to StepsBefore when its subtree is done, removing
+    // this edge's step token along with everything the subtree appended.
+    Stack.push_back({Edge.To, 0, StepsBefore});
+  }
+
+  if (Paths.empty())
+    return {"<path:none>"};
+
+  std::vector<std::string> Tokens;
+  Tokens.push_back("<path:begin>");
+  for (size_t P = 0; P < Paths.size(); ++P) {
+    if (P != 0)
+      Tokens.push_back("<path:sep>");
+    for (std::string &S : Paths[P])
+      Tokens.push_back(std::move(S));
+  }
+  Tokens.push_back("<path:end>");
+  return Tokens;
+}
+
+const std::vector<std::string> &pathTokenVocabulary() {
+  static const std::vector<std::string> Vocabulary = {
+      "<path:begin>", "<path:sep>",  "<path:end>",  "<path:none>",
+      "<path:cut>",   "<path:loop>", "<path:back>", "<path:if-t>",
+      "<path:if-f>",  "<path:br>",   "<path:brif>", "<path:table>",
+      "<path:ret>",   "<path:trap>",
+  };
+  return Vocabulary;
+}
+
+} // namespace analysis
+} // namespace snowwhite

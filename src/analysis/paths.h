@@ -1,0 +1,58 @@
+//===- analysis/paths.h - Bounded acyclic path features --------------------===//
+//
+// WasmWalker-style control-flow path features: a small, bounded set of
+// acyclic entry->exit paths through a function's CFG, rendered as a
+// deterministic auxiliary token sequence ("<path:begin> <path:if-t>
+// <path:loop> ... <path:end>") the dataset layer can splice next to the
+// "<evid:*>" evidence tokens. The intuition (from the WasmWalker line of
+// work) is that *how* control reaches a use site is itself a typing signal:
+// a parameter dereferenced only behind a branch reads differently from one
+// dereferenced unconditionally.
+//
+// Extraction is a depth-first enumeration over forward edges only — back
+// edges are observed as a "<path:back>" step but never traversed, so every
+// enumerated path is acyclic and the walk terminates. Three caps (paths,
+// steps per path, total search steps) bound the cost on adversarial CFGs;
+// truncation is explicit ("<path:cut>") and deterministic, never silent.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SNOWWHITE_ANALYSIS_PATHS_H
+#define SNOWWHITE_ANALYSIS_PATHS_H
+
+#include "analysis/cfg.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowwhite {
+namespace analysis {
+
+struct PathOptions {
+  /// Complete entry->exit paths to enumerate (DFS order, so the first paths
+  /// follow the earliest branch choices in body order).
+  uint32_t MaxPaths = 4;
+  /// Step tokens per path before the path is cut ("<path:cut>").
+  uint32_t MaxStepsPerPath = 16;
+  /// Total DFS edge visits before the whole enumeration stops. Guards
+  /// exponential path counts on branch ladders.
+  uint32_t MaxSearchSteps = 4096;
+};
+
+/// Enumerates bounded acyclic paths through Cfg and renders them as one
+/// token sequence: "<path:begin>" steps ["<path:sep>" steps]... "<path:end>",
+/// or the single token "<path:none>" when the exit is unreachable (the body
+/// can only trap or loop forever). Pure function of the CFG — bit-identical
+/// across runs and thread counts.
+std::vector<std::string> extractPathTokens(const ControlFlowGraph &Cfg,
+                                           const PathOptions &Opts = {});
+
+/// The full auxiliary-token vocabulary extractPathTokens can emit, for BPE /
+/// embedding-table sizing (mirrors evidenceTokenVocabulary).
+const std::vector<std::string> &pathTokenVocabulary();
+
+} // namespace analysis
+} // namespace snowwhite
+
+#endif // SNOWWHITE_ANALYSIS_PATHS_H

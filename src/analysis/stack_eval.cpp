@@ -1,5 +1,7 @@
 #include "analysis/stack_eval.h"
 
+#include "analysis/eval_core.h"
+
 #include <algorithm>
 #include <optional>
 #include <string>
@@ -32,10 +34,6 @@ ValueTag mergeTags(const ValueTag &A, const ValueTag &B) {
 }
 
 namespace {
-
-/// Mirrors wasm/validate.cpp's MaxControlNesting; the two must reject the
-/// same nesting depths for the differential check to hold.
-constexpr size_t MaxControlNesting = 1024;
 
 /// Derived-value tag: the result of a numeric instruction traces to a
 /// parameter iff exactly one parameter flows in (or both operands trace to
@@ -108,286 +106,272 @@ unsigned storeBytes(Opcode Op) {
   }
 }
 
-class Evaluator {
-public:
-  Evaluator(const Module &Mod, const Function &F, const FuncType &FT,
-            EvalSink *S, const EvalOptions &Opts)
-      : M(Mod), Func(F), Type(FT), Sink(S), Options(Opts) {}
+} // namespace
 
-  Result<void> run() {
-    LocalTypes = Type.Params;
-    for (ValType Local : Func.flattenedLocals())
-      LocalTypes.push_back(Local);
-    TrackTags = LocalTypes.size() <= MaxTrackedLocals;
-    if (TrackTags) {
-      LocalTags.resize(LocalTypes.size());
-      for (uint32_t Index = 0; Index < Type.Params.size(); ++Index) {
-        LocalTags[Index].Param = Index;
-        LocalTags[Index].Direct = true;
-      }
-      // Non-parameter locals are zero-initialized by the spec.
-      for (size_t Index = Type.Params.size(); Index < LocalTags.size();
-           ++Index)
-        LocalTags[Index].Org = Origin::Const;
+namespace detail {
+
+void Evaluator::initLocals() {
+  LocalTypes = Type.Params;
+  for (ValType Local : Func.flattenedLocals())
+    LocalTypes.push_back(Local);
+  TrackTags = LocalTypes.size() <= MaxTrackedLocals;
+}
+
+void Evaluator::prepare() {
+  initLocals();
+  if (TrackTags) {
+    LocalTags.assign(LocalTypes.size(), {});
+    for (uint32_t Index = 0; Index < Type.Params.size(); ++Index) {
+      LocalTags[Index].Param = Index;
+      LocalTags[Index].Direct = true;
     }
-
-    pushFrame(Opcode::Block, Type.Results, /*InstrIndex=*/0);
-
-    for (size_t Index = 0; Index < Func.Body.size(); ++Index) {
-      const Instr &I = Func.Body[Index];
-      Result<void> Status = step(I, Index);
-      if (Status.isErr())
-        return Status;
-    }
-    if (!Frames.empty())
-      return fail("function body missing end instruction(s)");
-    return {};
+    // Non-parameter locals are zero-initialized by the spec.
+    for (size_t Index = Type.Params.size(); Index < LocalTags.size(); ++Index)
+      LocalTags[Index].Org = Origin::Const;
   }
+  pushFrame(Opcode::Block, Type.Results, /*InstrIndex=*/0);
+}
 
-private:
-  struct Frame {
-    Opcode Kind = Opcode::Block;
-    std::vector<ValType> Results;
-    size_t StackHeight = 0;
-    bool Unreachable = false;
-    size_t InstrIndex = 0; ///< Body index of the opening instruction.
-    std::vector<ValueTag> EntryLocals; ///< Local tags at frame entry.
-    bool HasOutLocals = false;
-    std::vector<ValueTag> OutLocals; ///< Join over edges to the end label.
-    bool HasResultTags = false;
-    std::vector<ValueTag> ResultTags; ///< Join of result tags over edges.
-  };
+Result<void> Evaluator::stepAt(size_t Index) {
+  return step(Func.Body[Index], Index);
+}
 
-  Result<void> fail(const std::string &Message) {
-    return Error(ErrorCode::Malformed, "analysis: " + Message);
-  }
+Result<void> Evaluator::finish() {
+  if (!Frames.empty())
+    return fail("function body missing end instruction(s)");
+  return {};
+}
 
-  Result<void> failLimit(const std::string &Message) {
-    return Error(ErrorCode::LimitExceeded, "analysis: " + Message);
-  }
-
-  bool reachable() const { return !Frames.back().Unreachable; }
-
-  void pushFrame(Opcode Kind, std::vector<ValType> Results,
-                 size_t InstrIndex) {
-    Frame F;
-    F.Kind = Kind;
-    F.Results = std::move(Results);
-    F.StackHeight = Stack.size();
-    F.InstrIndex = InstrIndex;
-    if (TrackTags)
-      F.EntryLocals = LocalTags;
-    Frames.push_back(std::move(F));
-  }
-
-  void pushValue(ValType T, ValueTag Tag = {}) {
-    Stack.push_back(AbstractValue{T, true, Tag});
-  }
-  void pushUnknown() { Stack.push_back(AbstractValue{ValType::I32, false, {}}); }
-
-  /// Pops expecting T. Mirrors the validator's popExpect; fills Out with the
-  /// popped value (a polymorphic placeholder when popping below an
-  /// unreachable frame base).
-  bool popExpect(ValType T, AbstractValue &Out) {
-    Frame &F = Frames.back();
-    if (Stack.size() == F.StackHeight) {
-      Out = AbstractValue{T, false, {}};
-      return F.Unreachable;
-    }
-    Out = Stack.back();
-    Stack.pop_back();
-    return !Out.Known || Out.Type == T;
-  }
-
-  /// Pops any value; nullopt only when the stack is empty at a reachable
-  /// frame base (the validator's error case).
-  std::optional<AbstractValue> popAny() {
-    Frame &F = Frames.back();
-    if (Stack.size() == F.StackHeight) {
-      if (F.Unreachable)
-        return AbstractValue{ValType::I32, false, {}};
-      return std::nullopt;
-    }
-    AbstractValue Out = Stack.back();
-    Stack.pop_back();
-    return Out;
-  }
-
-  const std::vector<ValType> *labelTypes(uint64_t Depth,
-                                         std::vector<ValType> &LoopEmpty) {
-    if (Depth >= Frames.size())
-      return nullptr;
-    Frame &F = Frames[Frames.size() - 1 - Depth];
-    if (F.Kind == Opcode::Loop) {
-      LoopEmpty.clear();
-      return &LoopEmpty;
-    }
-    return &F.Results;
-  }
-
-  void markUnreachable() {
-    Frame &F = Frames.back();
-    Stack.resize(F.StackHeight);
-    F.Unreachable = true;
-  }
-
-  void mergeLocalsInto(bool &Has, std::vector<ValueTag> &Into,
-                       const std::vector<ValueTag> &From) {
-    if (!Has) {
-      Into = From;
-      Has = true;
-      return;
-    }
-    for (size_t Index = 0; Index < Into.size(); ++Index)
-      Into[Index] = mergeTags(Into[Index], From[Index]);
-  }
-
-  /// Records the local-tag state flowing along a branch to relative Depth:
-  /// loop headers feed the next fixpoint pass's carry state, forward labels
-  /// feed the join at their `end`.
-  void recordBranchLocals(uint64_t Depth) {
-    if (!TrackTags || !reachable())
-      return;
-    Frame &Target = Frames[Frames.size() - 1 - static_cast<size_t>(Depth)];
-    if (Target.Kind == Opcode::Loop) {
-      if (!Options.LoopCarryOut)
-        return;
-      auto [It, Inserted] =
-          Options.LoopCarryOut->try_emplace(Target.InstrIndex, LocalTags);
-      if (!Inserted)
-        for (size_t Index = 0; Index < It->second.size(); ++Index)
-          It->second[Index] = mergeTags(It->second[Index], LocalTags[Index]);
-      return;
-    }
-    mergeLocalsInto(Target.HasOutLocals, Target.OutLocals, LocalTags);
-  }
-
-  /// Records result-value tags flowing to a forward label's end.
-  void recordBranchResults(uint64_t Depth,
-                           const std::vector<AbstractValue> &Values) {
-    if (!reachable())
-      return;
-    Frame &Target = Frames[Frames.size() - 1 - static_cast<size_t>(Depth)];
-    if (Target.Kind == Opcode::Loop)
-      return;
-    std::vector<ValueTag> Tags;
-    Tags.reserve(Values.size());
-    for (const AbstractValue &Value : Values)
-      Tags.push_back(Value.Tag);
-    if (!Target.HasResultTags) {
-      Target.ResultTags = std::move(Tags);
-      Target.HasResultTags = true;
-    } else {
-      for (size_t Index = 0; Index < Target.ResultTags.size(); ++Index)
-        Target.ResultTags[Index] =
-            mergeTags(Target.ResultTags[Index], Tags[Index]);
-    }
-  }
-
-  /// Pops the value sequence Types (in reverse), collecting the popped
-  /// values in source order. False on a type mismatch.
-  bool popSequence(const std::vector<ValType> &Types,
-                   std::vector<AbstractValue> &Out) {
-    Out.assign(Types.size(), {});
-    for (size_t Index = Types.size(); Index-- > 0;)
-      if (!popExpect(Types[Index], Out[Index]))
-        return false;
-    return true;
-  }
-
-  /// Branch operands leaving through the function frame are return values.
-  void noteReturnValues(uint64_t Depth,
-                        const std::vector<AbstractValue> &Values) {
-    if (!Sink || !reachable())
-      return;
-    if (static_cast<size_t>(Depth) + 1 != Frames.size())
-      return;
-    for (const AbstractValue &Value : Values)
-      Sink->onReturn(Value);
-  }
-
-  /// Memarg alignment rule, mirroring the validator: the alignment exponent
-  /// must not exceed log2(natural access width).
-  Result<void> checkAlignment(const Instr &I, unsigned Bytes) {
-    unsigned MaxExp = 0;
-    for (; Bytes > 1; Bytes >>= 1)
-      ++MaxExp;
-    if (I.Imm1 > MaxExp)
-      return fail("alignment exceeds natural alignment");
-    return {};
-  }
-
-  Result<void> checkLoad(const Instr &I, ValType Pushed) {
-    if (M.Memories.empty())
-      return fail("memory access without memory");
-    if (Result<void> Status = checkAlignment(I, loadShape(I.Op).Bytes);
-        Status.isErr())
+Result<void> Evaluator::run() {
+  prepare();
+  for (size_t Index = 0; Index < Func.Body.size(); ++Index) {
+    Result<void> Status = stepAt(Index);
+    if (Status.isErr())
       return Status;
-    AbstractValue Addr;
-    if (!popExpect(ValType::I32, Addr))
-      return fail("load address must be i32");
-    LoadShape Shape = loadShape(I.Op);
-    if (Sink && reachable())
-      Sink->onLoad(I, Addr, Shape.Bytes, Shape.SignExtending);
-    ValueTag Tag;
-    Tag.Org = Origin::Load;
-    Tag.OrgBytes = static_cast<uint8_t>(Shape.Bytes);
-    Tag.OrgSigned = Shape.SignExtending;
-    pushValue(Pushed, Tag);
-    return {};
   }
+  return finish();
+}
 
-  Result<void> checkStore(const Instr &I, ValType Stored) {
-    if (M.Memories.empty())
-      return fail("memory access without memory");
-    if (Result<void> Status = checkAlignment(I, storeBytes(I.Op));
-        Status.isErr())
-      return Status;
-    AbstractValue Value, Addr;
-    if (!popExpect(Stored, Value))
-      return fail("store value type mismatch");
-    if (!popExpect(ValType::I32, Addr))
-      return fail("store address must be i32");
-    if (Sink && reachable())
-      Sink->onStore(I, Addr, Value, storeBytes(I.Op));
-    return {};
+Evaluator::Snapshot Evaluator::save() const {
+  return Snapshot{Stack, LocalTags, Frames};
+}
+
+void Evaluator::restore(const Snapshot &S) {
+  initLocals();
+  Stack = S.Stack;
+  LocalTags = S.LocalTags;
+  Frames = S.Frames;
+}
+
+void Evaluator::pushFrame(Opcode Kind, std::vector<ValType> Results,
+                          size_t InstrIndex) {
+  Frame F;
+  F.Kind = Kind;
+  F.Results = std::move(Results);
+  F.StackHeight = Stack.size();
+  F.InstrIndex = InstrIndex;
+  if (TrackTags)
+    F.EntryLocals = LocalTags;
+  Frames.push_back(std::move(F));
+}
+
+void Evaluator::pushValue(ValType T, ValueTag Tag) {
+  Stack.push_back(AbstractValue{T, true, Tag});
+}
+
+void Evaluator::pushUnknown() {
+  Stack.push_back(AbstractValue{ValType::I32, false, {}});
+}
+
+/// Pops expecting T. Mirrors the validator's popExpect; fills Out with the
+/// popped value (a polymorphic placeholder when popping below an
+/// unreachable frame base).
+bool Evaluator::popExpect(ValType T, AbstractValue &Out) {
+  Frame &F = Frames.back();
+  if (Stack.size() == F.StackHeight) {
+    Out = AbstractValue{T, false, {}};
+    return F.Unreachable;
   }
+  Out = Stack.back();
+  Stack.pop_back();
+  return !Out.Known || Out.Type == T;
+}
 
-  Result<void> checkUnary(const Instr &I, ValType In, ValType Out,
-                          Origin Org) {
-    AbstractValue Operand;
-    if (!popExpect(In, Operand))
-      return fail("unary operand type mismatch");
-    if (Sink && reachable())
-      Sink->onUnary(I, Operand);
-    pushValue(Out, derivedTag(Org, Operand.Tag));
-    return {};
+/// Pops any value; nullopt only when the stack is empty at a reachable
+/// frame base (the validator's error case).
+std::optional<AbstractValue> Evaluator::popAny() {
+  Frame &F = Frames.back();
+  if (Stack.size() == F.StackHeight) {
+    if (F.Unreachable)
+      return AbstractValue{ValType::I32, false, {}};
+    return std::nullopt;
   }
+  AbstractValue Out = Stack.back();
+  Stack.pop_back();
+  return Out;
+}
 
-  Result<void> checkBinary(const Instr &I, ValType In, ValType Out,
-                           Origin Org) {
-    AbstractValue Rhs, Lhs;
-    if (!popExpect(In, Rhs) || !popExpect(In, Lhs))
-      return fail("binary operand type mismatch");
-    if (Sink && reachable())
-      Sink->onBinary(I, Lhs, Rhs);
-    pushValue(Out, derivedTag(Org, Lhs.Tag, Rhs.Tag));
-    return {};
+const std::vector<ValType> *
+Evaluator::labelTypes(uint64_t Depth, std::vector<ValType> &LoopEmpty) {
+  if (Depth >= Frames.size())
+    return nullptr;
+  Frame &F = Frames[Frames.size() - 1 - Depth];
+  if (F.Kind == Opcode::Loop) {
+    LoopEmpty.clear();
+    return &LoopEmpty;
   }
+  return &F.Results;
+}
 
-  Result<void> step(const Instr &I, size_t Index);
+void Evaluator::markUnreachable() {
+  Frame &F = Frames.back();
+  Stack.resize(F.StackHeight);
+  F.Unreachable = true;
+}
 
-  const Module &M;
-  const Function &Func;
-  const FuncType &Type;
-  EvalSink *Sink;
-  const EvalOptions &Options;
-  bool TrackTags = false;
-  std::vector<ValType> LocalTypes;
-  std::vector<ValueTag> LocalTags;
-  std::vector<AbstractValue> Stack;
-  std::vector<Frame> Frames;
-};
+void Evaluator::mergeLocalsInto(bool &Has, std::vector<ValueTag> &Into,
+                                const std::vector<ValueTag> &From) {
+  if (!Has) {
+    Into = From;
+    Has = true;
+    return;
+  }
+  for (size_t Index = 0; Index < Into.size(); ++Index)
+    Into[Index] = mergeTags(Into[Index], From[Index]);
+}
+
+/// Records the local-tag state flowing along a branch to relative Depth:
+/// loop headers feed the next fixpoint pass's carry state, forward labels
+/// feed the join at their `end`.
+void Evaluator::recordBranchLocals(uint64_t Depth) {
+  if (!TrackTags || !reachable())
+    return;
+  Frame &Target = Frames[Frames.size() - 1 - static_cast<size_t>(Depth)];
+  if (Target.Kind == Opcode::Loop) {
+    if (!Options.LoopCarryOut)
+      return;
+    auto [It, Inserted] =
+        Options.LoopCarryOut->try_emplace(Target.InstrIndex, LocalTags);
+    if (!Inserted)
+      for (size_t Index = 0; Index < It->second.size(); ++Index)
+        It->second[Index] = mergeTags(It->second[Index], LocalTags[Index]);
+    return;
+  }
+  mergeLocalsInto(Target.HasOutLocals, Target.OutLocals, LocalTags);
+}
+
+/// Records result-value tags flowing to a forward label's end.
+void Evaluator::recordBranchResults(uint64_t Depth,
+                                    const std::vector<AbstractValue> &Values) {
+  if (!reachable())
+    return;
+  Frame &Target = Frames[Frames.size() - 1 - static_cast<size_t>(Depth)];
+  if (Target.Kind == Opcode::Loop)
+    return;
+  std::vector<ValueTag> Tags;
+  Tags.reserve(Values.size());
+  for (const AbstractValue &Value : Values)
+    Tags.push_back(Value.Tag);
+  if (!Target.HasResultTags) {
+    Target.ResultTags = std::move(Tags);
+    Target.HasResultTags = true;
+  } else {
+    for (size_t Index = 0; Index < Target.ResultTags.size(); ++Index)
+      Target.ResultTags[Index] =
+          mergeTags(Target.ResultTags[Index], Tags[Index]);
+  }
+}
+
+/// Pops the value sequence Types (in reverse), collecting the popped
+/// values in source order. False on a type mismatch.
+bool Evaluator::popSequence(const std::vector<ValType> &Types,
+                            std::vector<AbstractValue> &Out) {
+  Out.assign(Types.size(), {});
+  for (size_t Index = Types.size(); Index-- > 0;)
+    if (!popExpect(Types[Index], Out[Index]))
+      return false;
+  return true;
+}
+
+/// Branch operands leaving through the function frame are return values.
+void Evaluator::noteReturnValues(uint64_t Depth,
+                                 const std::vector<AbstractValue> &Values) {
+  if (!Sink || !reachable())
+    return;
+  if (static_cast<size_t>(Depth) + 1 != Frames.size())
+    return;
+  for (const AbstractValue &Value : Values)
+    Sink->onReturn(Value);
+}
+
+/// Memarg alignment rule, mirroring the validator: the alignment exponent
+/// must not exceed log2(natural access width).
+Result<void> Evaluator::checkAlignment(const Instr &I, unsigned Bytes) {
+  unsigned MaxExp = 0;
+  for (; Bytes > 1; Bytes >>= 1)
+    ++MaxExp;
+  if (I.Imm1 > MaxExp)
+    return fail("alignment exceeds natural alignment");
+  return {};
+}
+
+Result<void> Evaluator::checkLoad(const Instr &I, ValType Pushed) {
+  if (M.Memories.empty())
+    return fail("memory access without memory");
+  if (Result<void> Status = checkAlignment(I, loadShape(I.Op).Bytes);
+      Status.isErr())
+    return Status;
+  AbstractValue Addr;
+  if (!popExpect(ValType::I32, Addr))
+    return fail("load address must be i32");
+  LoadShape Shape = loadShape(I.Op);
+  if (Sink && reachable())
+    Sink->onLoad(I, Addr, Shape.Bytes, Shape.SignExtending);
+  ValueTag Tag;
+  Tag.Org = Origin::Load;
+  Tag.OrgBytes = static_cast<uint8_t>(Shape.Bytes);
+  Tag.OrgSigned = Shape.SignExtending;
+  pushValue(Pushed, Tag);
+  return {};
+}
+
+Result<void> Evaluator::checkStore(const Instr &I, ValType Stored) {
+  if (M.Memories.empty())
+    return fail("memory access without memory");
+  if (Result<void> Status = checkAlignment(I, storeBytes(I.Op));
+      Status.isErr())
+    return Status;
+  AbstractValue Value, Addr;
+  if (!popExpect(Stored, Value))
+    return fail("store value type mismatch");
+  if (!popExpect(ValType::I32, Addr))
+    return fail("store address must be i32");
+  if (Sink && reachable())
+    Sink->onStore(I, Addr, Value, storeBytes(I.Op));
+  return {};
+}
+
+Result<void> Evaluator::checkUnary(const Instr &I, ValType In, ValType Out,
+                                   Origin Org) {
+  AbstractValue Operand;
+  if (!popExpect(In, Operand))
+    return fail("unary operand type mismatch");
+  if (Sink && reachable())
+    Sink->onUnary(I, Operand);
+  pushValue(Out, derivedTag(Org, Operand.Tag));
+  return {};
+}
+
+Result<void> Evaluator::checkBinary(const Instr &I, ValType In, ValType Out,
+                                    Origin Org) {
+  AbstractValue Rhs, Lhs;
+  if (!popExpect(In, Rhs) || !popExpect(In, Lhs))
+    return fail("binary operand type mismatch");
+  if (Sink && reachable())
+    Sink->onBinary(I, Lhs, Rhs);
+  pushValue(Out, derivedTag(Org, Lhs.Tag, Rhs.Tag));
+  return {};
+}
 
 Result<void> Evaluator::step(const Instr &I, size_t Index) {
   // Mirrors the validator: nothing may follow the final `end`.
@@ -494,11 +478,25 @@ Result<void> Evaluator::step(const Instr &I, size_t Index) {
     Successor.StackHeight = F.StackHeight;
     Successor.InstrIndex = F.InstrIndex;
     Successor.EntryLocals = F.EntryLocals;
+    // Branches inside the then-arm that targeted the if's end label already
+    // joined into the frame accumulators; the successor frame keeps them.
+    // (Dropping them narrowed the join at `end` — a real bug surfaced by the
+    // CFG worklist audit; see ElseDropsThenBranchJoin* regressions.)
+    Successor.HasOutLocals = F.HasOutLocals;
+    Successor.OutLocals = std::move(F.OutLocals);
+    Successor.HasResultTags = F.HasResultTags;
+    Successor.ResultTags = std::move(F.ResultTags);
     if (ThenReachable && TrackTags)
       mergeLocalsInto(Successor.HasOutLocals, Successor.OutLocals, LocalTags);
     if (ThenReachable) {
-      Successor.ResultTags = std::move(ThenResultTags);
-      Successor.HasResultTags = true;
+      if (!Successor.HasResultTags) {
+        Successor.ResultTags = std::move(ThenResultTags);
+        Successor.HasResultTags = true;
+      } else {
+        for (size_t R = 0; R < Successor.ResultTags.size(); ++R)
+          Successor.ResultTags[R] =
+              mergeTags(Successor.ResultTags[R], ThenResultTags[R]);
+      }
     }
     // The else-branch starts from the state at the `if`, not from wherever
     // the then-branch left the locals.
@@ -873,7 +871,7 @@ Result<void> Evaluator::step(const Instr &I, size_t Index) {
   }
 }
 
-} // namespace
+} // namespace detail
 
 Result<void> evaluateFunction(const Module &M, uint32_t DefinedIndex,
                               EvalSink *Sink, const EvalOptions &Options) {
@@ -883,7 +881,7 @@ Result<void> evaluateFunction(const Module &M, uint32_t DefinedIndex,
   if (Func.TypeIndex >= M.Types.size())
     return Error(ErrorCode::Malformed,
                  "analysis: function type index out of range");
-  Evaluator E(M, Func, M.Types[Func.TypeIndex], Sink, Options);
+  detail::Evaluator E(M, Func, M.Types[Func.TypeIndex], Sink, Options);
   return E.run();
 }
 

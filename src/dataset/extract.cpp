@@ -53,12 +53,15 @@ std::vector<std::string> renderWindows(const Function &Func,
                                        int64_t ParamIndex,
                                        const char *LowLevelName,
                                        const ExtractOptions &Options,
-                                       std::vector<std::string> Evidence) {
+                                       std::vector<std::string> Evidence,
+                                       const std::vector<std::string> *Paths) {
   std::vector<std::string> Out;
   if (Options.IncludeLowLevelType)
     Out.emplace_back(LowLevelName);
   for (std::string &Token : Evidence)
     Out.push_back(std::move(Token));
+  if (Options.PathTokens && Paths)
+    Out.insert(Out.end(), Paths->begin(), Paths->end());
   Out.emplace_back(BeginToken);
   for (size_t WindowIndex = 0; WindowIndex < Windows.size(); ++WindowIndex) {
     if (WindowIndex != 0)
@@ -78,7 +81,8 @@ std::vector<std::string> renderWindows(const Function &Func,
 std::vector<std::string>
 extractParamInput(const Module &M, uint32_t DefinedIndex, uint32_t ParamIndex,
                   const ExtractOptions &Options,
-                  const analysis::ParamEvidence *Evidence) {
+                  const analysis::ParamEvidence *Evidence,
+                  const std::vector<std::string> *Paths) {
   assert(DefinedIndex < M.Functions.size() && "function index out of range");
   const Function &Func = M.Functions[DefinedIndex];
   const wasm::FuncType &Type = M.functionType(DefinedIndex);
@@ -108,13 +112,15 @@ extractParamInput(const Module &M, uint32_t DefinedIndex, uint32_t ParamIndex,
   if (Options.EvidenceTokens && Evidence)
     EvidenceTokens = analysis::evidenceTokens(*Evidence);
   return renderWindows(Func, Windows, static_cast<int64_t>(ParamIndex),
-                       LowLevelName, Options, std::move(EvidenceTokens));
+                       LowLevelName, Options, std::move(EvidenceTokens),
+                       Paths);
 }
 
 std::vector<std::string>
 extractReturnInput(const Module &M, uint32_t DefinedIndex,
                    const ExtractOptions &Options,
-                   const analysis::ReturnEvidence *Evidence) {
+                   const analysis::ReturnEvidence *Evidence,
+                   const std::vector<std::string> *Paths) {
   assert(DefinedIndex < M.Functions.size() && "function index out of range");
   const Function &Func = M.Functions[DefinedIndex];
   const wasm::FuncType &Type = M.functionType(DefinedIndex);
@@ -141,7 +147,7 @@ extractReturnInput(const Module &M, uint32_t DefinedIndex,
   if (Options.EvidenceTokens && Evidence)
     EvidenceTokens = analysis::evidenceTokens(*Evidence);
   return renderWindows(Func, Windows, /*ParamIndex=*/-1, LowLevelName,
-                       Options, std::move(EvidenceTokens));
+                       Options, std::move(EvidenceTokens), Paths);
 }
 
 } // namespace dataset

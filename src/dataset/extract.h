@@ -43,23 +43,31 @@ struct ExtractOptions {
   bool EvidenceTokens = false; ///< Insert analysis-derived evidence tokens
                                ///< ("<evid:ptr>", ...) between t_low and
                                ///< <begin> (EXPERIMENTS ablation).
+  bool PathTokens = false; ///< Insert WasmWalker-style control-flow path
+                           ///< tokens ("<path:if-t>", ...) after the
+                           ///< evidence tokens (analysis/paths.h; ablated
+                           ///< in EXPERIMENTS alongside evidence).
 };
 
 /// Input sequence for predicting the type of parameter ParamIndex of defined
 /// function DefinedIndex. When Options.EvidenceTokens is set and Evidence is
 /// non-null, the parameter's evidence summary is rendered into auxiliary
-/// tokens after t_low.
+/// tokens after t_low; when Options.PathTokens is set and Paths is non-null,
+/// the function's control-flow path tokens (analysis::extractPathTokens)
+/// follow the evidence tokens.
 std::vector<std::string>
 extractParamInput(const wasm::Module &M, uint32_t DefinedIndex,
                   uint32_t ParamIndex, const ExtractOptions &Options = {},
-                  const analysis::ParamEvidence *Evidence = nullptr);
+                  const analysis::ParamEvidence *Evidence = nullptr,
+                  const std::vector<std::string> *Paths = nullptr);
 
 /// Input sequence for predicting the return type of DefinedIndex. The
 /// function must have a result.
 std::vector<std::string>
 extractReturnInput(const wasm::Module &M, uint32_t DefinedIndex,
                    const ExtractOptions &Options = {},
-                   const analysis::ReturnEvidence *Evidence = nullptr);
+                   const analysis::ReturnEvidence *Evidence = nullptr,
+                   const std::vector<std::string> *Paths = nullptr);
 
 } // namespace dataset
 } // namespace snowwhite

@@ -1,6 +1,8 @@
 #include "dataset/pipeline.h"
 
 #include "analysis/analyzer.h"
+#include "analysis/cfg.h"
+#include "analysis/paths.h"
 #include "dataset/journal.h"
 #include "dwarf/io.h"
 #include "support/hash.h"
@@ -149,6 +151,27 @@ void finishDataset(std::vector<KeptParsed> KeptMods,
         Summaries[BinaryIndex].emplace(Summary.take());
     });
 
+  // Control-flow path tokens are per function (every query against the same
+  // function shares them), so they are computed once here, not per sample.
+  // A CFG build failure on a validated binary is unexpected but non-fatal:
+  // the function's samples simply carry no path tokens.
+  bool WantPaths = Options.Extract.PathTokens;
+  std::vector<std::vector<std::vector<std::string>>> PathsPerBinary(
+      WantPaths ? Kept.size() : 0);
+  if (WantPaths)
+    Pool.parallelTasks(Kept.size(), [&](size_t BinaryIndex) {
+      const wasm::Module &Mod = Kept[BinaryIndex].Mod;
+      auto &Paths = PathsPerBinary[BinaryIndex];
+      Paths.resize(Mod.Functions.size());
+      for (uint32_t FuncIndex = 0; FuncIndex < Mod.Functions.size();
+           ++FuncIndex) {
+        Result<analysis::ControlFlowGraph> Cfg =
+            analysis::buildCfg(Mod, FuncIndex);
+        if (Cfg.isOk())
+          Paths[FuncIndex] = analysis::extractPathTokens(Cfg.value());
+      }
+    });
+
   // --- Stage 2+3: match functions to subprograms and collect raw samples -
   BeginStage("ingest.match");
   struct RawRef {
@@ -243,19 +266,23 @@ void finishDataset(std::vector<KeptParsed> KeptMods,
       if (WantEvidence && Summaries[Ref.BinaryIndex])
         Sample.Evidence = analysis::queryEvidence(
             *Summaries[Ref.BinaryIndex], Ref.FuncIndex, Ref.ParamIndex);
+      const std::vector<std::string> *Paths = nullptr;
+      if (WantPaths && Ref.FuncIndex < PathsPerBinary[Ref.BinaryIndex].size() &&
+          !PathsPerBinary[Ref.BinaryIndex][Ref.FuncIndex].empty())
+        Paths = &PathsPerBinary[Ref.BinaryIndex][Ref.FuncIndex];
       if (Ref.ParamIndex < 0) {
         Sample.IsReturn = true;
         Sample.LowLevel = Type.Results[0];
         Sample.Input = extractReturnInput(
             Binary.Mod, Ref.FuncIndex, Options.Extract,
-            Sample.Evidence.Ret ? &*Sample.Evidence.Ret : nullptr);
+            Sample.Evidence.Ret ? &*Sample.Evidence.Ret : nullptr, Paths);
       } else {
         Sample.IsReturn = false;
         Sample.LowLevel = Type.Params[static_cast<size_t>(Ref.ParamIndex)];
         Sample.Input = extractParamInput(
             Binary.Mod, Ref.FuncIndex, static_cast<uint32_t>(Ref.ParamIndex),
             Options.Extract,
-            Sample.Evidence.Param ? &*Sample.Evidence.Param : nullptr);
+            Sample.Evidence.Param ? &*Sample.Evidence.Param : nullptr, Paths);
       }
     }
   });

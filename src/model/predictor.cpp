@@ -12,18 +12,20 @@ namespace model {
 
 analysis::GateVerdict
 gatePrediction(const TypePrediction &Prediction,
-               const analysis::QueryEvidence &Evidence) {
+               const analysis::QueryEvidence &Evidence,
+               const analysis::GateOptions &Options) {
   Result<typelang::Type> Parsed = typelang::parseType(Prediction.Tokens);
   if (Parsed.isErr())
     return analysis::GateVerdict::Consistent;
-  return analysis::checkConsistency(*Parsed, Evidence);
+  return analysis::checkConsistency(*Parsed, Evidence, Options);
 }
 
 size_t applyEvidenceGate(std::vector<TypePrediction> &Predictions,
-                         const analysis::QueryEvidence &Evidence) {
+                         const analysis::QueryEvidence &Evidence,
+                         const analysis::GateOptions &Options) {
   size_t Before = Predictions.size();
   std::erase_if(Predictions, [&](const TypePrediction &Prediction) {
-    return gatePrediction(Prediction, Evidence) !=
+    return gatePrediction(Prediction, Evidence, Options) !=
            analysis::GateVerdict::Consistent;
   });
   return Before - Predictions.size();

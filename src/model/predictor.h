@@ -25,15 +25,18 @@ struct TypePrediction {
 /// Checks one prediction against statically-proven evidence. Predictions
 /// that do not parse as type sentences are Consistent by definition — the
 /// gate only ever rejects provable contradictions.
-analysis::GateVerdict gatePrediction(const TypePrediction &Prediction,
-                                     const analysis::QueryEvidence &Evidence);
+analysis::GateVerdict
+gatePrediction(const TypePrediction &Prediction,
+               const analysis::QueryEvidence &Evidence,
+               const analysis::GateOptions &Options = {});
 
 /// Filters Predictions in place (preserving rank order) to the candidates
 /// consistent with Evidence. Returns the number of rejected candidates.
 /// Callers must handle the all-rejected case themselves (the serving ladder
 /// degrades a tier; it never leaves a request unanswered).
 size_t applyEvidenceGate(std::vector<TypePrediction> &Predictions,
-                         const analysis::QueryEvidence &Evidence);
+                         const analysis::QueryEvidence &Evidence,
+                         const analysis::GateOptions &Options = {});
 
 /// Wraps a trained model and a task's codecs into the user-facing "give me
 /// the top-k types for this parameter/return" query. The raw model is not

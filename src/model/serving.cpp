@@ -44,6 +44,13 @@ const char *outcomeCode(ServeOutcome Outcome) {
 
 namespace {
 
+/// The serving ladder gates path-sensitively: a candidate is only rejected
+/// when the contradicting evidence lies on every entry->exit path of the
+/// function (analysis::GateOptions). Avoidable evidence — e.g. a dereference
+/// behind a branch that may be a dynamic type check — no longer costs a
+/// correct prediction its tier.
+constexpr analysis::GateOptions ServingGate{/*PathSensitive=*/true};
+
 /// Decodes budgeted-search hypotheses into deduplicated predictions, best
 /// log-probability first. Hypotheses that decode to zero tokens (the model
 /// emitted EOS immediately) are dropped: the engine's contract is a *typed*
@@ -238,7 +245,8 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
         if (Decoded.empty()) {
           Response.Detail = "beam: only empty hypotheses";
         } else {
-          size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
+          size_t Gated =
+              applyEvidenceGate(Decoded, Request.Evidence, ServingGate);
           Stats.GatedCandidates += Gated;
           telemetry::counter("serving.gated_candidates").add(Gated);
           if (Decoded.empty()) {
@@ -285,7 +293,8 @@ ServeResponse ServingEngine::serveLadder(const ServeRequest &Request) {
         if (Decoded.empty()) {
           Response.Detail += "; greedy: only empty hypotheses";
         } else {
-          size_t Gated = applyEvidenceGate(Decoded, Request.Evidence);
+          size_t Gated =
+              applyEvidenceGate(Decoded, Request.Evidence, ServingGate);
           Stats.GatedCandidates += Gated;
           telemetry::counter("serving.gated_candidates").add(Gated);
           if (Decoded.empty()) {

@@ -1,6 +1,7 @@
 #include "model/task.h"
 
 #include "analysis/evidence.h"
+#include "analysis/paths.h"
 #include "dataset/extract.h"
 
 #include <cassert>
@@ -16,11 +17,11 @@ using typelang::NameVocabulary;
 namespace {
 
 /// Tokens that the BPE model must never split: structural delimiters and
-/// the type-language keywords. Evidence tokens join the set only when the
-/// inputs actually carry them (ExtractOptions::EvidenceTokens), so the
-/// vocabulary — and therefore model shape and behavior — is unchanged for
-/// evidence-free datasets.
-std::vector<std::string> protectedTokens(bool WithEvidence) {
+/// the type-language keywords. Evidence and path tokens join the set only
+/// when the inputs actually carry them (ExtractOptions::EvidenceTokens /
+/// PathTokens), so the vocabulary — and therefore model shape and behavior —
+/// is unchanged for datasets without the auxiliary tokens.
+std::vector<std::string> protectedTokens(bool WithEvidence, bool WithPaths) {
   std::vector<std::string> Out = {
       dataset::BeginToken, dataset::ParamToken, dataset::WindowToken,
       dataset::InstrSeparator, "i32", "i64", "f32", "f64"};
@@ -28,6 +29,9 @@ std::vector<std::string> protectedTokens(bool WithEvidence) {
     Out.push_back(Keyword);
   if (WithEvidence)
     for (const std::string &Token : analysis::evidenceTokenVocabulary())
+      Out.push_back(Token);
+  if (WithPaths)
+    for (const std::string &Token : analysis::pathTokenVocabulary())
       Out.push_back(Token);
   return Out;
 }
@@ -65,14 +69,17 @@ Task::Task(const Dataset &Data, const TaskOptions &Options)
   // information from validation/test leaks into the tokenization).
   std::map<std::string, uint64_t> WordFrequencies;
   bool HasEvidenceTokens = false;
+  bool HasPathTokens = false;
   for (uint32_t Index : TrainIdx)
     for (const std::string &Token : Data.Samples[Index].Input) {
       ++WordFrequencies[Token];
       if (!HasEvidenceTokens && Token.rfind("<evid:", 0) == 0)
         HasEvidenceTokens = true;
+      if (!HasPathTokens && Token.rfind("<path:", 0) == 0)
+        HasPathTokens = true;
     }
   Bpe.train(WordFrequencies, Options.BpeVocabSize,
-            protectedTokens(HasEvidenceTokens));
+            protectedTokens(HasEvidenceTokens, HasPathTokens));
   for (const std::string &Symbol : Bpe.symbolVocabulary())
     SourceVocab.addToken(Symbol);
 

@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
-# Lint driver for the static-analysis layers (src/analysis/, src/wasm/), the
+# Lint driver for the static-analysis layers (src/analysis/ — including the
+# CFG IR in cfg.cpp and the path-token extractor in paths.cpp — and
+# src/wasm/), the
 # telemetry layer (src/support/telemetry.*), the fault-injection and
 # crash-safe I/O helpers (src/support/fault.*, src/support/io.*), the
 # crash-safe ingest layer (src/dataset/{journal,pipeline}.*), and the

@@ -16,7 +16,7 @@
 //       Remove all .debug_* custom sections (what a reverse engineer
 //       typically gets).
 //
-//   snowwhite analyze <file.wasm>
+//   snowwhite analyze [--cfg [--dot]] <file.wasm>
 //       Parse, validate, and run the dataflow analysis; print per-function
 //       parameter/return evidence summaries (access widths, derived loads,
 //       sign uses, escapes, ...) as JSON on stdout. Works on stripped
@@ -84,6 +84,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/analyzer.h"
+#include "analysis/cfg.h"
 #include "analysis/evidence.h"
 #include "dataset/export.h"
 #include "dataset/pipeline.h"
@@ -288,26 +289,63 @@ static int commandStrip(int argc, char **argv) {
 }
 
 static int commandAnalyze(int argc, char **argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: snowwhite analyze <file.wasm>\n");
+  bool EmitCfg = false;
+  bool EmitDot = false;
+  const char *Path = nullptr;
+  for (int Arg = 0; Arg < argc; ++Arg) {
+    if (std::strcmp(argv[Arg], "--cfg") == 0)
+      EmitCfg = true;
+    else if (std::strcmp(argv[Arg], "--dot") == 0)
+      EmitDot = true;
+    else
+      Path = argv[Arg];
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: snowwhite analyze [--cfg [--dot]] <file.wasm>\n");
     return 2;
   }
   std::vector<uint8_t> Bytes;
-  if (!readFile(argv[0], Bytes))
+  if (!readFile(Path, Bytes))
     return 1;
   Result<wasm::Module> Parsed = wasm::readModule(Bytes);
   if (Parsed.isErr()) {
-    printError(Parsed.error().withContext(argv[0]));
+    printError(Parsed.error().withContext(Path));
     return 1;
   }
   Result<void> Valid = wasm::validateModule(*Parsed);
   if (Valid.isErr()) {
-    printError(Valid.error().withContext(argv[0]));
+    printError(Valid.error().withContext(Path));
     return 1;
+  }
+  if (EmitCfg) {
+    // Per-function control-flow graphs: DOT for offline triage (--dot) or a
+    // JSON array of graphs (blocks, edges, dominators, loop headers).
+    if (!EmitDot)
+      std::printf("[");
+    for (uint32_t Index = 0; Index < Parsed->Functions.size(); ++Index) {
+      Result<analysis::ControlFlowGraph> Cfg =
+          analysis::buildCfg(*Parsed, Index);
+      if (Cfg.isErr()) {
+        printError(Cfg.error().withContext(Path));
+        return 1;
+      }
+      if (EmitDot) {
+        std::printf("%s", analysis::cfgToDot(*Parsed, Cfg.value()).c_str());
+      } else {
+        if (Index != 0)
+          std::printf(",");
+        std::printf("%s", analysis::cfgToJson(Cfg.value()).c_str());
+      }
+    }
+    if (!EmitDot)
+      std::printf("]");
+    std::printf("\n");
+    return 0;
   }
   Result<analysis::ModuleSummary> Summary = analysis::analyzeModule(*Parsed);
   if (Summary.isErr()) {
-    printError(Summary.error().withContext(argv[0]));
+    printError(Summary.error().withContext(Path));
     return 1;
   }
   std::printf("%s\n", analysis::toJson(*Summary).c_str());
@@ -1170,7 +1208,7 @@ int main(int argc, char **argv) {
                  "  snowwhite gen <dir> [packages] [seed]\n"
                  "  snowwhite dump <file.wasm>\n"
                  "  snowwhite strip <in.wasm> <out.wasm>\n"
-                 "  snowwhite analyze <file.wasm>\n"
+                 "  snowwhite analyze [--cfg [--dot]] <file.wasm>\n"
                  "  snowwhite ingest <dir> [--strict] [--metrics-out F]\n"
                  "  snowwhite train [--epochs N] [--checkpoint PATH] "
                  "[--resume] [--metrics-out F]\n"

@@ -82,6 +82,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/analyzer.h"
+#include "analysis/cfg.h"
+#include "analysis/paths.h"
 #include "analysis/stack_eval.h"
 #include "dataset/pipeline.h"
 #include "dwarf/io.h"
@@ -317,6 +319,129 @@ int runAnalysisFuzz(uint64_t Iterations, uint64_t Seed) {
               static_cast<unsigned long long>(FunctionsRejected),
               static_cast<unsigned long long>(ModulesAnalyzed),
               static_cast<unsigned long long>(SummariesProduced));
+  return 0;
+}
+
+/// CFG differential: on every mutant function, the CFG-hosted analysis
+/// engine must agree with the legacy re-run-the-body engine — identical
+/// accept/reject verdicts, and bit-identical evidence summaries (compared
+/// via their JSON rendering) when both accept. Also exercises buildCfg and
+/// the bounded path extractor on every function for termination and the
+/// structural-rejection contract (the evaluator accepts => buildCfg
+/// accepts).
+int runCfgFuzz(uint64_t Iterations, uint64_t Seed) {
+  frontend::CorpusSpec Spec;
+  Spec.NumPackages = 12;
+  Spec.Seed = Seed ^ 0x5eedc0de;
+  frontend::Corpus Corpus = frontend::buildCorpus(Spec);
+  std::vector<const std::vector<uint8_t> *> Seeds = corpusSeeds(Corpus);
+  if (Seeds.empty()) {
+    std::fprintf(stderr, "error: empty seed corpus\n");
+    return 1;
+  }
+
+  analysis::AnalyzeOptions WorklistEngine;
+  WorklistEngine.Engine = analysis::FixpointEngine::CfgWorklist;
+  analysis::AnalyzeOptions RerunEngine;
+  RerunEngine.Engine = analysis::FixpointEngine::BodyRerun;
+
+  uint64_t Parsed = 0, FunctionsChecked = 0, FunctionsRejected = 0,
+           SummariesCompared = 0, PathsExtracted = 0, ResumedRounds = 0;
+  for (uint64_t I = 0; I < Iterations; ++I) {
+    fault::FaultConfig Config;
+    Config.Seed = hashCombine(Seed, I);
+    fault::FaultInjector Injector(Config);
+    std::vector<uint8_t> Bytes = *Seeds[I % Seeds.size()];
+    Injector.corrupt(Bytes);
+
+    Result<wasm::Module> Mod = wasm::readModule(Bytes);
+    if (Mod.isErr())
+      continue;
+    ++Parsed;
+    for (uint32_t F = 0; F < Mod->Functions.size(); ++F) {
+      ++FunctionsChecked;
+      Result<void> Eval = analysis::evaluateFunction(*Mod, F);
+      Result<analysis::ControlFlowGraph> Cfg = analysis::buildCfg(*Mod, F);
+      if (Eval.isOk() && Cfg.isErr()) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu) function %u: "
+                     "evaluator accepts but buildCfg rejects: %s\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed), F,
+                     Cfg.error().message().c_str());
+        return 1;
+      }
+      if (Cfg.isOk()) {
+        // Path extraction must terminate within its caps on any graph.
+        std::vector<std::string> Paths =
+            analysis::extractPathTokens(Cfg.value());
+        if (Paths.empty()) {
+          std::fprintf(stderr,
+                       "FAIL: iteration %llu (seed %llu) function %u: "
+                       "empty path token sequence\n",
+                       static_cast<unsigned long long>(I),
+                       static_cast<unsigned long long>(Seed), F);
+          return 1;
+        }
+        ++PathsExtracted;
+      }
+      Result<analysis::FunctionSummary> Worklist =
+          analysis::analyzeFunction(*Mod, F, WorklistEngine);
+      Result<analysis::FunctionSummary> Rerun =
+          analysis::analyzeFunction(*Mod, F, RerunEngine);
+      if (Worklist.isOk() != Rerun.isOk()) {
+        std::fprintf(
+            stderr,
+            "FAIL: iteration %llu (seed %llu) function %u: cfg-worklist "
+            "engine says %s (%s), body-rerun engine says %s (%s)\n",
+            static_cast<unsigned long long>(I),
+            static_cast<unsigned long long>(Seed), F,
+            Worklist.isOk() ? "valid" : "invalid",
+            Worklist.isErr() ? Worklist.error().message().c_str() : "ok",
+            Rerun.isOk() ? "valid" : "invalid",
+            Rerun.isErr() ? Rerun.error().message().c_str() : "ok");
+        return 1;
+      }
+      if (Worklist.isErr()) {
+        ++FunctionsRejected;
+        continue;
+      }
+      std::string WorklistJson = analysis::toJson(*Worklist);
+      std::string RerunJson = analysis::toJson(*Rerun);
+      if (WorklistJson != RerunJson) {
+        std::fprintf(stderr,
+                     "FAIL: iteration %llu (seed %llu) function %u: "
+                     "summaries diverge\n  cfg-worklist: %s\n  body-rerun:  "
+                     "%s\n",
+                     static_cast<unsigned long long>(I),
+                     static_cast<unsigned long long>(Seed), F,
+                     WorklistJson.c_str(), RerunJson.c_str());
+        return 1;
+      }
+      ++SummariesCompared;
+      if (Cfg.isOk() && Worklist->FixpointPasses > 1) {
+        Result<analysis::CarryFixpoint> Fix = analysis::runCarryFixpoint(
+            *Mod, F, Cfg.value(), analysis::MaxFixpointPasses);
+        if (Fix.isOk())
+          ResumedRounds += Fix.value().ResumedRounds;
+      }
+    }
+  }
+
+  std::printf("cfg fuzz: %llu iterations, 0 divergences\n"
+              "  parsed               %llu\n"
+              "  functions checked    %llu\n"
+              "  functions rejected   %llu\n"
+              "  summaries compared   %llu\n"
+              "  paths extracted      %llu\n"
+              "  resumed rounds       %llu\n",
+              static_cast<unsigned long long>(Iterations),
+              static_cast<unsigned long long>(Parsed),
+              static_cast<unsigned long long>(FunctionsChecked),
+              static_cast<unsigned long long>(FunctionsRejected),
+              static_cast<unsigned long long>(SummariesCompared),
+              static_cast<unsigned long long>(PathsExtracted),
+              static_cast<unsigned long long>(ResumedRounds));
   return 0;
 }
 
@@ -1392,6 +1517,12 @@ int main(int argc, char **argv) {
         argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
     uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
     return runAnalysisFuzz(Iterations, Seed);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--cfg") == 0) {
+    uint64_t Iterations =
+        argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
+    uint64_t Seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+    return runCfgFuzz(Iterations, Seed);
   }
   if (argc > 1 && std::strcmp(argv[1], "--fault-table") == 0) {
     uint64_t Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
