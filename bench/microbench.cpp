@@ -13,6 +13,7 @@
 #include "frontend/typegen.h"
 #include "dwarf/io.h"
 #include "nn/graph.h"
+#include "nn/kernels.h"
 #include "model/serving.h"
 #include "support/io.h"
 #include "support/telemetry.h"
@@ -234,6 +235,56 @@ void BM_GemmThreads(benchmark::State &State) {
   ThreadPool::resetGlobal(0); // Back to the SNOWWHITE_THREADS-sized pool.
 }
 BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+/// Single-thread kernel-backend comparison on one square GEMM: the scalar
+/// reference vs the tuned (vectorized, cache-blocked) backend vs int8
+/// dequantize-on-accumulate. Pool pinned to one thread so the rows isolate
+/// the kernel itself; BM_GemmThreads above measures scaling.
+void benchGemmBackend(benchmark::State &State, const char *Backend,
+                      bool Int8) {
+  namespace kernels = nn::kernels;
+  ThreadPool::resetGlobal(1);
+  std::string Saved = kernels::activeName();
+  kernels::setActive(Backend);
+  constexpr size_t M = 192, K = 192, N = 192;
+  std::vector<float> AData(M * K), BData(K * N), C(M * N);
+  Rng R(7);
+  for (float &V : AData)
+    V = R.nextUniformFloat(1.0f);
+  for (float &V : BData)
+    V = R.nextUniformFloat(1.0f);
+  kernels::QuantizedMatrix Q;
+  if (Int8)
+    Q = kernels::quantizeRowwise(BData.data(), K, N);
+  for (auto _ : State) {
+    std::fill(C.begin(), C.end(), 0.0f);
+    if (Int8)
+      kernels::gemmInt8(M, K, N, AData.data(), Q.Data.data(),
+                        Q.RowScale.data(), C.data());
+    else
+      kernels::gemm(M, K, N, AData.data(), BData.data(), C.data());
+    benchmark::DoNotOptimize(C[0]);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(2 * M * K * N)); // FLOPs.
+  kernels::setActive(Saved);
+  ThreadPool::resetGlobal(0);
+}
+
+void BM_GemmReference(benchmark::State &State) {
+  benchGemmBackend(State, "reference", /*Int8=*/false);
+}
+BENCHMARK(BM_GemmReference);
+
+void BM_GemmTuned(benchmark::State &State) {
+  benchGemmBackend(State, "tuned", /*Int8=*/false);
+}
+BENCHMARK(BM_GemmTuned);
+
+void BM_GemmInt8(benchmark::State &State) {
+  benchGemmBackend(State, "tuned", /*Int8=*/true);
+}
+BENCHMARK(BM_GemmInt8);
 
 /// Threads-vs-throughput for a full data-parallel optimizer step (forward,
 /// backward, ordered gradient reduction, Adam).

@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace snowwhite;
@@ -87,6 +88,50 @@ void printBlock(const char *Title, const std::vector<VariantSpec> &Variants,
   }
 }
 
+/// Post-training int8 quantization delta (issue 10): the same trained Lsw
+/// parameter model evaluated dense (f32) and with int8 inference enabled,
+/// plus mean per-sample prediction wall time for each. The accuracy delta
+/// is what --int8 costs; the latency delta is what it buys.
+void printInt8Block(const dataset::Dataset &Data) {
+  TaskOptions Options;
+  Options.Kind = TaskKind::TK_Parameter;
+  Options.Language = TypeLanguageKind::TL_Sw;
+  Options.MaxTrainSamples = static_cast<size_t>(6000 * bench::benchScale());
+  Task T(Data, Options);
+  std::fprintf(stderr, "[table5] training param / Lsw for int8 delta ...\n");
+  TrainResult Trained = trainModel(T, bench::benchTrainOptions());
+
+  struct Row {
+    const char *Label;
+    eval::AccuracyReport Report;
+    double SecondsPerSample;
+  };
+  std::vector<Row> Rows;
+  for (bool Int8 : {false, true}) {
+    Trained.Model->setInt8Inference(Int8);
+    auto Start = std::chrono::steady_clock::now();
+    eval::AccuracyReport Report = bench::modelAccuracy(T, *Trained.Model);
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    size_t Samples = Report.NumSamples ? Report.NumSamples : 1;
+    Rows.push_back({Int8 ? "int8 (per-row symmetric)" : "f32 (dense)", Report,
+                    Elapsed.count() / static_cast<double>(Samples)});
+  }
+  Trained.Model->setInt8Inference(false);
+
+  std::printf("\nInt8 Inference Delta (param / Lsw, same trained model)\n");
+  bench::printRule();
+  std::printf("%-26s %8s %8s %6s %12s\n", "Weights", "Top-1", "Top-5", "TPS",
+              "ms/sample");
+  bench::printRule();
+  for (const Row &R : Rows)
+    std::printf("%-26s %8s %8s %6s %12s\n", R.Label,
+                formatPercent(R.Report.top1(), 1).c_str(),
+                formatPercent(R.Report.topK(), 1).c_str(),
+                formatDouble(R.Report.meanPrefixScoreTopK(), 2).c_str(),
+                formatDouble(R.SecondsPerSample * 1000.0, 2).c_str());
+}
+
 } // namespace
 
 int main() {
@@ -118,6 +163,8 @@ int main() {
                    : "Return Type Prediction",
                Variants, Results);
   }
+
+  printInt8Block(Data);
 
   std::printf("\nPaper reference (Table 5): param top-1 Lsw 44.5%% / "
               "AllNames 18.6%% / Simplified 65.1%% / Eklavya 87.9%% / "

@@ -1,5 +1,6 @@
 #include "dataset/extract.h"
 
+#include "support/arena.h"
 #include "wasm/text.h"
 
 #include <algorithm>
@@ -21,14 +22,23 @@ struct Window {
   size_t End;
 };
 
-/// Merges overlapping/adjacent windows (input must be sorted by Begin).
-std::vector<Window> mergeWindows(std::vector<Window> Windows) {
-  std::vector<Window> Merged;
-  for (const Window &W : Windows) {
-    if (!Merged.empty() && W.Begin <= Merged.back().End + 1)
-      Merged.back().End = std::max(Merged.back().End, W.End);
+/// Per-thread scratch for window extraction. Extraction runs once per
+/// parameter of every function of every module — the pipeline's allocation
+/// churn hot spot — so the window list bump-allocates from an arena that is
+/// reset (blocks retained) each call: steady state does no heap traffic.
+/// thread_local because the pipeline fans extraction out over the pool.
+thread_local Arena WindowArena;
+
+/// Merges overlapping/adjacent windows in place (input must be sorted by
+/// Begin); returns the merged count.
+size_t mergeWindows(Window *Windows, size_t Count) {
+  size_t Merged = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    if (Merged != 0 && Windows[I].Begin <= Windows[Merged - 1].End + 1)
+      Windows[Merged - 1].End =
+          std::max(Windows[Merged - 1].End, Windows[I].End);
     else
-      Merged.push_back(W);
+      Windows[Merged++] = Windows[I];
   }
   return Merged;
 }
@@ -49,8 +59,8 @@ void appendInstrTokens(const Instr &I, int64_t ParamIndex,
 
 /// Renders windows over Body into the final token sequence.
 std::vector<std::string> renderWindows(const Function &Func,
-                                       const std::vector<Window> &Windows,
-                                       int64_t ParamIndex,
+                                       const Window *Windows,
+                                       size_t NumWindows, int64_t ParamIndex,
                                        const char *LowLevelName,
                                        const ExtractOptions &Options,
                                        std::vector<std::string> Evidence,
@@ -63,7 +73,7 @@ std::vector<std::string> renderWindows(const Function &Func,
   if (Options.PathTokens && Paths)
     Out.insert(Out.end(), Paths->begin(), Paths->end());
   Out.emplace_back(BeginToken);
-  for (size_t WindowIndex = 0; WindowIndex < Windows.size(); ++WindowIndex) {
+  for (size_t WindowIndex = 0; WindowIndex < NumWindows; ++WindowIndex) {
     if (WindowIndex != 0)
       Out.emplace_back(WindowToken);
     const Window &W = Windows[WindowIndex];
@@ -89,7 +99,12 @@ extractParamInput(const Module &M, uint32_t DefinedIndex, uint32_t ParamIndex,
   assert(ParamIndex < Type.Params.size() && "parameter index out of range");
   const char *LowLevelName = wasm::valTypeName(Type.Params[ParamIndex]);
 
-  std::vector<Window> Windows;
+  // At most one window per body instruction (plus the whole-body
+  // fallback), so one arena array of that capacity covers the call.
+  WindowArena.reset();
+  Window *Windows =
+      WindowArena.allocateArray<Window>(Func.Body.size() + 1);
+  size_t NumWindows = 0;
   if (Options.UseWindows && !Func.Body.empty()) {
     unsigned Radius = Options.ParamWindow / 2;
     for (size_t InstrIndex = 0; InstrIndex < Func.Body.size(); ++InstrIndex) {
@@ -97,23 +112,21 @@ extractParamInput(const Module &M, uint32_t DefinedIndex, uint32_t ParamIndex,
       if (I.isLocalOp() && I.Imm0 == ParamIndex) {
         size_t Begin = InstrIndex >= Radius ? InstrIndex - Radius : 0;
         size_t End = std::min(InstrIndex + Radius, Func.Body.size() - 1);
-        Windows.push_back({Begin, End});
+        Windows[NumWindows++] = {Begin, End};
       }
     }
-    Windows = mergeWindows(std::move(Windows));
+    NumWindows = mergeWindows(Windows, NumWindows);
   }
-  if (Windows.empty()) {
+  if (NumWindows == 0 && !Func.Body.empty()) {
     // Unused parameter (or windowing disabled): fall back to the whole body.
-    Windows.push_back({0, Func.Body.empty() ? 0 : Func.Body.size() - 1});
-    if (Func.Body.empty())
-      Windows.clear();
+    Windows[NumWindows++] = {0, Func.Body.size() - 1};
   }
   std::vector<std::string> EvidenceTokens;
   if (Options.EvidenceTokens && Evidence)
     EvidenceTokens = analysis::evidenceTokens(*Evidence);
-  return renderWindows(Func, Windows, static_cast<int64_t>(ParamIndex),
-                       LowLevelName, Options, std::move(EvidenceTokens),
-                       Paths);
+  return renderWindows(Func, Windows, NumWindows,
+                       static_cast<int64_t>(ParamIndex), LowLevelName, Options,
+                       std::move(EvidenceTokens), Paths);
 }
 
 std::vector<std::string>
@@ -127,7 +140,10 @@ extractReturnInput(const Module &M, uint32_t DefinedIndex,
   assert(!Type.Results.empty() && "return extraction on void function");
   const char *LowLevelName = wasm::valTypeName(Type.Results[0]);
 
-  std::vector<Window> Windows;
+  WindowArena.reset();
+  Window *Windows =
+      WindowArena.allocateArray<Window>(Func.Body.size() + 1);
+  size_t NumWindows = 0;
   if (Options.UseWindows && !Func.Body.empty()) {
     unsigned Span = Options.ReturnWindow;
     auto WindowEndingAt = [&](size_t InstrIndex) {
@@ -136,18 +152,19 @@ extractReturnInput(const Module &M, uint32_t DefinedIndex,
     };
     for (size_t InstrIndex = 0; InstrIndex < Func.Body.size(); ++InstrIndex)
       if (Func.Body[InstrIndex].Op == Opcode::Return)
-        Windows.push_back(WindowEndingAt(InstrIndex));
+        Windows[NumWindows++] = WindowEndingAt(InstrIndex);
     // The implicit fall-through return at the end of the body.
-    Windows.push_back(WindowEndingAt(Func.Body.size() - 1));
-    Windows = mergeWindows(std::move(Windows));
+    Windows[NumWindows++] = WindowEndingAt(Func.Body.size() - 1);
+    NumWindows = mergeWindows(Windows, NumWindows);
   }
-  if (Windows.empty() && !Func.Body.empty())
-    Windows.push_back({0, Func.Body.size() - 1});
+  if (NumWindows == 0 && !Func.Body.empty())
+    Windows[NumWindows++] = {0, Func.Body.size() - 1};
   std::vector<std::string> EvidenceTokens;
   if (Options.EvidenceTokens && Evidence)
     EvidenceTokens = analysis::evidenceTokens(*Evidence);
-  return renderWindows(Func, Windows, /*ParamIndex=*/-1, LowLevelName,
-                       Options, std::move(EvidenceTokens), Paths);
+  return renderWindows(Func, Windows, NumWindows, /*ParamIndex=*/-1,
+                       LowLevelName, Options, std::move(EvidenceTokens),
+                       Paths);
 }
 
 } // namespace dataset

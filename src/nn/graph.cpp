@@ -1,5 +1,6 @@
 #include "nn/graph.h"
 
+#include "nn/kernels.h"
 #include "support/thread_pool.h"
 
 #include <algorithm>
@@ -12,23 +13,11 @@ namespace nn {
 namespace {
 
 /// Minimum total inner-loop operations before a kernel fans out over the
-/// pool; below this the scheduling overhead exceeds the loop cost.
+/// pool (mirrors kernels::parallelOverRows; used by the ops that manage
+/// their own pool dispatch, like the embedding scatter).
 constexpr size_t ParallelMinWork = 1 << 15;
 
-/// Runs Body over disjoint row ranges of [0, Rows). Each output row is
-/// computed by exactly one task with the same instruction sequence as the
-/// sequential loop, so results are bit-identical for any thread count.
-void parallelOverRows(size_t Rows, size_t WorkPerRow,
-                      const std::function<void(size_t, size_t)> &Body) {
-  ThreadPool &Pool = ThreadPool::global();
-  if (Pool.numThreads() == 1 || Rows * WorkPerRow < ParallelMinWork) {
-    Body(0, Rows);
-    return;
-  }
-  size_t Grain =
-      std::max<size_t>(1, ParallelMinWork / std::max<size_t>(1, WorkPerRow));
-  Pool.parallelFor(0, Rows, Grain, Body);
-}
+using kernels::parallelOverRows;
 
 } // namespace
 
@@ -42,17 +31,18 @@ bool allFinite(const float *Data, size_t Size) {
 }
 
 VarData *Graph::newNode(size_t Rows, size_t Cols, bool NeedGrad) {
-  auto Node = std::make_unique<VarData>();
+  VarData *Node = NodeArena.create<VarData>();
   Node->Rows = Rows;
   Node->Cols = Cols;
-  Node->OwnedValue.assign(Rows * Cols, 0.0f);
-  Node->Value = Node->OwnedValue.data();
+  size_t Size = Rows * Cols;
+  Node->Value = NodeArena.allocateArray<float>(Size);
+  std::memset(Node->Value, 0, Size * sizeof(float));
   if (NeedGrad && Training) {
-    Node->OwnedGrad.assign(Rows * Cols, 0.0f);
-    Node->Grad = Node->OwnedGrad.data();
+    Node->Grad = NodeArena.allocateArray<float>(Size);
+    std::memset(Node->Grad, 0, Size * sizeof(float));
   }
-  Nodes.push_back(std::move(Node));
-  return Nodes.back().get();
+  ++NodeCount;
+  return Node;
 }
 
 Var Graph::input(size_t Rows, size_t Cols, const float *Data) {
@@ -66,68 +56,43 @@ Var Graph::zeros(size_t Rows, size_t Cols) {
 }
 
 Var Graph::param(Parameter &P) {
-  auto Node = std::make_unique<VarData>();
+  VarData *Node = NodeArena.create<VarData>();
   Node->Rows = P.Rows;
   Node->Cols = P.Cols;
   Node->Value = P.Value.data();
   if (Training)
     Node->Grad = paramGradTarget(P);
-  Nodes.push_back(std::move(Node));
-  return Var{Nodes.back().get()};
+  ++NodeCount;
+  return Var{Node};
 }
 
 Var Graph::matmul(Var A, Var B) {
   assert(A.cols() == B.rows() && "matmul shape mismatch");
   size_t M = A.rows(), K = A.cols(), N = B.cols();
   VarData *Out = newNode(M, N, true);
-  const float *AV = A.value(), *BV = B.value();
-  float *OV = Out->Value;
-  // ikj loop order: unit-stride inner loop, auto-vectorizable. Row-blocked
-  // over the pool: each task owns a disjoint range of output rows.
-  parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
-    for (size_t I = I0; I < I1; ++I)
-      for (size_t P = 0; P < K; ++P) {
-        float AIP = AV[I * K + P];
-        const float *BRow = BV + P * N;
-        float *ORow = OV + I * N;
-        for (size_t J = 0; J < N; ++J)
-          ORow[J] += AIP * BRow[J];
-      }
-  });
+  // All four products (forward and both backward terms) route through the
+  // active kernel backend (nn/kernels.h); the output buffers are
+  // zero-initialized (forward) or accumulators (backward), matching the
+  // kernels' accumulate-into-C convention.
+  kernels::gemm(M, K, N, A.value(), B.value(), Out->Value);
   if (Training)
     Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
       const float *G = Out->Grad;
-      if (AD->Grad) {
-        // dA = G * B^T, row-blocked over rows of A.
-        parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
-          for (size_t I = I0; I < I1; ++I)
-            for (size_t P = 0; P < K; ++P) {
-              float Sum = 0.0f;
-              const float *GRow = G + I * N;
-              const float *BRow = BD->Value + P * N;
-              for (size_t J = 0; J < N; ++J)
-                Sum += GRow[J] * BRow[J];
-              AD->Grad[I * K + P] += Sum;
-            }
-        });
-      }
-      if (BD->Grad) {
-        // dB = A^T * G, row-blocked over rows of B (the P axis); each task
-        // owns disjoint dB rows and sums its I contributions in the same
-        // ascending order as the sequential loop.
-        parallelOverRows(K, M * N, [&](size_t P0, size_t P1) {
-          for (size_t P = P0; P < P1; ++P) {
-            float *BGRow = BD->Grad + P * N;
-            for (size_t I = 0; I < M; ++I) {
-              float AIP = AD->Value[I * K + P];
-              const float *GRow = G + I * N;
-              for (size_t J = 0; J < N; ++J)
-                BGRow[J] += AIP * GRow[J];
-            }
-          }
-        });
-      }
+      if (AD->Grad) // dA[M,K] += G[M,N] * B[K,N]^T
+        kernels::gemmTB(M, N, K, G, BD->Value, AD->Grad);
+      if (BD->Grad) // dB[K,N] += A[M,K]^T * G[M,N]
+        kernels::gemmTA(M, K, N, /*Lda=*/K, AD->Value, G, BD->Grad);
     });
+  return Var{Out};
+}
+
+Var Graph::matmulInt8(Var A, const kernels::QuantizedMatrix &W) {
+  assert(!Training && "matmulInt8 is inference-only (no backward rule)");
+  assert(A.cols() == W.Rows && "matmulInt8 shape mismatch");
+  size_t M = A.rows(), K = A.cols(), N = W.Cols;
+  VarData *Out = newNode(M, N, /*NeedGrad=*/false);
+  kernels::gemmInt8(M, K, N, A.value(), W.Data.data(), W.RowScale.data(),
+                    Out->Value);
   return Var{Out};
 }
 
@@ -135,46 +100,14 @@ Var Graph::matmulTransposeB(Var A, Var B) {
   assert(A.cols() == B.cols() && "matmulTransposeB shape mismatch");
   size_t M = A.rows(), K = A.cols(), N = B.rows();
   VarData *Out = newNode(M, N, true);
-  const float *AV = A.value(), *BV = B.value();
-  parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
-    for (size_t I = I0; I < I1; ++I)
-      for (size_t J = 0; J < N; ++J) {
-        float Sum = 0.0f;
-        const float *ARow = AV + I * K;
-        const float *BRow = BV + J * K;
-        for (size_t P = 0; P < K; ++P)
-          Sum += ARow[P] * BRow[P];
-        Out->Value[I * N + J] = Sum;
-      }
-  });
+  kernels::gemmTB(M, K, N, A.value(), B.value(), Out->Value);
   if (Training)
     Tape.push_back([AD = A.Data, BD = B.Data, Out, M, K, N] {
       const float *G = Out->Grad;
-      if (AD->Grad)
-        parallelOverRows(M, K * N, [&](size_t I0, size_t I1) {
-          for (size_t I = I0; I < I1; ++I)
-            for (size_t J = 0; J < N; ++J) {
-              float GIJ = G[I * N + J];
-              const float *BRow = BD->Value + J * K;
-              float *AGRow = AD->Grad + I * K;
-              for (size_t P = 0; P < K; ++P)
-                AGRow[P] += GIJ * BRow[P];
-            }
-        });
-      if (BD->Grad)
-        // Row-blocked over rows of B (the J axis); I contributions to each
-        // dB row are summed in the sequential loop's ascending order.
-        parallelOverRows(N, M * K, [&](size_t J0, size_t J1) {
-          for (size_t J = J0; J < J1; ++J) {
-            float *BGRow = BD->Grad + J * K;
-            for (size_t I = 0; I < M; ++I) {
-              float GIJ = G[I * N + J];
-              const float *ARow = AD->Value + I * K;
-              for (size_t P = 0; P < K; ++P)
-                BGRow[P] += GIJ * ARow[P];
-            }
-          }
-        });
+      if (AD->Grad) // dA[M,K] += G[M,N] * B[N,K]
+        kernels::gemm(M, N, K, G, BD->Value, AD->Grad);
+      if (BD->Grad) // dB[N,K] += G[M,N]^T * A[M,K]
+        kernels::gemmTA(M, N, K, /*Lda=*/N, G, AD->Value, BD->Grad);
     });
   return Var{Out};
 }
@@ -312,8 +245,12 @@ Var Graph::layerNorm(Var A, Var Gain, Var Bias) {
   size_t M = A.rows(), N = A.cols();
   constexpr float Epsilon = 1e-5f;
   VarData *Out = newNode(M, N, true);
+  // Zero-width rows have no elements to normalize (and 0/0 would poison the
+  // cached stats with NaN); the output is the empty matrix.
+  if (N == 0)
+    return Var{Out};
   // Cache per-row mean and inverse stddev for the backward pass.
-  auto Stats = std::make_shared<std::vector<float>>(2 * M);
+  float *Stats = NodeArena.allocateArray<float>(2 * M);
   for (size_t I = 0; I < M; ++I) {
     const float *Row = A.value() + I * N;
     float Mean = 0.0f;
@@ -327,8 +264,8 @@ Var Graph::layerNorm(Var A, Var Gain, Var Bias) {
     }
     Variance /= static_cast<float>(N);
     float InvStd = 1.0f / std::sqrt(Variance + Epsilon);
-    (*Stats)[2 * I] = Mean;
-    (*Stats)[2 * I + 1] = InvStd;
+    Stats[2 * I] = Mean;
+    Stats[2 * I + 1] = InvStd;
     for (size_t J = 0; J < N; ++J)
       Out->Value[I * N + J] =
           (Row[J] - Mean) * InvStd * Gain.value()[J] + Bias.value()[J];
@@ -337,8 +274,8 @@ Var Graph::layerNorm(Var A, Var Gain, Var Bias) {
     Tape.push_back([AD = A.Data, GD = Gain.Data, BD = Bias.Data, Out, Stats,
                     M, N] {
       for (size_t I = 0; I < M; ++I) {
-        float Mean = (*Stats)[2 * I];
-        float InvStd = (*Stats)[2 * I + 1];
+        float Mean = Stats[2 * I];
+        float InvStd = Stats[2 * I + 1];
         const float *Row = AD->Value + I * N;
         const float *G = Out->Grad + I * N;
         // Normalized activations and the gradient wrt them.
@@ -452,15 +389,15 @@ Var Graph::dropout(Var A, float Rate, Rng &R) {
   VarData *Out = newNode(A.rows(), A.cols(), true);
   // Inverted dropout: kept units are scaled so inference needs no change.
   float Keep = 1.0f - Rate;
-  auto Mask = std::make_shared<std::vector<float>>(Size);
+  float *Mask = NodeArena.allocateArray<float>(Size);
   for (size_t I = 0; I < Size; ++I) {
-    (*Mask)[I] = R.nextDouble() < Rate ? 0.0f : 1.0f / Keep;
-    Out->Value[I] = A.value()[I] * (*Mask)[I];
+    Mask[I] = R.nextDouble() < Rate ? 0.0f : 1.0f / Keep;
+    Out->Value[I] = A.value()[I] * Mask[I];
   }
   Tape.push_back([AD = A.Data, Out, Size, Mask] {
     if (AD->Grad)
       for (size_t I = 0; I < Size; ++I)
-        AD->Grad[I] += Out->Grad[I] * (*Mask)[I];
+        AD->Grad[I] += Out->Grad[I] * Mask[I];
   });
   return Var{Out};
 }
@@ -517,6 +454,11 @@ Var Graph::embedding(Parameter &E, const std::vector<uint32_t> &Ids) {
 Var Graph::softmaxRows(Var A) {
   size_t M = A.rows(), N = A.cols();
   VarData *Out = newNode(M, N, true);
+  // Zero-width rows: there is no element to read for the running max (the
+  // old loop read Row[0] out of bounds) and the softmax of an empty row is
+  // the empty row.
+  if (N == 0)
+    return Var{Out};
   for (size_t I = 0; I < M; ++I) {
     const float *Row = A.value() + I * N;
     float *ORow = Out->Value + I * N;
@@ -555,6 +497,12 @@ Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
   assert(Targets.size() == M && "targets/logits mismatch");
   VarData *Out = newNode(1, 1, true);
 
+  // A zero-width vocabulary has no probabilities to take (the softmax loop
+  // would read Row[0] out of bounds) and no target can be in range; the
+  // loss of nothing is zero with no gradient.
+  if (V == 0)
+    return Var{Out};
+
   // The loss clamps log(max(p, ProbFloor)); the backward pass must see the
   // same clamp: a row whose target probability underflowed the floor has a
   // constant loss there, so its gradient is exactly zero (previously the
@@ -565,12 +513,12 @@ Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
   // independent: compute them (and each row's loss term) in parallel, then
   // reduce the scalar loss sequentially in row order so the sum is
   // bit-identical for any thread count.
-  auto Probs = std::make_shared<std::vector<float>>(M * V);
+  float *Probs = NodeArena.allocateArray<float>(M * V);
   std::vector<float> RowLoss(M, 0.0f);
   parallelOverRows(M, 4 * V, [&](size_t I0, size_t I1) {
     for (size_t I = I0; I < I1; ++I) {
       const float *Row = Logits.value() + I * V;
-      float *PRow = Probs->data() + I * V;
+      float *PRow = Probs + I * V;
       float Max = Row[0];
       for (size_t J = 1; J < V; ++J)
         Max = std::max(Max, Row[J]);
@@ -608,7 +556,7 @@ Var Graph::crossEntropy(Var Logits, const std::vector<uint32_t> &Targets,
         for (size_t I = I0; I < I1; ++I) {
           if (Targets[I] == IgnoreIndex)
             continue;
-          const float *PRow = Probs->data() + I * V;
+          const float *PRow = Probs + I * V;
           // Clamped row: the forward value is the constant -log(ProbFloor),
           // so this row's logits receive no gradient.
           if (PRow[Targets[I]] < ProbFloor)

@@ -14,6 +14,7 @@
 #ifndef SNOWWHITE_NN_GRAPH_H
 #define SNOWWHITE_NN_GRAPH_H
 
+#include "support/arena.h"
 #include "support/rng.h"
 
 #include <cassert>
@@ -27,6 +28,10 @@
 
 namespace snowwhite {
 namespace nn {
+
+namespace kernels {
+struct QuantizedMatrix;
+} // namespace kernels
 
 /// True when every element of [Data, Data + Size) is finite — no NaN, no
 /// infinity. The per-batch numerical-health sentinel: one linear scan, no
@@ -99,12 +104,13 @@ private:
   std::unordered_map<Parameter *, size_t> Index;
 };
 
-/// One node of the computation graph. Value points either at OwnedValue or
-/// at external parameter storage; likewise for Grad.
+/// One node of the computation graph. Trivially destructible on purpose:
+/// nodes and their value/grad buffers live in the owning Graph's arena, so
+/// building and tearing down a forward pass does no per-node heap traffic.
+/// Value points either at arena storage or at external parameter storage;
+/// likewise for Grad.
 struct VarData {
   size_t Rows = 0, Cols = 0;
-  std::vector<float> OwnedValue;
-  std::vector<float> OwnedGrad;
   float *Value = nullptr;
   float *Grad = nullptr; ///< nullptr when gradients are not tracked.
 
@@ -150,6 +156,11 @@ public:
   // --- Operations ---------------------------------------------------------
   Var matmul(Var A, Var B);           ///< [m,k] x [k,n] -> [m,n]
   Var matmulTransposeB(Var A, Var B); ///< [m,k] x [n,k]^T -> [m,n]
+
+  /// [m,k] x dequantized(W)[k,n] -> [m,n] against an int8-quantized weight
+  /// (kernels::QuantizedMatrix, one scale per W row). Inference-only: there
+  /// is no backward rule, so the graph must not be in training mode.
+  Var matmulInt8(Var A, const kernels::QuantizedMatrix &W);
   Var add(Var A, Var B);              ///< Same shape.
   Var addRowBroadcast(Var A, Var B);  ///< [m,n] + [1,n].
   Var mul(Var A, Var B);              ///< Elementwise.
@@ -182,7 +193,11 @@ public:
   /// Runs the tape backwards from Loss (seeds dLoss = 1).
   void backward(Var Loss);
 
-  size_t numNodes() const { return Nodes.size(); }
+  size_t numNodes() const { return NodeCount; }
+
+  /// The arena backing node/value storage (introspection for tests and
+  /// telemetry; see support/arena.h for the reuse semantics).
+  const Arena &nodeArena() const { return NodeArena; }
 
 private:
   VarData *newNode(size_t Rows, size_t Cols, bool NeedGrad);
@@ -195,7 +210,12 @@ private:
 
   bool Training;
   GradientSink *Sink = nullptr;
-  std::vector<std::unique_ptr<VarData>> Nodes;
+  /// Nodes, their value/grad buffers, and per-op backward scratch (softmax
+  /// probabilities, layernorm row stats, dropout masks) all bump-allocate
+  /// here; everything dies together when the graph does. Declared before
+  /// Tape so closures referencing arena storage are destroyed first.
+  Arena NodeArena;
+  size_t NodeCount = 0;
   std::vector<std::function<void()>> Tape;
 };
 

@@ -18,9 +18,10 @@ void LstmCell::init(size_t InputSize, size_t HiddenSize, Rng &R) {
 }
 
 std::pair<Var, Var> LstmCell::step(Graph &G, Var X, Var H, Var C) {
-  Var Gates = G.addRowBroadcast(
-      G.add(G.matmul(X, G.param(Wx)), G.matmul(H, G.param(Wh))),
-      G.param(Bias));
+  bool UseInt8 = Int8 && !G.isTraining();
+  Var XGates = UseInt8 ? G.matmulInt8(X, WxQuant) : G.matmul(X, G.param(Wx));
+  Var HGates = UseInt8 ? G.matmulInt8(H, WhQuant) : G.matmul(H, G.param(Wh));
+  Var Gates = G.addRowBroadcast(G.add(XGates, HGates), G.param(Bias));
   Var InputGate = G.sigmoid(G.sliceCols(Gates, 0, Hidden));
   Var ForgetGate = G.sigmoid(G.sliceCols(Gates, Hidden, Hidden));
   Var CellInput = G.tanhOp(G.sliceCols(Gates, 2 * Hidden, Hidden));

@@ -4,6 +4,7 @@
 #define SNOWWHITE_NN_LAYERS_H
 
 #include "nn/graph.h"
+#include "nn/kernels.h"
 
 #include <utility>
 #include <vector>
@@ -12,6 +13,12 @@ namespace snowwhite {
 namespace nn {
 
 /// Fully connected layer: y = x W + b.
+///
+/// Opt-in int8 inference (setInt8): the weight matrix is post-training
+/// quantized (symmetric per-row scales, kernels::quantizeRowwise) and
+/// inference-mode forwards dequantize-on-accumulate through
+/// Graph::matmulInt8. Training graphs always use the f32 weights — the
+/// quantized side-car carries no gradient — and the bias stays f32.
 class Linear {
 public:
   Linear() = default;
@@ -24,8 +31,20 @@ public:
   }
 
   Var forward(Graph &G, Var X) {
+    if (Int8 && !G.isTraining())
+      return G.addRowBroadcast(G.matmulInt8(X, QuantWeight), G.param(Bias));
     return G.addRowBroadcast(G.matmul(X, G.param(Weight)), G.param(Bias));
   }
+
+  /// Enables (quantizing from the current f32 weights) or disables the int8
+  /// inference path. Re-invoke after any weight update to refresh the codes.
+  void setInt8(bool Enable) {
+    Int8 = Enable;
+    QuantWeight = Enable ? kernels::quantizeRowwise(Weight.Value.data(),
+                                                    Weight.Rows, Weight.Cols)
+                         : kernels::QuantizedMatrix{};
+  }
+  bool int8Enabled() const { return Int8; }
 
   void collectParameters(std::vector<Parameter *> &Out) {
     Out.push_back(&Weight);
@@ -34,6 +53,10 @@ public:
 
   Parameter Weight;
   Parameter Bias;
+
+private:
+  kernels::QuantizedMatrix QuantWeight;
+  bool Int8 = false;
 };
 
 /// A standard LSTM cell. Gate order in the packed weight matrices is
@@ -54,6 +77,20 @@ public:
   /// (H, C).
   std::pair<Var, Var> step(Graph &G, Var X, Var H, Var C);
 
+  /// int8 inference for the two gate matmuls (same contract as
+  /// Linear::setInt8); the gate bias stays f32.
+  void setInt8(bool Enable) {
+    Int8 = Enable;
+    if (Enable) {
+      WxQuant = kernels::quantizeRowwise(Wx.Value.data(), Wx.Rows, Wx.Cols);
+      WhQuant = kernels::quantizeRowwise(Wh.Value.data(), Wh.Rows, Wh.Cols);
+    } else {
+      WxQuant = kernels::QuantizedMatrix{};
+      WhQuant = kernels::QuantizedMatrix{};
+    }
+  }
+  bool int8Enabled() const { return Int8; }
+
   void collectParameters(std::vector<Parameter *> &Out) {
     Out.push_back(&Wx);
     Out.push_back(&Wh);
@@ -65,6 +102,9 @@ private:
   Parameter Wx;   ///< [in, 4*hidden]
   Parameter Wh;   ///< [hidden, 4*hidden]
   Parameter Bias; ///< [1, 4*hidden]
+  kernels::QuantizedMatrix WxQuant;
+  kernels::QuantizedMatrix WhQuant;
+  bool Int8 = false;
 };
 
 /// Adam optimizer over a parameter set (Kingma & Ba). Gradients are

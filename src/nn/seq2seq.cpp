@@ -31,6 +31,19 @@ Seq2SeqModel::Seq2SeqModel(const Seq2SeqConfig &ConfigIn)
   Output.init(Config.HiddenDim, Config.TgtVocabSize, ModelRng);
 }
 
+void Seq2SeqModel::setInt8Inference(bool Enable) {
+  Int8Inference = Enable;
+  EncoderFwd.setInt8(Enable);
+  EncoderBwd.setInt8(Enable);
+  Decoder.setInt8(Enable);
+  Bridge.setInt8(Enable);
+  AttnCombine.setInt8(Enable);
+  Output.setInt8(Enable);
+  AttnWQuant = Enable ? kernels::quantizeRowwise(AttnW.Value.data(),
+                                                 AttnW.Rows, AttnW.Cols)
+                      : kernels::QuantizedMatrix{};
+}
+
 std::vector<Parameter *> Seq2SeqModel::parameters() {
   std::vector<Parameter *> Out = {&SrcEmbed, &TgtEmbed, &AttnW};
   EncoderFwd.collectParameters(Out);
@@ -144,7 +157,9 @@ Seq2SeqModel::decodeStep(Graph &G, const std::vector<uint32_t> &InputIds,
 
   // Luong "general" attention, per batch row (rows may map to shared
   // encoder items during beam search).
-  Var Query = G.matmul(NewH, G.param(AttnW)); // [B, 2h]
+  Var Query = Int8Inference && !G.isTraining()
+                  ? G.matmulInt8(NewH, AttnWQuant)
+                  : G.matmul(NewH, G.param(AttnW)); // [B, 2h]
   std::vector<Var> Contexts;
   Contexts.reserve(B);
   for (size_t Row = 0; Row < B; ++Row) {

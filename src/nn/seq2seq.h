@@ -106,6 +106,18 @@ public:
   std::vector<Parameter *> parameters();
   size_t numParameters();
 
+  /// Opt-in int8 inference: post-training-quantizes every dense weight the
+  /// beam search touches (the three LSTM cells' gate matrices, the attention
+  /// score matrix, and the Bridge/AttnCombine/Output projections) to
+  /// symmetric per-row int8 side-cars; embeddings stay f32 (they are row
+  /// lookups, not matmuls). Inference-mode graphs then dequantize on
+  /// accumulate; training always uses the f32 master weights. Derived state:
+  /// not serialized, and must be re-enabled after further training.
+  /// Quantization happens eagerly here, so once serving workers share this
+  /// model the side-cars are read-only.
+  void setInt8Inference(bool Enable);
+  bool int8Inference() const { return Int8Inference; }
+
   /// The model's internal RNG (one draw per training batch seeds the
   /// dropout streams). Exposed so checkpoints can capture and restore it for
   /// bit-identical resume.
@@ -168,6 +180,9 @@ private:
   Parameter AttnW;      ///< [h, 2h] Luong "general" score.
   Linear AttnCombine;   ///< (h + 2h) -> h.
   Linear Output;        ///< h -> tgtV.
+
+  kernels::QuantizedMatrix AttnWQuant; ///< int8 side-car for AttnW.
+  bool Int8Inference = false;
 };
 
 } // namespace nn

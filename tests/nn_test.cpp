@@ -582,6 +582,140 @@ TEST(Seq2Seq, ParameterCountIsPlausible) {
   EXPECT_LT(Count, 200000u);
 }
 
+// --- Hostile-shape differential audit ----------------------------------------
+//
+// Every kernel-backed forward/backward pair is finite-difference audited at
+// shapes chosen to stress the tuned kernels' blocking: 1 (beam steps), odd,
+// and non-multiples of the 4-row / 8- and 16-wide column tiles. Zero
+// dimensions get a dedicated smoke below (the gradient of nothing is
+// nothing, but the forward pass must still be well defined).
+
+TEST(GradCheckHostile, MatmulShapeGrid) {
+  const size_t Sizes[] = {1, 3, 17};
+  uint64_t Seed = 400;
+  for (size_t M : Sizes)
+    for (size_t K : Sizes)
+      for (size_t N : Sizes) {
+        Parameter A(M, K), B(K, N);
+        fillParam(A, Seed++);
+        fillParam(B, Seed++);
+        checkGradient(A, [&](Graph &G, Parameter &Param) {
+          return sumAll(G, G.tanhOp(G.matmul(G.param(Param), G.param(B))));
+        });
+        checkGradient(B, [&](Graph &G, Parameter &Param) {
+          return sumAll(G, G.tanhOp(G.matmul(G.param(A), G.param(Param))));
+        });
+      }
+}
+
+TEST(GradCheckHostile, MatmulTransposeBShapeGrid) {
+  const size_t Sizes[] = {1, 3, 17};
+  uint64_t Seed = 450;
+  for (size_t M : Sizes)
+    for (size_t K : Sizes)
+      for (size_t N : Sizes) {
+        Parameter A(M, K), B(N, K);
+        fillParam(A, Seed++);
+        fillParam(B, Seed++);
+        checkGradient(A, [&](Graph &G, Parameter &Param) {
+          return sumAll(
+              G, G.tanhOp(G.matmulTransposeB(G.param(Param), G.param(B))));
+        });
+        checkGradient(B, [&](Graph &G, Parameter &Param) {
+          return sumAll(
+              G, G.tanhOp(G.matmulTransposeB(G.param(A), G.param(Param))));
+        });
+      }
+}
+
+TEST(GradCheckHostile, RowOpsAtWidthOneAndOdd) {
+  for (size_t N : {size_t(1), size_t(7)}) {
+    Parameter P(3, N), Weights(3, N), Gain(1, N), Bias(1, N);
+    fillParam(P, 500 + N);
+    fillParam(Weights, 510 + N);
+    fillParam(Gain, 520 + N);
+    fillParam(Bias, 530 + N);
+    checkGradient(P, [&](Graph &G, Parameter &Param) {
+      return sumAll(G,
+                    G.mul(G.softmaxRows(G.param(Param)), G.param(Weights)));
+    });
+    checkGradient(P, [&](Graph &G, Parameter &Param) {
+      return sumAll(G, G.tanhOp(G.layerNorm(G.param(Param), G.param(Gain),
+                                            G.param(Bias))));
+    });
+    checkGradient(Bias, [&](Graph &G, Parameter &Param) {
+      return sumAll(
+          G, G.tanhOp(G.addRowBroadcast(G.param(P), G.param(Param))));
+    });
+  }
+}
+
+TEST(GraphHostile, ZeroDimensionMatmulsAreWellDefined) {
+  // K = 0 contracts over nothing: the product is defined (all zeros) and
+  // the backward pass has nothing to scatter. M = 0 / N = 0 produce empty
+  // outputs. None of these may touch memory out of bounds.
+  Graph G(/*Training=*/true);
+  float Dummy = 0.0f;
+  Parameter A(3, 0), B(0, 4);
+  Var Product = G.matmul(G.param(A), G.param(B));
+  ASSERT_EQ(Product.rows(), 3u);
+  ASSERT_EQ(Product.cols(), 4u);
+  for (size_t I = 0; I < 3; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      EXPECT_EQ(Product.at(I, J), 0.0f);
+
+  Var Empty = G.input(0, 5, &Dummy);
+  Parameter W(5, 2);
+  fillParam(W, 540);
+  Var NoRows = G.matmul(Empty, G.param(W));
+  EXPECT_EQ(NoRows.rows(), 0u);
+  EXPECT_EQ(NoRows.cols(), 2u);
+
+  Parameter BT(4, 0);
+  Var ProductTB = G.matmulTransposeB(G.param(A), G.param(BT));
+  EXPECT_EQ(ProductTB.rows(), 3u);
+  EXPECT_EQ(ProductTB.cols(), 4u);
+  Var Loss = sumAll(G, G.add(Product, ProductTB));
+  G.backward(Loss); // Must not crash; there is no gradient to produce.
+  EXPECT_EQ(Loss.at(0, 0), 0.0f);
+}
+
+// Named regressions for bugs found by the hostile-shape audit: all three
+// reached past the end of (or divided by the size of) a zero-width row.
+
+TEST(GraphHostile, SoftmaxRowsZeroColumnsRegression) {
+  // softmaxRows unconditionally read Row[0] for the max; a [m, 0] input
+  // read out of bounds. The softmax of an empty row is the empty row.
+  Graph G(/*Training=*/true);
+  Parameter P(3, 0);
+  Var S = G.softmaxRows(G.param(P));
+  EXPECT_EQ(S.rows(), 3u);
+  EXPECT_EQ(S.cols(), 0u);
+}
+
+TEST(GraphHostile, CrossEntropyZeroVocabRegression) {
+  // crossEntropy's softmax loop had the same Row[0] read for a zero-width
+  // vocabulary. The loss of nothing is zero with no gradient.
+  Graph G(/*Training=*/true);
+  Parameter Logits(2, 0);
+  std::vector<uint32_t> Targets = {0, 0};
+  Var Loss = G.crossEntropy(G.param(Logits), Targets, /*IgnoreIndex=*/99);
+  ASSERT_EQ(Loss.rows(), 1u);
+  ASSERT_EQ(Loss.cols(), 1u);
+  EXPECT_EQ(Loss.at(0, 0), 0.0f);
+  G.backward(Loss); // Must not crash.
+}
+
+TEST(GraphHostile, LayerNormZeroColumnsRegression) {
+  // layerNorm's mean divided by N; a zero-width row poisoned the cached
+  // stats with NaN before any output was written.
+  Graph G(/*Training=*/true);
+  Parameter A(2, 0), Gain(1, 0), Bias(1, 0);
+  Var Y = G.layerNorm(G.param(A), G.param(Gain), G.param(Bias));
+  EXPECT_EQ(Y.rows(), 2u);
+  EXPECT_EQ(Y.cols(), 0u);
+}
+
 } // namespace
 } // namespace nn
 } // namespace snowwhite

@@ -775,8 +775,9 @@ void printCacheStats(const model::CacheStats &Stats) {
 /// printing to stderr) on a malformed command line.
 bool parseServingFlags(int argc, char **argv, const char *Usage,
                        double &FailRate, uint64_t &Budget, size_t &QueueCap,
-                       uint64_t &Seed, bool &Verbose, size_t *Requests,
-                       std::string &MetricsOut, std::string &TraceOut) {
+                       uint64_t &Seed, bool &Verbose, bool &Int8,
+                       size_t *Requests, std::string &MetricsOut,
+                       std::string &TraceOut) {
   for (int I = 0; I < argc; ++I) {
     auto Value = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
@@ -817,6 +818,8 @@ bool parseServingFlags(int argc, char **argv, const char *Usage,
       Seed = static_cast<uint64_t>(std::atoll(V));
     } else if (std::strcmp(argv[I], "--verbose") == 0) {
       Verbose = true;
+    } else if (std::strcmp(argv[I], "--int8") == 0) {
+      Int8 = true;
     } else if (Requests && argv[I][0] != '-') {
       *Requests = static_cast<size_t>(std::atoll(argv[I]));
     } else {
@@ -832,21 +835,26 @@ bool parseServingFlags(int argc, char **argv, const char *Usage,
 static int commandPredictBatch(int argc, char **argv) {
   const char *Usage = "snowwhite predict-batch [requests] [--fail-rate F] "
                       "[--budget N] [--queue N] [--seed S] [--verbose] "
-                      "[--metrics-out F] [--trace-out F]";
+                      "[--int8] [--metrics-out F] [--trace-out F]";
   size_t NumRequests = 32;
   double FailRate = 0.0;
   uint64_t Budget = 256;
   size_t QueueCap = 16;
   uint64_t Seed = 7;
   bool Verbose = false;
+  bool Int8 = false;
   std::string MetricsOut, TraceOut;
   if (!parseServingFlags(argc, argv, Usage, FailRate, Budget, QueueCap, Seed,
-                         Verbose, &NumRequests, MetricsOut, TraceOut))
+                         Verbose, Int8, &NumRequests, MetricsOut, TraceOut))
     return 2;
 
   ServingDemo Demo;
   if (!buildServingDemo(Seed, Verbose, Demo))
     return 1;
+  // Quantize before any engine shares the model: the int8 side-cars are
+  // written once here and only ever read during serving.
+  if (Int8)
+    Demo.Trained.Model->setInt8Inference(true);
 
   fault::FaultConfig FaultCfg;
   FaultCfg.Seed = Seed;
@@ -1014,7 +1022,7 @@ static int commandServe(int argc, char **argv) {
       "snowwhite serve [--daemon] [--workers N] [--cache-bytes N] "
       "[--tenant-capacity N] [--tenant-refill N] [--snapshot PATH] "
       "[--snapshot-every N] [--poison-strikes N] [--shard-cost-budget N] "
-      "[--fail-rate F] [--budget N] [--seed S] [--verbose] "
+      "[--fail-rate F] [--budget N] [--seed S] [--verbose] [--int8] "
       "[--metrics-out F] [--trace-out F]";
   // Daemon-specific flags are peeled off first; the remainder goes through
   // the shared serving-flag parser.
@@ -1087,15 +1095,20 @@ static int commandServe(int argc, char **argv) {
   size_t QueueCap = 64;
   uint64_t Seed = 7;
   bool Verbose = false;
+  bool Int8 = false;
   std::string MetricsOut, TraceOut;
   if (!parseServingFlags(static_cast<int>(Rest.size()), Rest.data(), Usage,
-                         FailRate, Budget, QueueCap, Seed, Verbose, nullptr,
-                         MetricsOut, TraceOut))
+                         FailRate, Budget, QueueCap, Seed, Verbose, Int8,
+                         nullptr, MetricsOut, TraceOut))
     return 2;
 
   ServingDemo Demo;
   if (!buildServingDemo(Seed, Verbose, Demo))
     return 1;
+  // Quantize before the daemon's worker shards share the model: side-cars
+  // are written once here, then read-only for every concurrent worker.
+  if (Int8)
+    Demo.Trained.Model->setInt8Inference(true);
 
   fault::FaultConfig FaultCfg;
   FaultCfg.Seed = Seed;
@@ -1213,9 +1226,10 @@ int main(int argc, char **argv) {
                  "  snowwhite train [--epochs N] [--checkpoint PATH] "
                  "[--resume] [--metrics-out F]\n"
                  "  snowwhite predict-batch [requests] [--fail-rate F] "
-                 "[--budget N] [--queue N] [--seed S] [--metrics-out F]\n"
-                 "  snowwhite serve [--fail-rate F] [--budget N] [--seed S] "
+                 "[--budget N] [--queue N] [--seed S] [--int8] "
                  "[--metrics-out F]\n"
+                 "  snowwhite serve [--fail-rate F] [--budget N] [--seed S] "
+                 "[--int8] [--metrics-out F]\n"
                  "  snowwhite serve --daemon [--workers N] [--cache-bytes N] "
                  "[--tenant-capacity N] [--tenant-refill N] "
                  "[--snapshot PATH] [--snapshot-every N] "
